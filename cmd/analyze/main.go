@@ -1,0 +1,110 @@
+// Command analyze queries the analytical performance model of §3.1 without
+// running a simulation: it solves the steady-state equations for a given
+// ship probability, or sweeps for the optimal static load-sharing policy.
+//
+// Examples:
+//
+//	analyze -rate 2.5 -pship 0.4        # solve one operating point
+//	analyze -rate 2.5 -optimize         # find the optimal static p_ship
+//	analyze -rate 2.5 -sweep            # table of RT vs p_ship
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"hybriddb/internal/experiments"
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	var (
+		rate     = fs.Float64("rate", 1.0, "arrival rate per site (txn/s)")
+		delay    = fs.Float64("delay", 0.2, "one-way communications delay (s)")
+		pship    = fs.Float64("pship", 0, "static ship probability to analyze")
+		optimize = fs.Bool("optimize", false, "find the optimal static ship probability")
+		sweepFlg = fs.Bool("sweep", false, "print a table of response time vs ship probability")
+		validate = fs.Bool("validate", false, "compare the model against simulations across load")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := hybrid.DefaultConfig()
+	cfg.ArrivalRatePerSite = *rate
+	cfg.CommDelay = *delay
+
+	switch {
+	case *validate:
+		rows, err := experiments.ModelValidation(experiments.Options{
+			Base:         cfg,
+			RatesPerSite: []float64{0.5, 1.0, 1.5, 2.0, 2.5},
+		}, *pship)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteValidation(out, rows)
+	case *sweepFlg:
+		return sweepTable(out, cfg)
+	case *optimize:
+		opt, err := model.OptimalShipFraction(cfg.ModelInput(0), 0.01)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "optimal static p_ship = %.3f\n\n", opt.PShip)
+		return printResult(out, opt.Result)
+	default:
+		res, err := model.Solve(cfg.ModelInput(*pship))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "model solution at p_ship = %.3f\n\n", *pship)
+		return printResult(out, res)
+	}
+}
+
+func printResult(out io.Writer, r model.Result) error {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "mean response time\t%.3f s\n", r.RAvg)
+	fmt.Fprintf(tw, "  local class A\t%.3f s\n", r.RLocal)
+	fmt.Fprintf(tw, "  central (shipped + class B)\t%.3f s\n", r.RCentral)
+	fmt.Fprintf(tw, "utilization\tlocal %.3f, central %.3f\n", r.UtilLocal, r.UtilCentral)
+	fmt.Fprintf(tw, "abort probability\tlocal %.4f, central %.4f\n", r.PAbortLocal, r.PAbortCentral)
+	fmt.Fprintf(tw, "expected re-runs\tlocal %.4f, central %.4f\n", r.RerunsLocal, r.RerunsCentral)
+	fmt.Fprintf(tw, "saturated\t%v\n", r.Saturated)
+	fmt.Fprintf(tw, "converged\t%v in %d iterations\n", r.Converged, r.Iterations)
+	return tw.Flush()
+}
+
+func sweepTable(out io.Writer, cfg hybrid.Config) error {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "p_ship\tR_avg\tR_local\tR_central\tutil_local\tutil_central")
+	for p := 0.0; p <= 1.0001; p += 0.05 {
+		if p > 1 {
+			p = 1
+		}
+		res, err := model.Solve(cfg.ModelInput(p))
+		if err != nil {
+			return err
+		}
+		if res.Saturated {
+			fmt.Fprintf(tw, "%.2f\tsaturated\t-\t-\t%.3f\t%.3f\n", p, res.UtilLocal, res.UtilCentral)
+			continue
+		}
+		fmt.Fprintf(tw, "%.2f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			p, res.RAvg, res.RLocal, res.RCentral, res.UtilLocal, res.UtilCentral)
+	}
+	return tw.Flush()
+}

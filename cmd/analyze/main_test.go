@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAnalyzePoint(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-rate", "2.0", "-pship", "0.4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"p_ship = 0.400", "mean response time", "utilization", "converged"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeOptimize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-rate", "2.5", "-optimize"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "optimal static p_ship") {
+		t.Errorf("missing optimum line:\n%s", buf.String())
+	}
+}
+
+func TestAnalyzeSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-rate", "3.0", "-sweep"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "p_ship") {
+		t.Errorf("missing sweep header:\n%s", out)
+	}
+	// At 30 tps, p_ship = 0 saturates the local sites.
+	if !strings.Contains(out, "saturated") {
+		t.Errorf("sweep at 30 tps shows no saturated points:\n%s", out)
+	}
+}
+
+func TestAnalyzeRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-rate", "0"}, &buf); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestAnalyzeValidate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-pship", "0.3", "-validate"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "model vs simulation") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "rel err") {
+		t.Errorf("columns missing:\n%s", out)
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFigureSingle(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "4.1", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 4.1", "none", "static*", "min-average/nis"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFigureCSVOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "4.3", "-quick", "-csv", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "figure,curve,") {
+		t.Errorf("CSV header missing: %q", string(data[:40]))
+	}
+	if !strings.Contains(string(data), "4.3,") {
+		t.Error("CSV missing figure rows")
+	}
+}
+
+func TestFigureUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "9.9"}, &buf); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestMaxThroughputTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long sweep")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "max", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Maximum supportable throughput") {
+		t.Errorf("missing table header:\n%s", out)
+	}
+	if !strings.Contains(out, "min-average/nis") {
+		t.Errorf("missing strategy rows:\n%s", out)
+	}
+}
+
+func TestArchitectureComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long sweep")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "arch", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Architecture comparison", "centralized", "distributed", "hybrid"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFigureWithPlot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "4.1", "-quick", "-plot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "A = none") {
+		t.Errorf("plot legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "|") {
+		t.Error("plot canvas missing")
+	}
+}

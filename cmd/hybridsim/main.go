@@ -1,0 +1,111 @@
+// Command hybridsim runs one simulation of the hybrid distributed–
+// centralized database system and prints the measured result.
+//
+// Example:
+//
+//	hybridsim -rate 2.5 -strategy best -delay 0.2 -duration 800
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"hybriddb/internal/experiments"
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/replicate"
+	"hybriddb/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hybridsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hybridsim", flag.ContinueOnError)
+	var (
+		rate     = fs.Float64("rate", 1.0, "arrival rate per site (txn/s)")
+		delay    = fs.Float64("delay", 0.2, "one-way communications delay (s)")
+		sites    = fs.Int("sites", 10, "number of local sites")
+		strategy = fs.String("strategy", "best", "routing strategy: "+strings.Join(experiments.StrategyNames(), ", "))
+		seed     = fs.Uint64("seed", 1, "random seed")
+		warmup   = fs.Float64("warmup", 200, "warmup period discarded from statistics (s)")
+		duration = fs.Float64("duration", 800, "measured simulated duration (s)")
+		pwrite   = fs.Float64("pwrite", 0.25, "probability a lock request is exclusive")
+		plocal   = fs.Float64("plocal", 0.75, "fraction of class A (local-data) transactions")
+		feedback = fs.String("feedback", "auth-only", "central-state feedback: auth-only, all-messages, ideal")
+		check    = fs.Bool("selfcheck", false, "run simulator invariant checks (slower)")
+		reps     = fs.Int("replications", 1, "independent replications (>1 adds confidence intervals)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := hybrid.DefaultConfig()
+	cfg.ArrivalRatePerSite = *rate
+	cfg.CommDelay = *delay
+	cfg.Sites = *sites
+	cfg.Seed = *seed
+	cfg.Warmup = *warmup
+	cfg.Duration = *duration
+	cfg.PWrite = *pwrite
+	cfg.PLocal = *plocal
+	cfg.SelfCheck = *check
+	switch *feedback {
+	case "auth-only":
+		cfg.Feedback = hybrid.FeedbackAuthOnly
+	case "all-messages":
+		cfg.Feedback = hybrid.FeedbackAllMessages
+	case "ideal":
+		cfg.Feedback = hybrid.FeedbackIdeal
+	default:
+		return fmt.Errorf("unknown feedback mode %q", *feedback)
+	}
+
+	maker, err := experiments.ParseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	if *reps > 1 {
+		summary, err := replicate.Run(cfg, maker.Make, *reps)
+		if err != nil {
+			return err
+		}
+		return report.WriteReplication(out, summary)
+	}
+	strat, err := maker.Make(cfg)
+	if err != nil {
+		return err
+	}
+	engine, err := hybrid.New(cfg, strat)
+	if err != nil {
+		return err
+	}
+	r := engine.Run()
+
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	defer tw.Flush()
+	fmt.Fprintf(tw, "strategy\t%s\n", r.Strategy)
+	fmt.Fprintf(tw, "offered load\t%.1f tps total (%.2f/site x %d sites)\n",
+		*rate*float64(*sites), *rate, *sites)
+	fmt.Fprintf(tw, "throughput\t%.2f tps\n", r.Throughput)
+	fmt.Fprintf(tw, "mean response time\t%.3f s (p95 %.3f s)\n", r.MeanRT, r.P95RT)
+	fmt.Fprintf(tw, "  class A local\t%.3f s (%d txns)\n", r.MeanRTLocalA, r.CompletedLocalA)
+	fmt.Fprintf(tw, "  class A shipped\t%.3f s (%d txns)\n", r.MeanRTShippedA, r.CompletedShippedA)
+	fmt.Fprintf(tw, "  class B\t%.3f s (%d txns)\n", r.MeanRTClassB, r.CompletedClassB)
+	fmt.Fprintf(tw, "ship fraction\t%.3f of class A\n", r.ShipFraction)
+	fmt.Fprintf(tw, "utilization\tlocal mean %.2f (max %.2f), central %.2f\n",
+		r.UtilLocalMean, r.UtilLocalMax, r.UtilCentral)
+	fmt.Fprintf(tw, "aborts\tdeadlock %d/%d, seized %d, NACK %d, invalidated %d\n",
+		r.AbortsDeadlockLocal, r.AbortsDeadlockCentral,
+		r.AbortsLocalSeized, r.AbortsCentralNACK, r.AbortsCentralInval)
+	fmt.Fprintf(tw, "mean lock wait\t%.4f s\n", r.MeanLockWait)
+	fmt.Fprintf(tw, "network messages\t%d (auth rounds %d)\n", r.MessagesSent, r.AuthRounds)
+	return nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunProducesReport(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-rate", "1.0", "-warmup", "20", "-duration", "60", "-strategy", "best",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"strategy", "min-average/nis", "throughput", "mean response time",
+		"ship fraction", "utilization", "aborts",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllStrategySpecs(t *testing.T) {
+	for _, spec := range []string{"none", "static:0.3", "queue-length", "threshold:-0.2"} {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run([]string{
+				"-rate", "0.8", "-warmup", "10", "-duration", "30", "-strategy", spec,
+			}, &buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunFeedbackModes(t *testing.T) {
+	for _, fb := range []string{"auth-only", "all-messages", "ideal"} {
+		var buf bytes.Buffer
+		err := run([]string{
+			"-rate", "0.8", "-warmup", "10", "-duration", "30", "-feedback", fb,
+		}, &buf)
+		if err != nil {
+			t.Fatalf("feedback %s: %v", fb, err)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-strategy", "nonsense"},
+		{"-feedback", "psychic"},
+		{"-rate", "0"},
+		{"-unknownflag"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunSelfCheck(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-rate", "1.5", "-warmup", "10", "-duration", "40", "-selfcheck",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithReplications(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-rate", "1.0", "-warmup", "10", "-duration", "30",
+		"-strategy", "queue-length", "-replications", "3",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "3 replications") {
+		t.Errorf("replication header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "±") {
+		t.Errorf("confidence interval missing:\n%s", out)
+	}
+}

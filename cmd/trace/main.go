@@ -1,0 +1,151 @@
+// Command trace works with recorded workloads and protocol event traces:
+//
+//	trace capture -out trace.jsonl -rate 2.0 -count 10000   # record a workload
+//	trace replay  -in trace.jsonl -strategy best            # re-run it
+//	trace follow  -txn 42 -rate 2.0 -strategy best          # dump one txn's protocol events
+//
+// Replay makes simulation results bit-reproducible across machines and code
+// versions; follow prints the full §2 protocol history of one transaction
+// (routing, locks, authentication, aborts) for debugging.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hybriddb/internal/experiments"
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/report"
+	"hybriddb/internal/trace"
+	"hybriddb/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: trace capture|replay|follow [flags]")
+	}
+	switch args[0] {
+	case "capture":
+		return capture(args[1:], out)
+	case "replay":
+		return replay(args[1:], out)
+	case "follow":
+		return follow(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want capture, replay, or follow)", args[0])
+	}
+}
+
+func capture(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trace capture", flag.ContinueOnError)
+	var (
+		path  = fs.String("out", "trace.jsonl", "output trace file")
+		rate  = fs.Float64("rate", 1.0, "arrival rate per site (txn/s)")
+		count = fs.Int("count", 10_000, "transactions to record")
+		seed  = fs.Uint64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := hybrid.DefaultConfig()
+	file, err := os.Create(*path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	if err := workload.Capture(file, cfg.WorkloadConfig(), *seed, *rate, *count); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "recorded %d transactions to %s\n", *count, *path)
+	return nil
+}
+
+func replay(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trace replay", flag.ContinueOnError)
+	var (
+		path     = fs.String("in", "trace.jsonl", "input trace file")
+		strategy = fs.String("strategy", "best", "routing strategy")
+		warmup   = fs.Float64("warmup", 100, "warmup seconds")
+		duration = fs.Float64("duration", 800, "measured seconds")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	file, err := os.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	txns, gaps, err := workload.ReadAll(file)
+	if err != nil {
+		return err
+	}
+	cfg := hybrid.DefaultConfig()
+	cfg.Warmup, cfg.Duration = *warmup, *duration
+	maker, err := experiments.ParseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	strat, err := maker.Make(cfg)
+	if err != nil {
+		return err
+	}
+	engine, err := hybrid.New(cfg, strat)
+	if err != nil {
+		return err
+	}
+	if err := engine.SetTrace(txns, gaps); err != nil {
+		return err
+	}
+	res := engine.Run()
+	fmt.Fprintf(out, "replayed %d of %d recorded transactions\n\n", res.Generated, len(txns))
+	return report.WriteResult(out, res)
+}
+
+func follow(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trace follow", flag.ContinueOnError)
+	var (
+		txnID    = fs.Int64("txn", 1, "transaction id to follow")
+		rate     = fs.Float64("rate", 1.0, "arrival rate per site (txn/s)")
+		strategy = fs.String("strategy", "best", "routing strategy")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		events   = fs.Int("events", 512, "maximum events to retain")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := hybrid.DefaultConfig()
+	cfg.ArrivalRatePerSite = *rate
+	cfg.Seed = *seed
+	cfg.Warmup, cfg.Duration = 0, 200
+	maker, err := experiments.ParseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	strat, err := maker.Make(cfg)
+	if err != nil {
+		return err
+	}
+	engine, err := hybrid.New(cfg, strat)
+	if err != nil {
+		return err
+	}
+	ring := trace.NewRing(*events)
+	ring.FilterTxn(*txnID)
+	engine.SetTracer(ring)
+	engine.Run()
+	if len(ring.Events()) == 0 {
+		return fmt.Errorf("transaction %d produced no events (did it arrive within the run?)", *txnID)
+	}
+	fmt.Fprintf(out, "protocol events of transaction %d:\n", *txnID)
+	return ring.Dump(out)
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCaptureThenReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.jsonl")
+
+	var buf bytes.Buffer
+	if err := run([]string{"capture", "-out", path, "-rate", "2.0", "-count", "500"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "recorded 500 transactions") {
+		t.Errorf("capture output: %q", buf.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+
+	buf.Reset()
+	err := run([]string{"replay", "-in", path, "-warmup", "5", "-duration", "50", "-strategy", "queue-length"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"replayed", "strategy", "mean response time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replay output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFollowDumpsProtocolEvents(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"follow", "-txn", "5", "-rate", "1.0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "protocol events of transaction 5") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "arrive") {
+		t.Errorf("arrive event missing:\n%s", out)
+	}
+}
+
+func TestFollowUnknownTxn(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"follow", "-txn", "99999999", "-rate", "0.5"}, &buf); err == nil {
+		t.Fatal("nonexistent transaction accepted")
+	}
+}
+
+func TestBadSubcommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := run([]string{"bogus"}, &buf); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"replay", "-in", "/nonexistent/file"}, &buf); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

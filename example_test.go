@@ -1,0 +1,80 @@
+package hybriddb_test
+
+import (
+	"fmt"
+
+	"hybriddb"
+)
+
+// Example simulates the paper's default system at a moderate load under the
+// best dynamic strategy and reports whether load sharing engaged.
+func Example() {
+	cfg := hybriddb.DefaultConfig()
+	cfg.ArrivalRatePerSite = 2.0 // 20 tps over 10 sites
+	cfg.Warmup, cfg.Duration = 100, 400
+
+	res, err := hybriddb.Run(cfg, hybriddb.Best(cfg))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("strategy: %s\n", res.Strategy)
+	fmt.Printf("shipped some class A transactions: %v\n", res.ShipFraction > 0.1)
+	fmt.Printf("kept mean response under 1.5s: %v\n", res.MeanRT < 1.5)
+	// Output:
+	// strategy: min-average/nis
+	// shipped some class A transactions: true
+	// kept mean response under 1.5s: true
+}
+
+// ExampleOptimalShipFraction finds the optimal static policy analytically:
+// at low load nothing should be shipped.
+func ExampleOptimalShipFraction() {
+	cfg := hybriddb.DefaultConfig()
+	cfg.ArrivalRatePerSite = 0.3 // 3 tps total: local sites are nearly idle
+	p, _, err := hybriddb.OptimalShipFraction(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("optimal p_ship below 0.05: %v\n", p < 0.05)
+	// Output:
+	// optimal p_ship below 0.05: true
+}
+
+// ExampleAnalyze solves the §3.1 analytical model without simulating.
+func ExampleAnalyze() {
+	cfg := hybriddb.DefaultConfig()
+	cfg.ArrivalRatePerSite = 1.0
+	m, err := hybriddb.Analyze(cfg, 0.3)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("converged: %v, saturated: %v\n", m.Converged, m.Saturated)
+	fmt.Printf("local faster than shipped at low load: %v\n", m.RLocal < m.RCentral)
+	// Output:
+	// converged: true, saturated: false
+	// local faster than shipped at low load: true
+}
+
+// ExampleCompareArchitectures reproduces the introduction's three-way
+// architecture comparison at full locality and a long-haul delay, where the
+// distributed system's avoidance of communication wins.
+func ExampleCompareArchitectures() {
+	cfg := hybriddb.DefaultConfig()
+	cfg.PLocal = 1.0
+	cfg.CommDelay = 0.5
+	cfg.ArrivalRatePerSite = 0.5
+	cfg.Warmup, cfg.Duration = 50, 200
+
+	cmp, err := hybriddb.CompareArchitectures(cfg, hybriddb.DefaultLockTimeout)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("distributed beats centralized at full locality: %v\n",
+		cmp.Distributed.MeanRT < cmp.Centralized.MeanRT)
+	// Output:
+	// distributed beats centralized at full locality: true
+}

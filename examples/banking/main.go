@@ -1,0 +1,73 @@
+// Banking: branch banking with a regional load surge — the "load
+// fluctuations" the paper's introduction names as a motivation for dynamic
+// load sharing. Nine branch regions run at a calm 1.2 tps while one region
+// (a city center on payday) surges to 4 tps, beyond its local processor's
+// capacity.
+//
+// A static policy tuned for the *average* rate treats all regions alike: it
+// ships too much from the calm regions and too little from the hot one. The
+// dynamic strategies decide per arrival from the observed state of the
+// arrival site, so only the hot branch offloads heavily.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"hybriddb"
+)
+
+func main() {
+	cfg := hybriddb.DefaultConfig()
+	cfg.Warmup = 100
+	cfg.Duration = 400
+	cfg.PWrite = 0.35 // debits/credits update balances
+
+	// Nine calm regions, one payday surge.
+	rates := make([]float64, cfg.Sites)
+	var total float64
+	for i := range rates {
+		rates[i] = 1.2
+		total += rates[i]
+	}
+	rates[0] = 4.0
+	total += rates[0] - 1.2
+	cfg.SiteRates = rates
+	// The static optimizer only knows the average rate — its handicap here.
+	cfg.ArrivalRatePerSite = total / float64(cfg.Sites)
+
+	staticStrat, pShip, err := hybriddb.StaticOptimal(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	policies := []struct {
+		label string
+		s     hybriddb.Strategy
+	}{
+		{"branch only (none)", hybriddb.None()},
+		{fmt.Sprintf("static p=%.2f (rate-blind)", pShip), staticStrat},
+		{"queue-length heuristic", hybriddb.QueueLengthHeuristic()},
+		{"best dynamic (min-average/nis)", hybriddb.Best(cfg)},
+	}
+
+	fmt.Printf("Branch banking, payday surge: region 0 at 4.0 tps, others at 1.2 tps (%.1f tps total)\n\n", total)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tmean RT\tp95 RT\thottest branch util\tmean branch util\tshipped")
+	for _, p := range policies {
+		r, err := hybriddb.Run(cfg, p.s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%.2f s\t%.2f s\t%.2f\t%.2f\t%.0f%%\n",
+			p.label, r.MeanRT, r.P95RT, r.UtilLocalMax, r.UtilLocalMean,
+			100*r.ShipFraction)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nThe dynamic policies drain the surging branch without over-shipping the")
+	fmt.Println("calm ones — something no single static probability can do.")
+}

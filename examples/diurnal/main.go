@@ -1,0 +1,82 @@
+// Diurnal: time-varying regional load — the "load fluctuations" the paper's
+// introduction names alongside regional locality. Ten regional sites span
+// time zones; each cycles through a quiet night, a morning ramp, a midday
+// peak, and an evening tail, with the peaks staggered so the system-wide
+// load follows the sun.
+//
+// A static policy can only be tuned to one operating point. The adaptive
+// static strategy re-optimizes from measured rates every few minutes, and
+// the fully dynamic strategy decides per arrival — the example prints the
+// response-time time series so the adaptation is visible.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"hybriddb"
+)
+
+func main() {
+	cfg := hybriddb.DefaultConfig()
+	cfg.Warmup = 200
+	cfg.Duration = 1200
+	cfg.SeriesBucket = 200
+
+	// A 1200 s "day": night, ramp, peak, tail. Site i's day is shifted by
+	// i*120 s, staggering the regional peaks.
+	day := hybriddb.RateSchedule{
+		{Duration: 400, Rate: 0.5},
+		{Duration: 200, Rate: 2.0},
+		{Duration: 300, Rate: 3.2},
+		{Duration: 300, Rate: 1.2},
+	}
+	cfg.RateSchedules = make([]hybriddb.RateSchedule, cfg.Sites)
+	for i := range cfg.RateSchedules {
+		cfg.RateSchedules[i] = day.Shift(float64(i) * 120)
+	}
+	// The a-priori static optimum only knows the mean rate.
+	cfg.ArrivalRatePerSite = day.MeanRate()
+
+	staticStrat, pShip, err := hybriddb.StaticOptimal(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptive, err := hybriddb.AdaptiveStatic(cfg, 60, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policies := []struct {
+		label string
+		s     hybriddb.Strategy
+	}{
+		{fmt.Sprintf("static p=%.2f (mean-rate tuned)", pShip), staticStrat},
+		{"adaptive static (60s window)", adaptive},
+		{"best dynamic (min-average/nis)", hybriddb.Best(cfg)},
+	}
+
+	fmt.Printf("Follow-the-sun load: staggered regional days, mean %.1f tps/site\n\n",
+		day.MeanRate())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tmean RT\tp95 RT\tshipped\tRT by 200s bucket")
+	for _, p := range policies {
+		r, err := hybriddb.Run(cfg, p.s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		series := ""
+		for _, b := range r.RTSeries {
+			series += fmt.Sprintf("%.2f ", b.MeanRT)
+		}
+		fmt.Fprintf(tw, "%s\t%.2f s\t%.2f s\t%.0f%%\t%s\n",
+			p.label, r.MeanRT, r.P95RT, 100*r.ShipFraction, series)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nThe per-arrival dynamic policy rides the staggered peaks with the")
+	fmt.Println("flattest series; the mean-rate-tuned static policy over-ships during")
+	fmt.Println("regional nights and under-ships during peaks.")
+}

@@ -1,0 +1,75 @@
+// Insurance: the third application domain the paper names (reservation
+// systems, insurance, banking). Regional offices hold their policyholders'
+// records; the central complex replicates them for company-wide processing.
+// Claims handling is read-heavy (adjusters reading policies and histories);
+// end-of-month policy renewals are write-heavy (premium and term updates).
+//
+// The example contrasts the two regimes at the same transaction volume to
+// show how the write mix drives cross-site data contention — the force that
+// distinguishes this system from classical load balancing: under writes,
+// shipping a transaction can abort the transactions already running at the
+// other tier, and the dynamic strategies must weigh that.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"hybriddb"
+)
+
+func main() {
+	regimes := []struct {
+		label  string
+		pWrite float64
+	}{
+		{"claims handling (reads, 10% writes)", 0.10},
+		{"renewals batch (55% writes)", 0.55},
+	}
+
+	fmt.Println("Regional insurance system at 25 tps — read-heavy vs write-heavy")
+	fmt.Println()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tpolicy\tmean RT\tcross-site aborts\tshipped")
+	for _, regime := range regimes {
+		cfg := hybriddb.DefaultConfig()
+		cfg.ArrivalRatePerSite = 2.5
+		cfg.PWrite = regime.pWrite
+		cfg.Lockspace = 8_192 // a regional policy base small enough to contend
+		cfg.Warmup = 100
+		cfg.Duration = 400
+
+		for _, policy := range []struct {
+			label string
+			s     hybriddb.Strategy
+		}{
+			{"static optimal", mustStatic(cfg)},
+			{"best dynamic", hybriddb.Best(cfg)},
+		} {
+			r, err := hybriddb.Run(cfg, policy.s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cross := r.AbortsLocalSeized + r.AbortsCentralNACK + r.AbortsCentralInval
+			fmt.Fprintf(tw, "%s\t%s\t%.2f s\t%d\t%.0f%%\n",
+				regime.label, policy.label, r.MeanRT, cross, 100*r.ShipFraction)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nWrites multiply cross-site aborts several-fold: every regional update can")
+	fmt.Println("invalidate central readers, and every central commit can seize locks from")
+	fmt.Println("regional transactions. The dynamic policy still wins on response time while")
+	fmt.Println("shipping far less than the static optimum in both regimes.")
+}
+
+func mustStatic(cfg hybriddb.Config) hybriddb.Strategy {
+	s, _, err := hybriddb.StaticOptimal(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,68 @@
+// Reservation: an airline-reservation scenario, one of the applications the
+// paper's introduction motivates. Ten regional booking systems hold the
+// seat inventory for flights departing from their region; the central
+// complex replicates everything. Most bookings touch only regional flights
+// (class A); itineraries spanning regions are class B and run centrally.
+//
+// The example sweeps the booking rate through an evening peak and prints,
+// for each policy, the mean time to confirm a booking — reproducing in
+// miniature the paper's Figure 4.1 story: regional systems alone fall over
+// first, probabilistic offloading helps, and state-aware dynamic routing
+// holds the lowest confirmation times through the peak.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"hybriddb"
+)
+
+func main() {
+	base := hybriddb.DefaultConfig()
+	base.Warmup = 100
+	base.Duration = 400
+	base.PLocal = 0.75 // 75% of bookings are single-region
+	base.PWrite = 0.30 // seat updates are writes; availability checks reads
+
+	peak := []float64{1.0, 1.8, 2.6, 3.2} // bookings/s per region
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Println("Regional reservation system — time to confirm a booking (seconds)")
+	fmt.Fprintln(tw, "bookings/s (system)\tregional only\tstatic offload\tdynamic routing\tdynamic ships")
+	for _, rate := range peak {
+		cfg := base
+		cfg.ArrivalRatePerSite = rate
+
+		regional, err := hybriddb.Run(cfg, hybriddb.None())
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		staticStrat, pShip, err := hybriddb.StaticOptimal(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		static, err := hybriddb.Run(cfg, staticStrat)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		dynamic, err := hybriddb.Run(cfg, hybriddb.Best(cfg))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Fprintf(tw, "%.0f\t%.2f\t%.2f (p=%.2f)\t%.2f\t%.0f%%\n",
+			rate*float64(cfg.Sites),
+			regional.MeanRT, static.MeanRT, pShip,
+			dynamic.MeanRT, 100*dynamic.ShipFraction)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nRegional-only confirmation times collapse at the peak; dynamic routing")
+	fmt.Println("keeps them nearly flat by shipping just enough bookings to the center.")
+}

@@ -1,0 +1,173 @@
+// Package hybriddb reproduces "Load Sharing in Hybrid Distributed–
+// Centralized Database Systems" (Ciciani, Dias, Yu; ICDCS 1988): a
+// discrete-event simulator of the hybrid architecture — geographically
+// distributed database systems attached to a central computing complex that
+// replicates every local database — together with the paper's
+// concurrency/coherency protocol, its analytical performance model, and all
+// of its static and dynamic load-sharing strategies.
+//
+// The central question the library answers is where to run a "class A"
+// transaction (one touching only its home region's data): at its home site,
+// or shipped to the faster but remote central site. The decision trades CPU
+// speed asymmetry and queueing against communications delay and, uniquely to
+// this system, against cross-site data contention: local and central
+// transactions touching the same replicated data conflict optimistically and
+// resolve by aborting one side.
+//
+// Basic use:
+//
+//	cfg := hybriddb.DefaultConfig()       // the paper's §4.1 parameters
+//	cfg.ArrivalRatePerSite = 2.5          // 25 tps across 10 sites
+//	res, err := hybriddb.Run(cfg, hybriddb.Best(cfg))
+//
+// Strategies are constructed by the helpers below (None, StaticOptimal,
+// MeasuredRT, QueueLengthHeuristic, QueueThreshold, MinIncoming*,
+// MinAverage*); Best returns the strategy the paper found strongest,
+// min-average/nis. Analyze and OptimalShipFraction expose the §3.1
+// analytical model directly.
+package hybriddb
+
+import (
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/model"
+	"hybriddb/internal/routing"
+)
+
+// Core simulation types. These are aliases of the internal engine types so
+// the whole configuration and result surface is available unchanged.
+type (
+	// Config holds every simulation parameter; see DefaultConfig.
+	Config = hybrid.Config
+	// Result is the measured outcome of one simulation run.
+	Result = hybrid.Result
+	// Feedback selects how local sites learn the central site's state.
+	Feedback = hybrid.Feedback
+	// Engine is a configured simulation, created by NewEngine.
+	Engine = hybrid.Engine
+	// Strategy routes incoming class A transactions.
+	Strategy = routing.Strategy
+	// RoutingState is the information a Strategy sees per decision.
+	RoutingState = routing.State
+	// Decision is a strategy's routing outcome.
+	Decision = routing.Decision
+	// ModelResult is the analytical model's steady-state solution.
+	ModelResult = model.Result
+)
+
+// Feedback modes (see the Feedback type).
+const (
+	// FeedbackAuthOnly updates a site's view of the central state only on
+	// authentication messages — the paper's assumption.
+	FeedbackAuthOnly = hybrid.FeedbackAuthOnly
+	// FeedbackAllMessages piggybacks central state on every message.
+	FeedbackAllMessages = hybrid.FeedbackAllMessages
+	// FeedbackIdeal gives strategies instantaneous central state.
+	FeedbackIdeal = hybrid.FeedbackIdeal
+)
+
+// Routing decisions (see the Decision type).
+const (
+	// RunLocal keeps the transaction at its home site.
+	RunLocal = routing.RunLocal
+	// Ship sends the transaction to the central site.
+	Ship = routing.Ship
+)
+
+// DefaultConfig returns the paper's §4.1 parameters: 10 local sites of
+// 1 MIPS, a 15 MIPS central site, 0.2 s one-way communications delay, 75%
+// class A transactions, 10 database calls per transaction over a 32K-element
+// lockspace, and the pathlengths of §3.1.
+func DefaultConfig() Config { return hybrid.DefaultConfig() }
+
+// NewEngine builds a simulation for the configuration and strategy.
+func NewEngine(cfg Config, s Strategy) (*Engine, error) { return hybrid.New(cfg, s) }
+
+// Run builds and runs a simulation, returning the measured result.
+func Run(cfg Config, s Strategy) (Result, error) {
+	e, err := hybrid.New(cfg, s)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run(), nil
+}
+
+// ---- Strategy constructors.
+
+// None returns the no-load-sharing baseline: class A transactions always run
+// at their home site.
+func None() Strategy { return routing.AlwaysLocal{} }
+
+// Static returns the static probabilistic policy shipping each class A
+// transaction with probability p. It panics if p is outside [0, 1].
+func Static(p float64, seed uint64) Strategy { return routing.NewStatic(p, seed) }
+
+// StaticOptimal computes the analytically optimal ship probability for the
+// configuration (§3.1) and returns the corresponding static strategy along
+// with the probability chosen.
+func StaticOptimal(cfg Config) (Strategy, float64, error) {
+	opt, err := model.OptimalShipFraction(cfg.ModelInput(0), 0.01)
+	if err != nil {
+		return nil, 0, err
+	}
+	return routing.NewStatic(opt.PShip, cfg.Seed^0x5bd1e995), opt.PShip, nil
+}
+
+// MeasuredRT returns the §3.2.3 heuristic: ship when the last shipped
+// transaction's measured response time beat the last local one's.
+func MeasuredRT() Strategy { return routing.MeasuredRT{} }
+
+// QueueLengthHeuristic returns the §3.2.4 heuristic: ship when the central
+// CPU queue (as last seen) is shorter than the local one.
+func QueueLengthHeuristic() Strategy { return routing.QueueLength{} }
+
+// QueueThreshold returns the tuned heuristic of Figures 4.4/4.7: ship when
+// the local utilization estimate exceeds the central one by more than theta
+// (theta may be negative).
+func QueueThreshold(theta float64) Strategy { return routing.QueueThreshold{Theta: theta} }
+
+// MinIncomingByQueue minimizes the incoming transaction's estimated response
+// time with utilizations from CPU queue lengths (§3.2.1a, curve C).
+func MinIncomingByQueue(cfg Config) Strategy {
+	return routing.MinIncoming{Params: cfg.ModelParams(), Estimator: routing.FromQueueLength}
+}
+
+// MinIncomingByCount minimizes the incoming transaction's estimated response
+// time with utilizations from transactions-in-system counts (§3.2.1b,
+// curve D).
+func MinIncomingByCount(cfg Config) Strategy {
+	return routing.MinIncoming{Params: cfg.ModelParams(), Estimator: routing.FromInSystem}
+}
+
+// MinAverageByQueue minimizes the estimated average response time of all
+// running transactions, queue-length variant (§3.2.2, curve E).
+func MinAverageByQueue(cfg Config) Strategy {
+	return routing.MinAverage{Params: cfg.ModelParams(), Estimator: routing.FromQueueLength}
+}
+
+// MinAverageByCount minimizes the estimated average response time of all
+// running transactions, transactions-in-system variant (§3.2.2, curve F) —
+// the paper's best strategy.
+func MinAverageByCount(cfg Config) Strategy {
+	return routing.MinAverage{Params: cfg.ModelParams(), Estimator: routing.FromInSystem}
+}
+
+// Best returns the strategy the paper found best overall: MinAverageByCount.
+func Best(cfg Config) Strategy { return MinAverageByCount(cfg) }
+
+// ---- Analytical model.
+
+// Analyze solves the §3.1 steady-state model for the configuration and a
+// given static ship probability.
+func Analyze(cfg Config, pShip float64) (ModelResult, error) {
+	return model.Solve(cfg.ModelInput(pShip))
+}
+
+// OptimalShipFraction returns the ship probability minimizing the modeled
+// average response time, with the model solution at that point.
+func OptimalShipFraction(cfg Config) (float64, ModelResult, error) {
+	opt, err := model.OptimalShipFraction(cfg.ModelInput(0), 0.01)
+	if err != nil {
+		return 0, ModelResult{}, err
+	}
+	return opt.PShip, opt.Result, nil
+}

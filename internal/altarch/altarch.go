@@ -1,0 +1,444 @@
+// Package altarch implements the two architectures the paper's introduction
+// positions the hybrid against (§1):
+//
+//   - the fully centralized system, in which every transaction's input is
+//     shipped to the central complex, processed there under ordinary
+//     locking, and the output shipped back — no use of geographic locality;
+//   - the fully distributed system [GRAY86, LARS85], in which transactions
+//     run at their home site and every reference to data mastered elsewhere
+//     becomes a remote function call; cross-site commits use a two-phase
+//     protocol and cross-site deadlocks are broken by lock-wait timeouts.
+//
+// The paper cites [DIAS87] for the motivating claim: the distributed system
+// beats the centralized one only when remote calls per transaction are
+// significantly below one, and the hybrid was designed to get the best of
+// both. CompareArchitectures regenerates that comparison against the hybrid
+// simulator.
+package altarch
+
+import (
+	"fmt"
+
+	"hybriddb/internal/cpu"
+	"hybriddb/internal/lock"
+	"hybriddb/internal/rng"
+	"hybriddb/internal/sim"
+	"hybriddb/internal/stats"
+	"hybriddb/internal/workload"
+
+	"hybriddb/internal/hybrid"
+)
+
+// Result summarises a run of one alternative architecture.
+type Result struct {
+	Architecture string
+	Window       float64
+
+	MeanRT     float64
+	P95RT      float64
+	Throughput float64
+
+	Generated uint64
+	Completed uint64
+	Aborts    uint64 // deadlock and timeout aborts
+
+	UtilCentral   float64 // centralized architecture only
+	UtilLocalMean float64 // distributed architecture only
+
+	// RemoteCallsPerTxn is the measured average number of remote function
+	// calls per transaction (distributed architecture only) — the quantity
+	// [DIAS87] says governs the centralized/distributed comparison.
+	RemoteCallsPerTxn float64
+}
+
+// ---- Fully centralized architecture.
+
+// RunCentralized simulates the fully centralized system under the shared
+// configuration: every transaction (class A and B alike) is shipped to the
+// central site, runs there under ordinary two-phase locking with deadlock
+// aborts, and the reply is shipped back.
+func RunCentralized(cfg hybrid.Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	var (
+		s       = sim.New()
+		root    = rng.New(cfg.Seed)
+		gen     = workload.NewGenerator(cfg.WorkloadConfig(), root.Split().Uint64())
+		server  = cpu.NewServer(s, cfg.CentralMIPS)
+		locks   = lock.NewManager()
+		horizon = cfg.Warmup + cfg.Duration
+
+		rt        stats.Welford
+		hist      = stats.NewHistogram(0, 60, 600)
+		measuring bool
+		busy0     float64
+		generated uint64
+		completed uint64
+		aborts    uint64
+	)
+
+	type txn struct {
+		spec      *workload.Txn
+		arrivedAt float64
+		attempt   int
+	}
+
+	var runCall func(t *txn, i int)
+	commit := func(t *txn) {
+		for _, elem := range t.spec.Elements {
+			locks.Release(lock.ID(t.spec.ID), elem)
+		}
+		// Reply to the origin terminal.
+		s.Schedule(cfg.CommDelay, func() {
+			completed++
+			if measuring {
+				r := s.Now() - t.arrivedAt
+				rt.Add(r)
+				hist.Add(r)
+			}
+		})
+	}
+	abort := func(t *txn) {
+		if measuring {
+			aborts++
+		}
+		locks.ReleaseAll(lock.ID(t.spec.ID))
+		t.attempt++
+		s.Schedule(cfg.RestartDelay, func() { runCall(t, 0) })
+	}
+	runCall = func(t *txn, i int) {
+		if i >= cfg.CallsPerTxn {
+			commit(t)
+			return
+		}
+		server.Submit(cfg.InstrPerCall, func() {
+			elem, mode := t.spec.Elements[i], t.spec.Modes[i]
+			proceed := func() {
+				if t.attempt == 1 {
+					s.Schedule(cfg.IOTimePerCall, func() { runCall(t, i+1) })
+					return
+				}
+				runCall(t, i+1)
+			}
+			if _, held := locks.Holds(lock.ID(t.spec.ID), elem); held {
+				proceed()
+				return
+			}
+			switch locks.Acquire(lock.ID(t.spec.ID), elem, mode, proceed) {
+			case lock.Granted:
+				proceed()
+			case lock.Queued:
+				// proceed runs on grant.
+			case lock.Deadlock:
+				abort(t)
+			}
+		})
+	}
+	start := func(t *txn) {
+		server.Submit(cfg.InstrOverhead, func() {
+			s.Schedule(cfg.SetupIOTime, func() { runCall(t, 0) })
+		})
+	}
+
+	arrivalSeeds := root.Split()
+	for site := 0; site < cfg.Sites; site++ {
+		site := site
+		arr := workload.NewArrivals(cfg.SiteRate(site), arrivalSeeds.Uint64())
+		var schedule func()
+		schedule = func() {
+			gap := arr.Next()
+			if s.Now()+gap > horizon {
+				return
+			}
+			s.Schedule(gap, func() {
+				spec := gen.Next(site)
+				generated++
+				t := &txn{spec: spec, arrivedAt: s.Now(), attempt: 1}
+				// Input message shipped to the central site.
+				s.Schedule(cfg.CommDelay, func() { start(t) })
+				schedule()
+			})
+		}
+		schedule()
+	}
+	s.Schedule(cfg.Warmup, func() {
+		measuring = true
+		busy0 = server.BusyTime()
+	})
+	s.RunUntil(horizon)
+
+	window := cfg.Duration
+	res := Result{
+		Architecture: "centralized",
+		Window:       window,
+		MeanRT:       rt.Mean(),
+		P95RT:        hist.Quantile(0.95),
+		Throughput:   float64(rt.Count()) / window,
+		Generated:    generated,
+		Completed:    completed,
+		Aborts:       aborts,
+		UtilCentral:  (server.BusyTime() - busy0) / window,
+	}
+	return res, nil
+}
+
+// ---- Fully distributed architecture.
+
+// DefaultLockTimeout is the lock-wait timeout used to break cross-site
+// deadlocks in the distributed architecture — the standard mechanism of the
+// era's distributed databases (global wait-for graphs being impractical over
+// long-haul links).
+const DefaultLockTimeout = 5.0
+
+// RunDistributed simulates the fully distributed system: transactions run at
+// their home site; every reference to an element mastered elsewhere becomes
+// a remote function call (request shipped to the master site, executed and
+// locked there, reply shipped back); commits involving remote sites pay a
+// two-phase commit round; lock waits are bounded by lockTimeout, after which
+// the transaction aborts and restarts (this also breaks cross-site
+// deadlocks, which no single site's wait-for graph can see).
+func RunDistributed(cfg hybrid.Config, lockTimeout float64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if lockTimeout <= 0 {
+		return Result{}, fmt.Errorf("altarch: lock timeout %v must be positive", lockTimeout)
+	}
+	var (
+		s       = sim.New()
+		root    = rng.New(cfg.Seed)
+		wl      = cfg.WorkloadConfig()
+		gen     = workload.NewGenerator(wl, root.Split().Uint64())
+		horizon = cfg.Warmup + cfg.Duration
+
+		rt          stats.Welford
+		hist        = stats.NewHistogram(0, 60, 600)
+		measuring   bool
+		generated   uint64
+		completed   uint64
+		aborts      uint64
+		remoteCalls uint64
+		txnsDone    uint64
+	)
+
+	type site struct {
+		cpu   *cpu.Server
+		locks *lock.Manager
+		busy0 float64
+	}
+	sites := make([]*site, cfg.Sites)
+	for i := range sites {
+		sites[i] = &site{cpu: cpu.NewServer(s, cfg.LocalMIPS), locks: lock.NewManager()}
+	}
+
+	type txn struct {
+		spec      *workload.Txn
+		arrivedAt float64
+		attempt   int
+		epoch     int // invalidates stale timeout events after abort/grant
+		// lockedAt[site] lists elements this attempt holds per site.
+		lockedAt map[int][]uint32
+	}
+
+	var runCall func(t *txn, i int)
+
+	releaseEverywhere := func(t *txn) {
+		for siteIdx, elems := range t.lockedAt {
+			st := sites[siteIdx]
+			home := t.spec.HomeSite
+			if siteIdx == home {
+				st.locks.ReleaseAll(lock.ID(t.spec.ID))
+				continue
+			}
+			elems := elems
+			// Remote release travels as a message.
+			s.Schedule(cfg.CommDelay, func() {
+				for _, elem := range elems {
+					st.locks.Release(lock.ID(t.spec.ID), elem)
+				}
+			})
+		}
+		t.lockedAt = make(map[int][]uint32)
+	}
+
+	abort := func(t *txn) {
+		if measuring {
+			aborts++
+		}
+		// Cancel any queued request at the site we were waiting on.
+		for _, st := range sites {
+			st.locks.CancelRequest(lock.ID(t.spec.ID))
+		}
+		releaseEverywhere(t)
+		t.attempt++
+		t.epoch++
+		s.Schedule(cfg.RestartDelay, func() { runCall(t, 0) })
+	}
+
+	commit := func(t *txn) {
+		remote := 0
+		for siteIdx := range t.lockedAt {
+			if siteIdx != t.spec.HomeSite {
+				remote++
+			}
+		}
+		finish := func() {
+			releaseEverywhere(t)
+			completed++
+			txnsDone++
+			if measuring {
+				r := s.Now() - t.arrivedAt
+				rt.Add(r)
+				hist.Add(r)
+			}
+		}
+		if remote == 0 {
+			// Purely local: commit without any communication [DATE81].
+			finish()
+			return
+		}
+		// Two-phase commit: prepare round trip to the participants, then
+		// commit messages (releases ride on them via releaseEverywhere).
+		s.Schedule(2*cfg.CommDelay, finish)
+	}
+
+	// acquire obtains elem at siteIdx for t, then calls next. Lock waits are
+	// bounded by lockTimeout. Deadlocks local to one site abort immediately.
+	acquire := func(t *txn, siteIdx int, elem uint32, mode lock.Mode, next func()) {
+		st := sites[siteIdx]
+		if _, held := st.locks.Holds(lock.ID(t.spec.ID), elem); held {
+			next()
+			return
+		}
+		epoch := t.epoch
+		granted := func() {
+			if t.epoch != epoch {
+				return // aborted while waiting; grant is stale
+			}
+			t.lockedAt[siteIdx] = append(t.lockedAt[siteIdx], elem)
+			next()
+		}
+		switch st.locks.Acquire(lock.ID(t.spec.ID), elem, mode, func() { granted() }) {
+		case lock.Granted:
+			granted()
+		case lock.Queued:
+			s.Schedule(lockTimeout, func() {
+				if t.epoch != epoch {
+					return
+				}
+				if _, waiting := st.locks.Waiting(lock.ID(t.spec.ID)); waiting {
+					abort(t)
+				}
+			})
+		case lock.Deadlock:
+			abort(t)
+		}
+	}
+
+	runCall = func(t *txn, i int) {
+		if i >= cfg.CallsPerTxn {
+			commit(t)
+			return
+		}
+		home := t.spec.HomeSite
+		elem, mode := t.spec.Elements[i], t.spec.Modes[i]
+		master := wl.PartitionOf(elem)
+		epoch := t.epoch
+		proceed := func() {
+			if t.epoch != epoch {
+				return
+			}
+			if t.attempt == 1 {
+				s.Schedule(cfg.IOTimePerCall, func() { runCall(t, i+1) })
+				return
+			}
+			runCall(t, i+1)
+		}
+		if master == home {
+			sites[home].cpu.Submit(cfg.InstrPerCall, func() {
+				acquire(t, home, elem, mode, proceed)
+			})
+			return
+		}
+		// Remote function call: request to the master site, execute the
+		// call there (CPU + lock + I/O at the data), reply home.
+		if measuring {
+			remoteCalls++
+		}
+		s.Schedule(cfg.CommDelay, func() {
+			sites[master].cpu.Submit(cfg.InstrPerCall, func() {
+				acquire(t, master, elem, mode, func() {
+					done := func() {
+						s.Schedule(cfg.CommDelay, proceed)
+					}
+					if t.attempt == 1 {
+						s.Schedule(cfg.IOTimePerCall, done)
+						return
+					}
+					done()
+				})
+			})
+		})
+	}
+
+	start := func(t *txn) {
+		home := t.spec.HomeSite
+		sites[home].cpu.Submit(cfg.InstrOverhead, func() {
+			s.Schedule(cfg.SetupIOTime, func() { runCall(t, 0) })
+		})
+	}
+
+	arrivalSeeds := root.Split()
+	for siteIdx := 0; siteIdx < cfg.Sites; siteIdx++ {
+		siteIdx := siteIdx
+		arr := workload.NewArrivals(cfg.SiteRate(siteIdx), arrivalSeeds.Uint64())
+		var schedule func()
+		schedule = func() {
+			gap := arr.Next()
+			if s.Now()+gap > horizon {
+				return
+			}
+			s.Schedule(gap, func() {
+				spec := gen.Next(siteIdx)
+				generated++
+				t := &txn{
+					spec: spec, arrivedAt: s.Now(), attempt: 1,
+					lockedAt: make(map[int][]uint32),
+				}
+				start(t)
+				schedule()
+			})
+		}
+		schedule()
+	}
+	s.Schedule(cfg.Warmup, func() {
+		measuring = true
+		for _, st := range sites {
+			st.busy0 = st.cpu.BusyTime()
+		}
+	})
+	s.RunUntil(horizon)
+
+	window := cfg.Duration
+	var utilSum float64
+	for _, st := range sites {
+		utilSum += (st.cpu.BusyTime() - st.busy0) / window
+	}
+	var perTxn float64
+	if rt.Count() > 0 {
+		perTxn = float64(remoteCalls) / float64(rt.Count())
+	}
+	return Result{
+		Architecture:      "distributed",
+		Window:            window,
+		MeanRT:            rt.Mean(),
+		P95RT:             hist.Quantile(0.95),
+		Throughput:        float64(rt.Count()) / window,
+		Generated:         generated,
+		Completed:         completed,
+		Aborts:            aborts,
+		UtilLocalMean:     utilSum / float64(len(sites)),
+		RemoteCallsPerTxn: perTxn,
+	}, nil
+}

@@ -1,0 +1,232 @@
+package altarch
+
+import (
+	"math"
+	"testing"
+
+	"hybriddb/internal/hybrid"
+)
+
+func testConfig() hybrid.Config {
+	cfg := hybrid.DefaultConfig()
+	cfg.Warmup = 30
+	cfg.Duration = 120
+	cfg.ArrivalRatePerSite = 1.0
+	return cfg
+}
+
+func TestCentralizedLowLoadResponseTime(t *testing.T) {
+	cfg := testConfig()
+	cfg.ArrivalRatePerSite = 0.2
+	r, err := RunCentralized(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed == 0 {
+		t.Fatal("no completions")
+	}
+	// Unloaded: 2 comm hops (0.4) + 0.01 CPU + 0.035 + 10*(0.002+0.025).
+	want := 0.4 + 0.01 + 0.035 + 10*(0.002+0.025)
+	if math.Abs(r.MeanRT-want) > 0.05 {
+		t.Errorf("centralized unloaded RT = %v, want ~%v", r.MeanRT, want)
+	}
+}
+
+func TestCentralizedThroughputTracksLoad(t *testing.T) {
+	cfg := testConfig()
+	cfg.ArrivalRatePerSite = 2.0 // 20 tps: well under the 15 MIPS capacity
+	r, err := RunCentralized(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Throughput-20) > 2 {
+		t.Errorf("throughput = %v, want ~20", r.Throughput)
+	}
+	if r.UtilCentral < 0.4 || r.UtilCentral > 0.8 {
+		t.Errorf("central utilization = %v, want ~0.6", r.UtilCentral)
+	}
+}
+
+func TestCentralizedSaturates(t *testing.T) {
+	cfg := testConfig()
+	// Capacity ≈ 1/(0.45/15) = 33 tps; offer 40.
+	cfg.ArrivalRatePerSite = 4.0
+	r, err := RunCentralized(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.UtilCentral < 0.95 {
+		t.Errorf("utilization = %v, want saturation", r.UtilCentral)
+	}
+	if r.MeanRT < 1.5 {
+		t.Errorf("saturated RT = %v, want inflated", r.MeanRT)
+	}
+}
+
+func TestCentralizedRejectsInvalidConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sites = 0
+	if _, err := RunCentralized(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestDistributedAllLocalIsFast(t *testing.T) {
+	cfg := testConfig()
+	cfg.PLocal = 1.0 // no class B: zero remote calls
+	cfg.ArrivalRatePerSite = 0.1
+	r, err := RunDistributed(cfg, DefaultLockTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RemoteCallsPerTxn != 0 {
+		t.Errorf("remote calls = %v with full locality", r.RemoteCallsPerTxn)
+	}
+	// Purely local: ~0.735 s unloaded, no 2PC, no communication.
+	if math.Abs(r.MeanRT-0.735) > 0.05 {
+		t.Errorf("distributed all-local RT = %v, want ~0.735", r.MeanRT)
+	}
+}
+
+func TestDistributedRemoteCallsMeasured(t *testing.T) {
+	cfg := testConfig()
+	cfg.PLocal = 0.75
+	cfg.ArrivalRatePerSite = 0.5
+	r, err := RunDistributed(cfg, DefaultLockTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class B (25%) references ~9/10 of its 10 elements remotely:
+	// ~2.25 remote calls per transaction on average.
+	if r.RemoteCallsPerTxn < 1.5 || r.RemoteCallsPerTxn > 3.0 {
+		t.Errorf("remote calls per txn = %v, want ~2.25", r.RemoteCallsPerTxn)
+	}
+	if r.Completed == 0 {
+		t.Fatal("no completions")
+	}
+}
+
+func TestDistributedRemoteCallsRaiseResponseTime(t *testing.T) {
+	cfg := testConfig()
+	cfg.ArrivalRatePerSite = 0.5
+	cfg.PLocal = 1.0
+	local, err := RunDistributed(cfg, DefaultLockTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.PLocal = 0.5
+	remote, err := RunDistributed(cfg, DefaultLockTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each remote call costs at least a 0.4 s round trip; with ~4.5 of
+	// them per transaction on average the gap must be large.
+	if remote.MeanRT < local.MeanRT+1.0 {
+		t.Errorf("remote-heavy RT %v not far above all-local %v", remote.MeanRT, local.MeanRT)
+	}
+}
+
+func TestDistributedTimeoutBreaksCrossSiteDeadlock(t *testing.T) {
+	// Heavy write contention over a tiny lockspace with many cross-site
+	// references: cross-site deadlocks are inevitable and only the timeout
+	// can break them. The run must keep completing transactions.
+	cfg := testConfig()
+	cfg.Warmup, cfg.Duration = 20, 120
+	cfg.Lockspace = 500
+	cfg.PWrite = 0.7
+	cfg.PLocal = 0.3
+	cfg.ArrivalRatePerSite = 0.4
+	r, err := RunDistributed(cfg, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed == 0 {
+		t.Fatal("no completions under cross-site contention")
+	}
+	if r.Aborts == 0 {
+		t.Error("no timeout/deadlock aborts despite heavy contention")
+	}
+}
+
+func TestDistributedRejectsBadTimeout(t *testing.T) {
+	if _, err := RunDistributed(testConfig(), 0); err == nil {
+		t.Fatal("zero timeout accepted")
+	}
+}
+
+func TestCompareArchitecturesHighLocality(t *testing.T) {
+	// At perfect locality the distributed system avoids all communication
+	// and must beat the centralized one ([DIAS87]'s favourable regime).
+	// With the default 0.2 s delay the 15x faster central CPU nearly
+	// cancels the round trip, so the clear distributed win needs the
+	// larger delay — precisely the trade-off §1 describes.
+	cfg := testConfig()
+	cfg.PLocal = 1.0
+	cfg.CommDelay = 0.5
+	cfg.ArrivalRatePerSite = 0.5
+	cmp, err := CompareArchitectures(cfg, DefaultLockTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Distributed.MeanRT >= cmp.Centralized.MeanRT {
+		t.Errorf("at full locality distributed (%v) should beat centralized (%v)",
+			cmp.Distributed.MeanRT, cmp.Centralized.MeanRT)
+	}
+}
+
+func TestCompareArchitecturesLowLocality(t *testing.T) {
+	// With half the transactions touching global data, remote calls per
+	// transaction far exceed one and the centralized system must win
+	// ([DIAS87]'s unfavourable regime).
+	cfg := testConfig()
+	cfg.PLocal = 0.5
+	cfg.ArrivalRatePerSite = 0.5
+	cmp, err := CompareArchitectures(cfg, DefaultLockTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Centralized.MeanRT >= cmp.Distributed.MeanRT {
+		t.Errorf("at low locality centralized (%v) should beat distributed (%v)",
+			cmp.Centralized.MeanRT, cmp.Distributed.MeanRT)
+	}
+}
+
+func TestHybridTracksBetterArchitecture(t *testing.T) {
+	// §1's design goal: the hybrid provides the advantages of both. At a
+	// moderate load it should not be far worse than the better of the two
+	// pure architectures at either locality extreme.
+	for _, p := range []float64{0.5, 1.0} {
+		cfg := testConfig()
+		cfg.PLocal = p
+		cfg.ArrivalRatePerSite = 1.0
+		cmp, err := CompareArchitectures(cfg, DefaultLockTimeout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Min(cmp.Centralized.MeanRT, cmp.Distributed.MeanRT)
+		if cmp.Hybrid.MeanRT > best*1.5 {
+			t.Errorf("pLocal=%v: hybrid %v far above best pure architecture %v",
+				p, cmp.Hybrid.MeanRT, best)
+		}
+	}
+}
+
+func TestLocalitySweepDefaults(t *testing.T) {
+	cfg := testConfig()
+	cfg.Warmup, cfg.Duration = 15, 60
+	cfg.ArrivalRatePerSite = 0.5
+	points, err := LocalitySweep(cfg, nil, DefaultLockTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4 defaults", len(points))
+	}
+	// Distributed response time should fall as locality rises.
+	for i := 1; i < len(points); i++ {
+		if points[i].Distributed.MeanRT > points[i-1].Distributed.MeanRT+0.2 {
+			t.Errorf("distributed RT rose with locality: %v -> %v at pLocal %v",
+				points[i-1].Distributed.MeanRT, points[i].Distributed.MeanRT, points[i].PLocal)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package altarch
+
+import (
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/routing"
+)
+
+// Comparison holds one operating point of the three-architecture comparison
+// of §1: centralized vs distributed vs hybrid (under its best dynamic
+// load-sharing strategy).
+type Comparison struct {
+	PLocal      float64
+	Centralized Result
+	Distributed Result
+	Hybrid      hybrid.Result
+}
+
+// CompareArchitectures runs all three architectures on the shared
+// configuration. The hybrid system uses the paper's best strategy
+// (min-average/nis).
+func CompareArchitectures(cfg hybrid.Config, lockTimeout float64) (Comparison, error) {
+	cmp := Comparison{PLocal: cfg.PLocal}
+
+	cent, err := RunCentralized(cfg)
+	if err != nil {
+		return cmp, err
+	}
+	cmp.Centralized = cent
+
+	dist, err := RunDistributed(cfg, lockTimeout)
+	if err != nil {
+		return cmp, err
+	}
+	cmp.Distributed = dist
+
+	engine, err := hybrid.New(cfg, routing.MinAverage{
+		Params:    cfg.ModelParams(),
+		Estimator: routing.FromInSystem,
+	})
+	if err != nil {
+		return cmp, err
+	}
+	cmp.Hybrid = engine.Run()
+	return cmp, nil
+}
+
+// LocalitySweep runs the comparison across a sweep of PLocal values,
+// exposing the [DIAS87] crossover: as locality falls (remote calls per
+// transaction rise), the distributed architecture's response time blows up
+// while the centralized one stays flat — and the hybrid should track the
+// better of the two at every point.
+func LocalitySweep(cfg hybrid.Config, pLocals []float64, lockTimeout float64) ([]Comparison, error) {
+	if len(pLocals) == 0 {
+		pLocals = []float64{0.5, 0.75, 0.9, 1.0}
+	}
+	out := make([]Comparison, 0, len(pLocals))
+	for _, p := range pLocals {
+		point := cfg
+		point.PLocal = p
+		cmp, err := CompareArchitectures(point, lockTimeout)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cmp)
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+// Package comm models the long-haul communications network between the
+// distributed sites and the central complex: point-to-point links with a
+// fixed one-way delay. Deliveries on a link are FIFO — the protocol of §2
+// requires that the asynchronous update messages from a local site are
+// processed at the central site in the order they were originated, and a
+// fixed-delay link preserves order by construction (the kernel breaks
+// same-instant ties in scheduling order).
+package comm
+
+import (
+	"fmt"
+
+	"hybriddb/internal/sim"
+)
+
+// Link is a unidirectional channel with fixed propagation delay.
+type Link struct {
+	simulator *sim.Simulator
+	delay     float64
+
+	sent      uint64
+	delivered uint64
+}
+
+// NewLink returns a link with the given one-way delay in seconds.
+func NewLink(s *sim.Simulator, delay float64) *Link {
+	if s == nil {
+		panic("comm: nil simulator")
+	}
+	if delay < 0 {
+		panic(fmt.Sprintf("comm: negative delay %v", delay))
+	}
+	return &Link{simulator: s, delay: delay}
+}
+
+// Delay returns the link's one-way delay.
+func (l *Link) Delay() float64 { return l.delay }
+
+// Send delivers by invoking deliver one propagation delay from now.
+// Successive sends are delivered in send order.
+func (l *Link) Send(deliver func()) {
+	if deliver == nil {
+		panic("comm: nil delivery callback")
+	}
+	l.sent++
+	l.simulator.Schedule(l.delay, func() {
+		l.delivered++
+		deliver()
+	})
+}
+
+// Sent returns the number of messages sent on the link.
+func (l *Link) Sent() uint64 { return l.sent }
+
+// Delivered returns the number of messages delivered.
+func (l *Link) Delivered() uint64 { return l.delivered }
+
+// InFlight returns the number of messages sent but not yet delivered.
+func (l *Link) InFlight() uint64 { return l.sent - l.delivered }
+
+// Network is the star topology of the hybrid architecture: every local site
+// has an uplink to and a downlink from the central site, all with the same
+// one-way delay D.
+type Network struct {
+	up   []*Link
+	down []*Link
+}
+
+// NewNetwork builds a star network for n local sites with one-way delay d.
+func NewNetwork(s *sim.Simulator, n int, d float64) *Network {
+	if n <= 0 {
+		panic(fmt.Sprintf("comm: non-positive site count %d", n))
+	}
+	net := &Network{
+		up:   make([]*Link, n),
+		down: make([]*Link, n),
+	}
+	for i := 0; i < n; i++ {
+		net.up[i] = NewLink(s, d)
+		net.down[i] = NewLink(s, d)
+	}
+	return net
+}
+
+// Sites returns the number of local sites.
+func (n *Network) Sites() int { return len(n.up) }
+
+// Delay returns the one-way delay of every link.
+func (n *Network) Delay() float64 { return n.up[0].Delay() }
+
+// ToCentral sends a message from local site i to the central site.
+func (n *Network) ToCentral(site int, deliver func()) {
+	n.up[site].Send(deliver)
+}
+
+// ToSite sends a message from the central site to local site i.
+func (n *Network) ToSite(site int, deliver func()) {
+	n.down[site].Send(deliver)
+}
+
+// MessagesSent returns the total number of messages sent on all links.
+func (n *Network) MessagesSent() uint64 {
+	var total uint64
+	for i := range n.up {
+		total += n.up[i].Sent() + n.down[i].Sent()
+	}
+	return total
+}
+
+// MessagesInFlight returns the total number of undelivered messages.
+func (n *Network) MessagesInFlight() uint64 {
+	var total uint64
+	for i := range n.up {
+		total += n.up[i].InFlight() + n.down[i].InFlight()
+	}
+	return total
+}

@@ -1,0 +1,149 @@
+package comm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybriddb/internal/sim"
+)
+
+func TestDeliveryDelay(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, 0.2)
+	var at float64 = -1
+	s.Schedule(1, func() { l.Send(func() { at = s.Now() }) })
+	s.Run()
+	if at != 1.2 {
+		t.Fatalf("delivered at %v, want 1.2", at)
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, 0.5)
+	var order []int
+	for i := 0; i < 20; i++ {
+		i := i
+		l.Send(func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out-of-order delivery: %v", order)
+		}
+	}
+}
+
+func TestFIFOAcrossSendTimes(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, 0.5)
+	var order []int
+	s.Schedule(0, func() { l.Send(func() { order = append(order, 1) }) })
+	s.Schedule(0.1, func() { l.Send(func() { order = append(order, 2) }) })
+	s.Schedule(0.2, func() { l.Send(func() { order = append(order, 3) }) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, 1)
+	l.Send(func() {})
+	l.Send(func() {})
+	if l.Sent() != 2 || l.Delivered() != 0 || l.InFlight() != 2 {
+		t.Fatalf("counters: sent=%d delivered=%d inflight=%d", l.Sent(), l.Delivered(), l.InFlight())
+	}
+	s.Run()
+	if l.Delivered() != 2 || l.InFlight() != 0 {
+		t.Fatalf("after run: delivered=%d inflight=%d", l.Delivered(), l.InFlight())
+	}
+}
+
+func TestZeroDelayLink(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, 0)
+	ran := false
+	l.Send(func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("zero-delay message not delivered")
+	}
+}
+
+func TestInvalidLink(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLink(nil, 1) },
+		func() { NewLink(sim.New(), -1) },
+		func() { NewLink(sim.New(), 1).Send(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid use did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNetworkTopology(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s, 3, 0.2)
+	if n.Sites() != 3 {
+		t.Fatalf("sites = %d", n.Sites())
+	}
+	if n.Delay() != 0.2 {
+		t.Fatalf("delay = %v", n.Delay())
+	}
+	var got []string
+	n.ToCentral(0, func() { got = append(got, "up0") })
+	n.ToSite(2, func() { got = append(got, "down2") })
+	s.Run()
+	if len(got) != 2 {
+		t.Fatalf("deliveries = %v", got)
+	}
+	if n.MessagesSent() != 2 || n.MessagesInFlight() != 0 {
+		t.Fatalf("sent=%d inflight=%d", n.MessagesSent(), n.MessagesInFlight())
+	}
+}
+
+func TestNetworkInvalidSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-site network did not panic")
+		}
+	}()
+	NewNetwork(sim.New(), 0, 0.2)
+}
+
+// TestQuickFIFO sends messages at arbitrary nondecreasing times and verifies
+// per-link FIFO delivery regardless of the send schedule.
+func TestQuickFIFO(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		s := sim.New()
+		l := NewLink(s, 0.3)
+		var order []int
+		at := 0.0
+		for i, g := range gaps {
+			at += float64(g) / 100
+			i := i
+			s.ScheduleAt(at, func() { l.Send(func() { order = append(order, i) }) })
+		}
+		s.Run()
+		if len(order) != len(gaps) {
+			return false
+		}
+		for i, v := range order {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package cpu models a site's processor as a single FCFS server with a MIPS
+// rating. Transactions submit CPU bursts measured in instructions; the burst
+// service time is deterministic (pathlength / speed), matching §4.1 of the
+// paper ("the CPU service times correspond to the time to execute the
+// specific instruction pathlengths ... and are not exponentially
+// distributed"). A transaction releases the CPU between bursts — at every
+// lock wait, I/O, and communication — which the engine expresses by
+// submitting each burst separately.
+package cpu
+
+import (
+	"fmt"
+
+	"hybriddb/internal/sim"
+)
+
+// Job is a queued or running CPU burst.
+type Job struct {
+	instructions float64
+	done         func()
+	state        jobState
+}
+
+type jobState uint8
+
+const (
+	jobQueued jobState = iota + 1
+	jobRunning
+	jobDone
+	jobCancelled
+)
+
+// Server is a single FCFS processor.
+type Server struct {
+	simulator *sim.Simulator
+	mips      float64
+
+	queue   []*Job
+	current *Job
+
+	// accounting
+	busySince float64
+	busyTime  float64
+	started   uint64
+	completed uint64
+}
+
+// NewServer returns a processor of the given speed (millions of instructions
+// per second) attached to the simulator clock.
+func NewServer(s *sim.Simulator, mips float64) *Server {
+	if mips <= 0 {
+		panic(fmt.Sprintf("cpu: non-positive MIPS %v", mips))
+	}
+	if s == nil {
+		panic("cpu: nil simulator")
+	}
+	return &Server{simulator: s, mips: mips}
+}
+
+// MIPS returns the processor speed.
+func (c *Server) MIPS() float64 { return c.mips }
+
+// ServiceTime returns the time to execute the given number of instructions
+// with no queueing.
+func (c *Server) ServiceTime(instructions float64) float64 {
+	return instructions / (c.mips * 1e6)
+}
+
+// Submit enqueues a burst of the given number of instructions; done runs when
+// the burst completes. Zero-instruction bursts complete through the queue
+// like any other (they still model a dispatch).
+func (c *Server) Submit(instructions float64, done func()) *Job {
+	if instructions < 0 {
+		panic(fmt.Sprintf("cpu: negative burst %v", instructions))
+	}
+	if done == nil {
+		panic("cpu: nil completion callback")
+	}
+	j := &Job{instructions: instructions, done: done, state: jobQueued}
+	c.queue = append(c.queue, j)
+	if c.current == nil {
+		c.dispatch()
+	}
+	return j
+}
+
+// Cancel removes a job that has not yet started. It reports whether the job
+// was removed; a running or finished job cannot be cancelled.
+func (c *Server) Cancel(j *Job) bool {
+	if j == nil || j.state != jobQueued {
+		return false
+	}
+	for i, q := range c.queue {
+		if q == j {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			j.state = jobCancelled
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Server) dispatch() {
+	for len(c.queue) > 0 {
+		j := c.queue[0]
+		c.queue = c.queue[1:]
+		if j.state != jobQueued {
+			continue
+		}
+		j.state = jobRunning
+		c.current = j
+		c.busySince = c.simulator.Now()
+		c.started++
+		c.simulator.Schedule(c.ServiceTime(j.instructions), func() { c.finish(j) })
+		return
+	}
+}
+
+func (c *Server) finish(j *Job) {
+	j.state = jobDone
+	c.busyTime += c.simulator.Now() - c.busySince
+	c.completed++
+	c.current = nil
+	done := j.done
+	j.done = nil
+	// Dispatch the next job before running the callback so that queue-length
+	// observations made inside the callback see a consistent state.
+	c.dispatch()
+	done()
+}
+
+// QueueLength returns the number of bursts at the processor, including the
+// one in service. This is the q used by the queue-length routing strategies.
+func (c *Server) QueueLength() int {
+	n := len(c.queue)
+	if c.current != nil {
+		n++
+	}
+	return n
+}
+
+// Busy reports whether a burst is in service.
+func (c *Server) Busy() bool { return c.current != nil }
+
+// BusyTime returns the cumulative time the processor has been serving bursts
+// up to the current simulated instant (including the partially completed
+// burst in service).
+func (c *Server) BusyTime() float64 {
+	t := c.busyTime
+	if c.current != nil {
+		t += c.simulator.Now() - c.busySince
+	}
+	return t
+}
+
+// Utilization returns BusyTime divided by elapsed simulated time (0 at t=0).
+func (c *Server) Utilization() float64 {
+	now := c.simulator.Now()
+	if now == 0 {
+		return 0
+	}
+	return c.BusyTime() / now
+}
+
+// Completed returns the number of bursts finished.
+func (c *Server) Completed() uint64 { return c.completed }

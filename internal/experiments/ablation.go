@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/routing"
+)
+
+// AblationRow is one configuration point of an ablation sweep: the same
+// offered load run under the no-sharing baseline and the best dynamic
+// strategy, reporting how the design choice under study moves the gap.
+type AblationRow struct {
+	Label       string
+	BaselineRT  float64 // no load sharing
+	BestRT      float64 // min-average/nis
+	Improvement float64 // BaselineRT / BestRT
+	BestShip    float64
+	BestAborts  uint64
+}
+
+func ablationPoint(cfg hybrid.Config, label string) (AblationRow, error) {
+	row := AblationRow{Label: label}
+
+	base, err := hybrid.New(cfg, routing.AlwaysLocal{})
+	if err != nil {
+		return row, err
+	}
+	rb := base.Run()
+	row.BaselineRT = rb.MeanRT
+
+	best, err := hybrid.New(cfg, routing.MinAverage{
+		Params:    cfg.ModelParams(),
+		Estimator: routing.FromInSystem,
+	})
+	if err != nil {
+		return row, err
+	}
+	rd := best.Run()
+	row.BestRT = rd.MeanRT
+	row.BestShip = rd.ShipFraction
+	row.BestAborts = rd.TotalAborts()
+	if rd.MeanRT > 0 {
+		row.Improvement = rb.MeanRT / rd.MeanRT
+	}
+	return row, nil
+}
+
+// AblationWriteMix sweeps the exclusive-lock probability. The paper's trace
+// fixed this value; the sweep demonstrates that the policy ranking is not an
+// artifact of our substituted default (DESIGN.md §5).
+func AblationWriteMix(base hybrid.Config, mixes []float64) ([]AblationRow, error) {
+	if len(mixes) == 0 {
+		mixes = []float64{0, 0.1, 0.25, 0.5, 0.75}
+	}
+	rows := make([]AblationRow, 0, len(mixes))
+	for _, m := range mixes {
+		cfg := base
+		cfg.PWrite = m
+		row, err := ablationPoint(cfg, fmt.Sprintf("PWrite=%.2f", m))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationIOTime sweeps the per-call I/O time around the substituted 25 ms
+// default.
+func AblationIOTime(base hybrid.Config, ioTimes []float64) ([]AblationRow, error) {
+	if len(ioTimes) == 0 {
+		ioTimes = []float64{0.010, 0.025, 0.050}
+	}
+	rows := make([]AblationRow, 0, len(ioTimes))
+	for _, io := range ioTimes {
+		cfg := base
+		cfg.IOTimePerCall = io
+		row, err := ablationPoint(cfg, fmt.Sprintf("IO=%.0fms", io*1000))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationFeedback compares the central-state feedback modes under the
+// queue-length heuristic, quantifying the cost of delayed information
+// (§4.2's ideal-case discussion).
+func AblationFeedback(base hybrid.Config) ([]AblationRow, error) {
+	modes := []hybrid.Feedback{
+		hybrid.FeedbackAuthOnly,
+		hybrid.FeedbackAllMessages,
+		hybrid.FeedbackIdeal,
+	}
+	rows := make([]AblationRow, 0, len(modes))
+	for _, mode := range modes {
+		cfg := base
+		cfg.Feedback = mode
+		row := AblationRow{Label: "feedback=" + mode.String()}
+
+		baseline, err := hybrid.New(cfg, routing.AlwaysLocal{})
+		if err != nil {
+			return nil, err
+		}
+		row.BaselineRT = baseline.Run().MeanRT
+
+		engine, err := hybrid.New(cfg, routing.QueueLength{})
+		if err != nil {
+			return nil, err
+		}
+		r := engine.Run()
+		row.BestRT = r.MeanRT
+		row.BestShip = r.ShipFraction
+		row.BestAborts = r.TotalAborts()
+		if r.MeanRT > 0 {
+			row.Improvement = row.BaselineRT / r.MeanRT
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// BatchingRow is one point of the update-batching sweep.
+type BatchingRow struct {
+	Window       float64 // batch window, seconds (0 = unbatched)
+	MeanRT       float64
+	Messages     uint64
+	NACKs        uint64
+	UtilCentral  float64
+	ShipFraction float64
+}
+
+// AblationBatching sweeps the asynchronous-update batch window (§2:
+// batching "to reduce the overheads involved"), reporting the message
+// savings against the NACK-rate cost of longer coherence windows. Run it
+// with base.UpdateProcInstr > 0 to also see the central CPU relief.
+func AblationBatching(base hybrid.Config, windows []float64) ([]BatchingRow, error) {
+	if len(windows) == 0 {
+		windows = []float64{0, 0.2, 0.5, 1.0}
+	}
+	rows := make([]BatchingRow, 0, len(windows))
+	for _, w := range windows {
+		cfg := base
+		cfg.UpdateBatchWindow = w
+		engine, err := hybrid.New(cfg, routing.MinAverage{
+			Params:    cfg.ModelParams(),
+			Estimator: routing.FromInSystem,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r := engine.Run()
+		rows = append(rows, BatchingRow{
+			Window:       w,
+			MeanRT:       r.MeanRT,
+			Messages:     r.MessagesSent,
+			NACKs:        r.AbortsCentralNACK,
+			UtilCentral:  r.UtilCentral,
+			ShipFraction: r.ShipFraction,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,510 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4): the response-time-versus-throughput curves of Figures 4.1,
+// 4.2, 4.4, 4.5 and 4.7, the shipped-fraction curves of Figures 4.3 and 4.6,
+// plus a maximum-supportable-throughput table and ablation sweeps. Each
+// driver returns a Figure holding the full simulation results, renderable as
+// an aligned text table or CSV.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/model"
+	"hybriddb/internal/plot"
+	"hybriddb/internal/routing"
+)
+
+// Options controls a figure regeneration.
+type Options struct {
+	// Base is the configuration template. Figure drivers override
+	// CommDelay where the paper does; ArrivalRatePerSite is set per sweep
+	// point.
+	Base hybrid.Config
+	// RatesPerSite is the sweep of per-site arrival rates. Nil selects
+	// DefaultRates.
+	RatesPerSite []float64
+}
+
+// DefaultRates spans 5–34 tps total for the 10-site system, bracketing every
+// knee in the paper's figures.
+func DefaultRates() []float64 {
+	return []float64{0.5, 1.0, 1.5, 2.0, 2.5, 2.8, 3.1, 3.4}
+}
+
+func (o Options) rates() []float64 {
+	if len(o.RatesPerSite) > 0 {
+		return o.RatesPerSite
+	}
+	return DefaultRates()
+}
+
+// Point is one sweep point of one curve.
+type Point struct {
+	RatePerSite float64
+	TotalRate   float64
+	Y           float64
+	Result      hybrid.Result
+}
+
+// Curve is one strategy's series across the sweep.
+type Curve struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a regenerated paper figure.
+type Figure struct {
+	ID     string // e.g. "4.2"
+	Title  string
+	XLabel string
+	YLabel string
+	Curves []Curve
+}
+
+// StrategyMaker constructs a fresh strategy for a configuration. A fresh
+// instance per run keeps stateful strategies (static's random stream)
+// independent across sweep points.
+type StrategyMaker struct {
+	Label string
+	Make  func(cfg hybrid.Config) (routing.Strategy, error)
+}
+
+// Makers for the paper's policies.
+
+// MakerNone is the no-load-sharing baseline.
+func MakerNone() StrategyMaker {
+	return StrategyMaker{Label: "none", Make: func(hybrid.Config) (routing.Strategy, error) {
+		return routing.AlwaysLocal{}, nil
+	}}
+}
+
+// MakerStaticOptimal runs the analytical optimization of §3.1 for the
+// configuration's arrival rate and ships with the resulting probability.
+func MakerStaticOptimal() StrategyMaker {
+	return StrategyMaker{Label: "static*", Make: func(cfg hybrid.Config) (routing.Strategy, error) {
+		opt, err := model.OptimalShipFraction(cfg.ModelInput(0), 0.01)
+		if err != nil {
+			return nil, fmt.Errorf("static optimization: %w", err)
+		}
+		return routing.NewStatic(opt.PShip, cfg.Seed^0x5bd1e995), nil
+	}}
+}
+
+// MakerMeasuredRT is the §3.2.3 heuristic (curve A of Fig 4.2).
+func MakerMeasuredRT() StrategyMaker {
+	return StrategyMaker{Label: "measured-rt", Make: func(hybrid.Config) (routing.Strategy, error) {
+		return routing.MeasuredRT{}, nil
+	}}
+}
+
+// MakerQueueLength is the §3.2.4 heuristic (curve B of Fig 4.2).
+func MakerQueueLength() StrategyMaker {
+	return StrategyMaker{Label: "queue-length", Make: func(hybrid.Config) (routing.Strategy, error) {
+		return routing.QueueLength{}, nil
+	}}
+}
+
+// MakerQueueThreshold is the tuned heuristic of Figures 4.4 and 4.7.
+func MakerQueueThreshold(theta float64) StrategyMaker {
+	return StrategyMaker{
+		Label: fmt.Sprintf("threshold(%+.1f)", theta),
+		Make: func(hybrid.Config) (routing.Strategy, error) {
+			return routing.QueueThreshold{Theta: theta}, nil
+		},
+	}
+}
+
+// MakerMinIncoming minimizes the incoming transaction's response time
+// (§3.2.1; curves C and D of Fig 4.2).
+func MakerMinIncoming(est routing.Estimator) StrategyMaker {
+	return StrategyMaker{
+		Label: "min-incoming/" + est.String(),
+		Make: func(cfg hybrid.Config) (routing.Strategy, error) {
+			return routing.MinIncoming{Params: cfg.ModelParams(), Estimator: est}, nil
+		},
+	}
+}
+
+// MakerMinAverage minimizes the average response time of all transactions
+// (§3.2.2; curves E and F of Fig 4.2). The FromInSystem variant is the
+// paper's best strategy.
+func MakerMinAverage(est routing.Estimator) StrategyMaker {
+	return StrategyMaker{
+		Label: "min-average/" + est.String(),
+		Make: func(cfg hybrid.Config) (routing.Strategy, error) {
+			return routing.MinAverage{Params: cfg.ModelParams(), Estimator: est}, nil
+		},
+	}
+}
+
+// sweep runs each maker across the rates and extracts y per point.
+func sweep(opt Options, makers []StrategyMaker, y func(hybrid.Result) float64) ([]Curve, error) {
+	curves := make([]Curve, 0, len(makers))
+	for _, mk := range makers {
+		curve := Curve{Label: mk.Label}
+		for _, rate := range opt.rates() {
+			cfg := opt.Base
+			cfg.ArrivalRatePerSite = rate
+			strat, err := mk.Make(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s at rate %v: %w", mk.Label, rate, err)
+			}
+			engine, err := hybrid.New(cfg, strat)
+			if err != nil {
+				return nil, fmt.Errorf("%s at rate %v: %w", mk.Label, rate, err)
+			}
+			res := engine.Run()
+			curve.Points = append(curve.Points, Point{
+				RatePerSite: rate,
+				TotalRate:   rate * float64(cfg.Sites),
+				Y:           y(res),
+				Result:      res,
+			})
+		}
+		curves = append(curves, curve)
+	}
+	return curves, nil
+}
+
+func meanRT(r hybrid.Result) float64       { return r.MeanRT }
+func shipFraction(r hybrid.Result) float64 { return r.ShipFraction }
+
+func withDelay(opt Options, d float64) Options {
+	opt.Base.CommDelay = d
+	return opt
+}
+
+// Figure41 regenerates Figure 4.1: average response time versus throughput
+// for no sharing, optimal static sharing, and the best dynamic strategy, at
+// 0.2 s communications delay.
+func Figure41(opt Options) (Figure, error) {
+	opt = withDelay(opt, 0.2)
+	curves, err := sweep(opt, []StrategyMaker{
+		MakerNone(),
+		MakerStaticOptimal(),
+		MakerMinAverage(routing.FromInSystem),
+	}, meanRT)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "4.1",
+		Title:  "Response time vs throughput: none / static / best dynamic (D=0.2s)",
+		XLabel: "total offered tps",
+		YLabel: "mean response time (s)",
+		Curves: curves,
+	}, nil
+}
+
+// Figure42 regenerates Figure 4.2: the six dynamic schemes at 0.2 s delay.
+// Curve letters follow the paper: A measured-rt, B queue-length,
+// C min-incoming/ql, D min-incoming/nis, E min-average/ql, F min-average/nis.
+func Figure42(opt Options) (Figure, error) {
+	opt = withDelay(opt, 0.2)
+	curves, err := sweep(opt, []StrategyMaker{
+		MakerMeasuredRT(),
+		MakerQueueLength(),
+		MakerMinIncoming(routing.FromQueueLength),
+		MakerMinIncoming(routing.FromInSystem),
+		MakerMinAverage(routing.FromQueueLength),
+		MakerMinAverage(routing.FromInSystem),
+	}, meanRT)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "4.2",
+		Title:  "Response time vs throughput: dynamic schemes A-F (D=0.2s)",
+		XLabel: "total offered tps",
+		YLabel: "mean response time (s)",
+		Curves: curves,
+	}, nil
+}
+
+// Figure43 regenerates Figure 4.3: fraction of class A transactions shipped
+// versus transaction rate, for every scheme, at 0.2 s delay.
+func Figure43(opt Options) (Figure, error) {
+	opt = withDelay(opt, 0.2)
+	curves, err := sweep(opt, []StrategyMaker{
+		MakerStaticOptimal(),
+		MakerMeasuredRT(),
+		MakerQueueLength(),
+		MakerMinIncoming(routing.FromInSystem),
+		MakerMinAverage(routing.FromInSystem),
+	}, shipFraction)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "4.3",
+		Title:  "Fraction of class A transactions shipped (D=0.2s)",
+		XLabel: "total offered tps",
+		YLabel: "fraction shipped",
+		Curves: curves,
+	}, nil
+}
+
+// Figure44 regenerates Figure 4.4: the queue-length heuristic tuned with
+// thresholds 0, -0.1, -0.2, -0.3, against the best dynamic strategy, at
+// 0.2 s delay (paper: optimum near -0.2).
+func Figure44(opt Options) (Figure, error) {
+	opt = withDelay(opt, 0.2)
+	curves, err := sweep(opt, []StrategyMaker{
+		MakerQueueThreshold(0),
+		MakerQueueThreshold(-0.1),
+		MakerQueueThreshold(-0.2),
+		MakerQueueThreshold(-0.3),
+		MakerMinAverage(routing.FromInSystem),
+	}, meanRT)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "4.4",
+		Title:  "Tuning the queue-length threshold (D=0.2s)",
+		XLabel: "total offered tps",
+		YLabel: "mean response time (s)",
+		Curves: curves,
+	}, nil
+}
+
+// Figure45 regenerates Figure 4.5: as Figure 4.1 but with 0.5 s delay, where
+// the static benefit shrinks while dynamic sharing retains most of its gain.
+func Figure45(opt Options) (Figure, error) {
+	opt = withDelay(opt, 0.5)
+	curves, err := sweep(opt, []StrategyMaker{
+		MakerNone(),
+		MakerStaticOptimal(),
+		MakerMinAverage(routing.FromInSystem),
+	}, meanRT)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "4.5",
+		Title:  "Response time vs throughput: none / static / best dynamic (D=0.5s)",
+		XLabel: "total offered tps",
+		YLabel: "mean response time (s)",
+		Curves: curves,
+	}, nil
+}
+
+// Figure46 regenerates Figure 4.6: shipped fraction at 0.5 s delay (the
+// static curve shows the paper's point of inflection).
+func Figure46(opt Options) (Figure, error) {
+	opt = withDelay(opt, 0.5)
+	curves, err := sweep(opt, []StrategyMaker{
+		MakerStaticOptimal(),
+		MakerMeasuredRT(),
+		MakerQueueLength(),
+		MakerMinIncoming(routing.FromInSystem),
+		MakerMinAverage(routing.FromInSystem),
+	}, shipFraction)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "4.6",
+		Title:  "Fraction of class A transactions shipped (D=0.5s)",
+		XLabel: "total offered tps",
+		YLabel: "fraction shipped",
+		Curves: curves,
+	}, nil
+}
+
+// Figure47 regenerates Figure 4.7: threshold tuning at 0.5 s delay, where
+// the paper finds the optimum moves to about -0.1/+0.1 and the gap to the
+// best dynamic strategy widens.
+func Figure47(opt Options) (Figure, error) {
+	opt = withDelay(opt, 0.5)
+	curves, err := sweep(opt, []StrategyMaker{
+		MakerQueueThreshold(0),
+		MakerQueueThreshold(+0.1),
+		MakerQueueThreshold(+0.2),
+		MakerQueueThreshold(-0.1),
+		MakerMinAverage(routing.FromInSystem),
+	}, meanRT)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "4.7",
+		Title:  "Tuning the queue-length threshold (D=0.5s)",
+		XLabel: "total offered tps",
+		YLabel: "mean response time (s)",
+		Curves: curves,
+	}, nil
+}
+
+// All regenerates every figure, in paper order.
+func All(opt Options) ([]Figure, error) {
+	drivers := []func(Options) (Figure, error){
+		Figure41, Figure42, Figure43, Figure44, Figure45, Figure46, Figure47,
+	}
+	figures := make([]Figure, 0, len(drivers))
+	for _, driver := range drivers {
+		fig, err := driver(opt)
+		if err != nil {
+			return nil, err
+		}
+		figures = append(figures, fig)
+	}
+	return figures, nil
+}
+
+// WriteTable renders the figure as an aligned text table, one row per sweep
+// rate and one column per curve.
+func (f Figure) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Figure %s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	cols := []string{f.XLabel}
+	for _, c := range f.Curves {
+		cols = append(cols, c.Label)
+	}
+	fmt.Fprintln(tw, strings.Join(cols, "\t"))
+	if len(f.Curves) > 0 {
+		for i := range f.Curves[0].Points {
+			row := []string{fmt.Sprintf("%.1f", f.Curves[0].Points[i].TotalRate)}
+			for _, c := range f.Curves {
+				row = append(row, formatY(c.Points[i].Y))
+			}
+			fmt.Fprintln(tw, strings.Join(row, "\t"))
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func formatY(y float64) string {
+	switch {
+	case math.IsInf(y, 1):
+		return "inf"
+	case y >= 100:
+		return fmt.Sprintf("%.0f", y)
+	default:
+		return fmt.Sprintf("%.3f", y)
+	}
+}
+
+// WriteCSV renders the figure in long form with the auxiliary measurements
+// (throughput, ship fraction, aborts, utilizations) per point.
+func (f Figure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "figure,curve,rate_per_site,total_rate,y,throughput,ship_fraction,mean_rt,aborts,util_local,util_central"); err != nil {
+		return err
+	}
+	for _, c := range f.Curves {
+		for _, p := range c.Points {
+			r := p.Result
+			if _, err := fmt.Fprintf(w, "%s,%s,%g,%g,%g,%g,%g,%g,%d,%g,%g\n",
+				f.ID, c.Label, p.RatePerSite, p.TotalRate, p.Y,
+				r.Throughput, r.ShipFraction, r.MeanRT, r.TotalAborts(),
+				r.UtilLocalMean, r.UtilCentral); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MaxThroughputRow is one line of the maximum-supportable-throughput table.
+type MaxThroughputRow struct {
+	Strategy string
+	// MaxTPS is the largest swept total rate at which the mean response
+	// time stays under the cutoff (§4.2 reads the knees of Figures 4.1 and
+	// 4.2 this way).
+	MaxTPS float64
+	// RTAtMax is the mean response time at that rate.
+	RTAtMax float64
+}
+
+// MaxThroughput estimates the paper's "maximum transaction rate supportable"
+// per strategy: the largest offered rate whose mean response time stays
+// below cutoff seconds.
+func MaxThroughput(opt Options, makers []StrategyMaker, cutoff float64) ([]MaxThroughputRow, error) {
+	if cutoff <= 0 {
+		return nil, fmt.Errorf("experiments: cutoff %v must be positive", cutoff)
+	}
+	curves, err := sweep(opt, makers, meanRT)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]MaxThroughputRow, 0, len(curves))
+	for _, c := range curves {
+		row := MaxThroughputRow{Strategy: c.Label}
+		for _, p := range c.Points {
+			if p.Y < cutoff && p.TotalRate > row.MaxTPS {
+				row.MaxTPS = p.TotalRate
+				row.RTAtMax = p.Y
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// StandardMakers returns every paper policy for summary tables.
+func StandardMakers() []StrategyMaker {
+	return []StrategyMaker{
+		MakerNone(),
+		MakerStaticOptimal(),
+		MakerMeasuredRT(),
+		MakerQueueLength(),
+		MakerQueueThreshold(-0.2),
+		MakerMinIncoming(routing.FromQueueLength),
+		MakerMinIncoming(routing.FromInSystem),
+		MakerMinAverage(routing.FromQueueLength),
+		MakerMinAverage(routing.FromInSystem),
+	}
+}
+
+// WritePlot renders the figure as an ASCII chart. Saturated points (infinite
+// or huge response times) are clamped via a y-cap at a small multiple of the
+// largest "healthy" value so the knees stay visible.
+func (f Figure) WritePlot(w io.Writer) error {
+	var chart plot.Chart
+	chart.Title = fmt.Sprintf("Figure %s — %s", f.ID, f.Title)
+	chart.XLabel = f.XLabel
+	chart.YLabel = f.YLabel
+	// Cap the y-axis at 4x the smallest curve maximum, so one saturated
+	// baseline does not flatten every other curve.
+	smallestMax := math.Inf(1)
+	for _, c := range f.Curves {
+		curveMax := 0.0
+		for _, p := range c.Points {
+			if !math.IsInf(p.Y, 0) && p.Y > curveMax {
+				curveMax = p.Y
+			}
+		}
+		if curveMax > 0 && curveMax < smallestMax {
+			smallestMax = curveMax
+		}
+	}
+	if !math.IsInf(smallestMax, 0) {
+		chart.YMax = 4 * smallestMax
+	}
+	for _, c := range f.Curves {
+		xs := make([]float64, len(c.Points))
+		ys := make([]float64, len(c.Points))
+		for i, p := range c.Points {
+			xs[i], ys[i] = p.TotalRate, p.Y
+		}
+		if err := chart.Add(c.Label, xs, ys); err != nil {
+			return err
+		}
+	}
+	if err := chart.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/routing"
+)
+
+// ParseStrategy resolves a command-line strategy specification to a maker.
+// Accepted forms:
+//
+//	none
+//	static            (analytically optimal ship probability)
+//	static:P          (fixed ship probability P in [0,1])
+//	measured-rt
+//	queue-length
+//	threshold:T       (queue-length heuristic with utilization threshold T)
+//	min-incoming/ql   min-incoming/nis
+//	min-average/ql    min-average/nis
+//	best              (alias for min-average/nis, the paper's best)
+func ParseStrategy(spec string) (StrategyMaker, error) {
+	name, arg, hasArg := strings.Cut(spec, ":")
+	switch name {
+	case "none":
+		return MakerNone(), nil
+	case "static":
+		if !hasArg {
+			return MakerStaticOptimal(), nil
+		}
+		p, err := strconv.ParseFloat(arg, 64)
+		if err != nil || p < 0 || p > 1 {
+			return StrategyMaker{}, fmt.Errorf("experiments: static probability %q", arg)
+		}
+		return StrategyMaker{
+			Label: fmt.Sprintf("static(%.3f)", p),
+			Make: func(cfg hybrid.Config) (routing.Strategy, error) {
+				return routing.NewStatic(p, cfg.Seed^0x9e3779b9), nil
+			},
+		}, nil
+	case "measured-rt":
+		return MakerMeasuredRT(), nil
+	case "queue-length":
+		return MakerQueueLength(), nil
+	case "threshold":
+		if !hasArg {
+			return StrategyMaker{}, fmt.Errorf("experiments: threshold requires a value, e.g. threshold:-0.2")
+		}
+		theta, err := strconv.ParseFloat(arg, 64)
+		if err != nil {
+			return StrategyMaker{}, fmt.Errorf("experiments: threshold %q", arg)
+		}
+		return MakerQueueThreshold(theta), nil
+	case "adaptive":
+		return StrategyMaker{
+			Label: "adaptive-static",
+			Make: func(cfg hybrid.Config) (routing.Strategy, error) {
+				const window = 30 // seconds between re-optimizations
+				return routing.NewAdaptiveStatic(cfg.ModelParams(), cfg.PLocal, window, cfg.Seed^0x2545f491)
+			},
+		}, nil
+	case "min-incoming/ql":
+		return MakerMinIncoming(routing.FromQueueLength), nil
+	case "min-incoming/nis":
+		return MakerMinIncoming(routing.FromInSystem), nil
+	case "min-average/ql":
+		return MakerMinAverage(routing.FromQueueLength), nil
+	case "min-average/nis", "best":
+		return MakerMinAverage(routing.FromInSystem), nil
+	default:
+		return StrategyMaker{}, fmt.Errorf("experiments: unknown strategy %q", spec)
+	}
+}
+
+// StrategyNames lists the accepted ParseStrategy specifications for help
+// text.
+func StrategyNames() []string {
+	return []string{
+		"none", "static", "static:P", "adaptive", "measured-rt",
+		"queue-length", "threshold:T", "min-incoming/ql", "min-incoming/nis",
+		"min-average/ql", "min-average/nis", "best",
+	}
+}

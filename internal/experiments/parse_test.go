@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+
+	"hybriddb/internal/hybrid"
+)
+
+func TestParseStrategyAccepted(t *testing.T) {
+	cfg := hybrid.DefaultConfig()
+	tests := []struct {
+		spec      string
+		wantLabel string
+	}{
+		{"none", "none"},
+		{"static", "static*"},
+		{"static:0.4", "static(0.400)"},
+		{"measured-rt", "measured-rt"},
+		{"queue-length", "queue-length"},
+		{"threshold:-0.2", "threshold(-0.2)"},
+		{"threshold:0.1", "threshold(+0.1)"},
+		{"min-incoming/ql", "min-incoming/ql"},
+		{"min-incoming/nis", "min-incoming/nis"},
+		{"min-average/ql", "min-average/ql"},
+		{"min-average/nis", "min-average/nis"},
+		{"best", "min-average/nis"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.spec, func(t *testing.T) {
+			mk, err := ParseStrategy(tt.spec)
+			if err != nil {
+				t.Fatalf("ParseStrategy(%q): %v", tt.spec, err)
+			}
+			if mk.Label != tt.wantLabel {
+				t.Errorf("label = %q, want %q", mk.Label, tt.wantLabel)
+			}
+			if _, err := mk.Make(cfg); err != nil {
+				t.Errorf("Make: %v", err)
+			}
+		})
+	}
+}
+
+func TestParseStrategyRejected(t *testing.T) {
+	for _, spec := range []string{
+		"", "unknown", "static:2", "static:x", "threshold", "threshold:abc",
+		"min-average", "min-average/xyz",
+	} {
+		if _, err := ParseStrategy(spec); err == nil {
+			t.Errorf("ParseStrategy(%q) accepted", spec)
+		}
+	}
+}
+
+func TestStrategyNamesParsable(t *testing.T) {
+	for _, name := range StrategyNames() {
+		spec := name
+		// Placeholder forms in the help text.
+		switch spec {
+		case "static:P":
+			spec = "static:0.5"
+		case "threshold:T":
+			spec = "threshold:-0.2"
+		}
+		if _, err := ParseStrategy(spec); err != nil {
+			t.Errorf("help-listed name %q does not parse: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/routing"
+)
+
+// The paper's conclusion names the factors the tuned threshold depends on:
+// "communications delay, MIPS at local and central site, fraction of local
+// transactions, and number of local systems". These sweeps quantify that
+// dependence — and the robustness of the model-based strategy to the same
+// factors — beyond the two delay points of Figures 4.4 and 4.7.
+
+// SensitivityRow is one configuration point of a sensitivity sweep: the best
+// threshold found for the queue-length heuristic at that point, and how the
+// tuning-free best dynamic strategy compares.
+type SensitivityRow struct {
+	Label         string
+	BestTheta     float64 // argmin over the candidate thresholds
+	BestThetaRT   float64 // mean RT at that threshold
+	BestDynamicRT float64 // mean RT of min-average/nis, untuned
+}
+
+// candidateThetas spans the range the paper explores.
+func candidateThetas() []float64 {
+	return []float64{-0.3, -0.2, -0.1, 0, 0.1, 0.2}
+}
+
+// sensitivityPoint tunes the threshold heuristic at one configuration and
+// runs the reference dynamic strategy.
+func sensitivityPoint(cfg hybrid.Config, label string) (SensitivityRow, error) {
+	row := SensitivityRow{Label: label, BestThetaRT: -1}
+	for _, theta := range candidateThetas() {
+		engine, err := hybrid.New(cfg, routing.QueueThreshold{Theta: theta})
+		if err != nil {
+			return row, err
+		}
+		r := engine.Run()
+		if row.BestThetaRT < 0 || r.MeanRT < row.BestThetaRT {
+			row.BestThetaRT = r.MeanRT
+			row.BestTheta = theta
+		}
+	}
+	engine, err := hybrid.New(cfg, routing.MinAverage{
+		Params:    cfg.ModelParams(),
+		Estimator: routing.FromInSystem,
+	})
+	if err != nil {
+		return row, err
+	}
+	row.BestDynamicRT = engine.Run().MeanRT
+	return row, nil
+}
+
+// SensitivitySites sweeps the number of local systems at a fixed total
+// offered rate (so each configuration faces the same aggregate load and the
+// central site sees an identical class B stream).
+func SensitivitySites(base hybrid.Config, siteCounts []int, totalRate float64) ([]SensitivityRow, error) {
+	if len(siteCounts) == 0 {
+		siteCounts = []int{5, 10, 20}
+	}
+	if totalRate <= 0 {
+		return nil, fmt.Errorf("experiments: total rate %v", totalRate)
+	}
+	rows := make([]SensitivityRow, 0, len(siteCounts))
+	for _, n := range siteCounts {
+		cfg := base
+		cfg.Sites = n
+		cfg.ArrivalRatePerSite = totalRate / float64(n)
+		row, err := sensitivityPoint(cfg, fmt.Sprintf("sites=%d", n))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SensitivityMIPS sweeps the central processor speed.
+func SensitivityMIPS(base hybrid.Config, centralMIPS []float64) ([]SensitivityRow, error) {
+	if len(centralMIPS) == 0 {
+		centralMIPS = []float64{5, 15, 30}
+	}
+	rows := make([]SensitivityRow, 0, len(centralMIPS))
+	for _, m := range centralMIPS {
+		cfg := base
+		cfg.CentralMIPS = m
+		row, err := sensitivityPoint(cfg, fmt.Sprintf("centralMIPS=%g", m))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SensitivityPLocal sweeps the class A fraction.
+func SensitivityPLocal(base hybrid.Config, fractions []float64) ([]SensitivityRow, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0.5, 0.75, 0.9}
+	}
+	rows := make([]SensitivityRow, 0, len(fractions))
+	for _, p := range fractions {
+		cfg := base
+		cfg.PLocal = p
+		row, err := sensitivityPoint(cfg, fmt.Sprintf("pLocal=%.2f", p))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

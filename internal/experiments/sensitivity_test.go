@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+
+	"hybriddb/internal/hybrid"
+)
+
+func sensitivityBase() hybrid.Config {
+	cfg := hybrid.DefaultConfig()
+	cfg.Warmup, cfg.Duration = 20, 80
+	cfg.ArrivalRatePerSite = 2.0
+	return cfg
+}
+
+func TestSensitivitySites(t *testing.T) {
+	rows, err := SensitivitySites(sensitivityBase(), []int{5, 10}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.BestThetaRT <= 0 || r.BestDynamicRT <= 0 {
+			t.Errorf("%s: RTs %v / %v", r.Label, r.BestThetaRT, r.BestDynamicRT)
+		}
+		// The tuned heuristic may tie but should not dramatically beat the
+		// model-based strategy anywhere in the sweep.
+		if r.BestDynamicRT > r.BestThetaRT*1.3 {
+			t.Errorf("%s: dynamic %v far above tuned threshold %v",
+				r.Label, r.BestDynamicRT, r.BestThetaRT)
+		}
+	}
+}
+
+func TestSensitivitySitesRejectsBadRate(t *testing.T) {
+	if _, err := SensitivitySites(sensitivityBase(), nil, 0); err == nil {
+		t.Fatal("zero total rate accepted")
+	}
+}
+
+func TestSensitivityMIPS(t *testing.T) {
+	rows, err := SensitivityMIPS(sensitivityBase(), []float64{5, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// A slower central site shifts the optimal threshold upward (shipping
+	// is less attractive), and never downward past the fast-central case.
+	if rows[0].BestTheta < rows[1].BestTheta {
+		t.Errorf("slow central theta %v below fast central theta %v",
+			rows[0].BestTheta, rows[1].BestTheta)
+	}
+}
+
+func TestSensitivityPLocalDefaults(t *testing.T) {
+	cfg := sensitivityBase()
+	cfg.Warmup, cfg.Duration = 15, 50
+	rows, err := SensitivityPLocal(cfg, []float64{0.6, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}

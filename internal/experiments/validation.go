@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/model"
+	"hybriddb/internal/routing"
+)
+
+// ValidationRow compares the analytical model's prediction with the
+// simulation at one operating point — the methodology check behind §3.1
+// ("simulation estimates are shown to support this methodology").
+type ValidationRow struct {
+	RatePerSite float64
+	PShip       float64
+	ModelRT     float64 // model RAvg
+	SimRT       float64 // simulated mean RT
+	RelErr      float64 // |model-sim|/sim, +Inf when either saturates
+	ModelUtilL  float64
+	SimUtilL    float64
+	ModelUtilC  float64
+	SimUtilC    float64
+}
+
+// ModelValidation runs the static policy at the given ship probability
+// across the sweep, solving the analytical model at each point and
+// simulating the same point, and reports the prediction errors. The model is
+// expected to track the simulation closely at low-to-moderate loads and
+// degrade near saturation, where its M/M/1-style expansions are crudest.
+func ModelValidation(opt Options, pShip float64) ([]ValidationRow, error) {
+	if pShip < 0 || pShip > 1 {
+		return nil, fmt.Errorf("experiments: pShip %v out of [0,1]", pShip)
+	}
+	rows := make([]ValidationRow, 0, len(opt.rates()))
+	for _, rate := range opt.rates() {
+		cfg := opt.Base
+		cfg.ArrivalRatePerSite = rate
+
+		sol, err := model.Solve(cfg.ModelInput(pShip))
+		if err != nil {
+			return nil, err
+		}
+		engine, err := hybrid.New(cfg, routing.NewStatic(pShip, cfg.Seed^0x1234abcd))
+		if err != nil {
+			return nil, err
+		}
+		sim := engine.Run()
+
+		row := ValidationRow{
+			RatePerSite: rate,
+			PShip:       pShip,
+			ModelRT:     sol.RAvg,
+			SimRT:       sim.MeanRT,
+			ModelUtilL:  sol.UtilLocal,
+			SimUtilL:    sim.UtilLocalMean,
+			ModelUtilC:  sol.UtilCentral,
+			SimUtilC:    sim.UtilCentral,
+		}
+		if sol.Saturated || sim.MeanRT <= 0 {
+			row.RelErr = math.Inf(1)
+		} else {
+			row.RelErr = math.Abs(sol.RAvg-sim.MeanRT) / sim.MeanRT
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteValidation renders the model-accuracy table.
+func WriteValidation(w io.Writer, rows []ValidationRow) error {
+	fmt.Fprintln(w, "Analytical model vs simulation (static policy)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "tps/site\tp_ship\tmodel RT\tsim RT\trel err\tutil L (m/s)\tutil C (m/s)")
+	for _, r := range rows {
+		err := "sat"
+		if !math.IsInf(r.RelErr, 1) {
+			err = fmt.Sprintf("%.1f%%", 100*r.RelErr)
+		}
+		fmt.Fprintf(tw, "%.2f\t%.2f\t%.3f\t%.3f\t%s\t%.2f/%.2f\t%.2f/%.2f\n",
+			r.RatePerSite, r.PShip, r.ModelRT, r.SimRT, err,
+			r.ModelUtilL, r.SimUtilL, r.ModelUtilC, r.SimUtilC)
+	}
+	return tw.Flush()
+}

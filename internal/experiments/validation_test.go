@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"hybriddb/internal/hybrid"
+)
+
+func TestModelValidationAccurateAtModerateLoad(t *testing.T) {
+	base := hybrid.DefaultConfig()
+	base.Warmup, base.Duration = 50, 300
+	opt := Options{Base: base, RatesPerSite: []float64{0.5, 1.0, 1.5}}
+	rows, err := ModelValidation(opt, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if math.IsInf(r.RelErr, 1) {
+			t.Errorf("rate %v saturated unexpectedly", r.RatePerSite)
+			continue
+		}
+		// The §3.1 model should predict these uncontended-to-moderate
+		// points within 20%.
+		if r.RelErr > 0.20 {
+			t.Errorf("rate %v: model %v vs sim %v (err %.1f%%)",
+				r.RatePerSite, r.ModelRT, r.SimRT, 100*r.RelErr)
+		}
+		// Utilization predictions should be close too.
+		if math.Abs(r.ModelUtilL-r.SimUtilL) > 0.08 {
+			t.Errorf("rate %v: local util model %v vs sim %v",
+				r.RatePerSite, r.ModelUtilL, r.SimUtilL)
+		}
+	}
+}
+
+func TestModelValidationRejectsBadPShip(t *testing.T) {
+	if _, err := ModelValidation(quickOptions(), 1.5); err == nil {
+		t.Fatal("pShip > 1 accepted")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	rows := []ValidationRow{
+		{RatePerSite: 1, PShip: 0.3, ModelRT: 1.0, SimRT: 1.05, RelErr: 0.048},
+		{RatePerSite: 3.4, PShip: 0.3, RelErr: math.Inf(1)},
+	}
+	var buf bytes.Buffer
+	if err := WriteValidation(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "4.8%") {
+		t.Errorf("relative error missing:\n%s", out)
+	}
+	if !strings.Contains(out, "sat") {
+		t.Errorf("saturation marker missing:\n%s", out)
+	}
+}

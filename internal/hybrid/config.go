@@ -1,0 +1,252 @@
+// Package hybrid is the core of the reproduction: a discrete-event simulator
+// of the hybrid distributed–centralized database architecture and its
+// concurrency/coherency protocol (§2 of the paper), driven by a pluggable
+// load-sharing strategy (§3). The simulation explicitly models lock tables
+// and lock contention, CPU queueing and deterministic service times, I/O
+// waits, communications delays, asynchronous update propagation with
+// coherence counts, the authentication phase of central commits, cross-site
+// invalidations and aborts, and deadlock aborts — the elements §4.1 lists.
+package hybrid
+
+import (
+	"errors"
+	"fmt"
+
+	"hybriddb/internal/model"
+	"hybriddb/internal/workload"
+)
+
+// Feedback selects when local sites refresh their view of the central
+// site's state (queue length, transactions in system, locks held).
+type Feedback uint8
+
+// Feedback modes.
+const (
+	// FeedbackAuthOnly refreshes the view only when an authentication
+	// message of a centrally running transaction arrives — the paper's
+	// assumption (§4.2).
+	FeedbackAuthOnly Feedback = iota + 1
+	// FeedbackAllMessages piggybacks the central state on every message
+	// from the central site (authentication, commit/release, update acks,
+	// completion replies).
+	FeedbackAllMessages
+	// FeedbackIdeal lets strategies read the instantaneous central state —
+	// the paper's "ideal case" reference.
+	FeedbackIdeal
+)
+
+func (f Feedback) String() string {
+	switch f {
+	case FeedbackAuthOnly:
+		return "auth-only"
+	case FeedbackAllMessages:
+		return "all-messages"
+	case FeedbackIdeal:
+		return "ideal"
+	default:
+		return fmt.Sprintf("Feedback(%d)", uint8(f))
+	}
+}
+
+// Config holds every simulation parameter. DefaultConfig returns the §4.1
+// values; experiments vary ArrivalRatePerSite, CommDelay and the strategy.
+type Config struct {
+	// Topology and hardware.
+	Sites       int     // number of local sites
+	LocalMIPS   float64 // local processor speed, MIPS
+	CentralMIPS float64 // central processor speed, MIPS
+	CommDelay   float64 // one-way communications delay, seconds
+
+	// Workload.
+	ArrivalRatePerSite float64 // Poisson arrival rate per site, txn/s
+	// SiteRates optionally gives each site its own arrival rate,
+	// overriding ArrivalRatePerSite (regional load imbalance — the
+	// "load fluctuations" the paper's introduction motivates). When set
+	// its length must equal Sites and every rate must be positive.
+	SiteRates []float64
+	// RateSchedules optionally gives each site a cyclic time-varying
+	// arrival-rate schedule (a non-homogeneous Poisson process), modelling
+	// diurnal load fluctuations. When set its length must equal Sites and
+	// it overrides both ArrivalRatePerSite and SiteRates.
+	RateSchedules []workload.Schedule
+	PLocal        float64 // class A fraction
+	PWrite        float64 // exclusive-mode probability per lock request
+	CallsPerTxn   int     // database calls (= lock requests) per txn
+	Lockspace     uint32  // total lock elements, partitioned by site
+
+	// Pathlengths and I/O (§3.1).
+	InstrPerCall  float64 // instructions per database call
+	InstrOverhead float64 // message processing + initiation instructions per txn
+	IOTimePerCall float64 // I/O time per database call, first run only
+	SetupIOTime   float64 // initial I/O before locks are held
+
+	// Protocol details.
+	RestartDelay float64  // delay before re-running an aborted transaction
+	Feedback     Feedback // how central state reaches the local sites
+	// DisksPerSite and DisksCentral, when positive, model each site's
+	// (respectively the central complex's) I/O as a bank of FCFS disks
+	// instead of the paper's pure-delay assumption: each I/O of
+	// IOTimePerCall (or SetupIOTime) seconds queues at one disk, selected
+	// by the referenced element, so hot data creates I/O contention. Zero
+	// (the default) keeps the paper's infinite-server I/O.
+	DisksPerSite int
+	DisksCentral int
+	// UpdateProcInstr is the central-site CPU pathlength charged per
+	// asynchronous-update message (not per element). Zero — the default,
+	// and the analytical model's assumption — makes update application
+	// free; a positive value makes the message overheads §2 says batching
+	// was designed to reduce actually visible in the central utilization.
+	UpdateProcInstr float64
+	// UpdateBatchWindow, when positive, batches a site's asynchronous
+	// update messages: updates committed within the window travel to the
+	// central site in one message (§2: "these asynchronous messages may
+	// also be batched to reduce the overheads involved"). Coherence counts
+	// still rise at commit time, so batching lengthens the window in which
+	// central authentications are NACKed — the trade-off an experiment can
+	// measure. Zero (the default) sends each commit's updates immediately.
+	UpdateBatchWindow float64
+
+	// Run control.
+	Seed      uint64  // master RNG seed
+	Warmup    float64 // simulated seconds discarded before measuring
+	Duration  float64 // measured simulated seconds
+	SelfCheck bool    // run invariant checks during the simulation (slow)
+	// SeriesBucket, when positive, records a mean-response-time time
+	// series with the given bucket width in seconds (Result.RTSeries) —
+	// useful for watching strategies adapt to load fluctuations.
+	SeriesBucket float64
+}
+
+// DefaultConfig returns the parameters of §4.1 of the paper, with the
+// substitutions recorded in DESIGN.md for values the paper took from the
+// [YU87] trace study.
+func DefaultConfig() Config {
+	return Config{
+		Sites:              10,
+		LocalMIPS:          1,
+		CentralMIPS:        15,
+		CommDelay:          0.2,
+		ArrivalRatePerSite: 1.0,
+		PLocal:             0.75,
+		PWrite:             0.25,
+		CallsPerTxn:        10,
+		Lockspace:          32_768,
+		InstrPerCall:       30_000,
+		InstrOverhead:      150_000,
+		IOTimePerCall:      0.025,
+		SetupIOTime:        0.035,
+		RestartDelay:       0,
+		Feedback:           FeedbackAuthOnly,
+		Seed:               1,
+		Warmup:             200,
+		Duration:           800,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	wl := c.WorkloadConfig()
+	if err := wl.Validate(); err != nil {
+		return err
+	}
+	if err := c.ModelParams().Validate(); err != nil {
+		return err
+	}
+	if c.RateSchedules != nil {
+		if len(c.RateSchedules) != c.Sites {
+			return fmt.Errorf("hybrid: %d rate schedules for %d sites", len(c.RateSchedules), c.Sites)
+		}
+		for i, s := range c.RateSchedules {
+			if err := s.Validate(); err != nil {
+				return fmt.Errorf("hybrid: site %d: %w", i, err)
+			}
+		}
+	}
+	if c.SiteRates != nil {
+		if len(c.SiteRates) != c.Sites {
+			return fmt.Errorf("hybrid: %d site rates for %d sites", len(c.SiteRates), c.Sites)
+		}
+		for i, r := range c.SiteRates {
+			if r <= 0 {
+				return fmt.Errorf("hybrid: site %d rate %v", i, r)
+			}
+		}
+	}
+	switch {
+	case c.ArrivalRatePerSite <= 0:
+		return fmt.Errorf("hybrid: arrival rate %v", c.ArrivalRatePerSite)
+	case c.RestartDelay < 0:
+		return fmt.Errorf("hybrid: negative restart delay %v", c.RestartDelay)
+	case c.UpdateBatchWindow < 0:
+		return fmt.Errorf("hybrid: negative batch window %v", c.UpdateBatchWindow)
+	case c.DisksPerSite < 0 || c.DisksCentral < 0:
+		return fmt.Errorf("hybrid: negative disk counts %d/%d", c.DisksPerSite, c.DisksCentral)
+	case c.UpdateProcInstr < 0:
+		return fmt.Errorf("hybrid: negative update pathlength %v", c.UpdateProcInstr)
+	case c.Warmup < 0:
+		return fmt.Errorf("hybrid: negative warmup %v", c.Warmup)
+	case c.Duration <= 0:
+		return errors.New("hybrid: duration must be positive")
+	case c.SeriesBucket < 0:
+		return fmt.Errorf("hybrid: negative series bucket %v", c.SeriesBucket)
+	}
+	switch c.Feedback {
+	case FeedbackAuthOnly, FeedbackAllMessages, FeedbackIdeal:
+	default:
+		return fmt.Errorf("hybrid: unknown feedback mode %v", c.Feedback)
+	}
+	return nil
+}
+
+// SiteRate returns the (homogeneous-Poisson) arrival rate at a site,
+// honouring SiteRates. With RateSchedules set the rate is time-varying and
+// this returns the schedule's mean rate.
+func (c Config) SiteRate(site int) float64 {
+	if c.RateSchedules != nil {
+		return c.RateSchedules[site].MeanRate()
+	}
+	if c.SiteRates != nil {
+		return c.SiteRates[site]
+	}
+	return c.ArrivalRatePerSite
+}
+
+// WorkloadConfig derives the workload generator configuration.
+func (c Config) WorkloadConfig() workload.Config {
+	return workload.Config{
+		Sites:       c.Sites,
+		Lockspace:   c.Lockspace,
+		CallsPerTxn: c.CallsPerTxn,
+		PLocal:      c.PLocal,
+		PWrite:      c.PWrite,
+	}
+}
+
+// ModelParams derives the analytical-model parameters. The dynamic
+// strategies and the static optimizer take these.
+func (c Config) ModelParams() model.Params {
+	return model.Params{
+		Sites:         c.Sites,
+		LocalMIPS:     c.LocalMIPS,
+		CentralMIPS:   c.CentralMIPS,
+		CommDelay:     c.CommDelay,
+		CallsPerTxn:   c.CallsPerTxn,
+		InstrPerCall:  c.InstrPerCall,
+		InstrOverhead: c.InstrOverhead,
+		IOTimePerCall: c.IOTimePerCall,
+		SetupIOTime:   c.SetupIOTime,
+		Lockspace:     c.Lockspace,
+		PWrite:        c.PWrite,
+	}
+}
+
+// ModelInput derives the steady-state model input for a given static ship
+// probability.
+func (c Config) ModelInput(pShip float64) model.Input {
+	return model.Input{
+		Params:             c.ModelParams(),
+		ArrivalRatePerSite: c.ArrivalRatePerSite,
+		PLocal:             c.PLocal,
+		PShip:              pShip,
+	}
+}

@@ -1,0 +1,168 @@
+package hybrid
+
+import (
+	"hybriddb/internal/stats"
+)
+
+// metrics accumulates observations, gated by the measurement window: nothing
+// is recorded until the warmup period ends.
+type metrics struct {
+	enabled bool
+	start   float64 // window start time
+
+	// Time-series accumulation (Config.SeriesBucket > 0).
+	seriesBucket float64
+	seriesSum    []float64
+	seriesCount  []uint64
+
+	// Response times by kind.
+	rtAll      stats.Welford
+	rtLocalA   stats.Welford
+	rtShippedA stats.Welford
+	rtClassB   stats.Welford
+	rtHist     *stats.Histogram
+	histLocalA *stats.Histogram
+	histShipA  *stats.Histogram
+	histClassB *stats.Histogram
+
+	// Routing decisions (class A only).
+	decisionsLocal uint64
+	decisionsShip  uint64
+
+	arrivalsA uint64
+	arrivalsB uint64
+
+	// Aborts by cause.
+	abortsDeadlockLocal   uint64
+	abortsDeadlockCentral uint64
+	abortsLocalSeized     uint64 // local txn seized by a central authentication
+	abortsCentralNACK     uint64 // authentication refused (in-flight updates)
+	abortsCentralInval    uint64 // central lock invalidated by an async update
+
+	// Lock waits.
+	lockWait stats.Welford
+
+	// Periodically sampled queue lengths (1 Hz over the window) and the
+	// staleness of the central-state view at each routing decision.
+	centralQueue stats.Welford
+	localQueue   stats.Welford
+	viewAge      stats.Welford
+
+	// Authentication rounds.
+	authRounds uint64
+}
+
+// recordSeries adds a completed response time to its time bucket.
+func (m *metrics) recordSeries(now, rt float64) {
+	if m.seriesBucket <= 0 {
+		return
+	}
+	idx := int((now - m.start) / m.seriesBucket)
+	if idx < 0 {
+		return
+	}
+	for len(m.seriesSum) <= idx {
+		m.seriesSum = append(m.seriesSum, 0)
+		m.seriesCount = append(m.seriesCount, 0)
+	}
+	m.seriesSum[idx] += rt
+	m.seriesCount[idx]++
+}
+
+func newMetrics() *metrics {
+	return newMetricsWithSeries(0)
+}
+
+func newMetricsWithSeries(bucket float64) *metrics {
+	return &metrics{
+		seriesBucket: bucket,
+		rtHist:       stats.NewHistogram(0, 60, 600),
+		histLocalA:   stats.NewHistogram(0, 60, 600),
+		histShipA:    stats.NewHistogram(0, 60, 600),
+		histClassB:   stats.NewHistogram(0, 60, 600),
+	}
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Strategy string  // strategy name
+	Window   float64 // measured simulated seconds
+
+	// Completions within the window.
+	CompletedLocalA   uint64
+	CompletedShippedA uint64
+	CompletedClassB   uint64
+
+	// Mean response times (seconds).
+	MeanRT         float64 // all classes, the paper's headline metric
+	MeanRTLocalA   float64
+	MeanRTShippedA float64
+	MeanRTClassB   float64
+	P95RT          float64
+	P95RTLocalA    float64
+	P95RTShippedA  float64
+	P95RTClassB    float64
+
+	Throughput float64 // completed transactions per second (all classes)
+
+	// ShipFraction is the fraction of class A transactions routed to the
+	// central site during the window (Fig 4.3 / 4.6).
+	ShipFraction float64
+
+	// Aborts by cause within the window.
+	AbortsDeadlockLocal   uint64
+	AbortsDeadlockCentral uint64
+	AbortsLocalSeized     uint64
+	AbortsCentralNACK     uint64
+	AbortsCentralInval    uint64
+
+	// Utilizations over the window.
+	UtilLocalMean float64 // mean over local sites
+	UtilLocalMax  float64
+	UtilCentral   float64
+
+	MeanLockWait float64 // mean duration of a blocking lock wait
+	// Sampled at 1 Hz over the window: the CPU queue lengths the
+	// queue-length strategies act on.
+	MeanCentralQueue float64
+	MeanLocalQueue   float64 // averaged over sites
+	// MeanViewAge is how stale the arrival site's view of the central
+	// state was at routing-decision time (0 under FeedbackIdeal).
+	MeanViewAge  float64
+	AuthRounds   uint64 // authentication rounds executed
+	MessagesSent uint64 // network messages in the whole run
+
+	// PerSite breaks utilization and local completions down by site —
+	// informative under skewed SiteRates.
+	PerSite []SiteStats
+
+	// RTSeries is the mean response time per time bucket over the window
+	// (Config.SeriesBucket > 0) — the adaptation transient under load
+	// fluctuations.
+	RTSeries []RTBucket
+
+	// Totals for conservation checking.
+	Generated uint64 // transactions generated in the whole run
+	Completed uint64 // transactions completed in the whole run
+}
+
+// RTBucket is one time bucket of the response-time series.
+type RTBucket struct {
+	Start       float64 // seconds since the measurement window opened
+	MeanRT      float64
+	Completions uint64
+}
+
+// SiteStats is the per-site breakdown of a run.
+type SiteStats struct {
+	Site            int
+	Utilization     float64 // CPU utilization over the window
+	CompletedLocalA uint64  // class A transactions committed locally
+	MeanRTLocalA    float64 // their mean response time
+}
+
+// TotalAborts sums all abort causes.
+func (r Result) TotalAborts() uint64 {
+	return r.AbortsDeadlockLocal + r.AbortsDeadlockCentral +
+		r.AbortsLocalSeized + r.AbortsCentralNACK + r.AbortsCentralInval
+}

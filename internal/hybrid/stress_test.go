@@ -1,0 +1,77 @@
+package hybrid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybriddb/internal/routing"
+	"hybriddb/internal/trace"
+)
+
+// TestQuickProtocolStress drives short self-checked simulations across a
+// randomized configuration space — site counts, contention levels, write
+// mixes, delays, batching, disks, feedback modes, and strategies — asserting
+// the engine's internal invariants (lock-table consistency, transaction
+// conservation, coherence counts) hold everywhere, not just at the paper's
+// operating point.
+func TestQuickProtocolStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress in -short mode")
+	}
+	strategies := func(cfg Config) []routing.Strategy {
+		p := cfg.ModelParams()
+		return []routing.Strategy{
+			routing.AlwaysLocal{},
+			routing.NewStatic(0.5, cfg.Seed),
+			routing.MeasuredRT{},
+			routing.QueueLength{},
+			routing.QueueThreshold{Theta: -0.2},
+			routing.MinIncoming{Params: p, Estimator: routing.FromInSystem},
+			routing.MinAverage{Params: p, Estimator: routing.FromQueueLength},
+		}
+	}
+	f := func(seed uint32, knobs [8]uint8) bool {
+		cfg := DefaultConfig()
+		cfg.Seed = uint64(seed)
+		cfg.Warmup = 5
+		cfg.Duration = 25
+		cfg.SelfCheck = true
+		cfg.Sites = int(knobs[0]%5) + 1
+		cfg.ArrivalRatePerSite = 0.3 + float64(knobs[1]%30)/10 // 0.3 .. 3.2
+		cfg.PWrite = float64(knobs[2]%10) / 10
+		cfg.PLocal = 0.3 + float64(knobs[3]%8)/10 // 0.3 .. 1.0
+		cfg.Lockspace = 500 + uint32(knobs[4])*100
+		cfg.CommDelay = float64(knobs[5]%6) / 10 // 0 .. 0.5
+		if knobs[6]%3 == 1 {
+			cfg.UpdateBatchWindow = 0.3
+		}
+		if knobs[6]%3 == 2 {
+			cfg.DisksPerSite = 2
+			cfg.DisksCentral = 4
+		}
+		cfg.Feedback = []Feedback{FeedbackAuthOnly, FeedbackAllMessages, FeedbackIdeal}[knobs[7]%3]
+		if cfg.PLocal > 1 {
+			cfg.PLocal = 1
+		}
+
+		all := strategies(cfg)
+		strat := all[int(knobs[7]/3)%len(all)]
+
+		engine, err := New(cfg, strat)
+		if err != nil {
+			t.Logf("config rejected: %v", err)
+			return false
+		}
+		counter := trace.NewCounter()
+		engine.SetTracer(counter)
+		r := engine.Run() // SelfCheck panics on any invariant violation
+		if r.Completed > r.Generated {
+			return false
+		}
+		// Every arrival must be traced.
+		return counter.Count(trace.Arrive) == r.Generated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,498 @@
+// Package lock implements the per-site lock manager of the hybrid protocol
+// (§2 of the paper). Each lock carries two fields:
+//
+//   - a concurrency-control field: classic share/exclusive locking with a
+//     FIFO wait queue, used among transactions running at the same site;
+//   - a coherence-control field: a count of asynchronous update messages for
+//     the element that are in flight to the central site and not yet
+//     acknowledged. A central/shipped transaction's authentication request
+//     must be refused (NACK) while this count is non-zero.
+//
+// Same-site conflicts block; deadlocks among blocked transactions are
+// detected by cycle search in the waits-for relation and resolved by
+// aborting the requester (§4.1: the aborted transaction releases all its
+// locks). Cross-site conflicts are resolved by Seize: the authentication
+// phase of a central/shipped transaction takes the lock away from local
+// holders, which are reported back as victims to be marked for abort.
+package lock
+
+import "fmt"
+
+// ID identifies a transaction to the lock manager.
+type ID int64
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes. Share is compatible only with Share.
+const (
+	Share Mode = iota + 1
+	Exclusive
+)
+
+// String returns "S" or "X".
+func (m Mode) String() string {
+	switch m {
+	case Share:
+		return "S"
+	case Exclusive:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Compatible reports whether two granted modes can coexist.
+func Compatible(a, b Mode) bool { return a == Share && b == Share }
+
+// Outcome is the synchronous result of an Acquire call.
+type Outcome uint8
+
+// Acquire outcomes.
+const (
+	// Granted means the lock was granted immediately.
+	Granted Outcome = iota + 1
+	// Queued means the request conflicts and was placed on the FIFO wait
+	// queue; the onGrant callback will run when it is granted.
+	Queued
+	// Deadlock means enqueueing the request would have closed a cycle in
+	// the waits-for relation; the request was not enqueued and the caller
+	// must abort the transaction.
+	Deadlock
+)
+
+type request struct {
+	id      ID
+	mode    Mode
+	onGrant func()
+}
+
+type entry struct {
+	holders   map[ID]Mode
+	queue     []request
+	coherence int
+}
+
+func (e *entry) empty() bool {
+	return len(e.holders) == 0 && len(e.queue) == 0 && e.coherence == 0
+}
+
+// Manager is the lock manager for one site. It is not safe for concurrent
+// use; the discrete-event simulation is single-threaded by design.
+type Manager struct {
+	table map[uint32]*entry
+	// held tracks, per transaction, the elements it holds and in what mode.
+	held map[ID]map[uint32]Mode
+	// waitingOn maps a blocked transaction to the element it waits for.
+	// A transaction requests locks sequentially, so it waits on at most one.
+	waitingOn map[ID]uint32
+	granted   int // total granted locks, kept incrementally
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{
+		table:     make(map[uint32]*entry),
+		held:      make(map[ID]map[uint32]Mode),
+		waitingOn: make(map[ID]uint32),
+	}
+}
+
+func (m *Manager) entry(elem uint32) *entry {
+	e := m.table[elem]
+	if e == nil {
+		e = &entry{holders: make(map[ID]Mode, 1)}
+		m.table[elem] = e
+	}
+	return e
+}
+
+// maybeDrop removes an empty entry from the table. The identity check
+// matters: grant callbacks fired inside grantWaiters can re-enter the
+// manager, drop this entry, and install a fresh one under the same element
+// (e.g. a commit that releases the lock and then raises the element's
+// coherence count); dropping by key alone would destroy that new entry.
+func (m *Manager) maybeDrop(elem uint32, e *entry) {
+	if e.empty() && m.table[elem] == e {
+		delete(m.table, elem)
+	}
+}
+
+func (m *Manager) addHolder(id ID, elem uint32, mode Mode, e *entry) {
+	if prev, ok := e.holders[id]; ok {
+		// Upgrade: replace mode, total count unchanged.
+		if prev != mode {
+			e.holders[id] = mode
+			m.held[id][elem] = mode
+		}
+		return
+	}
+	e.holders[id] = mode
+	h := m.held[id]
+	if h == nil {
+		h = make(map[uint32]Mode, 4)
+		m.held[id] = h
+	}
+	h[elem] = mode
+	m.granted++
+}
+
+func (m *Manager) removeHolder(id ID, elem uint32, e *entry) {
+	if _, ok := e.holders[id]; !ok {
+		return
+	}
+	delete(e.holders, id)
+	if h := m.held[id]; h != nil {
+		delete(h, elem)
+		if len(h) == 0 {
+			delete(m.held, id)
+		}
+	}
+	m.granted--
+}
+
+// Acquire requests elem in the given mode for transaction id. If the request
+// must wait, onGrant is saved and invoked when the lock is eventually
+// granted; onGrant must not be nil in that case. If the request holds the
+// element already in a mode at least as strong, it is granted immediately.
+func (m *Manager) Acquire(id ID, elem uint32, mode Mode, onGrant func()) Outcome {
+	if _, waiting := m.waitingOn[id]; waiting {
+		panic(fmt.Sprintf("lock: transaction %d issued a second request while blocked", id))
+	}
+	e := m.entry(elem)
+
+	if cur, ok := e.holders[id]; ok {
+		if cur == Exclusive || mode == Share {
+			m.maybeDrop(elem, e)
+			return Granted // already strong enough
+		}
+		// Upgrade Share -> Exclusive: immediate if sole holder.
+		if len(e.holders) == 1 {
+			m.addHolder(id, elem, Exclusive, e)
+			return Granted
+		}
+		// Otherwise queue the upgrade like a fresh conflicting request.
+	} else if m.grantable(id, elem, mode, e) {
+		m.addHolder(id, elem, mode, e)
+		return Granted
+	}
+
+	// Conflict: deadlock check before enqueueing.
+	if m.wouldDeadlock(id, elem, mode) {
+		m.maybeDrop(elem, e)
+		return Deadlock
+	}
+	if onGrant == nil {
+		panic("lock: nil onGrant for a request that must wait")
+	}
+	e.queue = append(e.queue, request{id: id, mode: mode, onGrant: onGrant})
+	m.waitingOn[id] = elem
+	return Queued
+}
+
+// grantable reports whether a fresh request (no queue-jumping: only called
+// when the queue is empty or for queue-head scans) is compatible with the
+// current holders, ignoring id itself (upgrade case).
+func (m *Manager) grantable(id ID, elem uint32, mode Mode, e *entry) bool {
+	if len(e.queue) > 0 {
+		// FIFO fairness: a newcomer may not overtake waiting requests.
+		return false
+	}
+	for h, hm := range e.holders {
+		if h == id {
+			continue
+		}
+		if !Compatible(hm, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// wouldDeadlock reports whether blocking transaction id on elem would close
+// a cycle in the waits-for relation. A blocked transaction waits for (a) the
+// holders of its element whose mode conflicts with the request and (b) every
+// request queued ahead of it (the grant scan is strictly FIFO, so requests
+// ahead necessarily complete first).
+func (m *Manager) wouldDeadlock(start ID, elem uint32, mode Mode) bool {
+	visited := make(map[ID]bool)
+	var visit func(id ID, waitElem uint32, waitMode Mode, queuePos int) bool
+	visit = func(id ID, waitElem uint32, waitMode Mode, queuePos int) bool {
+		e := m.table[waitElem]
+		if e == nil {
+			return false
+		}
+		step := func(next ID) bool {
+			if next == start {
+				return true
+			}
+			if visited[next] {
+				return false
+			}
+			visited[next] = true
+			nextElem, blocked := m.waitingOn[next]
+			if !blocked {
+				return false
+			}
+			ne := m.table[nextElem]
+			pos := len(ne.queue)
+			var nm Mode
+			for i, r := range ne.queue {
+				if r.id == next {
+					pos = i
+					nm = r.mode
+					break
+				}
+			}
+			return visit(next, nextElem, nm, pos)
+		}
+		for h, hm := range e.holders {
+			if h == id {
+				continue
+			}
+			if !Compatible(hm, waitMode) {
+				if step(h) {
+					return true
+				}
+			}
+		}
+		for i := 0; i < queuePos && i < len(e.queue); i++ {
+			if e.queue[i].id == id {
+				continue
+			}
+			if step(e.queue[i].id) {
+				return true
+			}
+		}
+		return false
+	}
+	// The new request would sit at the back of the queue.
+	e := m.table[elem]
+	pos := 0
+	if e != nil {
+		pos = len(e.queue)
+	}
+	return visit(start, elem, mode, pos)
+}
+
+// Release gives up id's lock on elem and grants any newly compatible waiters.
+// Releasing a lock that is not held is a no-op.
+func (m *Manager) Release(id ID, elem uint32) {
+	e := m.table[elem]
+	if e == nil {
+		return
+	}
+	m.removeHolder(id, elem, e)
+	m.grantWaiters(elem, e)
+	m.maybeDrop(elem, e)
+}
+
+// ReleaseAll gives up every lock id holds and cancels any pending request.
+// Used on deadlock abort (§4.1: all locks released).
+func (m *Manager) ReleaseAll(id ID) {
+	m.CancelRequest(id)
+	h := m.held[id]
+	if h == nil {
+		return
+	}
+	elems := make([]uint32, 0, len(h))
+	for elem := range h {
+		elems = append(elems, elem)
+	}
+	for _, elem := range elems {
+		m.Release(id, elem)
+	}
+}
+
+// CancelRequest removes id's pending (queued) request, if any. The onGrant
+// callback will never be invoked. Reports whether a request was cancelled.
+func (m *Manager) CancelRequest(id ID) bool {
+	elem, ok := m.waitingOn[id]
+	if !ok {
+		return false
+	}
+	e := m.table[elem]
+	for i, r := range e.queue {
+		if r.id == id {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			break
+		}
+	}
+	delete(m.waitingOn, id)
+	// Removing a queued request may unblock the grant scan.
+	m.grantWaiters(elem, e)
+	m.maybeDrop(elem, e)
+	return true
+}
+
+// grantWaiters grants queued requests from the head while they are
+// compatible with the current holders (strict FIFO: stops at the first
+// request that cannot be granted).
+func (m *Manager) grantWaiters(elem uint32, e *entry) {
+	for len(e.queue) > 0 {
+		r := e.queue[0]
+		compatible := true
+		for h, hm := range e.holders {
+			if h == r.id {
+				continue // upgrade request
+			}
+			if !Compatible(hm, r.mode) {
+				compatible = false
+				break
+			}
+		}
+		if !compatible {
+			return
+		}
+		e.queue = e.queue[1:]
+		delete(m.waitingOn, r.id)
+		m.addHolder(r.id, elem, r.mode, e)
+		r.onGrant()
+	}
+}
+
+// Seize implements the authentication-phase lock grab of a central/shipped
+// transaction at a local site. It fails (ok=false, nothing changes) if the
+// element has in-flight asynchronous updates (coherence count non-zero).
+// Otherwise the central transaction id becomes a holder; local holders whose
+// mode conflicts are removed and returned as victims, to be marked for abort
+// by the caller. Compatible local holders keep their locks (§2).
+func (m *Manager) Seize(id ID, elem uint32, mode Mode) (victims []ID, ok bool) {
+	e := m.entry(elem)
+	if e.coherence != 0 {
+		m.maybeDrop(elem, e)
+		return nil, false
+	}
+	for h, hm := range e.holders {
+		if h == id {
+			continue
+		}
+		if !Compatible(hm, mode) || !Compatible(mode, hm) {
+			victims = append(victims, h)
+		}
+	}
+	for _, v := range victims {
+		m.removeHolder(v, elem, e)
+	}
+	m.addHolder(id, elem, mode, e)
+	return victims, true
+}
+
+// IncrCoherence records an asynchronous update in flight for elem.
+func (m *Manager) IncrCoherence(elem uint32) {
+	m.entry(elem).coherence++
+}
+
+// DecrCoherence records the acknowledgement of an asynchronous update. It
+// panics if the count would go negative, then grants nothing (coherence does
+// not block same-site requests).
+func (m *Manager) DecrCoherence(elem uint32) {
+	e := m.table[elem]
+	if e == nil || e.coherence == 0 {
+		panic(fmt.Sprintf("lock: coherence underflow on element %d", elem))
+	}
+	e.coherence--
+	m.maybeDrop(elem, e)
+}
+
+// Coherence returns the pending-update count for elem.
+func (m *Manager) Coherence(elem uint32) int {
+	if e := m.table[elem]; e != nil {
+		return e.coherence
+	}
+	return 0
+}
+
+// Holds reports whether id currently holds elem, and in which mode.
+func (m *Manager) Holds(id ID, elem uint32) (Mode, bool) {
+	if h := m.held[id]; h != nil {
+		mode, ok := h[elem]
+		return mode, ok
+	}
+	return 0, false
+}
+
+// HeldBy returns the elements held by id (a copy).
+func (m *Manager) HeldBy(id ID) map[uint32]Mode {
+	src := m.held[id]
+	out := make(map[uint32]Mode, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// Holders returns the transactions currently holding elem (a copy).
+func (m *Manager) Holders(elem uint32) []ID {
+	e := m.table[elem]
+	if e == nil {
+		return nil
+	}
+	out := make([]ID, 0, len(e.holders))
+	for id := range e.holders {
+		out = append(out, id)
+	}
+	return out
+}
+
+// LocksHeld returns the total number of granted locks at this site. The
+// dynamic routing strategies use it to estimate contention (§3.2.1).
+func (m *Manager) LocksHeld() int { return m.granted }
+
+// LocksHeldBy returns the number of locks id holds.
+func (m *Manager) LocksHeldBy(id ID) int { return len(m.held[id]) }
+
+// Waiting reports whether id has a queued request, and on which element.
+func (m *Manager) Waiting(id ID) (uint32, bool) {
+	elem, ok := m.waitingOn[id]
+	return elem, ok
+}
+
+// QueueLength returns the number of requests waiting on elem.
+func (m *Manager) QueueLength(elem uint32) int {
+	if e := m.table[elem]; e != nil {
+		return len(e.queue)
+	}
+	return 0
+}
+
+// CheckInvariants verifies internal consistency; it is used by tests and by
+// the simulator's self-check mode. It panics on violation.
+func (m *Manager) CheckInvariants() {
+	count := 0
+	for elem, e := range m.table {
+		if e.empty() {
+			panic(fmt.Sprintf("lock: empty entry %d retained", elem))
+		}
+		if e.coherence < 0 {
+			panic(fmt.Sprintf("lock: negative coherence on %d", elem))
+		}
+		// All pairs of holders must be compatible unless one pair member
+		// arrived via Seize; Seize only ever leaves compatible residents,
+		// so full pairwise compatibility must hold.
+		modes := make([]Mode, 0, len(e.holders))
+		for id, mode := range e.holders {
+			modes = append(modes, mode)
+			got, ok := m.held[id][elem]
+			if !ok || got != mode {
+				panic(fmt.Sprintf("lock: held index out of sync for txn %d elem %d", id, elem))
+			}
+			count++
+		}
+		for i := 0; i < len(modes); i++ {
+			for j := i + 1; j < len(modes); j++ {
+				if !Compatible(modes[i], modes[j]) {
+					panic(fmt.Sprintf("lock: incompatible co-holders on element %d", elem))
+				}
+			}
+		}
+		for _, r := range e.queue {
+			if w, ok := m.waitingOn[r.id]; !ok || w != elem {
+				panic(fmt.Sprintf("lock: waitingOn out of sync for txn %d", r.id))
+			}
+		}
+	}
+	if count != m.granted {
+		panic(fmt.Sprintf("lock: granted count %d != table count %d", m.granted, count))
+	}
+}

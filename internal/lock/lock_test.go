@@ -1,0 +1,490 @@
+package lock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestModeString(t *testing.T) {
+	if Share.String() != "S" || Exclusive.String() != "X" {
+		t.Fatalf("mode strings: %v %v", Share, Exclusive)
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode has empty string")
+	}
+}
+
+func TestCompatibility(t *testing.T) {
+	tests := []struct {
+		a, b Mode
+		want bool
+	}{
+		{Share, Share, true},
+		{Share, Exclusive, false},
+		{Exclusive, Share, false},
+		{Exclusive, Exclusive, false},
+	}
+	for _, tt := range tests {
+		if got := Compatible(tt.a, tt.b); got != tt.want {
+			t.Errorf("Compatible(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestShareShareCoexist(t *testing.T) {
+	m := NewManager()
+	if out := m.Acquire(1, 100, Share, nil); out != Granted {
+		t.Fatalf("first share: %v", out)
+	}
+	if out := m.Acquire(2, 100, Share, nil); out != Granted {
+		t.Fatalf("second share: %v", out)
+	}
+	if m.LocksHeld() != 2 {
+		t.Fatalf("LocksHeld = %d", m.LocksHeld())
+	}
+	m.CheckInvariants()
+}
+
+func TestExclusiveBlocks(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 7, Exclusive, nil)
+	granted := false
+	if out := m.Acquire(2, 7, Share, func() { granted = true }); out != Queued {
+		t.Fatalf("conflicting request: %v", out)
+	}
+	if granted {
+		t.Fatal("granted before release")
+	}
+	m.Release(1, 7)
+	if !granted {
+		t.Fatal("not granted after release")
+	}
+	m.CheckInvariants()
+}
+
+func TestFIFOGrantOrder(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 5, Exclusive, nil)
+	var order []int
+	for i := 2; i <= 5; i++ {
+		i := i
+		m.Acquire(ID(i), 5, Exclusive, func() { order = append(order, i) })
+	}
+	m.Release(1, 5)
+	// Only the head waiter (2) is granted; others still conflict with it.
+	if len(order) != 1 || order[0] != 2 {
+		t.Fatalf("grant order after first release: %v", order)
+	}
+	m.Release(2, 5)
+	m.Release(3, 5)
+	m.Release(4, 5)
+	want := []int{2, 3, 4, 5}
+	if len(order) != len(want) {
+		t.Fatalf("grants %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grants %v, want %v", order, want)
+		}
+	}
+	m.CheckInvariants()
+}
+
+func TestNewcomerCannotOvertakeQueue(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 3, Share, nil)
+	m.Acquire(2, 3, Exclusive, func() {}) // queued behind the share
+	// Another share would be compatible with holder 1, but FIFO fairness
+	// forbids jumping over the queued exclusive.
+	if out := m.Acquire(3, 3, Share, func() {}); out != Queued {
+		t.Fatalf("late share overtook queue: %v", out)
+	}
+	m.CheckInvariants()
+}
+
+func TestReacquireHeldLock(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 9, Exclusive, nil)
+	if out := m.Acquire(1, 9, Share, nil); out != Granted {
+		t.Fatalf("re-request weaker mode: %v", out)
+	}
+	if out := m.Acquire(1, 9, Exclusive, nil); out != Granted {
+		t.Fatalf("re-request same mode: %v", out)
+	}
+	if m.LocksHeld() != 1 {
+		t.Fatalf("LocksHeld = %d, want 1", m.LocksHeld())
+	}
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 4, Share, nil)
+	if out := m.Acquire(1, 4, Exclusive, nil); out != Granted {
+		t.Fatalf("sole-holder upgrade: %v", out)
+	}
+	if mode, ok := m.Holds(1, 4); !ok || mode != Exclusive {
+		t.Fatalf("after upgrade holds %v %v", mode, ok)
+	}
+	m.CheckInvariants()
+}
+
+func TestUpgradeWaitsForOtherSharers(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 4, Share, nil)
+	m.Acquire(2, 4, Share, nil)
+	upgraded := false
+	if out := m.Acquire(1, 4, Exclusive, func() { upgraded = true }); out != Queued {
+		t.Fatalf("upgrade with co-sharer: %v", out)
+	}
+	m.Release(2, 4)
+	if !upgraded {
+		t.Fatal("upgrade not granted after sharer left")
+	}
+	if mode, _ := m.Holds(1, 4); mode != Exclusive {
+		t.Fatalf("mode after upgrade = %v", mode)
+	}
+	if m.LocksHeld() != 1 {
+		t.Fatalf("LocksHeld = %d", m.LocksHeld())
+	}
+	m.CheckInvariants()
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 10, Exclusive, nil)
+	m.Acquire(2, 20, Exclusive, nil)
+	if out := m.Acquire(1, 20, Exclusive, func() {}); out != Queued {
+		t.Fatalf("txn1 wait: %v", out)
+	}
+	// txn2 -> 10 would close the cycle 2 -> 1 -> 2.
+	if out := m.Acquire(2, 10, Exclusive, func() {}); out != Deadlock {
+		t.Fatalf("cycle not detected: %v", out)
+	}
+	m.CheckInvariants()
+}
+
+func TestDeadlockThreeWay(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 1, Exclusive, nil)
+	m.Acquire(2, 2, Exclusive, nil)
+	m.Acquire(3, 3, Exclusive, nil)
+	if m.Acquire(1, 2, Exclusive, func() {}) != Queued {
+		t.Fatal("1->2 should queue")
+	}
+	if m.Acquire(2, 3, Exclusive, func() {}) != Queued {
+		t.Fatal("2->3 should queue")
+	}
+	if out := m.Acquire(3, 1, Exclusive, func() {}); out != Deadlock {
+		t.Fatalf("3-cycle not detected: %v", out)
+	}
+}
+
+func TestDeadlockViaQueueAhead(t *testing.T) {
+	// txn2 holds A. txn1 waits for A. txn3 queues behind txn1 on A.
+	// If txn1 then waits on something txn3 holds... but txn1 is already
+	// blocked. Instead: txn3 holds B; txn1 queues on A behind nothing,
+	// txn3 queues on A behind txn1, then txn2 (holder of A) requests B:
+	// 2 -> 3 (holder of B) -> queued on A behind 1 -> ... -> holder 2? No.
+	// Simplest queue-ahead cycle: 2 holds A; 1 queues on A; 3 holds B and
+	// queues on A behind 1; then 1 is blocked, so have 2 release and
+	// instead: 2 requests B: 2 -> holder(B)=3 -> waits A -> holder(A)=2.
+	m := NewManager()
+	m.Acquire(2, 'A', Exclusive, nil)
+	m.Acquire(3, 'B', Exclusive, nil)
+	if m.Acquire(3, 'A', Exclusive, func() {}) != Queued {
+		t.Fatal("3 should queue on A")
+	}
+	if out := m.Acquire(2, 'B', Exclusive, func() {}); out != Deadlock {
+		t.Fatalf("holder cycle not detected: %v", out)
+	}
+}
+
+func TestNoFalseDeadlock(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 10, Exclusive, nil)
+	if out := m.Acquire(2, 20, Exclusive, func() {}); out != Granted {
+		t.Fatalf("independent lock: %v", out)
+	}
+	if out := m.Acquire(3, 10, Exclusive, func() {}); out != Queued {
+		t.Fatalf("simple wait flagged: %v", out)
+	}
+}
+
+func TestReleaseAllOnAbort(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 1, Exclusive, nil)
+	m.Acquire(1, 2, Exclusive, nil)
+	m.Acquire(1, 3, Share, nil)
+	granted := false
+	m.Acquire(2, 1, Exclusive, func() { granted = true })
+	m.ReleaseAll(1)
+	if m.LocksHeldBy(1) != 0 {
+		t.Fatalf("txn1 still holds %d locks", m.LocksHeldBy(1))
+	}
+	if !granted {
+		t.Fatal("waiter not granted after ReleaseAll")
+	}
+	m.CheckInvariants()
+}
+
+func TestReleaseAllCancelsPendingRequest(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 5, Exclusive, nil)
+	m.Acquire(2, 5, Exclusive, func() { t.Fatal("cancelled request granted") })
+	m.ReleaseAll(2)
+	if _, waiting := m.Waiting(2); waiting {
+		t.Fatal("still waiting after ReleaseAll")
+	}
+	m.Release(1, 5)
+	m.CheckInvariants()
+}
+
+func TestCancelUnblocksLaterWaiters(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 5, Share, nil)
+	m.Acquire(2, 5, Exclusive, func() { t.Fatal("cancelled grant ran") })
+	granted := false
+	m.Acquire(3, 5, Share, func() { granted = true })
+	if !m.CancelRequest(2) {
+		t.Fatal("CancelRequest returned false")
+	}
+	if !granted {
+		t.Fatal("share behind cancelled exclusive not granted")
+	}
+	m.CheckInvariants()
+}
+
+func TestCancelNothingPending(t *testing.T) {
+	m := NewManager()
+	if m.CancelRequest(1) {
+		t.Fatal("CancelRequest with no request returned true")
+	}
+}
+
+func TestSeizeEvictsIncompatible(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 8, Exclusive, nil)
+	victims, ok := m.Seize(100, 8, Exclusive)
+	if !ok {
+		t.Fatal("seize refused without coherence pending")
+	}
+	if len(victims) != 1 || victims[0] != 1 {
+		t.Fatalf("victims = %v, want [1]", victims)
+	}
+	if _, held := m.Holds(1, 8); held {
+		t.Fatal("victim still holds lock")
+	}
+	if mode, held := m.Holds(100, 8); !held || mode != Exclusive {
+		t.Fatal("seizer does not hold lock")
+	}
+	m.CheckInvariants()
+}
+
+func TestSeizeCompatibleCoexists(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 8, Share, nil)
+	victims, ok := m.Seize(100, 8, Share)
+	if !ok || len(victims) != 0 {
+		t.Fatalf("share seize: ok=%v victims=%v", ok, victims)
+	}
+	if _, held := m.Holds(1, 8); !held {
+		t.Fatal("compatible local holder evicted")
+	}
+	m.CheckInvariants()
+}
+
+func TestSeizeRefusedWithPendingCoherence(t *testing.T) {
+	m := NewManager()
+	m.IncrCoherence(8)
+	if _, ok := m.Seize(100, 8, Exclusive); ok {
+		t.Fatal("seize succeeded despite in-flight update")
+	}
+	m.DecrCoherence(8)
+	if _, ok := m.Seize(100, 8, Exclusive); !ok {
+		t.Fatal("seize refused after ack")
+	}
+}
+
+func TestCoherenceCount(t *testing.T) {
+	m := NewManager()
+	m.IncrCoherence(1)
+	m.IncrCoherence(1)
+	if m.Coherence(1) != 2 {
+		t.Fatalf("coherence = %d", m.Coherence(1))
+	}
+	m.DecrCoherence(1)
+	m.DecrCoherence(1)
+	if m.Coherence(1) != 0 {
+		t.Fatalf("coherence = %d", m.Coherence(1))
+	}
+}
+
+func TestCoherenceUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("coherence underflow did not panic")
+		}
+	}()
+	NewManager().DecrCoherence(3)
+}
+
+func TestDoubleRequestWhileBlockedPanics(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 5, Exclusive, nil)
+	m.Acquire(2, 5, Exclusive, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second request while blocked did not panic")
+		}
+	}()
+	m.Acquire(2, 6, Exclusive, func() {})
+}
+
+func TestNilOnGrantForBlockingRequestPanics(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 5, Exclusive, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil onGrant did not panic")
+		}
+	}()
+	m.Acquire(2, 5, Exclusive, nil)
+}
+
+func TestHoldersAndQueueLength(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 5, Share, nil)
+	m.Acquire(2, 5, Share, nil)
+	m.Acquire(3, 5, Exclusive, func() {})
+	if len(m.Holders(5)) != 2 {
+		t.Fatalf("holders = %v", m.Holders(5))
+	}
+	if m.QueueLength(5) != 1 {
+		t.Fatalf("queue length = %d", m.QueueLength(5))
+	}
+	if m.QueueLength(99) != 0 || m.Holders(99) != nil {
+		t.Fatal("untouched element not empty")
+	}
+}
+
+func TestHeldByIsCopy(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 5, Share, nil)
+	h := m.HeldBy(1)
+	delete(h, 5)
+	if _, held := m.Holds(1, 5); !held {
+		t.Fatal("mutating HeldBy copy affected manager")
+	}
+}
+
+// TestQuickNeverIncompatibleHolders drives the manager with a random
+// operation sequence and checks after every step that no element has
+// incompatible co-holders and all counters reconcile.
+func TestQuickNeverIncompatibleHolders(t *testing.T) {
+	f := func(ops []uint32) bool {
+		m := NewManager()
+		blocked := make(map[ID]bool)
+		for _, op := range ops {
+			id := ID(op % 7)
+			elem := (op >> 3) % 5
+			mode := Share
+			if op&(1<<20) != 0 {
+				mode = Exclusive
+			}
+			switch (op >> 24) % 4 {
+			case 0, 1:
+				if blocked[id] {
+					continue
+				}
+				idc := id
+				out := m.Acquire(id, elem, mode, func() { blocked[idc] = false })
+				if out == Queued {
+					blocked[id] = true
+				}
+			case 2:
+				if blocked[id] {
+					continue
+				}
+				m.Release(id, elem)
+			case 3:
+				m.ReleaseAll(id)
+				blocked[id] = false
+			}
+			m.CheckInvariants()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSeizeInvariants interleaves seizures with local traffic.
+func TestQuickSeizeInvariants(t *testing.T) {
+	f := func(ops []uint32) bool {
+		m := NewManager()
+		blocked := make(map[ID]bool)
+		for _, op := range ops {
+			id := ID(op % 5)
+			elem := (op >> 3) % 4
+			switch (op >> 24) % 5 {
+			case 0:
+				if blocked[id] {
+					continue
+				}
+				idc := id
+				if m.Acquire(id, elem, Exclusive, func() { blocked[idc] = false }) == Queued {
+					blocked[id] = true
+				}
+			case 1:
+				victims, ok := m.Seize(ID(100+op%3), elem, Exclusive)
+				if ok {
+					for _, v := range victims {
+						if v >= 100 {
+							continue
+						}
+						// Victim aborts: cancel pending and drop the rest.
+						m.ReleaseAll(v)
+						blocked[v] = false
+					}
+				}
+			case 2:
+				m.IncrCoherence(elem)
+			case 3:
+				if m.Coherence(elem) > 0 {
+					m.DecrCoherence(elem)
+				}
+			case 4:
+				m.ReleaseAll(id)
+				blocked[id] = false
+			}
+			m.CheckInvariants()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReentrantGrantCallbackPreservesCoherence is a regression test for a
+// bug where a grant callback that re-entered the manager — releasing the
+// just-granted lock and raising the element's coherence count, as a
+// transaction commit does — had its freshly created table entry destroyed
+// by the outer Release's cleanup, silently zeroing the coherence count.
+func TestReentrantGrantCallbackPreservesCoherence(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 42, Exclusive, nil)
+	m.Acquire(2, 42, Exclusive, func() {
+		// Simulate txn 2 committing the instant it gets the lock:
+		// release it and mark an in-flight asynchronous update.
+		m.Release(2, 42)
+		m.IncrCoherence(42)
+	})
+	m.Release(1, 42) // triggers the grant callback reentrantly
+	if got := m.Coherence(42); got != 1 {
+		t.Fatalf("coherence after reentrant commit = %d, want 1", got)
+	}
+	m.DecrCoherence(42)
+	m.CheckInvariants()
+}

@@ -1,0 +1,305 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// paperParams returns the §4.1 defaults.
+func paperParams() Params {
+	return Params{
+		Sites:         10,
+		LocalMIPS:     1,
+		CentralMIPS:   15,
+		CommDelay:     0.2,
+		CallsPerTxn:   10,
+		InstrPerCall:  30_000,
+		InstrOverhead: 150_000,
+		IOTimePerCall: 0.025,
+		SetupIOTime:   0.035,
+		Lockspace:     32_768,
+		PWrite:        0.25,
+	}
+}
+
+func paperInput(lambda, pShip float64) Input {
+	return Input{
+		Params:             paperParams(),
+		ArrivalRatePerSite: lambda,
+		PLocal:             0.75,
+		PShip:              pShip,
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := paperParams().Validate(); err != nil {
+		t.Fatalf("paper params invalid: %v", err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.Sites = 0 },
+		func(p *Params) { p.LocalMIPS = 0 },
+		func(p *Params) { p.CentralMIPS = -1 },
+		func(p *Params) { p.CommDelay = -0.1 },
+		func(p *Params) { p.CallsPerTxn = 0 },
+		func(p *Params) { p.InstrPerCall = -1 },
+		func(p *Params) { p.IOTimePerCall = -1 },
+		func(p *Params) { p.Lockspace = 0 },
+		func(p *Params) { p.PWrite = 1.5 },
+	}
+	for i, mutate := range bad {
+		p := paperParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestInputValidate(t *testing.T) {
+	if err := paperInput(1, 0).ValidateInput(); err != nil {
+		t.Fatalf("paper input invalid: %v", err)
+	}
+	for i, in := range []Input{
+		{Params: paperParams(), ArrivalRatePerSite: 0, PLocal: 0.75},
+		{Params: paperParams(), ArrivalRatePerSite: 1, PLocal: -0.1},
+		{Params: paperParams(), ArrivalRatePerSite: 1, PLocal: 0.75, PShip: 1.2},
+	} {
+		if err := in.ValidateInput(); err == nil {
+			t.Errorf("bad input %d accepted", i)
+		}
+	}
+}
+
+func TestDemands(t *testing.T) {
+	p := paperParams()
+	// 150K + 10*30K = 450K instructions; at 1 MIPS that is 0.45 s.
+	if got := p.DemandFirstRun(p.LocalMIPS); math.Abs(got-0.45) > 1e-12 {
+		t.Errorf("local first-run demand = %v, want 0.45", got)
+	}
+	if got := p.DemandRerun(p.LocalMIPS); math.Abs(got-0.30) > 1e-12 {
+		t.Errorf("local rerun demand = %v, want 0.30", got)
+	}
+	// At 15 MIPS: 0.03 s.
+	if got := p.DemandFirstRun(p.CentralMIPS); math.Abs(got-0.03) > 1e-12 {
+		t.Errorf("central first-run demand = %v, want 0.03", got)
+	}
+}
+
+func TestSolveLowLoadApproachesUnloadedTimes(t *testing.T) {
+	r, err := Solve(paperInput(0.01, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Converged {
+		t.Fatal("low-load solve did not converge")
+	}
+	// Unloaded local: 0.15 CPU + 0.035 setup IO + 10*(0.03 + 0.025) = 0.735.
+	if math.Abs(r.RLocal-0.735) > 0.01 {
+		t.Errorf("RLocal = %v, want ~0.735", r.RLocal)
+	}
+	// Unloaded central: 0.4 in/out+auth delays + 0.01 + 0.035 + 10*(0.002+0.025) + 0.4 = ~1.115.
+	if math.Abs(r.RCentral-1.115) > 0.02 {
+		t.Errorf("RCentral = %v, want ~1.115", r.RCentral)
+	}
+	if r.PAbortLocal > 0.01 || r.PAbortCentral > 0.01 {
+		t.Errorf("low-load abort probs: %v %v", r.PAbortLocal, r.PAbortCentral)
+	}
+}
+
+func TestSolveSaturatesWithoutSharing(t *testing.T) {
+	// Local demand 0.45 s/txn: a local site saturates at
+	// lambda*0.75*0.45 >= 1, i.e. lambda ≈ 2.96/site (~30 tps total).
+	r, err := Solve(paperInput(3.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Saturated {
+		t.Fatalf("expected saturation at lambda=3, pShip=0; util=%v", r.UtilLocal)
+	}
+	if !math.IsInf(r.RAvg, 1) {
+		t.Error("saturated RAvg not +Inf")
+	}
+}
+
+func TestSolveShippingRelievesLocalSaturation(t *testing.T) {
+	r, err := Solve(paperInput(3.0, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Saturated {
+		t.Fatalf("still saturated with pShip=0.8: utils %v %v", r.UtilLocal, r.UtilCentral)
+	}
+	if r.UtilLocal >= 1 || r.UtilCentral >= 1 {
+		t.Errorf("utilizations %v %v", r.UtilLocal, r.UtilCentral)
+	}
+}
+
+func TestSolveResponseTimesIncreaseWithLoad(t *testing.T) {
+	prev := 0.0
+	for _, lam := range []float64{0.5, 1.0, 1.5, 2.0} {
+		r, err := Solve(paperInput(lam, 0.3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Saturated {
+			t.Fatalf("saturated at lambda=%v, pShip=0.3", lam)
+		}
+		if r.RAvg <= prev {
+			t.Errorf("RAvg not increasing: %v at lambda=%v (prev %v)", r.RAvg, lam, prev)
+		}
+		prev = r.RAvg
+	}
+}
+
+func TestSolveCommDelayPenalizesCentral(t *testing.T) {
+	short, err := Solve(paperInput(1, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := paperInput(1, 0.5)
+	in.CommDelay = 0.5
+	long, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.RCentral <= short.RCentral {
+		t.Errorf("RCentral with D=0.5 (%v) not above D=0.2 (%v)", long.RCentral, short.RCentral)
+	}
+	if long.RCentral-short.RCentral < 4*(0.5-0.2)*0.9 {
+		t.Errorf("central delta %v smaller than the 4D floor delta", long.RCentral-short.RCentral)
+	}
+}
+
+func TestSolveAbortProbabilitiesGrowWithWriteMix(t *testing.T) {
+	low := paperInput(2, 0.5)
+	low.PWrite = 0.05
+	high := paperInput(2, 0.5)
+	high.PWrite = 0.6
+	rl, err := Solve(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := Solve(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.PAbortCentral <= rl.PAbortCentral {
+		t.Errorf("central abort prob did not grow with write mix: %v -> %v",
+			rl.PAbortCentral, rh.PAbortCentral)
+	}
+}
+
+func TestSolveRejectsBadInput(t *testing.T) {
+	if _, err := Solve(Input{}); err == nil {
+		t.Fatal("zero input accepted")
+	}
+}
+
+func TestRaceLossProbability(t *testing.T) {
+	// Huge delay: the local transaction always finishes first, P_f = 0.
+	if pf := raceLossProbability(1, 1, 100); pf != 0 {
+		t.Errorf("P_f with huge delay = %v, want 0", pf)
+	}
+	// Long local residual vs instant central: P_f near 1.
+	if pf := raceLossProbability(1000, 0.001, 0); pf < 0.95 {
+		t.Errorf("P_f with long local run = %v, want ~1", pf)
+	}
+	// Monotone decreasing in delay.
+	prev := 1.0
+	for _, d := range []float64{0, 0.1, 0.2, 0.5, 1} {
+		pf := raceLossProbability(1, 0.5, d)
+		if pf > prev+1e-9 {
+			t.Errorf("P_f not monotone in delay at d=%v: %v > %v", d, pf, prev)
+		}
+		if pf < 0 || pf > 1 {
+			t.Errorf("P_f out of range: %v", pf)
+		}
+		prev = pf
+	}
+	// Degenerate betaL.
+	if pf := raceLossProbability(0, 1, 0); pf != 0 {
+		t.Errorf("P_f with zero local residual = %v", pf)
+	}
+}
+
+func TestOptimalShipFractionZeroAtLowLoad(t *testing.T) {
+	res, err := OptimalShipFraction(paperInput(0.3, 0), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.2: static ships nothing below ~5 tps total (0.5/site).
+	if res.PShip > 0.02 {
+		t.Errorf("optimal pShip at low load = %v, want ~0", res.PShip)
+	}
+}
+
+func TestOptimalShipFractionPositiveNearLocalSaturation(t *testing.T) {
+	res, err := OptimalShipFraction(paperInput(2.5, 0), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PShip < 0.1 {
+		t.Errorf("optimal pShip near saturation = %v, want substantial", res.PShip)
+	}
+	if res.Saturated {
+		t.Error("optimal static solution saturated")
+	}
+}
+
+func TestOptimalShipFractionBeatsEndpoints(t *testing.T) {
+	in := paperInput(2.5, 0)
+	res, err := OptimalShipFraction(in, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ps := range []float64{0, 1} {
+		trial := in
+		trial.PShip = ps
+		r, err := Solve(trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Saturated && r.RAvg < res.RAvg-1e-9 {
+			t.Errorf("pShip=%v gives RAvg %v < optimum %v", ps, r.RAvg, res.RAvg)
+		}
+	}
+}
+
+func TestOptimalShipFractionGrowsWithLoadThenSystemSaturates(t *testing.T) {
+	prev := -1.0
+	for _, lam := range []float64{0.5, 1.5, 2.5} {
+		res, err := OptimalShipFraction(paperInput(lam, 0), 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PShip < prev-0.05 {
+			t.Errorf("optimal pShip decreased early: %v at lambda=%v (prev %v)", res.PShip, lam, prev)
+		}
+		prev = res.PShip
+	}
+}
+
+func TestOptimalShipFractionRejectsBadStep(t *testing.T) {
+	if _, err := OptimalShipFraction(paperInput(1, 0), 0); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if _, err := OptimalShipFraction(paperInput(1, 0), 0.9); err == nil {
+		t.Fatal("oversized step accepted")
+	}
+}
+
+func TestHigherDelayRaisesOptimalShipThreshold(t *testing.T) {
+	// With larger comm delay shipping is less attractive at moderate load.
+	at := func(d float64) float64 {
+		in := paperInput(1.8, 0)
+		in.CommDelay = d
+		res, err := OptimalShipFraction(in, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PShip
+	}
+	if pLong, pShort := at(0.5), at(0.2); pLong > pShort+1e-6 {
+		t.Errorf("pShip grew with comm delay: D=0.5 -> %v, D=0.2 -> %v", pLong, pShort)
+	}
+}

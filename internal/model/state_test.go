@@ -1,0 +1,132 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUtilizationFromQueue(t *testing.T) {
+	tests := []struct {
+		q    int
+		a    float64
+		want float64
+	}{
+		{0, 0, 0},
+		{1, 0, 0.5},
+		{3, 0, 0.75},
+		{0, 1, 0.5}, // empty queue but the routed txn counts
+		{-5, 0, 0},  // defensive clamp
+	}
+	for _, tt := range tests {
+		if got := UtilizationFromQueue(tt.q, tt.a); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("UtilizationFromQueue(%d,%v) = %v, want %v", tt.q, tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestUtilizationFromQueueBelowOne(t *testing.T) {
+	for q := 0; q < 1000; q += 37 {
+		if rho := UtilizationFromQueue(q, 1); rho >= 1 {
+			t.Fatalf("rho(%d) = %v >= 1", q, rho)
+		}
+	}
+}
+
+func TestUtilizationFromCount(t *testing.T) {
+	p := paperParams()
+	// Local: demand 0.45 of unloaded response 0.735 -> alpha ≈ 0.612.
+	got := p.UtilizationFromCount(p.LocalMIPS, 1, 0)
+	want := 0.45 / 0.735
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("local alpha = %v, want %v", got, want)
+	}
+	// Clamped at 0.999 for large counts.
+	if rho := p.UtilizationFromCount(p.LocalMIPS, 100, 0); rho != 0.999 {
+		t.Errorf("clamped rho = %v", rho)
+	}
+	if rho := p.UtilizationFromCount(p.LocalMIPS, -3, 0); rho != 0 {
+		t.Errorf("negative count rho = %v", rho)
+	}
+}
+
+func TestEstimateFromStateIdle(t *testing.T) {
+	p := paperParams()
+	est := EstimateFromState(p, 0, 0, 0, 0)
+	// Idle local ≈ unloaded response time 0.735 s.
+	if math.Abs(est.RLocal-0.735) > 0.01 {
+		t.Errorf("idle RLocal = %v, want ~0.735", est.RLocal)
+	}
+	// Idle central ≈ 1.115 s (4 comm hops + fast CPU + I/O).
+	if math.Abs(est.RCentral-1.115) > 0.02 {
+		t.Errorf("idle RCentral = %v, want ~1.115", est.RCentral)
+	}
+}
+
+func TestEstimateLocalLoadFavoursShipping(t *testing.T) {
+	p := paperParams()
+	idle := EstimateFromState(p, 0, 0, 0, 0)
+	busy := EstimateFromState(p, 0.9, 0, 0, 0)
+	if busy.RLocal <= idle.RLocal {
+		t.Errorf("RLocal did not grow with local load: %v -> %v", idle.RLocal, busy.RLocal)
+	}
+	if busy.RLocal <= busy.RCentral {
+		t.Errorf("at 0.9 local load shipping should win: RLocal=%v RCentral=%v",
+			busy.RLocal, busy.RCentral)
+	}
+}
+
+func TestEstimateCentralLoadFavoursLocal(t *testing.T) {
+	p := paperParams()
+	est := EstimateFromState(p, 0.1, 0.95, 0, 0)
+	if est.RLocal >= est.RCentral {
+		t.Errorf("with central overloaded local should win: RLocal=%v RCentral=%v",
+			est.RLocal, est.RCentral)
+	}
+}
+
+func TestEstimateSaturatedIsInf(t *testing.T) {
+	p := paperParams()
+	est := EstimateFromState(p, 1, 0.5, 0, 0)
+	if !math.IsInf(est.RLocal, 1) {
+		t.Errorf("saturated RLocal = %v, want +Inf", est.RLocal)
+	}
+	if math.IsInf(est.RCentral, 1) {
+		t.Errorf("RCentral should remain finite, got %v", est.RCentral)
+	}
+}
+
+func TestEstimateContentionRaisesResponse(t *testing.T) {
+	p := paperParams()
+	clean := EstimateFromState(p, 0.5, 0.5, 0, 0)
+	contended := EstimateFromState(p, 0.5, 0.5, 200, 5000)
+	if contended.RLocal <= clean.RLocal {
+		t.Errorf("local contention ignored: %v -> %v", clean.RLocal, contended.RLocal)
+	}
+	if contended.RCentral <= clean.RCentral {
+		t.Errorf("central contention ignored: %v -> %v", clean.RCentral, contended.RCentral)
+	}
+}
+
+func TestEstimateCommDelayRaisesCentralOnly(t *testing.T) {
+	p := paperParams()
+	short := EstimateFromState(p, 0.3, 0.3, 10, 100)
+	p.CommDelay = 0.5
+	long := EstimateFromState(p, 0.3, 0.3, 10, 100)
+	if long.RCentral <= short.RCentral {
+		t.Errorf("RCentral did not grow with delay: %v -> %v", short.RCentral, long.RCentral)
+	}
+	if math.Abs(long.RLocal-short.RLocal) > 0.05 {
+		t.Errorf("RLocal moved too much with comm delay: %v -> %v", short.RLocal, long.RLocal)
+	}
+}
+
+func TestEstimateExtremeLockCountsStayDefined(t *testing.T) {
+	p := paperParams()
+	est := EstimateFromState(p, 0.5, 0.5, int(p.PartitionSize()), int(p.Lockspace))
+	if math.IsNaN(est.RLocal) || math.IsNaN(est.RCentral) {
+		t.Fatalf("NaN estimates: %+v", est)
+	}
+	if est.RLocal < 0 || est.RCentral < 0 {
+		t.Fatalf("negative estimates: %+v", est)
+	}
+}

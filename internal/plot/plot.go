@@ -1,0 +1,260 @@
+// Package plot renders series as ASCII line charts, so the figure
+// regeneration tools can show curve shapes — knees, crossovers, inflections
+// — directly in a terminal, next to the numeric tables.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// series is one named curve.
+type series struct {
+	name string
+	mark byte
+	xs   []float64
+	ys   []float64
+}
+
+// Chart accumulates series and renders them on a character canvas.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot-area dimensions in characters
+	// (excluding axes and labels). Zero values select 64×20.
+	Width  int
+	Height int
+	// YMax caps the y-axis; points above it (including +Inf) are drawn
+	// clamped at the top edge. Zero auto-scales to the finite maximum.
+	YMax float64
+
+	curves []series
+}
+
+// marks assigns plot symbols in series order.
+const marks = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+// Add appends a curve. xs and ys must have equal length.
+func (c *Chart) Add(name string, xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("plot: series %q has %d x values and %d y values", name, len(xs), len(ys))
+	}
+	if len(c.curves) >= len(marks) {
+		return fmt.Errorf("plot: too many series (max %d)", len(marks))
+	}
+	xsCopy := append([]float64(nil), xs...)
+	ysCopy := append([]float64(nil), ys...)
+	c.curves = append(c.curves, series{
+		name: name,
+		mark: marks[len(c.curves)],
+		xs:   xsCopy,
+		ys:   ysCopy,
+	})
+	return nil
+}
+
+func (c *Chart) dims() (w, h int) {
+	w, h = c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+	return w, h
+}
+
+// bounds computes the data ranges, ignoring non-finite values for the max
+// and honouring YMax.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.curves {
+		for i := range s.xs {
+			x, y := s.xs[i], s.ys[i]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+			if !math.IsInf(y, 0) {
+				if y < ymin {
+					ymin = y
+				}
+				if y > ymax {
+					ymax = y
+				}
+			}
+		}
+	}
+	if math.IsInf(xmin, 0) || math.IsInf(ymin, 0) {
+		return 0, 0, 0, 0, false
+	}
+	if c.YMax > 0 && ymax > c.YMax {
+		ymax = c.YMax
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	return xmin, xmax, ymin, ymax, true
+}
+
+// Render writes the chart.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.dims()
+	xmin, xmax, ymin, ymax, ok := c.bounds()
+	if !ok {
+		_, err := fmt.Fprintln(w, "(no finite data to plot)")
+		return err
+	}
+
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		p := (x - xmin) / (xmax - xmin) * float64(width-1)
+		return clampInt(int(math.Round(p)), 0, width-1)
+	}
+	row := func(y float64) int {
+		if math.IsInf(y, 1) || y > ymax {
+			y = ymax
+		}
+		if y < ymin {
+			y = ymin
+		}
+		p := (y - ymin) / (ymax - ymin) * float64(height-1)
+		return clampInt(height-1-int(math.Round(p)), 0, height-1)
+	}
+
+	for _, s := range c.curves {
+		// Line segments between consecutive points, then marks on top.
+		for i := 1; i < len(s.xs); i++ {
+			drawSegment(canvas, col(s.xs[i-1]), row(s.ys[i-1]), col(s.xs[i]), row(s.ys[i]))
+		}
+		for i := range s.xs {
+			if math.IsNaN(s.xs[i]) || math.IsNaN(s.ys[i]) {
+				continue
+			}
+			canvas[row(s.ys[i])][col(s.xs[i])] = s.mark
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintln(w, c.Title); err != nil {
+			return err
+		}
+	}
+	yTop := fmt.Sprintf("%.3g", ymax)
+	yBottom := fmt.Sprintf("%.3g", ymin)
+	labelWidth := len(yTop)
+	if len(yBottom) > labelWidth {
+		labelWidth = len(yBottom)
+	}
+	for i, line := range canvas {
+		label := strings.Repeat(" ", labelWidth)
+		switch i {
+		case 0:
+			label = pad(yTop, labelWidth)
+		case height - 1:
+			label = pad(yBottom, labelWidth)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, line); err != nil {
+			return err
+		}
+	}
+	axis := strings.Repeat("-", width)
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelWidth), axis); err != nil {
+		return err
+	}
+	xl := fmt.Sprintf("%.3g", xmin)
+	xr := fmt.Sprintf("%.3g", xmax)
+	gap := width - len(xl) - len(xr)
+	if gap < 1 {
+		gap = 1
+	}
+	if _, err := fmt.Fprintf(w, "%s  %s%s%s\n",
+		strings.Repeat(" ", labelWidth), xl, strings.Repeat(" ", gap), xr); err != nil {
+		return err
+	}
+	if c.XLabel != "" || c.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "%s  x: %s   y: %s\n",
+			strings.Repeat(" ", labelWidth), c.XLabel, c.YLabel); err != nil {
+			return err
+		}
+	}
+	for _, s := range c.curves {
+		if _, err := fmt.Fprintf(w, "%s  %c = %s\n",
+			strings.Repeat(" ", labelWidth), s.mark, s.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drawSegment draws a light line between two canvas cells with Bresenham's
+// algorithm, not overwriting existing marks.
+func drawSegment(canvas [][]byte, x0, y0, x1, y1 int) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx := 1
+	if x0 > x1 {
+		sx = -1
+	}
+	sy := 1
+	if y0 > y1 {
+		sy = -1
+	}
+	errAcc := dx + dy
+	for {
+		if canvas[y0][x0] == ' ' {
+			canvas[y0][x0] = '.'
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * errAcc
+		if e2 >= dy {
+			errAcc += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			errAcc += dx
+			y0 += sy
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return strings.Repeat(" ", width-len(s)) + s
+}

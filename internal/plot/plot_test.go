@@ -1,0 +1,173 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicChart(t *testing.T) {
+	var c Chart
+	c.Title = "test chart"
+	c.XLabel = "tps"
+	c.YLabel = "rt"
+	if err := c.Add("rising", []float64{0, 1, 2, 3}, []float64{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"test chart", "A = rising", "x: tps", "y: rt", "A"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderRisingCurveShape(t *testing.T) {
+	var c Chart
+	c.Width, c.Height = 40, 10
+	if err := c.Add("up", []float64{0, 10}, []float64{0, 100}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	// First canvas row holds the maximum: the mark must appear near the
+	// right edge of the top row and near the left edge of the bottom row.
+	top, bottom := lines[0], lines[9]
+	if !strings.Contains(top, "A") {
+		t.Errorf("top row missing high point: %q", top)
+	}
+	if !strings.Contains(bottom, "A") {
+		t.Errorf("bottom row missing low point: %q", bottom)
+	}
+	if strings.Index(top, "A") < strings.Index(bottom, "A") {
+		t.Error("rising curve renders falling")
+	}
+}
+
+func TestRenderMultipleSeries(t *testing.T) {
+	var c Chart
+	c.Add("one", []float64{0, 1}, []float64{1, 1})
+	c.Add("two", []float64{0, 1}, []float64{2, 2})
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "A = one") || !strings.Contains(out, "B = two") {
+		t.Errorf("legend wrong:\n%s", out)
+	}
+}
+
+func TestInfValuesClampToTop(t *testing.T) {
+	var c Chart
+	c.Height = 8
+	c.Add("sat", []float64{0, 1, 2}, []float64{1, 2, math.Inf(1)})
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	top := strings.Split(buf.String(), "\n")[0]
+	if !strings.Contains(top, "A") {
+		t.Errorf("Inf point not clamped to the top row: %q", top)
+	}
+}
+
+func TestYMaxCapsScale(t *testing.T) {
+	var c Chart
+	c.YMax = 10
+	c.Add("spiky", []float64{0, 1, 2}, []float64{1, 2, 1000})
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "10") {
+		t.Errorf("capped y-axis label missing:\n%s", buf.String())
+	}
+}
+
+func TestMismatchedSeriesRejected(t *testing.T) {
+	var c Chart
+	if err := c.Add("bad", []float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestEmptyChart(t *testing.T) {
+	var c Chart
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no finite data") {
+		t.Errorf("empty chart output: %q", buf.String())
+	}
+}
+
+func TestAllInfSeries(t *testing.T) {
+	var c Chart
+	c.Add("inf", []float64{0, 1}, []float64{math.Inf(1), math.Inf(1)})
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no finite data") {
+		t.Errorf("all-Inf chart should report no data:\n%s", buf.String())
+	}
+}
+
+func TestConstantSeries(t *testing.T) {
+	var c Chart
+	c.Add("flat", []float64{1, 2, 3}, []float64{5, 5, 5})
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "A") {
+		t.Error("flat series not rendered")
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	var c Chart
+	c.Add("dot", []float64{1}, []float64{1})
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTooManySeries(t *testing.T) {
+	var c Chart
+	for i := 0; i < len(marks); i++ {
+		if err := c.Add("s", []float64{0}, []float64{0}); err != nil {
+			t.Fatalf("series %d rejected early: %v", i, err)
+		}
+	}
+	if err := c.Add("overflow", []float64{0}, []float64{0}); err == nil {
+		t.Fatal("27th series accepted")
+	}
+}
+
+func TestAddCopiesData(t *testing.T) {
+	xs := []float64{0, 1}
+	ys := []float64{0, 1}
+	var c Chart
+	c.Add("copy", xs, ys)
+	xs[0] = 99
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Axis must still start at 0, not 99: mutation after Add has no effect.
+	if !strings.Contains(buf.String(), "0") {
+		t.Errorf("chart affected by caller mutation:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,119 @@
+// Package queueing provides the classical queueing formulas the analytical
+// model builds on (M/M/1, M/D/1, M/M/c) — and, through its tests, validates
+// the simulator's CPU server against them: the server's deterministic
+// service times under Poisson arrivals form an M/D/1 queue, whose
+// Pollaczek–Khinchine waiting time the simulation must match.
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1ResponseTime returns the mean sojourn time of an M/M/1 queue with
+// arrival rate lambda and service rate mu. It returns +Inf at or beyond
+// saturation.
+func MM1ResponseTime(lambda, mu float64) float64 {
+	if err := check(lambda, mu); err != nil {
+		panic(err)
+	}
+	if lambda >= mu {
+		return math.Inf(1)
+	}
+	return 1 / (mu - lambda)
+}
+
+// MM1QueueLength returns the mean number in system of an M/M/1 queue,
+// rho/(1-rho).
+func MM1QueueLength(lambda, mu float64) float64 {
+	if err := check(lambda, mu); err != nil {
+		panic(err)
+	}
+	rho := lambda / mu
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho / (1 - rho)
+}
+
+// MD1ResponseTime returns the mean sojourn time of an M/D/1 queue
+// (deterministic service of duration 1/mu) by Pollaczek–Khinchine:
+// W = 1/mu + rho/(2*mu*(1-rho)).
+func MD1ResponseTime(lambda, mu float64) float64 {
+	if err := check(lambda, mu); err != nil {
+		panic(err)
+	}
+	rho := lambda / mu
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return 1/mu + rho/(2*mu*(1-rho))
+}
+
+// MD1QueueLength returns the mean number in system of an M/D/1 queue by
+// Little's law.
+func MD1QueueLength(lambda, mu float64) float64 {
+	w := MD1ResponseTime(lambda, mu)
+	if math.IsInf(w, 1) {
+		return math.Inf(1)
+	}
+	return lambda * w
+}
+
+// MG1ResponseTime returns the mean sojourn time of an M/G/1 queue with the
+// given service-time mean and squared coefficient of variation cs2
+// (cs2 = 0 gives M/D/1, cs2 = 1 gives M/M/1).
+func MG1ResponseTime(lambda, meanService, cs2 float64) float64 {
+	if lambda < 0 || meanService <= 0 || cs2 < 0 {
+		panic(fmt.Sprintf("queueing: invalid M/G/1 parameters (%v, %v, %v)", lambda, meanService, cs2))
+	}
+	rho := lambda * meanService
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	wq := lambda * meanService * meanService * (1 + cs2) / (2 * (1 - rho))
+	return meanService + wq
+}
+
+// ErlangC returns the probability an arrival to an M/M/c queue must wait.
+func ErlangC(lambda, mu float64, servers int) float64 {
+	if err := check(lambda, mu); err != nil {
+		panic(err)
+	}
+	if servers <= 0 {
+		panic(fmt.Sprintf("queueing: %d servers", servers))
+	}
+	a := lambda / mu // offered load in Erlangs
+	c := float64(servers)
+	if a >= c {
+		return 1
+	}
+	// Sum a^k/k! for k < c, iteratively to avoid overflow.
+	sum := 0.0
+	term := 1.0
+	for k := 0; k < servers; k++ {
+		if k > 0 {
+			term *= a / float64(k)
+		}
+		sum += term
+	}
+	top := term * a / c / (1 - a/c)
+	return top / (sum + top)
+}
+
+// MMcResponseTime returns the mean sojourn time of an M/M/c queue.
+func MMcResponseTime(lambda, mu float64, servers int) float64 {
+	pw := ErlangC(lambda, mu, servers)
+	c := float64(servers)
+	if lambda >= c*mu {
+		return math.Inf(1)
+	}
+	return 1/mu + pw/(c*mu-lambda)
+}
+
+func check(lambda, mu float64) error {
+	if lambda < 0 || mu <= 0 {
+		return fmt.Errorf("queueing: invalid rates lambda=%v mu=%v", lambda, mu)
+	}
+	return nil
+}

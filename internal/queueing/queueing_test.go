@@ -1,0 +1,219 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"hybriddb/internal/cpu"
+	"hybriddb/internal/rng"
+	"hybriddb/internal/sim"
+	"hybriddb/internal/stats"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMM1KnownValues(t *testing.T) {
+	// lambda=0.5, mu=1: W = 2, L = 1.
+	if w := MM1ResponseTime(0.5, 1); !almost(w, 2, 1e-12) {
+		t.Errorf("W = %v, want 2", w)
+	}
+	if l := MM1QueueLength(0.5, 1); !almost(l, 1, 1e-12) {
+		t.Errorf("L = %v, want 1", l)
+	}
+}
+
+func TestMM1Saturation(t *testing.T) {
+	if !math.IsInf(MM1ResponseTime(1, 1), 1) {
+		t.Error("saturated M/M/1 response not Inf")
+	}
+	if !math.IsInf(MM1QueueLength(2, 1), 1) {
+		t.Error("saturated M/M/1 length not Inf")
+	}
+}
+
+func TestMD1HalfTheWait(t *testing.T) {
+	// Deterministic service halves the queueing delay of M/M/1:
+	// Wq(M/D/1) = Wq(M/M/1)/2 at equal rates.
+	lambda, mu := 0.8, 1.0
+	wqMM1 := MM1ResponseTime(lambda, mu) - 1/mu
+	wqMD1 := MD1ResponseTime(lambda, mu) - 1/mu
+	if !almost(wqMD1, wqMM1/2, 1e-12) {
+		t.Errorf("M/D/1 wait %v, want half of M/M/1 %v", wqMD1, wqMM1)
+	}
+}
+
+func TestMG1Envelope(t *testing.T) {
+	// cs2=0 reproduces M/D/1; cs2=1 reproduces M/M/1.
+	lambda, mu := 0.7, 1.0
+	if w := MG1ResponseTime(lambda, 1/mu, 0); !almost(w, MD1ResponseTime(lambda, mu), 1e-12) {
+		t.Errorf("M/G/1 cs2=0: %v vs M/D/1 %v", w, MD1ResponseTime(lambda, mu))
+	}
+	if w := MG1ResponseTime(lambda, 1/mu, 1); !almost(w, MM1ResponseTime(lambda, mu), 1e-12) {
+		t.Errorf("M/G/1 cs2=1: %v vs M/M/1 %v", w, MM1ResponseTime(lambda, mu))
+	}
+}
+
+func TestErlangCBounds(t *testing.T) {
+	for _, tt := range []struct {
+		lambda float64
+		c      int
+	}{{0.1, 1}, {0.5, 1}, {1.5, 2}, {7, 10}} {
+		p := ErlangC(tt.lambda, 1, tt.c)
+		if p < 0 || p > 1 {
+			t.Errorf("ErlangC(%v,1,%d) = %v out of [0,1]", tt.lambda, tt.c, p)
+		}
+	}
+	// Single server: Erlang C reduces to rho.
+	if p := ErlangC(0.6, 1, 1); !almost(p, 0.6, 1e-12) {
+		t.Errorf("single-server Erlang C = %v, want 0.6", p)
+	}
+	// Overloaded: waits with certainty.
+	if p := ErlangC(3, 1, 2); p != 1 {
+		t.Errorf("overloaded Erlang C = %v, want 1", p)
+	}
+}
+
+func TestMMcFasterThanMM1AtSameUtilization(t *testing.T) {
+	// Two servers at rho=0.8 each beat one server at rho=0.8 with double
+	// speed? No — the comparison that must hold: M/M/2 with lambda=1.6,
+	// mu=1 beats M/M/1 with lambda=1.6, mu=2 on queueing wait ratios is
+	// subtle; assert instead the basic sanity: more servers, less waiting.
+	w1 := MMcResponseTime(0.8, 1, 1)
+	w2 := MMcResponseTime(0.8, 1, 2)
+	if w2 >= w1 {
+		t.Errorf("M/M/2 (%v) not faster than M/M/1 (%v) at equal load", w2, w1)
+	}
+}
+
+func TestInvalidParametersPanic(t *testing.T) {
+	cases := []func(){
+		func() { MM1ResponseTime(-1, 1) },
+		func() { MM1ResponseTime(1, 0) },
+		func() { MG1ResponseTime(1, 0, 0) },
+		func() { ErlangC(1, 1, 0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestCPUServerMatchesMD1 validates the simulator's CPU substrate against
+// theory: Poisson arrivals of fixed-length bursts form an M/D/1 queue, so
+// the simulated mean sojourn time must match Pollaczek–Khinchine.
+func TestCPUServerMatchesMD1(t *testing.T) {
+	const (
+		mips         = 1.0
+		instructions = 100_000 // 0.1 s deterministic service
+		lambda       = 7.0     // rho = 0.7
+		horizon      = 20_000.0
+	)
+	s := sim.New()
+	server := cpu.NewServer(s, mips)
+	src := rng.New(99)
+	var sojourn stats.Welford
+
+	var arrive func()
+	arrive = func() {
+		gap := src.Exp(1 / lambda)
+		if s.Now()+gap > horizon {
+			return
+		}
+		s.Schedule(gap, func() {
+			start := s.Now()
+			server.Submit(instructions, func() {
+				sojourn.Add(s.Now() - start)
+			})
+			arrive()
+		})
+	}
+	arrive()
+	s.Run()
+
+	mu := 1 / server.ServiceTime(instructions) // 10 per second
+	want := MD1ResponseTime(lambda, mu)
+	got := sojourn.Mean()
+	if sojourn.Count() < 100_000 {
+		t.Fatalf("only %d samples", sojourn.Count())
+	}
+	if math.Abs(got-want)/want > 0.03 {
+		t.Errorf("simulated M/D/1 sojourn %v, theory %v (rel err %.3f)",
+			got, want, math.Abs(got-want)/want)
+	}
+}
+
+// TestCPUServerUtilizationMatchesOfferedLoad cross-checks the server's busy
+// time accounting against rho = lambda/mu.
+func TestCPUServerUtilizationMatchesOfferedLoad(t *testing.T) {
+	s := sim.New()
+	server := cpu.NewServer(s, 1)
+	src := rng.New(7)
+	const lambda, instructions, horizon = 4.0, 100_000, 5_000.0
+
+	var arrive func()
+	arrive = func() {
+		gap := src.Exp(1 / lambda)
+		if s.Now()+gap > horizon {
+			return
+		}
+		s.Schedule(gap, func() {
+			server.Submit(instructions, func() {})
+			arrive()
+		})
+	}
+	arrive()
+	s.RunUntil(horizon)
+	if got := server.Utilization(); math.Abs(got-0.4) > 0.02 {
+		t.Errorf("utilization = %v, want ~0.4", got)
+	}
+}
+
+func TestMD1QueueLengthLittlesLaw(t *testing.T) {
+	lambda, mu := 0.6, 1.0
+	l := MD1QueueLength(lambda, mu)
+	w := MD1ResponseTime(lambda, mu)
+	if !almost(l, lambda*w, 1e-12) {
+		t.Errorf("L = %v, lambda*W = %v", l, lambda*w)
+	}
+	if !math.IsInf(MD1QueueLength(1.5, 1), 1) {
+		t.Error("saturated M/D/1 length not Inf")
+	}
+}
+
+func TestMD1Saturation(t *testing.T) {
+	if !math.IsInf(MD1ResponseTime(2, 1), 1) {
+		t.Error("saturated M/D/1 response not Inf")
+	}
+}
+
+func TestMG1Saturation(t *testing.T) {
+	if !math.IsInf(MG1ResponseTime(2, 1, 0.5), 1) {
+		t.Error("saturated M/G/1 response not Inf")
+	}
+}
+
+func TestMMcSaturation(t *testing.T) {
+	if !math.IsInf(MMcResponseTime(2.5, 1, 2), 1) {
+		t.Error("saturated M/M/c response not Inf")
+	}
+}
+
+func TestMM1QueueLengthSaturated(t *testing.T) {
+	if !math.IsInf(MM1QueueLength(1, 1), 1) {
+		t.Error("rho=1 queue length not Inf")
+	}
+}
+
+func TestMMcMatchesMM1WithOneServer(t *testing.T) {
+	for _, lambda := range []float64{0.2, 0.5, 0.8} {
+		if got, want := MMcResponseTime(lambda, 1, 1), MM1ResponseTime(lambda, 1); !almost(got, want, 1e-9) {
+			t.Errorf("M/M/1-as-M/M/c: %v vs %v at lambda %v", got, want, lambda)
+		}
+	}
+}

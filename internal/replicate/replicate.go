@@ -1,0 +1,163 @@
+// Package replicate runs independent replications of a simulation
+// configuration (varying only the random seed) and aggregates the results
+// with confidence intervals — the standard methodology for defending a
+// simulation comparison like the paper's §4 beyond a single sample path.
+package replicate
+
+import (
+	"fmt"
+	"math"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/routing"
+	"hybriddb/internal/stats"
+)
+
+// Estimate is an aggregated scalar across replications.
+type Estimate struct {
+	Mean      float64
+	HalfWidth float64 // approximate 95% confidence half-width
+	Min       float64
+	Max       float64
+}
+
+// String renders "mean ± half-width".
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.4f ± %.4f", e.Mean, e.HalfWidth)
+}
+
+// Overlaps reports whether two estimates' 95% intervals overlap — if they do
+// not, the difference is (informally) significant.
+func (e Estimate) Overlaps(other Estimate) bool {
+	return e.Mean-e.HalfWidth <= other.Mean+other.HalfWidth &&
+		other.Mean-other.HalfWidth <= e.Mean+e.HalfWidth
+}
+
+func estimate(w *stats.Welford) Estimate {
+	est := Estimate{Mean: w.Mean(), Min: w.Min(), Max: w.Max()}
+	if n := w.Count(); n >= 2 {
+		// t-quantiles for small replication counts; 1.96 asymptotically.
+		est.HalfWidth = tQuantile(int(n)-1) * w.StdDev() / math.Sqrt(float64(n))
+	}
+	return est
+}
+
+// tQuantile returns the two-sided 95% Student-t critical value for the given
+// degrees of freedom (tabulated for small df, normal beyond).
+func tQuantile(df int) float64 {
+	table := []float64{
+		0:  math.Inf(1),
+		1:  12.706,
+		2:  4.303,
+		3:  3.182,
+		4:  2.776,
+		5:  2.571,
+		6:  2.447,
+		7:  2.365,
+		8:  2.306,
+		9:  2.262,
+		10: 2.228,
+		15: 2.131,
+		20: 2.086,
+		30: 2.042,
+	}
+	if df <= 10 {
+		return table[df]
+	}
+	switch {
+	case df <= 15:
+		return table[15]
+	case df <= 20:
+		return table[20]
+	case df <= 30:
+		return table[30]
+	default:
+		return 1.96
+	}
+}
+
+// Summary aggregates the headline metrics across replications.
+type Summary struct {
+	Strategy     string
+	Replications int
+
+	MeanRT       Estimate
+	Throughput   Estimate
+	ShipFraction Estimate
+	UtilLocal    Estimate
+	UtilCentral  Estimate
+	AbortRate    Estimate // aborts per completed transaction
+
+	Results []hybrid.Result // per-replication raw results
+}
+
+// Maker constructs a fresh strategy per replication (stateful strategies
+// must not be shared across runs).
+type Maker func(cfg hybrid.Config) (routing.Strategy, error)
+
+// Run executes runs independent replications of cfg, seeding replication i
+// with cfg.Seed+i, and aggregates the results.
+func Run(cfg hybrid.Config, mk Maker, runs int) (Summary, error) {
+	if runs <= 0 {
+		return Summary{}, fmt.Errorf("replicate: %d runs", runs)
+	}
+	if mk == nil {
+		return Summary{}, fmt.Errorf("replicate: nil strategy maker")
+	}
+	var (
+		rt, tput, ship, utilL, utilC, aborts stats.Welford
+		name                                 string
+	)
+	results := make([]hybrid.Result, 0, runs)
+	for i := 0; i < runs; i++ {
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + uint64(i)
+		strat, err := mk(runCfg)
+		if err != nil {
+			return Summary{}, fmt.Errorf("replication %d: %w", i, err)
+		}
+		engine, err := hybrid.New(runCfg, strat)
+		if err != nil {
+			return Summary{}, fmt.Errorf("replication %d: %w", i, err)
+		}
+		r := engine.Run()
+		name = r.Strategy
+		results = append(results, r)
+
+		rt.Add(r.MeanRT)
+		tput.Add(r.Throughput)
+		ship.Add(r.ShipFraction)
+		utilL.Add(r.UtilLocalMean)
+		utilC.Add(r.UtilCentral)
+		if completed := r.CompletedLocalA + r.CompletedShippedA + r.CompletedClassB; completed > 0 {
+			aborts.Add(float64(r.TotalAborts()) / float64(completed))
+		}
+	}
+	return Summary{
+		Strategy:     name,
+		Replications: runs,
+		MeanRT:       estimate(&rt),
+		Throughput:   estimate(&tput),
+		ShipFraction: estimate(&ship),
+		UtilLocal:    estimate(&utilL),
+		UtilCentral:  estimate(&utilC),
+		AbortRate:    estimate(&aborts),
+		Results:      results,
+	}, nil
+}
+
+// Compare runs two strategies over the same configuration and replication
+// count and reports whether the first's mean response time is significantly
+// lower (95% intervals do not overlap).
+func Compare(cfg hybrid.Config, a, b Maker, runs int) (better bool, sa, sb Summary, err error) {
+	sa, err = Run(cfg, a, runs)
+	if err != nil {
+		return false, sa, sb, err
+	}
+	sb, err = Run(cfg, b, runs)
+	if err != nil {
+		return false, sa, sb, err
+	}
+	better = sa.MeanRT.Mean < sb.MeanRT.Mean && !sa.MeanRT.Overlaps(sb.MeanRT)
+	return better, sa, sb, nil
+}

@@ -1,0 +1,130 @@
+package replicate
+
+import (
+	"math"
+	"testing"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/routing"
+)
+
+func testConfig() hybrid.Config {
+	cfg := hybrid.DefaultConfig()
+	cfg.Warmup = 20
+	cfg.Duration = 60
+	cfg.ArrivalRatePerSite = 1.5
+	return cfg
+}
+
+func makeNone(hybrid.Config) (routing.Strategy, error) { return routing.AlwaysLocal{}, nil }
+
+func makeBest(cfg hybrid.Config) (routing.Strategy, error) {
+	return routing.MinAverage{Params: cfg.ModelParams(), Estimator: routing.FromInSystem}, nil
+}
+
+func TestRunAggregates(t *testing.T) {
+	s, err := Run(testConfig(), makeNone, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Replications != 5 || len(s.Results) != 5 {
+		t.Fatalf("replications = %d, results = %d", s.Replications, len(s.Results))
+	}
+	if s.Strategy != "none" {
+		t.Errorf("strategy = %q", s.Strategy)
+	}
+	if s.MeanRT.Mean <= 0 {
+		t.Errorf("mean RT = %v", s.MeanRT.Mean)
+	}
+	if s.MeanRT.HalfWidth <= 0 {
+		t.Errorf("half width = %v (replications differ, so it must be positive)", s.MeanRT.HalfWidth)
+	}
+	if s.MeanRT.Min > s.MeanRT.Mean || s.MeanRT.Max < s.MeanRT.Mean {
+		t.Errorf("min/mean/max inconsistent: %v %v %v", s.MeanRT.Min, s.MeanRT.Mean, s.MeanRT.Max)
+	}
+}
+
+func TestRunSeedsDiffer(t *testing.T) {
+	s, err := Run(testConfig(), makeNone, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Results[0].MeanRT == s.Results[1].MeanRT &&
+		s.Results[1].MeanRT == s.Results[2].MeanRT {
+		t.Fatal("replications produced identical results; seeds not varied")
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if _, err := Run(testConfig(), makeNone, 0); err == nil {
+		t.Error("zero runs accepted")
+	}
+	if _, err := Run(testConfig(), nil, 3); err == nil {
+		t.Error("nil maker accepted")
+	}
+	bad := testConfig()
+	bad.Sites = 0
+	if _, err := Run(bad, makeNone, 2); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestCompareDetectsClearWinner(t *testing.T) {
+	cfg := testConfig()
+	cfg.ArrivalRatePerSite = 3.2 // none saturates; best dynamic does not
+	better, sa, sb, err := Compare(cfg, makeBest, makeNone, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !better {
+		t.Errorf("best dynamic (%v) not significantly better than none (%v) at 32 tps",
+			sa.MeanRT, sb.MeanRT)
+	}
+}
+
+func TestCompareSameStrategyNotSignificant(t *testing.T) {
+	better, sa, sb, err := Compare(testConfig(), makeNone, makeNone, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same strategy, same seeds: identical summaries, never "significant".
+	if better {
+		t.Errorf("identical strategies flagged significant: %v vs %v", sa.MeanRT, sb.MeanRT)
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	e := Estimate{Mean: 1.5, HalfWidth: 0.25}
+	if got := e.String(); got != "1.5000 ± 0.2500" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := Estimate{Mean: 1.0, HalfWidth: 0.2}
+	b := Estimate{Mean: 1.3, HalfWidth: 0.2}
+	if !a.Overlaps(b) {
+		t.Error("touching intervals should overlap")
+	}
+	c := Estimate{Mean: 2.0, HalfWidth: 0.1}
+	if a.Overlaps(c) {
+		t.Error("distant intervals should not overlap")
+	}
+}
+
+func TestTQuantileMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for _, df := range []int{1, 2, 3, 5, 8, 10, 12, 18, 25, 40, 100} {
+		q := tQuantile(df)
+		if q > prev {
+			t.Errorf("tQuantile(%d) = %v > previous %v", df, q, prev)
+		}
+		if q < 1.9 {
+			t.Errorf("tQuantile(%d) = %v below the normal quantile", df, q)
+		}
+		prev = q
+	}
+	if got := tQuantile(1000); got != 1.96 {
+		t.Errorf("asymptotic quantile = %v", got)
+	}
+}

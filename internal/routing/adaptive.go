@@ -1,0 +1,83 @@
+package routing
+
+import (
+	"fmt"
+
+	"hybriddb/internal/model"
+	"hybriddb/internal/rng"
+)
+
+// AdaptiveStatic bridges the paper's static and dynamic families: it ships
+// probabilistically like the static policy, but re-estimates the arrival
+// rate from the decisions it observes and re-runs the §3.1 optimization at
+// the end of every measurement window. It removes the static policy's
+// assumption that arrival rates are known a priori while keeping its
+// per-decision cost at a single random draw.
+type AdaptiveStatic struct {
+	params model.Params
+	pLocal float64
+	window float64
+	src    *rng.Source
+
+	windowStart float64
+	decisions   int
+	pShip       float64
+}
+
+// NewAdaptiveStatic returns an adaptive static strategy re-optimizing every
+// window seconds. pLocal is the class A fraction (used to convert observed
+// class A decisions into a total arrival-rate estimate).
+func NewAdaptiveStatic(params model.Params, pLocal, window float64, seed uint64) (*AdaptiveStatic, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if pLocal <= 0 || pLocal > 1 {
+		return nil, fmt.Errorf("routing: adaptive pLocal %v out of (0,1]", pLocal)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("routing: adaptive window %v must be positive", window)
+	}
+	return &AdaptiveStatic{
+		params: params,
+		pLocal: pLocal,
+		window: window,
+		src:    rng.New(seed),
+	}, nil
+}
+
+// Name implements Strategy.
+func (a *AdaptiveStatic) Name() string { return "adaptive-static" }
+
+// ShipProbability returns the currently active ship probability.
+func (a *AdaptiveStatic) ShipProbability() float64 { return a.pShip }
+
+// Decide implements Strategy. The strategy instance serves every site, so
+// the decisions it sees are the system-wide class A arrival stream.
+func (a *AdaptiveStatic) Decide(st State) Decision {
+	if st.Now-a.windowStart >= a.window {
+		a.reoptimize(st.Now)
+	}
+	a.decisions++
+	if a.src.Bool(a.pShip) {
+		return Ship
+	}
+	return RunLocal
+}
+
+func (a *AdaptiveStatic) reoptimize(now float64) {
+	elapsed := now - a.windowStart
+	if elapsed > 0 && a.decisions > 0 {
+		// decisions = class A arrivals across all sites in the window.
+		perSite := float64(a.decisions) / elapsed / a.pLocal / float64(a.params.Sites)
+		in := model.Input{
+			Params:             a.params,
+			ArrivalRatePerSite: perSite,
+			PLocal:             a.pLocal,
+		}
+		if opt, err := model.OptimalShipFraction(in, 0.02); err == nil {
+			a.pShip = opt.PShip
+		}
+	}
+	a.windowStart = now
+	a.decisions = 0
+}

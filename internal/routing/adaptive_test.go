@@ -1,0 +1,85 @@
+package routing
+
+import (
+	"testing"
+)
+
+func TestAdaptiveStaticConstruction(t *testing.T) {
+	p := params()
+	if _, err := NewAdaptiveStatic(p, 0.75, 30, 1); err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		pLocal, window float64
+	}{
+		{0, 30}, {1.5, 30}, {0.75, 0}, {0.75, -1},
+	}
+	for _, tt := range bad {
+		if _, err := NewAdaptiveStatic(p, tt.pLocal, tt.window, 1); err == nil {
+			t.Errorf("pLocal=%v window=%v accepted", tt.pLocal, tt.window)
+		}
+	}
+	if _, err := NewAdaptiveStatic((params()), 0.75, 30, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveStaticStartsConservative(t *testing.T) {
+	a, err := NewAdaptiveStatic(params(), 0.75, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the first window completes, the ship probability is 0: every
+	// decision is local.
+	for i := 0; i < 100; i++ {
+		if a.Decide(State{Now: float64(i) * 0.1}) != RunLocal {
+			t.Fatal("shipped before first re-optimization")
+		}
+	}
+	if a.ShipProbability() != 0 {
+		t.Errorf("pShip = %v before first window", a.ShipProbability())
+	}
+}
+
+func TestAdaptiveStaticLearnsHighLoad(t *testing.T) {
+	a, err := NewAdaptiveStatic(params(), 0.75, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed a decision stream corresponding to ~2.5 class A arrivals per
+	// second per site across 10 sites: 18.75 decisions/s for 10 seconds.
+	now := 0.0
+	for i := 0; i < 190; i++ {
+		a.Decide(State{Now: now})
+		now += 1.0 / 19.0
+	}
+	// Cross the window boundary to trigger re-optimization.
+	a.Decide(State{Now: 10.5})
+	if p := a.ShipProbability(); p < 0.3 {
+		t.Errorf("learned pShip = %v at 25 tps, want substantial", p)
+	}
+}
+
+func TestAdaptiveStaticLearnsLowLoad(t *testing.T) {
+	a, err := NewAdaptiveStatic(params(), 0.75, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~0.3 tps/site: the optimum is to ship nothing.
+	now := 0.0
+	for i := 0; i < 22; i++ {
+		a.Decide(State{Now: now})
+		now += 0.45
+	}
+	a.Decide(State{Now: 10.2})
+	if p := a.ShipProbability(); p > 0.05 {
+		t.Errorf("learned pShip = %v at 3 tps, want ~0", p)
+	}
+}
+
+func TestAdaptiveStaticName(t *testing.T) {
+	a, _ := NewAdaptiveStatic(params(), 0.75, 30, 1)
+	if a.Name() != "adaptive-static" {
+		t.Errorf("name = %q", a.Name())
+	}
+}

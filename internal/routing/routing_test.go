@@ -1,0 +1,259 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"hybriddb/internal/model"
+)
+
+func params() model.Params {
+	return model.Params{
+		Sites:         10,
+		LocalMIPS:     1,
+		CentralMIPS:   15,
+		CommDelay:     0.2,
+		CallsPerTxn:   10,
+		InstrPerCall:  30_000,
+		InstrOverhead: 150_000,
+		IOTimePerCall: 0.025,
+		SetupIOTime:   0.035,
+		Lockspace:     32_768,
+		PWrite:        0.25,
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if RunLocal.String() != "local" || Ship.String() != "ship" {
+		t.Fatal("decision strings wrong")
+	}
+	if Decision(9).String() == "" {
+		t.Fatal("unknown decision empty")
+	}
+}
+
+func TestAlwaysLocal(t *testing.T) {
+	var s AlwaysLocal
+	if s.Name() != "none" {
+		t.Errorf("name = %q", s.Name())
+	}
+	for i := 0; i < 10; i++ {
+		if s.Decide(State{LocalQueue: 100, CentralQueue: 0}) != RunLocal {
+			t.Fatal("AlwaysLocal shipped")
+		}
+	}
+}
+
+func TestStaticProbability(t *testing.T) {
+	s := NewStatic(0.3, 42)
+	const n = 20000
+	ships := 0
+	for i := 0; i < n; i++ {
+		if s.Decide(State{}) == Ship {
+			ships++
+		}
+	}
+	got := float64(ships) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Errorf("ship fraction = %v, want ~0.3", got)
+	}
+}
+
+func TestStaticEndpoints(t *testing.T) {
+	never := NewStatic(0, 1)
+	always := NewStatic(1, 1)
+	for i := 0; i < 100; i++ {
+		if never.Decide(State{}) != RunLocal {
+			t.Fatal("static(0) shipped")
+		}
+		if always.Decide(State{}) != Ship {
+			t.Fatal("static(1) ran local")
+		}
+	}
+}
+
+func TestStaticInvalidProbabilityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid probability did not panic")
+		}
+	}()
+	NewStatic(1.5, 1)
+}
+
+func TestMeasuredRTBootstrap(t *testing.T) {
+	var s MeasuredRT
+	// No observations: run local first.
+	if s.Decide(State{}) != RunLocal {
+		t.Error("no observations should run local")
+	}
+	// Local observed, shipped not: explore shipping.
+	if s.Decide(State{LastLocalRT: 1}) != Ship {
+		t.Error("unobserved shipping not explored")
+	}
+}
+
+func TestMeasuredRTPrefersFaster(t *testing.T) {
+	var s MeasuredRT
+	if s.Decide(State{LastLocalRT: 2, LastShippedRT: 1}) != Ship {
+		t.Error("faster shipping not chosen")
+	}
+	if s.Decide(State{LastLocalRT: 1, LastShippedRT: 2}) != RunLocal {
+		t.Error("faster local not chosen")
+	}
+	// Tie retains local.
+	if s.Decide(State{LastLocalRT: 1, LastShippedRT: 1}) != RunLocal {
+		t.Error("tie should retain local")
+	}
+}
+
+func TestQueueLengthHeuristic(t *testing.T) {
+	var s QueueLength
+	if s.Decide(State{LocalQueue: 5, CentralQueue: 2}) != Ship {
+		t.Error("shorter central queue should ship")
+	}
+	if s.Decide(State{LocalQueue: 2, CentralQueue: 5}) != RunLocal {
+		t.Error("longer central queue should retain")
+	}
+	if s.Decide(State{LocalQueue: 3, CentralQueue: 3}) != RunLocal {
+		t.Error("equal queues should retain")
+	}
+}
+
+func TestQueueThresholdZeroMatchesUtilComparison(t *testing.T) {
+	s := QueueThreshold{Theta: 0}
+	// q=4 -> rho 0.8; q=1 -> rho 0.5: ship.
+	if s.Decide(State{LocalQueue: 4, CentralQueue: 1}) != Ship {
+		t.Error("higher local utilization should ship at theta 0")
+	}
+	if s.Decide(State{LocalQueue: 1, CentralQueue: 4}) != RunLocal {
+		t.Error("higher central utilization should retain at theta 0")
+	}
+}
+
+func TestQueueThresholdNegativeShipsEarlier(t *testing.T) {
+	// Equal queues: rho difference is 0. Theta=-0.2 ships, theta=0 retains.
+	st := State{LocalQueue: 2, CentralQueue: 2}
+	if (QueueThreshold{Theta: -0.2}).Decide(st) != Ship {
+		t.Error("negative threshold should ship on equal utilization")
+	}
+	if (QueueThreshold{Theta: 0}).Decide(st) != RunLocal {
+		t.Error("zero threshold should retain on equal utilization")
+	}
+}
+
+func TestQueueThresholdPositiveShipsLater(t *testing.T) {
+	// rho_l - rho_c = 0.8 - 0.5 = 0.3.
+	st := State{LocalQueue: 4, CentralQueue: 1}
+	if (QueueThreshold{Theta: 0.2}).Decide(st) != Ship {
+		t.Error("0.3 > 0.2 should ship")
+	}
+	if (QueueThreshold{Theta: 0.4}).Decide(st) != RunLocal {
+		t.Error("0.3 < 0.4 should retain")
+	}
+}
+
+func TestMinIncomingIdleSystemRunsLocal(t *testing.T) {
+	// An idle system: local run avoids 4 comm delays, so local must win.
+	for _, e := range []Estimator{FromQueueLength, FromInSystem} {
+		s := MinIncoming{Params: params(), Estimator: e}
+		if s.Decide(State{}) != RunLocal {
+			t.Errorf("%v: idle system should run local", e)
+		}
+	}
+}
+
+func TestMinIncomingOverloadedLocalShips(t *testing.T) {
+	st := State{LocalQueue: 30, LocalInSystem: 40, CentralQueue: 0, CentralInSystem: 0}
+	for _, e := range []Estimator{FromQueueLength, FromInSystem} {
+		s := MinIncoming{Params: params(), Estimator: e}
+		if s.Decide(st) != Ship {
+			t.Errorf("%v: overloaded local should ship", e)
+		}
+	}
+}
+
+func TestMinIncomingOverloadedCentralRetains(t *testing.T) {
+	st := State{LocalQueue: 1, LocalInSystem: 1, CentralQueue: 200, CentralInSystem: 400}
+	for _, e := range []Estimator{FromQueueLength, FromInSystem} {
+		s := MinIncoming{Params: params(), Estimator: e}
+		if s.Decide(st) != RunLocal {
+			t.Errorf("%v: overloaded central should retain", e)
+		}
+	}
+}
+
+func TestMinAverageIdleSystemRunsLocal(t *testing.T) {
+	for _, e := range []Estimator{FromQueueLength, FromInSystem} {
+		s := MinAverage{Params: params(), Estimator: e}
+		if s.Decide(State{}) != RunLocal {
+			t.Errorf("%v: idle system should run local", e)
+		}
+	}
+}
+
+func TestMinAverageOverloadedLocalShips(t *testing.T) {
+	st := State{LocalQueue: 30, LocalInSystem: 40, CentralQueue: 0, CentralInSystem: 5}
+	for _, e := range []Estimator{FromQueueLength, FromInSystem} {
+		s := MinAverage{Params: params(), Estimator: e}
+		if s.Decide(st) != Ship {
+			t.Errorf("%v: overloaded local should ship", e)
+		}
+	}
+}
+
+func TestMinAverageWeighsRunningPopulation(t *testing.T) {
+	// Local moderately loaded; central lightly loaded but with a large
+	// population whose response times the routing decision perturbs. The
+	// min-average scheme should be more reluctant to ship than
+	// min-incoming in a state where shipping marginally helps the incoming
+	// transaction but the central population is big.
+	p := params()
+	st := State{
+		LocalQueue: 3, LocalInSystem: 4,
+		CentralQueue: 2, CentralInSystem: 60,
+		LocalLocks: 20, CentralLocks: 500,
+	}
+	inc := MinIncoming{Params: p, Estimator: FromQueueLength}.Decide(st)
+	avg := MinAverage{Params: p, Estimator: FromQueueLength}.Decide(st)
+	// Not asserting specific outcomes for both (model-dependent), but the
+	// two schemes must be evaluable and min-average must not crash with a
+	// large population; sanity: decisions are valid values.
+	for _, d := range []Decision{inc, avg} {
+		if d != RunLocal && d != Ship {
+			t.Fatalf("invalid decision %v", d)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	p := params()
+	tests := []struct {
+		s    Strategy
+		want string
+	}{
+		{AlwaysLocal{}, "none"},
+		{NewStatic(0.25, 1), "static(0.250)"},
+		{MeasuredRT{}, "measured-rt"},
+		{QueueLength{}, "queue-length"},
+		{QueueThreshold{Theta: -0.2}, "queue-threshold(-0.20)"},
+		{MinIncoming{Params: p, Estimator: FromQueueLength}, "min-incoming/ql"},
+		{MinIncoming{Params: p, Estimator: FromInSystem}, "min-incoming/nis"},
+		{MinAverage{Params: p, Estimator: FromQueueLength}, "min-average/ql"},
+		{MinAverage{Params: p, Estimator: FromInSystem}, "min-average/nis"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestUnknownEstimatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown estimator did not panic")
+		}
+	}()
+	MinIncoming{Params: params(), Estimator: Estimator(99)}.Decide(State{})
+}

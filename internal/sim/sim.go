@@ -1,0 +1,157 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Time is a float64 number of seconds. Events scheduled for the same instant
+// fire in the order they were scheduled (FIFO tie-break), which keeps
+// simulations reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated instant, in seconds since the start of the run.
+type Time = float64
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel it.
+type Event struct {
+	at     Time
+	seq    uint64
+	index  int // position in the heap, -1 when not queued
+	action func()
+}
+
+// At reports the instant this event fires (or fired).
+func (e *Event) At() Time { return e.at }
+
+// Simulator owns the event list and the simulated clock.
+type Simulator struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	count  uint64 // events executed
+	halted bool
+}
+
+// New returns a Simulator with the clock at zero and an empty event list.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Executed returns the number of events executed so far.
+func (s *Simulator) Executed() uint64 { return s.count }
+
+// Pending returns the number of events currently scheduled.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule runs action after delay seconds of simulated time. A negative
+// delay panics: it would mean travelling into the past, which is always a
+// logic error in the caller.
+func (s *Simulator) Schedule(delay Time, action func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return s.ScheduleAt(s.now+delay, action)
+}
+
+// ScheduleAt runs action at absolute time at. Scheduling before the current
+// time panics.
+func (s *Simulator) ScheduleAt(at Time, action func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
+	}
+	if action == nil {
+		panic("sim: nil action")
+	}
+	s.seq++
+	e := &Event{at: at, seq: s.seq, action: action}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired or
+// was already cancelled is a no-op and returns false.
+func (s *Simulator) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&s.queue, e.index)
+	e.index = -1
+	e.action = nil
+	return true
+}
+
+// Step executes the single next event, if any, and reports whether one ran.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.at
+	s.count++
+	action := e.action
+	e.action = nil
+	action()
+	return true
+}
+
+// RunUntil executes events in time order until the clock would pass horizon
+// or the event list empties or Halt is called. The clock is left at
+// min(horizon, time of last executed event); events at exactly horizon run.
+func (s *Simulator) RunUntil(horizon Time) {
+	s.halted = false
+	for !s.halted && len(s.queue) > 0 && s.queue[0].at <= horizon {
+		s.Step()
+	}
+	if s.now < horizon && !s.halted {
+		s.now = horizon
+	}
+}
+
+// Run executes events until none remain or Halt is called.
+func (s *Simulator) Run() {
+	s.halted = false
+	for !s.halted && s.Step() {
+	}
+}
+
+// Halt stops the innermost Run/RunUntil after the current event returns.
+func (s *Simulator) Halt() { s.halted = true }
+
+// eventQueue is a binary min-heap ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}

@@ -1,0 +1,318 @@
+// Package stats provides the estimators used to summarise simulation output:
+// streaming mean/variance (Welford), time-weighted averages for state
+// variables such as queue length, fixed-width histograms, and batch-means
+// confidence intervals for steady-state simulation estimates.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates a sample mean and variance in one pass. The zero value
+// is ready to use.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance, or 0 with < 2 observations.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (w *Welford) Max() float64 { return w.max }
+
+// Merge folds other into w, as if every observation of other had been Added.
+func (w *Welford) Merge(other *Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *other
+		return
+	}
+	n1, n2 := float64(w.n), float64(other.n)
+	delta := other.mean - w.mean
+	total := n1 + n2
+	w.mean += delta * n2 / total
+	w.m2 += other.m2 + delta*delta*n1*n2/total
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+	w.n += other.n
+}
+
+// TimeWeighted tracks the time-average of a piecewise-constant state
+// variable (for example, number of jobs in a queue).
+type TimeWeighted struct {
+	started  bool
+	lastTime float64
+	value    float64
+	area     float64
+	span     float64
+}
+
+// Set records that the variable took value v at time now. The variable is
+// assumed to have held its previous value since the previous Set.
+func (t *TimeWeighted) Set(now, v float64) {
+	if t.started {
+		dt := now - t.lastTime
+		if dt < 0 {
+			panic(fmt.Sprintf("stats: TimeWeighted time went backwards: %v -> %v", t.lastTime, now))
+		}
+		t.area += t.value * dt
+		t.span += dt
+	}
+	t.started = true
+	t.lastTime = now
+	t.value = v
+}
+
+// Finish closes the observation window at time now without changing the value.
+func (t *TimeWeighted) Finish(now float64) { t.Set(now, t.value) }
+
+// Value returns the current value of the tracked variable.
+func (t *TimeWeighted) Value() float64 { return t.value }
+
+// Mean returns the time-average over the observed span, or 0 if no time has
+// elapsed.
+func (t *TimeWeighted) Mean() float64 {
+	if t.span == 0 {
+		return 0
+	}
+	return t.area / t.span
+}
+
+// Reset restarts the observation window at time now, keeping the current
+// value. Used to discard a warmup period.
+func (t *TimeWeighted) Reset(now float64) {
+	t.area = 0
+	t.span = 0
+	t.lastTime = now
+	t.started = true
+}
+
+// Histogram is a fixed-width histogram over [lo, hi) with overflow and
+// underflow buckets.
+type Histogram struct {
+	lo, hi   float64
+	width    float64
+	buckets  []uint64
+	under    uint64
+	over     uint64
+	observed Welford
+}
+
+// NewHistogram returns a histogram with n equal buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: NewHistogram requires n > 0 and hi > lo")
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), buckets: make([]uint64, n)}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(x float64) {
+	h.observed.Add(x)
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.buckets) { // guard against floating-point edge
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// Count returns the total number of observations including out-of-range ones.
+func (h *Histogram) Count() uint64 { return h.observed.Count() }
+
+// Mean returns the mean of all observations (exact, not bucketed).
+func (h *Histogram) Mean() float64 { return h.observed.Mean() }
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) from the
+// bucketed data, using linear interpolation within a bucket. Out-of-range
+// mass is attributed to the range edges.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0,1]")
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	cum := float64(h.under)
+	if target <= cum {
+		return h.lo
+	}
+	for i, c := range h.buckets {
+		next := cum + float64(c)
+		if target <= next && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.lo + (float64(i)+frac)*h.width
+		}
+		cum = next
+	}
+	return h.hi
+}
+
+// Buckets returns a copy of the bucket counts.
+func (h *Histogram) Buckets() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	copy(out, h.buckets)
+	return out
+}
+
+// BatchMeans implements the method of (non-overlapping) batch means for
+// steady-state confidence intervals: observations are grouped into batches
+// of fixed size, and the batch averages are treated as approximately
+// independent samples.
+type BatchMeans struct {
+	batchSize uint64
+	current   Welford
+	batches   []float64
+}
+
+// NewBatchMeans groups observations into batches of size batchSize.
+func NewBatchMeans(batchSize uint64) *BatchMeans {
+	if batchSize == 0 {
+		panic("stats: batch size must be positive")
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Add records one observation.
+func (b *BatchMeans) Add(x float64) {
+	b.current.Add(x)
+	if b.current.Count() == b.batchSize {
+		b.batches = append(b.batches, b.current.Mean())
+		b.current = Welford{}
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int { return len(b.batches) }
+
+// Mean returns the grand mean of completed batches (0 if none completed).
+func (b *BatchMeans) Mean() float64 {
+	var w Welford
+	for _, m := range b.batches {
+		w.Add(m)
+	}
+	return w.Mean()
+}
+
+// ConfidenceInterval returns the half-width of an approximate 95% confidence
+// interval on the mean, using a normal critical value (adequate for the
+// ≥20 batches the harness uses). It returns 0 with fewer than 2 batches.
+func (b *BatchMeans) ConfidenceInterval() float64 {
+	if len(b.batches) < 2 {
+		return 0
+	}
+	var w Welford
+	for _, m := range b.batches {
+		w.Add(m)
+	}
+	return 1.96 * w.StdDev() / math.Sqrt(float64(len(b.batches)))
+}
+
+// Series is an ordered set of (x, y) points, used for figure output.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds a point to the series.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Sort orders the points by x.
+func (s *Series) Sort() {
+	idx := make([]int, len(s.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+	x := make([]float64, len(s.X))
+	y := make([]float64, len(s.Y))
+	for i, j := range idx {
+		x[i], y[i] = s.X[j], s.Y[j]
+	}
+	s.X, s.Y = x, y
+}
+
+// InterpolateAt returns the linearly interpolated y at x. Outside the x
+// range it clamps to the end values. The series must be sorted and nonempty.
+func (s *Series) InterpolateAt(x float64) float64 {
+	if s.Len() == 0 {
+		panic("stats: InterpolateAt on empty series")
+	}
+	if x <= s.X[0] {
+		return s.Y[0]
+	}
+	n := s.Len()
+	if x >= s.X[n-1] {
+		return s.Y[n-1]
+	}
+	i := sort.SearchFloat64s(s.X, x)
+	// s.X[i-1] < x <= s.X[i]
+	x0, x1 := s.X[i-1], s.X[i]
+	y0, y1 := s.Y[i-1], s.Y[i]
+	if x1 == x0 {
+		return y1
+	}
+	return y0 + (y1-y0)*(x-x0)/(x1-x0)
+}

@@ -1,0 +1,362 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", w.Mean())
+	}
+	// Population variance is 4; unbiased sample variance = 32/7.
+	if !almostEqual(w.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("variance = %v, want %v", w.Variance(), 32.0/7.0)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 {
+		t.Error("empty Welford not zero")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Variance() != 0 {
+		t.Errorf("single-sample mean/var = %v/%v", w.Mean(), w.Variance())
+	}
+}
+
+func TestWelfordMergeEqualsSequential(t *testing.T) {
+	f := func(a, b []float64) bool {
+		clean := func(xs []float64) []float64 {
+			var out []float64
+			for _, x := range xs {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		a, b = clean(a), clean(b)
+		var w1, w2, all Welford
+		for _, x := range a {
+			w1.Add(x)
+			all.Add(x)
+		}
+		for _, x := range b {
+			w2.Add(x)
+			all.Add(x)
+		}
+		w1.Merge(&w2)
+		return w1.Count() == all.Count() &&
+			almostEqual(w1.Mean(), all.Mean(), 1e-6) &&
+			almostEqual(w1.Variance(), all.Variance(), 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordMergeIntoEmpty(t *testing.T) {
+	var a, b Welford
+	b.Add(1)
+	b.Add(2)
+	a.Merge(&b)
+	if a.Count() != 2 || !almostEqual(a.Mean(), 1.5, 1e-12) {
+		t.Errorf("merge into empty: count=%d mean=%v", a.Count(), a.Mean())
+	}
+	var c Welford
+	a.Merge(&c) // merging empty is a no-op
+	if a.Count() != 2 {
+		t.Errorf("merge of empty changed count to %d", a.Count())
+	}
+}
+
+func TestTimeWeightedMean(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 1) // value 1 on [0,2)
+	tw.Set(2, 3) // value 3 on [2,4)
+	tw.Finish(4)
+	// mean = (1*2 + 3*2)/4 = 2
+	if !almostEqual(tw.Mean(), 2, 1e-12) {
+		t.Errorf("time-weighted mean = %v, want 2", tw.Mean())
+	}
+	if tw.Value() != 3 {
+		t.Errorf("value = %v, want 3", tw.Value())
+	}
+}
+
+func TestTimeWeightedReset(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 10)
+	tw.Reset(5) // discard warmup, value stays 10
+	tw.Set(7, 0)
+	tw.Finish(10)
+	// After reset: 10 on [5,7), 0 on [7,10) -> mean = 20/5 = 4
+	if !almostEqual(tw.Mean(), 4, 1e-12) {
+		t.Errorf("mean after reset = %v, want 4", tw.Mean())
+	}
+}
+
+func TestTimeWeightedBackwardsPanics(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("time going backwards did not panic")
+		}
+	}()
+	tw.Set(4, 1)
+}
+
+func TestTimeWeightedNoSpan(t *testing.T) {
+	var tw TimeWeighted
+	if tw.Mean() != 0 {
+		t.Error("empty TimeWeighted mean not 0")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, x := range []float64{-1, 0, 0.5, 5, 9.999, 10, 42} {
+		h.Add(x)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	b := h.Buckets()
+	if b[0] != 2 { // 0 and 0.5
+		t.Errorf("bucket 0 = %d, want 2", b[0])
+	}
+	if b[5] != 1 || b[9] != 1 {
+		t.Errorf("buckets = %v", b)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i%100) + 0.5)
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Errorf("median = %v, want ~50", med)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Errorf("q0 = %v", q)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+}
+
+func TestNewHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram did not panic")
+		}
+	}()
+	NewHistogram(1, 0, 10)
+}
+
+func TestBatchMeans(t *testing.T) {
+	b := NewBatchMeans(10)
+	for i := 0; i < 100; i++ {
+		b.Add(5)
+	}
+	if b.Batches() != 10 {
+		t.Fatalf("batches = %d, want 10", b.Batches())
+	}
+	if !almostEqual(b.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", b.Mean())
+	}
+	if b.ConfidenceInterval() != 0 {
+		t.Errorf("CI of constant data = %v, want 0", b.ConfidenceInterval())
+	}
+}
+
+func TestBatchMeansCIShrinks(t *testing.T) {
+	mk := func(n int) float64 {
+		b := NewBatchMeans(10)
+		for i := 0; i < n; i++ {
+			b.Add(float64(i % 7))
+		}
+		return b.ConfidenceInterval()
+	}
+	small, large := mk(100), mk(10000)
+	if large >= small {
+		t.Errorf("CI did not shrink with more data: %v -> %v", small, large)
+	}
+}
+
+func TestBatchMeansIncompleteBatchIgnored(t *testing.T) {
+	b := NewBatchMeans(10)
+	for i := 0; i < 15; i++ {
+		b.Add(1)
+	}
+	if b.Batches() != 1 {
+		t.Fatalf("batches = %d, want 1", b.Batches())
+	}
+}
+
+func TestSeriesSortAndInterpolate(t *testing.T) {
+	s := &Series{Name: "t"}
+	s.Append(3, 30)
+	s.Append(1, 10)
+	s.Append(2, 20)
+	s.Sort()
+	if s.X[0] != 1 || s.X[2] != 3 {
+		t.Fatalf("sort failed: %v", s.X)
+	}
+	if v := s.InterpolateAt(1.5); !almostEqual(v, 15, 1e-12) {
+		t.Errorf("interp(1.5) = %v, want 15", v)
+	}
+	if v := s.InterpolateAt(0); v != 10 {
+		t.Errorf("clamp low = %v, want 10", v)
+	}
+	if v := s.InterpolateAt(99); v != 30 {
+		t.Errorf("clamp high = %v, want 30", v)
+	}
+}
+
+func TestQuickHistogramCountConserved(t *testing.T) {
+	f := func(xs []float64) bool {
+		h := NewHistogram(0, 1, 8)
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Add(x)
+			n++
+		}
+		total := h.under + h.over
+		for _, c := range h.buckets {
+			total += c
+		}
+		return total == uint64(n) && h.Count() == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordMergeOtherEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(3)
+	before := a.Mean()
+	a.Merge(&b)
+	if a.Mean() != before || a.Count() != 2 {
+		t.Error("merging an empty accumulator changed the receiver")
+	}
+}
+
+func TestWelfordMergeMinMax(t *testing.T) {
+	var a, b Welford
+	a.Add(5)
+	b.Add(-2)
+	b.Add(11)
+	a.Merge(&b)
+	if a.Min() != -2 || a.Max() != 11 {
+		t.Errorf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestHistogramMeanExact(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{1, 2, 3, 100} { // 100 lands in overflow
+		h.Add(x)
+	}
+	if got := h.Mean(); math.Abs(got-26.5) > 1e-12 {
+		t.Errorf("histogram mean = %v, want exact 26.5 despite bucketing", got)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(-5) // underflow
+	h.Add(5)
+	h.Add(50) // overflow
+	if q := h.Quantile(0.01); q != 0 {
+		t.Errorf("q0.01 with underflow mass = %v, want lo edge", q)
+	}
+	if q := h.Quantile(1); q != 10 {
+		t.Errorf("q1 with overflow mass = %v, want hi edge", q)
+	}
+}
+
+func TestHistogramQuantilePanicsOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("quantile(2) did not panic")
+		}
+	}()
+	h.Quantile(2)
+}
+
+func TestBatchMeansZeroSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero batch size did not panic")
+		}
+	}()
+	NewBatchMeans(0)
+}
+
+func TestBatchMeansCIWithOneBatch(t *testing.T) {
+	b := NewBatchMeans(5)
+	for i := 0; i < 5; i++ {
+		b.Add(float64(i))
+	}
+	if b.Batches() != 1 {
+		t.Fatalf("batches = %d", b.Batches())
+	}
+	if ci := b.ConfidenceInterval(); ci != 0 {
+		t.Errorf("CI with one batch = %v, want 0", ci)
+	}
+}
+
+func TestSeriesInterpolateEmptyPanics(t *testing.T) {
+	s := &Series{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty interpolation did not panic")
+		}
+	}()
+	s.InterpolateAt(1)
+}
+
+func TestSeriesInterpolateDuplicateX(t *testing.T) {
+	s := &Series{}
+	s.Append(1, 10)
+	s.Append(1, 20)
+	s.Append(2, 30)
+	s.Sort()
+	// Interpolating exactly at a duplicated x must return a defined value.
+	v := s.InterpolateAt(1)
+	if v != 10 && v != 20 {
+		t.Errorf("interp at duplicate x = %v", v)
+	}
+	if got := s.InterpolateAt(1.5); got < 20 || got > 30 {
+		t.Errorf("interp(1.5) = %v", got)
+	}
+}

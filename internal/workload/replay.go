@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hybriddb/internal/lock"
+)
+
+// The paper's parameters come from a trace-driven study ([YU87]); this file
+// provides the equivalent machinery for this library: a transaction stream
+// can be recorded to a portable JSON-lines file and replayed later, so a
+// workload — synthetic or captured — can be rerun bit-identically across
+// machines, strategies, and code versions.
+
+// Record is the serialized form of one generated transaction, paired with
+// its interarrival gap so the full timing of the stream is preserved.
+type Record struct {
+	ID       int64    `json:"id"`
+	Class    uint8    `json:"class"`
+	HomeSite int      `json:"homeSite"`
+	GapSecs  float64  `json:"gapSecs"` // interarrival gap at the home site
+	Elements []uint32 `json:"elements"`
+	Writes   []bool   `json:"writes"` // true = exclusive mode
+}
+
+// toRecord converts a transaction and its gap into the wire form.
+func toRecord(t *Txn, gap float64) Record {
+	r := Record{
+		ID:       t.ID,
+		Class:    uint8(t.Class),
+		HomeSite: t.HomeSite,
+		GapSecs:  gap,
+		Elements: append([]uint32(nil), t.Elements...),
+		Writes:   make([]bool, len(t.Modes)),
+	}
+	for i, m := range t.Modes {
+		r.Writes[i] = m == lock.Exclusive
+	}
+	return r
+}
+
+// toTxn converts a wire record back to a transaction.
+func (r Record) toTxn() (*Txn, error) {
+	if len(r.Elements) != len(r.Writes) {
+		return nil, fmt.Errorf("workload: record %d has %d elements but %d modes",
+			r.ID, len(r.Elements), len(r.Writes))
+	}
+	cls := Class(r.Class)
+	if cls != ClassA && cls != ClassB {
+		return nil, fmt.Errorf("workload: record %d has invalid class %d", r.ID, r.Class)
+	}
+	t := &Txn{
+		ID:       r.ID,
+		Class:    cls,
+		HomeSite: r.HomeSite,
+		Elements: append([]uint32(nil), r.Elements...),
+		Modes:    make([]lock.Mode, len(r.Writes)),
+	}
+	for i, w := range r.Writes {
+		if w {
+			t.Modes[i] = lock.Exclusive
+		} else {
+			t.Modes[i] = lock.Share
+		}
+	}
+	return t, nil
+}
+
+// Recorder writes a transaction stream as JSON lines.
+type Recorder struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	n   uint64
+}
+
+// NewRecorder returns a recorder writing to w.
+func NewRecorder(w io.Writer) *Recorder {
+	bw := bufio.NewWriter(w)
+	return &Recorder{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Record appends one transaction and its interarrival gap.
+func (r *Recorder) Record(t *Txn, gap float64) error {
+	if t == nil {
+		return fmt.Errorf("workload: nil transaction")
+	}
+	if gap < 0 {
+		return fmt.Errorf("workload: negative gap %v", gap)
+	}
+	r.n++
+	return r.enc.Encode(toRecord(t, gap))
+}
+
+// Count returns the number of transactions recorded.
+func (r *Recorder) Count() uint64 { return r.n }
+
+// Flush writes buffered records through to the underlying writer.
+func (r *Recorder) Flush() error { return r.w.Flush() }
+
+// Capture generates and records n transactions per the generator and arrival
+// processes (one process per site), producing a self-contained trace file.
+func Capture(w io.Writer, cfg Config, seed uint64, ratePerSite float64, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("workload: capture of %d transactions", n)
+	}
+	gen := NewGenerator(cfg, seed)
+	arrivals := make([]*Arrivals, cfg.Sites)
+	for i := range arrivals {
+		arrivals[i] = NewArrivals(ratePerSite, seed+uint64(i)+1)
+	}
+	rec := NewRecorder(w)
+	for i := 0; i < n; i++ {
+		site := i % cfg.Sites
+		t := gen.Next(site)
+		if err := rec.Record(t, arrivals[site].Next()); err != nil {
+			return err
+		}
+	}
+	return rec.Flush()
+}
+
+// Replayer reads a recorded transaction stream.
+type Replayer struct {
+	dec  *json.Decoder
+	next *Txn
+	gap  float64
+	err  error
+}
+
+// NewReplayer returns a replayer reading JSON-line records from r.
+func NewReplayer(r io.Reader) *Replayer {
+	rp := &Replayer{dec: json.NewDecoder(bufio.NewReader(r))}
+	rp.advance()
+	return rp
+}
+
+func (rp *Replayer) advance() {
+	var rec Record
+	if err := rp.dec.Decode(&rec); err != nil {
+		rp.next = nil
+		if err != io.EOF {
+			rp.err = err
+		}
+		return
+	}
+	t, err := rec.toTxn()
+	if err != nil {
+		rp.next, rp.err = nil, err
+		return
+	}
+	rp.next, rp.gap = t, rec.GapSecs
+}
+
+// More reports whether another transaction is available.
+func (rp *Replayer) More() bool { return rp.next != nil }
+
+// Next returns the next transaction and its interarrival gap. It panics if
+// called with More() false.
+func (rp *Replayer) Next() (*Txn, float64) {
+	if rp.next == nil {
+		panic("workload: Next past end of trace")
+	}
+	t, gap := rp.next, rp.gap
+	rp.advance()
+	return t, gap
+}
+
+// Err returns the first decode error encountered, if any (EOF is not an
+// error).
+func (rp *Replayer) Err() error { return rp.err }
+
+// ReadAll replays an entire trace into memory.
+func ReadAll(r io.Reader) ([]*Txn, []float64, error) {
+	rp := NewReplayer(r)
+	var txns []*Txn
+	var gaps []float64
+	for rp.More() {
+		t, gap := rp.Next()
+		txns = append(txns, t)
+		gaps = append(gaps, gap)
+	}
+	return txns, gaps, rp.Err()
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hybriddb/internal/lock"
+)
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	cfg := validConfig()
+	gen := NewGenerator(cfg, 42)
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+
+	var originals []*Txn
+	var gaps []float64
+	for i := 0; i < 50; i++ {
+		txn := gen.Next(i % cfg.Sites)
+		gap := float64(i) * 0.01
+		originals = append(originals, txn)
+		gaps = append(gaps, gap)
+		if err := rec.Record(txn, gap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rec.Count() != 50 {
+		t.Fatalf("recorded %d, want 50", rec.Count())
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	txns, readGaps, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txns) != 50 {
+		t.Fatalf("replayed %d transactions", len(txns))
+	}
+	for i, got := range txns {
+		want := originals[i]
+		if got.ID != want.ID || got.Class != want.Class || got.HomeSite != want.HomeSite {
+			t.Fatalf("txn %d header mismatch: %+v vs %+v", i, got, want)
+		}
+		if readGaps[i] != gaps[i] {
+			t.Fatalf("txn %d gap %v, want %v", i, readGaps[i], gaps[i])
+		}
+		for j := range want.Elements {
+			if got.Elements[j] != want.Elements[j] || got.Modes[j] != want.Modes[j] {
+				t.Fatalf("txn %d call %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReplayerStreaming(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	txn := &Txn{ID: 1, Class: ClassA, Elements: []uint32{5}, Modes: []lock.Mode{lock.Exclusive}}
+	rec.Record(txn, 0.5)
+	rec.Flush()
+
+	rp := NewReplayer(&buf)
+	if !rp.More() {
+		t.Fatal("More false with one record")
+	}
+	got, gap := rp.Next()
+	if got.ID != 1 || gap != 0.5 {
+		t.Fatalf("got %+v gap %v", got, gap)
+	}
+	if rp.More() {
+		t.Fatal("More true past end")
+	}
+	if rp.Err() != nil {
+		t.Fatalf("unexpected error: %v", rp.Err())
+	}
+}
+
+func TestReplayerNextPastEndPanics(t *testing.T) {
+	rp := NewReplayer(strings.NewReader(""))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Next past end did not panic")
+		}
+	}()
+	rp.Next()
+}
+
+func TestReplayerRejectsCorruptInput(t *testing.T) {
+	_, _, err := ReadAll(strings.NewReader(`{"id":1,"class":9,"elements":[1],"writes":[true]}`))
+	if err == nil {
+		t.Fatal("invalid class accepted")
+	}
+	_, _, err = ReadAll(strings.NewReader(`{"id":1,"class":1,"elements":[1,2],"writes":[true]}`))
+	if err == nil {
+		t.Fatal("mismatched elements/writes accepted")
+	}
+	_, _, err = ReadAll(strings.NewReader(`not json at all`))
+	if err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestRecorderValidation(t *testing.T) {
+	rec := NewRecorder(&bytes.Buffer{})
+	if err := rec.Record(nil, 0); err == nil {
+		t.Error("nil transaction accepted")
+	}
+	txn := &Txn{ID: 1, Class: ClassA}
+	if err := rec.Record(txn, -1); err == nil {
+		t.Error("negative gap accepted")
+	}
+}
+
+func TestCaptureProducesReplayableTrace(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := validConfig()
+	if err := Capture(&buf, cfg, 7, 2.0, 30); err != nil {
+		t.Fatal(err)
+	}
+	txns, gaps, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txns) != 30 || len(gaps) != 30 {
+		t.Fatalf("captured %d/%d", len(txns), len(gaps))
+	}
+	for _, g := range gaps {
+		if g < 0 {
+			t.Fatal("negative gap in capture")
+		}
+	}
+	// Round-robin site assignment in Capture.
+	if txns[0].HomeSite != 0 || txns[1].HomeSite != 1 {
+		t.Errorf("sites %d,%d, want 0,1", txns[0].HomeSite, txns[1].HomeSite)
+	}
+}
+
+func TestCaptureRejectsBadCount(t *testing.T) {
+	if err := Capture(&bytes.Buffer{}, validConfig(), 1, 1.0, 0); err == nil {
+		t.Fatal("zero count accepted")
+	}
+}
+
+func TestCaptureDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	cfg := validConfig()
+	if err := Capture(&a, cfg, 9, 1.5, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := Capture(&b, cfg, 9, 1.5, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("captures with equal seeds differ")
+	}
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"fmt"
+
+	"hybriddb/internal/rng"
+)
+
+// The paper's introduction motivates the hybrid architecture with "regional
+// locality and load fluctuations". A Schedule describes fluctuating load: a
+// cyclic piecewise-constant arrival rate, such as a diurnal pattern where a
+// region peaks during its business hours. NHPPArrivals samples a
+// non-homogeneous Poisson process with that rate function by thinning.
+
+// RateStep is one segment of a rate schedule.
+type RateStep struct {
+	Duration float64 // seconds the segment lasts
+	Rate     float64 // arrivals per second during the segment
+}
+
+// Schedule is a cyclic sequence of rate segments: after the last segment the
+// schedule wraps to the first.
+type Schedule []RateStep
+
+// Validate reports whether the schedule is usable.
+func (s Schedule) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("workload: empty rate schedule")
+	}
+	for i, step := range s {
+		if step.Duration <= 0 {
+			return fmt.Errorf("workload: schedule step %d duration %v", i, step.Duration)
+		}
+		if step.Rate < 0 {
+			return fmt.Errorf("workload: schedule step %d rate %v", i, step.Rate)
+		}
+	}
+	if s.MaxRate() <= 0 {
+		return fmt.Errorf("workload: schedule has zero rate everywhere")
+	}
+	return nil
+}
+
+// Period returns the cycle length.
+func (s Schedule) Period() float64 {
+	var total float64
+	for _, step := range s {
+		total += step.Duration
+	}
+	return total
+}
+
+// MaxRate returns the largest segment rate (the thinning envelope).
+func (s Schedule) MaxRate() float64 {
+	var m float64
+	for _, step := range s {
+		if step.Rate > m {
+			m = step.Rate
+		}
+	}
+	return m
+}
+
+// MeanRate returns the time-averaged rate over one cycle.
+func (s Schedule) MeanRate() float64 {
+	p := s.Period()
+	if p == 0 {
+		return 0
+	}
+	var area float64
+	for _, step := range s {
+		area += step.Rate * step.Duration
+	}
+	return area / p
+}
+
+// RateAt returns the rate in effect at absolute time t (cyclic).
+func (s Schedule) RateAt(t float64) float64 {
+	p := s.Period()
+	if p <= 0 {
+		return 0
+	}
+	phase := t - float64(int(t/p))*p
+	if phase < 0 {
+		phase += p
+	}
+	for _, step := range s {
+		if phase < step.Duration {
+			return step.Rate
+		}
+		phase -= step.Duration
+	}
+	return s[len(s)-1].Rate
+}
+
+// Constant returns a single-step schedule of the given rate (period 1 s).
+func Constant(rate float64) Schedule {
+	return Schedule{{Duration: 1, Rate: rate}}
+}
+
+// NHPPArrivals samples a non-homogeneous Poisson process whose intensity
+// follows a Schedule, by Lewis–Shedler thinning: candidate arrivals are
+// drawn at the envelope rate and accepted with probability rate(t)/maxRate.
+type NHPPArrivals struct {
+	schedule Schedule
+	maxRate  float64
+	src      *rng.Source
+}
+
+// NewNHPPArrivals returns an arrival process for the schedule. It panics on
+// an invalid schedule (construction-time programming error).
+func NewNHPPArrivals(s Schedule, seed uint64) *NHPPArrivals {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return &NHPPArrivals{schedule: s, maxRate: s.MaxRate(), src: rng.New(seed)}
+}
+
+// Next returns the time from now until the next arrival.
+func (a *NHPPArrivals) Next(now float64) float64 {
+	t := now
+	for {
+		t += a.src.Exp(1 / a.maxRate)
+		if a.src.Float64() < a.schedule.RateAt(t)/a.maxRate {
+			return t - now
+		}
+	}
+}
+
+// Shift returns the schedule rotated by offset seconds: the returned
+// schedule's rate at time t equals the receiver's rate at time t+offset.
+// Staggering copies of one regional "day" across sites models time zones.
+func (s Schedule) Shift(offset float64) Schedule {
+	period := s.Period()
+	if period <= 0 || len(s) == 0 {
+		return s
+	}
+	offset -= float64(int(offset/period)) * period
+	if offset < 0 {
+		offset += period
+	}
+	if offset == 0 {
+		out := make(Schedule, len(s))
+		copy(out, s)
+		return out
+	}
+	// Find the segment containing the offset and rebuild from there.
+	rest := offset
+	idx := 0
+	for rest >= s[idx].Duration {
+		rest -= s[idx].Duration
+		idx++
+	}
+	out := make(Schedule, 0, len(s)+1)
+	out = append(out, RateStep{Duration: s[idx].Duration - rest, Rate: s[idx].Rate})
+	out = append(out, s[idx+1:]...)
+	out = append(out, s[:idx]...)
+	if rest > 0 {
+		out = append(out, RateStep{Duration: rest, Rate: s[idx].Rate})
+	}
+	return out
+}

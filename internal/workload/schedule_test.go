@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func diurnal() Schedule {
+	return Schedule{
+		{Duration: 100, Rate: 0.5},
+		{Duration: 100, Rate: 3.0},
+		{Duration: 100, Rate: 1.0},
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	if err := diurnal().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Schedule{
+		nil,
+		{},
+		{{Duration: 0, Rate: 1}},
+		{{Duration: 10, Rate: -1}},
+		{{Duration: 10, Rate: 0}}, // zero everywhere
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schedule %d accepted", i)
+		}
+	}
+	// Zero-rate segments are fine as long as some segment is positive.
+	mixed := Schedule{{Duration: 10, Rate: 0}, {Duration: 10, Rate: 2}}
+	if err := mixed.Validate(); err != nil {
+		t.Errorf("mixed schedule rejected: %v", err)
+	}
+}
+
+func TestScheduleAggregates(t *testing.T) {
+	s := diurnal()
+	if got := s.Period(); got != 300 {
+		t.Errorf("period = %v", got)
+	}
+	if got := s.MaxRate(); got != 3.0 {
+		t.Errorf("max rate = %v", got)
+	}
+	if got := s.MeanRate(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("mean rate = %v, want 1.5", got)
+	}
+}
+
+func TestScheduleRateAtCyclic(t *testing.T) {
+	s := diurnal()
+	tests := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 0.5}, {99, 0.5}, {100, 3.0}, {199, 3.0}, {200, 1.0},
+		{299, 1.0}, {300, 0.5}, {450, 3.0}, {800, 1.0},
+	}
+	for _, tt := range tests {
+		if got := s.RateAt(tt.t); got != tt.want {
+			t.Errorf("RateAt(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestConstantSchedule(t *testing.T) {
+	s := Constant(2.5)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []float64{0, 0.5, 10, 1234.5} {
+		if got := s.RateAt(at); got != 2.5 {
+			t.Errorf("RateAt(%v) = %v", at, got)
+		}
+	}
+}
+
+func TestNHPPArrivalsMatchesRateSegments(t *testing.T) {
+	s := diurnal()
+	arr := NewNHPPArrivals(s, 7)
+	counts := make([]int, 3) // arrivals per segment across cycles
+	now := 0.0
+	const horizon = 60_000.0
+	for now < horizon {
+		now += arr.Next(now)
+		if now >= horizon {
+			break
+		}
+		phase := math.Mod(now, 300)
+		counts[int(phase/100)]++
+	}
+	cycles := horizon / 300
+	// Expected arrivals per segment per cycle: rate * 100.
+	for i, want := range []float64{50, 300, 100} {
+		got := float64(counts[i]) / cycles
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("segment %d: %.1f arrivals/cycle, want ~%.0f", i, got, want)
+		}
+	}
+}
+
+func TestNHPPArrivalsDeterministic(t *testing.T) {
+	a := NewNHPPArrivals(diurnal(), 9)
+	b := NewNHPPArrivals(diurnal(), 9)
+	now := 0.0
+	for i := 0; i < 100; i++ {
+		ga, gb := a.Next(now), b.Next(now)
+		if ga != gb {
+			t.Fatalf("draw %d differs: %v vs %v", i, ga, gb)
+		}
+		now += ga
+	}
+}
+
+func TestNHPPInvalidSchedulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid schedule did not panic")
+		}
+	}()
+	NewNHPPArrivals(Schedule{}, 1)
+}
+
+func TestScheduleShift(t *testing.T) {
+	s := diurnal() // 100@0.5, 100@3.0, 100@1.0
+	shifted := s.Shift(150)
+	if err := shifted.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := shifted.Period(); math.Abs(got-300) > 1e-9 {
+		t.Fatalf("shifted period = %v", got)
+	}
+	// shifted.RateAt(t) must equal s.RateAt(t+150).
+	for _, at := range []float64{0, 25, 49.9, 50, 120, 149.9, 150, 250, 299, 500} {
+		if got, want := shifted.RateAt(at), s.RateAt(at+150); got != want {
+			t.Errorf("shifted.RateAt(%v) = %v, want %v", at, got, want)
+		}
+	}
+}
+
+func TestScheduleShiftZeroAndFullPeriod(t *testing.T) {
+	s := diurnal()
+	for _, off := range []float64{0, 300, 600} {
+		shifted := s.Shift(off)
+		for _, at := range []float64{0, 99, 100, 250} {
+			if got, want := shifted.RateAt(at), s.RateAt(at); got != want {
+				t.Errorf("Shift(%v).RateAt(%v) = %v, want %v", off, at, got, want)
+			}
+		}
+	}
+}
+
+func TestScheduleShiftDoesNotAliasReceiver(t *testing.T) {
+	s := diurnal()
+	shifted := s.Shift(0)
+	shifted[0].Rate = 99
+	if s[0].Rate == 99 {
+		t.Fatal("Shift(0) aliased the receiver")
+	}
+}
+
+func TestScheduleShiftMeanRatePreserved(t *testing.T) {
+	s := diurnal()
+	for _, off := range []float64{10, 150, 299.5} {
+		if got := s.Shift(off).MeanRate(); math.Abs(got-s.MeanRate()) > 1e-9 {
+			t.Errorf("Shift(%v) changed mean rate: %v", off, got)
+		}
+	}
+}

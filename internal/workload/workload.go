@@ -1,0 +1,212 @@
+// Package workload generates the transaction load of §4.1: Poisson arrivals
+// at every local site, a class A/class B mix, and per-transaction lock
+// reference strings. Class A transactions reference only their home site's
+// database partition; class B transactions reference the whole lockspace
+// uniformly (they "usually require non-local data", §2).
+package workload
+
+import (
+	"fmt"
+
+	"hybriddb/internal/lock"
+	"hybriddb/internal/rng"
+)
+
+// Class distinguishes the two transaction classes of the paper.
+type Class uint8
+
+// Transaction classes.
+const (
+	// ClassA transactions reference only local data and may run either at
+	// the home site or at the central site.
+	ClassA Class = iota + 1
+	// ClassB transactions reference non-local data and always run at the
+	// central site.
+	ClassB
+)
+
+// String returns "A" or "B".
+func (c Class) String() string {
+	switch c {
+	case ClassA:
+		return "A"
+	case ClassB:
+		return "B"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Txn is one generated transaction: its class, origin, and the ordered lock
+// reference string its database calls will issue.
+type Txn struct {
+	ID       int64
+	Class    Class
+	HomeSite int
+	// Elements lists the lockspace elements referenced, one per database
+	// call, in request order. They are distinct within a transaction.
+	Elements []uint32
+	// Modes holds the requested lock mode for each element.
+	Modes []lock.Mode
+}
+
+// Config parameterises the generator.
+type Config struct {
+	Sites       int     // number of local sites (N)
+	Lockspace   uint32  // total lock elements, partitioned equally by site
+	CallsPerTxn int     // database calls (= locks) per transaction, N_l
+	PLocal      float64 // probability a transaction is class A
+	PWrite      float64 // probability a lock request is exclusive
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Sites <= 0:
+		return fmt.Errorf("workload: sites = %d, need > 0", c.Sites)
+	case c.Lockspace == 0:
+		return fmt.Errorf("workload: lockspace is zero")
+	case uint32(c.Sites) > c.Lockspace:
+		return fmt.Errorf("workload: more sites (%d) than lock elements (%d)", c.Sites, c.Lockspace)
+	case c.CallsPerTxn <= 0:
+		return fmt.Errorf("workload: calls per txn = %d, need > 0", c.CallsPerTxn)
+	case uint32(c.CallsPerTxn) > c.Lockspace/uint32(c.Sites):
+		return fmt.Errorf("workload: %d calls exceed partition size %d", c.CallsPerTxn, c.Lockspace/uint32(c.Sites))
+	case c.PLocal < 0 || c.PLocal > 1:
+		return fmt.Errorf("workload: PLocal = %v out of [0,1]", c.PLocal)
+	case c.PWrite < 0 || c.PWrite > 1:
+		return fmt.Errorf("workload: PWrite = %v out of [0,1]", c.PWrite)
+	}
+	return nil
+}
+
+// PartitionSize returns the number of elements in each site's partition.
+func (c Config) PartitionSize() uint32 { return c.Lockspace / uint32(c.Sites) }
+
+// Generator produces transactions deterministically from a seed.
+type Generator struct {
+	cfg    Config
+	nextID int64
+	class  *rng.Source
+	elems  *rng.Source
+	modes  *rng.Source
+}
+
+// NewGenerator returns a generator for the given configuration. It panics if
+// the configuration is invalid (construct-time programming error).
+func NewGenerator(cfg Config, seed uint64) *Generator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	root := rng.New(seed)
+	return &Generator{
+		cfg:   cfg,
+		class: root.Split(),
+		elems: root.Split(),
+		modes: root.Split(),
+	}
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Next generates the next transaction originating at the given site.
+func (g *Generator) Next(site int) *Txn {
+	if site < 0 || site >= g.cfg.Sites {
+		panic(fmt.Sprintf("workload: site %d out of range [0,%d)", site, g.cfg.Sites))
+	}
+	g.nextID++
+	t := &Txn{
+		ID:       g.nextID,
+		HomeSite: site,
+		Class:    ClassB,
+	}
+	if g.class.Bool(g.cfg.PLocal) {
+		t.Class = ClassA
+	}
+
+	part := g.cfg.PartitionSize()
+	n := g.cfg.CallsPerTxn
+	t.Elements = make([]uint32, n)
+	t.Modes = make([]lock.Mode, n)
+
+	if t.Class == ClassA {
+		// Uniform, distinct references within the home partition.
+		base := uint32(site) * part
+		for i, off := range g.elems.SampleWithoutReplacement(int(part), n) {
+			t.Elements[i] = base + uint32(off)
+		}
+	} else {
+		// Uniform, distinct references over the entire lockspace.
+		for i, off := range g.elems.SampleWithoutReplacement(int(g.cfg.Lockspace), n) {
+			t.Elements[i] = uint32(off)
+		}
+	}
+	for i := range t.Modes {
+		if g.modes.Bool(g.cfg.PWrite) {
+			t.Modes[i] = lock.Exclusive
+		} else {
+			t.Modes[i] = lock.Share
+		}
+	}
+	return t
+}
+
+// PartitionOf returns the home site of a lockspace element.
+func (c Config) PartitionOf(elem uint32) int {
+	site := int(elem / c.PartitionSize())
+	if site >= c.Sites { // remainder elements of an uneven split
+		site = c.Sites - 1
+	}
+	return site
+}
+
+// Updates returns the elements the transaction locks exclusively — the set
+// whose new values must be propagated through the coherence protocol.
+func (t *Txn) Updates() []uint32 {
+	var out []uint32
+	for i, m := range t.Modes {
+		if m == lock.Exclusive {
+			out = append(out, t.Elements[i])
+		}
+	}
+	return out
+}
+
+// SitesTouched returns the distinct master sites of the transaction's
+// elements — the sites involved in a central commit's authentication phase.
+func (t *Txn) SitesTouched(cfg Config) []int {
+	seen := make(map[int]struct{}, 2)
+	var out []int
+	for _, e := range t.Elements {
+		s := cfg.PartitionOf(e)
+		if _, dup := seen[s]; !dup {
+			seen[s] = struct{}{}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Arrivals draws successive exponential interarrival times with the given
+// per-site rate. It is kept separate from transaction content so arrival
+// pattern and reference strings come from independent streams.
+type Arrivals struct {
+	rate float64
+	src  *rng.Source
+}
+
+// NewArrivals returns a Poisson arrival process of the given rate
+// (transactions per second). Rate must be positive.
+func NewArrivals(rate float64, seed uint64) *Arrivals {
+	if rate <= 0 {
+		panic(fmt.Sprintf("workload: non-positive arrival rate %v", rate))
+	}
+	return &Arrivals{rate: rate, src: rng.New(seed)}
+}
+
+// Next returns the time until the next arrival.
+func (a *Arrivals) Next() float64 { return a.src.Exp(1 / a.rate) }
+
+// Rate returns the arrival rate.
+func (a *Arrivals) Rate() float64 { return a.rate }

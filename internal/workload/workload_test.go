@@ -1,0 +1,277 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hybriddb/internal/lock"
+)
+
+func validConfig() Config {
+	return Config{Sites: 10, Lockspace: 32768, CallsPerTxn: 10, PLocal: 0.75, PWrite: 0.25}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		wantOK bool
+	}{
+		{"default", func(c *Config) {}, true},
+		{"zero sites", func(c *Config) { c.Sites = 0 }, false},
+		{"zero lockspace", func(c *Config) { c.Lockspace = 0 }, false},
+		{"more sites than elements", func(c *Config) { c.Sites = 100; c.Lockspace = 50 }, false},
+		{"zero calls", func(c *Config) { c.CallsPerTxn = 0 }, false},
+		{"calls exceed partition", func(c *Config) { c.CallsPerTxn = 4000 }, false},
+		{"plocal negative", func(c *Config) { c.PLocal = -0.1 }, false},
+		{"plocal above one", func(c *Config) { c.PLocal = 1.1 }, false},
+		{"pwrite above one", func(c *Config) { c.PWrite = 2 }, false},
+		{"all reads", func(c *Config) { c.PWrite = 0 }, true},
+		{"all class B", func(c *Config) { c.PLocal = 0 }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := validConfig()
+			tt.mutate(&c)
+			err := c.Validate()
+			if (err == nil) != tt.wantOK {
+				t.Errorf("Validate() = %v, want ok=%v", err, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestPartitionSize(t *testing.T) {
+	c := validConfig()
+	if got := c.PartitionSize(); got != 3276 {
+		t.Fatalf("PartitionSize = %d, want 3276", got)
+	}
+}
+
+func TestPartitionOf(t *testing.T) {
+	c := validConfig()
+	if c.PartitionOf(0) != 0 {
+		t.Error("element 0 not in partition 0")
+	}
+	if c.PartitionOf(3275) != 0 {
+		t.Error("element 3275 not in partition 0")
+	}
+	if c.PartitionOf(3276) != 1 {
+		t.Error("element 3276 not in partition 1")
+	}
+	// Remainder elements (32760..32767) attach to the last site.
+	if c.PartitionOf(32767) != 9 {
+		t.Errorf("element 32767 in partition %d, want 9", c.PartitionOf(32767))
+	}
+}
+
+func TestClassAReferencesStayInHomePartition(t *testing.T) {
+	g := NewGenerator(validConfig(), 1)
+	part := g.Config().PartitionSize()
+	for i := 0; i < 500; i++ {
+		for site := 0; site < 10; site++ {
+			txn := g.Next(site)
+			if txn.Class != ClassA {
+				continue
+			}
+			lo, hi := uint32(site)*part, uint32(site+1)*part
+			for _, e := range txn.Elements {
+				if e < lo || e >= hi {
+					t.Fatalf("class A txn at site %d referenced element %d outside [%d,%d)", site, e, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestClassBReferencesSpanLockspace(t *testing.T) {
+	cfg := validConfig()
+	cfg.PLocal = 0 // all class B
+	g := NewGenerator(cfg, 2)
+	partitions := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		txn := g.Next(0)
+		for _, e := range txn.Elements {
+			if e >= cfg.Lockspace {
+				t.Fatalf("element %d beyond lockspace", e)
+			}
+			partitions[cfg.PartitionOf(e)] = true
+		}
+	}
+	if len(partitions) < 8 {
+		t.Errorf("class B references hit only %d partitions", len(partitions))
+	}
+}
+
+func TestElementsDistinctWithinTxn(t *testing.T) {
+	g := NewGenerator(validConfig(), 3)
+	for i := 0; i < 1000; i++ {
+		txn := g.Next(i % 10)
+		seen := make(map[uint32]bool, len(txn.Elements))
+		for _, e := range txn.Elements {
+			if seen[e] {
+				t.Fatalf("duplicate element %d in txn %d", e, txn.ID)
+			}
+			seen[e] = true
+		}
+		if len(txn.Elements) != 10 || len(txn.Modes) != 10 {
+			t.Fatalf("txn has %d elements, %d modes", len(txn.Elements), len(txn.Modes))
+		}
+	}
+}
+
+func TestClassMix(t *testing.T) {
+	g := NewGenerator(validConfig(), 4)
+	const n = 20000
+	classA := 0
+	for i := 0; i < n; i++ {
+		if g.Next(0).Class == ClassA {
+			classA++
+		}
+	}
+	got := float64(classA) / n
+	if math.Abs(got-0.75) > 0.01 {
+		t.Errorf("class A fraction = %v, want ~0.75", got)
+	}
+}
+
+func TestWriteMix(t *testing.T) {
+	g := NewGenerator(validConfig(), 5)
+	const n = 5000
+	writes, total := 0, 0
+	for i := 0; i < n; i++ {
+		txn := g.Next(0)
+		for _, m := range txn.Modes {
+			total++
+			if m == lock.Exclusive {
+				writes++
+			}
+		}
+	}
+	got := float64(writes) / float64(total)
+	if math.Abs(got-0.25) > 0.01 {
+		t.Errorf("write fraction = %v, want ~0.25", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1 := NewGenerator(validConfig(), 99)
+	g2 := NewGenerator(validConfig(), 99)
+	for i := 0; i < 100; i++ {
+		a, b := g1.Next(i%10), g2.Next(i%10)
+		if a.Class != b.Class || a.ID != b.ID {
+			t.Fatalf("generators diverged at txn %d", i)
+		}
+		for j := range a.Elements {
+			if a.Elements[j] != b.Elements[j] || a.Modes[j] != b.Modes[j] {
+				t.Fatalf("reference strings diverged at txn %d call %d", i, j)
+			}
+		}
+	}
+}
+
+func TestIDsUnique(t *testing.T) {
+	g := NewGenerator(validConfig(), 6)
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		id := g.Next(0).ID
+		if seen[id] {
+			t.Fatalf("duplicate txn ID %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestUpdates(t *testing.T) {
+	txn := &Txn{
+		Elements: []uint32{1, 2, 3},
+		Modes:    []lock.Mode{lock.Share, lock.Exclusive, lock.Exclusive},
+	}
+	u := txn.Updates()
+	if len(u) != 2 || u[0] != 2 || u[1] != 3 {
+		t.Fatalf("Updates = %v, want [2 3]", u)
+	}
+}
+
+func TestUpdatesReadOnly(t *testing.T) {
+	txn := &Txn{Elements: []uint32{1}, Modes: []lock.Mode{lock.Share}}
+	if u := txn.Updates(); u != nil {
+		t.Fatalf("read-only Updates = %v, want nil", u)
+	}
+}
+
+func TestSitesTouched(t *testing.T) {
+	cfg := validConfig()
+	part := cfg.PartitionSize()
+	txn := &Txn{Elements: []uint32{0, 1, part, 2 * part, part + 5}}
+	sites := txn.SitesTouched(cfg)
+	if len(sites) != 3 {
+		t.Fatalf("SitesTouched = %v, want 3 distinct", sites)
+	}
+	want := map[int]bool{0: true, 1: true, 2: true}
+	for _, s := range sites {
+		if !want[s] {
+			t.Fatalf("unexpected site %d", s)
+		}
+	}
+}
+
+func TestNextPanicsOnBadSite(t *testing.T) {
+	g := NewGenerator(validConfig(), 7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad site did not panic")
+		}
+	}()
+	g.Next(10)
+}
+
+func TestArrivalsMeanRate(t *testing.T) {
+	a := NewArrivals(2.0, 11) // 2 tps -> mean gap 0.5 s
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		gap := a.Next()
+		if gap < 0 {
+			t.Fatal("negative interarrival time")
+		}
+		sum += gap
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean interarrival = %v, want ~0.5", mean)
+	}
+}
+
+func TestArrivalsInvalidRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rate did not panic")
+		}
+	}()
+	NewArrivals(0, 1)
+}
+
+func TestQuickClassAInPartition(t *testing.T) {
+	cfg := validConfig()
+	cfg.PLocal = 1
+	g := NewGenerator(cfg, 12)
+	part := cfg.PartitionSize()
+	f := func(s uint8) bool {
+		site := int(s) % cfg.Sites
+		txn := g.Next(site)
+		for _, e := range txn.Elements {
+			if cfg.PartitionOf(e) != site {
+				return false
+			}
+			if e/part != uint32(site) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,15 @@
+package hybriddb
+
+import "hybriddb/internal/workload"
+
+// Workload-shaping types (see Config.RateSchedules).
+type (
+	// RateStep is one segment of a cyclic arrival-rate schedule.
+	RateStep = workload.RateStep
+	// RateSchedule is a cyclic piecewise-constant arrival-rate function —
+	// the "load fluctuations" the paper's introduction motivates.
+	RateSchedule = workload.Schedule
+)
+
+// ConstantRate returns a schedule holding one fixed rate.
+func ConstantRate(rate float64) RateSchedule { return workload.Constant(rate) }
