@@ -1,0 +1,39 @@
+# Tier-1 verification plus the race-clean CI gate for the parallel
+# experiment runner. `make check` is the full pre-merge pipeline.
+
+GO ?= go
+
+.PHONY: all build test vet race smoke check bench figures
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The parallel runner fans concurrent engines across goroutines; the race
+# detector must stay clean over the whole tree.
+race:
+	$(GO) test -race ./...
+
+# Short-sweep smoke run of the figure pipeline: replicated, fanned across
+# 4 workers, exercising seeds, aggregation, and table rendering end to end.
+smoke:
+	$(GO) run ./cmd/figures -quick -fig 4.2 -reps 2 -parallel 4
+
+check: vet race smoke
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full-length regeneration of every figure (about 5 minutes serially; use
+# REPS/PARALLEL to replicate and fan out, e.g. make figures REPS=5).
+REPS ?= 1
+PARALLEL ?= 0
+figures:
+	$(GO) run ./cmd/figures -reps $(REPS) -parallel $(PARALLEL)

@@ -205,3 +205,48 @@ func BenchmarkAblationBatching(b *testing.B) {
 	}
 	b.ReportMetric(float64(rows[0].Messages)/float64(rows[1].Messages), "msg-reductionx")
 }
+
+// benchReplicatedFig42 regenerates Figure 4.2 with 4 replications per sweep
+// point at a fixed worker count. Comparing the Parallel variant against
+// Serial measures the experiment runner's wall-clock speedup; on a 4-core
+// machine the parallel sweep is expected to run >= 2x faster while producing
+// bit-identical curves (the determinism tests assert the identity).
+func benchReplicatedFig42(b *testing.B, parallelism int) {
+	b.Helper()
+	opt := benchOptions()
+	opt.Replications = 4
+	opt.Parallelism = parallelism
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.Figure42(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastY(fig, "min-average/nis"), "rt28tps/s")
+}
+
+// BenchmarkFig42Reps4Serial is the replicated sweep on one worker.
+func BenchmarkFig42Reps4Serial(b *testing.B) { benchReplicatedFig42(b, 1) }
+
+// BenchmarkFig42Reps4Parallel4 fans the same sweep across 4 workers.
+func BenchmarkFig42Reps4Parallel4(b *testing.B) { benchReplicatedFig42(b, 4) }
+
+// BenchmarkFig42Reps4ParallelMax uses every core (GOMAXPROCS workers).
+func BenchmarkFig42Reps4ParallelMax(b *testing.B) { benchReplicatedFig42(b, 0) }
+
+// BenchmarkReplicationsParallel measures replicate.RunParallel fan-out of one
+// operating point across all cores.
+func BenchmarkReplicationsParallel(b *testing.B) {
+	cfg := hybriddb.DefaultConfig()
+	cfg.ArrivalRatePerSite = 2.5
+	cfg.Warmup = 50
+	cfg.Duration = 150
+	mk := func(cfg hybriddb.Config) (hybriddb.Strategy, error) { return hybriddb.Best(cfg), nil }
+	for i := 0; i < b.N; i++ {
+		if _, err := hybriddb.Replicate(cfg, mk, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

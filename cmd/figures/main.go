@@ -32,19 +32,24 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", `figure to regenerate: 4.1 ... 4.7, "max", "arch", or "all"`)
-		quick   = fs.Bool("quick", false, "shorter simulations (less precise, much faster)")
-		plotFlg = fs.Bool("plot", false, "render ASCII charts alongside the tables")
-		seed    = fs.Uint64("seed", 1, "random seed")
-		csvPath = fs.String("csv", "", "also write long-form CSV to this file")
+		fig      = fs.String("fig", "all", `figure to regenerate: 4.1 ... 4.7, "max", "arch", or "all"`)
+		quick    = fs.Bool("quick", false, "shorter simulations (less precise, much faster)")
+		plotFlg  = fs.Bool("plot", false, "render ASCII charts alongside the tables")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		csvPath  = fs.String("csv", "", "also write long-form CSV to this file")
+		reps     = fs.Int("reps", 1, "independent replications per sweep point (>1 adds 95% confidence half-widths)")
+		parallel = fs.Int("parallel", 0, "worker goroutines for the sweep (0 = GOMAXPROCS); affects speed only, never results")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *reps < 1 {
+		return fmt.Errorf("-reps %d: need at least one replication", *reps)
+	}
 
 	base := hybrid.DefaultConfig()
 	base.Seed = *seed
-	opt := experiments.Options{Base: base}
+	opt := experiments.Options{Base: base, Replications: *reps, Parallelism: *parallel}
 	if *quick {
 		opt.Base.Warmup, opt.Base.Duration = 50, 200
 		opt.RatesPerSite = []float64{1.0, 2.0, 2.8, 3.4}

@@ -92,3 +92,51 @@ func TestFigureWithPlot(t *testing.T) {
 		t.Error("plot canvas missing")
 	}
 }
+
+func TestFigureReplicated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "4.1", "-quick", "-reps", "3", "-parallel", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "±") {
+		t.Errorf("replicated table missing confidence half-widths:\n%s", buf.String())
+	}
+}
+
+func TestFigureReplicatedCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "4.3", "-quick", "-reps", "2", "-csv", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(string(data), "\n", 2)[0]
+	for _, col := range []string{"stddev", "ci95", "replications"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("CSV header %q missing column %q", header, col)
+		}
+	}
+}
+
+func TestFigureParallelismDoesNotChangeOutput(t *testing.T) {
+	render := func(parallel string) string {
+		var buf bytes.Buffer
+		if err := run([]string{"-fig", "4.1", "-quick", "-reps", "2", "-parallel", parallel}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if serial, fanned := render("1"), render("8"); serial != fanned {
+		t.Error("-parallel changed the rendered tables")
+	}
+}
+
+func TestFigureRejectsBadReps(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "4.1", "-reps", "0"}, &buf); err == nil {
+		t.Fatal("zero replications accepted")
+	}
+}

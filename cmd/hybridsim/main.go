@@ -41,8 +41,11 @@ func run(args []string, out io.Writer) error {
 		plocal   = fs.Float64("plocal", 0.75, "fraction of class A (local-data) transactions")
 		feedback = fs.String("feedback", "auth-only", "central-state feedback: auth-only, all-messages, ideal")
 		check    = fs.Bool("selfcheck", false, "run simulator invariant checks (slower)")
-		reps     = fs.Int("replications", 1, "independent replications (>1 adds confidence intervals)")
+		parallel = fs.Int("parallel", 0, "worker goroutines for replications (0 = GOMAXPROCS); affects speed only, never results")
 	)
+	var reps int
+	fs.IntVar(&reps, "replications", 1, "independent replications (>1 adds confidence intervals)")
+	fs.IntVar(&reps, "reps", 1, "shorthand for -replications")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,8 +75,8 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *reps > 1 {
-		summary, err := replicate.Run(cfg, maker.Make, *reps)
+	if reps > 1 {
+		summary, err := replicate.RunParallel(cfg, maker.Make, reps, *parallel)
 		if err != nil {
 			return err
 		}

@@ -94,3 +94,35 @@ func TestRunWithReplications(t *testing.T) {
 		t.Errorf("confidence interval missing:\n%s", out)
 	}
 }
+
+func TestRunRepsShorthandAndParallel(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-rate", "1.0", "-warmup", "10", "-duration", "30",
+		"-strategy", "queue-length", "-reps", "3", "-parallel", "4",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "3 replications") {
+		t.Errorf("replication header missing:\n%s", out)
+	}
+}
+
+func TestRunParallelismDoesNotChangeReport(t *testing.T) {
+	render := func(parallel string) string {
+		var buf bytes.Buffer
+		err := run([]string{
+			"-rate", "1.0", "-warmup", "10", "-duration", "30",
+			"-strategy", "best", "-reps", "3", "-parallel", parallel,
+		}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if serial, fanned := render("1"), render("8"); serial != fanned {
+		t.Error("-parallel changed the replication report")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"hybriddb/internal/hybrid"
 	"hybriddb/internal/routing"
+	"hybriddb/internal/runner"
 )
 
 // AblationRow is one configuration point of an ablation sweep: the same
@@ -19,31 +20,51 @@ type AblationRow struct {
 	BestAborts  uint64
 }
 
-func ablationPoint(cfg hybrid.Config, label string) (AblationRow, error) {
-	row := AblationRow{Label: label}
+func makeAlwaysLocal(hybrid.Config) (routing.Strategy, error) {
+	return routing.AlwaysLocal{}, nil
+}
 
-	base, err := hybrid.New(cfg, routing.AlwaysLocal{})
-	if err != nil {
-		return row, err
-	}
-	rb := base.Run()
-	row.BaselineRT = rb.MeanRT
-
-	best, err := hybrid.New(cfg, routing.MinAverage{
+func makeMinAverageNIS(cfg hybrid.Config) (routing.Strategy, error) {
+	return routing.MinAverage{
 		Params:    cfg.ModelParams(),
 		Estimator: routing.FromInSystem,
-	})
+	}, nil
+}
+
+// ablationRows runs every configuration's baseline and best-dynamic pair in
+// one fan-out across the worker pool and assembles the rows in input order.
+func ablationRows(cfgs []hybrid.Config, labels []string, best runner.Task) ([]AblationRow, error) {
+	tasks := make([]runner.Task, 0, 2*len(cfgs))
+	for i, cfg := range cfgs {
+		baseline := runner.Task{Label: labels[i] + " baseline", Cfg: cfg, Make: makeAlwaysLocal}
+		contender := best
+		contender.Label = labels[i] + " " + best.Label
+		contender.Cfg = cfg
+		tasks = append(tasks, baseline, contender)
+	}
+	results, err := runner.Run(tasks, 0)
 	if err != nil {
-		return row, err
+		return nil, err
 	}
-	rd := best.Run()
-	row.BestRT = rd.MeanRT
-	row.BestShip = rd.ShipFraction
-	row.BestAborts = rd.TotalAborts()
-	if rd.MeanRT > 0 {
-		row.Improvement = rb.MeanRT / rd.MeanRT
+	rows := make([]AblationRow, len(cfgs))
+	for i := range cfgs {
+		rb, rd := results[2*i], results[2*i+1]
+		rows[i] = AblationRow{
+			Label:      labels[i],
+			BaselineRT: rb.MeanRT,
+			BestRT:     rd.MeanRT,
+			BestShip:   rd.ShipFraction,
+			BestAborts: rd.TotalAborts(),
+		}
+		if rd.MeanRT > 0 {
+			rows[i].Improvement = rb.MeanRT / rd.MeanRT
+		}
 	}
-	return row, nil
+	return rows, nil
+}
+
+func bestDynamicTask() runner.Task {
+	return runner.Task{Label: "min-average/nis", Make: makeMinAverageNIS}
 }
 
 // AblationWriteMix sweeps the exclusive-lock probability. The paper's trace
@@ -53,17 +74,15 @@ func AblationWriteMix(base hybrid.Config, mixes []float64) ([]AblationRow, error
 	if len(mixes) == 0 {
 		mixes = []float64{0, 0.1, 0.25, 0.5, 0.75}
 	}
-	rows := make([]AblationRow, 0, len(mixes))
-	for _, m := range mixes {
+	cfgs := make([]hybrid.Config, len(mixes))
+	labels := make([]string, len(mixes))
+	for i, m := range mixes {
 		cfg := base
 		cfg.PWrite = m
-		row, err := ablationPoint(cfg, fmt.Sprintf("PWrite=%.2f", m))
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		cfgs[i] = cfg
+		labels[i] = fmt.Sprintf("PWrite=%.2f", m)
 	}
-	return rows, nil
+	return ablationRows(cfgs, labels, bestDynamicTask())
 }
 
 // AblationIOTime sweeps the per-call I/O time around the substituted 25 ms
@@ -72,17 +91,15 @@ func AblationIOTime(base hybrid.Config, ioTimes []float64) ([]AblationRow, error
 	if len(ioTimes) == 0 {
 		ioTimes = []float64{0.010, 0.025, 0.050}
 	}
-	rows := make([]AblationRow, 0, len(ioTimes))
-	for _, io := range ioTimes {
+	cfgs := make([]hybrid.Config, len(ioTimes))
+	labels := make([]string, len(ioTimes))
+	for i, io := range ioTimes {
 		cfg := base
 		cfg.IOTimePerCall = io
-		row, err := ablationPoint(cfg, fmt.Sprintf("IO=%.0fms", io*1000))
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		cfgs[i] = cfg
+		labels[i] = fmt.Sprintf("IO=%.0fms", io*1000)
 	}
-	return rows, nil
+	return ablationRows(cfgs, labels, bestDynamicTask())
 }
 
 // AblationFeedback compares the central-state feedback modes under the
@@ -94,32 +111,20 @@ func AblationFeedback(base hybrid.Config) ([]AblationRow, error) {
 		hybrid.FeedbackAllMessages,
 		hybrid.FeedbackIdeal,
 	}
-	rows := make([]AblationRow, 0, len(modes))
-	for _, mode := range modes {
+	cfgs := make([]hybrid.Config, len(modes))
+	labels := make([]string, len(modes))
+	for i, mode := range modes {
 		cfg := base
 		cfg.Feedback = mode
-		row := AblationRow{Label: "feedback=" + mode.String()}
-
-		baseline, err := hybrid.New(cfg, routing.AlwaysLocal{})
-		if err != nil {
-			return nil, err
-		}
-		row.BaselineRT = baseline.Run().MeanRT
-
-		engine, err := hybrid.New(cfg, routing.QueueLength{})
-		if err != nil {
-			return nil, err
-		}
-		r := engine.Run()
-		row.BestRT = r.MeanRT
-		row.BestShip = r.ShipFraction
-		row.BestAborts = r.TotalAborts()
-		if r.MeanRT > 0 {
-			row.Improvement = row.BaselineRT / r.MeanRT
-		}
-		rows = append(rows, row)
+		cfgs[i] = cfg
+		labels[i] = "feedback=" + mode.String()
 	}
-	return rows, nil
+	return ablationRows(cfgs, labels, runner.Task{
+		Label: "queue-length",
+		Make: func(hybrid.Config) (routing.Strategy, error) {
+			return routing.QueueLength{}, nil
+		},
+	})
 }
 
 // BatchingRow is one point of the update-batching sweep.
@@ -140,26 +145,30 @@ func AblationBatching(base hybrid.Config, windows []float64) ([]BatchingRow, err
 	if len(windows) == 0 {
 		windows = []float64{0, 0.2, 0.5, 1.0}
 	}
-	rows := make([]BatchingRow, 0, len(windows))
-	for _, w := range windows {
+	tasks := make([]runner.Task, len(windows))
+	for i, w := range windows {
 		cfg := base
 		cfg.UpdateBatchWindow = w
-		engine, err := hybrid.New(cfg, routing.MinAverage{
-			Params:    cfg.ModelParams(),
-			Estimator: routing.FromInSystem,
-		})
-		if err != nil {
-			return nil, err
+		tasks[i] = runner.Task{
+			Label: fmt.Sprintf("batch window %gs", w),
+			Cfg:   cfg,
+			Make:  makeMinAverageNIS,
 		}
-		r := engine.Run()
-		rows = append(rows, BatchingRow{
-			Window:       w,
+	}
+	results, err := runner.Run(tasks, 0)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]BatchingRow, len(windows))
+	for i, r := range results {
+		rows[i] = BatchingRow{
+			Window:       windows[i],
 			MeanRT:       r.MeanRT,
 			Messages:     r.MessagesSent,
 			NACKs:        r.AbortsCentralNACK,
 			UtilCentral:  r.UtilCentral,
 			ShipFraction: r.ShipFraction,
-		})
+		}
 	}
 	return rows, nil
 }

@@ -17,6 +17,8 @@ import (
 	"hybriddb/internal/model"
 	"hybriddb/internal/plot"
 	"hybriddb/internal/routing"
+	"hybriddb/internal/runner"
+	"hybriddb/internal/stats"
 )
 
 // Options controls a figure regeneration.
@@ -28,6 +30,17 @@ type Options struct {
 	// RatesPerSite is the sweep of per-site arrival rates. Nil selects
 	// DefaultRates.
 	RatesPerSite []float64
+	// Replications is the number of independent replications per sweep
+	// point. Replication 0 runs on Base.Seed itself (so 0 or 1 reproduces
+	// the historical single-run sweeps bit for bit); replication r > 0 runs
+	// on runner.DeriveSeed(Base.Seed, label, rateIndex, r). With more than
+	// one replication every Point carries a sample standard deviation and a
+	// 95% confidence half-width.
+	Replications int
+	// Parallelism bounds the worker pool fanning the (strategy × rate ×
+	// replication) runs; 0 selects GOMAXPROCS. The value changes only
+	// wall-clock time — sweep output is bit-identical at any parallelism.
+	Parallelism int
 }
 
 // DefaultRates spans 5–34 tps total for the 10-site system, bracketing every
@@ -43,12 +56,34 @@ func (o Options) rates() []float64 {
 	return DefaultRates()
 }
 
-// Point is one sweep point of one curve.
+func (o Options) replications() int {
+	if o.Replications > 1 {
+		return o.Replications
+	}
+	return 1
+}
+
+// Point is one sweep point of one curve. With a single replication Y is that
+// run's measurement and the dispersion fields are zero; with n > 1
+// replications Y is the mean across replications.
 type Point struct {
 	RatePerSite float64
 	TotalRate   float64
-	Y           float64
-	Result      hybrid.Result
+	Y           float64 // mean of the metric across replications
+	// StdDev is the sample standard deviation of the metric across
+	// replications (0 with a single replication).
+	StdDev float64
+	// HalfWidth is the 95% Student-t confidence half-width on Y (0 with a
+	// single replication).
+	HalfWidth float64
+	// Replications is the number of independent runs aggregated into Y.
+	Replications int
+	// Result is the first replication's full measurement (the run on the
+	// base seed) — the auxiliary columns of WriteCSV read from it.
+	Result hybrid.Result
+	// Results holds every replication's full measurement, in replication
+	// order; Results[0] == Result.
+	Results []hybrid.Result
 }
 
 // Curve is one strategy's series across the sweep.
@@ -142,29 +177,59 @@ func MakerMinAverage(est routing.Estimator) StrategyMaker {
 	}
 }
 
-// sweep runs each maker across the rates and extracts y per point.
+// sweep fans every (strategy × rate × replication) run of the grid across
+// the worker pool and aggregates each point's replications. Each run's seed
+// is a pure function of (base seed, strategy label, rate index, replication
+// index), so the curves are bit-identical for any Parallelism.
 func sweep(opt Options, makers []StrategyMaker, y func(hybrid.Result) float64) ([]Curve, error) {
-	curves := make([]Curve, 0, len(makers))
+	rates := opt.rates()
+	reps := opt.replications()
+
+	tasks := make([]runner.Task, 0, len(makers)*len(rates)*reps)
 	for _, mk := range makers {
+		for ri, rate := range rates {
+			for rep := 0; rep < reps; rep++ {
+				cfg := opt.Base
+				cfg.ArrivalRatePerSite = rate
+				cfg.Seed = runner.RunSeed(opt.Base.Seed, mk.Label, ri, rep)
+				tasks = append(tasks, runner.Task{
+					Label: fmt.Sprintf("%s at rate %v rep %d", mk.Label, rate, rep),
+					Cfg:   cfg,
+					Make:  mk.Make,
+				})
+			}
+		}
+	}
+	results, err := runner.Run(tasks, opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+
+	curves := make([]Curve, 0, len(makers))
+	for mi, mk := range makers {
 		curve := Curve{Label: mk.Label}
-		for _, rate := range opt.rates() {
-			cfg := opt.Base
-			cfg.ArrivalRatePerSite = rate
-			strat, err := mk.Make(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s at rate %v: %w", mk.Label, rate, err)
+		for ri, rate := range rates {
+			base := (mi*len(rates) + ri) * reps
+			runs := results[base : base+reps]
+			p := Point{
+				RatePerSite:  rate,
+				TotalRate:    rate * float64(opt.Base.Sites),
+				Replications: reps,
+				Result:       runs[0],
+				Results:      runs,
 			}
-			engine, err := hybrid.New(cfg, strat)
-			if err != nil {
-				return nil, fmt.Errorf("%s at rate %v: %w", mk.Label, rate, err)
+			if reps == 1 {
+				p.Y = y(runs[0])
+			} else {
+				var w stats.Welford
+				for _, r := range runs {
+					w.Add(y(r))
+				}
+				p.Y = w.Mean()
+				p.StdDev = w.StdDev()
+				p.HalfWidth = w.CI95()
 			}
-			res := engine.Run()
-			curve.Points = append(curve.Points, Point{
-				RatePerSite: rate,
-				TotalRate:   rate * float64(cfg.Sites),
-				Y:           y(res),
-				Result:      res,
-			})
+			curve.Points = append(curve.Points, p)
 		}
 		curves = append(curves, curve)
 	}
@@ -373,7 +438,11 @@ func (f Figure) WriteTable(w io.Writer) error {
 		for i := range f.Curves[0].Points {
 			row := []string{fmt.Sprintf("%.1f", f.Curves[0].Points[i].TotalRate)}
 			for _, c := range f.Curves {
-				row = append(row, formatY(c.Points[i].Y))
+				cell := formatY(c.Points[i].Y)
+				if hw := c.Points[i].HalfWidth; hw > 0 && !math.IsInf(c.Points[i].Y, 0) {
+					cell += fmt.Sprintf("±%s", formatY(hw))
+				}
+				row = append(row, cell)
 			}
 			fmt.Fprintln(tw, strings.Join(row, "\t"))
 		}
@@ -396,17 +465,23 @@ func formatY(y float64) string {
 	}
 }
 
-// WriteCSV renders the figure in long form with the auxiliary measurements
-// (throughput, ship fraction, aborts, utilizations) per point.
+// WriteCSV renders the figure in long form with the replication dispersion
+// (sample stddev, 95% half-width) and the auxiliary measurements (throughput,
+// ship fraction, aborts, utilizations — from the base-seed replication) per
+// point.
 func (f Figure) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "figure,curve,rate_per_site,total_rate,y,throughput,ship_fraction,mean_rt,aborts,util_local,util_central"); err != nil {
+	if _, err := fmt.Fprintln(w, "figure,curve,rate_per_site,total_rate,y,stddev,ci95,replications,throughput,ship_fraction,mean_rt,aborts,util_local,util_central"); err != nil {
 		return err
 	}
 	for _, c := range f.Curves {
 		for _, p := range c.Points {
 			r := p.Result
-			if _, err := fmt.Fprintf(w, "%s,%s,%g,%g,%g,%g,%g,%g,%d,%g,%g\n",
-				f.ID, c.Label, p.RatePerSite, p.TotalRate, p.Y,
+			reps := p.Replications
+			if reps == 0 {
+				reps = 1
+			}
+			if _, err := fmt.Fprintf(w, "%s,%s,%g,%g,%g,%g,%g,%d,%g,%g,%g,%d,%g,%g\n",
+				f.ID, c.Label, p.RatePerSite, p.TotalRate, p.Y, p.StdDev, p.HalfWidth, reps,
 				r.Throughput, r.ShipFraction, r.MeanRT, r.TotalAborts(),
 				r.UtilLocalMean, r.UtilCentral); err != nil {
 				return err

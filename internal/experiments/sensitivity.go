@@ -5,6 +5,7 @@ import (
 
 	"hybriddb/internal/hybrid"
 	"hybriddb/internal/routing"
+	"hybriddb/internal/runner"
 )
 
 // The paper's conclusion names the factors the tuned threshold depends on:
@@ -29,28 +30,45 @@ func candidateThetas() []float64 {
 }
 
 // sensitivityPoint tunes the threshold heuristic at one configuration and
-// runs the reference dynamic strategy.
+// runs the reference dynamic strategy. The candidate thresholds and the
+// reference run are independent simulations, so they fan across the worker
+// pool; the argmin scan stays in candidate order, so ties resolve exactly as
+// they did serially.
 func sensitivityPoint(cfg hybrid.Config, label string) (SensitivityRow, error) {
 	row := SensitivityRow{Label: label, BestThetaRT: -1}
-	for _, theta := range candidateThetas() {
-		engine, err := hybrid.New(cfg, routing.QueueThreshold{Theta: theta})
-		if err != nil {
-			return row, err
-		}
-		r := engine.Run()
-		if row.BestThetaRT < 0 || r.MeanRT < row.BestThetaRT {
+	thetas := candidateThetas()
+	tasks := make([]runner.Task, 0, len(thetas)+1)
+	for _, theta := range thetas {
+		theta := theta
+		tasks = append(tasks, runner.Task{
+			Label: fmt.Sprintf("%s theta %+.1f", label, theta),
+			Cfg:   cfg,
+			Make: func(hybrid.Config) (routing.Strategy, error) {
+				return routing.QueueThreshold{Theta: theta}, nil
+			},
+		})
+	}
+	tasks = append(tasks, runner.Task{
+		Label: label + " min-average/nis",
+		Cfg:   cfg,
+		Make: func(cfg hybrid.Config) (routing.Strategy, error) {
+			return routing.MinAverage{
+				Params:    cfg.ModelParams(),
+				Estimator: routing.FromInSystem,
+			}, nil
+		},
+	})
+	results, err := runner.Run(tasks, 0)
+	if err != nil {
+		return row, err
+	}
+	for i, theta := range thetas {
+		if r := results[i]; row.BestThetaRT < 0 || r.MeanRT < row.BestThetaRT {
 			row.BestThetaRT = r.MeanRT
 			row.BestTheta = theta
 		}
 	}
-	engine, err := hybrid.New(cfg, routing.MinAverage{
-		Params:    cfg.ModelParams(),
-		Estimator: routing.FromInSystem,
-	})
-	if err != nil {
-		return row, err
-	}
-	row.BestDynamicRT = engine.Run().MeanRT
+	row.BestDynamicRT = results[len(thetas)].MeanRT
 	return row, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"hybriddb/internal/hybrid"
 	"hybriddb/internal/model"
 	"hybriddb/internal/routing"
+	"hybriddb/internal/runner"
 )
 
 // ValidationRow compares the analytical model's prediction with the
@@ -35,8 +36,28 @@ func ModelValidation(opt Options, pShip float64) ([]ValidationRow, error) {
 	if pShip < 0 || pShip > 1 {
 		return nil, fmt.Errorf("experiments: pShip %v out of [0,1]", pShip)
 	}
+	// The simulations dominate the cost and are independent across rates, so
+	// they fan across the worker pool; the analytical solves are cheap and
+	// stay serial.
+	tasks := make([]runner.Task, len(opt.rates()))
+	for i, rate := range opt.rates() {
+		cfg := opt.Base
+		cfg.ArrivalRatePerSite = rate
+		tasks[i] = runner.Task{
+			Label: fmt.Sprintf("validation at rate %v", rate),
+			Cfg:   cfg,
+			Make: func(cfg hybrid.Config) (routing.Strategy, error) {
+				return routing.NewStatic(pShip, cfg.Seed^0x1234abcd), nil
+			},
+		}
+	}
+	sims, err := runner.Run(tasks, opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+
 	rows := make([]ValidationRow, 0, len(opt.rates()))
-	for _, rate := range opt.rates() {
+	for i, rate := range opt.rates() {
 		cfg := opt.Base
 		cfg.ArrivalRatePerSite = rate
 
@@ -44,11 +65,7 @@ func ModelValidation(opt Options, pShip float64) ([]ValidationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		engine, err := hybrid.New(cfg, routing.NewStatic(pShip, cfg.Seed^0x1234abcd))
-		if err != nil {
-			return nil, err
-		}
-		sim := engine.Run()
+		sim := sims[i]
 
 		row := ValidationRow{
 			RatePerSite: rate,

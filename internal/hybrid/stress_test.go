@@ -1,6 +1,8 @@
 package hybrid
 
 import (
+	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -73,5 +75,76 @@ func TestQuickProtocolStress(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestConcurrentEngines spins many engines with distinct seeds in concurrent
+// goroutines and checks each produces exactly the result it produces when run
+// alone — engines must share no mutable state, the property the parallel
+// experiment runner rests on. Run under `go test -race` this also has the
+// race detector audit every cross-engine access.
+func TestConcurrentEngines(t *testing.T) {
+	const engines = 8
+	cfg := DefaultConfig()
+	cfg.Sites = 5
+	cfg.Warmup = 10
+	cfg.Duration = 60
+	cfg.ArrivalRatePerSite = 2.0
+	cfg.SelfCheck = true
+
+	strategies := func(c Config) []routing.Strategy {
+		p := c.ModelParams()
+		return []routing.Strategy{
+			routing.AlwaysLocal{},
+			routing.NewStatic(0.4, c.Seed),
+			routing.QueueLength{},
+			routing.MinAverage{Params: p, Estimator: routing.FromInSystem},
+		}
+	}
+
+	// Reference: each configuration run alone, serially.
+	serial := make([]Result, engines)
+	for i := range serial {
+		c := cfg
+		c.Seed = uint64(i + 1)
+		engine, err := New(c, strategies(c)[i%4])
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = engine.Run()
+	}
+
+	// The same configurations, all engines running concurrently.
+	concurrent := make([]Result, engines)
+	errs := make([]error, engines)
+	var wg sync.WaitGroup
+	wg.Add(engines)
+	for i := 0; i < engines; i++ {
+		go func(i int) {
+			defer wg.Done()
+			c := cfg
+			c.Seed = uint64(i + 1)
+			engine, err := New(c, strategies(c)[i%4])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			concurrent[i] = engine.Run()
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < engines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("engine %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(serial[i], concurrent[i]) {
+			t.Errorf("engine %d: concurrent result differs from solo run — engines share state", i)
+		}
+	}
+	// Distinct seeds must actually explore distinct sample paths.
+	if reflect.DeepEqual(concurrent[0].Generated, concurrent[4].Generated) &&
+		concurrent[0].MeanRT == concurrent[4].MeanRT {
+		t.Error("engines with distinct seeds produced identical results")
 	}
 }

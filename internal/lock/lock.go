@@ -16,7 +16,10 @@
 // holders, which are reported back as victims to be marked for abort.
 package lock
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // ID identifies a transaction to the lock manager.
 type ID int64
@@ -299,6 +302,11 @@ func (m *Manager) ReleaseAll(id ID) {
 	for elem := range h {
 		elems = append(elems, elem)
 	}
+	// Release in element order, not map-iteration order: each Release can
+	// grant waiters whose callbacks schedule same-time simulator events, and
+	// the event queue breaks ties FIFO — map order here would make the whole
+	// simulation trajectory irreproducible.
+	sort.Slice(elems, func(i, j int) bool { return elems[i] < elems[j] })
 	for _, elem := range elems {
 		m.Release(id, elem)
 	}
@@ -371,6 +379,7 @@ func (m *Manager) Seize(id ID, elem uint32, mode Mode) (victims []ID, ok bool) {
 			victims = append(victims, h)
 		}
 	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
 	for _, v := range victims {
 		m.removeHolder(v, elem, e)
 	}
@@ -432,6 +441,7 @@ func (m *Manager) Holders(elem uint32) []ID {
 	for id := range e.holders {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

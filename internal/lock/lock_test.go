@@ -488,3 +488,52 @@ func TestReentrantGrantCallbackPreservesCoherence(t *testing.T) {
 	m.DecrCoherence(42)
 	m.CheckInvariants()
 }
+
+// The manager must never leak map-iteration order into its outputs: callers
+// release locks, mark victims, and schedule simulator events in the order
+// these slices come back, and same-time events fire FIFO — any map-order
+// dependence makes whole simulation runs irreproducible.
+func TestHoldersSorted(t *testing.T) {
+	m := NewManager()
+	ids := []ID{9, 2, 7, 1, 5, 8, 3}
+	for _, id := range ids {
+		if got := m.Acquire(id, 42, Share, nil); got != Granted {
+			t.Fatalf("acquire %d: %v", id, got)
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		h := m.Holders(42)
+		if len(h) != len(ids) {
+			t.Fatalf("holders: got %d, want %d", len(h), len(ids))
+		}
+		for i := 1; i < len(h); i++ {
+			if h[i-1] >= h[i] {
+				t.Fatalf("holders not in ascending order: %v", h)
+			}
+		}
+	}
+}
+
+func TestSeizeVictimsSorted(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		m := NewManager()
+		for _, id := range []ID{6, 4, 9, 2, 8} {
+			if got := m.Acquire(id, 7, Share, nil); got != Granted {
+				t.Fatalf("acquire %d: %v", id, got)
+			}
+		}
+		victims, ok := m.Seize(100, 7, Exclusive)
+		if !ok {
+			t.Fatal("seize refused with zero coherence")
+		}
+		want := []ID{2, 4, 6, 8, 9}
+		if len(victims) != len(want) {
+			t.Fatalf("victims: got %v, want %v", victims, want)
+		}
+		for i := range want {
+			if victims[i] != want[i] {
+				t.Fatalf("victims not sorted: got %v, want %v", victims, want)
+			}
+		}
+	}
+}

@@ -6,10 +6,10 @@ package replicate
 
 import (
 	"fmt"
-	"math"
 
 	"hybriddb/internal/hybrid"
 	"hybriddb/internal/routing"
+	"hybriddb/internal/runner"
 	"hybriddb/internal/stats"
 )
 
@@ -34,46 +34,7 @@ func (e Estimate) Overlaps(other Estimate) bool {
 }
 
 func estimate(w *stats.Welford) Estimate {
-	est := Estimate{Mean: w.Mean(), Min: w.Min(), Max: w.Max()}
-	if n := w.Count(); n >= 2 {
-		// t-quantiles for small replication counts; 1.96 asymptotically.
-		est.HalfWidth = tQuantile(int(n)-1) * w.StdDev() / math.Sqrt(float64(n))
-	}
-	return est
-}
-
-// tQuantile returns the two-sided 95% Student-t critical value for the given
-// degrees of freedom (tabulated for small df, normal beyond).
-func tQuantile(df int) float64 {
-	table := []float64{
-		0:  math.Inf(1),
-		1:  12.706,
-		2:  4.303,
-		3:  3.182,
-		4:  2.776,
-		5:  2.571,
-		6:  2.447,
-		7:  2.365,
-		8:  2.306,
-		9:  2.262,
-		10: 2.228,
-		15: 2.131,
-		20: 2.086,
-		30: 2.042,
-	}
-	if df <= 10 {
-		return table[df]
-	}
-	switch {
-	case df <= 15:
-		return table[15]
-	case df <= 20:
-		return table[20]
-	case df <= 30:
-		return table[30]
-	default:
-		return 1.96
-	}
+	return Estimate{Mean: w.Mean(), HalfWidth: w.CI95(), Min: w.Min(), Max: w.Max()}
 }
 
 // Summary aggregates the headline metrics across replications.
@@ -96,34 +57,42 @@ type Summary struct {
 type Maker func(cfg hybrid.Config) (routing.Strategy, error)
 
 // Run executes runs independent replications of cfg, seeding replication i
-// with cfg.Seed+i, and aggregates the results.
+// with cfg.Seed+i, and aggregates the results. The replications execute in
+// parallel across GOMAXPROCS workers; the aggregate is bit-identical to a
+// serial execution because each replication's seed is fixed up front and
+// results are folded in replication order.
 func Run(cfg hybrid.Config, mk Maker, runs int) (Summary, error) {
+	return RunParallel(cfg, mk, runs, 0)
+}
+
+// RunParallel is Run with an explicit worker bound (0 means GOMAXPROCS).
+func RunParallel(cfg hybrid.Config, mk Maker, runs, parallelism int) (Summary, error) {
 	if runs <= 0 {
 		return Summary{}, fmt.Errorf("replicate: %d runs", runs)
 	}
 	if mk == nil {
 		return Summary{}, fmt.Errorf("replicate: nil strategy maker")
 	}
+	tasks := make([]runner.Task, runs)
+	for i := range tasks {
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + uint64(i)
+		tasks[i] = runner.Task{
+			Label: fmt.Sprintf("replication %d", i),
+			Cfg:   runCfg,
+			Make:  mk,
+		}
+	}
+	results, err := runner.Run(tasks, parallelism)
+	if err != nil {
+		return Summary{}, err
+	}
 	var (
 		rt, tput, ship, utilL, utilC, aborts stats.Welford
 		name                                 string
 	)
-	results := make([]hybrid.Result, 0, runs)
-	for i := 0; i < runs; i++ {
-		runCfg := cfg
-		runCfg.Seed = cfg.Seed + uint64(i)
-		strat, err := mk(runCfg)
-		if err != nil {
-			return Summary{}, fmt.Errorf("replication %d: %w", i, err)
-		}
-		engine, err := hybrid.New(runCfg, strat)
-		if err != nil {
-			return Summary{}, fmt.Errorf("replication %d: %w", i, err)
-		}
-		r := engine.Run()
+	for _, r := range results {
 		name = r.Strategy
-		results = append(results, r)
-
 		rt.Add(r.MeanRT)
 		tput.Add(r.Throughput)
 		ship.Add(r.ShipFraction)

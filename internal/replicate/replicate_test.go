@@ -1,7 +1,7 @@
 package replicate
 
 import (
-	"math"
+	"reflect"
 	"testing"
 
 	"hybriddb/internal/hybrid"
@@ -112,19 +112,20 @@ func TestOverlaps(t *testing.T) {
 	}
 }
 
-func TestTQuantileMonotone(t *testing.T) {
-	prev := math.Inf(1)
-	for _, df := range []int{1, 2, 3, 5, 8, 10, 12, 18, 25, 40, 100} {
-		q := tQuantile(df)
-		if q > prev {
-			t.Errorf("tQuantile(%d) = %v > previous %v", df, q, prev)
-		}
-		if q < 1.9 {
-			t.Errorf("tQuantile(%d) = %v below the normal quantile", df, q)
-		}
-		prev = q
+// TestRunParallelMatchesSerial checks that the worker count changes only
+// wall-clock time, never the aggregate.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	serial, err := RunParallel(testConfig(), makeBest, 4, 1)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := tQuantile(1000); got != 1.96 {
-		t.Errorf("asymptotic quantile = %v", got)
+	for _, workers := range []int{2, 8} {
+		parallel, err := RunParallel(testConfig(), makeBest, 4, workers)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("parallelism %d summary differs from serial", workers)
+		}
 	}
 }

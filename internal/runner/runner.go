@@ -1,0 +1,145 @@
+// Package runner executes independent simulation runs across a bounded
+// worker pool. The engines in internal/hybrid are single-threaded by
+// construction and share no mutable state, so independent (strategy × rate ×
+// replication) runs parallelize perfectly; the pool fans them across
+// GOMAXPROCS goroutines while keeping results bit-identical to a serial
+// execution — results are stored by task index and every run's RNG seed is a
+// pure function of (base seed, strategy label, rate index, replication
+// index), never of worker identity or scheduling order.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/routing"
+)
+
+// Task is one independent simulation run: a complete configuration (seed
+// included) plus a constructor for a fresh strategy instance. The strategy is
+// built inside the worker so stateful strategies are never shared between
+// goroutines.
+type Task struct {
+	// Label identifies the task in error messages, e.g. "static* at rate 2.5".
+	Label string
+	Cfg   hybrid.Config
+	Make  func(hybrid.Config) (routing.Strategy, error)
+}
+
+// Parallelism resolves a requested worker count: any positive value is used
+// as given, anything else selects GOMAXPROCS.
+func Parallelism(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes every task, at most parallelism at once (0 or negative means
+// GOMAXPROCS), and returns the results in task order. The worker count
+// affects only wall-clock time: each task carries its own seed, so the
+// returned slice is identical for any parallelism. On error the first failing
+// task (in task order, not completion order) is reported.
+func Run(tasks []Task, parallelism int) ([]hybrid.Result, error) {
+	results := make([]hybrid.Result, len(tasks))
+	errs := make([]error, len(tasks))
+	workers := Parallelism(parallelism)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for i := range tasks {
+			if err := runTask(&tasks[i], &results[i]); err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				errs[i] = runTask(&tasks[i], &results[i])
+			}
+		}()
+	}
+	for i := range tasks {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func runTask(t *Task, out *hybrid.Result) error {
+	if t.Make == nil {
+		return fmt.Errorf("runner: %s: nil strategy maker", t.Label)
+	}
+	strat, err := t.Make(t.Cfg)
+	if err != nil {
+		return fmt.Errorf("runner: %s: %w", t.Label, err)
+	}
+	engine, err := hybrid.New(t.Cfg, strat)
+	if err != nil {
+		return fmt.Errorf("runner: %s: %w", t.Label, err)
+	}
+	*out = engine.Run()
+	return nil
+}
+
+// DeriveSeed maps a (base seed, strategy label, rate index, replication
+// index) tuple to a run seed through splitmix64-style finalizer rounds over
+// an FNV-1a hash of the label. The derivation is a pure function — stable
+// across calls, processes, and Go releases — and scrambles every input bit,
+// so distinct tuples yield distinct, well-separated seed streams and changing
+// only the base seed reseeds every derived run.
+func DeriveSeed(base uint64, label string, rateIdx, rep int) uint64 {
+	const golden = 0x9e3779b97f4a7c15
+	h := mix64(base + golden)
+	h = mix64(h ^ fnv1a(label))
+	h = mix64(h ^ (uint64(uint32(rateIdx))+1)*golden)
+	h = mix64(h ^ (uint64(uint32(rep))+1)*golden)
+	return h
+}
+
+// RunSeed is the seed schedule of the replicated experiment sweeps:
+// replication 0 keeps the base seed, so a single-replication sweep is
+// bit-identical to the historical single-run path and all strategies face
+// common random numbers (a variance-reduction choice for paired
+// comparisons); additional replications draw fresh streams from DeriveSeed.
+func RunSeed(base uint64, label string, rateIdx, rep int) uint64 {
+	if rep == 0 {
+		return base
+	}
+	return DeriveSeed(base, label, rateIdx, rep)
+}
+
+// mix64 is the splitmix64 output finalizer (Steele, Lea & Flood): a bijective
+// avalanche over 64 bits.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fnv1a hashes a label with 64-bit FNV-1a.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

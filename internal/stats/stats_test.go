@@ -360,3 +360,67 @@ func TestSeriesInterpolateDuplicateX(t *testing.T) {
 		t.Errorf("interp(1.5) = %v", got)
 	}
 }
+
+// TestTQuantile95Monotone checks the t-table decreases toward the normal
+// quantile as degrees of freedom grow.
+func TestTQuantile95Monotone(t *testing.T) {
+	prev := math.Inf(1)
+	for _, df := range []int{1, 2, 3, 5, 8, 10, 12, 18, 25, 40, 100} {
+		q := TQuantile95(df)
+		if q > prev {
+			t.Errorf("TQuantile95(%d) = %v > previous %v", df, q, prev)
+		}
+		if q < 1.9 {
+			t.Errorf("TQuantile95(%d) = %v below the normal quantile", df, q)
+		}
+		prev = q
+	}
+	if got := TQuantile95(1000); got != 1.96 {
+		t.Errorf("asymptotic quantile = %v", got)
+	}
+}
+
+func TestTQuantile95PanicsWithoutFreedom(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TQuantile95(0) did not panic")
+		}
+	}()
+	TQuantile95(0)
+}
+
+// TestCI95KnownSample checks the half-width against a hand computation: the
+// sample {1,2,3,4,5} has mean 3, sample stddev sqrt(2.5), and with 4 degrees
+// of freedom t = 2.776, so the half-width is 2.776*sqrt(2.5)/sqrt(5).
+func TestCI95KnownSample(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		w.Add(x)
+	}
+	if got := w.Mean(); got != 3 {
+		t.Errorf("mean = %v, want 3", got)
+	}
+	if got, want := w.StdDev(), math.Sqrt(2.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", got, want)
+	}
+	want := 2.776 * math.Sqrt(2.5) / math.Sqrt(5)
+	if got := w.CI95(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v", got, want)
+	}
+}
+
+// TestCI95Degenerate checks the no-interval cases.
+func TestCI95Degenerate(t *testing.T) {
+	var w Welford
+	if w.CI95() != 0 {
+		t.Error("empty sample has a nonzero interval")
+	}
+	w.Add(7)
+	if w.CI95() != 0 {
+		t.Error("single observation has a nonzero interval")
+	}
+	w.Add(7)
+	if w.CI95() != 0 {
+		t.Error("zero-variance sample has a nonzero interval")
+	}
+}
