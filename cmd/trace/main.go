@@ -17,6 +17,7 @@ import (
 
 	"hybriddb/internal/experiments"
 	"hybriddb/internal/hybrid"
+	"hybriddb/internal/hybrid/obs"
 	"hybriddb/internal/report"
 	"hybriddb/internal/trace"
 	"hybriddb/internal/workload"
@@ -141,7 +142,7 @@ func follow(args []string, out io.Writer) error {
 	}
 	ring := trace.NewRing(*events)
 	ring.FilterTxn(*txnID)
-	engine.SetTracer(ring)
+	engine.Subscribe(obs.NewTracer(ring))
 	engine.Run()
 	if len(ring.Events()) == 0 {
 		return fmt.Errorf("transaction %d produced no events (did it arrive within the run?)", *txnID)

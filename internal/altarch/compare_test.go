@@ -1,0 +1,96 @@
+package altarch
+
+import "testing"
+
+func TestCompareArchitectures(t *testing.T) {
+	cfg := testConfig()
+	cfg.ArrivalRatePerSite = 0.5
+	cmp, err := CompareArchitectures(cfg, DefaultLockTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.PLocal != cfg.PLocal {
+		t.Errorf("PLocal = %v, want %v", cmp.PLocal, cfg.PLocal)
+	}
+	if cmp.Centralized.Completed == 0 || cmp.Centralized.MeanRT <= 0 {
+		t.Errorf("centralized: completed=%d meanRT=%v",
+			cmp.Centralized.Completed, cmp.Centralized.MeanRT)
+	}
+	if cmp.Distributed.Completed == 0 || cmp.Distributed.MeanRT <= 0 {
+		t.Errorf("distributed: completed=%d meanRT=%v",
+			cmp.Distributed.Completed, cmp.Distributed.MeanRT)
+	}
+	if cmp.Hybrid.Completed == 0 || cmp.Hybrid.MeanRT <= 0 {
+		t.Errorf("hybrid: completed=%d meanRT=%v",
+			cmp.Hybrid.Completed, cmp.Hybrid.MeanRT)
+	}
+	if got := cmp.Hybrid.Strategy; got != "min-average/nis" {
+		t.Errorf("hybrid strategy = %q, want the paper's best (min-average/nis)", got)
+	}
+}
+
+func TestCompareArchitecturesInvalidConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sites = 0
+	if _, err := CompareArchitectures(cfg, DefaultLockTimeout); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestLocalitySweep(t *testing.T) {
+	cfg := testConfig()
+	cfg.ArrivalRatePerSite = 0.5
+	cfg.Warmup = 10
+	cfg.Duration = 60
+	pLocals := []float64{0.75, 1.0}
+	out, err := LocalitySweep(cfg, pLocals, DefaultLockTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(pLocals) {
+		t.Fatalf("got %d points, want %d", len(out), len(pLocals))
+	}
+	for i, cmp := range out {
+		if cmp.PLocal != pLocals[i] {
+			t.Errorf("point %d: PLocal = %v, want %v", i, cmp.PLocal, pLocals[i])
+		}
+		if cmp.Centralized.Completed == 0 || cmp.Distributed.Completed == 0 ||
+			cmp.Hybrid.Completed == 0 {
+			t.Errorf("point %d: empty result %+v", i, cmp)
+		}
+	}
+	// The [DIAS87] motivation: at full locality the distributed architecture
+	// makes no remote calls and must not be slower than at 75% locality.
+	if out[1].Distributed.MeanRT > out[0].Distributed.MeanRT {
+		t.Errorf("distributed RT rose with locality: %v (p=1.0) > %v (p=0.75)",
+			out[1].Distributed.MeanRT, out[0].Distributed.MeanRT)
+	}
+}
+
+func TestLocalitySweepDefaultPoints(t *testing.T) {
+	cfg := testConfig()
+	cfg.ArrivalRatePerSite = 0.2
+	cfg.Warmup = 5
+	cfg.Duration = 30
+	out, err := LocalitySweep(cfg, nil, DefaultLockTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 0.75, 0.9, 1.0}
+	if len(out) != len(want) {
+		t.Fatalf("got %d default points, want %d", len(out), len(want))
+	}
+	for i, cmp := range out {
+		if cmp.PLocal != want[i] {
+			t.Errorf("default point %d: PLocal = %v, want %v", i, cmp.PLocal, want[i])
+		}
+	}
+}
+
+func TestLocalitySweepPropagatesError(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sites = 0
+	if _, err := LocalitySweep(cfg, []float64{0.9}, DefaultLockTimeout); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

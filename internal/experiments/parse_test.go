@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strings"
 	"testing"
 
 	"hybriddb/internal/hybrid"
@@ -65,5 +66,66 @@ func TestStrategyNamesParsable(t *testing.T) {
 		if _, err := ParseStrategy(spec); err != nil {
 			t.Errorf("help-listed name %q does not parse: %v", name, err)
 		}
+	}
+}
+
+// nameToSpec maps a strategy's self-reported Name() back to a ParseStrategy
+// specification. Parameterized names render as "prefix(arg)"; the parser
+// takes "prefix:arg".
+func nameToSpec(t *testing.T, name string) string {
+	t.Helper()
+	open := strings.IndexByte(name, '(')
+	if open < 0 {
+		if name == "adaptive-static" {
+			return "adaptive"
+		}
+		return name
+	}
+	if !strings.HasSuffix(name, ")") {
+		t.Fatalf("malformed parameterized name %q", name)
+	}
+	prefix, arg := name[:open], name[open+1:len(name)-1]
+	if prefix == "queue-threshold" {
+		prefix = "threshold"
+	}
+	return prefix + ":" + arg
+}
+
+// TestStrategyNameRoundTrip checks that every strategy's Name() stays within
+// the parser's vocabulary: parse a spec, build the strategy, derive a spec
+// from its Name(), and re-parse — the rebuilt strategy must report the same
+// name. This pins CLI flags, report labels, and golden-result strategy
+// fields together.
+func TestStrategyNameRoundTrip(t *testing.T) {
+	cfg := hybrid.DefaultConfig()
+	specs := []string{
+		"none", "static:0.25", "adaptive", "measured-rt", "queue-length",
+		"threshold:-0.2", "threshold:0.1",
+		"min-incoming/ql", "min-incoming/nis",
+		"min-average/ql", "min-average/nis", "best",
+	}
+	for _, spec := range specs {
+		t.Run(spec, func(t *testing.T) {
+			mk, err := ParseStrategy(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := mk.Make(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			respec := nameToSpec(t, s.Name())
+			mk2, err := ParseStrategy(respec)
+			if err != nil {
+				t.Fatalf("Name %q -> spec %q does not re-parse: %v", s.Name(), respec, err)
+			}
+			s2, err := mk2.Make(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s2.Name() != s.Name() {
+				t.Errorf("round trip changed name: %q -> %q", s.Name(), s2.Name())
+			}
+		})
 	}
 }

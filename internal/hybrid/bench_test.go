@@ -1,0 +1,71 @@
+package hybrid
+
+import (
+	"testing"
+
+	"hybriddb/internal/routing"
+	"hybriddb/internal/trace"
+)
+
+// benchConfig is a short but non-trivial run: contended enough that the
+// lifecycle exercises lock waits, authentication, and cross-site aborts.
+func benchConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Seed = 17
+	cfg.Warmup = 5
+	cfg.Duration = 30
+	cfg.ArrivalRatePerSite = 2.0
+	return cfg
+}
+
+func benchRun(b *testing.B, wire func(*Engine)) {
+	b.Helper()
+	cfg := benchConfig()
+	var completed uint64
+	for i := 0; i < b.N; i++ {
+		e, err := New(cfg, routing.NewStatic(0.5, 7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if wire != nil {
+			wire(e)
+		}
+		r := e.Run()
+		completed += r.Completed
+	}
+	if completed == 0 {
+		b.Fatal("benchmark completed no transactions")
+	}
+}
+
+// BenchmarkEngineObserversOff measures the hot loop with no optional
+// instrumentation attached: no tracer, no self-check. This is the
+// nil-observer fast path — protocol-detail events are never materialized.
+func BenchmarkEngineObserversOff(b *testing.B) {
+	benchRun(b, nil)
+}
+
+// BenchmarkEngineMetricsAndTracerOn measures the same run with a tracing
+// observer subscribed, so every protocol-detail event (lock requests,
+// grants, authentication messages, ...) is constructed and delivered.
+func BenchmarkEngineMetricsAndTracerOn(b *testing.B) {
+	benchRun(b, func(e *Engine) { e.SetTracer(trace.NewCounter()) })
+}
+
+// BenchmarkEngineSelfCheckOn measures the run with periodic invariant
+// checking enabled on top of metrics.
+func BenchmarkEngineSelfCheckOn(b *testing.B) {
+	cfg := benchConfig()
+	cfg.SelfCheck = true
+	var completed uint64
+	for i := 0; i < b.N; i++ {
+		e, err := New(cfg, routing.NewStatic(0.5, 7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		completed += e.Run().Completed
+	}
+	if completed == 0 {
+		b.Fatal("benchmark completed no transactions")
+	}
+}

@@ -1,0 +1,108 @@
+package hybrid
+
+// The central execution path of the transaction lifecycle layer: class B
+// transactions and shipped class A transactions running at the central
+// complex, up to the commit protocol (commit.go).
+
+import (
+	"fmt"
+
+	"hybriddb/internal/hybrid/obs"
+	"hybriddb/internal/lock"
+	"hybriddb/internal/trace"
+	"hybriddb/internal/workload"
+)
+
+// centralPath runs transactions at the central computing complex.
+type centralPath struct{ e *Engine }
+
+// ship sends a transaction's input to the central site.
+func (p centralPath) ship(t *txnRun) {
+	e := p.e
+	t.shipped = true
+	home := t.spec.HomeSite
+	if t.spec.Class == workload.ClassA {
+		e.sites[home].shippedOut++
+	}
+	e.inFlightShip++
+	e.network.ToCentral(home, func() {
+		e.inFlightShip--
+		p.start(t)
+	})
+}
+
+func (p centralPath) start(t *txnRun) {
+	e := p.e
+	e.central.inSystem++
+	e.central.running[t.id()] = t
+	e.central.cpu.Submit(e.cfg.InstrOverhead, func() {
+		scheduleIO(e.simulator, e.central.disks, uint32(t.spec.ID), e.cfg.SetupIOTime, func() {
+			t.phase = phaseExecuting
+			p.call(t, 0)
+		})
+	})
+}
+
+func (p centralPath) call(t *txnRun, i int) {
+	e := p.e
+	if i >= e.cfg.CallsPerTxn {
+		e.commit.begin(t)
+		return
+	}
+	e.central.cpu.Submit(e.cfg.InstrPerCall, func() {
+		elem, mode := t.spec.Elements[i], t.spec.Modes[i]
+		if _, held := e.central.locks.Holds(t.id(), elem); held {
+			p.afterLock(t, i)
+			return
+		}
+		e.emit(trace.LockRequest, t.spec.ID, -1, elem, mode.String())
+		switch e.central.locks.Acquire(t.id(), elem, mode, func() {
+			e.recordLockWait(t)
+			e.emit(trace.LockGranted, t.spec.ID, -1, elem, "")
+			p.afterLock(t, i)
+		}) {
+		case lock.Granted:
+			e.emit(trace.LockGranted, t.spec.ID, -1, elem, "")
+			p.afterLock(t, i)
+		case lock.Queued:
+			t.phase = phaseLockWait
+			t.lockWaitFrom = e.simulator.Now()
+			e.emit(trace.LockWaitBegin, t.spec.ID, -1, elem, "")
+		case lock.Deadlock:
+			e.emit(trace.DeadlockAbort, t.spec.ID, -1, elem, "")
+			p.deadlockAbort(t)
+		}
+	})
+}
+
+func (p centralPath) afterLock(t *txnRun, i int) {
+	e := p.e
+	if t.attempt == 1 {
+		scheduleIO(e.simulator, e.central.disks, t.spec.Elements[i], e.cfg.IOTimePerCall, func() { p.call(t, i+1) })
+		return
+	}
+	p.call(t, i+1)
+}
+
+// restart re-runs an aborted central transaction at the central site,
+// retaining its surviving central locks (§3.1).
+func (p centralPath) restart(t *txnRun) {
+	e := p.e
+	t.marked = false
+	t.attempt++
+	t.phase = phaseExecuting
+	if e.Detailed() {
+		e.emit(trace.Rerun, t.spec.ID, -1, 0, fmt.Sprintf("attempt %d", t.attempt))
+	}
+	e.simulator.Schedule(e.cfg.RestartDelay, func() { p.call(t, 0) })
+}
+
+func (p centralPath) deadlockAbort(t *txnRun) {
+	e := p.e
+	e.observe(obs.Event{Kind: obs.AbortDeadlockCentral})
+	e.central.locks.ReleaseAll(t.id())
+	t.marked = false
+	t.attempt++
+	t.phase = phaseExecuting
+	e.simulator.Schedule(e.cfg.RestartDelay, func() { p.call(t, 0) })
+}

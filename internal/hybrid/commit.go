@@ -1,0 +1,205 @@
+package hybrid
+
+// The cross-site commit protocol of §2: the optimistic authentication phase
+// a centrally running transaction executes against the master sites of the
+// data it locked, the ack/nack gathering at the central site, and the final
+// commit or abort-and-restart.
+
+import (
+	"fmt"
+
+	"hybriddb/internal/hybrid/obs"
+	"hybriddb/internal/lock"
+	"hybriddb/internal/trace"
+	"hybriddb/internal/workload"
+)
+
+// commitProtocol runs the authenticate/ack/nack commit sequence for central
+// executions.
+type commitProtocol struct{ e *Engine }
+
+// begin is the commit point of a centrally running transaction: abort if
+// invalidated, otherwise run the authentication phase against every master
+// site of the data locked (§2).
+func (c commitProtocol) begin(t *txnRun) {
+	e := c.e
+	if t.marked {
+		e.observe(obs.Event{Kind: obs.AbortCentralInval})
+		e.emit(trace.CrossAbortCentral, t.spec.ID, -1, 0, "invalidated by async update")
+		e.remote.restart(t)
+		return
+	}
+	wl := e.cfg.WorkloadConfig()
+	sites := t.spec.SitesTouched(wl)
+	t.phase = phaseAuthWait
+	t.authPending = len(sites)
+	t.authNACK = false
+	t.authSeized = t.authSeized[:0]
+	e.observe(obs.Event{Kind: obs.AuthRound})
+
+	snap := e.prop.snapshotCentral()
+	for _, site := range sites {
+		site := site
+		var elems []uint32
+		var modes []lock.Mode
+		for j, elem := range t.spec.Elements {
+			if wl.PartitionOf(elem) == site {
+				elems = append(elems, elem)
+				modes = append(modes, t.spec.Modes[j])
+			}
+		}
+		if e.Detailed() {
+			e.emit(trace.AuthRequest, t.spec.ID, site, 0, fmt.Sprintf("%d elements", len(elems)))
+		}
+		e.network.ToSite(site, func() {
+			// Authentication messages always refresh the site's view of
+			// the central state (§4.2).
+			e.sites[site].refreshView(snap)
+			c.authenticate(t, site, elems, modes)
+		})
+	}
+}
+
+// authenticate processes an authentication request at a local site: NACK if
+// any element has in-flight asynchronous updates; otherwise seize the locks,
+// marking conflicting local holders for abort, and ACK.
+func (c commitProtocol) authenticate(t *txnRun, site int, elems []uint32, modes []lock.Mode) {
+	e := c.e
+	ls := e.sites[site]
+	nack := false
+	for _, elem := range elems {
+		if ls.locks.Coherence(elem) != 0 {
+			nack = true
+			break
+		}
+	}
+	if !nack {
+		for j, elem := range elems {
+			victims, ok := ls.locks.Seize(t.id(), elem, modes[j])
+			if !ok {
+				// Unreachable: coherence was checked above and cannot
+				// change within one event.
+				panic("hybrid: seize failed after coherence check")
+			}
+			if len(victims) > 0 && e.Detailed() {
+				e.emit(trace.AuthSeized, t.spec.ID, site, elem,
+					fmt.Sprintf("%d victims", len(victims)))
+			}
+			for _, v := range victims {
+				c.markVictim(ls, v)
+			}
+		}
+		e.emit(trace.AuthACK, t.spec.ID, site, 0, "")
+	} else {
+		e.emit(trace.AuthNACK, t.spec.ID, site, 0, "in-flight updates")
+	}
+	e.network.ToCentral(site, func() { c.reply(t, site, nack) })
+}
+
+// markVictim marks the holder of a seized lock for abort. The victim is
+// normally a local transaction; it can also be another central transaction's
+// stale authentication lock if that transaction was invalidated mid-flight,
+// in which case it is already marked.
+func (c commitProtocol) markVictim(ls *localSite, v lock.ID) {
+	if vt, ok := ls.running[v]; ok {
+		vt.marked = true
+		return
+	}
+	if vt, ok := c.e.central.running[v]; ok {
+		vt.marked = true
+	}
+}
+
+// reply folds one site's authentication answer into the transaction; when
+// the last reply is in, the final commit gate of §2 decides: every site
+// positive and the central locks not invalidated meanwhile.
+func (c commitProtocol) reply(t *txnRun, site int, nack bool) {
+	e := c.e
+	if nack {
+		t.authNACK = true
+	} else {
+		t.authSeized = append(t.authSeized, site)
+	}
+	t.authPending--
+	if t.authPending > 0 {
+		return
+	}
+	if t.authNACK || t.marked {
+		if t.authNACK {
+			e.observe(obs.Event{Kind: obs.AbortCentralNACK})
+		} else {
+			e.observe(obs.Event{Kind: obs.AbortCentralInval})
+		}
+		if e.Detailed() {
+			reason := "invalidated during authentication"
+			if t.authNACK {
+				reason = "authentication NACK"
+			}
+			e.emit(trace.CrossAbortCentral, t.spec.ID, -1, 0, reason)
+		}
+		c.releaseAuthLocks(t)
+		e.remote.restart(t)
+		return
+	}
+	c.finish(t)
+}
+
+// releaseAuthLocks tells every site that seized locks for t to release them
+// (abort path).
+func (c commitProtocol) releaseAuthLocks(t *txnRun) {
+	e := c.e
+	snap := e.prop.snapshotCentral()
+	for _, site := range t.authSeized {
+		site := site
+		e.network.ToSite(site, func() {
+			if e.cfg.Feedback == FeedbackAllMessages {
+				e.sites[site].refreshView(snap)
+			}
+			e.sites[site].locks.ReleaseAll(t.id())
+		})
+	}
+	t.authSeized = t.authSeized[:0]
+}
+
+// finish finalizes a central transaction: commit messages release the
+// authentication locks and install the updates at the involved sites, the
+// central locks are released, and the completion reply travels to the origin
+// where the response time is recorded.
+func (c commitProtocol) finish(t *txnRun) {
+	e := c.e
+	snap := e.prop.snapshotCentral()
+	for _, site := range t.authSeized {
+		site := site
+		e.network.ToSite(site, func() {
+			if e.cfg.Feedback == FeedbackAllMessages {
+				e.sites[site].refreshView(snap)
+			}
+			e.sites[site].locks.ReleaseAll(t.id())
+		})
+	}
+	t.authSeized = t.authSeized[:0]
+	e.central.locks.ReleaseAll(t.id())
+	e.central.inSystem--
+	delete(e.central.running, t.id())
+	t.phase = phaseDone
+	e.emit(trace.CommitCentral, t.spec.ID, -1, 0, "")
+
+	home := t.spec.HomeSite
+	e.inFlightReply++
+	e.network.ToSite(home, func() {
+		e.inFlightReply--
+		e.emit(trace.ReplyDelivered, t.spec.ID, home, 0, "")
+		ls := e.sites[home]
+		if e.cfg.Feedback == FeedbackAllMessages {
+			ls.refreshView(snap)
+		}
+		rt := e.simulator.Now() - t.arrivedAt
+		e.completed++
+		classB := t.spec.Class != workload.ClassA
+		if !classB {
+			ls.shippedOut--
+			ls.lastShippedRT = rt
+		}
+		e.observe(obs.Event{Kind: obs.TxnReply, ClassB: classB, Value: rt})
+	})
+}

@@ -5,101 +5,29 @@ import (
 
 	"hybriddb/internal/comm"
 	"hybriddb/internal/cpu"
+	"hybriddb/internal/hybrid/obs"
 	"hybriddb/internal/lock"
 	"hybriddb/internal/rng"
 	"hybriddb/internal/routing"
 	"hybriddb/internal/sim"
-	"hybriddb/internal/stats"
 	"hybriddb/internal/trace"
 	"hybriddb/internal/workload"
 )
 
-// txnPhase tracks where a transaction is in its lifecycle, for invariant
-// checking and abort bookkeeping.
-type txnPhase uint8
-
-const (
-	phaseSetup txnPhase = iota + 1
-	phaseExecuting
-	phaseLockWait
-	phaseAuthWait
-	phaseDone
-)
-
-// txnRun is the runtime state of one transaction.
-type txnRun struct {
-	spec      *workload.Txn
-	arrivedAt float64
-	shipped   bool // executing at the central site
-	attempt   int  // 1 on the first execution
-	phase     txnPhase
-
-	// marked is the §2 "marked for abort" flag, set by a committed
-	// conflicting action at the other tier (authentication seizure for
-	// local transactions, asynchronous-update invalidation for central
-	// ones). Checked at commit.
-	marked bool
-
-	// Authentication state (central executions only).
-	authPending int
-	authNACK    bool
-	authSeized  []int // sites where locks were seized and must be released
-
-	lockWaitFrom float64 // set while phase == phaseLockWait
-}
-
-func (t *txnRun) id() lock.ID { return lock.ID(t.spec.ID) }
-
-// localSite is one distributed system.
-type localSite struct {
-	idx   int
-	cpu   *cpu.Server
-	disks []*cpu.Server // empty: pure-delay I/O (the paper's assumption)
-	locks *lock.Manager
-
-	inSystem int                 // n_i: class A transactions present
-	running  map[lock.ID]*txnRun // transactions executing here
-
-	shippedOut int // class A transactions currently shipped from here
-
-	// Stale view of the central state, refreshed per the Feedback mode.
-	view centralSnapshot
-
-	lastLocalRT   float64
-	lastShippedRT float64
-
-	// Per-site measurement-window statistics.
-	rtLocalA stats.Welford
-
-	// Batched asynchronous updates awaiting the next flush
-	// (Config.UpdateBatchWindow > 0).
-	pendingUpdates []uint32
-	flushPending   bool
-
-	busyAtWarmup float64
-}
-
-// centralSite is the central computing complex.
-type centralSite struct {
-	cpu   *cpu.Server
-	disks []*cpu.Server
-	locks *lock.Manager
-
-	inSystem int // n_c: transactions present (class B + shipped class A)
-	running  map[lock.ID]*txnRun
-
-	busyAtWarmup float64
-}
-
-// centralSnapshot is the central state as piggybacked on messages to sites.
-type centralSnapshot struct {
-	queue    int
-	inSystem int
-	locks    int
-	at       float64
-}
-
-// Engine wires the substrates into the full hybrid system simulation.
+// Engine wires the substrates into the full hybrid system simulation. The
+// logic lives in four layers, each in its own file:
+//
+//   - site layer (site.go): localSite/centralSite state, view snapshots, and
+//     disk/CPU server construction;
+//   - transaction lifecycle layer (local_path.go, central_path.go,
+//     commit.go): the txnRun phase machine and the cross-site
+//     authenticate/ack/nack commit protocol;
+//   - propagation layer (propagate.go): asynchronous update application and
+//     the piggybacked central-state feedback routingState consumes;
+//   - observer bus (obs package, wired here): metrics, tracing, queue
+//     sampling, and invariant self-checks subscribe to engine events.
+//
+// Engine itself only constructs, wires, and drives the run loop.
 type Engine struct {
 	cfg      Config
 	strategy routing.Strategy
@@ -113,8 +41,17 @@ type Engine struct {
 	sites   []*localSite
 	central *centralSite
 
-	m      *metrics
-	tracer trace.Tracer // nil when tracing is off
+	// Lifecycle and propagation layers (stateless handles on the engine).
+	local  localPath
+	remote centralPath
+	commit commitProtocol
+	prop   propagator
+
+	// Instrumentation: every observation flows through the bus. The metrics
+	// observer is always subscribed (it produces the Result); tracing and
+	// self-checking subscribe on demand.
+	bus obs.Bus
+	m   *metrics
 
 	// Recorded workload replay (SetTrace). When non-nil, replayTxns is
 	// grouped by home site and replaces the Poisson generator.
@@ -148,7 +85,7 @@ func New(cfg Config, strategy routing.Strategy) (*Engine, error) {
 		simulator: s,
 		network:   comm.NewNetwork(s, cfg.Sites, cfg.CommDelay),
 		generator: workload.NewGenerator(cfg.WorkloadConfig(), root.Split().Uint64()),
-		m:         newMetricsWithSeries(cfg.SeriesBucket),
+		m:         newMetrics(cfg.SeriesBucket, cfg.Sites),
 		central: &centralSite{
 			cpu:     cpu.NewServer(s, cfg.CentralMIPS),
 			disks:   newDisks(s, cfg.DisksCentral),
@@ -156,6 +93,14 @@ func New(cfg Config, strategy routing.Strategy) (*Engine, error) {
 			running: make(map[lock.ID]*txnRun),
 		},
 		horizon: cfg.Warmup + cfg.Duration,
+	}
+	e.local = localPath{e}
+	e.remote = centralPath{e}
+	e.commit = commitProtocol{e}
+	e.prop = propagator{e}
+	e.bus.Subscribe(e.m)
+	if cfg.SelfCheck {
+		e.bus.Subscribe(invariantObserver{e})
 	}
 	arrivalSeeds := root.Split()
 	for i := 0; i < cfg.Sites; i++ {
@@ -175,34 +120,42 @@ func New(cfg Config, strategy routing.Strategy) (*Engine, error) {
 	return e, nil
 }
 
-// newDisks builds a disk bank; disks are modelled as unit-rate servers whose
-// "instructions" equal the I/O time in microseconds-of-a-1MIPS-machine, so
-// Submit(seconds*1e6) serves for exactly seconds.
-func newDisks(s *sim.Simulator, n int) []*cpu.Server {
-	if n <= 0 {
-		return nil
-	}
-	disks := make([]*cpu.Server, n)
-	for i := range disks {
-		disks[i] = cpu.NewServer(s, 1)
-	}
-	return disks
-}
+// Subscribe attaches an observer to the engine's bus. Call before Run.
+// Observers implementing obs.DetailObserver also receive the protocol-detail
+// (trace) stream.
+func (e *Engine) Subscribe(o obs.Observer) { e.bus.Subscribe(o) }
 
-// scheduleIO performs one I/O of the given duration keyed to elem: a pure
-// delay under the paper's assumption, or an FCFS wait at the disk holding
-// the element when a disk bank is configured.
-func (e *Engine) scheduleIO(disks []*cpu.Server, elem uint32, seconds float64, done func()) {
-	if len(disks) == 0 {
-		e.simulator.Schedule(seconds, done)
+// SetTracer subscribes a protocol-event tracer on the bus. Call before Run;
+// a nil tracer is ignored, and with no tracer subscribed the engine never
+// materializes trace events.
+func (e *Engine) SetTracer(t trace.Tracer) {
+	if t == nil {
 		return
 	}
-	disks[int(elem)%len(disks)].Submit(seconds*1e6, done)
+	e.bus.Subscribe(obs.NewTracer(t))
 }
 
-// SetTracer installs a protocol-event tracer. Call before Run; a nil tracer
-// (the default) records nothing and costs nothing.
-func (e *Engine) SetTracer(t trace.Tracer) { e.tracer = t }
+// observe emits a lifecycle event stamped with the current simulated time.
+func (e *Engine) observe(ev obs.Event) {
+	ev.At = e.simulator.Now()
+	e.bus.Emit(ev)
+}
+
+// emit records a protocol-detail event. The HasDetail guard keeps the hot
+// loop free of event (and note string) construction when tracing is off;
+// callers with expensive notes should check Detailed themselves.
+func (e *Engine) emit(kind trace.Kind, txn int64, site int, elem uint32, note string) {
+	if !e.bus.HasDetail() {
+		return
+	}
+	e.bus.EmitDetail(obs.Event{
+		At: e.simulator.Now(), Kind: obs.TraceDetail,
+		Trace: kind, Txn: txn, Site: site, Elem: elem, Note: note,
+	})
+}
+
+// Detailed reports whether a detail (trace) observer is subscribed.
+func (e *Engine) Detailed() bool { return e.bus.HasDetail() }
 
 // SetTrace replaces the synthetic workload with a recorded transaction
 // stream (see workload.Capture/ReadAll): gaps[i] is the interarrival time of
@@ -238,16 +191,6 @@ func (e *Engine) SetTrace(txns []*workload.Txn, gaps []float64) error {
 	return nil
 }
 
-// emit records a protocol event when tracing is on.
-func (e *Engine) emit(kind trace.Kind, txn int64, site int, elem uint32, note string) {
-	if e.tracer == nil {
-		return
-	}
-	e.tracer.Record(trace.Event{
-		At: e.simulator.Now(), Kind: kind, Txn: txn, Site: site, Elem: elem, Note: note,
-	})
-}
-
 // Run executes the simulation and returns the measured result.
 func (e *Engine) Run() Result {
 	if e.replayTxns != nil {
@@ -266,7 +209,7 @@ func (e *Engine) Run() Result {
 	e.scheduleQueueSample()
 	e.simulator.RunUntil(e.horizon)
 	if e.cfg.SelfCheck {
-		e.checkInvariants()
+		e.observe(obs.Event{Kind: obs.SelfCheck})
 	}
 	return e.result()
 }
@@ -301,31 +244,34 @@ func (e *Engine) scheduleReplay(site, idx int) {
 	})
 }
 
+// startMeasurement opens the measurement window: the site layer snapshots
+// CPU busy time for utilization accounting, and observers arm themselves on
+// the MeasureStart event.
 func (e *Engine) startMeasurement() {
-	e.m.enabled = true
-	e.m.start = e.simulator.Now()
 	for _, ls := range e.sites {
 		ls.busyAtWarmup = ls.cpu.BusyTime()
 	}
 	e.central.busyAtWarmup = e.central.cpu.BusyTime()
+	e.observe(obs.Event{Kind: obs.MeasureStart})
 }
 
 // scheduleQueueSample samples the CPU queue lengths once per simulated
-// second during the measurement window.
+// second and publishes them on the bus.
 func (e *Engine) scheduleQueueSample() {
 	const interval = 1.0
 	if e.simulator.Now()+interval > e.horizon {
 		return
 	}
 	e.simulator.Schedule(interval, func() {
-		if e.m.enabled {
-			e.m.centralQueue.Add(float64(e.central.cpu.QueueLength()))
-			total := 0
-			for _, ls := range e.sites {
-				total += ls.cpu.QueueLength()
-			}
-			e.m.localQueue.Add(float64(total) / float64(len(e.sites)))
+		total := 0
+		for _, ls := range e.sites {
+			total += ls.cpu.QueueLength()
 		}
+		e.observe(obs.Event{
+			Kind:  obs.QueueSample,
+			Value: float64(e.central.cpu.QueueLength()),
+			Aux:   float64(total) / float64(len(e.sites)),
+		})
 		e.scheduleQueueSample()
 	})
 }
@@ -336,672 +282,35 @@ func (e *Engine) scheduleSelfCheck() {
 		return
 	}
 	e.simulator.Schedule(interval, func() {
-		e.checkInvariants()
+		e.observe(obs.Event{Kind: obs.SelfCheck})
 		e.scheduleSelfCheck()
 	})
 }
 
-// ---- Arrival and routing.
-
-// admit processes one arriving transaction, whatever its source.
+// admit processes one arriving transaction, whatever its source: class B
+// ships unconditionally, class A consults the routing strategy.
 func (e *Engine) admit(spec *workload.Txn) {
 	site := spec.HomeSite
 	e.generated++
 	t := &txnRun{spec: spec, arrivedAt: e.simulator.Now(), attempt: 1, phase: phaseSetup}
-	e.emit(trace.Arrive, spec.ID, site, 0, "class "+spec.Class.String())
+	if e.Detailed() {
+		e.emit(trace.Arrive, spec.ID, site, 0, "class "+spec.Class.String())
+	}
 
 	if spec.Class == workload.ClassB {
-		if e.m.enabled {
-			e.m.arrivalsB++
-		}
+		e.observe(obs.Event{Kind: obs.TxnArrive, ClassB: true, Shipped: true})
 		e.emit(trace.RouteShip, spec.ID, site, 0, "class B")
-		e.ship(t)
+		e.remote.ship(t)
 		return
-	}
-	if e.m.enabled {
-		e.m.arrivalsA++
 	}
 	st := e.routingState(site)
-	if e.m.enabled {
-		e.m.viewAge.Add(st.ViewAge)
-	}
-	if e.strategy.Decide(st) == routing.Ship {
-		if e.m.enabled {
-			e.m.decisionsShip++
-		}
+	shipped := e.strategy.Decide(st) == routing.Ship
+	e.observe(obs.Event{Kind: obs.TxnArrive, Shipped: shipped, Value: st.ViewAge})
+	if shipped {
 		e.emit(trace.RouteShip, spec.ID, site, 0, "")
-		e.ship(t)
+		e.remote.ship(t)
 		return
-	}
-	if e.m.enabled {
-		e.m.decisionsLocal++
 	}
 	e.emit(trace.RouteLocal, spec.ID, site, 0, "")
-	e.startLocal(t)
-}
-
-// routingState assembles the strategy's view at the arrival site.
-func (e *Engine) routingState(site int) routing.State {
-	ls := e.sites[site]
-	st := routing.State{
-		Now:           e.simulator.Now(),
-		Site:          site,
-		LocalQueue:    ls.cpu.QueueLength(),
-		LocalInSystem: ls.inSystem,
-		LocalLocks:    ls.locks.LocksHeld(),
-		LastLocalRT:   ls.lastLocalRT,
-		LastShippedRT: ls.lastShippedRT,
-	}
-	if e.cfg.Feedback == FeedbackIdeal {
-		st.CentralQueue = e.central.cpu.QueueLength()
-		st.CentralInSystem = e.central.inSystem
-		st.CentralLocks = e.central.locks.LocksHeld()
-		st.ViewAge = 0
-	} else {
-		st.CentralQueue = ls.view.queue
-		st.CentralInSystem = ls.view.inSystem
-		st.CentralLocks = ls.view.locks
-		st.ViewAge = e.simulator.Now() - ls.view.at
-	}
-	return st
-}
-
-// snapshotCentral captures the central state for piggybacking on a message
-// being sent now.
-func (e *Engine) snapshotCentral() centralSnapshot {
-	return centralSnapshot{
-		queue:    e.central.cpu.QueueLength(),
-		inSystem: e.central.inSystem,
-		locks:    e.central.locks.LocksHeld(),
-		at:       e.simulator.Now(),
-	}
-}
-
-func (ls *localSite) refreshView(snap centralSnapshot) {
-	if snap.at >= ls.view.at {
-		ls.view = snap
-	}
-}
-
-// ---- Local execution (class A retained at the home site).
-
-func (e *Engine) startLocal(t *txnRun) {
-	ls := e.sites[t.spec.HomeSite]
-	ls.inSystem++
-	ls.running[t.id()] = t
-	// Transaction initiation + message handling CPU, then the initial I/O
-	// (no locks held during either, §3.1).
-	ls.cpu.Submit(e.cfg.InstrOverhead, func() {
-		e.scheduleIO(ls.disks, uint32(t.spec.ID), e.cfg.SetupIOTime, func() {
-			t.phase = phaseExecuting
-			e.localCall(t, 0)
-		})
-	})
-}
-
-// localCall performs database call i of a locally running transaction:
-// CPU burst, then lock acquisition, then (first run only) the I/O.
-func (e *Engine) localCall(t *txnRun, i int) {
-	if i >= e.cfg.CallsPerTxn {
-		e.localCommit(t)
-		return
-	}
-	ls := e.sites[t.spec.HomeSite]
-	ls.cpu.Submit(e.cfg.InstrPerCall, func() {
-		elem, mode := t.spec.Elements[i], t.spec.Modes[i]
-		if _, held := ls.locks.Holds(t.id(), elem); held {
-			// Re-run retains locks across a cross-site abort (§3.1).
-			e.localAfterLock(t, i)
-			return
-		}
-		e.emit(trace.LockRequest, t.spec.ID, ls.idx, elem, mode.String())
-		switch ls.locks.Acquire(t.id(), elem, mode, func() {
-			e.recordLockWait(t)
-			e.emit(trace.LockGranted, t.spec.ID, ls.idx, elem, "")
-			e.localAfterLock(t, i)
-		}) {
-		case lock.Granted:
-			e.emit(trace.LockGranted, t.spec.ID, ls.idx, elem, "")
-			e.localAfterLock(t, i)
-		case lock.Queued:
-			t.phase = phaseLockWait
-			t.lockWaitFrom = e.simulator.Now()
-			e.emit(trace.LockWaitBegin, t.spec.ID, ls.idx, elem, "")
-		case lock.Deadlock:
-			e.emit(trace.DeadlockAbort, t.spec.ID, ls.idx, elem, "")
-			e.localDeadlockAbort(t)
-		}
-	})
-}
-
-func (e *Engine) recordLockWait(t *txnRun) {
-	if t.phase == phaseLockWait && e.m.enabled {
-		e.m.lockWait.Add(e.simulator.Now() - t.lockWaitFrom)
-	}
-	t.phase = phaseExecuting
-}
-
-func (e *Engine) localAfterLock(t *txnRun, i int) {
-	if t.attempt == 1 {
-		// First run: fetch the data from disk. Re-runs find all data in
-		// memory (§3.1).
-		ls := e.sites[t.spec.HomeSite]
-		e.scheduleIO(ls.disks, t.spec.Elements[i], e.cfg.IOTimePerCall, func() { e.localCall(t, i+1) })
-		return
-	}
-	e.localCall(t, i+1)
-}
-
-// localCommit is the commit point of a locally running class A transaction
-// (§2): abort if marked; otherwise release locks, raise coherence counts on
-// updated elements, and propagate the updates asynchronously — completing
-// without waiting for the central acknowledgement.
-func (e *Engine) localCommit(t *txnRun) {
-	if t.marked {
-		if e.m.enabled {
-			e.m.abortsLocalSeized++
-		}
-		e.emit(trace.CrossAbortLocal, t.spec.ID, t.spec.HomeSite, 0, "seized by central commit")
-		e.restartLocal(t)
-		return
-	}
-	ls := e.sites[t.spec.HomeSite]
-	updates := t.spec.Updates()
-	for _, elem := range t.spec.Elements {
-		ls.locks.Release(t.id(), elem)
-	}
-	for _, elem := range updates {
-		ls.locks.IncrCoherence(elem)
-	}
-	if len(updates) > 0 {
-		site := t.spec.HomeSite
-		e.emit(trace.UpdatePropagated, t.spec.ID, site, 0, fmt.Sprintf("%d elements", len(updates)))
-		e.propagateUpdates(ls, updates)
-	}
-	e.emit(trace.CommitLocal, t.spec.ID, t.spec.HomeSite, 0, "")
-
-	now := e.simulator.Now()
-	rt := now - t.arrivedAt
-	t.phase = phaseDone
-	ls.lastLocalRT = rt
-	ls.inSystem--
-	delete(ls.running, t.id())
-	e.completed++
-	if e.m.enabled {
-		e.m.rtAll.Add(rt)
-		e.m.rtLocalA.Add(rt)
-		e.m.rtHist.Add(rt)
-		e.m.histLocalA.Add(rt)
-		e.m.recordSeries(now, rt)
-		ls.rtLocalA.Add(rt)
-	}
-}
-
-// propagateUpdates ships a committed transaction's updates to the central
-// site — immediately, or batched per Config.UpdateBatchWindow. Batching
-// keeps per-link FIFO ordering: the flush sends one message on the same
-// uplink that unbatched commits would use.
-func (e *Engine) propagateUpdates(ls *localSite, updates []uint32) {
-	site := ls.idx
-	if e.cfg.UpdateBatchWindow <= 0 {
-		e.network.ToCentral(site, func() { e.centralApplyUpdate(site, updates) })
-		return
-	}
-	ls.pendingUpdates = append(ls.pendingUpdates, updates...)
-	if ls.flushPending {
-		return
-	}
-	ls.flushPending = true
-	e.simulator.Schedule(e.cfg.UpdateBatchWindow, func() {
-		batch := ls.pendingUpdates
-		ls.pendingUpdates = nil
-		ls.flushPending = false
-		e.network.ToCentral(site, func() { e.centralApplyUpdate(site, batch) })
-	})
-}
-
-// restartLocal re-runs a cross-site-aborted local transaction. Locks other
-// than the seized ones are retained (§3.1); data is in memory.
-func (e *Engine) restartLocal(t *txnRun) {
-	t.marked = false
-	t.attempt++
-	t.phase = phaseExecuting
-	e.emit(trace.Rerun, t.spec.ID, t.spec.HomeSite, 0, fmt.Sprintf("attempt %d", t.attempt))
-	e.simulator.Schedule(e.cfg.RestartDelay, func() { e.localCall(t, 0) })
-}
-
-// localDeadlockAbort handles a same-site deadlock: the requester aborts and
-// releases all locks (§4.1), then re-runs.
-func (e *Engine) localDeadlockAbort(t *txnRun) {
-	if e.m.enabled {
-		e.m.abortsDeadlockLocal++
-	}
-	ls := e.sites[t.spec.HomeSite]
-	ls.locks.ReleaseAll(t.id())
-	t.marked = false
-	t.attempt++
-	t.phase = phaseExecuting
-	e.simulator.Schedule(e.cfg.RestartDelay, func() { e.localCall(t, 0) })
-}
-
-// ---- Central execution (class B, and shipped class A).
-
-func (e *Engine) ship(t *txnRun) {
-	t.shipped = true
-	home := t.spec.HomeSite
-	if t.spec.Class == workload.ClassA {
-		e.sites[home].shippedOut++
-	}
-	e.inFlightShip++
-	e.network.ToCentral(home, func() {
-		e.inFlightShip--
-		e.startCentral(t)
-	})
-}
-
-func (e *Engine) startCentral(t *txnRun) {
-	e.central.inSystem++
-	e.central.running[t.id()] = t
-	e.central.cpu.Submit(e.cfg.InstrOverhead, func() {
-		e.scheduleIO(e.central.disks, uint32(t.spec.ID), e.cfg.SetupIOTime, func() {
-			t.phase = phaseExecuting
-			e.centralCall(t, 0)
-		})
-	})
-}
-
-func (e *Engine) centralCall(t *txnRun, i int) {
-	if i >= e.cfg.CallsPerTxn {
-		e.centralBeginCommit(t)
-		return
-	}
-	e.central.cpu.Submit(e.cfg.InstrPerCall, func() {
-		elem, mode := t.spec.Elements[i], t.spec.Modes[i]
-		if _, held := e.central.locks.Holds(t.id(), elem); held {
-			e.centralAfterLock(t, i)
-			return
-		}
-		e.emit(trace.LockRequest, t.spec.ID, -1, elem, mode.String())
-		switch e.central.locks.Acquire(t.id(), elem, mode, func() {
-			e.recordLockWait(t)
-			e.emit(trace.LockGranted, t.spec.ID, -1, elem, "")
-			e.centralAfterLock(t, i)
-		}) {
-		case lock.Granted:
-			e.emit(trace.LockGranted, t.spec.ID, -1, elem, "")
-			e.centralAfterLock(t, i)
-		case lock.Queued:
-			t.phase = phaseLockWait
-			t.lockWaitFrom = e.simulator.Now()
-			e.emit(trace.LockWaitBegin, t.spec.ID, -1, elem, "")
-		case lock.Deadlock:
-			e.emit(trace.DeadlockAbort, t.spec.ID, -1, elem, "")
-			e.centralDeadlockAbort(t)
-		}
-	})
-}
-
-func (e *Engine) centralAfterLock(t *txnRun, i int) {
-	if t.attempt == 1 {
-		e.scheduleIO(e.central.disks, t.spec.Elements[i], e.cfg.IOTimePerCall, func() { e.centralCall(t, i+1) })
-		return
-	}
-	e.centralCall(t, i+1)
-}
-
-// centralBeginCommit is the commit point of a centrally running transaction:
-// abort if invalidated, otherwise run the authentication phase against every
-// master site of the data locked (§2).
-func (e *Engine) centralBeginCommit(t *txnRun) {
-	if t.marked {
-		if e.m.enabled {
-			e.m.abortsCentralInval++
-		}
-		e.emit(trace.CrossAbortCentral, t.spec.ID, -1, 0, "invalidated by async update")
-		e.restartCentral(t)
-		return
-	}
-	wl := e.cfg.WorkloadConfig()
-	sites := t.spec.SitesTouched(wl)
-	t.phase = phaseAuthWait
-	t.authPending = len(sites)
-	t.authNACK = false
-	t.authSeized = t.authSeized[:0]
-	if e.m.enabled {
-		e.m.authRounds++
-	}
-
-	snap := e.snapshotCentral()
-	for _, site := range sites {
-		site := site
-		var elems []uint32
-		var modes []lock.Mode
-		for j, elem := range t.spec.Elements {
-			if wl.PartitionOf(elem) == site {
-				elems = append(elems, elem)
-				modes = append(modes, t.spec.Modes[j])
-			}
-		}
-		e.emit(trace.AuthRequest, t.spec.ID, site, 0, fmt.Sprintf("%d elements", len(elems)))
-		e.network.ToSite(site, func() {
-			// Authentication messages always refresh the site's view of
-			// the central state (§4.2).
-			e.sites[site].refreshView(snap)
-			e.siteAuthenticate(t, site, elems, modes)
-		})
-	}
-}
-
-// siteAuthenticate processes an authentication request at a local site: NACK
-// if any element has in-flight asynchronous updates; otherwise seize the
-// locks, marking conflicting local holders for abort, and ACK.
-func (e *Engine) siteAuthenticate(t *txnRun, site int, elems []uint32, modes []lock.Mode) {
-	ls := e.sites[site]
-	nack := false
-	for _, elem := range elems {
-		if ls.locks.Coherence(elem) != 0 {
-			nack = true
-			break
-		}
-	}
-	if !nack {
-		for j, elem := range elems {
-			victims, ok := ls.locks.Seize(t.id(), elem, modes[j])
-			if !ok {
-				// Unreachable: coherence was checked above and cannot
-				// change within one event.
-				panic("hybrid: seize failed after coherence check")
-			}
-			if len(victims) > 0 {
-				e.emit(trace.AuthSeized, t.spec.ID, site, elem,
-					fmt.Sprintf("%d victims", len(victims)))
-			}
-			for _, v := range victims {
-				e.markVictim(ls, v)
-			}
-		}
-		e.emit(trace.AuthACK, t.spec.ID, site, 0, "")
-	} else {
-		e.emit(trace.AuthNACK, t.spec.ID, site, 0, "in-flight updates")
-	}
-	e.network.ToCentral(site, func() { e.centralAuthReply(t, site, nack) })
-}
-
-// markVictim marks the holder of a seized lock for abort. The victim is
-// normally a local transaction; it can also be another central transaction's
-// stale authentication lock if that transaction was invalidated mid-flight,
-// in which case it is already marked.
-func (e *Engine) markVictim(ls *localSite, v lock.ID) {
-	if vt, ok := ls.running[v]; ok {
-		vt.marked = true
-		return
-	}
-	if vt, ok := e.central.running[v]; ok {
-		vt.marked = true
-	}
-}
-
-func (e *Engine) centralAuthReply(t *txnRun, site int, nack bool) {
-	if nack {
-		t.authNACK = true
-	} else {
-		t.authSeized = append(t.authSeized, site)
-	}
-	t.authPending--
-	if t.authPending > 0 {
-		return
-	}
-	// All replies in: final commit gate (§2) — every site positive and the
-	// central locks not invalidated meanwhile.
-	if t.authNACK || t.marked {
-		if e.m.enabled {
-			if t.authNACK {
-				e.m.abortsCentralNACK++
-			} else {
-				e.m.abortsCentralInval++
-			}
-		}
-		reason := "invalidated during authentication"
-		if t.authNACK {
-			reason = "authentication NACK"
-		}
-		e.emit(trace.CrossAbortCentral, t.spec.ID, -1, 0, reason)
-		e.releaseAuthLocks(t)
-		e.restartCentral(t)
-		return
-	}
-	e.centralCommit(t)
-}
-
-// releaseAuthLocks tells every site that seized locks for t to release them
-// (abort path).
-func (e *Engine) releaseAuthLocks(t *txnRun) {
-	snap := e.snapshotCentral()
-	for _, site := range t.authSeized {
-		site := site
-		e.network.ToSite(site, func() {
-			if e.cfg.Feedback == FeedbackAllMessages {
-				e.sites[site].refreshView(snap)
-			}
-			e.sites[site].locks.ReleaseAll(t.id())
-		})
-	}
-	t.authSeized = t.authSeized[:0]
-}
-
-// centralCommit finalizes a central transaction: commit messages release the
-// authentication locks and install the updates at the involved sites, the
-// central locks are released, and the completion reply travels to the origin
-// where the response time is recorded.
-func (e *Engine) centralCommit(t *txnRun) {
-	snap := e.snapshotCentral()
-	for _, site := range t.authSeized {
-		site := site
-		e.network.ToSite(site, func() {
-			if e.cfg.Feedback == FeedbackAllMessages {
-				e.sites[site].refreshView(snap)
-			}
-			e.sites[site].locks.ReleaseAll(t.id())
-		})
-	}
-	t.authSeized = t.authSeized[:0]
-	e.central.locks.ReleaseAll(t.id())
-	e.central.inSystem--
-	delete(e.central.running, t.id())
-	t.phase = phaseDone
-	e.emit(trace.CommitCentral, t.spec.ID, -1, 0, "")
-
-	home := t.spec.HomeSite
-	e.inFlightReply++
-	e.network.ToSite(home, func() {
-		e.inFlightReply--
-		e.emit(trace.ReplyDelivered, t.spec.ID, home, 0, "")
-		ls := e.sites[home]
-		if e.cfg.Feedback == FeedbackAllMessages {
-			ls.refreshView(snap)
-		}
-		now := e.simulator.Now()
-		rt := now - t.arrivedAt
-		e.completed++
-		if t.spec.Class == workload.ClassA {
-			ls.shippedOut--
-			ls.lastShippedRT = rt
-		}
-		if e.m.enabled {
-			e.m.rtAll.Add(rt)
-			e.m.rtHist.Add(rt)
-			e.m.recordSeries(now, rt)
-			if t.spec.Class == workload.ClassA {
-				e.m.rtShippedA.Add(rt)
-				e.m.histShipA.Add(rt)
-			} else {
-				e.m.rtClassB.Add(rt)
-				e.m.histClassB.Add(rt)
-			}
-		}
-	})
-}
-
-// restartCentral re-runs an aborted central transaction at the central site,
-// retaining its surviving central locks (§3.1).
-func (e *Engine) restartCentral(t *txnRun) {
-	t.marked = false
-	t.attempt++
-	t.phase = phaseExecuting
-	e.emit(trace.Rerun, t.spec.ID, -1, 0, fmt.Sprintf("attempt %d", t.attempt))
-	e.simulator.Schedule(e.cfg.RestartDelay, func() { e.centralCall(t, 0) })
-}
-
-func (e *Engine) centralDeadlockAbort(t *txnRun) {
-	if e.m.enabled {
-		e.m.abortsDeadlockCentral++
-	}
-	e.central.locks.ReleaseAll(t.id())
-	t.marked = false
-	t.attempt++
-	t.phase = phaseExecuting
-	e.simulator.Schedule(e.cfg.RestartDelay, func() { e.centralCall(t, 0) })
-}
-
-// ---- Asynchronous update propagation (local commits -> central).
-
-// centralApplyUpdate processes an asynchronous update message from a local
-// site: invalidate central locks on the updated elements (mark holders for
-// abort), install the update, and acknowledge so the site can lower its
-// coherence counts.
-func (e *Engine) centralApplyUpdate(site int, updates []uint32) {
-	if e.cfg.UpdateProcInstr > 0 {
-		// Message handling consumes central CPU before the update applies
-		// (per message, which is what batching amortises).
-		e.central.cpu.Submit(e.cfg.UpdateProcInstr, func() { e.applyUpdateNow(site, updates) })
-		return
-	}
-	e.applyUpdateNow(site, updates)
-}
-
-// applyUpdateNow performs the §2 invalidate-apply-acknowledge step of an
-// asynchronous update message.
-func (e *Engine) applyUpdateNow(site int, updates []uint32) {
-	for _, elem := range updates {
-		for _, holder := range e.central.locks.Holders(elem) {
-			if vt, ok := e.central.running[holder]; ok {
-				vt.marked = true
-			}
-			e.central.locks.Release(holder, elem)
-		}
-	}
-	e.emit(trace.UpdateApplied, 0, -1, 0, fmt.Sprintf("%d elements from site %d", len(updates), site))
-	snap := e.snapshotCentral()
-	e.network.ToSite(site, func() {
-		ls := e.sites[site]
-		if e.cfg.Feedback == FeedbackAllMessages {
-			ls.refreshView(snap)
-		}
-		for _, elem := range updates {
-			ls.locks.DecrCoherence(elem)
-		}
-		e.emit(trace.UpdateAcked, 0, site, 0, "")
-	})
-}
-
-// ---- Results and invariants.
-
-func (e *Engine) result() Result {
-	window := e.simulator.Now() - e.m.start
-	if !e.m.enabled || window <= 0 {
-		window = 0
-	}
-	r := Result{
-		Strategy:              e.strategy.Name(),
-		Window:                window,
-		CompletedLocalA:       e.m.rtLocalA.Count(),
-		CompletedShippedA:     e.m.rtShippedA.Count(),
-		CompletedClassB:       e.m.rtClassB.Count(),
-		MeanRT:                e.m.rtAll.Mean(),
-		MeanRTLocalA:          e.m.rtLocalA.Mean(),
-		MeanRTShippedA:        e.m.rtShippedA.Mean(),
-		MeanRTClassB:          e.m.rtClassB.Mean(),
-		P95RT:                 e.m.rtHist.Quantile(0.95),
-		P95RTLocalA:           e.m.histLocalA.Quantile(0.95),
-		P95RTShippedA:         e.m.histShipA.Quantile(0.95),
-		P95RTClassB:           e.m.histClassB.Quantile(0.95),
-		AbortsDeadlockLocal:   e.m.abortsDeadlockLocal,
-		AbortsDeadlockCentral: e.m.abortsDeadlockCentral,
-		AbortsLocalSeized:     e.m.abortsLocalSeized,
-		AbortsCentralNACK:     e.m.abortsCentralNACK,
-		AbortsCentralInval:    e.m.abortsCentralInval,
-		MeanLockWait:          e.m.lockWait.Mean(),
-		MeanCentralQueue:      e.m.centralQueue.Mean(),
-		MeanLocalQueue:        e.m.localQueue.Mean(),
-		MeanViewAge:           e.m.viewAge.Mean(),
-		AuthRounds:            e.m.authRounds,
-		MessagesSent:          e.network.MessagesSent(),
-		Generated:             e.generated,
-		Completed:             e.completed,
-	}
-	if window > 0 {
-		r.Throughput = float64(e.m.rtAll.Count()) / window
-		var busy, maxUtil float64
-		r.PerSite = make([]SiteStats, len(e.sites))
-		for i, ls := range e.sites {
-			u := (ls.cpu.BusyTime() - ls.busyAtWarmup) / window
-			busy += u
-			if u > maxUtil {
-				maxUtil = u
-			}
-			r.PerSite[i] = SiteStats{
-				Site:            i,
-				Utilization:     u,
-				CompletedLocalA: ls.rtLocalA.Count(),
-				MeanRTLocalA:    ls.rtLocalA.Mean(),
-			}
-		}
-		r.UtilLocalMean = busy / float64(len(e.sites))
-		r.UtilLocalMax = maxUtil
-		r.UtilCentral = (e.central.cpu.BusyTime() - e.central.busyAtWarmup) / window
-	}
-	if d := e.m.decisionsLocal + e.m.decisionsShip; d > 0 {
-		r.ShipFraction = float64(e.m.decisionsShip) / float64(d)
-	}
-	for i := range e.m.seriesCount {
-		b := RTBucket{
-			Start:       float64(i) * e.m.seriesBucket,
-			Completions: e.m.seriesCount[i],
-		}
-		if b.Completions > 0 {
-			b.MeanRT = e.m.seriesSum[i] / float64(b.Completions)
-		}
-		r.RTSeries = append(r.RTSeries, b)
-	}
-	return r
-}
-
-// checkInvariants verifies cross-component consistency; enabled by
-// Config.SelfCheck. It panics on violation (a simulator bug, never a
-// workload condition).
-func (e *Engine) checkInvariants() {
-	var present uint64
-	for _, ls := range e.sites {
-		ls.locks.CheckInvariants()
-		if ls.inSystem < 0 {
-			panic(fmt.Sprintf("hybrid: negative inSystem at site %d", ls.idx))
-		}
-		if len(ls.running) != ls.inSystem {
-			panic(fmt.Sprintf("hybrid: site %d running=%d inSystem=%d",
-				ls.idx, len(ls.running), ls.inSystem))
-		}
-		present += uint64(ls.inSystem)
-	}
-	e.central.locks.CheckInvariants()
-	if len(e.central.running) != e.central.inSystem {
-		panic(fmt.Sprintf("hybrid: central running=%d inSystem=%d",
-			len(e.central.running), e.central.inSystem))
-	}
-	present += uint64(e.central.inSystem)
-	total := e.completed + present + e.inFlightShip + e.inFlightReply
-	if total != e.generated {
-		panic(fmt.Sprintf("hybrid: conservation violated: generated=%d accounted=%d "+
-			"(completed=%d present=%d shipping=%d replying=%d)",
-			e.generated, total, e.completed, present, e.inFlightShip, e.inFlightReply))
-	}
+	e.local.start(t)
 }

@@ -1,0 +1,144 @@
+package hybrid
+
+// The local execution path of the transaction lifecycle layer: class A
+// transactions retained at their home site, from setup I/O through database
+// calls, lock acquisition, and the local commit point of §2.
+
+import (
+	"fmt"
+
+	"hybriddb/internal/hybrid/obs"
+	"hybriddb/internal/lock"
+	"hybriddb/internal/trace"
+)
+
+// localPath runs class A transactions at their home site.
+type localPath struct{ e *Engine }
+
+// start admits a transaction to its home site: transaction initiation +
+// message handling CPU, then the initial I/O (no locks held during either,
+// §3.1).
+func (p localPath) start(t *txnRun) {
+	e := p.e
+	ls := e.sites[t.spec.HomeSite]
+	ls.inSystem++
+	ls.running[t.id()] = t
+	ls.cpu.Submit(e.cfg.InstrOverhead, func() {
+		scheduleIO(e.simulator, ls.disks, uint32(t.spec.ID), e.cfg.SetupIOTime, func() {
+			t.phase = phaseExecuting
+			p.call(t, 0)
+		})
+	})
+}
+
+// call performs database call i of a locally running transaction: CPU burst,
+// then lock acquisition, then (first run only) the I/O.
+func (p localPath) call(t *txnRun, i int) {
+	e := p.e
+	if i >= e.cfg.CallsPerTxn {
+		p.commit(t)
+		return
+	}
+	ls := e.sites[t.spec.HomeSite]
+	ls.cpu.Submit(e.cfg.InstrPerCall, func() {
+		elem, mode := t.spec.Elements[i], t.spec.Modes[i]
+		if _, held := ls.locks.Holds(t.id(), elem); held {
+			// Re-run retains locks across a cross-site abort (§3.1).
+			p.afterLock(t, i)
+			return
+		}
+		e.emit(trace.LockRequest, t.spec.ID, ls.idx, elem, mode.String())
+		switch ls.locks.Acquire(t.id(), elem, mode, func() {
+			e.recordLockWait(t)
+			e.emit(trace.LockGranted, t.spec.ID, ls.idx, elem, "")
+			p.afterLock(t, i)
+		}) {
+		case lock.Granted:
+			e.emit(trace.LockGranted, t.spec.ID, ls.idx, elem, "")
+			p.afterLock(t, i)
+		case lock.Queued:
+			t.phase = phaseLockWait
+			t.lockWaitFrom = e.simulator.Now()
+			e.emit(trace.LockWaitBegin, t.spec.ID, ls.idx, elem, "")
+		case lock.Deadlock:
+			e.emit(trace.DeadlockAbort, t.spec.ID, ls.idx, elem, "")
+			p.deadlockAbort(t)
+		}
+	})
+}
+
+func (p localPath) afterLock(t *txnRun, i int) {
+	e := p.e
+	if t.attempt == 1 {
+		// First run: fetch the data from disk. Re-runs find all data in
+		// memory (§3.1).
+		ls := e.sites[t.spec.HomeSite]
+		scheduleIO(e.simulator, ls.disks, t.spec.Elements[i], e.cfg.IOTimePerCall, func() { p.call(t, i+1) })
+		return
+	}
+	p.call(t, i+1)
+}
+
+// commit is the commit point of a locally running class A transaction (§2):
+// abort if marked; otherwise release locks, raise coherence counts on
+// updated elements, and propagate the updates asynchronously — completing
+// without waiting for the central acknowledgement.
+func (p localPath) commit(t *txnRun) {
+	e := p.e
+	if t.marked {
+		e.observe(obs.Event{Kind: obs.AbortLocalSeized})
+		e.emit(trace.CrossAbortLocal, t.spec.ID, t.spec.HomeSite, 0, "seized by central commit")
+		p.restart(t)
+		return
+	}
+	ls := e.sites[t.spec.HomeSite]
+	updates := t.spec.Updates()
+	for _, elem := range t.spec.Elements {
+		ls.locks.Release(t.id(), elem)
+	}
+	for _, elem := range updates {
+		ls.locks.IncrCoherence(elem)
+	}
+	if len(updates) > 0 {
+		if e.Detailed() {
+			e.emit(trace.UpdatePropagated, t.spec.ID, ls.idx, 0, fmt.Sprintf("%d elements", len(updates)))
+		}
+		e.prop.propagate(ls, updates)
+	}
+	e.emit(trace.CommitLocal, t.spec.ID, t.spec.HomeSite, 0, "")
+
+	now := e.simulator.Now()
+	rt := now - t.arrivedAt
+	t.phase = phaseDone
+	ls.lastLocalRT = rt
+	ls.inSystem--
+	delete(ls.running, t.id())
+	e.completed++
+	e.observe(obs.Event{Kind: obs.TxnLocalCommit, Site: ls.idx, Value: rt})
+}
+
+// restart re-runs a cross-site-aborted local transaction. Locks other than
+// the seized ones are retained (§3.1); data is in memory.
+func (p localPath) restart(t *txnRun) {
+	e := p.e
+	t.marked = false
+	t.attempt++
+	t.phase = phaseExecuting
+	if e.Detailed() {
+		e.emit(trace.Rerun, t.spec.ID, t.spec.HomeSite, 0, fmt.Sprintf("attempt %d", t.attempt))
+	}
+	e.simulator.Schedule(e.cfg.RestartDelay, func() { p.call(t, 0) })
+}
+
+// deadlockAbort handles a same-site deadlock: the requester aborts and
+// releases all locks (§4.1), then re-runs.
+func (p localPath) deadlockAbort(t *txnRun) {
+	e := p.e
+	e.observe(obs.Event{Kind: obs.AbortDeadlockLocal})
+	ls := e.sites[t.spec.HomeSite]
+	ls.locks.ReleaseAll(t.id())
+	t.marked = false
+	t.attempt++
+	t.phase = phaseExecuting
+	e.simulator.Schedule(e.cfg.RestartDelay, func() { p.call(t, 0) })
+}

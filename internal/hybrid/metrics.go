@@ -1,11 +1,14 @@
 package hybrid
 
 import (
+	"hybriddb/internal/hybrid/obs"
 	"hybriddb/internal/stats"
 )
 
 // metrics accumulates observations, gated by the measurement window: nothing
-// is recorded until the warmup period ends.
+// is recorded until the warmup period ends. It is an obs.Observer — the only
+// one the engine always subscribes — and every value it holds arrives over
+// the bus rather than through direct calls from the lifecycle layer.
 type metrics struct {
 	enabled bool
 	start   float64 // window start time
@@ -24,6 +27,9 @@ type metrics struct {
 	histLocalA *stats.Histogram
 	histShipA  *stats.Histogram
 	histClassB *stats.Histogram
+
+	// Per-site response times of locally committed class A transactions.
+	perSiteRT []stats.Welford
 
 	// Routing decisions (class A only).
 	decisionsLocal uint64
@@ -52,6 +58,79 @@ type metrics struct {
 	authRounds uint64
 }
 
+func newMetrics(bucket float64, sites int) *metrics {
+	return &metrics{
+		seriesBucket: bucket,
+		rtHist:       stats.NewHistogram(0, 60, 600),
+		histLocalA:   stats.NewHistogram(0, 60, 600),
+		histShipA:    stats.NewHistogram(0, 60, 600),
+		histClassB:   stats.NewHistogram(0, 60, 600),
+		perSiteRT:    make([]stats.Welford, sites),
+	}
+}
+
+// OnEvent implements obs.Observer: lifecycle events fold into the window's
+// accumulators; protocol-detail events are ignored.
+func (m *metrics) OnEvent(ev obs.Event) {
+	if ev.Kind == obs.MeasureStart {
+		m.enabled = true
+		m.start = ev.At
+		return
+	}
+	if !m.enabled {
+		return
+	}
+	switch ev.Kind {
+	case obs.TxnArrive:
+		if ev.ClassB {
+			m.arrivalsB++
+			return
+		}
+		m.arrivalsA++
+		m.viewAge.Add(ev.Value)
+		if ev.Shipped {
+			m.decisionsShip++
+		} else {
+			m.decisionsLocal++
+		}
+	case obs.TxnLocalCommit:
+		m.rtAll.Add(ev.Value)
+		m.rtLocalA.Add(ev.Value)
+		m.rtHist.Add(ev.Value)
+		m.histLocalA.Add(ev.Value)
+		m.recordSeries(ev.At, ev.Value)
+		m.perSiteRT[ev.Site].Add(ev.Value)
+	case obs.TxnReply:
+		m.rtAll.Add(ev.Value)
+		m.rtHist.Add(ev.Value)
+		m.recordSeries(ev.At, ev.Value)
+		if ev.ClassB {
+			m.rtClassB.Add(ev.Value)
+			m.histClassB.Add(ev.Value)
+		} else {
+			m.rtShippedA.Add(ev.Value)
+			m.histShipA.Add(ev.Value)
+		}
+	case obs.LockWaitEnd:
+		m.lockWait.Add(ev.Value)
+	case obs.AuthRound:
+		m.authRounds++
+	case obs.AbortDeadlockLocal:
+		m.abortsDeadlockLocal++
+	case obs.AbortDeadlockCentral:
+		m.abortsDeadlockCentral++
+	case obs.AbortLocalSeized:
+		m.abortsLocalSeized++
+	case obs.AbortCentralNACK:
+		m.abortsCentralNACK++
+	case obs.AbortCentralInval:
+		m.abortsCentralInval++
+	case obs.QueueSample:
+		m.centralQueue.Add(ev.Value)
+		m.localQueue.Add(ev.Aux)
+	}
+}
+
 // recordSeries adds a completed response time to its time bucket.
 func (m *metrics) recordSeries(now, rt float64) {
 	if m.seriesBucket <= 0 {
@@ -69,18 +148,71 @@ func (m *metrics) recordSeries(now, rt float64) {
 	m.seriesCount[idx]++
 }
 
-func newMetrics() *metrics {
-	return newMetricsWithSeries(0)
-}
-
-func newMetricsWithSeries(bucket float64) *metrics {
-	return &metrics{
-		seriesBucket: bucket,
-		rtHist:       stats.NewHistogram(0, 60, 600),
-		histLocalA:   stats.NewHistogram(0, 60, 600),
-		histShipA:    stats.NewHistogram(0, 60, 600),
-		histClassB:   stats.NewHistogram(0, 60, 600),
+// result assembles the run's Result from the metrics observer, the site
+// layer's utilization accounting, and the network counters.
+func (e *Engine) result() Result {
+	window := e.simulator.Now() - e.m.start
+	if !e.m.enabled || window <= 0 {
+		window = 0
 	}
+	r := Result{
+		Strategy:              e.strategy.Name(),
+		Window:                window,
+		CompletedLocalA:       e.m.rtLocalA.Count(),
+		CompletedShippedA:     e.m.rtShippedA.Count(),
+		CompletedClassB:       e.m.rtClassB.Count(),
+		MeanRT:                e.m.rtAll.Mean(),
+		MeanRTLocalA:          e.m.rtLocalA.Mean(),
+		MeanRTShippedA:        e.m.rtShippedA.Mean(),
+		MeanRTClassB:          e.m.rtClassB.Mean(),
+		P95RT:                 e.m.rtHist.Quantile(0.95),
+		P95RTLocalA:           e.m.histLocalA.Quantile(0.95),
+		P95RTShippedA:         e.m.histShipA.Quantile(0.95),
+		P95RTClassB:           e.m.histClassB.Quantile(0.95),
+		AbortsDeadlockLocal:   e.m.abortsDeadlockLocal,
+		AbortsDeadlockCentral: e.m.abortsDeadlockCentral,
+		AbortsLocalSeized:     e.m.abortsLocalSeized,
+		AbortsCentralNACK:     e.m.abortsCentralNACK,
+		AbortsCentralInval:    e.m.abortsCentralInval,
+		MeanLockWait:          e.m.lockWait.Mean(),
+		MeanCentralQueue:      e.m.centralQueue.Mean(),
+		MeanLocalQueue:        e.m.localQueue.Mean(),
+		MeanViewAge:           e.m.viewAge.Mean(),
+		AuthRounds:            e.m.authRounds,
+		MessagesSent:          e.network.MessagesSent(),
+		Generated:             e.generated,
+		Completed:             e.completed,
+	}
+	if window > 0 {
+		r.Throughput = float64(e.m.rtAll.Count()) / window
+		perSite, mean, max := siteUtilizations(e.sites, window)
+		r.PerSite = make([]SiteStats, len(e.sites))
+		for i := range e.sites {
+			r.PerSite[i] = SiteStats{
+				Site:            i,
+				Utilization:     perSite[i],
+				CompletedLocalA: e.m.perSiteRT[i].Count(),
+				MeanRTLocalA:    e.m.perSiteRT[i].Mean(),
+			}
+		}
+		r.UtilLocalMean = mean
+		r.UtilLocalMax = max
+		r.UtilCentral = (e.central.cpu.BusyTime() - e.central.busyAtWarmup) / window
+	}
+	if d := e.m.decisionsLocal + e.m.decisionsShip; d > 0 {
+		r.ShipFraction = float64(e.m.decisionsShip) / float64(d)
+	}
+	for i := range e.m.seriesCount {
+		b := RTBucket{
+			Start:       float64(i) * e.m.seriesBucket,
+			Completions: e.m.seriesCount[i],
+		}
+		if b.Completions > 0 {
+			b.MeanRT = e.m.seriesSum[i] / float64(b.Completions)
+		}
+		r.RTSeries = append(r.RTSeries, b)
+	}
+	return r
 }
 
 // Result is the outcome of one simulation run.

@@ -1,0 +1,182 @@
+// Package obs is the engine's observer bus: every instrumentation concern —
+// metrics accumulation, protocol tracing, periodic queue samples, invariant
+// self-checks — subscribes to one Observer interface instead of being wired
+// directly into the transaction lifecycle. The engine emits two tiers of
+// events:
+//
+//   - Lifecycle events carry numeric payloads only (response times, queue
+//     lengths, abort causes) and are emitted unconditionally; the metrics
+//     observer folds them into the run's Result.
+//   - Protocol-detail events (Kind == TraceDetail) mirror the trace package's
+//     event stream one-to-one, including rendered note strings. They are
+//     emitted only when a detail observer is subscribed (Bus.HasDetail), so
+//     the hot loop pays nothing — not even string construction — when tracing
+//     is off.
+package obs
+
+import "hybriddb/internal/trace"
+
+// Kind classifies bus events.
+type Kind uint8
+
+// Lifecycle event kinds.
+const (
+	// MeasureStart opens the measurement window: observers reset or arm
+	// their accumulators at Event.At.
+	MeasureStart Kind = iota + 1
+	// TxnArrive is one admitted transaction: ClassB says which class,
+	// Shipped the routing decision (always true for class B), and Value the
+	// staleness of the central-state view at decision time (class A only).
+	TxnArrive
+	// TxnLocalCommit is a class A transaction committing at its home site:
+	// Site is the site index, Value the response time.
+	TxnLocalCommit
+	// TxnReply is a completion reply delivered at the origin site for a
+	// centrally executed transaction: ClassB says which class, Value the
+	// response time.
+	TxnReply
+	// LockWaitEnd closes one blocking lock wait; Value is its duration.
+	LockWaitEnd
+	// AuthRound is one authentication round opened by a central commit.
+	AuthRound
+	// Abort causes, one kind per counter.
+	AbortDeadlockLocal
+	AbortDeadlockCentral
+	AbortLocalSeized
+	AbortCentralNACK
+	AbortCentralInval
+	// QueueSample is the periodic (1 Hz simulated) CPU queue observation:
+	// Value is the central queue length, Aux the mean local queue length.
+	QueueSample
+	// SelfCheck asks invariant-checking observers to audit the engine now.
+	SelfCheck
+	// TraceDetail wraps one protocol-level trace event (Event.Trace, plus
+	// Txn/Site/Elem/Note). Emitted only when a detail observer subscribed.
+	TraceDetail
+)
+
+var kindNames = map[Kind]string{
+	MeasureStart:         "measure-start",
+	TxnArrive:            "txn-arrive",
+	TxnLocalCommit:       "txn-local-commit",
+	TxnReply:             "txn-reply",
+	LockWaitEnd:          "lock-wait-end",
+	AuthRound:            "auth-round",
+	AbortDeadlockLocal:   "abort-deadlock-local",
+	AbortDeadlockCentral: "abort-deadlock-central",
+	AbortLocalSeized:     "abort-local-seized",
+	AbortCentralNACK:     "abort-central-nack",
+	AbortCentralInval:    "abort-central-inval",
+	QueueSample:          "queue-sample",
+	SelfCheck:            "self-check",
+	TraceDetail:          "trace-detail",
+}
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "Kind(?)"
+}
+
+// Event is one observation. Which payload fields are meaningful depends on
+// Kind; unused fields are zero.
+type Event struct {
+	At   float64 // simulated time
+	Kind Kind
+
+	// Protocol-detail payload (Kind == TraceDetail).
+	Trace trace.Kind
+	Txn   int64
+	Site  int // also the site of a TxnLocalCommit
+	Elem  uint32
+	Note  string
+
+	// Lifecycle payload.
+	ClassB  bool
+	Shipped bool
+	Value   float64
+	Aux     float64
+}
+
+// Observer receives events from the engine. Implementations must not retain
+// the event beyond the call unless they copy it (Event is a value type).
+type Observer interface {
+	OnEvent(Event)
+}
+
+// DetailObserver is an Observer that also wants the high-frequency
+// protocol-detail stream (TraceDetail events). Bus.Subscribe detects it.
+type DetailObserver interface {
+	Observer
+	WantDetail() bool
+}
+
+// Func adapts a plain function to an Observer.
+type Func func(Event)
+
+// OnEvent implements Observer.
+func (f Func) OnEvent(e Event) { f(e) }
+
+// Bus fans events out to subscribed observers. The zero value is ready to
+// use; an empty bus drops everything.
+type Bus struct {
+	all    []Observer // receive every event
+	detail []Observer // additionally receive TraceDetail events
+}
+
+// Subscribe adds an observer. Observers implementing DetailObserver with
+// WantDetail() == true also receive the protocol-detail stream.
+func (b *Bus) Subscribe(o Observer) {
+	if o == nil {
+		return
+	}
+	b.all = append(b.all, o)
+	if d, ok := o.(DetailObserver); ok && d.WantDetail() {
+		b.detail = append(b.detail, o)
+	}
+}
+
+// HasDetail reports whether any subscribed observer wants protocol-detail
+// events. Emitters check this before building a TraceDetail event, so note
+// strings are never rendered when tracing is off.
+func (b *Bus) HasDetail() bool { return len(b.detail) > 0 }
+
+// Emit delivers a lifecycle event to every subscribed observer.
+func (b *Bus) Emit(e Event) {
+	for _, o := range b.all {
+		o.OnEvent(e)
+	}
+}
+
+// EmitDetail delivers a protocol-detail event to detail observers only.
+func (b *Bus) EmitDetail(e Event) {
+	for _, o := range b.detail {
+		o.OnEvent(e)
+	}
+}
+
+// Tracer adapts a trace.Tracer to the bus: it subscribes for the
+// protocol-detail stream and forwards each TraceDetail event as a
+// trace.Event, reproducing exactly the stream the engine used to hand the
+// tracer directly.
+type Tracer struct {
+	T trace.Tracer
+}
+
+// NewTracer wraps t for subscription on the bus.
+func NewTracer(t trace.Tracer) Tracer { return Tracer{T: t} }
+
+// WantDetail implements DetailObserver.
+func (Tracer) WantDetail() bool { return true }
+
+// OnEvent implements Observer.
+func (a Tracer) OnEvent(e Event) {
+	if e.Kind != TraceDetail || a.T == nil {
+		return
+	}
+	a.T.Record(trace.Event{
+		At: e.At, Kind: e.Trace, Txn: e.Txn, Site: e.Site, Elem: e.Elem, Note: e.Note,
+	})
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"testing"
+
+	"hybriddb/internal/trace"
+)
+
+// detailFunc is a Func that also opts into the detail stream.
+type detailFunc struct{ f func(Event) }
+
+func (d detailFunc) OnEvent(e Event)  { d.f(e) }
+func (d detailFunc) WantDetail() bool { return true }
+
+func TestBusZeroValueDropsEverything(t *testing.T) {
+	var b Bus
+	if b.HasDetail() {
+		t.Fatal("empty bus reports detail observers")
+	}
+	// Must not panic.
+	b.Emit(Event{Kind: TxnArrive})
+	b.EmitDetail(Event{Kind: TraceDetail})
+	b.Subscribe(nil)
+	b.Emit(Event{Kind: TxnArrive})
+}
+
+func TestBusFanOut(t *testing.T) {
+	var b Bus
+	var got1, got2 []Kind
+	b.Subscribe(Func(func(e Event) { got1 = append(got1, e.Kind) }))
+	b.Subscribe(Func(func(e Event) { got2 = append(got2, e.Kind) }))
+	b.Emit(Event{Kind: TxnArrive})
+	b.Emit(Event{Kind: TxnReply})
+	want := []Kind{TxnArrive, TxnReply}
+	for _, got := range [][]Kind{got1, got2} {
+		if len(got) != len(want) {
+			t.Fatalf("observer saw %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("observer saw %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+func TestDetailRouting(t *testing.T) {
+	var b Bus
+	var plain, detail int
+	b.Subscribe(Func(func(Event) { plain++ }))
+	if b.HasDetail() {
+		t.Fatal("plain observer counted as detail observer")
+	}
+	b.Subscribe(detailFunc{func(Event) { detail++ }})
+	if !b.HasDetail() {
+		t.Fatal("detail observer not detected")
+	}
+	b.Emit(Event{Kind: TxnArrive})         // both
+	b.EmitDetail(Event{Kind: TraceDetail}) // detail only
+	if plain != 1 {
+		t.Errorf("plain observer got %d events, want 1", plain)
+	}
+	if detail != 2 {
+		t.Errorf("detail observer got %d events, want 2", detail)
+	}
+}
+
+func TestTracerAdapter(t *testing.T) {
+	ring := trace.NewRing(8)
+	a := NewTracer(ring)
+	if !a.WantDetail() {
+		t.Fatal("tracer adapter must want detail")
+	}
+	a.OnEvent(Event{Kind: TxnArrive, Value: 1.5}) // lifecycle: ignored
+	a.OnEvent(Event{
+		At: 2.5, Kind: TraceDetail, Trace: trace.Arrive,
+		Txn: 7, Site: 3, Elem: 11, Note: "class A",
+	})
+	evs := ring.Events()
+	if len(evs) != 1 {
+		t.Fatalf("ring holds %d events, want 1", len(evs))
+	}
+	e := evs[0]
+	if e.At != 2.5 || e.Kind != trace.Arrive || e.Txn != 7 || e.Site != 3 ||
+		e.Elem != 11 || e.Note != "class A" {
+		t.Errorf("forwarded event = %+v", e)
+	}
+}
+
+func TestTracerAdapterNilTracer(t *testing.T) {
+	a := NewTracer(nil)
+	// Must not panic.
+	a.OnEvent(Event{Kind: TraceDetail, Trace: trace.Arrive})
+}
+
+func TestKindString(t *testing.T) {
+	for k := MeasureStart; k <= TraceDetail; k++ {
+		if s := k.String(); s == "" || s == "Kind(?)" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(0).String() != "Kind(?)" {
+		t.Errorf("unknown kind = %q", Kind(0).String())
+	}
+}

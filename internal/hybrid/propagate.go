@@ -1,0 +1,109 @@
+package hybrid
+
+// The propagation layer: asynchronous update flow from local commits to the
+// central site (with optional batching), central-side invalidation and
+// application, and the piggybacked central-state snapshots whose feedback
+// routingState consumes.
+
+import (
+	"fmt"
+
+	"hybriddb/internal/trace"
+)
+
+// centralSnapshot is the central state as piggybacked on messages to sites.
+type centralSnapshot struct {
+	queue    int
+	inSystem int
+	locks    int
+	at       float64
+}
+
+// refreshView installs a newer central-state snapshot at a local site.
+func (ls *localSite) refreshView(snap centralSnapshot) {
+	if snap.at >= ls.view.at {
+		ls.view = snap
+	}
+}
+
+// propagator carries committed updates between the tiers.
+type propagator struct{ e *Engine }
+
+// snapshotCentral captures the central state for piggybacking on a message
+// being sent now.
+func (p propagator) snapshotCentral() centralSnapshot {
+	e := p.e
+	return centralSnapshot{
+		queue:    e.central.cpu.QueueLength(),
+		inSystem: e.central.inSystem,
+		locks:    e.central.locks.LocksHeld(),
+		at:       e.simulator.Now(),
+	}
+}
+
+// propagate ships a committed transaction's updates to the central site —
+// immediately, or batched per Config.UpdateBatchWindow. Batching keeps
+// per-link FIFO ordering: the flush sends one message on the same uplink
+// that unbatched commits would use.
+func (p propagator) propagate(ls *localSite, updates []uint32) {
+	e := p.e
+	site := ls.idx
+	if e.cfg.UpdateBatchWindow <= 0 {
+		e.network.ToCentral(site, func() { p.centralApply(site, updates) })
+		return
+	}
+	ls.pendingUpdates = append(ls.pendingUpdates, updates...)
+	if ls.flushPending {
+		return
+	}
+	ls.flushPending = true
+	e.simulator.Schedule(e.cfg.UpdateBatchWindow, func() {
+		batch := ls.pendingUpdates
+		ls.pendingUpdates = nil
+		ls.flushPending = false
+		e.network.ToCentral(site, func() { p.centralApply(site, batch) })
+	})
+}
+
+// centralApply processes an asynchronous update message from a local site:
+// invalidate central locks on the updated elements (mark holders for abort),
+// install the update, and acknowledge so the site can lower its coherence
+// counts.
+func (p propagator) centralApply(site int, updates []uint32) {
+	e := p.e
+	if e.cfg.UpdateProcInstr > 0 {
+		// Message handling consumes central CPU before the update applies
+		// (per message, which is what batching amortises).
+		e.central.cpu.Submit(e.cfg.UpdateProcInstr, func() { p.applyNow(site, updates) })
+		return
+	}
+	p.applyNow(site, updates)
+}
+
+// applyNow performs the §2 invalidate-apply-acknowledge step of an
+// asynchronous update message.
+func (p propagator) applyNow(site int, updates []uint32) {
+	e := p.e
+	for _, elem := range updates {
+		for _, holder := range e.central.locks.Holders(elem) {
+			if vt, ok := e.central.running[holder]; ok {
+				vt.marked = true
+			}
+			e.central.locks.Release(holder, elem)
+		}
+	}
+	if e.Detailed() {
+		e.emit(trace.UpdateApplied, 0, -1, 0, fmt.Sprintf("%d elements from site %d", len(updates), site))
+	}
+	snap := p.snapshotCentral()
+	e.network.ToSite(site, func() {
+		ls := e.sites[site]
+		if e.cfg.Feedback == FeedbackAllMessages {
+			ls.refreshView(snap)
+		}
+		for _, elem := range updates {
+			ls.locks.DecrCoherence(elem)
+		}
+		e.emit(trace.UpdateAcked, 0, site, 0, "")
+	})
+}

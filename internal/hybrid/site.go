@@ -1,0 +1,119 @@
+package hybrid
+
+// The site layer: runtime state of the local sites and the central computing
+// complex, their server construction, and the strategy's view of them. No
+// transaction-lifecycle logic lives here.
+
+import (
+	"hybriddb/internal/cpu"
+	"hybriddb/internal/lock"
+	"hybriddb/internal/routing"
+	"hybriddb/internal/sim"
+)
+
+// localSite is one distributed system.
+type localSite struct {
+	idx   int
+	cpu   *cpu.Server
+	disks []*cpu.Server // empty: pure-delay I/O (the paper's assumption)
+	locks *lock.Manager
+
+	inSystem int                 // n_i: class A transactions present
+	running  map[lock.ID]*txnRun // transactions executing here
+
+	shippedOut int // class A transactions currently shipped from here
+
+	// Stale view of the central state, refreshed per the Feedback mode.
+	view centralSnapshot
+
+	lastLocalRT   float64
+	lastShippedRT float64
+
+	// Batched asynchronous updates awaiting the next flush
+	// (Config.UpdateBatchWindow > 0).
+	pendingUpdates []uint32
+	flushPending   bool
+
+	busyAtWarmup float64
+}
+
+// centralSite is the central computing complex.
+type centralSite struct {
+	cpu   *cpu.Server
+	disks []*cpu.Server
+	locks *lock.Manager
+
+	inSystem int // n_c: transactions present (class B + shipped class A)
+	running  map[lock.ID]*txnRun
+
+	busyAtWarmup float64
+}
+
+// newDisks builds a disk bank; disks are modelled as unit-rate servers whose
+// "instructions" equal the I/O time in microseconds-of-a-1MIPS-machine, so
+// Submit(seconds*1e6) serves for exactly seconds.
+func newDisks(s *sim.Simulator, n int) []*cpu.Server {
+	if n <= 0 {
+		return nil
+	}
+	disks := make([]*cpu.Server, n)
+	for i := range disks {
+		disks[i] = cpu.NewServer(s, 1)
+	}
+	return disks
+}
+
+// scheduleIO performs one I/O of the given duration keyed to elem: a pure
+// delay under the paper's assumption, or an FCFS wait at the disk holding
+// the element when a disk bank is configured.
+func scheduleIO(s *sim.Simulator, disks []*cpu.Server, elem uint32, seconds float64, done func()) {
+	if len(disks) == 0 {
+		s.Schedule(seconds, done)
+		return
+	}
+	disks[int(elem)%len(disks)].Submit(seconds*1e6, done)
+}
+
+// routingState assembles the strategy's view at the arrival site: local
+// fields observed directly, central fields from the site's (possibly stale)
+// snapshot unless the feedback mode is ideal.
+func (e *Engine) routingState(site int) routing.State {
+	ls := e.sites[site]
+	st := routing.State{
+		Now:           e.simulator.Now(),
+		Site:          site,
+		LocalQueue:    ls.cpu.QueueLength(),
+		LocalInSystem: ls.inSystem,
+		LocalLocks:    ls.locks.LocksHeld(),
+		LastLocalRT:   ls.lastLocalRT,
+		LastShippedRT: ls.lastShippedRT,
+	}
+	if e.cfg.Feedback == FeedbackIdeal {
+		st.CentralQueue = e.central.cpu.QueueLength()
+		st.CentralInSystem = e.central.inSystem
+		st.CentralLocks = e.central.locks.LocksHeld()
+		st.ViewAge = 0
+	} else {
+		st.CentralQueue = ls.view.queue
+		st.CentralInSystem = ls.view.inSystem
+		st.CentralLocks = ls.view.locks
+		st.ViewAge = e.simulator.Now() - ls.view.at
+	}
+	return st
+}
+
+// siteUtilizations computes per-site CPU utilizations over the measurement
+// window, for Result assembly.
+func siteUtilizations(sites []*localSite, window float64) (perSite []float64, mean, max float64) {
+	perSite = make([]float64, len(sites))
+	var busy float64
+	for i, ls := range sites {
+		u := (ls.cpu.BusyTime() - ls.busyAtWarmup) / window
+		perSite[i] = u
+		busy += u
+		if u > max {
+			max = u
+		}
+	}
+	return perSite, busy / float64(len(sites)), max
+}

@@ -1,0 +1,56 @@
+package hybrid
+
+// Shared transaction-lifecycle state: the per-transaction phase machine that
+// both execution paths (local_path.go, central_path.go) and the commit
+// protocol (commit.go) drive.
+
+import (
+	"hybriddb/internal/hybrid/obs"
+	"hybriddb/internal/lock"
+	"hybriddb/internal/workload"
+)
+
+// txnPhase tracks where a transaction is in its lifecycle, for invariant
+// checking and abort bookkeeping.
+type txnPhase uint8
+
+const (
+	phaseSetup txnPhase = iota + 1
+	phaseExecuting
+	phaseLockWait
+	phaseAuthWait
+	phaseDone
+)
+
+// txnRun is the runtime state of one transaction.
+type txnRun struct {
+	spec      *workload.Txn
+	arrivedAt float64
+	shipped   bool // executing at the central site
+	attempt   int  // 1 on the first execution
+	phase     txnPhase
+
+	// marked is the §2 "marked for abort" flag, set by a committed
+	// conflicting action at the other tier (authentication seizure for
+	// local transactions, asynchronous-update invalidation for central
+	// ones). Checked at commit.
+	marked bool
+
+	// Authentication state (central executions only).
+	authPending int
+	authNACK    bool
+	authSeized  []int // sites where locks were seized and must be released
+
+	lockWaitFrom float64 // set while phase == phaseLockWait
+}
+
+func (t *txnRun) id() lock.ID { return lock.ID(t.spec.ID) }
+
+// recordLockWait closes a blocking lock wait (if one was open) and returns
+// the transaction to the executing phase.
+func (e *Engine) recordLockWait(t *txnRun) {
+	if t.phase == phaseLockWait {
+		e.observe(obs.Event{Kind: obs.LockWaitEnd, Value: e.simulator.Now() - t.lockWaitFrom})
+	}
+	t.phase = phaseExecuting
+}

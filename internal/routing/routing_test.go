@@ -27,8 +27,11 @@ func TestDecisionString(t *testing.T) {
 	if RunLocal.String() != "local" || Ship.String() != "ship" {
 		t.Fatal("decision strings wrong")
 	}
-	if Decision(9).String() == "" {
-		t.Fatal("unknown decision empty")
+	if got := Decision(9).String(); got != "Decision(9)" {
+		t.Fatalf("unknown decision = %q, want %q", got, "Decision(9)")
+	}
+	if got := Decision(0).String(); got != "Decision(0)" {
+		t.Fatalf("zero decision = %q, want %q", got, "Decision(0)")
 	}
 }
 
