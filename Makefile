@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build test vet race smoke check bench figures
+# Hot-path packages measured by the benchmark trajectory (BENCH_*.json).
+BENCH_PKGS = ./internal/sim ./internal/lock ./internal/cpu ./internal/hybrid
+
+.PHONY: all build test vet race smoke bench-smoke check bench figures
 
 all: build test
 
@@ -26,10 +29,19 @@ race:
 smoke:
 	$(GO) run ./cmd/figures -quick -fig 4.2 -reps 2 -parallel 4
 
-check: vet race smoke
+# One-iteration benchmark pass: keeps every benchmark compiling and running
+# without paying for statistically meaningful timings.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' $(BENCH_PKGS)
 
+check: vet race smoke bench-smoke
+
+# Full benchmark run over the hot-path packages, recorded as a
+# machine-readable summary (BENCH_pr3.json) diffed against the committed
+# pre-PR baseline in bench/baseline_pr2.txt. See DESIGN.md "Performance".
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -run='^$$' $(BENCH_PKGS) | tee bench/current.txt
+	$(GO) run ./cmd/benchjson -label pr3 -baseline bench/baseline_pr2.txt -o BENCH_pr3.json bench/current.txt
 
 # Full-length regeneration of every figure (about 5 minutes serially; use
 # REPS/PARALLEL to replicate and fan out, e.g. make figures REPS=5).

@@ -1,0 +1,201 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// machine-readable JSON summary, optionally comparing against a baseline
+// bench output to compute per-benchmark deltas. It is the recording half of
+// the repository's benchmark trajectory: each perf PR captures its numbers
+// in a BENCH_<pr>.json so speedups are measured, not asserted.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson -label pr3 -o BENCH_pr3.json
+//	benchjson -baseline bench/baseline_pr2.txt -label pr3 current.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one benchmark's figures.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// Entry is one benchmark in the summary, with an optional baseline and the
+// resulting deltas (negative percentages are improvements).
+type Entry struct {
+	Package string       `json:"package"`
+	Name    string       `json:"name"`
+	Current Measurement  `json:"current"`
+	Base    *Measurement `json:"baseline,omitempty"`
+
+	DeltaNsPct     *float64 `json:"delta_ns_pct,omitempty"`
+	DeltaBytesPct  *float64 `json:"delta_bytes_pct,omitempty"`
+	DeltaAllocsPct *float64 `json:"delta_allocs_pct,omitempty"`
+}
+
+// Summary is the emitted document.
+type Summary struct {
+	Label      string  `json:"label"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkScheduleStep-8   12345678   95.2 ns/op   0 B/op   0 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so runs from machines with different
+// core counts still line up against a baseline.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		out      = fs.String("o", "", "output file (default stdout)")
+		label    = fs.String("label", "", "summary label, e.g. the PR being measured")
+		baseline = fs.String("baseline", "", "baseline bench output to diff against")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var current map[string]Measurement
+	var order []string
+	var err error
+	switch fs.NArg() {
+	case 0:
+		current, order, err = parseBench(stdin)
+	case 1:
+		current, order, err = parseBenchFile(fs.Arg(0))
+	default:
+		return fmt.Errorf("at most one input file, got %d", fs.NArg())
+	}
+	if err != nil {
+		return err
+	}
+	if len(order) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	var base map[string]Measurement
+	if *baseline != "" {
+		base, _, err = parseBenchFile(*baseline)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+	}
+
+	summary := Summary{Label: *label}
+	for _, key := range order {
+		cur := current[key]
+		pkg, name := splitKey(key)
+		e := Entry{Package: pkg, Name: name, Current: cur}
+		if b, ok := base[key]; ok {
+			b := b
+			e.Base = &b
+			e.DeltaNsPct = deltaPct(cur.NsPerOp, b.NsPerOp)
+			e.DeltaBytesPct = deltaPct(cur.BytesPerOp, b.BytesPerOp)
+			e.DeltaAllocsPct = deltaPct(cur.AllocsPerOp, b.AllocsPerOp)
+		}
+		summary.Benchmarks = append(summary.Benchmarks, e)
+	}
+
+	buf, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		_, err = stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(*out, buf, 0o644)
+}
+
+// deltaPct returns 100*(cur-base)/base, or nil when base is zero (a delta
+// against zero is meaningless; zero-alloc baselines stay zero or regress to
+// a bare current value the reader can see directly).
+func deltaPct(cur, base float64) *float64 {
+	if base == 0 {
+		return nil
+	}
+	d := 100 * (cur - base) / base
+	return &d
+}
+
+func splitKey(key string) (pkg, name string) {
+	if i := strings.LastIndex(key, " "); i >= 0 {
+		return key[:i], key[i+1:]
+	}
+	return "", key
+}
+
+func parseBenchFile(path string) (map[string]Measurement, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return parseBench(f)
+}
+
+// parseBench extracts benchmark measurements keyed by "package name". The
+// `pkg:` header lines that `go test` prints qualify subsequent benchmarks;
+// input without headers (a single package's output) keys by bare name.
+func parseBench(r io.Reader) (map[string]Measurement, []string, error) {
+	got := make(map[string]Measurement)
+	var order []string
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad iteration count in %q", line)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad ns/op in %q", line)
+		}
+		meas := Measurement{NsPerOp: ns, Iterations: iters}
+		if m[4] != "" {
+			meas.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			meas.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		key := m[1]
+		if pkg != "" {
+			key = pkg + " " + m[1]
+		}
+		if _, dup := got[key]; !dup {
+			order = append(order, key)
+		}
+		got[key] = meas
+	}
+	return got, order, sc.Err()
+}

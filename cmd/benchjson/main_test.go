@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleCurrent = `goos: linux
+goarch: amd64
+pkg: hybriddb/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScheduleStep-8    	12000000	        95.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	hybriddb/internal/sim	2.1s
+pkg: hybriddb/internal/hybrid
+BenchmarkEngineObserversOff    	     100	  10000000 ns/op	 2000000 B/op	   40000 allocs/op
+PASS
+`
+
+const sampleBaseline = `pkg: hybriddb/internal/sim
+BenchmarkScheduleStep-4    	 9000000	       120.0 ns/op	      48 B/op	       1 allocs/op
+pkg: hybriddb/internal/hybrid
+BenchmarkEngineObserversOff-4  	      75	  16000000 ns/op	 6000000 B/op	  120000 allocs/op
+`
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseAndDiff(t *testing.T) {
+	cur := writeFile(t, "cur.txt", sampleCurrent)
+	base := writeFile(t, "base.txt", sampleBaseline)
+	out := filepath.Join(t.TempDir(), "out.json")
+
+	if err := run([]string{"-label", "pr3", "-baseline", base, "-o", out, cur}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if s.Label != "pr3" {
+		t.Errorf("label %q, want pr3", s.Label)
+	}
+	if len(s.Benchmarks) != 2 {
+		t.Fatalf("%d benchmarks, want 2", len(s.Benchmarks))
+	}
+
+	sched := s.Benchmarks[0]
+	if sched.Package != "hybriddb/internal/sim" || sched.Name != "BenchmarkScheduleStep" {
+		t.Fatalf("first benchmark = %s %s", sched.Package, sched.Name)
+	}
+	if sched.Current.NsPerOp != 95.0 || sched.Current.AllocsPerOp != 0 {
+		t.Errorf("current measurement wrong: %+v", sched.Current)
+	}
+	if sched.Base == nil || sched.Base.NsPerOp != 120.0 {
+		t.Fatalf("baseline not matched across GOMAXPROCS suffixes: %+v", sched.Base)
+	}
+	// allocs went 1 -> 0: -100%.
+	if sched.DeltaAllocsPct == nil || *sched.DeltaAllocsPct != -100 {
+		t.Errorf("DeltaAllocsPct = %v, want -100", sched.DeltaAllocsPct)
+	}
+
+	eng := s.Benchmarks[1]
+	if eng.DeltaAllocsPct == nil {
+		t.Fatal("engine delta missing")
+	}
+	// 40000 vs 120000 allocs: -66.7%.
+	if got := *eng.DeltaAllocsPct; got > -66 || got < -67 {
+		t.Errorf("engine DeltaAllocsPct = %v, want about -66.7", got)
+	}
+	if eng.DeltaNsPct == nil || *eng.DeltaNsPct >= 0 {
+		t.Errorf("engine DeltaNsPct = %v, want negative", eng.DeltaNsPct)
+	}
+}
+
+func TestNoBaselineOmitsDeltas(t *testing.T) {
+	cur := writeFile(t, "cur.txt", sampleCurrent)
+	var sb strings.Builder
+	if err := run([]string{cur}, nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal([]byte(sb.String()), &s); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range s.Benchmarks {
+		if b.Base != nil || b.DeltaNsPct != nil {
+			t.Errorf("benchmark %s has baseline fields without -baseline", b.Name)
+		}
+	}
+}
+
+func TestZeroBaselineDeltaOmitted(t *testing.T) {
+	// A zero-alloc baseline must not produce a divide-by-zero delta.
+	cur := writeFile(t, "cur.txt", "pkg: p\nBenchmarkX \t 10\t 5.0 ns/op\t 8 B/op\t 1 allocs/op\n")
+	base := writeFile(t, "base.txt", "pkg: p\nBenchmarkX \t 10\t 4.0 ns/op\t 0 B/op\t 0 allocs/op\n")
+	var sb strings.Builder
+	if err := run([]string{"-baseline", base, cur}, nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal([]byte(sb.String()), &s); err != nil {
+		t.Fatal(err)
+	}
+	b := s.Benchmarks[0]
+	if b.DeltaAllocsPct != nil || b.DeltaBytesPct != nil {
+		t.Error("delta against a zero baseline should be omitted")
+	}
+	if b.DeltaNsPct == nil || *b.DeltaNsPct != 25 {
+		t.Errorf("DeltaNsPct = %v, want 25", b.DeltaNsPct)
+	}
+}
+
+func TestEmptyInputFails(t *testing.T) {
+	cur := writeFile(t, "cur.txt", "no benchmarks here\n")
+	if err := run([]string{cur}, nil, nil); err == nil {
+		t.Fatal("empty input did not error")
+	}
+}

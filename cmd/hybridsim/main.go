@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
 
@@ -42,6 +44,8 @@ func run(args []string, out io.Writer) error {
 		feedback = fs.String("feedback", "auth-only", "central-state feedback: auth-only, all-messages, ideal")
 		check    = fs.Bool("selfcheck", false, "run simulator invariant checks (slower)")
 		parallel = fs.Int("parallel", 0, "worker goroutines for replications (0 = GOMAXPROCS); affects speed only, never results")
+		cpuprof  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprof  = fs.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 	)
 	var reps int
 	fs.IntVar(&reps, "replications", 1, "independent replications (>1 adds confidence intervals)")
@@ -75,6 +79,37 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	// Profiling hooks: hot-path regressions in the event kernel, lock
+	// manager, or lifecycle layers are diagnosed with pprof on a real run
+	// rather than by editing benchmark code.
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			// An explicit GC makes the heap profile reflect live steady-state
+			// structures (pools, heaps, tables) instead of collectible garbage.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hybridsim: memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
+
 	if reps > 1 {
 		summary, err := replicate.RunParallel(cfg, maker.Make, reps, *parallel)
 		if err != nil {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -64,6 +66,40 @@ func TestRunRejectsBadInput(t *testing.T) {
 		if err := run(args, &buf); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-rate", "0.8", "-warmup", "5", "-duration", "20",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestRunRejectsBadProfilePath(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-rate", "0.8", "-warmup", "5", "-duration", "10",
+		"-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.prof"),
+	}, &buf)
+	if err == nil {
+		t.Fatal("unwritable cpuprofile path accepted")
 	}
 }
 

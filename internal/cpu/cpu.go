@@ -14,7 +14,10 @@ import (
 	"hybriddb/internal/sim"
 )
 
-// Job is a queued or running CPU burst.
+// Job is a queued or running CPU burst. Job objects are owned and pooled by
+// the Server: once a burst completes or is cancelled, its Job may be reused
+// for a later Submit, so a retained handle is only meaningful while the
+// burst is pending.
 type Job struct {
 	instructions float64
 	done         func()
@@ -38,6 +41,12 @@ type Server struct {
 	queue   []*Job
 	current *Job
 
+	// freeJobs recycles Job objects across bursts; onFinish is the single
+	// completion closure shared by every dispatch (it reads current), so the
+	// steady-state Submit/dispatch/finish cycle performs no allocations.
+	freeJobs []*Job
+	onFinish func()
+
 	// accounting
 	busySince float64
 	busyTime  float64
@@ -54,7 +63,9 @@ func NewServer(s *sim.Simulator, mips float64) *Server {
 	if s == nil {
 		panic("cpu: nil simulator")
 	}
-	return &Server{simulator: s, mips: mips}
+	c := &Server{simulator: s, mips: mips}
+	c.onFinish = c.finish
+	return c
 }
 
 // MIPS returns the processor speed.
@@ -68,7 +79,9 @@ func (c *Server) ServiceTime(instructions float64) float64 {
 
 // Submit enqueues a burst of the given number of instructions; done runs when
 // the burst completes. Zero-instruction bursts complete through the queue
-// like any other (they still model a dispatch).
+// like any other (they still model a dispatch). The returned Job is valid
+// for Cancel only while the burst is pending; the server reuses Job storage
+// after completion.
 func (c *Server) Submit(instructions float64, done func()) *Job {
 	if instructions < 0 {
 		panic(fmt.Sprintf("cpu: negative burst %v", instructions))
@@ -76,7 +89,16 @@ func (c *Server) Submit(instructions float64, done func()) *Job {
 	if done == nil {
 		panic("cpu: nil completion callback")
 	}
-	j := &Job{instructions: instructions, done: done, state: jobQueued}
+	var j *Job
+	if n := len(c.freeJobs); n > 0 {
+		j = c.freeJobs[n-1]
+		c.freeJobs = c.freeJobs[:n-1]
+	} else {
+		j = &Job{}
+	}
+	j.instructions = instructions
+	j.done = done
+	j.state = jobQueued
 	c.queue = append(c.queue, j)
 	if c.current == nil {
 		c.dispatch()
@@ -92,8 +114,12 @@ func (c *Server) Cancel(j *Job) bool {
 	}
 	for i, q := range c.queue {
 		if q == j {
-			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			copy(c.queue[i:], c.queue[i+1:])
+			c.queue[len(c.queue)-1] = nil
+			c.queue = c.queue[:len(c.queue)-1]
 			j.state = jobCancelled
+			j.done = nil
+			c.freeJobs = append(c.freeJobs, j)
 			return true
 		}
 	}
@@ -103,7 +129,9 @@ func (c *Server) Cancel(j *Job) bool {
 func (c *Server) dispatch() {
 	for len(c.queue) > 0 {
 		j := c.queue[0]
-		c.queue = c.queue[1:]
+		copy(c.queue, c.queue[1:])
+		c.queue[len(c.queue)-1] = nil
+		c.queue = c.queue[:len(c.queue)-1]
 		if j.state != jobQueued {
 			continue
 		}
@@ -111,18 +139,22 @@ func (c *Server) dispatch() {
 		c.current = j
 		c.busySince = c.simulator.Now()
 		c.started++
-		c.simulator.Schedule(c.ServiceTime(j.instructions), func() { c.finish(j) })
+		// onFinish is one shared closure over the server; the running job is
+		// identified by c.current, which is stable until it fires.
+		c.simulator.Schedule(c.ServiceTime(j.instructions), c.onFinish)
 		return
 	}
 }
 
-func (c *Server) finish(j *Job) {
+func (c *Server) finish() {
+	j := c.current
 	j.state = jobDone
 	c.busyTime += c.simulator.Now() - c.busySince
 	c.completed++
 	c.current = nil
 	done := j.done
 	j.done = nil
+	c.freeJobs = append(c.freeJobs, j)
 	// Dispatch the next job before running the callback so that queue-length
 	// observations made inside the callback see a consistent state.
 	c.dispatch()

@@ -149,13 +149,17 @@ func (c commitProtocol) reply(t *txnRun, site int, nack bool) {
 func (c commitProtocol) releaseAuthLocks(t *txnRun) {
 	e := c.e
 	snap := e.prop.snapshotCentral()
+	// Capture the ID, not the run: the run is pooled, and by the time this
+	// message arrives the transaction may have restarted, committed, and
+	// been recycled for a different transaction.
+	tid := t.id()
 	for _, site := range t.authSeized {
 		site := site
 		e.network.ToSite(site, func() {
 			if e.cfg.Feedback == FeedbackAllMessages {
 				e.sites[site].refreshView(snap)
 			}
-			e.sites[site].locks.ReleaseAll(t.id())
+			e.sites[site].locks.ReleaseAll(tid)
 		})
 	}
 	t.authSeized = t.authSeized[:0]
@@ -168,13 +172,14 @@ func (c commitProtocol) releaseAuthLocks(t *txnRun) {
 func (c commitProtocol) finish(t *txnRun) {
 	e := c.e
 	snap := e.prop.snapshotCentral()
+	tid := t.id() // the run is pooled; delayed messages carry the ID by value
 	for _, site := range t.authSeized {
 		site := site
 		e.network.ToSite(site, func() {
 			if e.cfg.Feedback == FeedbackAllMessages {
 				e.sites[site].refreshView(snap)
 			}
-			e.sites[site].locks.ReleaseAll(t.id())
+			e.sites[site].locks.ReleaseAll(tid)
 		})
 	}
 	t.authSeized = t.authSeized[:0]
@@ -201,5 +206,9 @@ func (c commitProtocol) finish(t *txnRun) {
 			ls.lastShippedRT = rt
 		}
 		e.observe(obs.Event{Kind: obs.TxnReply, ClassB: classB, Value: rt})
+		// The reply is the last touch: the seized-lock releases above were
+		// scheduled earlier at the same instant over equal-delay links, so
+		// FIFO tie-breaking guarantees they have already run.
+		e.recycleTxnRun(t)
 	})
 }

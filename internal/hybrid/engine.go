@@ -58,6 +58,11 @@ type Engine struct {
 	replayTxns [][]*workload.Txn
 	replayGaps [][]float64
 
+	// txnFree recycles txnRun objects across transactions: a run returned
+	// here at commit is reset and reused by a later arrival, keeping the
+	// per-transaction state off the allocator in steady state.
+	txnFree []*txnRun
+
 	generated uint64
 	completed uint64
 	// Transactions in transit: shipped inputs not yet at central, and
@@ -292,7 +297,7 @@ func (e *Engine) scheduleSelfCheck() {
 func (e *Engine) admit(spec *workload.Txn) {
 	site := spec.HomeSite
 	e.generated++
-	t := &txnRun{spec: spec, arrivedAt: e.simulator.Now(), attempt: 1, phase: phaseSetup}
+	t := e.newTxnRun(spec)
 	if e.Detailed() {
 		e.emit(trace.Arrive, spec.ID, site, 0, "class "+spec.Class.String())
 	}

@@ -115,6 +115,7 @@ func (p localPath) commit(t *txnRun) {
 	delete(ls.running, t.id())
 	e.completed++
 	e.observe(obs.Event{Kind: obs.TxnLocalCommit, Site: ls.idx, Value: rt})
+	e.recycleTxnRun(t)
 }
 
 // restart re-runs a cross-site-aborted local transaction. Locks other than

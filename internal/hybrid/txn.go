@@ -46,6 +46,34 @@ type txnRun struct {
 
 func (t *txnRun) id() lock.ID { return lock.ID(t.spec.ID) }
 
+// newTxnRun takes a run object off the free list (or allocates the pool's
+// first generation) and initializes it for an arriving transaction.
+func (e *Engine) newTxnRun(spec *workload.Txn) *txnRun {
+	var t *txnRun
+	if n := len(e.txnFree); n > 0 {
+		t = e.txnFree[n-1]
+		e.txnFree = e.txnFree[:n-1]
+		seized := t.authSeized[:0]
+		*t = txnRun{authSeized: seized}
+	} else {
+		t = &txnRun{}
+	}
+	t.spec = spec
+	t.arrivedAt = e.simulator.Now()
+	t.attempt = 1
+	t.phase = phaseSetup
+	return t
+}
+
+// recycleTxnRun returns a completed run to the pool. Callers must guarantee
+// no live reference remains: the run is off every running map and every
+// closure that could still fire captures the transaction ID by value, never
+// the run object.
+func (e *Engine) recycleTxnRun(t *txnRun) {
+	t.spec = nil
+	e.txnFree = append(e.txnFree, t)
+}
+
 // recordLockWait closes a blocking lock wait (if one was open) and returns
 // the transaction to the executing phase.
 func (e *Engine) recordLockWait(t *txnRun) {

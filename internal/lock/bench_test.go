@@ -1,0 +1,83 @@
+package lock
+
+import "testing"
+
+// BenchmarkAcquireRelease measures the uncontended grant/release cycle —
+// the lock manager's common case — over a rotating set of elements and
+// transactions so the entry pool and held-set pool both cycle.
+func BenchmarkAcquireRelease(b *testing.B) {
+	m := NewManager()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := ID(i % 64)
+		elem := uint32(i % 509)
+		if m.Acquire(id, elem, Exclusive, nil) != Granted {
+			b.Fatal("uncontended acquire not granted")
+		}
+		m.Release(id, elem)
+	}
+}
+
+// BenchmarkTxnLifecycle measures a transaction-shaped pattern: acquire a
+// handful of locks, then ReleaseAll, as the engine does at every commit and
+// abort.
+func BenchmarkTxnLifecycle(b *testing.B) {
+	m := NewManager()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := ID(i % 32)
+		base := uint32(i%97) * 8
+		for k := uint32(0); k < 8; k++ {
+			mode := Share
+			if k%4 == 0 {
+				mode = Exclusive
+			}
+			if m.Acquire(id, base+k, mode, nil) != Granted {
+				b.Fatal("acquire not granted")
+			}
+		}
+		m.ReleaseAll(id)
+	}
+}
+
+// BenchmarkSeize measures the authentication-phase grab against a standing
+// population of share holders.
+func BenchmarkSeize(b *testing.B) {
+	m := NewManager()
+	const elem = 1
+	holders := []ID{10, 20, 30, 40}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, id := range holders {
+			if m.Acquire(id, elem, Share, nil) != Granted {
+				b.Fatal("share acquire not granted")
+			}
+		}
+		central := ID(1000 + i%16)
+		victims, ok := m.Seize(central, elem, Exclusive)
+		if !ok || len(victims) != len(holders) {
+			b.Fatalf("seize: ok=%v victims=%d", ok, len(victims))
+		}
+		m.ReleaseAll(central)
+	}
+}
+
+// BenchmarkContendedQueue measures the queue/grant path: a standing
+// exclusive holder, a waiter that blocks, then release-and-grant.
+func BenchmarkContendedQueue(b *testing.B) {
+	m := NewManager()
+	const elem = 7
+	nop := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a, c := ID(2*(i%100)), ID(2*(i%100)+1)
+		if m.Acquire(a, elem, Exclusive, nil) != Granted {
+			b.Fatal("holder not granted")
+		}
+		if m.Acquire(c, elem, Exclusive, nop) != Queued {
+			b.Fatal("conflicting request not queued")
+		}
+		m.Release(a, elem) // grants c
+		m.Release(c, elem)
+	}
+}

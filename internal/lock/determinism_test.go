@@ -1,0 +1,124 @@
+package lock
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildRandomized populates a manager with share holders on one element,
+// granting them in a randomized arrival order.
+func buildRandomized(rng *rand.Rand, elem uint32, ids []ID) *Manager {
+	m := NewManager()
+	order := make([]ID, len(ids))
+	copy(order, ids)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	for _, id := range order {
+		if got := m.Acquire(id, elem, Share, nil); got != Granted {
+			panic("share lock not granted")
+		}
+	}
+	return m
+}
+
+// TestHoldersOrderDeterministic asserts that Holders reports ascending ID
+// order on every one of 100 randomized grant orders — the sorted-slice
+// representation makes the order a construction invariant, not a per-call
+// sort.
+func TestHoldersOrderDeterministic(t *testing.T) {
+	ids := []ID{42, 7, 1003, 5, 88, 219, 64, 11}
+	const elem = 9
+	for run := 0; run < 100; run++ {
+		rng := rand.New(rand.NewSource(int64(run)))
+		m := buildRandomized(rng, elem, ids)
+		got := m.Holders(elem)
+		if len(got) != len(ids) {
+			t.Fatalf("run %d: %d holders, want %d", run, len(got), len(ids))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Fatalf("run %d: Holders not in ascending order: %v", run, got)
+			}
+		}
+		if run > 0 {
+			// Same set, any arrival order => identical report.
+			want := []ID{5, 7, 11, 42, 64, 88, 219, 1003}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("run %d: Holders = %v, want %v", run, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSeizeVictimOrderDeterministic asserts the Seize victim list comes out
+// in ascending ID order regardless of the (randomized) order in which the
+// victims acquired their locks, across 100 runs. The victim order feeds
+// mark-for-abort events into the simulator's FIFO tie-break, so any
+// nondeterminism here makes whole simulation trajectories irreproducible.
+func TestSeizeVictimOrderDeterministic(t *testing.T) {
+	ids := []ID{330, 12, 75, 2001, 9, 154, 48}
+	const elem, central = 3, ID(999999)
+	for run := 0; run < 100; run++ {
+		rng := rand.New(rand.NewSource(int64(1000 + run)))
+		m := buildRandomized(rng, elem, ids)
+		victims, ok := m.Seize(central, elem, Exclusive)
+		if !ok {
+			t.Fatalf("run %d: seize failed with zero coherence", run)
+		}
+		if len(victims) != len(ids) {
+			t.Fatalf("run %d: %d victims, want %d", run, len(victims), len(ids))
+		}
+		want := []ID{9, 12, 48, 75, 154, 330, 2001}
+		for i := range want {
+			if victims[i] != want[i] {
+				t.Fatalf("run %d: victims = %v, want %v", run, victims, want)
+			}
+		}
+		if mode, held := m.Holds(central, elem); !held || mode != Exclusive {
+			t.Fatalf("run %d: central holder missing after seize", run)
+		}
+	}
+}
+
+// TestReleaseAllOrderDeterministic asserts ReleaseAll walks a transaction's
+// locks in ascending element order for any acquisition order: waiters queued
+// behind each element are granted in exactly that sequence.
+func TestReleaseAllOrderDeterministic(t *testing.T) {
+	elems := []uint32{17, 3, 99, 41, 8}
+	const owner, waiter = ID(1), ID(2)
+	for run := 0; run < 100; run++ {
+		rng := rand.New(rand.NewSource(int64(2000 + run)))
+		m := NewManager()
+		order := make([]uint32, len(elems))
+		copy(order, elems)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, elem := range order {
+			if got := m.Acquire(owner, elem, Exclusive, nil); got != Granted {
+				t.Fatalf("run %d: owner not granted %d", run, elem)
+			}
+		}
+		// One waiter per element, queued behind the owner; grant order on
+		// ReleaseAll reveals the release order. A transaction waits on one
+		// element at a time, so use distinct waiter IDs.
+		var grants []uint32
+		for i, elem := range elems {
+			elem := elem
+			w := waiter + ID(i)
+			if got := m.Acquire(w, elem, Share, func() { grants = append(grants, elem) }); got != Queued {
+				t.Fatalf("run %d: waiter on %d not queued (got %v)", run, elem, got)
+			}
+		}
+		m.ReleaseAll(owner)
+		want := []uint32{3, 8, 17, 41, 99}
+		if len(grants) != len(want) {
+			t.Fatalf("run %d: %d grants, want %d", run, len(grants), len(want))
+		}
+		for i := range want {
+			if grants[i] != want[i] {
+				t.Fatalf("run %d: release order %v, want %v", run, grants, want)
+			}
+		}
+		m.CheckInvariants()
+	}
+}

@@ -14,11 +14,16 @@
 // locks). Cross-site conflicts are resolved by Seize: the authentication
 // phase of a central/shipped transaction takes the lock away from local
 // holders, which are reported back as victims to be marked for abort.
+//
+// Hot-path representation: holders and per-transaction lock sets are small
+// slices kept sorted by construction (not maps sorted per call), so every
+// iteration order — ReleaseAll, Seize victims, Holders — is deterministic
+// without any sorting, and entry objects are pooled across lock lifetimes
+// so steady-state operation does not allocate.
 package lock
 
 import (
 	"fmt"
-	"sort"
 )
 
 // ID identifies a transaction to the lock manager.
@@ -70,8 +75,23 @@ type request struct {
 	onGrant func()
 }
 
+// holder is one granted lock on an element. entry.holders is kept sorted by
+// id, so victim and holder enumeration orders are deterministic by
+// construction.
+type holder struct {
+	id   ID
+	mode Mode
+}
+
+// heldElem is one element in a transaction's lock set, kept sorted by elem
+// so ReleaseAll releases in ascending element order without sorting.
+type heldElem struct {
+	elem uint32
+	mode Mode
+}
+
 type entry struct {
-	holders   map[ID]Mode
+	holders   []holder // sorted by id ascending
 	queue     []request
 	coherence int
 }
@@ -80,23 +100,61 @@ func (e *entry) empty() bool {
 	return len(e.holders) == 0 && len(e.queue) == 0 && e.coherence == 0
 }
 
+// findHolder returns the position of id in the sorted holders slice, or the
+// insertion point and false.
+func (e *entry) findHolder(id ID) (int, bool) {
+	lo, hi := 0, len(e.holders)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if e.holders[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(e.holders) && e.holders[lo].id == id
+}
+
+// findHeld returns the position of elem in the sorted held slice, or the
+// insertion point and false.
+func findHeld(h []heldElem, elem uint32) (int, bool) {
+	lo, hi := 0, len(h)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h[mid].elem < elem {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(h) && h[lo].elem == elem
+}
+
 // Manager is the lock manager for one site. It is not safe for concurrent
 // use; the discrete-event simulation is single-threaded by design.
 type Manager struct {
 	table map[uint32]*entry
-	// held tracks, per transaction, the elements it holds and in what mode.
-	held map[ID]map[uint32]Mode
+	// held tracks, per transaction, the elements it holds and in what mode,
+	// as a slice sorted by element.
+	held map[ID][]heldElem
 	// waitingOn maps a blocked transaction to the element it waits for.
 	// A transaction requests locks sequentially, so it waits on at most one.
 	waitingOn map[ID]uint32
 	granted   int // total granted locks, kept incrementally
+
+	// Object pools: entries and held slices cycle through short lifetimes
+	// (one lock span, one transaction), so recycling them keeps the
+	// steady-state Acquire/Release path allocation-free.
+	freeEntries []*entry
+	freeHeld    [][]heldElem
+	victimBuf   []ID
 }
 
 // NewManager returns an empty lock manager.
 func NewManager() *Manager {
 	return &Manager{
 		table:     make(map[uint32]*entry),
-		held:      make(map[ID]map[uint32]Mode),
+		held:      make(map[ID][]heldElem),
 		waitingOn: make(map[ID]uint32),
 	}
 }
@@ -104,51 +162,81 @@ func NewManager() *Manager {
 func (m *Manager) entry(elem uint32) *entry {
 	e := m.table[elem]
 	if e == nil {
-		e = &entry{holders: make(map[ID]Mode, 1)}
+		if n := len(m.freeEntries); n > 0 {
+			e = m.freeEntries[n-1]
+			m.freeEntries = m.freeEntries[:n-1]
+		} else {
+			e = &entry{}
+		}
 		m.table[elem] = e
 	}
 	return e
 }
 
-// maybeDrop removes an empty entry from the table. The identity check
-// matters: grant callbacks fired inside grantWaiters can re-enter the
-// manager, drop this entry, and install a fresh one under the same element
-// (e.g. a commit that releases the lock and then raises the element's
-// coherence count); dropping by key alone would destroy that new entry.
+// maybeDrop removes an empty entry from the table and recycles it. The
+// identity check matters: grant callbacks fired inside grantWaiters can
+// re-enter the manager, drop this entry, and install a fresh one under the
+// same element (e.g. a commit that releases the lock and then raises the
+// element's coherence count); dropping by key alone would destroy that new
+// entry. Recycling is always paired with the table delete, so an entry is
+// never simultaneously pooled and installed.
 func (m *Manager) maybeDrop(elem uint32, e *entry) {
 	if e.empty() && m.table[elem] == e {
 		delete(m.table, elem)
+		e.holders = e.holders[:0]
+		e.queue = e.queue[:0]
+		e.coherence = 0
+		m.freeEntries = append(m.freeEntries, e)
 	}
 }
 
 func (m *Manager) addHolder(id ID, elem uint32, mode Mode, e *entry) {
-	if prev, ok := e.holders[id]; ok {
+	if i, ok := e.findHolder(id); ok {
 		// Upgrade: replace mode, total count unchanged.
-		if prev != mode {
-			e.holders[id] = mode
-			m.held[id][elem] = mode
+		if e.holders[i].mode != mode {
+			e.holders[i].mode = mode
+			h := m.held[id]
+			if j, ok := findHeld(h, elem); ok {
+				h[j].mode = mode
+			}
 		}
 		return
+	} else {
+		e.holders = append(e.holders, holder{})
+		copy(e.holders[i+1:], e.holders[i:])
+		e.holders[i] = holder{id: id, mode: mode}
 	}
-	e.holders[id] = mode
-	h := m.held[id]
-	if h == nil {
-		h = make(map[uint32]Mode, 4)
-		m.held[id] = h
+	h, ok := m.held[id]
+	if !ok && len(m.freeHeld) > 0 {
+		n := len(m.freeHeld)
+		h = m.freeHeld[n-1]
+		m.freeHeld = m.freeHeld[:n-1]
 	}
-	h[elem] = mode
+	j, _ := findHeld(h, elem)
+	h = append(h, heldElem{})
+	copy(h[j+1:], h[j:])
+	h[j] = heldElem{elem: elem, mode: mode}
+	m.held[id] = h
 	m.granted++
 }
 
 func (m *Manager) removeHolder(id ID, elem uint32, e *entry) {
-	if _, ok := e.holders[id]; !ok {
+	i, ok := e.findHolder(id)
+	if !ok {
 		return
 	}
-	delete(e.holders, id)
-	if h := m.held[id]; h != nil {
-		delete(h, elem)
-		if len(h) == 0 {
-			delete(m.held, id)
+	copy(e.holders[i:], e.holders[i+1:])
+	e.holders = e.holders[:len(e.holders)-1]
+	if h, ok := m.held[id]; ok {
+		if j, ok := findHeld(h, elem); ok {
+			copy(h[j:], h[j+1:])
+			h = h[:len(h)-1]
+			if len(h) == 0 {
+				delete(m.held, id)
+				m.freeHeld = append(m.freeHeld, h)
+			} else {
+				m.held[id] = h
+			}
 		}
 	}
 	m.granted--
@@ -164,7 +252,8 @@ func (m *Manager) Acquire(id ID, elem uint32, mode Mode, onGrant func()) Outcome
 	}
 	e := m.entry(elem)
 
-	if cur, ok := e.holders[id]; ok {
+	if i, ok := e.findHolder(id); ok {
+		cur := e.holders[i].mode
 		if cur == Exclusive || mode == Share {
 			m.maybeDrop(elem, e)
 			return Granted // already strong enough
@@ -175,7 +264,7 @@ func (m *Manager) Acquire(id ID, elem uint32, mode Mode, onGrant func()) Outcome
 			return Granted
 		}
 		// Otherwise queue the upgrade like a fresh conflicting request.
-	} else if m.grantable(id, elem, mode, e) {
+	} else if m.grantable(id, mode, e) {
 		m.addHolder(id, elem, mode, e)
 		return Granted
 	}
@@ -196,16 +285,16 @@ func (m *Manager) Acquire(id ID, elem uint32, mode Mode, onGrant func()) Outcome
 // grantable reports whether a fresh request (no queue-jumping: only called
 // when the queue is empty or for queue-head scans) is compatible with the
 // current holders, ignoring id itself (upgrade case).
-func (m *Manager) grantable(id ID, elem uint32, mode Mode, e *entry) bool {
+func (m *Manager) grantable(id ID, mode Mode, e *entry) bool {
 	if len(e.queue) > 0 {
 		// FIFO fairness: a newcomer may not overtake waiting requests.
 		return false
 	}
-	for h, hm := range e.holders {
-		if h == id {
+	for _, h := range e.holders {
+		if h.id == id {
 			continue
 		}
-		if !Compatible(hm, mode) {
+		if !Compatible(h.mode, mode) {
 			return false
 		}
 	}
@@ -249,12 +338,12 @@ func (m *Manager) wouldDeadlock(start ID, elem uint32, mode Mode) bool {
 			}
 			return visit(next, nextElem, nm, pos)
 		}
-		for h, hm := range e.holders {
-			if h == id {
+		for _, h := range e.holders {
+			if h.id == id {
 				continue
 			}
-			if !Compatible(hm, waitMode) {
-				if step(h) {
+			if !Compatible(h.mode, waitMode) {
+				if step(h.id) {
 					return true
 				}
 			}
@@ -291,24 +380,18 @@ func (m *Manager) Release(id ID, elem uint32) {
 }
 
 // ReleaseAll gives up every lock id holds and cancels any pending request.
-// Used on deadlock abort (§4.1: all locks released).
+// Used on deadlock abort (§4.1: all locks released). The held set is sorted
+// by element, so repeatedly releasing its first entry walks the locks in
+// ascending element order — the deterministic order the simulation's FIFO
+// event tie-break requires — without sorting or copying.
 func (m *Manager) ReleaseAll(id ID) {
 	m.CancelRequest(id)
-	h := m.held[id]
-	if h == nil {
-		return
-	}
-	elems := make([]uint32, 0, len(h))
-	for elem := range h {
-		elems = append(elems, elem)
-	}
-	// Release in element order, not map-iteration order: each Release can
-	// grant waiters whose callbacks schedule same-time simulator events, and
-	// the event queue breaks ties FIFO — map order here would make the whole
-	// simulation trajectory irreproducible.
-	sort.Slice(elems, func(i, j int) bool { return elems[i] < elems[j] })
-	for _, elem := range elems {
-		m.Release(id, elem)
+	for {
+		h := m.held[id]
+		if len(h) == 0 {
+			return
+		}
+		m.Release(id, h[0].elem)
 	}
 }
 
@@ -322,7 +405,9 @@ func (m *Manager) CancelRequest(id ID) bool {
 	e := m.table[elem]
 	for i, r := range e.queue {
 		if r.id == id {
-			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			copy(e.queue[i:], e.queue[i+1:])
+			e.queue[len(e.queue)-1] = request{} // release the closure
+			e.queue = e.queue[:len(e.queue)-1]
 			break
 		}
 	}
@@ -335,16 +420,17 @@ func (m *Manager) CancelRequest(id ID) bool {
 
 // grantWaiters grants queued requests from the head while they are
 // compatible with the current holders (strict FIFO: stops at the first
-// request that cannot be granted).
+// request that cannot be granted). The head is removed by shifting in place
+// so the queue's backing array stays reusable when the entry is pooled.
 func (m *Manager) grantWaiters(elem uint32, e *entry) {
 	for len(e.queue) > 0 {
 		r := e.queue[0]
 		compatible := true
-		for h, hm := range e.holders {
-			if h == r.id {
+		for _, h := range e.holders {
+			if h.id == r.id {
 				continue // upgrade request
 			}
-			if !Compatible(hm, r.mode) {
+			if !Compatible(h.mode, r.mode) {
 				compatible = false
 				break
 			}
@@ -352,7 +438,9 @@ func (m *Manager) grantWaiters(elem uint32, e *entry) {
 		if !compatible {
 			return
 		}
-		e.queue = e.queue[1:]
+		copy(e.queue, e.queue[1:])
+		e.queue[len(e.queue)-1] = request{} // release the closure
+		e.queue = e.queue[:len(e.queue)-1]
 		delete(m.waitingOn, r.id)
 		m.addHolder(r.id, elem, r.mode, e)
 		r.onGrant()
@@ -363,28 +451,35 @@ func (m *Manager) grantWaiters(elem uint32, e *entry) {
 // transaction at a local site. It fails (ok=false, nothing changes) if the
 // element has in-flight asynchronous updates (coherence count non-zero).
 // Otherwise the central transaction id becomes a holder; local holders whose
-// mode conflicts are removed and returned as victims, to be marked for abort
+// mode conflicts are removed and returned as victims — in ascending ID
+// order, since holders are sorted by construction — to be marked for abort
 // by the caller. Compatible local holders keep their locks (§2).
+//
+// The returned slice is a buffer owned by the Manager, valid until the next
+// Seize call; callers must consume (or copy) it before calling Seize again.
 func (m *Manager) Seize(id ID, elem uint32, mode Mode) (victims []ID, ok bool) {
 	e := m.entry(elem)
 	if e.coherence != 0 {
 		m.maybeDrop(elem, e)
 		return nil, false
 	}
-	for h, hm := range e.holders {
-		if h == id {
+	m.victimBuf = m.victimBuf[:0]
+	for _, h := range e.holders {
+		if h.id == id {
 			continue
 		}
-		if !Compatible(hm, mode) || !Compatible(mode, hm) {
-			victims = append(victims, h)
+		if !Compatible(h.mode, mode) || !Compatible(mode, h.mode) {
+			m.victimBuf = append(m.victimBuf, h.id)
 		}
 	}
-	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
-	for _, v := range victims {
+	for _, v := range m.victimBuf {
 		m.removeHolder(v, elem, e)
 	}
 	m.addHolder(id, elem, mode, e)
-	return victims, true
+	if len(m.victimBuf) == 0 {
+		return nil, true
+	}
+	return m.victimBuf, true
 }
 
 // IncrCoherence records an asynchronous update in flight for elem.
@@ -414,9 +509,10 @@ func (m *Manager) Coherence(elem uint32) int {
 
 // Holds reports whether id currently holds elem, and in which mode.
 func (m *Manager) Holds(id ID, elem uint32) (Mode, bool) {
-	if h := m.held[id]; h != nil {
-		mode, ok := h[elem]
-		return mode, ok
+	if h, ok := m.held[id]; ok {
+		if j, ok := findHeld(h, elem); ok {
+			return h[j].mode, true
+		}
 	}
 	return 0, false
 }
@@ -425,23 +521,23 @@ func (m *Manager) Holds(id ID, elem uint32) (Mode, bool) {
 func (m *Manager) HeldBy(id ID) map[uint32]Mode {
 	src := m.held[id]
 	out := make(map[uint32]Mode, len(src))
-	for k, v := range src {
-		out[k] = v
+	for _, he := range src {
+		out[he.elem] = he.mode
 	}
 	return out
 }
 
-// Holders returns the transactions currently holding elem (a copy).
+// Holders returns the transactions currently holding elem (a copy, in
+// ascending ID order — the holders slice is sorted by construction).
 func (m *Manager) Holders(elem uint32) []ID {
 	e := m.table[elem]
 	if e == nil {
 		return nil
 	}
-	out := make([]ID, 0, len(e.holders))
-	for id := range e.holders {
-		out = append(out, id)
+	out := make([]ID, len(e.holders))
+	for i, h := range e.holders {
+		out[i] = h.id
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -480,18 +576,17 @@ func (m *Manager) CheckInvariants() {
 		// All pairs of holders must be compatible unless one pair member
 		// arrived via Seize; Seize only ever leaves compatible residents,
 		// so full pairwise compatibility must hold.
-		modes := make([]Mode, 0, len(e.holders))
-		for id, mode := range e.holders {
-			modes = append(modes, mode)
-			got, ok := m.held[id][elem]
-			if !ok || got != mode {
-				panic(fmt.Sprintf("lock: held index out of sync for txn %d elem %d", id, elem))
+		for i, h := range e.holders {
+			if i > 0 && e.holders[i-1].id >= h.id {
+				panic(fmt.Sprintf("lock: holders of element %d out of order", elem))
+			}
+			got, ok := m.Holds(h.id, elem)
+			if !ok || got != h.mode {
+				panic(fmt.Sprintf("lock: held index out of sync for txn %d elem %d", h.id, elem))
 			}
 			count++
-		}
-		for i := 0; i < len(modes); i++ {
-			for j := i + 1; j < len(modes); j++ {
-				if !Compatible(modes[i], modes[j]) {
+			for j := i + 1; j < len(e.holders); j++ {
+				if !Compatible(h.mode, e.holders[j].mode) {
 					panic(fmt.Sprintf("lock: incompatible co-holders on element %d", elem))
 				}
 			}
@@ -499,6 +594,13 @@ func (m *Manager) CheckInvariants() {
 		for _, r := range e.queue {
 			if w, ok := m.waitingOn[r.id]; !ok || w != elem {
 				panic(fmt.Sprintf("lock: waitingOn out of sync for txn %d", r.id))
+			}
+		}
+	}
+	for id, h := range m.held {
+		for i := 1; i < len(h); i++ {
+			if h[i-1].elem >= h[i].elem {
+				panic(fmt.Sprintf("lock: held set of txn %d out of order", id))
 			}
 		}
 	}

@@ -1,0 +1,41 @@
+package sim
+
+import "testing"
+
+// BenchmarkScheduleStep measures steady-state churn: a rolling window of
+// pending events with one Schedule and one Step per iteration. This is the
+// kernel's hot path in the hybrid engine, where every CPU burst, I/O, and
+// message completion schedules a successor.
+func BenchmarkScheduleStep(b *testing.B) {
+	s := New()
+	action := func() {}
+	const window = 256
+	for i := 0; i < window; i++ {
+		s.Schedule(float64(i%97)+1, action)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(float64(i%97)+1, action)
+		s.Step()
+	}
+}
+
+// BenchmarkScheduleCancel measures the cancellation path: every scheduled
+// event is removed from the middle of a standing window.
+func BenchmarkScheduleCancel(b *testing.B) {
+	s := New()
+	action := func() {}
+	const window = 256
+	for i := 0; i < window; i++ {
+		s.Schedule(float64(i%97)+1, action)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := s.Schedule(float64(i%89)+1, action)
+		if !s.Cancel(e) {
+			b.Fatal("pending event failed to cancel")
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refQueue is a naive sorted-slice reference implementation of the event
+// queue: an ordering oracle for the 4-ary heap. Operations are O(n) but
+// trivially correct — entries are kept sorted by (at, seq) at all times.
+type refQueue struct {
+	entries []refEntry
+}
+
+type refEntry struct {
+	at  float64
+	seq uint64
+	id  int // test-assigned identity
+}
+
+func (q *refQueue) push(at float64, seq uint64, id int) {
+	i := sort.Search(len(q.entries), func(i int) bool {
+		e := q.entries[i]
+		return e.at > at || (e.at == at && e.seq > seq)
+	})
+	q.entries = append(q.entries, refEntry{})
+	copy(q.entries[i+1:], q.entries[i:])
+	q.entries[i] = refEntry{at: at, seq: seq, id: id}
+}
+
+func (q *refQueue) pop() (refEntry, bool) {
+	if len(q.entries) == 0 {
+		return refEntry{}, false
+	}
+	e := q.entries[0]
+	q.entries = q.entries[1:]
+	return e, true
+}
+
+func (q *refQueue) remove(id int) bool {
+	for i, e := range q.entries {
+		if e.id == id {
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// TestHeapMatchesReferenceQueue drives long random interleavings of
+// Schedule, Cancel, and Step against the reference queue and demands exact
+// agreement at every step: same Pending count, same fired identity, same
+// fired time, same Cancel outcome. This is the ordering oracle for the
+// indexed 4-ary heap and its slot recycling — any divergence in sift logic,
+// index maintenance, or generation handling shows up as a mismatch.
+func TestHeapMatchesReferenceQueue(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		s := New()
+		ref := &refQueue{}
+
+		nextID := 0
+		live := make(map[int]Event) // pending events by test identity
+		firedID := -1
+		makeAction := func(id int) func() { return func() { firedID = id } }
+
+		for op := 0; op < 2000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5: // schedule
+				delay := float64(rng.Intn(50)) * 0.25
+				id := nextID
+				nextID++
+				ev := s.Schedule(delay, makeAction(id))
+				// op is strictly increasing across schedule calls, so it
+				// mirrors the simulator's FIFO sequence numbers exactly.
+				ref.push(ev.At(), uint64(op)+1, id)
+				live[id] = ev
+			case r < 7: // cancel a random live event (or a stale handle)
+				if len(live) == 0 {
+					continue
+				}
+				ids := make([]int, 0, len(live))
+				for id := range live {
+					ids = append(ids, id)
+				}
+				sort.Ints(ids)
+				id := ids[rng.Intn(len(ids))]
+				got := s.Cancel(live[id])
+				want := ref.remove(id)
+				if got != want {
+					t.Fatalf("trial %d op %d: Cancel(%d) = %v, reference = %v", trial, op, id, got, want)
+				}
+				delete(live, id)
+			default: // step
+				firedID = -1
+				stepped := s.Step()
+				want, ok := ref.pop()
+				if stepped != ok {
+					t.Fatalf("trial %d op %d: Step = %v, reference nonempty = %v", trial, op, stepped, ok)
+				}
+				if !stepped {
+					continue
+				}
+				if firedID != want.id {
+					t.Fatalf("trial %d op %d: fired event %d, reference says %d", trial, op, firedID, want.id)
+				}
+				if s.Now() != want.at {
+					t.Fatalf("trial %d op %d: clock %v, reference time %v", trial, op, s.Now(), want.at)
+				}
+				delete(live, want.id)
+			}
+			if s.Pending() != len(ref.entries) {
+				t.Fatalf("trial %d op %d: Pending = %d, reference holds %d", trial, op, s.Pending(), len(ref.entries))
+			}
+		}
+
+		// Drain: the survivors must come out in exact reference order.
+		for {
+			firedID = -1
+			stepped := s.Step()
+			want, ok := ref.pop()
+			if stepped != ok {
+				t.Fatalf("trial %d drain: Step = %v, reference nonempty = %v", trial, stepped, ok)
+			}
+			if !stepped {
+				break
+			}
+			if firedID != want.id {
+				t.Fatalf("trial %d drain: fired %d, reference says %d", trial, firedID, want.id)
+			}
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("trial %d: %d events pending after drain", trial, s.Pending())
+		}
+	}
+}
+
+// TestStaleHandleDetected pins the generation-counter contract: once an
+// event fires and its slot is recycled by a newer event, cancelling the old
+// handle reports false and leaves the new event untouched.
+func TestStaleHandleDetected(t *testing.T) {
+	s := New()
+	aRan, bRan := false, false
+	stale := s.Schedule(1, func() { aRan = true })
+	s.RunUntil(1)
+	if !aRan {
+		t.Fatal("first event did not fire")
+	}
+	// The freed slot is recycled LIFO, so this reuses A's storage.
+	fresh := s.Schedule(1, func() { bRan = true })
+	if s.Cancel(stale) {
+		t.Fatal("Cancel of a stale handle returned true")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("stale Cancel disturbed the queue: Pending = %d", s.Pending())
+	}
+	s.Run()
+	if !bRan {
+		t.Fatal("recycled-slot event did not fire")
+	}
+	if s.Cancel(fresh) {
+		t.Fatal("Cancel of a fired event returned true")
+	}
+}
+
+// TestCancelHandleSurvivesRecycleChain checks staleness across several
+// recycle generations of the same slot.
+func TestCancelHandleSurvivesRecycleChain(t *testing.T) {
+	s := New()
+	var handles []Event
+	for i := 0; i < 5; i++ {
+		h := s.Schedule(0, func() {})
+		handles = append(handles, h)
+		s.Run() // fire it; the slot goes back on the free list
+	}
+	for i, h := range handles {
+		if s.Cancel(h) {
+			t.Fatalf("handle %d from a recycled slot cancelled something", i)
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocs pins the headline property: once the slab, free
+// list, and heap have grown to the working-set size, Schedule/Step churn
+// performs no heap allocations.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	s := New()
+	action := func() {}
+	// Warm the pools past the working set.
+	for i := 0; i < 64; i++ {
+		s.Schedule(float64(i%7), action)
+	}
+	s.Run()
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			s.Schedule(float64(i%5), action)
+		}
+		s.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Schedule/Run allocated %.1f times per round, want 0", avg)
+	}
+}
+
+// TestCancelSteadyStateZeroAllocs extends the zero-alloc pin to the
+// Schedule/Cancel path.
+func TestCancelSteadyStateZeroAllocs(t *testing.T) {
+	s := New()
+	action := func() {}
+	events := make([]Event, 32)
+	for i := range events {
+		events[i] = s.Schedule(float64(i), action)
+	}
+	for _, e := range events {
+		s.Cancel(e)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := range events {
+			events[i] = s.Schedule(float64(i%9), action)
+		}
+		for _, e := range events {
+			if !s.Cancel(e) {
+				t.Fatal("pending event failed to cancel")
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Schedule/Cancel allocated %.1f times per round, want 0", avg)
+	}
+}

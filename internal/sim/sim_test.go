@@ -106,17 +106,17 @@ func TestCancel(t *testing.T) {
 	}
 }
 
-func TestCancelNil(t *testing.T) {
+func TestCancelZeroEvent(t *testing.T) {
 	s := New()
-	if s.Cancel(nil) {
-		t.Fatal("Cancel(nil) returned true")
+	if s.Cancel(Event{}) {
+		t.Fatal("Cancel of the zero Event returned true")
 	}
 }
 
 func TestCancelMiddleOfQueue(t *testing.T) {
 	s := New()
 	var order []int
-	var events []*Event
+	var events []Event
 	for i := 0; i < 5; i++ {
 		i := i
 		events = append(events, s.Schedule(float64(i+1), func() { order = append(order, i) }))
@@ -304,7 +304,7 @@ func TestQuickCancelProperties(t *testing.T) {
 			seq int
 		}
 		var fired []rec
-		events := make([]*Event, len(raw))
+		events := make([]Event, len(raw))
 		for i, r := range raw {
 			d := float64(r % 50)
 			i, d := i, d
