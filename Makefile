@@ -6,7 +6,7 @@ GO ?= go
 # Hot-path packages measured by the benchmark trajectory (BENCH_*.json).
 BENCH_PKGS = ./internal/sim ./internal/lock ./internal/cpu ./internal/hybrid
 
-.PHONY: all build test vet race smoke bench-smoke check bench figures
+.PHONY: all build test vet staticcheck race smoke bench-smoke check bench figures
 
 all: build test
 
@@ -18,6 +18,15 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Staticcheck is optional locally (the target skips with a hint when the
+# binary is absent) but enforced in CI, which installs a pinned version.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
+	fi
 
 # The parallel runner fans concurrent engines across goroutines; the race
 # detector must stay clean over the whole tree.
@@ -34,14 +43,16 @@ smoke:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' $(BENCH_PKGS)
 
-check: vet race smoke bench-smoke
+check: vet staticcheck race smoke bench-smoke
 
 # Full benchmark run over the hot-path packages, recorded as a
-# machine-readable summary (BENCH_pr3.json) diffed against the committed
-# pre-PR baseline in bench/baseline_pr2.txt. See DESIGN.md "Performance".
+# machine-readable summary (BENCH_$(BENCH_LABEL).json) diffed against the
+# committed pre-PR baseline. See DESIGN.md "Performance".
+BENCH_LABEL ?= pr4
+BENCH_BASELINE ?= bench/baseline_pr2.txt
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' $(BENCH_PKGS) | tee bench/current.txt
-	$(GO) run ./cmd/benchjson -label pr3 -baseline bench/baseline_pr2.txt -o BENCH_pr3.json bench/current.txt
+	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -baseline $(BENCH_BASELINE) -out BENCH_$(BENCH_LABEL).json bench/current.txt
 
 # Full-length regeneration of every figure (about 5 minutes serially; use
 # REPS/PARALLEL to replicate and fan out, e.g. make figures REPS=5).

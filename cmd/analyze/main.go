@@ -7,6 +7,7 @@
 //	analyze -rate 2.5 -pship 0.4        # solve one operating point
 //	analyze -rate 2.5 -optimize         # find the optimal static p_ship
 //	analyze -rate 2.5 -sweep            # table of RT vs p_ship
+//	analyze -manifest RUN_fig42.json    # summarize a recorded run manifest
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"hybriddb/internal/experiments"
 	"hybriddb/internal/hybrid"
 	"hybriddb/internal/model"
+	"hybriddb/internal/obsx/manifest"
 )
 
 func main() {
@@ -37,6 +39,7 @@ func run(args []string, out io.Writer) error {
 		optimize = fs.Bool("optimize", false, "find the optimal static ship probability")
 		sweepFlg = fs.Bool("sweep", false, "print a table of response time vs ship probability")
 		validate = fs.Bool("validate", false, "compare the model against simulations across load")
+		maniPath = fs.String("manifest", "", "summarize a RUN_*.json manifest written by hybridsim or figures")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,6 +50,8 @@ func run(args []string, out io.Writer) error {
 	cfg.CommDelay = *delay
 
 	switch {
+	case *maniPath != "":
+		return summarizeManifest(out, *maniPath)
 	case *validate:
 		rows, err := experiments.ModelValidation(experiments.Options{
 			Base:         cfg,
@@ -73,6 +78,56 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "model solution at p_ship = %.3f\n\n", *pship)
 		return printResult(out, res)
 	}
+}
+
+// summarizeManifest renders a recorded run manifest without resimulating.
+// Percentiles are recomputed from the artifact's own histogram dumps when
+// the run captured them (hybridsim/figures -manifest do), demonstrating that
+// RUN_*.json is self-sufficient for re-plotting; otherwise the result's
+// stored percentile fields are shown.
+func summarizeManifest(out io.Writer, path string) error {
+	m, err := manifest.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "manifest %s — %s (%s)\n", path, m.Tool, m.Title)
+	fmt.Fprintf(out, "built with %s", m.GoVersion)
+	if m.GitRevision != "" {
+		rev := m.GitRevision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(out, " at %s", rev)
+		if m.GitDirty {
+			fmt.Fprint(out, " (dirty)")
+		}
+	}
+	if m.Created != "" {
+		fmt.Fprintf(out, ", recorded %s", m.Created)
+	}
+	fmt.Fprintf(out, ", %.1fs wall\n\n", m.WallSeconds)
+
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "run\tstrategy\trate/site\tseed\ttput\tmean RT\tp50\tp95\tp99\taborts(dl/sz/nack/inv)\tclipped")
+	for _, run := range m.Runs {
+		r := run.Result
+		p50, p95, p99 := r.RTPercentiles.P50, r.RTPercentiles.P95, r.RTPercentiles.P99
+		if r.Histograms != nil {
+			h := r.Histograms.All
+			p50, p95, p99 = h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%g\t%d\t%.2f\t%.3f\t%.3f\t%.3f\t%.3f\t%d/%d/%d/%d\t%d\n",
+			run.Label, r.Strategy, run.Config.ArrivalRatePerSite, run.Seed,
+			r.Throughput, r.MeanRT, p50, p95, p99,
+			r.AbortsDeadlockLocal+r.AbortsDeadlockCentral,
+			r.AbortsLocalSeized, r.AbortsCentralNACK, r.AbortsCentralInval,
+			r.ClipAll.Over)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n%d runs\n", len(m.Runs))
+	return nil
 }
 
 func printResult(out io.Writer, r model.Result) error {

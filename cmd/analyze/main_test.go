@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/obsx/manifest"
+	"hybriddb/internal/routing"
 )
 
 func TestAnalyzePoint(t *testing.T) {
@@ -65,5 +70,46 @@ func TestAnalyzeValidate(t *testing.T) {
 	}
 	if !strings.Contains(out, "rel err") {
 		t.Errorf("columns missing:\n%s", out)
+	}
+}
+
+// TestAnalyzeManifest round-trips a recorded run through -manifest: a real
+// simulation's artifact is summarized without resimulating, with percentiles
+// recomputed from the dumped histogram buckets.
+func TestAnalyzeManifest(t *testing.T) {
+	cfg := hybrid.DefaultConfig()
+	cfg.Sites = 4
+	cfg.Warmup, cfg.Duration = 5, 25
+	cfg.CaptureHistograms = true
+	e, err := hybrid.New(cfg, routing.QueueLength{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+
+	m := manifest.New("test", "analyze round trip")
+	m.Add("single", cfg, res)
+	m.Finish(0)
+	path := filepath.Join(t.TempDir(), "RUN_test.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-manifest", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"analyze round trip", "single", "queue-length", "1 runs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeManifestRejectsMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-manifest", filepath.Join(t.TempDir(), "nope.json")}, &buf); err == nil {
+		t.Fatal("missing manifest accepted")
 	}
 }

@@ -66,8 +66,10 @@ func main() {
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var out string
+	fs.StringVar(&out, "o", "", "output file (default stdout)")
+	fs.StringVar(&out, "out", "", "alias for -o")
 	var (
-		out      = fs.String("o", "", "output file (default stdout)")
 		label    = fs.String("label", "", "summary label, e.g. the PR being measured")
 		baseline = fs.String("baseline", "", "baseline bench output to diff against")
 	)
@@ -121,11 +123,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	buf = append(buf, '\n')
-	if *out == "" {
+	if out == "" {
 		_, err = stdout.Write(buf)
 		return err
 	}
-	return os.WriteFile(*out, buf, 0o644)
+	return os.WriteFile(out, buf, 0o644)
 }
 
 // deltaPct returns 100*(cur-base)/base, or nil when base is zero (a delta

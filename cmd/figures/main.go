@@ -16,10 +16,13 @@ import (
 	"io"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"hybriddb/internal/altarch"
 	"hybriddb/internal/experiments"
 	"hybriddb/internal/hybrid"
+	"hybriddb/internal/obsx/manifest"
+	"hybriddb/internal/obsx/progress"
 )
 
 func main() {
@@ -39,6 +42,9 @@ func run(args []string, out io.Writer) error {
 		csvPath  = fs.String("csv", "", "also write long-form CSV to this file")
 		reps     = fs.Int("reps", 1, "independent replications per sweep point (>1 adds 95% confidence half-widths)")
 		parallel = fs.Int("parallel", 0, "worker goroutines for the sweep (0 = GOMAXPROCS); affects speed only, never results")
+		progFlg  = fs.Bool("progress", false, "print sweep progress with an ETA to stderr")
+		maniOut  = fs.String("manifest", "", "write a machine-readable manifest of every run (RUN_*.json) to this file")
+		dbgAddr  = fs.String("debug-addr", "", "serve expvar and pprof on this address for the sweep's duration")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +60,32 @@ func run(args []string, out io.Writer) error {
 		opt.Base.Warmup, opt.Base.Duration = 50, 200
 		opt.RatesPerSite = []float64{1.0, 2.0, 2.8, 3.4}
 	}
+	if *progFlg {
+		opt.Progress = progress.NewTicker(os.Stderr, time.Second).Callback
+	}
+	start := time.Now()
+	if *maniOut != "" {
+		opt.Base.CaptureHistograms = true
+		opt.Manifest = manifest.New("figures", "figure sweep: "+*fig)
+	}
+	if *dbgAddr != "" {
+		addr, err := progress.StartDebugServer(*dbgAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "figures: debug server on http://%s/debug/pprof (expvar at /debug/vars)\n", addr)
+	}
+	defer func() {
+		if opt.Manifest == nil {
+			return
+		}
+		opt.Manifest.Finish(time.Since(start))
+		if err := opt.Manifest.WriteFile(*maniOut); err != nil {
+			fmt.Fprintln(os.Stderr, "figures: manifest:", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "figures: wrote %d runs to %s\n", len(opt.Manifest.Runs), *maniOut)
+	}()
 
 	var figures []experiments.Figure
 	switch *fig {

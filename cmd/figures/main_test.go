@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hybriddb/internal/obsx/manifest"
 )
 
 func TestFigureSingle(t *testing.T) {
@@ -138,5 +140,31 @@ func TestFigureRejectsBadReps(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-fig", "4.1", "-reps", "0"}, &buf); err == nil {
 		t.Fatal("zero replications accepted")
+	}
+}
+
+// TestFigureManifest: a sweep with -manifest records every (strategy × rate)
+// run with its exact config and result, and the artifact reads back.
+func TestFigureManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "RUN_fig41.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "4.1", "-quick", "-manifest", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := manifest.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "figures" {
+		t.Errorf("tool %q, want figures", m.Tool)
+	}
+	// Quick mode sweeps 4 rates across Figure 4.1's 3 strategies.
+	if len(m.Runs) != 12 {
+		t.Fatalf("%d manifest runs, want 12", len(m.Runs))
+	}
+	for _, r := range m.Runs {
+		if r.Result.Histograms == nil {
+			t.Fatalf("run %q lacks histogram dumps", r.Label)
+		}
 	}
 }

@@ -15,11 +15,16 @@ import (
 	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"hybriddb/internal/experiments"
 	"hybriddb/internal/hybrid"
+	"hybriddb/internal/obsx/manifest"
+	"hybriddb/internal/obsx/progress"
+	"hybriddb/internal/obsx/spans"
 	"hybriddb/internal/replicate"
 	"hybriddb/internal/report"
+	"hybriddb/internal/runner"
 )
 
 func main() {
@@ -46,6 +51,10 @@ func run(args []string, out io.Writer) error {
 		parallel = fs.Int("parallel", 0, "worker goroutines for replications (0 = GOMAXPROCS); affects speed only, never results")
 		cpuprof  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprof  = fs.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
+		spansOut = fs.String("spans", "", "write a Chrome trace-event span file of the run (open in Perfetto); single runs only")
+		maniOut  = fs.String("manifest", "", "write a machine-readable run manifest (RUN_*.json) to this file")
+		progFlg  = fs.Bool("progress", false, "print replication progress to stderr")
+		dbgAddr  = fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060) for the run's duration")
 	)
 	var reps int
 	fs.IntVar(&reps, "replications", 1, "independent replications (>1 adds confidence intervals)")
@@ -75,9 +84,22 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown feedback mode %q", *feedback)
 	}
 
+	if *maniOut != "" {
+		// Manifests carry full histogram dumps, so ask the engine to keep them.
+		cfg.CaptureHistograms = true
+	}
+
 	maker, err := experiments.ParseStrategy(*strategy)
 	if err != nil {
 		return err
+	}
+
+	if *dbgAddr != "" {
+		addr, err := progress.StartDebugServer(*dbgAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hybridsim: debug server on http://%s/debug/pprof (expvar at /debug/vars)\n", addr)
 	}
 
 	// Profiling hooks: hot-path regressions in the event kernel, lock
@@ -110,10 +132,34 @@ func run(args []string, out io.Writer) error {
 		}()
 	}
 
+	start := time.Now()
 	if reps > 1 {
-		summary, err := replicate.RunParallel(cfg, maker.Make, reps, *parallel)
+		if *spansOut != "" {
+			return fmt.Errorf("-spans records a single run; drop -replications")
+		}
+		popt := runner.Options{Parallelism: *parallel}
+		if *progFlg {
+			popt.Progress = progress.NewTicker(os.Stderr, time.Second).Callback
+		}
+		summary, err := replicate.RunOpts(cfg, maker.Make, reps, popt)
 		if err != nil {
 			return err
+		}
+		if *maniOut != "" {
+			m := manifest.New("hybridsim", fmt.Sprintf("%s, %d replications", *strategy, reps))
+			for i, r := range summary.Results {
+				runCfg := cfg
+				runCfg.Seed = cfg.Seed + uint64(i)
+				m.Add(fmt.Sprintf("replication %d", i), runCfg, r)
+			}
+			m.Finish(time.Since(start))
+			if err := m.WriteFile(*maniOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "hybridsim: wrote run manifest to %s\n", *maniOut)
+		}
+		for _, r := range summary.Results {
+			warnClipped(r)
 		}
 		return report.WriteReplication(out, summary)
 	}
@@ -125,7 +171,31 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var collector *spans.Collector
+	if *spansOut != "" {
+		collector = spans.NewCollector(cfg.Sites)
+		engine.Subscribe(collector)
+	}
 	r := engine.Run()
+	if collector != nil {
+		if err := collector.WriteFile(*spansOut); err != nil {
+			return err
+		}
+		if n := collector.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "hybridsim: span buffer full; %d transactions not traced (raise spans.Collector.MaxEvents or shorten the run)\n", n)
+		}
+		fmt.Fprintf(os.Stderr, "hybridsim: wrote %d span events to %s (open in Perfetto: https://ui.perfetto.dev)\n", collector.Events(), *spansOut)
+	}
+	if *maniOut != "" {
+		m := manifest.New("hybridsim", *strategy)
+		m.Add("single", cfg, r)
+		m.Finish(time.Since(start))
+		if err := m.WriteFile(*maniOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hybridsim: wrote run manifest to %s\n", *maniOut)
+	}
+	warnClipped(r)
 
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	defer tw.Flush()
@@ -134,6 +204,8 @@ func run(args []string, out io.Writer) error {
 		*rate*float64(*sites), *rate, *sites)
 	fmt.Fprintf(tw, "throughput\t%.2f tps\n", r.Throughput)
 	fmt.Fprintf(tw, "mean response time\t%.3f s (p95 %.3f s)\n", r.MeanRT, r.P95RT)
+	fmt.Fprintf(tw, "  percentiles\tp50 %.3f, p90 %.3f, p95 %.3f, p99 %.3f s\n",
+		r.RTPercentiles.P50, r.RTPercentiles.P90, r.RTPercentiles.P95, r.RTPercentiles.P99)
 	fmt.Fprintf(tw, "  class A local\t%.3f s (%d txns)\n", r.MeanRTLocalA, r.CompletedLocalA)
 	fmt.Fprintf(tw, "  class A shipped\t%.3f s (%d txns)\n", r.MeanRTShippedA, r.CompletedShippedA)
 	fmt.Fprintf(tw, "  class B\t%.3f s (%d txns)\n", r.MeanRTClassB, r.CompletedClassB)
@@ -146,4 +218,17 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(tw, "mean lock wait\t%.4f s\n", r.MeanLockWait)
 	fmt.Fprintf(tw, "network messages\t%d (auth rounds %d)\n", r.MessagesSent, r.AuthRounds)
 	return nil
+}
+
+// warnClipped flags histogram overflow: observations above the bucketed
+// range are clamped to the ceiling, so upper percentiles are underestimates
+// and the run's numbers should not be quoted without this caveat.
+func warnClipped(r hybrid.Result) {
+	if r.ClipAll.Over == 0 {
+		return
+	}
+	completed := r.CompletedLocalA + r.CompletedShippedA + r.CompletedClassB
+	fmt.Fprintf(os.Stderr,
+		"hybridsim: warning: %s: %d of %d response times exceeded the histogram range; p95/p99 are underestimates\n",
+		r.Strategy, r.ClipAll.Over, completed)
 }

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hybriddb/internal/obsx/manifest"
 )
 
 func TestRunProducesReport(t *testing.T) {
@@ -160,5 +163,105 @@ func TestRunParallelismDoesNotChangeReport(t *testing.T) {
 	}
 	if serial, fanned := render("1"), render("8"); serial != fanned {
 		t.Error("-parallel changed the replication report")
+	}
+}
+
+func TestRunWritesSpansFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-rate", "1.0", "-sites", "4", "-warmup", "0", "-duration", "20",
+		"-spans", path,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Pid int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("span file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("span file holds no events")
+	}
+}
+
+func TestRunSpansRejectsReplications(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-rate", "1.0", "-warmup", "0", "-duration", "10",
+		"-reps", "2", "-spans", filepath.Join(t.TempDir(), "x.json"),
+	}, &buf)
+	if err == nil {
+		t.Fatal("-spans with -reps accepted")
+	}
+}
+
+func TestRunWritesManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "RUN_test.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-rate", "1.0", "-sites", "4", "-warmup", "5", "-duration", "20",
+		"-strategy", "queue-length", "-manifest", path,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := manifest.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "hybridsim" || len(m.Runs) != 1 {
+		t.Fatalf("manifest header: tool=%q runs=%d", m.Tool, len(m.Runs))
+	}
+	r := m.Runs[0]
+	if r.Result.Histograms == nil {
+		t.Error("manifest run lacks histogram dumps")
+	}
+	if r.Config.ArrivalRatePerSite != 1.0 || r.Config.Sites != 4 {
+		t.Errorf("manifest config mangled: %+v", r.Config)
+	}
+}
+
+func TestRunManifestWithReplications(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "RUN_reps.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-rate", "1.0", "-warmup", "5", "-duration", "20",
+		"-strategy", "queue-length", "-reps", "3", "-manifest", path,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := manifest.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Runs) != 3 {
+		t.Fatalf("%d manifest runs, want 3", len(m.Runs))
+	}
+	for i, r := range m.Runs {
+		if want := uint64(1) + uint64(i); r.Seed != want {
+			t.Errorf("replication %d seed %d, want %d", i, r.Seed, want)
+		}
+	}
+}
+
+func TestRunReportsPercentiles(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-rate", "1.0", "-warmup", "10", "-duration", "40"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "percentiles") || !strings.Contains(buf.String(), "p99") {
+		t.Errorf("report missing percentile line:\n%s", buf.String())
 	}
 }

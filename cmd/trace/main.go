@@ -3,10 +3,13 @@
 //	trace capture -out trace.jsonl -rate 2.0 -count 10000   # record a workload
 //	trace replay  -in trace.jsonl -strategy best            # re-run it
 //	trace follow  -txn 42 -rate 2.0 -strategy best          # dump one txn's protocol events
+//	trace export  -out spans.json -rate 2.0 -strategy best  # Chrome trace-event spans
 //
 // Replay makes simulation results bit-reproducible across machines and code
 // versions; follow prints the full §2 protocol history of one transaction
-// (routing, locks, authentication, aborts) for debugging.
+// (routing, locks, authentication, aborts) for debugging; export renders
+// every transaction's lifecycle as a span tree loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"hybriddb/internal/experiments"
 	"hybriddb/internal/hybrid"
 	"hybriddb/internal/hybrid/obs"
+	"hybriddb/internal/obsx/spans"
 	"hybriddb/internal/report"
 	"hybriddb/internal/trace"
 	"hybriddb/internal/workload"
@@ -32,7 +36,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: trace capture|replay|follow [flags]")
+		return fmt.Errorf("usage: trace capture|replay|follow|export [flags]")
 	}
 	switch args[0] {
 	case "capture":
@@ -41,8 +45,10 @@ func run(args []string, out io.Writer) error {
 		return replay(args[1:], out)
 	case "follow":
 		return follow(args[1:], out)
+	case "export":
+		return export(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want capture, replay, or follow)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want capture, replay, follow, or export)", args[0])
 	}
 }
 
@@ -110,6 +116,54 @@ func replay(args []string, out io.Writer) error {
 	res := engine.Run()
 	fmt.Fprintf(out, "replayed %d of %d recorded transactions\n\n", res.Generated, len(txns))
 	return report.WriteResult(out, res)
+}
+
+// export runs a simulation with the span collector attached and writes a
+// Chrome trace-event file: one process lane per site plus the central
+// complex, one thread per transaction, aborts flagged in span args.
+func export(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trace export", flag.ContinueOnError)
+	var (
+		path     = fs.String("out", "spans.json", "output trace-event file")
+		rate     = fs.Float64("rate", 1.0, "arrival rate per site (txn/s)")
+		sites    = fs.Int("sites", 10, "number of local sites")
+		strategy = fs.String("strategy", "best", "routing strategy")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		duration = fs.Float64("duration", 60, "simulated seconds to trace")
+		maxEv    = fs.Int("max-events", spans.DefaultMaxEvents, "span event buffer cap (new transactions are dropped beyond it)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := hybrid.DefaultConfig()
+	cfg.ArrivalRatePerSite = *rate
+	cfg.Sites = *sites
+	cfg.Seed = *seed
+	cfg.Warmup, cfg.Duration = 0, *duration
+	maker, err := experiments.ParseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	strat, err := maker.Make(cfg)
+	if err != nil {
+		return err
+	}
+	engine, err := hybrid.New(cfg, strat)
+	if err != nil {
+		return err
+	}
+	c := spans.NewCollector(cfg.Sites)
+	c.MaxEvents = *maxEv
+	engine.Subscribe(c)
+	engine.Run()
+	if err := c.WriteFile(*path); err != nil {
+		return err
+	}
+	if n := c.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "trace: buffer full; %d transactions not traced (raise -max-events or shorten -duration)\n", n)
+	}
+	fmt.Fprintf(out, "wrote %d span events to %s (open in Perfetto: https://ui.perfetto.dev)\n", c.Events(), *path)
+	return nil
 }
 
 func follow(args []string, out io.Writer) error {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -71,5 +72,37 @@ func TestReplayMissingFile(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"replay", "-in", "/nonexistent/file"}, &buf); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestExportWritesSpans(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.json")
+	var buf bytes.Buffer
+	err := run([]string{"export", "-out", path, "-rate", "1.0", "-sites", "4", "-duration", "15"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "span events") {
+		t.Errorf("no confirmation line:\n%s", buf.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("export holds no events")
+	}
+}
+
+func TestExportRejectsBadStrategy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"export", "-strategy", "nonsense"}, &buf); err == nil {
+		t.Fatal("bad strategy accepted")
 	}
 }

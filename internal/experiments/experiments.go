@@ -15,6 +15,7 @@ import (
 
 	"hybriddb/internal/hybrid"
 	"hybriddb/internal/model"
+	"hybriddb/internal/obsx/manifest"
 	"hybriddb/internal/plot"
 	"hybriddb/internal/routing"
 	"hybriddb/internal/runner"
@@ -41,6 +42,14 @@ type Options struct {
 	// replication) runs; 0 selects GOMAXPROCS. The value changes only
 	// wall-clock time — sweep output is bit-identical at any parallelism.
 	Parallelism int
+	// Progress, when non-nil, receives a pool event after each run
+	// completes (wall-clock completion order). Reporting never perturbs
+	// results.
+	Progress func(runner.ProgressEvent)
+	// Manifest, when non-nil, accumulates every run of every sweep — label,
+	// exact configuration, and full result — for a RUN_*.json artifact. Set
+	// Base.CaptureHistograms to include histogram dumps in the results.
+	Manifest *manifest.Manifest
 }
 
 // DefaultRates spans 5–34 tps total for the 10-site system, bracketing every
@@ -200,9 +209,17 @@ func sweep(opt Options, makers []StrategyMaker, y func(hybrid.Result) float64) (
 			}
 		}
 	}
-	results, err := runner.Run(tasks, opt.Parallelism)
+	results, err := runner.RunOpts(tasks, runner.Options{
+		Parallelism: opt.Parallelism,
+		Progress:    opt.Progress,
+	})
 	if err != nil {
 		return nil, err
+	}
+	if opt.Manifest != nil {
+		for i := range tasks {
+			opt.Manifest.Add(tasks[i].Label, tasks[i].Cfg, results[i])
+		}
 	}
 
 	curves := make([]Curve, 0, len(makers))

@@ -111,10 +111,16 @@ type Config struct {
 	Warmup    float64 // simulated seconds discarded before measuring
 	Duration  float64 // measured simulated seconds
 	SelfCheck bool    // run invariant checks during the simulation (slow)
-	// SeriesBucket, when positive, records a mean-response-time time
-	// series with the given bucket width in seconds (Result.RTSeries) —
-	// useful for watching strategies adapt to load fluctuations.
+	// SeriesBucket, when positive, records a mean-response-time and
+	// queue-length time series with the given bucket width in seconds
+	// (Result.RTSeries) — useful for watching strategies adapt to load
+	// fluctuations.
 	SeriesBucket float64
+	// CaptureHistograms attaches full response-time histogram dumps
+	// (bucket counts with under/over tallies) to the Result, for run
+	// manifests. Off by default: the dumps allocate, and the observers-off
+	// fast path must stay allocation-identical when nothing asked for them.
+	CaptureHistograms bool
 }
 
 // DefaultConfig returns the parameters of §4.1 of the paper, with the

@@ -13,10 +13,15 @@ type metrics struct {
 	enabled bool
 	start   float64 // window start time
 
-	// Time-series accumulation (Config.SeriesBucket > 0).
+	// Time-series accumulation (Config.SeriesBucket > 0): completed
+	// response times and the 1 Hz queue-length samples fold into the same
+	// bucket grid, so a manifest carries the adaptation transient for both.
 	seriesBucket float64
 	seriesSum    []float64
 	seriesCount  []uint64
+	seriesQSumC  []float64 // central queue-length sample sums per bucket
+	seriesQSumL  []float64 // mean-local queue-length sample sums per bucket
+	seriesQCount []uint64  // queue samples per bucket
 
 	// Response times by kind.
 	rtAll      stats.Welford
@@ -128,15 +133,25 @@ func (m *metrics) OnEvent(ev obs.Event) {
 	case obs.QueueSample:
 		m.centralQueue.Add(ev.Value)
 		m.localQueue.Add(ev.Aux)
+		m.recordQueueSeries(ev.At, ev.Value, ev.Aux)
 	}
+}
+
+// seriesIndex maps a window time to its bucket, or -1 when the series is
+// disabled or the time precedes the measurement window.
+func (m *metrics) seriesIndex(now float64) int {
+	// The pre-window guard must precede the division: int() truncates toward
+	// zero, so a time just before the window would otherwise fold into
+	// bucket 0 instead of being rejected.
+	if m.seriesBucket <= 0 || now < m.start {
+		return -1
+	}
+	return int((now - m.start) / m.seriesBucket)
 }
 
 // recordSeries adds a completed response time to its time bucket.
 func (m *metrics) recordSeries(now, rt float64) {
-	if m.seriesBucket <= 0 {
-		return
-	}
-	idx := int((now - m.start) / m.seriesBucket)
+	idx := m.seriesIndex(now)
 	if idx < 0 {
 		return
 	}
@@ -146,6 +161,22 @@ func (m *metrics) recordSeries(now, rt float64) {
 	}
 	m.seriesSum[idx] += rt
 	m.seriesCount[idx]++
+}
+
+// recordQueueSeries folds one 1 Hz queue-length observation into its bucket.
+func (m *metrics) recordQueueSeries(now, central, local float64) {
+	idx := m.seriesIndex(now)
+	if idx < 0 {
+		return
+	}
+	for len(m.seriesQSumC) <= idx {
+		m.seriesQSumC = append(m.seriesQSumC, 0)
+		m.seriesQSumL = append(m.seriesQSumL, 0)
+		m.seriesQCount = append(m.seriesQCount, 0)
+	}
+	m.seriesQSumC[idx] += central
+	m.seriesQSumL[idx] += local
+	m.seriesQCount[idx]++
 }
 
 // result assembles the run's Result from the metrics observer, the site
@@ -169,6 +200,14 @@ func (e *Engine) result() Result {
 		P95RTLocalA:           e.m.histLocalA.Quantile(0.95),
 		P95RTShippedA:         e.m.histShipA.Quantile(0.95),
 		P95RTClassB:           e.m.histClassB.Quantile(0.95),
+		RTPercentiles:         percentilesOf(e.m.rtHist),
+		RTPercentilesLocalA:   percentilesOf(e.m.histLocalA),
+		RTPercentilesShippedA: percentilesOf(e.m.histShipA),
+		RTPercentilesClassB:   percentilesOf(e.m.histClassB),
+		ClipAll:               clipOf(e.m.rtHist),
+		ClipLocalA:            clipOf(e.m.histLocalA),
+		ClipShippedA:          clipOf(e.m.histShipA),
+		ClipClassB:            clipOf(e.m.histClassB),
 		AbortsDeadlockLocal:   e.m.abortsDeadlockLocal,
 		AbortsDeadlockCentral: e.m.abortsDeadlockCentral,
 		AbortsLocalSeized:     e.m.abortsLocalSeized,
@@ -202,17 +241,51 @@ func (e *Engine) result() Result {
 	if d := e.m.decisionsLocal + e.m.decisionsShip; d > 0 {
 		r.ShipFraction = float64(e.m.decisionsShip) / float64(d)
 	}
-	for i := range e.m.seriesCount {
-		b := RTBucket{
-			Start:       float64(i) * e.m.seriesBucket,
-			Completions: e.m.seriesCount[i],
+	n := len(e.m.seriesCount)
+	if len(e.m.seriesQCount) > n {
+		n = len(e.m.seriesQCount)
+	}
+	for i := 0; i < n; i++ {
+		b := RTBucket{Start: float64(i) * e.m.seriesBucket}
+		if i < len(e.m.seriesCount) {
+			b.Completions = e.m.seriesCount[i]
 		}
 		if b.Completions > 0 {
 			b.MeanRT = e.m.seriesSum[i] / float64(b.Completions)
 		}
+		if i < len(e.m.seriesQCount) {
+			b.QueueSamples = e.m.seriesQCount[i]
+		}
+		if b.QueueSamples > 0 {
+			b.MeanCentralQueue = e.m.seriesQSumC[i] / float64(b.QueueSamples)
+			b.MeanLocalQueue = e.m.seriesQSumL[i] / float64(b.QueueSamples)
+		}
 		r.RTSeries = append(r.RTSeries, b)
 	}
+	if e.cfg.CaptureHistograms {
+		r.Histograms = &ResultHistograms{
+			All:      e.m.rtHist.Dump(),
+			LocalA:   e.m.histLocalA.Dump(),
+			ShippedA: e.m.histShipA.Dump(),
+			ClassB:   e.m.histClassB.Dump(),
+		}
+	}
 	return r
+}
+
+// percentilesOf reads the headline quantiles off a response-time histogram.
+func percentilesOf(h *stats.Histogram) Percentiles {
+	return Percentiles{
+		P50: h.Quantile(0.50),
+		P90: h.Quantile(0.90),
+		P95: h.Quantile(0.95),
+		P99: h.Quantile(0.99),
+	}
+}
+
+// clipOf reads a histogram's out-of-range tallies.
+func clipOf(h *stats.Histogram) HistClip {
+	return HistClip{Under: h.Under(), Over: h.Over()}
 }
 
 // Result is the outcome of one simulation run.
@@ -234,6 +307,22 @@ type Result struct {
 	P95RTLocalA    float64
 	P95RTShippedA  float64
 	P95RTClassB    float64
+
+	// Full percentile sets per response-time histogram (P95 repeats the
+	// P95* fields above, kept for compatibility).
+	RTPercentiles         Percentiles
+	RTPercentilesLocalA   Percentiles
+	RTPercentilesShippedA Percentiles
+	RTPercentilesClassB   Percentiles
+
+	// Out-of-range mass per response-time histogram. A nonzero Over means
+	// responses exceeded the 60 s histogram ceiling, so the percentile
+	// estimates above are clipped underestimates — saturated runs used to
+	// hide this silently.
+	ClipAll      HistClip
+	ClipLocalA   HistClip
+	ClipShippedA HistClip
+	ClipClassB   HistClip
 
 	Throughput float64 // completed transactions per second (all classes)
 
@@ -268,21 +357,52 @@ type Result struct {
 	// informative under skewed SiteRates.
 	PerSite []SiteStats
 
-	// RTSeries is the mean response time per time bucket over the window
-	// (Config.SeriesBucket > 0) — the adaptation transient under load
-	// fluctuations.
+	// RTSeries is the mean response time and queue lengths per time bucket
+	// over the window (Config.SeriesBucket > 0) — the adaptation transient
+	// under load fluctuations.
 	RTSeries []RTBucket
+
+	// Histograms holds full response-time histogram dumps, attached only
+	// when Config.CaptureHistograms is set (run-manifest export); nil
+	// otherwise so the default path allocates nothing for them.
+	Histograms *ResultHistograms
 
 	// Totals for conservation checking.
 	Generated uint64 // transactions generated in the whole run
 	Completed uint64 // transactions completed in the whole run
 }
 
-// RTBucket is one time bucket of the response-time series.
+// Percentiles summarises one response-time histogram (seconds).
+type Percentiles struct {
+	P50 float64
+	P90 float64
+	P95 float64
+	P99 float64
+}
+
+// HistClip counts observations outside a histogram's bucketed range.
+type HistClip struct {
+	Under uint64
+	Over  uint64
+}
+
+// ResultHistograms carries the four response-time histogram dumps of a run.
+type ResultHistograms struct {
+	All      stats.HistogramDump
+	LocalA   stats.HistogramDump
+	ShippedA stats.HistogramDump
+	ClassB   stats.HistogramDump
+}
+
+// RTBucket is one time bucket of the response-time and queue-length series.
 type RTBucket struct {
 	Start       float64 // seconds since the measurement window opened
 	MeanRT      float64
 	Completions uint64
+	// Queue-length samples (1 Hz) folded into this bucket.
+	QueueSamples     uint64
+	MeanCentralQueue float64
+	MeanLocalQueue   float64
 }
 
 // SiteStats is the per-site breakdown of a run.

@@ -1,0 +1,162 @@
+package hybrid
+
+import (
+	"testing"
+
+	"hybriddb/internal/hybrid/obs"
+	"hybriddb/internal/routing"
+)
+
+// TestSeriesBucketBoundaries pins the bucket grid: a completion at exactly
+// the window start lands in bucket 0, one an epsilon before a boundary stays
+// in the earlier bucket, one exactly on a boundary opens the next, and
+// skipped buckets materialize as zero-count entries.
+func TestSeriesBucketBoundaries(t *testing.T) {
+	m := newMetrics(10, 1)
+	m.OnEvent(obs.Event{Kind: obs.MeasureStart, At: 100})
+
+	commit := func(at, rt float64) {
+		m.OnEvent(obs.Event{Kind: obs.TxnLocalCommit, At: at, Value: rt, Site: 0})
+	}
+	commit(100, 1.0)     // bucket 0, inclusive lower edge
+	commit(109.999, 2.0) // still bucket 0
+	commit(110, 3.0)     // bucket 1, boundary opens the next bucket
+	commit(135, 4.0)     // bucket 3; bucket 2 stays empty
+
+	wantCounts := []uint64{2, 1, 0, 1}
+	if len(m.seriesCount) != len(wantCounts) {
+		t.Fatalf("got %d buckets, want %d", len(m.seriesCount), len(wantCounts))
+	}
+	for i, want := range wantCounts {
+		if m.seriesCount[i] != want {
+			t.Errorf("bucket %d count = %d, want %d", i, m.seriesCount[i], want)
+		}
+	}
+	if got := m.seriesSum[0]; got != 3.0 {
+		t.Errorf("bucket 0 sum = %v, want 3.0", got)
+	}
+	if got := m.seriesSum[3]; got != 4.0 {
+		t.Errorf("bucket 3 sum = %v, want 4.0", got)
+	}
+}
+
+// TestSeriesDisabledRecordsNothing: SeriesBucket = 0 must leave every series
+// slice nil, whatever arrives.
+func TestSeriesDisabledRecordsNothing(t *testing.T) {
+	m := newMetrics(0, 1)
+	m.OnEvent(obs.Event{Kind: obs.MeasureStart, At: 0})
+	m.OnEvent(obs.Event{Kind: obs.TxnLocalCommit, At: 5, Value: 1, Site: 0})
+	m.OnEvent(obs.Event{Kind: obs.QueueSample, At: 5, Value: 2, Aux: 1})
+	if m.seriesCount != nil || m.seriesQCount != nil {
+		t.Fatalf("series recorded with bucket 0: rt=%v queue=%v", m.seriesCount, m.seriesQCount)
+	}
+}
+
+// TestQueueSampleFolding: queue observations fold into the same bucket grid
+// as response times, accumulating separate central and local sums.
+func TestQueueSampleFolding(t *testing.T) {
+	m := newMetrics(10, 1)
+	m.OnEvent(obs.Event{Kind: obs.MeasureStart, At: 100})
+
+	sample := func(at, central, local float64) {
+		m.OnEvent(obs.Event{Kind: obs.QueueSample, At: at, Value: central, Aux: local})
+	}
+	sample(101, 4, 1)
+	sample(102, 6, 2) // same bucket: sums 10 and 3 over 2 samples
+	sample(125, 8, 3) // bucket 2; bucket 1 empty
+
+	if got := len(m.seriesQCount); got != 3 {
+		t.Fatalf("got %d queue buckets, want 3", got)
+	}
+	if m.seriesQCount[0] != 2 || m.seriesQSumC[0] != 10 || m.seriesQSumL[0] != 3 {
+		t.Errorf("bucket 0 = %d samples, sums C=%v L=%v; want 2, 10, 3",
+			m.seriesQCount[0], m.seriesQSumC[0], m.seriesQSumL[0])
+	}
+	if m.seriesQCount[1] != 0 {
+		t.Errorf("bucket 1 has %d samples, want 0", m.seriesQCount[1])
+	}
+	if m.seriesQCount[2] != 1 || m.seriesQSumC[2] != 8 {
+		t.Errorf("bucket 2 = %d samples, sum C=%v; want 1, 8", m.seriesQCount[2], m.seriesQSumC[2])
+	}
+}
+
+// TestSeriesIgnoresPreWindowEvents: before MeasureStart nothing is enabled,
+// and an event carrying a pre-window timestamp after enablement maps to no
+// bucket rather than a negative index.
+func TestSeriesIgnoresPreWindowEvents(t *testing.T) {
+	m := newMetrics(10, 1)
+	m.OnEvent(obs.Event{Kind: obs.TxnLocalCommit, At: 50, Value: 1, Site: 0})
+	m.OnEvent(obs.Event{Kind: obs.MeasureStart, At: 100})
+	m.OnEvent(obs.Event{Kind: obs.QueueSample, At: 99.5, Value: 1, Aux: 1})
+	if m.seriesCount != nil || m.seriesQCount != nil {
+		t.Fatal("pre-window events reached the series")
+	}
+	if m.rtAll.Count() != 0 {
+		t.Fatal("pre-window commit was measured")
+	}
+}
+
+// TestResultSeriesEndToEnd runs a real simulation with SeriesBucket set and
+// checks the assembled RTSeries: contiguous buckets on the grid, completions
+// and queue samples both folded, and means derived from the folded sums.
+func TestResultSeriesEndToEnd(t *testing.T) {
+	cfg := testConfig()
+	cfg.SeriesBucket = 25
+	r := run(t, cfg, routing.QueueLength{})
+
+	if len(r.RTSeries) == 0 {
+		t.Fatal("no RTSeries with SeriesBucket set")
+	}
+	var completions, qsamples uint64
+	for i, b := range r.RTSeries {
+		if want := float64(i) * cfg.SeriesBucket; b.Start != want {
+			t.Fatalf("bucket %d starts at %v, want %v", i, b.Start, want)
+		}
+		completions += b.Completions
+		qsamples += b.QueueSamples
+		if b.Completions == 0 && b.MeanRT != 0 {
+			t.Errorf("empty bucket %d has MeanRT %v", i, b.MeanRT)
+		}
+		if b.QueueSamples == 0 && (b.MeanCentralQueue != 0 || b.MeanLocalQueue != 0) {
+			t.Errorf("bucket %d has queue means without samples", i)
+		}
+	}
+	if total := r.CompletedLocalA + r.CompletedShippedA + r.CompletedClassB; completions != total {
+		t.Errorf("series holds %d completions, result has %d", completions, total)
+	}
+	// The engine samples queues at 1 Hz over the window, so a 150 s run folds
+	// about 150 samples into the series.
+	if qsamples == 0 {
+		t.Error("no queue samples folded into the series")
+	}
+}
+
+// TestCaptureHistograms: the dumps are attached only on request, and
+// recomputing a quantile from the dumped buckets reproduces the result's own
+// percentile field — the property run manifests rely on.
+func TestCaptureHistograms(t *testing.T) {
+	cfg := testConfig()
+	r := run(t, cfg, routing.QueueLength{})
+	if r.Histograms != nil {
+		t.Fatal("histogram dumps attached without CaptureHistograms")
+	}
+
+	cfg.CaptureHistograms = true
+	r = run(t, cfg, routing.QueueLength{})
+	if r.Histograms == nil {
+		t.Fatal("no histogram dumps with CaptureHistograms set")
+	}
+	h := r.Histograms.All
+	if total := r.CompletedLocalA + r.CompletedShippedA + r.CompletedClassB; h.Count != total {
+		t.Errorf("dump count %d, completions %d", h.Count, total)
+	}
+	if got, want := h.Quantile(0.95), r.P95RT; got != want {
+		t.Errorf("dump quantile(0.95) = %v, result P95RT = %v", got, want)
+	}
+	if got, want := h.Quantile(0.50), r.RTPercentiles.P50; got != want {
+		t.Errorf("dump quantile(0.50) = %v, RTPercentiles.P50 = %v", got, want)
+	}
+	if r.ClipAll.Under != h.Under || r.ClipAll.Over != h.Over {
+		t.Errorf("ClipAll %+v disagrees with dump under/over %d/%d", r.ClipAll, h.Under, h.Over)
+	}
+}

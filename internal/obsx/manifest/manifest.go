@@ -1,0 +1,113 @@
+// Package manifest writes machine-readable run artifacts. A manifest is the
+// full provenance of a simulation run or sweep — every configuration field,
+// every seed, the code revision and Go version that produced it, wall time —
+// together with the complete measurements, including per-policy histogram
+// dumps with under/over clip counts, percentile sets, the abort breakdown by
+// cause, and the queue-length time series when the run recorded one. A plot
+// or table can then be regenerated, and percentiles recomputed, from the
+// RUN_*.json file alone, without rerunning the simulation.
+package manifest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"hybriddb/internal/hybrid"
+)
+
+// Schema identifies the manifest format; readers reject other values.
+const Schema = "hybriddb/run-manifest/v1"
+
+// Run is one simulation run: the exact configuration (seed included, so the
+// run is reproducible bit for bit) and its full measurement.
+type Run struct {
+	// Label names the run within the manifest, e.g. the policy label of a
+	// sweep ("min-average/nis at rate 2.5 rep 0") or "single" for one-off
+	// hybridsim runs.
+	Label string `json:"label"`
+	// Seed duplicates Config.Seed for grepability.
+	Seed   uint64        `json:"seed"`
+	Config hybrid.Config `json:"config"`
+	Result hybrid.Result `json:"result"`
+}
+
+// Manifest is the artifact written next to a run's human-readable output.
+type Manifest struct {
+	Schema string `json:"schema"`
+	// Tool is the producing command ("hybridsim", "figures", ...).
+	Tool string `json:"tool"`
+	// Title describes the run or sweep, e.g. a figure title.
+	Title string `json:"title,omitempty"`
+	// GoVersion and GitRevision record the build that produced the numbers.
+	// GitRevision is empty when the binary was built outside version control.
+	GoVersion   string `json:"go_version"`
+	GitRevision string `json:"git_revision,omitempty"`
+	GitDirty    bool   `json:"git_dirty,omitempty"`
+	// Created is the UTC completion time in RFC 3339 form.
+	Created string `json:"created,omitempty"`
+	// WallSeconds is the real time the runs took.
+	WallSeconds float64 `json:"wall_seconds"`
+	Runs        []Run   `json:"runs"`
+}
+
+// New starts a manifest for the named tool, stamping build provenance from
+// the running binary's debug build info.
+func New(tool, title string) *Manifest {
+	m := &Manifest{
+		Schema:    Schema,
+		Tool:      tool,
+		Title:     title,
+		GoVersion: runtime.Version(),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.GitRevision = s.Value
+			case "vcs.modified":
+				m.GitDirty = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// Add appends one run.
+func (m *Manifest) Add(label string, cfg hybrid.Config, res hybrid.Result) {
+	m.Runs = append(m.Runs, Run{Label: label, Seed: cfg.Seed, Config: cfg, Result: res})
+}
+
+// Finish stamps the completion time and wall duration.
+func (m *Manifest) Finish(wall time.Duration) {
+	m.Created = time.Now().UTC().Format(time.RFC3339)
+	m.WallSeconds = wall.Seconds()
+}
+
+// WriteFile writes the manifest as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadFile loads and validates a manifest.
+func ReadFile(path string) (*Manifest, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("manifest: %s: %w", path, err)
+	}
+	if m.Schema != Schema {
+		return nil, fmt.Errorf("manifest: %s: schema %q, want %q", path, m.Schema, Schema)
+	}
+	return &m, nil
+}

@@ -1,0 +1,99 @@
+package manifest
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/routing"
+)
+
+func simulate(t *testing.T) (hybrid.Config, hybrid.Result) {
+	t.Helper()
+	cfg := hybrid.DefaultConfig()
+	cfg.Sites = 4
+	cfg.Seed = 7
+	cfg.Warmup, cfg.Duration = 10, 60
+	cfg.SeriesBucket = 15
+	cfg.CaptureHistograms = true
+	e, err := hybrid.New(cfg, routing.QueueLength{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, e.Run()
+}
+
+// TestRoundTrip writes a manifest holding a real run and reads it back: the
+// decoded run must reproduce the config and result exactly, histogram dumps
+// and time series included — the artifact carries everything needed to
+// re-plot without resimulating.
+func TestRoundTrip(t *testing.T) {
+	cfg, res := simulate(t)
+	m := New("test", "round trip")
+	m.Add("single", cfg, res)
+	m.Finish(0)
+
+	path := filepath.Join(t.TempDir(), "RUN_test.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.Tool != "test" || len(got.Runs) != 1 {
+		t.Fatalf("header mangled: %+v", got)
+	}
+	run := got.Runs[0]
+	if run.Seed != cfg.Seed {
+		t.Errorf("seed %d, want %d", run.Seed, cfg.Seed)
+	}
+	if !reflect.DeepEqual(run.Config, cfg) {
+		t.Errorf("config did not round-trip:\ngot  %+v\nwant %+v", run.Config, cfg)
+	}
+	if !reflect.DeepEqual(run.Result, res) {
+		t.Error("result did not round-trip")
+	}
+	if run.Result.Histograms == nil {
+		t.Fatal("histogram dumps lost in round trip")
+	}
+	if got, want := run.Result.Histograms.All.Quantile(0.95), res.P95RT; got != want {
+		t.Errorf("recomputed p95 %v, want %v", got, want)
+	}
+	if len(run.Result.RTSeries) == 0 {
+		t.Error("time series lost in round trip")
+	}
+}
+
+// TestReadFileRejectsWrongSchema guards the version gate.
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	m := New("test", "")
+	m.Schema = "something/else"
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestProvenanceStamped: New records the toolchain; Finish stamps a time.
+func TestProvenanceStamped(t *testing.T) {
+	m := New("test", "title")
+	if m.GoVersion == "" {
+		t.Error("no Go version recorded")
+	}
+	m.Finish(1500000000) // 1.5s in nanoseconds
+	if m.WallSeconds != 1.5 {
+		t.Errorf("WallSeconds = %v, want 1.5", m.WallSeconds)
+	}
+	if m.Created == "" {
+		t.Error("no creation time stamped")
+	}
+}

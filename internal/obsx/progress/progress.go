@@ -1,0 +1,85 @@
+// Package progress reports sweep liveness without touching simulation
+// results: a stderr ticker fed by the runner's completion callback, expvar
+// counters, and an optional debug HTTP server exposing expvar and pprof.
+// Long figure regenerations stop looking hung, and a stuck or slow run can
+// be profiled in place.
+package progress
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"sync"
+	"time"
+
+	"hybriddb/internal/runner"
+)
+
+// Published expvar counters, updated by every Ticker. A process hosts many
+// sweeps sequentially, so the vars are package-level and cumulative across
+// sweeps except sim_tasks_total/sim_tasks_done, which describe the current
+// sweep.
+var (
+	varDone    = expvar.NewInt("sim_tasks_done")
+	varTotal   = expvar.NewInt("sim_tasks_total")
+	varLast    = expvar.NewString("sim_last_task")
+	varElapsed = expvar.NewFloat("sim_elapsed_seconds")
+)
+
+// Ticker renders runner progress to a writer (normally stderr), at most once
+// per MinInterval except for the final task, which always prints. The zero
+// MinInterval prints every completion.
+type Ticker struct {
+	W           io.Writer
+	MinInterval time.Duration
+
+	mu   sync.Mutex
+	last time.Time
+}
+
+// NewTicker returns a ticker writing to w at most every interval.
+func NewTicker(w io.Writer, interval time.Duration) *Ticker {
+	return &Ticker{W: w, MinInterval: interval}
+}
+
+// Callback is the runner.Options.Progress hook.
+func (t *Ticker) Callback(ev runner.ProgressEvent) {
+	varDone.Set(int64(ev.Done))
+	varTotal.Set(int64(ev.Total))
+	varLast.Set(ev.Label)
+	varElapsed.Set(ev.Elapsed.Seconds())
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	final := ev.Done == ev.Total
+	if !final && t.MinInterval > 0 && now.Sub(t.last) < t.MinInterval {
+		return
+	}
+	t.last = now
+	line := fmt.Sprintf("[%d/%d] %s (%.1fs elapsed", ev.Done, ev.Total, ev.Label, ev.Elapsed.Seconds())
+	if ev.ETA > 0 {
+		line += fmt.Sprintf(", ~%.0fs left", ev.ETA.Seconds())
+	}
+	line += ")\n"
+	fmt.Fprint(t.W, line)
+}
+
+// StartDebugServer serves expvar (/debug/vars) and pprof (/debug/pprof) on
+// addr in a background goroutine, returning the bound address (useful with a
+// ":0" listener). The server lives until the process exits — simulation runs
+// are batch jobs, so there is nothing to shut down gracefully.
+func StartDebugServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("debug server: %w", err)
+	}
+	go func() {
+		// DefaultServeMux carries both expvar's and pprof's handlers.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,75 @@
+package progress
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"hybriddb/internal/runner"
+)
+
+// TestTickerRendersProgress: with no rate limit every event prints, carrying
+// the counter, label, and ETA.
+func TestTickerRendersProgress(t *testing.T) {
+	var buf strings.Builder
+	tick := NewTicker(&buf, 0)
+	tick.Callback(runner.ProgressEvent{Done: 1, Total: 3, Label: "first", Elapsed: 2 * time.Second, ETA: 4 * time.Second})
+	tick.Callback(runner.ProgressEvent{Done: 3, Total: 3, Label: "last", Elapsed: 6 * time.Second})
+	out := buf.String()
+	for _, want := range []string{"[1/3] first", "~4s left", "[3/3] last"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTickerRateLimit: intermediate events inside the interval are swallowed,
+// but the final event always prints.
+func TestTickerRateLimit(t *testing.T) {
+	var buf strings.Builder
+	tick := NewTicker(&buf, time.Hour)
+	for i := 1; i <= 5; i++ {
+		tick.Callback(runner.ProgressEvent{Done: i, Total: 5, Label: fmt.Sprintf("t%d", i)})
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[1/5]") {
+		t.Errorf("first event suppressed:\n%s", out)
+	}
+	if strings.Contains(out, "[3/5]") {
+		t.Errorf("rate limit did not suppress intermediate event:\n%s", out)
+	}
+	if !strings.Contains(out, "[5/5]") {
+		t.Errorf("final event suppressed:\n%s", out)
+	}
+}
+
+// TestDebugServerServesExpvar boots the server on an ephemeral port and
+// fetches /debug/vars: the sim_* counters published by the ticker must be
+// present and current.
+func TestDebugServerServesExpvar(t *testing.T) {
+	NewTicker(io.Discard, 0).Callback(runner.ProgressEvent{Done: 2, Total: 9, Label: "probe"})
+
+	addr, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if got := vars["sim_tasks_total"]; got != float64(9) {
+		t.Errorf("sim_tasks_total = %v, want 9", got)
+	}
+	if got := vars["sim_last_task"]; got != "probe" {
+		t.Errorf("sim_last_task = %v, want probe", got)
+	}
+}

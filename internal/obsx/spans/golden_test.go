@@ -1,0 +1,56 @@
+package spans
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"testing"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/routing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace export")
+
+const goldenPath = "testdata/trace_seed11.json"
+
+// TestGoldenExport pins the span export byte-for-byte: a fixed seed must
+// produce an identical Chrome trace-event file on every machine and across
+// code versions. The export is hand-serialized with a fixed field order and
+// fixed float precision precisely so this test can exist; an intentional
+// format or lifecycle change regenerates the pin with -update.
+func TestGoldenExport(t *testing.T) {
+	cfg := hybrid.DefaultConfig()
+	cfg.Sites = 3
+	cfg.Seed = 11
+	cfg.Warmup = 0
+	cfg.Duration = 12
+	cfg.ArrivalRatePerSite = 1.5
+	e, err := hybrid.New(cfg, routing.NewStatic(0.5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollector(cfg.Sites)
+	e.Subscribe(c)
+	e.Run()
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("span export diverged from %s (%d bytes, want %d).\n"+
+			"If the span lifecycle or export format changed intentionally, re-run with -update.",
+			goldenPath, buf.Len(), len(want))
+	}
+}

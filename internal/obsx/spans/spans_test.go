@@ -1,0 +1,233 @@
+package spans
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/routing"
+)
+
+// traceDoc mirrors the Chrome trace-event JSON for validation.
+type traceDoc struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Pid  int               `json:"pid"`
+	Tid  int64             `json:"tid"`
+	S    string            `json:"s"`
+	Args map[string]string `json:"args"`
+}
+
+func collect(t *testing.T, cfg hybrid.Config, strat routing.Strategy) (*Collector, traceDoc) {
+	t.Helper()
+	e, err := hybrid.New(cfg, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollector(cfg.Sites)
+	e.Subscribe(c)
+	e.Run()
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	return c, doc
+}
+
+func testConfig() hybrid.Config {
+	cfg := hybrid.DefaultConfig()
+	cfg.Sites = 4
+	cfg.Seed = 11
+	cfg.Warmup = 0
+	cfg.Duration = 40
+	cfg.ArrivalRatePerSite = 1.5
+	return cfg
+}
+
+// TestExportIsWellFormed checks the structural invariants of the Chrome
+// trace format: every duration span balances (B/E per pid+tid, LIFO, no
+// negative depth), instants carry a scope, and timestamps never go
+// backwards within a thread.
+func TestExportIsWellFormed(t *testing.T) {
+	_, doc := collect(t, testConfig(), routing.NewStatic(0.5, 7))
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+
+	type lane struct {
+		pid int
+		tid int64
+	}
+	depth := make(map[lane]int)
+	lastTS := make(map[lane]float64)
+	var spans, instants int
+	for i, ev := range doc.TraceEvents {
+		l := lane{ev.Pid, ev.Tid}
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "process_name" {
+				t.Fatalf("event %d: unexpected metadata %q", i, ev.Name)
+			}
+			continue
+		case "B":
+			if ev.Name == "" {
+				t.Fatalf("event %d: B without a name", i)
+			}
+			depth[l]++
+			spans++
+		case "E":
+			depth[l]--
+			if depth[l] < 0 {
+				t.Fatalf("event %d: E without matching B on pid %d tid %d", i, ev.Pid, ev.Tid)
+			}
+		case "i":
+			if ev.S == "" {
+				t.Fatalf("event %d: instant without scope", i)
+			}
+			instants++
+		default:
+			t.Fatalf("event %d: unknown phase %q", i, ev.Ph)
+		}
+		if ev.TS < lastTS[l] {
+			t.Fatalf("event %d: time went backwards on pid %d tid %d: %v -> %v",
+				i, ev.Pid, ev.Tid, lastTS[l], ev.TS)
+		}
+		lastTS[l] = ev.TS
+	}
+	for l, d := range depth {
+		if d != 0 {
+			t.Errorf("pid %d tid %d: %d spans left open", l.pid, l.tid, d)
+		}
+	}
+	if spans == 0 || instants == 0 {
+		t.Fatalf("export has %d spans and %d instants; want both nonzero", spans, instants)
+	}
+}
+
+// TestExportCoversLifecycle checks the span vocabulary: a contended run
+// must produce txn/attempt/auth/reply spans, route and commit instants, and
+// a central-complex process lane.
+func TestExportCoversLifecycle(t *testing.T) {
+	_, doc := collect(t, testConfig(), routing.NewStatic(0.5, 7))
+	names := make(map[string]int)
+	pids := make(map[int]bool)
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name]++
+		if ev.Ph != "M" {
+			pids[ev.Pid] = true
+		}
+	}
+	for _, want := range []string{
+		"txn", "attempt", "ship+setup", "auth", "reply",
+		"route: local", "route: ship", "commit", "auth ack",
+	} {
+		if names[want] == 0 {
+			t.Errorf("no %q events in export", want)
+		}
+	}
+	if !pids[centralPid] {
+		t.Error("no events in the central-complex lane")
+	}
+}
+
+// TestCollectorIsDeterministic re-runs the same seed and demands identical
+// bytes — the property the golden test then pins across code versions.
+func TestCollectorIsDeterministic(t *testing.T) {
+	render := func() []byte {
+		e, err := hybrid.New(testConfig(), routing.NewStatic(0.5, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewCollector(testConfig().Sites)
+		e.Subscribe(c)
+		e.Run()
+		var buf bytes.Buffer
+		if _, err := c.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(), render()) {
+		t.Fatal("same seed produced different exports")
+	}
+}
+
+// TestMaxEventsSoftCap: past the cap, new transactions are dropped and
+// counted, but the export still balances.
+func TestMaxEventsSoftCap(t *testing.T) {
+	cfg := testConfig()
+	e, err := hybrid.New(cfg, routing.NewStatic(0.5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollector(cfg.Sites)
+	c.MaxEvents = 200
+	e.Subscribe(c)
+	e.Run()
+	if c.Dropped() == 0 {
+		t.Fatal("expected drops with a 200-event cap")
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("capped export is not valid JSON: %v", err)
+	}
+	depth := make(map[int64]int)
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "B":
+			depth[int64(ev.Pid)<<32|ev.Tid&0xffffffff]++
+		case "E":
+			depth[int64(ev.Pid)<<32|ev.Tid&0xffffffff]--
+		}
+	}
+	for lane, d := range depth {
+		if d != 0 {
+			t.Errorf("lane %x: %d spans left open in capped export", lane, d)
+		}
+	}
+}
+
+// TestWriteFile round-trips through the filesystem.
+func TestWriteFile(t *testing.T) {
+	cfg := testConfig()
+	cfg.Duration = 10
+	e, err := hybrid.New(cfg, routing.QueueLength{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollector(cfg.Sites)
+	e.Subscribe(c)
+	e.Run()
+	path := t.TempDir() + "/trace.json"
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("file holds no trace events")
+	}
+}

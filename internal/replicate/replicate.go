@@ -67,6 +67,12 @@ func Run(cfg hybrid.Config, mk Maker, runs int) (Summary, error) {
 
 // RunParallel is Run with an explicit worker bound (0 means GOMAXPROCS).
 func RunParallel(cfg hybrid.Config, mk Maker, runs, parallelism int) (Summary, error) {
+	return RunOpts(cfg, mk, runs, runner.Options{Parallelism: parallelism})
+}
+
+// RunOpts is Run with full pool options (worker bound, progress callback).
+// The options change wall-clock behaviour only, never the summary.
+func RunOpts(cfg hybrid.Config, mk Maker, runs int, opt runner.Options) (Summary, error) {
 	if runs <= 0 {
 		return Summary{}, fmt.Errorf("replicate: %d runs", runs)
 	}
@@ -83,7 +89,7 @@ func RunParallel(cfg hybrid.Config, mk Maker, runs, parallelism int) (Summary, e
 			Make:  mk,
 		}
 	}
-	results, err := runner.Run(tasks, parallelism)
+	results, err := runner.RunOpts(tasks, opt)
 	if err != nil {
 		return Summary{}, err
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"hybriddb/internal/hybrid"
 	"hybriddb/internal/routing"
@@ -37,23 +38,58 @@ func Parallelism(requested int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// ProgressEvent reports the pool's state after one task finishes. Events are
+// delivered serially (never concurrently), in completion order — which under
+// parallelism is not task order.
+type ProgressEvent struct {
+	Done  int    // tasks finished so far, including this one
+	Total int    // total tasks in this Run
+	Label string // label of the task that just finished
+	// Elapsed is the wall time since Run started.
+	Elapsed time.Duration
+	// ETA estimates the remaining wall time by extrapolating the pool's
+	// observed completion throughput over the outstanding tasks. It is 0
+	// when nothing remains.
+	ETA time.Duration
+}
+
+// Options configures a RunOpts pool.
+type Options struct {
+	// Parallelism bounds the worker pool; 0 or negative selects GOMAXPROCS.
+	// The value changes only wall-clock time, never results.
+	Parallelism int
+	// Progress, when non-nil, is called after each task completes. Calls are
+	// serialized, so the callback needs no locking of its own. The callback
+	// observes wall-clock completion order and timing only — simulation
+	// results are unaffected by its presence.
+	Progress func(ProgressEvent)
+}
+
 // Run executes every task, at most parallelism at once (0 or negative means
 // GOMAXPROCS), and returns the results in task order. The worker count
 // affects only wall-clock time: each task carries its own seed, so the
 // returned slice is identical for any parallelism. On error the first failing
 // task (in task order, not completion order) is reported.
 func Run(tasks []Task, parallelism int) ([]hybrid.Result, error) {
+	return RunOpts(tasks, Options{Parallelism: parallelism})
+}
+
+// RunOpts is Run with a progress callback. Results are identical to Run's for
+// any Options — progress reporting is observation only.
+func RunOpts(tasks []Task, opt Options) ([]hybrid.Result, error) {
 	results := make([]hybrid.Result, len(tasks))
 	errs := make([]error, len(tasks))
-	workers := Parallelism(parallelism)
+	workers := Parallelism(opt.Parallelism)
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+	prog := newProgress(opt.Progress, len(tasks))
 	if workers <= 1 {
 		for i := range tasks {
 			if err := runTask(&tasks[i], &results[i]); err != nil {
 				return nil, err
 			}
+			prog.done(tasks[i].Label)
 		}
 		return results, nil
 	}
@@ -66,6 +102,7 @@ func Run(tasks []Task, parallelism int) ([]hybrid.Result, error) {
 			defer wg.Done()
 			for i := range indices {
 				errs[i] = runTask(&tasks[i], &results[i])
+				prog.done(tasks[i].Label)
 			}
 		}()
 	}
@@ -81,6 +118,39 @@ func Run(tasks []Task, parallelism int) ([]hybrid.Result, error) {
 		}
 	}
 	return results, nil
+}
+
+// progress serializes completion callbacks and derives the ETA.
+type progress struct {
+	mu    sync.Mutex
+	cb    func(ProgressEvent)
+	total int
+	count int
+	start time.Time
+}
+
+func newProgress(cb func(ProgressEvent), total int) *progress {
+	if cb == nil {
+		return nil
+	}
+	return &progress{cb: cb, total: total, start: time.Now()}
+}
+
+func (p *progress) done(label string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.count++
+	elapsed := time.Since(p.start)
+	ev := ProgressEvent{Done: p.count, Total: p.total, Label: label, Elapsed: elapsed}
+	if left := p.total - p.count; left > 0 && p.count > 0 {
+		// elapsed/count is the pool's observed wall-clock throughput, so it
+		// already reflects the worker width.
+		ev.ETA = elapsed / time.Duration(p.count) * time.Duration(left)
+	}
+	p.cb(ev)
 }
 
 func runTask(t *Task, out *hybrid.Result) error {

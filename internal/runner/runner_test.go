@@ -170,3 +170,61 @@ func TestParallelismResolution(t *testing.T) {
 		t.Fatal("negative parallelism not defaulted")
 	}
 }
+
+// TestRunOptsProgressCounts: the callback fires exactly once per task with a
+// monotonically increasing Done, the right Total, and a task label; ETA is
+// positive until the final event.
+func TestRunOptsProgressCounts(t *testing.T) {
+	const n = 6
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{Label: fmt.Sprintf("task %d", i), Cfg: testCfg(uint64(i + 1)), Make: makeQueueLength}
+	}
+	var events []ProgressEvent
+	_, err := RunOpts(tasks, Options{Parallelism: 3, Progress: func(ev ProgressEvent) {
+		events = append(events, ev) // callbacks are serialized, no lock needed
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != n {
+		t.Fatalf("%d progress events, want %d", len(events), n)
+	}
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != n {
+			t.Errorf("event %d: Done=%d Total=%d, want %d/%d", i, ev.Done, ev.Total, i+1, n)
+		}
+		if ev.Label == "" {
+			t.Errorf("event %d has no label", i)
+		}
+		if i < n-1 && ev.ETA <= 0 {
+			t.Errorf("event %d: ETA %v, want > 0 with tasks outstanding", i, ev.ETA)
+		}
+	}
+	if last := events[n-1]; last.ETA != 0 {
+		t.Errorf("final event has ETA %v, want 0", last.ETA)
+	}
+}
+
+// TestRunOptsProgressDoesNotChangeResults: attaching a progress callback is
+// observation only.
+func TestRunOptsProgressDoesNotChangeResults(t *testing.T) {
+	tasks := func() []Task {
+		out := make([]Task, 4)
+		for i := range out {
+			out[i] = Task{Label: fmt.Sprintf("t%d", i), Cfg: testCfg(uint64(i + 10)), Make: makeQueueLength}
+		}
+		return out
+	}
+	plain, err := Run(tasks(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := RunOpts(tasks(), Options{Parallelism: 2, Progress: func(ProgressEvent) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatal("progress callback changed the results")
+	}
+}

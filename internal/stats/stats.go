@@ -254,6 +254,85 @@ func (h *Histogram) Buckets() []uint64 {
 	return out
 }
 
+// Under returns the number of observations below the histogram range.
+func (h *Histogram) Under() uint64 { return h.under }
+
+// Over returns the number of observations at or above the histogram range —
+// mass the quantile estimator clamps to the range ceiling, so a nonzero
+// count means upper quantiles are underestimates.
+func (h *Histogram) Over() uint64 { return h.over }
+
+// Lo returns the inclusive lower bound of the bucketed range.
+func (h *Histogram) Lo() float64 { return h.lo }
+
+// Hi returns the exclusive upper bound of the bucketed range.
+func (h *Histogram) Hi() float64 { return h.hi }
+
+// BucketWidth returns the width of one bucket.
+func (h *Histogram) BucketWidth() float64 { return h.width }
+
+// HistogramDump is a machine-readable snapshot of a histogram, suitable for
+// JSON export and for recomputing quantiles from an artifact instead of a
+// rerun. Counts holds the bucket tallies with trailing empty buckets
+// trimmed; bucket i spans [Lo+i*Width, Lo+(i+1)*Width).
+type HistogramDump struct {
+	Lo     float64  `json:"lo"`
+	Hi     float64  `json:"hi"`
+	Width  float64  `json:"width"`
+	Counts []uint64 `json:"counts"`
+	Under  uint64   `json:"under"`
+	Over   uint64   `json:"over"`
+	Count  uint64   `json:"count"`
+	Mean   float64  `json:"mean"`
+}
+
+// Dump snapshots the histogram.
+func (h *Histogram) Dump() HistogramDump {
+	n := len(h.buckets)
+	for n > 0 && h.buckets[n-1] == 0 {
+		n--
+	}
+	counts := make([]uint64, n)
+	copy(counts, h.buckets[:n])
+	return HistogramDump{
+		Lo:     h.lo,
+		Hi:     h.hi,
+		Width:  h.width,
+		Counts: counts,
+		Under:  h.under,
+		Over:   h.over,
+		Count:  h.Count(),
+		Mean:   h.Mean(),
+	}
+}
+
+// Quantile estimates the q-quantile from the dumped buckets, mirroring
+// Histogram.Quantile: linear interpolation within a bucket, out-of-range
+// mass attributed to the range edges. This is what lets an exported run
+// manifest reproduce percentile figures without rerunning the simulation.
+func (d HistogramDump) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0,1]")
+	}
+	if d.Count == 0 {
+		return 0
+	}
+	target := q * float64(d.Count)
+	cum := float64(d.Under)
+	if target <= cum {
+		return d.Lo
+	}
+	for i, c := range d.Counts {
+		next := cum + float64(c)
+		if target <= next && c > 0 {
+			frac := (target - cum) / float64(c)
+			return d.Lo + (float64(i)+frac)*d.Width
+		}
+		cum = next
+	}
+	return d.Hi
+}
+
 // BatchMeans implements the method of (non-overlapping) batch means for
 // steady-state confidence intervals: observations are grouped into batches
 // of fixed size, and the batch averages are treated as approximately
