@@ -6,15 +6,22 @@ GO ?= go
 # Hot-path packages measured by the benchmark trajectory (BENCH_*.json).
 BENCH_PKGS = ./internal/sim ./internal/lock ./internal/cpu ./internal/hybrid
 
-.PHONY: all build test vet staticcheck race smoke bench-smoke check bench figures
+# Fuzz targets of the correctness harness (DESIGN.md §11); FUZZTIME bounds
+# each target's smoke budget.
+FUZZTIME ?= 10s
+FUZZ_TARGETS = FuzzHeap:./internal/sim FuzzLock:./internal/lock FuzzConfig:./internal/simtest
+
+.PHONY: all build test vet staticcheck race smoke bench-smoke simtest fuzz-smoke check bench figures
 
 all: build test
 
+# Tests always run shuffled: any hidden ordering dependence between tests
+# is a bug, and a fixed execution order would mask it.
+test:
+	$(GO) test -shuffle=on ./...
+
 build:
 	$(GO) build ./...
-
-test:
-	$(GO) test ./...
 
 vet:
 	$(GO) vet ./...
@@ -31,7 +38,23 @@ staticcheck:
 # The parallel runner fans concurrent engines across goroutines; the race
 # detector must stay clean over the whole tree.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+# The correctness harness under the race detector: metamorphic relations,
+# conservation laws, and the model↔sim differential gate all fan runs
+# through the parallel pool, so this doubles as a concurrency test.
+simtest:
+	$(GO) test -race -v -run 'Test' ./internal/simtest/
+
+# Short native-fuzzing pass over every fuzz target. Each target gets
+# FUZZTIME of mutation on top of replaying the committed corpus; a crasher
+# is reported with its corpus file for replay.
+fuzz-smoke:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		name=$${t%%:*}; pkg=$${t#*:}; \
+		echo "--- fuzz $$name ($$pkg, $(FUZZTIME))"; \
+		$(GO) test -fuzz "^$$name$$" -fuzztime $(FUZZTIME) -run '^$$' $$pkg; \
+	done
 
 # Short-sweep smoke run of the figure pipeline: replicated, fanned across
 # 4 workers, exercising seeds, aggregation, and table rendering end to end.
@@ -43,7 +66,7 @@ smoke:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' $(BENCH_PKGS)
 
-check: vet staticcheck race smoke bench-smoke
+check: vet staticcheck race simtest smoke bench-smoke fuzz-smoke
 
 # Full benchmark run over the hot-path packages, recorded as a
 # machine-readable summary (BENCH_$(BENCH_LABEL).json) diffed against the

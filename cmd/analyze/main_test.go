@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -111,5 +112,40 @@ func TestAnalyzeManifestRejectsMissingFile(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-manifest", filepath.Join(t.TempDir(), "nope.json")}, &buf); err == nil {
 		t.Fatal("missing manifest accepted")
+	}
+}
+
+// TestAnalyzeManifestRejectsCorruptJSON: a truncated or garbled manifest
+// must produce a decode error naming the file, not a zero-valued summary.
+func TestAnalyzeManifestRejectsCorruptJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "RUN_corrupt.json")
+	if err := os.WriteFile(path, []byte(`{"schema": "hybriddb.run/1", "runs": [`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-manifest", path}, &buf)
+	if err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+	if !strings.Contains(err.Error(), "RUN_corrupt.json") {
+		t.Errorf("error does not name the file: %v", err)
+	}
+}
+
+// TestAnalyzeManifestRejectsWrongSchema: valid JSON with an unknown schema
+// tag must be refused — silently summarizing a future or foreign format
+// would misreport its contents.
+func TestAnalyzeManifestRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "RUN_alien.json")
+	if err := os.WriteFile(path, []byte(`{"schema": "somebody-elses/9", "runs": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-manifest", path}, &buf)
+	if err == nil {
+		t.Fatal("wrong-schema manifest accepted")
+	}
+	if !strings.Contains(err.Error(), "schema") {
+		t.Errorf("error does not mention the schema mismatch: %v", err)
 	}
 }

@@ -21,8 +21,8 @@ func TestModelValidationAccurateAtModerateLoad(t *testing.T) {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	for _, r := range rows {
-		if math.IsInf(r.RelErr, 1) {
-			t.Errorf("rate %v saturated unexpectedly", r.RatePerSite)
+		if r.Status != ValidationOK {
+			t.Errorf("rate %v: status %v, want ok", r.RatePerSite, r.Status)
 			continue
 		}
 		// The §3.1 model should predict these uncontended-to-moderate
@@ -47,8 +47,9 @@ func TestModelValidationRejectsBadPShip(t *testing.T) {
 
 func TestWriteValidation(t *testing.T) {
 	rows := []ValidationRow{
-		{RatePerSite: 1, PShip: 0.3, ModelRT: 1.0, SimRT: 1.05, RelErr: 0.048},
-		{RatePerSite: 3.4, PShip: 0.3, RelErr: math.Inf(1)},
+		{RatePerSite: 1, PShip: 0.3, ModelRT: 1.0, SimRT: 1.05, RelErr: 0.048, Status: ValidationOK},
+		{RatePerSite: 3.4, PShip: 0.3, RelErr: math.NaN(), Status: ValidationModelSaturated},
+		{RatePerSite: 3.8, PShip: 0.3, ModelRT: 9.9, RelErr: math.NaN(), Status: ValidationSimDegenerate},
 	}
 	var buf bytes.Buffer
 	if err := WriteValidation(&buf, rows); err != nil {
@@ -58,7 +59,30 @@ func TestWriteValidation(t *testing.T) {
 	if !strings.Contains(out, "4.8%") {
 		t.Errorf("relative error missing:\n%s", out)
 	}
-	if !strings.Contains(out, "sat") {
-		t.Errorf("saturation marker missing:\n%s", out)
+	if !strings.Contains(out, "model-saturated") {
+		t.Errorf("model saturation sentinel missing:\n%s", out)
+	}
+	if !strings.Contains(out, "sim-degenerate") {
+		t.Errorf("sim degeneracy sentinel missing:\n%s", out)
+	}
+}
+
+// TestModelValidationSaturatedRowIsNamed pins the RelErr contract at a
+// saturating operating point: the row carries a named status and RelErr is
+// NaN — not +Inf that a band comparison would silently propagate.
+func TestModelValidationSaturatedRowIsNamed(t *testing.T) {
+	base := hybrid.DefaultConfig()
+	base.Warmup, base.Duration = 20, 80
+	// 4.0 tps/site at p_ship=0 drives local utilization past 1 in the model.
+	rows, err := ModelValidation(Options{Base: base, RatesPerSite: []float64{4.0}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Status != ValidationModelSaturated {
+		t.Fatalf("status = %v, want model-saturated (model util L %v)", r.Status, r.ModelUtilL)
+	}
+	if !math.IsNaN(r.RelErr) {
+		t.Errorf("RelErr = %v, want NaN on a saturated row", r.RelErr)
 	}
 }

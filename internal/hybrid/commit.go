@@ -205,7 +205,7 @@ func (c commitProtocol) finish(t *txnRun) {
 			ls.shippedOut--
 			ls.lastShippedRT = rt
 		}
-		e.observe(obs.Event{Kind: obs.TxnReply, ClassB: classB, Value: rt})
+		e.observe(obs.Event{Kind: obs.TxnReply, ClassB: classB, Value: rt, Site: home})
 		// The reply is the last touch: the seized-lock releases above were
 		// scheduled earlier at the same instant over equal-delay links, so
 		// FIFO tie-breaking guarantees they have already run.

@@ -11,6 +11,7 @@ package hybrid
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"hybriddb/internal/model"
 	"hybriddb/internal/workload"
@@ -151,6 +152,48 @@ func DefaultConfig() Config {
 
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
+	// Reject NaN and ±Inf up front: a NaN arrival rate or delay sails
+	// through every magnitude comparison below (NaN compares false) and
+	// would poison event timestamps — found by FuzzConfig.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"local MIPS", c.LocalMIPS},
+		{"central MIPS", c.CentralMIPS},
+		{"comm delay", c.CommDelay},
+		{"arrival rate", c.ArrivalRatePerSite},
+		{"p_local", c.PLocal},
+		{"p_write", c.PWrite},
+		{"instr per call", c.InstrPerCall},
+		{"instr overhead", c.InstrOverhead},
+		{"io time per call", c.IOTimePerCall},
+		{"setup io time", c.SetupIOTime},
+		{"restart delay", c.RestartDelay},
+		{"update pathlength", c.UpdateProcInstr},
+		{"update batch window", c.UpdateBatchWindow},
+		{"warmup", c.Warmup},
+		{"duration", c.Duration},
+		{"series bucket", c.SeriesBucket},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("hybrid: %s %v is not finite", f.name, f.v)
+		}
+	}
+	for i, r := range c.SiteRates {
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("hybrid: site %d rate %v is not finite", i, r)
+		}
+	}
+	for i, s := range c.RateSchedules {
+		for j, step := range s {
+			if math.IsNaN(step.Rate) || math.IsInf(step.Rate, 0) ||
+				math.IsNaN(step.Duration) || math.IsInf(step.Duration, 0) {
+				return fmt.Errorf("hybrid: site %d schedule step %d is not finite", i, j)
+			}
+		}
+	}
+
 	wl := c.WorkloadConfig()
 	if err := wl.Validate(); err != nil {
 		return err

@@ -303,14 +303,14 @@ func (e *Engine) admit(spec *workload.Txn) {
 	}
 
 	if spec.Class == workload.ClassB {
-		e.observe(obs.Event{Kind: obs.TxnArrive, ClassB: true, Shipped: true})
+		e.observe(obs.Event{Kind: obs.TxnArrive, ClassB: true, Shipped: true, Site: site})
 		e.emit(trace.RouteShip, spec.ID, site, 0, "class B")
 		e.remote.ship(t)
 		return
 	}
 	st := e.routingState(site)
 	shipped := e.strategy.Decide(st) == routing.Ship
-	e.observe(obs.Event{Kind: obs.TxnArrive, Shipped: shipped, Value: st.ViewAge})
+	e.observe(obs.Event{Kind: obs.TxnArrive, Shipped: shipped, Value: st.ViewAge, Site: site})
 	if shipped {
 		e.emit(trace.RouteShip, spec.ID, site, 0, "")
 		e.remote.ship(t)

@@ -221,7 +221,13 @@ func (e *Engine) result() Result {
 		MessagesSent:          e.network.MessagesSent(),
 		Generated:             e.generated,
 		Completed:             e.completed,
+		InFlightShip:          e.inFlightShip,
+		InFlightReply:         e.inFlightReply,
 	}
+	for _, ls := range e.sites {
+		r.InSystemAtEnd += uint64(ls.inSystem)
+	}
+	r.InSystemAtEnd += uint64(e.central.inSystem)
 	if window > 0 {
 		r.Throughput = float64(e.m.rtAll.Count()) / window
 		perSite, mean, max := siteUtilizations(e.sites, window)
@@ -367,9 +373,21 @@ type Result struct {
 	// otherwise so the default path allocates nothing for them.
 	Histograms *ResultHistograms
 
-	// Totals for conservation checking.
+	// Totals for conservation checking: every generated transaction is, at
+	// the horizon, either completed, still resident at a site or the central
+	// complex, or in flight on the network. The correctness harness
+	// (internal/simtest) enforces
+	// Generated == Completed + InSystemAtEnd + InFlightShip + InFlightReply.
 	Generated uint64 // transactions generated in the whole run
 	Completed uint64 // transactions completed in the whole run
+	// InSystemAtEnd counts transactions still resident (any phase) at local
+	// sites or the central complex when the run's horizon was reached.
+	InSystemAtEnd uint64
+	// InFlightShip counts shipped inputs still travelling to the central
+	// site at the horizon; InFlightReply counts completion replies still
+	// travelling back to their origin.
+	InFlightShip  uint64
+	InFlightReply uint64
 }
 
 // Percentiles summarises one response-time histogram (seconds).

@@ -89,7 +89,7 @@ type Event struct {
 	// Protocol-detail payload (Kind == TraceDetail).
 	Trace trace.Kind
 	Txn   int64
-	Site  int // also the site of a TxnLocalCommit
+	Site  int // also the origin site of TxnArrive/TxnLocalCommit/TxnReply
 	Elem  uint32
 	Note  string
 

@@ -1,0 +1,110 @@
+package lock
+
+import (
+	"testing"
+)
+
+// FuzzLock drives random seize/acquire/release/coherence traffic through a
+// Manager and verifies after every operation that no invariant is violated
+// and no pooled entry is leaked. The harness honours the Manager's
+// documented contracts (no second request while blocked, no coherence
+// underflow, seize victims are aborted by the caller) the same way the
+// engine does; everything else — operation order, element collisions, mode
+// mixes, upgrade attempts — is the fuzzer's choice.
+//
+// Each byte is one operation on a small id/element domain, which keeps
+// collisions (the interesting cases) frequent.
+func FuzzLock(f *testing.F) {
+	f.Add([]byte{})
+	// A grant, a conflicting wait, a release that promotes the waiter.
+	f.Add([]byte{0x00, 0x11, 0x40})
+	// Share holders piling onto one element, then an exclusive seize.
+	f.Add([]byte{0x02, 0x12, 0x22, 0x32, 0xb2})
+	// Coherence up, seize refused, coherence down, seize succeeds.
+	f.Add([]byte{0xc3, 0xa3, 0xd3, 0xa3})
+	// Upgrade attempt under contention and a cancel.
+	f.Add([]byte{0x04, 0x14, 0x84, 0x94, 0x74})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const (
+			ids   = 6
+			elems = 8
+		)
+		m := NewManager()
+		waiting := make(map[ID]bool)
+		granted := func(id ID) func() { return func() { delete(waiting, id) } }
+		abort := func(id ID) {
+			// The engine's abort path: drop every lock and any pending
+			// request the victim still has.
+			m.ReleaseAll(id)
+			delete(waiting, id)
+		}
+
+		for _, b := range data {
+			id := ID(b % ids)
+			elem := uint32((b >> 3) % elems)
+			mode := Share
+			if b&0x40 != 0 {
+				mode = Exclusive
+			}
+			switch op := b >> 4; {
+			case op < 0x6: // acquire (mode from bit 6)
+				if waiting[id] {
+					continue // contract: no second request while blocked
+				}
+				if m.Acquire(id, elem, mode, granted(id)) == Queued {
+					waiting[id] = true
+				}
+			case op < 0x8: // release one held element, if held
+				if _, ok := m.Holds(id, elem); ok && !waiting[id] {
+					m.Release(id, elem)
+				} else if b&1 == 0 {
+					m.CancelRequest(id)
+					delete(waiting, id)
+				}
+			case op < 0xa: // commit/abort: release everything
+				abort(id)
+			case op < 0xc: // seize (central authentication grab)
+				if waiting[id] {
+					continue
+				}
+				victims, ok := m.Seize(id, elem, mode)
+				if ok {
+					for _, v := range victims {
+						if v == id {
+							t.Fatalf("seize by %d returned itself as victim", id)
+						}
+						abort(v)
+					}
+				}
+			case op < 0xe: // coherence count up
+				if m.Coherence(elem) < 1<<20 {
+					m.IncrCoherence(elem)
+				}
+			default: // coherence count down, if legal
+				if m.Coherence(elem) > 0 {
+					m.DecrCoherence(elem)
+				}
+			}
+			m.CheckInvariants()
+		}
+
+		// Teardown: abort everyone and drain coherence; the table must be
+		// empty afterwards — anything left is a leaked pooled entry.
+		for id := ID(0); id < ids; id++ {
+			abort(id)
+		}
+		for elem := uint32(0); elem < elems; elem++ {
+			for m.Coherence(elem) > 0 {
+				m.DecrCoherence(elem)
+			}
+		}
+		m.CheckInvariants()
+		if m.granted != 0 {
+			t.Fatalf("%d grants survived teardown", m.granted)
+		}
+		if n := len(m.table); n != 0 {
+			t.Fatalf("%d entries retained after teardown — pooled entry leak", n)
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// Metamorphic relations on the fixed-point solver: transformations of the
+// input whose effect on the solution is known exactly from queueing theory,
+// checked without reference to any pinned numeric value. They complement
+// the point tests in model_test.go — a solver change can move every number
+// and still pass here, but it cannot invert a load dependence or break a
+// scaling symmetry without being caught.
+
+// TestSolveMonotoneInArrivalRate: more offered load can only increase every
+// response time and utilization, for any fixed routing split.
+func TestSolveMonotoneInArrivalRate(t *testing.T) {
+	for _, pShip := range []float64{0, 0.3, 0.7} {
+		prev := Result{}
+		first := true
+		for _, lambda := range []float64{0.25, 0.5, 1.0, 1.5, 2.0} {
+			r, err := Solve(paperInput(lambda, pShip))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Saturated {
+				break // past the knee the ordering is vacuous (+Inf)
+			}
+			if !first {
+				if r.RAvg < prev.RAvg {
+					t.Errorf("pShip %v: RAvg fell from %v to %v as lambda rose to %v",
+						pShip, prev.RAvg, r.RAvg, lambda)
+				}
+				if r.UtilLocal < prev.UtilLocal || r.UtilCentral < prev.UtilCentral {
+					t.Errorf("pShip %v: utilization fell as lambda rose to %v (L %v->%v, C %v->%v)",
+						pShip, lambda, prev.UtilLocal, r.UtilLocal, prev.UtilCentral, r.UtilCentral)
+				}
+			}
+			prev, first = r, false
+		}
+	}
+}
+
+// TestSolveShipShiftsUtilization: shipping more class A work strictly
+// unloads the local CPUs and loads the central complex; the transformation
+// cannot move both utilizations the same way.
+func TestSolveShipShiftsUtilization(t *testing.T) {
+	prev := Result{}
+	first := true
+	for _, pShip := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		r, err := Solve(paperInput(2.0, pShip))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Saturated {
+			break
+		}
+		if !first {
+			if r.UtilLocal >= prev.UtilLocal {
+				t.Errorf("pShip %v: local utilization did not fall (%v -> %v)",
+					pShip, prev.UtilLocal, r.UtilLocal)
+			}
+			if r.UtilCentral <= prev.UtilCentral {
+				t.Errorf("pShip %v: central utilization did not rise (%v -> %v)",
+					pShip, prev.UtilCentral, r.UtilCentral)
+			}
+		}
+		prev, first = r, false
+	}
+}
+
+// TestSolveMIPSScalingInvariance: multiplying every processor speed and
+// every pathlength by the same factor leaves all service times — and hence
+// the whole solution — unchanged. Only the instruction "units" changed.
+func TestSolveMIPSScalingInvariance(t *testing.T) {
+	const k = 7.5
+	base := paperInput(1.5, 0.3)
+	scaled := base
+	scaled.LocalMIPS *= k
+	scaled.CentralMIPS *= k
+	scaled.InstrPerCall *= k
+	scaled.InstrOverhead *= k
+
+	a, err := Solve(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The iteration is identical arithmetic up to rounding in the scaled
+	// service-time divisions, so agreement should be near machine epsilon.
+	for _, c := range []struct {
+		name string
+		x, y float64
+	}{
+		{"RAvg", a.RAvg, b.RAvg},
+		{"RLocal", a.RLocal, b.RLocal},
+		{"RCentral", a.RCentral, b.RCentral},
+		{"UtilLocal", a.UtilLocal, b.UtilLocal},
+		{"UtilCentral", a.UtilCentral, b.UtilCentral},
+	} {
+		if rel := math.Abs(c.x-c.y) / math.Max(math.Abs(c.x), 1e-300); rel > 1e-9 {
+			t.Errorf("%s not scale-invariant: %v vs %v (rel %v)", c.name, c.x, c.y, rel)
+		}
+	}
+}
+
+// TestSolveZeroCommDelayOrdering: removing the network can only help the
+// central path — with CommDelay = 0, RCentral must not exceed its value
+// with the paper's 200 ms delay (and must shrink by at least the two
+// mandatory one-way trips a shipped transaction saves).
+func TestSolveZeroCommDelayOrdering(t *testing.T) {
+	withDelay := paperInput(1.5, 0.3)
+	noDelay := withDelay
+	noDelay.CommDelay = 0
+
+	a, err := Solve(withDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(noDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.RCentral >= a.RCentral {
+		t.Errorf("zero comm delay did not shorten the central path: %v -> %v",
+			a.RCentral, b.RCentral)
+	}
+	if saved := a.RCentral - b.RCentral; saved < 2*withDelay.CommDelay {
+		t.Errorf("central path saved only %v, want at least the ship+reply trips %v",
+			saved, 2*withDelay.CommDelay)
+	}
+}
+
+// TestOptimalNeverWorseThanEndpoints: the optimizer's solution is no worse
+// than either all-local or all-shipped at any load where it converges — the
+// defining property of an argmin over a range that includes both endpoints.
+func TestOptimalNeverWorseThanEndpoints(t *testing.T) {
+	for _, lambda := range []float64{0.5, 1.5, 2.5} {
+		opt, err := OptimalShipFraction(paperInput(lambda, 0), 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, endpoint := range []float64{0, 1} {
+			r, err := Solve(paperInput(lambda, endpoint))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Saturated {
+				continue
+			}
+			// Allow the optimizer's own grid/golden-section tolerance.
+			if opt.RAvg > r.RAvg*(1+1e-6) {
+				t.Errorf("lambda %v: optimum RAvg %v worse than endpoint p=%v (%v)",
+					lambda, opt.RAvg, endpoint, r.RAvg)
+			}
+		}
+	}
+}

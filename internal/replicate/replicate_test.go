@@ -2,10 +2,12 @@ package replicate
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"hybriddb/internal/hybrid"
 	"hybriddb/internal/routing"
+	"hybriddb/internal/runner"
 )
 
 func testConfig() hybrid.Config {
@@ -127,5 +129,53 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 		if !reflect.DeepEqual(serial, parallel) {
 			t.Fatalf("parallelism %d summary differs from serial", workers)
 		}
+	}
+}
+
+// TestRunOptsThreadsProgress checks the progress callback is wired through
+// to the pool: one serialized event per replication, counts climbing to the
+// total, every label a replication label — and the summary identical to a
+// run without the callback (observation only, per the RunOpts contract).
+func TestRunOptsThreadsProgress(t *testing.T) {
+	const runs = 4
+	var events []runner.ProgressEvent
+	withProgress, err := RunOpts(testConfig(), makeNone, runs, runner.Options{
+		Parallelism: 2,
+		Progress:    func(ev runner.ProgressEvent) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != runs {
+		t.Fatalf("%d progress events for %d replications", len(events), runs)
+	}
+	seen := make(map[string]bool)
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != runs {
+			t.Errorf("event %d: Done=%d Total=%d, want %d/%d", i, ev.Done, ev.Total, i+1, runs)
+		}
+		if !strings.HasPrefix(ev.Label, "replication ") {
+			t.Errorf("event %d: label %q", i, ev.Label)
+		}
+		seen[ev.Label] = true
+	}
+	if len(seen) != runs {
+		t.Errorf("labels not distinct: %v", seen)
+	}
+
+	plain, err := RunOpts(testConfig(), makeNone, runs, runner.Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(withProgress, plain) {
+		t.Fatal("progress callback changed the summary")
+	}
+}
+
+// TestRunOptsNilMaker pins the argument checks on the RunOpts entry point
+// itself (Run and RunParallel delegate to it).
+func TestRunOptsNilMaker(t *testing.T) {
+	if _, err := RunOpts(testConfig(), nil, 2, runner.Options{}); err == nil {
+		t.Error("nil maker accepted")
 	}
 }

@@ -27,6 +27,11 @@ type Task struct {
 	Label string
 	Cfg   hybrid.Config
 	Make  func(hybrid.Config) (routing.Strategy, error)
+	// Prepare, when non-nil, runs on the freshly built engine before it
+	// starts — the hook the correctness harness uses to subscribe observers.
+	// It runs inside the worker, so anything it wires up must be private to
+	// this task.
+	Prepare func(*hybrid.Engine)
 }
 
 // Parallelism resolves a requested worker count: any positive value is used
@@ -164,6 +169,9 @@ func runTask(t *Task, out *hybrid.Result) error {
 	engine, err := hybrid.New(t.Cfg, strat)
 	if err != nil {
 		return fmt.Errorf("runner: %s: %w", t.Label, err)
+	}
+	if t.Prepare != nil {
+		t.Prepare(engine)
 	}
 	*out = engine.Run()
 	return nil

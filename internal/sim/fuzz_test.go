@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+)
+
+// FuzzHeap drives the indexed 4-ary heap against the sorted-slice reference
+// queue with an operation stream decoded from fuzz data. Each byte is one
+// operation: schedule with a delay derived from the byte, cancel a live
+// event selected by the byte, or step. The two implementations must agree
+// on every observable at every step — fired identity, clock, Cancel
+// outcome, pending count — exactly as in TestHeapMatchesReferenceQueue,
+// but with the interleaving chosen by the fuzzer instead of a fixed RNG.
+func FuzzHeap(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x40, 0x80, 0xc0, 0xff})
+	// Schedule a burst at colliding times, then drain: exercises FIFO
+	// sequence ordering among equal timestamps.
+	f.Add([]byte{0x10, 0x10, 0x10, 0x10, 0xf0, 0xf0, 0xf0, 0xf0})
+	// Interleave schedules and cancels.
+	f.Add([]byte{0x05, 0x15, 0x85, 0x25, 0x95, 0xf1, 0x35, 0x8f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := New()
+		ref := &refQueue{}
+		nextID := 0
+		seq := uint64(0)
+		live := make(map[int]Event)
+		firedID := -1
+
+		step := func(op int) {
+			firedID = -1
+			stepped := s.Step()
+			want, ok := ref.pop()
+			if stepped != ok {
+				t.Fatalf("op %d: Step = %v, reference nonempty = %v", op, stepped, ok)
+			}
+			if !stepped {
+				return
+			}
+			if firedID != want.id {
+				t.Fatalf("op %d: fired event %d, reference says %d", op, firedID, want.id)
+			}
+			if s.Now() != want.at {
+				t.Fatalf("op %d: clock %v, reference time %v", op, s.Now(), want.at)
+			}
+			delete(live, want.id)
+		}
+
+		for op, b := range data {
+			switch {
+			case b < 0x80: // schedule; low 7 bits pick the delay
+				delay := float64(b&0x7f) * 0.25
+				id := nextID
+				nextID++
+				fid := id
+				ev := s.Schedule(delay, func() { firedID = fid })
+				seq++
+				ref.push(ev.At(), seq, id)
+				live[id] = ev
+			case b < 0xc0: // cancel the live event whose id ≡ b (mod live size)
+				if len(live) == 0 {
+					continue
+				}
+				// Deterministic pick without sorting allocations: scan up
+				// from b's residue until a live id is found.
+				id := int(b) % nextID
+				for !liveHas(live, id) {
+					id = (id + 1) % nextID
+				}
+				got := s.Cancel(live[id])
+				want := ref.remove(id)
+				if got != want {
+					t.Fatalf("op %d: Cancel(%d) = %v, reference = %v", op, id, got, want)
+				}
+				delete(live, id)
+			default:
+				step(op)
+			}
+			if s.Pending() != len(ref.entries) {
+				t.Fatalf("op %d: Pending = %d, reference holds %d", op, s.Pending(), len(ref.entries))
+			}
+		}
+
+		// Drain both queues to the end: survivors must agree too.
+		for s.Pending() > 0 || len(ref.entries) > 0 {
+			step(len(data))
+		}
+	})
+}
+
+func liveHas(live map[int]Event, id int) bool {
+	_, ok := live[id]
+	return ok
+}

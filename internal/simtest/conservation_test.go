@@ -1,0 +1,154 @@
+package simtest
+
+import (
+	"fmt"
+	"testing"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/runner"
+)
+
+// TestTransactionConservation checks that no transaction is ever lost or
+// double-counted: at the horizon, every generated transaction is accounted
+// for as completed, still resident at a site or the central complex, or in
+// flight on one of the two network legs. The identity must hold exactly —
+// for every policy, at light load, past the saturation knee, and for
+// multiple seeds — because each transaction moves through the lifecycle
+// exactly once regardless of congestion.
+func TestTransactionConservation(t *testing.T) {
+	cases := []strategyCase{caseNone(), caseStatic(0.5), caseQueueLength(), caseMinAverage()}
+	rates := []float64{1.0, 2.5, 3.2} // light, moderate, past the no-sharing knee
+	seeds := []uint64{1, 7}
+
+	base := baseConfig()
+	var tasks []runner.Task
+	var cfgs []hybrid.Config
+	var labels []string
+	for _, sc := range cases {
+		for ri, rate := range rates {
+			for _, seed := range seeds {
+				cfg := base
+				cfg.ArrivalRatePerSite = rate
+				cfg.Seed = runner.DeriveSeed(seed, "conservation/"+sc.label, ri, 0)
+				tasks = append(tasks, runner.Task{
+					Label: fmt.Sprintf("%s at rate %v seed %d", sc.label, rate, seed),
+					Cfg:   cfg,
+					Make:  sc.make,
+				})
+				cfgs = append(cfgs, cfg)
+				labels = append(labels, sc.label)
+			}
+		}
+	}
+	results, err := runner.Run(tasks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		accounted := r.Completed + r.InSystemAtEnd + r.InFlightShip + r.InFlightReply
+		if r.Generated != accounted {
+			t.Errorf("%s: generated %d != completed %d + resident %d + shipping %d + replying %d\n%s",
+				tasks[i].Label, r.Generated, r.Completed, r.InSystemAtEnd,
+				r.InFlightShip, r.InFlightReply, repro(labels[i], cfgs[i]))
+		}
+		if r.Generated == 0 {
+			t.Errorf("%s: no transactions generated — vacuous run\n%s",
+				tasks[i].Label, repro(labels[i], cfgs[i]))
+		}
+	}
+}
+
+// contendedConfig shrinks the lockspace and raises the write fraction so
+// that deadlocks actually occur within the window — a run with zero aborts
+// would make the topology assertions below vacuous.
+func contendedConfig() hybrid.Config {
+	cfg := baseConfig()
+	cfg.ArrivalRatePerSite = 2.0
+	cfg.PLocal = 1.0 // pure class A: routing alone decides where work runs
+	cfg.Lockspace = 200
+	cfg.PWrite = 0.4
+	return cfg
+}
+
+// TestAbortTopologyNoSharing checks the abort-cause/topology consistency of
+// the no-sharing extreme: with PLocal=1 and every transaction executing at
+// its home site, the only possible abort cause is a local deadlock. Seize
+// aborts, authentication NACKs, invalidation aborts, and central deadlocks
+// all require central execution or cross-site authentication; none can
+// fire. The network is NOT silent, though: committed local writes still
+// propagate asynchronously to the central copy — that flow exists in the
+// hybrid architecture regardless of routing.
+func TestAbortTopologyNoSharing(t *testing.T) {
+	cfg := contendedConfig()
+	cfg.Seed = runner.DeriveSeed(cfg.Seed, "topology/none", 0, 0)
+	sc := caseNone()
+	r := sweepResults(t, sc, cfg, []float64{cfg.ArrivalRatePerSite}, 1)[0][0]
+
+	if r.AbortsDeadlockLocal == 0 {
+		t.Errorf("no local deadlocks under contention — topology assertions are vacuous; retune contendedConfig\n%s",
+			repro(sc.label, cfg))
+	}
+	zeros := []struct {
+		name string
+		v    uint64
+	}{
+		{"AbortsDeadlockCentral", r.AbortsDeadlockCentral},
+		{"AbortsLocalSeized", r.AbortsLocalSeized},
+		{"AbortsCentralNACK", r.AbortsCentralNACK},
+		{"AbortsCentralInval", r.AbortsCentralInval},
+		{"CompletedShippedA", r.CompletedShippedA},
+		{"CompletedClassB", r.CompletedClassB},
+		{"AuthRounds", r.AuthRounds},
+	}
+	for _, z := range zeros {
+		if z.v != 0 {
+			t.Errorf("%s = %d under pure-local execution, want 0\n%s",
+				z.name, z.v, repro(sc.label, cfg))
+		}
+	}
+	if r.MessagesSent == 0 {
+		t.Errorf("no update-propagation messages from committed local writes\n%s",
+			repro(sc.label, cfg))
+	}
+}
+
+// TestAbortTopologyAllShipped checks the opposite extreme: static(1.0) ships
+// every class A transaction, so nothing executes at a local site — local
+// deadlocks, seize aborts, authentication NACKs, and invalidations are all
+// impossible, and the only possible abort cause is a central deadlock.
+func TestAbortTopologyAllShipped(t *testing.T) {
+	cfg := contendedConfig()
+	// Shipping every site's full load into one complex multiplies the
+	// central arrival rate by the site count; 2.0/site would saturate it and
+	// leave the window without a single completion. 0.8/site keeps the
+	// complex busy (enough for deadlocks against the shrunken lockspace)
+	// but stable.
+	cfg.ArrivalRatePerSite = 0.8
+	cfg.Seed = runner.DeriveSeed(cfg.Seed, "topology/ship-all", 0, 0)
+	sc := caseStatic(1.0)
+	r := sweepResults(t, sc, cfg, []float64{cfg.ArrivalRatePerSite}, 1)[0][0]
+
+	if r.AbortsDeadlockCentral == 0 {
+		t.Errorf("no central deadlocks with all load shipped into one complex — topology assertions are vacuous; retune contendedConfig\n%s",
+			repro(sc.label, cfg))
+	}
+	zeros := []struct {
+		name string
+		v    uint64
+	}{
+		{"AbortsDeadlockLocal", r.AbortsDeadlockLocal},
+		{"AbortsLocalSeized", r.AbortsLocalSeized},
+		{"AbortsCentralNACK", r.AbortsCentralNACK},
+		{"AbortsCentralInval", r.AbortsCentralInval},
+		{"CompletedLocalA", r.CompletedLocalA},
+	}
+	for _, z := range zeros {
+		if z.v != 0 {
+			t.Errorf("%s = %d with every transaction shipped, want 0\n%s",
+				z.name, z.v, repro(sc.label, cfg))
+		}
+	}
+	if r.CompletedShippedA == 0 {
+		t.Errorf("no shipped completions — run is vacuous\n%s", repro(sc.label, cfg))
+	}
+}

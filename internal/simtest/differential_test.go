@@ -1,0 +1,100 @@
+package simtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"hybriddb/internal/experiments"
+)
+
+// tolerances is the versioned shape of testdata/tolerances.json: the pinned
+// model↔simulation comparison grid and the bands every point must satisfy.
+// The file is the single source of truth — loosening a band is a reviewed,
+// versioned change, not an edit to a test constant.
+type tolerances struct {
+	RhoMax        float64 `json:"rho_max"`
+	RTRelErrMax   float64 `json:"rt_rel_err_max"`
+	UtilAbsErrMax float64 `json:"util_abs_err_max"`
+	Grid          []struct {
+		PShip        float64   `json:"p_ship"`
+		RatesPerSite []float64 `json:"rates_per_site"`
+	} `json:"grid"`
+}
+
+func loadTolerances(t *testing.T) tolerances {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/tolerances.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tol tolerances
+	if err := json.Unmarshal(raw, &tol); err != nil {
+		t.Fatalf("testdata/tolerances.json: %v", err)
+	}
+	if tol.RhoMax <= 0 || tol.RTRelErrMax <= 0 || tol.UtilAbsErrMax <= 0 || len(tol.Grid) == 0 {
+		t.Fatalf("testdata/tolerances.json: incomplete bands: %+v", tol)
+	}
+	return tol
+}
+
+// TestModelSimDifferential is the enforced model↔simulation gate: across the
+// pinned grid, the fixed-point solution and the simulation must agree on
+// mean response time within rt_rel_err_max and on both utilizations within
+// util_abs_err_max. The grid lives inside the model's validity region
+// (ρ < rho_max at every point) — near saturation the M/M/1-style expansions
+// are legitimately crude and the comparison belongs in the printed
+// ModelValidation table, not in a gate.
+//
+// A failure means model and simulation have drifted apart: either a solver
+// term changed, or the simulator's service/lock/network behavior did. The
+// golden regression test will usually say which side moved.
+func TestModelSimDifferential(t *testing.T) {
+	tol := loadTolerances(t)
+	base := baseConfig()
+
+	for _, g := range tol.Grid {
+		g := g
+		t.Run(fmt.Sprintf("pship=%.2f", g.PShip), func(t *testing.T) {
+			rows, err := experiments.ModelValidation(
+				experiments.Options{Base: base, RatesPerSite: g.RatesPerSite}, g.PShip)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rows {
+				cfg := base
+				cfg.ArrivalRatePerSite = r.RatePerSite
+				line := repro(fmt.Sprintf("static(%.2f)", g.PShip), cfg)
+
+				// The grid must stay inside the validity region; a point
+				// drifting past rho_max (e.g. after a service-time change)
+				// should move to the printed table, not silently weaken
+				// the gate.
+				if r.ModelUtilL >= tol.RhoMax || r.ModelUtilC >= tol.RhoMax {
+					t.Errorf("rate %v: grid point outside validity region (util L %.3f, C %.3f, rho_max %.2f)\n%s",
+						r.RatePerSite, r.ModelUtilL, r.ModelUtilC, tol.RhoMax, line)
+					continue
+				}
+				if r.Status != experiments.ValidationOK {
+					t.Errorf("rate %v: validation status %v inside the validity region\n%s",
+						r.RatePerSite, r.Status, line)
+					continue
+				}
+				if r.RelErr > tol.RTRelErrMax {
+					t.Errorf("rate %v: model RT %.4f vs sim RT %.4f — rel err %.1f%% exceeds band %.1f%%\n%s",
+						r.RatePerSite, r.ModelRT, r.SimRT, 100*r.RelErr, 100*tol.RTRelErrMax, line)
+				}
+				if d := math.Abs(r.ModelUtilL - r.SimUtilL); d > tol.UtilAbsErrMax {
+					t.Errorf("rate %v: local util model %.4f vs sim %.4f — abs err %.4f exceeds band %.3f\n%s",
+						r.RatePerSite, r.ModelUtilL, r.SimUtilL, d, tol.UtilAbsErrMax, line)
+				}
+				if d := math.Abs(r.ModelUtilC - r.SimUtilC); d > tol.UtilAbsErrMax {
+					t.Errorf("rate %v: central util model %.4f vs sim %.4f — abs err %.4f exceeds band %.3f\n%s",
+						r.RatePerSite, r.ModelUtilC, r.SimUtilC, d, tol.UtilAbsErrMax, line)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,91 @@
+package simtest
+
+import (
+	"testing"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/routing"
+)
+
+// FuzzConfig throws arbitrary configurations at the full engine: every
+// input must either be rejected by Validate with an error or run to the
+// horizon with the engine's self-checks enabled and the conservation
+// identity intact. No input may panic or hang.
+//
+// The only narrowing applied is magnitude, not shape: horizons, rates, and
+// per-transaction work are folded into small ranges so each accepted case
+// simulates in milliseconds. Sign, NaN, ±Inf, zero values, and enum garbage
+// all pass through untouched — rejecting those is Validate's job, and the
+// NaN gate there exists because this fuzzer found the hole.
+func FuzzConfig(f *testing.F) {
+	d := hybrid.DefaultConfig()
+	f.Add(int(d.Sites), d.LocalMIPS, d.CentralMIPS, d.CommDelay, 1.0,
+		d.PLocal, d.PWrite, int(d.CallsPerTxn), uint32(d.Lockspace),
+		0.0, uint8(d.Feedback), 0.0, uint64(1), uint8(0))
+	f.Add(3, 1.0, 15.0, 0.0, 2.5, 1.0, 0.5, 4, uint32(64),
+		0.1, uint8(3), 0.5, uint64(7), uint8(2))
+	f.Add(1, 0.5, 1.0, 1.5, 0.25, 0.0, 1.0, 1, uint32(1),
+		0.0, uint8(2), 0.0, uint64(42), uint8(4))
+
+	f.Fuzz(func(t *testing.T, sites int, localMIPS, centralMIPS, commDelay, rate,
+		pLocal, pWrite float64, calls int, lockspace uint32,
+		restartDelay float64, feedback uint8, batchWindow float64,
+		seed uint64, strategyPick uint8) {
+
+		cfg := hybrid.DefaultConfig()
+		cfg.Sites = sites % 16
+		cfg.LocalMIPS = localMIPS
+		cfg.CentralMIPS = centralMIPS
+		cfg.CommDelay = commDelay
+		cfg.ArrivalRatePerSite = rate
+		cfg.PLocal = pLocal
+		cfg.PWrite = pWrite
+		cfg.CallsPerTxn = calls % 32
+		cfg.Lockspace = lockspace % 4096
+		cfg.RestartDelay = restartDelay
+		cfg.Feedback = hybrid.Feedback(feedback)
+		cfg.UpdateBatchWindow = batchWindow
+		cfg.Seed = seed
+		cfg.Warmup = 2
+		cfg.Duration = 10
+		cfg.SelfCheck = true
+
+		// Magnitude folding only where unbounded values mean unbounded
+		// work, never where they mean invalid shape.
+		if cfg.ArrivalRatePerSite > 50 {
+			cfg.ArrivalRatePerSite = 50
+		}
+		if cfg.CommDelay > 100 {
+			cfg.CommDelay = 100
+		}
+		if cfg.RestartDelay > 100 {
+			cfg.RestartDelay = 100
+		}
+		if cfg.UpdateBatchWindow > 100 {
+			cfg.UpdateBatchWindow = 100
+		}
+
+		var strat routing.Strategy
+		switch strategyPick % 4 {
+		case 0:
+			strat = routing.AlwaysLocal{}
+		case 1:
+			strat = routing.NewStatic(0.5, seed)
+		case 2:
+			strat = routing.QueueLength{}
+		case 3:
+			strat = routing.QueueThreshold{Theta: 0.25}
+		}
+
+		e, err := hybrid.New(cfg, strat)
+		if err != nil {
+			return // rejected cleanly — fine
+		}
+		r := e.Run()
+
+		if got := r.Completed + r.InSystemAtEnd + r.InFlightShip + r.InFlightReply; got != r.Generated {
+			t.Errorf("conservation violated: generated %d, accounted %d\n%s",
+				r.Generated, got, repro("fuzz", cfg))
+		}
+	})
+}

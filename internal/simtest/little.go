@@ -1,0 +1,153 @@
+package simtest
+
+import (
+	"fmt"
+
+	"hybriddb/internal/hybrid/obs"
+)
+
+// flowAcc integrates one scope's occupancy over the measurement window and
+// tallies its arrival and completion flows: everything Little's law needs.
+// Occupancy is tracked from time zero (warmup arrivals are residents too);
+// the time integral, arrival counts, and response-time sums accumulate only
+// inside the window.
+type flowAcc struct {
+	n      int     // current occupancy
+	lastAt float64 // last time the area integral was advanced
+	area   float64 // ∫ n dt over the window so far
+
+	arrivals uint64  // in-window arrivals to the scope
+	rtSum    float64 // sum of residence times of in-window departures
+	rtCount  uint64  // in-window departures
+}
+
+func (a *flowAcc) advance(at float64) {
+	a.area += float64(a.n) * (at - a.lastAt)
+	a.lastAt = at
+}
+
+// littleObserver measures N, λ, and R per scope over a run, subscribed on
+// the engine's observer bus. Scopes:
+//
+//   - system: every transaction from admission to completion notification;
+//   - one per local site: class A transactions routed locally, admission to
+//     local commit;
+//   - central: shipped class A and class B transactions, admission to reply
+//     delivery at the origin — the central complex plus its network legs,
+//     which is exactly the subsystem whose response time the paper's
+//     R_central measures.
+//
+// Little's law (N = λ·R) must hold on each scope over a stationary window;
+// the checks method evaluates it.
+type littleObserver struct {
+	started  bool
+	winStart float64
+
+	sys     flowAcc
+	central flowAcc
+	sites   []flowAcc
+}
+
+func newLittleObserver(sites int) *littleObserver {
+	return &littleObserver{sites: make([]flowAcc, sites)}
+}
+
+func (o *littleObserver) enter(a *flowAcc, at float64) {
+	if o.started {
+		a.advance(at)
+		a.arrivals++
+	}
+	a.n++
+}
+
+func (o *littleObserver) leave(a *flowAcc, at, rt float64) {
+	if o.started {
+		a.advance(at)
+		a.rtSum += rt
+		a.rtCount++
+	}
+	a.n--
+}
+
+// OnEvent implements obs.Observer.
+func (o *littleObserver) OnEvent(ev obs.Event) {
+	switch ev.Kind {
+	case obs.MeasureStart:
+		o.started = true
+		o.winStart = ev.At
+		o.sys.lastAt = ev.At
+		o.central.lastAt = ev.At
+		for i := range o.sites {
+			o.sites[i].lastAt = ev.At
+		}
+	case obs.TxnArrive:
+		o.enter(&o.sys, ev.At)
+		if ev.Shipped {
+			o.enter(&o.central, ev.At)
+		} else {
+			o.enter(&o.sites[ev.Site], ev.At)
+		}
+	case obs.TxnLocalCommit:
+		o.leave(&o.sys, ev.At, ev.Value)
+		o.leave(&o.sites[ev.Site], ev.At, ev.Value)
+	case obs.TxnReply:
+		o.leave(&o.sys, ev.At, ev.Value)
+		o.leave(&o.central, ev.At, ev.Value)
+	}
+}
+
+// littleCheck is one scope's evaluated law: N̄ from the occupancy integral
+// against λ·R̄ from the measured flows.
+type littleCheck struct {
+	Scope       string
+	N           float64 // time-averaged occupancy over the window
+	LambdaR     float64 // (arrivals/window) · mean residence time
+	Arrivals    uint64
+	Completions uint64
+}
+
+// relGap returns |N − λR| / max(N, λR), or 0 when both sides are ~0.
+func (c littleCheck) relGap() float64 {
+	hi := c.N
+	if c.LambdaR > hi {
+		hi = c.LambdaR
+	}
+	if hi < 1e-9 {
+		return 0
+	}
+	d := c.N - c.LambdaR
+	if d < 0 {
+		d = -d
+	}
+	return d / hi
+}
+
+// checks closes every scope's integral at the horizon and evaluates
+// Little's law on each. Call after the run completes.
+func (o *littleObserver) checks(horizon float64) []littleCheck {
+	window := horizon - o.winStart
+	if !o.started || window <= 0 {
+		return nil
+	}
+	eval := func(scope string, a *flowAcc) littleCheck {
+		a.advance(horizon)
+		c := littleCheck{
+			Scope:       scope,
+			N:           a.area / window,
+			Arrivals:    a.arrivals,
+			Completions: a.rtCount,
+		}
+		if a.rtCount > 0 {
+			lambda := float64(a.arrivals) / window
+			c.LambdaR = lambda * (a.rtSum / float64(a.rtCount))
+		}
+		return c
+	}
+	out := []littleCheck{eval("system", &o.sys), eval("central", &o.central)}
+	for i := range o.sites {
+		out = append(out, eval(siteScope(i), &o.sites[i]))
+	}
+	return out
+}
+
+func siteScope(i int) string { return fmt.Sprintf("site-%02d", i) }

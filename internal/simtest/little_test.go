@@ -1,0 +1,130 @@
+package simtest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/runner"
+)
+
+// littleTolerance bounds the relative gap |N − λR| / max(N, λR) per scope.
+// Over a 500 s stationary window the only sources of gap are boundary
+// effects (transactions straddling the window edges), a few parts per
+// thousand here; 10% leaves room for the noisier per-site scopes while still
+// catching any real accounting bug (a leaked transaction, a double-counted
+// completion, a clock skew between arrival and completion stamps).
+const littleTolerance = 0.10
+
+// littleMinN skips scopes with almost no occupancy: a site that averaged
+// 0.02 resident transactions has too few samples for a relative bound to be
+// meaningful, and the system/central scopes already cover its flows.
+const littleMinN = 0.05
+
+// TestLittlesLaw drives representative policies at low and moderate load and
+// enforces N = λ·R on every scope: the whole system, the central subsystem,
+// and each of the ten local sites. The observer integrates occupancy
+// directly from bus events, so the check is independent of the metrics
+// observer's accounting — the two would not agree if either lied.
+func TestLittlesLaw(t *testing.T) {
+	cases := []struct {
+		sc   strategyCase
+		rate float64
+	}{
+		{caseNone(), 1.0},
+		{caseNone(), 2.0},
+		{caseStatic(0.5), 2.0},
+		{caseQueueLength(), 1.5},
+		{caseMinAverage(), 2.5},
+	}
+
+	base := baseConfig()
+	obsv := make([]*littleObserver, len(cases))
+	tasks := make([]runner.Task, len(cases))
+	var mu sync.Mutex
+	for i, c := range cases {
+		cfg := base
+		cfg.ArrivalRatePerSite = c.rate
+		cfg.Seed = runner.DeriveSeed(base.Seed, "little/"+c.sc.label, i, 0)
+		i := i
+		tasks[i] = runner.Task{
+			Label: fmt.Sprintf("%s at rate %v", c.sc.label, c.rate),
+			Cfg:   cfg,
+			Make:  c.sc.make,
+			Prepare: func(e *hybrid.Engine) {
+				o := newLittleObserver(cfg.Sites)
+				e.Subscribe(o)
+				mu.Lock()
+				obsv[i] = o
+				mu.Unlock()
+			},
+		}
+	}
+	if _, err := runner.Run(tasks, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, c := range cases {
+		cfg := tasks[i].Cfg
+		horizon := cfg.Warmup + cfg.Duration
+		for _, chk := range obsv[i].checks(horizon) {
+			if chk.N < littleMinN && chk.LambdaR < littleMinN {
+				continue
+			}
+			if gap := chk.relGap(); gap > littleTolerance {
+				t.Errorf("%s at rate %v, scope %s: N=%.4f λR=%.4f (gap %.1f%%, %d arrivals, %d completions)\n%s",
+					c.sc.label, c.rate, chk.Scope, chk.N, chk.LambdaR, 100*gap,
+					chk.Arrivals, chk.Completions, repro(c.sc.label, cfg))
+			}
+		}
+	}
+}
+
+// TestLittlesLawAgreesWithMetrics cross-checks the observer's system-scope
+// occupancy flows against the Result the metrics observer assembled from the
+// same bus events: in-window completion counts must match exactly, since
+// both fold the identical TxnLocalCommit/TxnReply stream.
+func TestLittlesLawAgreesWithMetrics(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ArrivalRatePerSite = 2.0
+	cfg.Seed = runner.DeriveSeed(cfg.Seed, "little/metrics-cross", 0, 0)
+
+	var o *littleObserver
+	sc := caseStatic(0.5)
+	tasks := []runner.Task{{
+		Label: "metrics cross-check",
+		Cfg:   cfg,
+		Make:  sc.make,
+		Prepare: func(e *hybrid.Engine) {
+			o = newLittleObserver(cfg.Sites)
+			e.Subscribe(o)
+		},
+	}}
+	results, err := runner.Run(tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+
+	chks := o.checks(cfg.Warmup + cfg.Duration)
+	sys := chks[0]
+	wantCompletions := r.CompletedLocalA + r.CompletedShippedA + r.CompletedClassB
+	if sys.Completions != wantCompletions {
+		t.Errorf("system completions %d != metrics window completions %d\n%s",
+			sys.Completions, wantCompletions, repro(sc.label, cfg))
+	}
+	central := chks[1]
+	if central.Completions != r.CompletedShippedA+r.CompletedClassB {
+		t.Errorf("central completions %d != shipped+classB %d\n%s",
+			central.Completions, r.CompletedShippedA+r.CompletedClassB, repro(sc.label, cfg))
+	}
+	var siteCompletions uint64
+	for _, chk := range chks[2:] {
+		siteCompletions += chk.Completions
+	}
+	if siteCompletions != r.CompletedLocalA {
+		t.Errorf("summed site completions %d != CompletedLocalA %d\n%s",
+			siteCompletions, r.CompletedLocalA, repro(sc.label, cfg))
+	}
+}
