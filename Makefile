@@ -9,9 +9,9 @@ BENCH_PKGS = ./internal/sim ./internal/lock ./internal/cpu ./internal/hybrid
 # Fuzz targets of the correctness harness (DESIGN.md §11); FUZZTIME bounds
 # each target's smoke budget.
 FUZZTIME ?= 10s
-FUZZ_TARGETS = FuzzHeap:./internal/sim FuzzLock:./internal/lock FuzzConfig:./internal/simtest
+FUZZ_TARGETS = FuzzHeap:./internal/sim FuzzShardSync:./internal/sim FuzzLock:./internal/lock FuzzConfig:./internal/simtest
 
-.PHONY: all build test vet staticcheck race smoke bench-smoke simtest fuzz-smoke check bench figures
+.PHONY: all build test vet staticcheck race race-stress smoke bench-smoke simtest fuzz-smoke check bench figures
 
 all: build test
 
@@ -41,10 +41,19 @@ race:
 	$(GO) test -race -shuffle=on ./...
 
 # The correctness harness under the race detector: metamorphic relations,
-# conservation laws, and the model↔sim differential gate all fan runs
-# through the parallel pool, so this doubles as a concurrency test.
+# conservation laws, the model↔sim differential gate, and the
+# sequential↔parallel bit-exactness matrix of the sharded core, all fanned
+# through the parallel pool — so this doubles as a concurrency test.
+# Shuffled so hidden ordering dependence between harness tests is a failure.
 simtest:
-	$(GO) test -race -v -run 'Test' ./internal/simtest/
+	$(GO) test -race -shuffle=on -v -run 'Test' ./internal/simtest/
+
+# Saturated 64-site run through the sharded parallel core under the race
+# detector, with the Group's 10s deadlock watchdog armed: any data race or
+# synchronization hang in the shard workers fails loudly here.
+race-stress:
+	$(GO) test -race -count=1 -run 'TestParallelRaceStress|TestParallelSequentialDifferential' ./internal/simtest/
+	$(GO) test -race -count=1 ./internal/sim/ ./internal/hybrid/
 
 # Short native-fuzzing pass over every fuzz target. Each target gets
 # FUZZTIME of mutation on top of replaying the committed corpus; a crasher
@@ -66,16 +75,17 @@ smoke:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' $(BENCH_PKGS)
 
-check: vet staticcheck race simtest smoke bench-smoke fuzz-smoke
+check: vet staticcheck race simtest race-stress smoke bench-smoke fuzz-smoke
 
 # Full benchmark run over the hot-path packages, recorded as a
 # machine-readable summary (BENCH_$(BENCH_LABEL).json) diffed against the
 # committed pre-PR baseline. See DESIGN.md "Performance".
-BENCH_LABEL ?= pr4
-BENCH_BASELINE ?= bench/baseline_pr2.txt
+BENCH_LABEL ?= pr6
+BENCH_BASELINE ?= bench/baseline_pr6.txt
+BENCH_NOTES ?=
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' $(BENCH_PKGS) | tee bench/current.txt
-	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -baseline $(BENCH_BASELINE) -out BENCH_$(BENCH_LABEL).json bench/current.txt
+	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -baseline $(BENCH_BASELINE) -notes '$(BENCH_NOTES)' -out BENCH_$(BENCH_LABEL).json bench/current.txt
 
 # Full-length regeneration of every figure (about 5 minutes serially; use
 # REPS/PARALLEL to replicate and fan out, e.g. make figures REPS=5).

@@ -43,9 +43,12 @@ type Entry struct {
 	DeltaAllocsPct *float64 `json:"delta_allocs_pct,omitempty"`
 }
 
-// Summary is the emitted document.
+// Summary is the emitted document. Notes carries the human verdict of the
+// measurement campaign — the conditions (host, core count) and the
+// conclusion the numbers support — so a BENCH_*.json file stands alone.
 type Summary struct {
 	Label      string  `json:"label"`
+	Notes      string  `json:"notes,omitempty"`
 	Benchmarks []Entry `json:"benchmarks"`
 }
 
@@ -71,6 +74,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs.StringVar(&out, "out", "", "alias for -o")
 	var (
 		label    = fs.String("label", "", "summary label, e.g. the PR being measured")
+		notes    = fs.String("notes", "", "verdict/conditions note embedded in the summary")
 		baseline = fs.String("baseline", "", "baseline bench output to diff against")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -103,7 +107,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 
-	summary := Summary{Label: *label}
+	summary := Summary{Label: *label, Notes: *notes}
 	for _, key := range order {
 		cur := current[key]
 		pkg, name := splitKey(key)

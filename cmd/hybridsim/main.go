@@ -48,6 +48,7 @@ func run(args []string, out io.Writer) error {
 		plocal   = fs.Float64("plocal", 0.75, "fraction of class A (local-data) transactions")
 		feedback = fs.String("feedback", "auth-only", "central-state feedback: auth-only, all-messages, ideal")
 		check    = fs.Bool("selfcheck", false, "run simulator invariant checks (slower)")
+		shards   = fs.Int("shards", 0, "event-queue shards for the parallel core (0/1 = sequential); results are bit-identical either way")
 		parallel = fs.Int("parallel", 0, "worker goroutines for replications (0 = GOMAXPROCS); affects speed only, never results")
 		cpuprof  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprof  = fs.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
@@ -73,6 +74,7 @@ func run(args []string, out io.Writer) error {
 	cfg.PWrite = *pwrite
 	cfg.PLocal = *plocal
 	cfg.SelfCheck = *check
+	cfg.Shards = *shards
 	switch *feedback {
 	case "auth-only":
 		cfg.Feedback = hybrid.FeedbackAuthOnly
@@ -177,6 +179,9 @@ func run(args []string, out io.Writer) error {
 		engine.Subscribe(collector)
 	}
 	r := engine.Run()
+	if *shards > 1 && !engine.Parallel() {
+		fmt.Fprintln(os.Stderr, "hybridsim: note: configuration cannot shard (zero -delay, ideal feedback, or an observer such as -spans attached); ran sequentially")
+	}
 	if collector != nil {
 		if err := collector.WriteFile(*spansOut); err != nil {
 			return err

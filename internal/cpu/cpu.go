@@ -71,6 +71,20 @@ func NewServer(s *sim.Simulator, mips float64) *Server {
 // MIPS returns the processor speed.
 func (c *Server) MIPS() float64 { return c.mips }
 
+// Rebind moves the server onto a different simulator clock. Only an idle
+// server can move: a burst in service has a completion event scheduled on
+// the old clock that cannot follow. The sharded engine uses this at run
+// start, before any work exists, to assign each site's servers to its shard.
+func (c *Server) Rebind(s *sim.Simulator) {
+	if s == nil {
+		panic("cpu: nil simulator")
+	}
+	if c.current != nil || len(c.queue) > 0 {
+		panic("cpu: rebind of a busy server")
+	}
+	c.simulator = s
+}
+
 // ServiceTime returns the time to execute the given number of instructions
 // with no queueing.
 func (c *Server) ServiceTime(instructions float64) float64 {

@@ -1,6 +1,8 @@
 package hybrid
 
 import (
+	"fmt"
+	"os"
 	"testing"
 
 	"hybriddb/internal/routing"
@@ -67,5 +69,54 @@ func BenchmarkEngineSelfCheckOn(b *testing.B) {
 	}
 	if completed == 0 {
 		b.Fatal("benchmark completed no transactions")
+	}
+}
+
+// benchShardRun times a full engine run at the given shard count (0 =
+// sequential). Sites and duration scale up from benchConfig so the parallel
+// rounds have enough work per window to amortize the barrier; HEAVY_BENCH=1
+// switches to the big variant (64 sites, 500 simulated seconds) used for the
+// recorded BENCH numbers.
+func benchShardRun(b *testing.B, shards int) {
+	b.Helper()
+	cfg := benchConfig()
+	cfg.Sites = 16
+	cfg.Duration = 60
+	if os.Getenv("HEAVY_BENCH") != "" {
+		cfg.Sites = 64
+		cfg.Warmup = 50
+		cfg.Duration = 500
+	}
+	cfg.Shards = shards
+	var completed uint64
+	for i := 0; i < b.N; i++ {
+		e, err := New(cfg, routing.NewStatic(0.5, 7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		completed += e.Run().Completed
+		if shards > 1 && !e.Parallel() {
+			b.Fatal("parallel mode did not engage")
+		}
+	}
+	if completed == 0 {
+		b.Fatal("benchmark completed no transactions")
+	}
+	b.ReportMetric(float64(completed)/float64(b.N), "txns/run")
+}
+
+// BenchmarkEngineSequential is the single-queue baseline for the sharded
+// comparison below — same configuration, Shards = 0.
+func BenchmarkEngineSequential(b *testing.B) { benchShardRun(b, 0) }
+
+// BenchmarkEngineSharded runs the identical workload through the
+// conservative parallel core. The two benchmarks produce bit-identical
+// Results (see TestParallelBitExact); the ratio of their ns/op is the
+// speedup — or, on a single-core host, the synchronization overhead.
+func BenchmarkEngineSharded(b *testing.B) {
+	for _, shards := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			benchShardRun(b, shards)
+		})
 	}
 }

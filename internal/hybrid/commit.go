@@ -24,7 +24,7 @@ type commitProtocol struct{ e *Engine }
 func (c commitProtocol) begin(t *txnRun) {
 	e := c.e
 	if t.marked {
-		e.observe(obs.Event{Kind: obs.AbortCentralInval})
+		e.observeAt(e.central.sim.Now(), obs.Event{Kind: obs.AbortCentralInval, Site: -1})
 		e.emit(trace.CrossAbortCentral, t.spec.ID, -1, 0, "invalidated by async update")
 		e.remote.restart(t)
 		return
@@ -35,8 +35,13 @@ func (c commitProtocol) begin(t *txnRun) {
 	t.authPending = len(sites)
 	t.authNACK = false
 	t.authSeized = t.authSeized[:0]
-	e.observe(obs.Event{Kind: obs.AuthRound})
+	e.observeAt(e.central.sim.Now(), obs.Event{Kind: obs.AuthRound, Site: -1})
 
+	// The request payload (IDs, elements, modes, snapshot) is captured by
+	// value: while the run waits in phaseAuthWait the central shard owns it,
+	// so the site-side handler must not dereference t. The pointer itself
+	// rides along only to route the reply, which executes back at central.
+	tid, txnID := t.id(), t.spec.ID
 	snap := e.prop.snapshotCentral()
 	for _, site := range sites {
 		site := site
@@ -49,21 +54,23 @@ func (c commitProtocol) begin(t *txnRun) {
 			}
 		}
 		if e.Detailed() {
-			e.emit(trace.AuthRequest, t.spec.ID, site, 0, fmt.Sprintf("%d elements", len(elems)))
+			e.emit(trace.AuthRequest, txnID, site, 0, fmt.Sprintf("%d elements", len(elems)))
 		}
 		e.network.ToSite(site, func() {
 			// Authentication messages always refresh the site's view of
 			// the central state (§4.2).
 			e.sites[site].refreshView(snap)
-			c.authenticate(t, site, elems, modes)
+			c.authenticate(t, tid, txnID, site, elems, modes)
 		})
 	}
 }
 
 // authenticate processes an authentication request at a local site: NACK if
 // any element has in-flight asynchronous updates; otherwise seize the locks,
-// marking conflicting local holders for abort, and ACK.
-func (c commitProtocol) authenticate(t *txnRun, site int, elems []uint32, modes []lock.Mode) {
+// marking conflicting local holders for abort, and ACK. It executes on the
+// site's shard and touches only site-owned state — the transaction IDs
+// arrive by value, and t passes through untouched to the reply.
+func (c commitProtocol) authenticate(t *txnRun, tid lock.ID, txnID int64, site int, elems []uint32, modes []lock.Mode) {
 	e := c.e
 	ls := e.sites[site]
 	nack := false
@@ -75,37 +82,36 @@ func (c commitProtocol) authenticate(t *txnRun, site int, elems []uint32, modes 
 	}
 	if !nack {
 		for j, elem := range elems {
-			victims, ok := ls.locks.Seize(t.id(), elem, modes[j])
+			victims, ok := ls.locks.Seize(tid, elem, modes[j])
 			if !ok {
 				// Unreachable: coherence was checked above and cannot
 				// change within one event.
 				panic("hybrid: seize failed after coherence check")
 			}
 			if len(victims) > 0 && e.Detailed() {
-				e.emit(trace.AuthSeized, t.spec.ID, site, elem,
+				e.emit(trace.AuthSeized, txnID, site, elem,
 					fmt.Sprintf("%d victims", len(victims)))
 			}
 			for _, v := range victims {
 				c.markVictim(ls, v)
 			}
 		}
-		e.emit(trace.AuthACK, t.spec.ID, site, 0, "")
+		e.emit(trace.AuthACK, txnID, site, 0, "")
 	} else {
-		e.emit(trace.AuthNACK, t.spec.ID, site, 0, "in-flight updates")
+		e.emit(trace.AuthNACK, txnID, site, 0, "in-flight updates")
 	}
 	e.network.ToCentral(site, func() { c.reply(t, site, nack) })
 }
 
-// markVictim marks the holder of a seized lock for abort. The victim is
-// normally a local transaction; it can also be another central transaction's
-// stale authentication lock if that transaction was invalidated mid-flight,
-// in which case it is already marked.
+// markVictim marks the local holder of a seized lock for abort. A victim ID
+// absent from the site's running map is another central transaction's stale
+// authentication lock — reachable only when that transaction was already
+// invalidated mid-flight (two live central transactions cannot both pass
+// their conflicting central lock phase), so it is already marked and needs
+// nothing from us. Not consulting the central running map keeps this
+// handler site-shard-pure.
 func (c commitProtocol) markVictim(ls *localSite, v lock.ID) {
 	if vt, ok := ls.running[v]; ok {
-		vt.marked = true
-		return
-	}
-	if vt, ok := c.e.central.running[v]; ok {
 		vt.marked = true
 	}
 }
@@ -126,9 +132,9 @@ func (c commitProtocol) reply(t *txnRun, site int, nack bool) {
 	}
 	if t.authNACK || t.marked {
 		if t.authNACK {
-			e.observe(obs.Event{Kind: obs.AbortCentralNACK})
+			e.observeAt(e.central.sim.Now(), obs.Event{Kind: obs.AbortCentralNACK, Site: -1})
 		} else {
-			e.observe(obs.Event{Kind: obs.AbortCentralInval})
+			e.observeAt(e.central.sim.Now(), obs.Event{Kind: obs.AbortCentralInval, Site: -1})
 		}
 		if e.Detailed() {
 			reason := "invalidated during authentication"
@@ -190,22 +196,23 @@ func (c commitProtocol) finish(t *txnRun) {
 	e.emit(trace.CommitCentral, t.spec.ID, -1, 0, "")
 
 	home := t.spec.HomeSite
-	e.inFlightReply++
+	e.central.replyStarted++
 	e.network.ToSite(home, func() {
-		e.inFlightReply--
-		e.emit(trace.ReplyDelivered, t.spec.ID, home, 0, "")
+		// The reply hands ownership of t back to the home shard.
 		ls := e.sites[home]
+		ls.replyArrived++
+		e.emit(trace.ReplyDelivered, t.spec.ID, home, 0, "")
 		if e.cfg.Feedback == FeedbackAllMessages {
 			ls.refreshView(snap)
 		}
-		rt := e.simulator.Now() - t.arrivedAt
-		e.completed++
+		rt := ls.sim.Now() - t.arrivedAt
+		ls.completed++
 		classB := t.spec.Class != workload.ClassA
 		if !classB {
 			ls.shippedOut--
 			ls.lastShippedRT = rt
 		}
-		e.observe(obs.Event{Kind: obs.TxnReply, ClassB: classB, Value: rt, Site: home})
+		e.observeAt(ls.sim.Now(), obs.Event{Kind: obs.TxnReply, ClassB: classB, Value: rt, Site: home})
 		// The reply is the last touch: the seized-lock releases above were
 		// scheduled earlier at the same instant over equal-delay links, so
 		// FIFO tie-breaking guarantees they have already run.

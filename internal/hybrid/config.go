@@ -112,6 +112,17 @@ type Config struct {
 	Warmup    float64 // simulated seconds discarded before measuring
 	Duration  float64 // measured simulated seconds
 	SelfCheck bool    // run invariant checks during the simulation (slow)
+	// Shards > 1 runs the simulation on a sharded parallel core: the sites
+	// are distributed round-robin over Shards-1 event-queue shards, the
+	// central complex owns the remaining shard, and the shards synchronize
+	// conservatively with CommDelay as the lookahead window (DESIGN.md §12).
+	// Results are bit-identical to the sequential core (Shards <= 1), which
+	// the internal/simtest differential gate enforces. The engine falls
+	// back to the sequential loop when the configuration cannot shard:
+	// CommDelay == 0 (no lookahead), FeedbackIdeal (strategies read central
+	// state instantaneously), or an external observer/tracer is subscribed
+	// (observers see one interleaved event stream only sequentially).
+	Shards int
 	// SeriesBucket, when positive, records a mean-response-time and
 	// queue-length time series with the given bucket width in seconds
 	// (Result.RTSeries) — useful for watching strategies adapt to load
@@ -238,6 +249,8 @@ func (c Config) Validate() error {
 		return errors.New("hybrid: duration must be positive")
 	case c.SeriesBucket < 0:
 		return fmt.Errorf("hybrid: negative series bucket %v", c.SeriesBucket)
+	case c.Shards < 0:
+		return fmt.Errorf("hybrid: negative shard count %d", c.Shards)
 	}
 	switch c.Feedback {
 	case FeedbackAuthOnly, FeedbackAllMessages, FeedbackIdeal:

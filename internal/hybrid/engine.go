@@ -14,6 +14,19 @@ import (
 	"hybriddb/internal/workload"
 )
 
+// transport abstracts the star network between the sites and the central
+// complex. The sequential engine uses comm.Network (messages scheduled on
+// the single event queue); the sharded engine uses shardNet (messages
+// posted across shard boundaries through the Group synchronizer). Both
+// deliver site->central and central->site messages FIFO per link with the
+// same fixed delay, so the lifecycle layers are transport-agnostic.
+type transport interface {
+	ToCentral(site int, deliver func())
+	ToSite(site int, deliver func())
+	MessagesSent() uint64
+	MessagesInFlight() uint64
+}
+
 // Engine wires the substrates into the full hybrid system simulation. The
 // logic lives in four layers, each in its own file:
 //
@@ -27,19 +40,31 @@ import (
 //   - observer bus (obs package, wired here): metrics, tracing, queue
 //     sampling, and invariant self-checks subscribe to engine events.
 //
-// Engine itself only constructs, wires, and drives the run loop.
+// Engine itself only constructs, wires, and drives the run loop — which is
+// either the single-queue sequential loop (the bit-exact oracle) or the
+// sharded conservative-parallel loop (parallel.go), selected at Run time.
 type Engine struct {
 	cfg      Config
 	strategy routing.Strategy
+	// strategies holds the per-site decision instances: stateful strategies
+	// (routing.SiteLocal) are forked one per site so each site's decision
+	// stream is a pure function of that site's arrivals; stateless ones are
+	// shared. Both run modes use the same instances, which is what makes
+	// their decision streams bit-identical.
+	strategies []routing.Strategy
 
-	simulator *sim.Simulator
-	network   *comm.Network
+	simulator *sim.Simulator // the sequential event queue (shard 0's in a sharded run)
+	network   transport
 	generator *workload.Generator
 	arrivals  []*workload.Arrivals
 	nhpp      []*workload.NHPPArrivals // non-nil when RateSchedules is set
 
 	sites   []*localSite
 	central *centralSite
+
+	// Sharded-run state (parallel.go); group is nil in a sequential run.
+	group    *sim.Group
+	parallel bool
 
 	// Lifecycle and propagation layers (stateless handles on the engine).
 	local  localPath
@@ -49,27 +74,17 @@ type Engine struct {
 
 	// Instrumentation: every observation flows through the bus. The metrics
 	// observer is always subscribed (it produces the Result); tracing and
-	// self-checking subscribe on demand.
-	bus obs.Bus
-	m   *metrics
+	// self-checking subscribe on demand. externalObs counts observers from
+	// outside the engine — their presence forces the sequential loop, since
+	// only a single event queue produces one globally ordered event stream.
+	bus         obs.Bus
+	m           *metrics
+	externalObs int
 
 	// Recorded workload replay (SetTrace). When non-nil, replayTxns is
 	// grouped by home site and replaces the Poisson generator.
 	replayTxns [][]*workload.Txn
 	replayGaps [][]float64
-
-	// txnFree recycles txnRun objects across transactions: a run returned
-	// here at commit is reset and reused by a later arrival, keeping the
-	// per-transaction state off the allocator in steady state.
-	txnFree []*txnRun
-
-	generated uint64
-	completed uint64
-	// Transactions in transit: shipped inputs not yet at central, and
-	// completion replies not yet at the origin. Used by the conservation
-	// check.
-	inFlightShip  uint64
-	inFlightReply uint64
 
 	horizon float64
 }
@@ -88,10 +103,10 @@ func New(cfg Config, strategy routing.Strategy) (*Engine, error) {
 		cfg:       cfg,
 		strategy:  strategy,
 		simulator: s,
-		network:   comm.NewNetwork(s, cfg.Sites, cfg.CommDelay),
 		generator: workload.NewGenerator(cfg.WorkloadConfig(), root.Split().Uint64()),
 		m:         newMetrics(cfg.SeriesBucket, cfg.Sites),
 		central: &centralSite{
+			sim:     s,
 			cpu:     cpu.NewServer(s, cfg.CentralMIPS),
 			disks:   newDisks(s, cfg.DisksCentral),
 			locks:   lock.NewManager(),
@@ -99,6 +114,7 @@ func New(cfg Config, strategy routing.Strategy) (*Engine, error) {
 		},
 		horizon: cfg.Warmup + cfg.Duration,
 	}
+	e.network = comm.NewNetwork(s, cfg.Sites, cfg.CommDelay)
 	e.local = localPath{e}
 	e.remote = centralPath{e}
 	e.commit = commitProtocol{e}
@@ -111,6 +127,7 @@ func New(cfg Config, strategy routing.Strategy) (*Engine, error) {
 	for i := 0; i < cfg.Sites; i++ {
 		e.sites = append(e.sites, &localSite{
 			idx:     i,
+			sim:     s,
 			cpu:     cpu.NewServer(s, cfg.LocalMIPS),
 			disks:   newDisks(s, cfg.DisksPerSite),
 			locks:   lock.NewManager(),
@@ -122,33 +139,53 @@ func New(cfg Config, strategy routing.Strategy) (*Engine, error) {
 			e.arrivals = append(e.arrivals, workload.NewArrivals(cfg.SiteRate(i), arrivalSeeds.Uint64()))
 		}
 	}
+	e.strategies = make([]routing.Strategy, cfg.Sites)
+	if sl, ok := strategy.(routing.SiteLocal); ok {
+		stratSeeds := root.Split()
+		for i := range e.strategies {
+			e.strategies[i] = sl.ForSite(i, stratSeeds.Uint64())
+		}
+	} else {
+		for i := range e.strategies {
+			e.strategies[i] = strategy
+		}
+	}
 	return e, nil
 }
 
 // Subscribe attaches an observer to the engine's bus. Call before Run.
 // Observers implementing obs.DetailObserver also receive the protocol-detail
-// (trace) stream.
-func (e *Engine) Subscribe(o obs.Observer) { e.bus.Subscribe(o) }
+// (trace) stream. An external observer pins the run to the sequential loop:
+// only a single event queue delivers one globally ordered event stream.
+func (e *Engine) Subscribe(o obs.Observer) {
+	e.externalObs++
+	e.bus.Subscribe(o)
+}
 
 // SetTracer subscribes a protocol-event tracer on the bus. Call before Run;
 // a nil tracer is ignored, and with no tracer subscribed the engine never
-// materializes trace events.
+// materializes trace events. Like Subscribe, a tracer forces the sequential
+// loop.
 func (e *Engine) SetTracer(t trace.Tracer) {
 	if t == nil {
 		return
 	}
+	e.externalObs++
 	e.bus.Subscribe(obs.NewTracer(t))
 }
 
-// observe emits a lifecycle event stamped with the current simulated time.
-func (e *Engine) observe(ev obs.Event) {
-	ev.At = e.simulator.Now()
+// observeAt emits a lifecycle event stamped with the given simulated time —
+// the clock of whichever shard (or the single queue) the emitting event is
+// executing on.
+func (e *Engine) observeAt(at float64, ev obs.Event) {
+	ev.At = at
 	e.bus.Emit(ev)
 }
 
 // emit records a protocol-detail event. The HasDetail guard keeps the hot
 // loop free of event (and note string) construction when tracing is off;
-// callers with expensive notes should check Detailed themselves.
+// callers with expensive notes should check Detailed themselves. Detail
+// observers imply a sequential run, so the single queue's clock is correct.
 func (e *Engine) emit(kind trace.Kind, txn int64, site int, elem uint32, note string) {
 	if !e.bus.HasDetail() {
 		return
@@ -196,8 +233,14 @@ func (e *Engine) SetTrace(txns []*workload.Txn, gaps []float64) error {
 	return nil
 }
 
+// Parallel reports whether the last (or, after setup, current) Run uses the
+// sharded core. Meaningful after Run returns; used by tests and by the CLI
+// to report the effective mode.
+func (e *Engine) Parallel() bool { return e.parallel }
+
 // Run executes the simulation and returns the measured result.
 func (e *Engine) Run() Result {
+	e.setupRunMode()
 	if e.replayTxns != nil {
 		for i := range e.sites {
 			e.scheduleReplay(i, 0)
@@ -207,29 +250,34 @@ func (e *Engine) Run() Result {
 			e.scheduleArrival(i)
 		}
 	}
-	e.simulator.Schedule(e.cfg.Warmup, e.startMeasurement)
-	if e.cfg.SelfCheck {
-		e.scheduleSelfCheck()
+	if e.parallel {
+		e.runSharded()
+	} else {
+		e.simulator.Schedule(e.cfg.Warmup, e.startMeasurement)
+		if e.cfg.SelfCheck {
+			e.scheduleSelfCheck()
+		}
+		e.scheduleQueueSample()
+		e.simulator.RunUntil(e.horizon)
 	}
-	e.scheduleQueueSample()
-	e.simulator.RunUntil(e.horizon)
 	if e.cfg.SelfCheck {
-		e.observe(obs.Event{Kind: obs.SelfCheck})
+		e.observeAt(e.horizon, obs.Event{Kind: obs.SelfCheck})
 	}
 	return e.result()
 }
 
 func (e *Engine) scheduleArrival(site int) {
+	ls := e.sites[site]
 	var gap float64
 	if e.nhpp != nil {
-		gap = e.nhpp[site].Next(e.simulator.Now())
+		gap = e.nhpp[site].Next(ls.sim.Now())
 	} else {
 		gap = e.arrivals[site].Next()
 	}
-	if e.simulator.Now()+gap > e.horizon {
+	if ls.sim.Now()+gap > e.horizon {
 		return // no arrivals beyond the horizon
 	}
-	e.simulator.Schedule(gap, func() {
+	ls.sim.Schedule(gap, func() {
 		e.admit(e.generator.Next(site))
 		e.scheduleArrival(site)
 	})
@@ -239,11 +287,12 @@ func (e *Engine) scheduleReplay(site, idx int) {
 	if idx >= len(e.replayTxns[site]) {
 		return
 	}
+	ls := e.sites[site]
 	gap := e.replayGaps[site][idx]
-	if e.simulator.Now()+gap > e.horizon {
+	if ls.sim.Now()+gap > e.horizon {
 		return
 	}
-	e.simulator.Schedule(gap, func() {
+	ls.sim.Schedule(gap, func() {
 		e.admit(e.replayTxns[site][idx])
 		e.scheduleReplay(site, idx+1)
 	})
@@ -251,32 +300,43 @@ func (e *Engine) scheduleReplay(site, idx int) {
 
 // startMeasurement opens the measurement window: the site layer snapshots
 // CPU busy time for utilization accounting, and observers arm themselves on
-// the MeasureStart event.
+// the MeasureStart event. In a sharded run it executes at a barrier with
+// every shard clock aligned on the warmup instant, so the busy-time
+// snapshots (which integrate up to "now") read exactly as in the sequential
+// run.
 func (e *Engine) startMeasurement() {
 	for _, ls := range e.sites {
 		ls.busyAtWarmup = ls.cpu.BusyTime()
 	}
 	e.central.busyAtWarmup = e.central.cpu.BusyTime()
-	e.observe(obs.Event{Kind: obs.MeasureStart})
+	e.observeAt(e.cfg.Warmup, obs.Event{Kind: obs.MeasureStart})
+}
+
+// sampleQueues is the 1 Hz queue-length observation shared by both run
+// modes; at is the sample instant (every shard clock sits on it in a
+// sharded run).
+func (e *Engine) sampleQueues(at float64) {
+	total := 0
+	for _, ls := range e.sites {
+		total += ls.cpu.QueueLength()
+	}
+	e.observeAt(at, obs.Event{
+		Kind:  obs.QueueSample,
+		Value: float64(e.central.cpu.QueueLength()),
+		Aux:   float64(total) / float64(len(e.sites)),
+	})
 }
 
 // scheduleQueueSample samples the CPU queue lengths once per simulated
-// second and publishes them on the bus.
+// second and publishes them on the bus (sequential mode; the sharded loop
+// arms the same chain as barrier events).
 func (e *Engine) scheduleQueueSample() {
 	const interval = 1.0
 	if e.simulator.Now()+interval > e.horizon {
 		return
 	}
 	e.simulator.Schedule(interval, func() {
-		total := 0
-		for _, ls := range e.sites {
-			total += ls.cpu.QueueLength()
-		}
-		e.observe(obs.Event{
-			Kind:  obs.QueueSample,
-			Value: float64(e.central.cpu.QueueLength()),
-			Aux:   float64(total) / float64(len(e.sites)),
-		})
+		e.sampleQueues(e.simulator.Now())
 		e.scheduleQueueSample()
 	})
 }
@@ -287,30 +347,32 @@ func (e *Engine) scheduleSelfCheck() {
 		return
 	}
 	e.simulator.Schedule(interval, func() {
-		e.observe(obs.Event{Kind: obs.SelfCheck})
+		e.observeAt(e.simulator.Now(), obs.Event{Kind: obs.SelfCheck})
 		e.scheduleSelfCheck()
 	})
 }
 
 // admit processes one arriving transaction, whatever its source: class B
-// ships unconditionally, class A consults the routing strategy.
+// ships unconditionally, class A consults the routing strategy. It executes
+// on the home site's shard.
 func (e *Engine) admit(spec *workload.Txn) {
 	site := spec.HomeSite
-	e.generated++
-	t := e.newTxnRun(spec)
+	ls := e.sites[site]
+	ls.generated++
+	t := e.newTxnRun(ls, spec)
 	if e.Detailed() {
 		e.emit(trace.Arrive, spec.ID, site, 0, "class "+spec.Class.String())
 	}
 
 	if spec.Class == workload.ClassB {
-		e.observe(obs.Event{Kind: obs.TxnArrive, ClassB: true, Shipped: true, Site: site})
+		e.observeAt(ls.sim.Now(), obs.Event{Kind: obs.TxnArrive, ClassB: true, Shipped: true, Site: site})
 		e.emit(trace.RouteShip, spec.ID, site, 0, "class B")
 		e.remote.ship(t)
 		return
 	}
 	st := e.routingState(site)
-	shipped := e.strategy.Decide(st) == routing.Ship
-	e.observe(obs.Event{Kind: obs.TxnArrive, Shipped: shipped, Value: st.ViewAge, Site: site})
+	shipped := e.strategies[site].Decide(st) == routing.Ship
+	e.observeAt(ls.sim.Now(), obs.Event{Kind: obs.TxnArrive, Shipped: shipped, Value: st.ViewAge, Site: site})
 	if shipped {
 		e.emit(trace.RouteShip, spec.ID, site, 0, "")
 		e.remote.ship(t)
@@ -318,4 +380,42 @@ func (e *Engine) admit(spec *workload.Txn) {
 	}
 	e.emit(trace.RouteLocal, spec.ID, site, 0, "")
 	e.local.start(t)
+}
+
+// generatedTotal sums the per-site admission counters.
+func (e *Engine) generatedTotal() uint64 {
+	var n uint64
+	for _, ls := range e.sites {
+		n += ls.generated
+	}
+	return n
+}
+
+// completedTotal sums the per-site completion counters.
+func (e *Engine) completedTotal() uint64 {
+	var n uint64
+	for _, ls := range e.sites {
+		n += ls.completed
+	}
+	return n
+}
+
+// inFlightShipTotal counts shipped inputs still travelling to the central
+// site: inputs sent minus inputs received.
+func (e *Engine) inFlightShipTotal() uint64 {
+	var sent uint64
+	for _, ls := range e.sites {
+		sent += ls.shipStarted
+	}
+	return sent - e.central.shipArrived
+}
+
+// inFlightReplyTotal counts completion replies still travelling to their
+// origin: replies sent minus replies delivered.
+func (e *Engine) inFlightReplyTotal() uint64 {
+	var delivered uint64
+	for _, ls := range e.sites {
+		delivered += ls.replyArrived
+	}
+	return e.central.replyStarted - delivered
 }

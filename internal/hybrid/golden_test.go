@@ -23,60 +23,63 @@ type golden struct {
 	Aborts, AuthRounds, MessagesSent                            uint64
 }
 
-// goldenResults was generated by running the seed engine (commit 9c5210c,
-// pre-decomposition) on goldenConfig below. Regenerate only when a change is
-// MEANT to alter simulation behavior; pure refactors must reproduce these
-// bits exactly.
+// goldenResults was regenerated for the sharded-core refactor, which
+// intentionally changed the sample path: the workload generator and stateful
+// strategies now draw from per-site RNG streams, transaction IDs carry the
+// site in their high bits, and metrics accumulate per partition before a
+// fixed-order merge. Regenerate only when a change is MEANT to alter
+// simulation behavior; pure refactors must reproduce these bits exactly —
+// in BOTH run modes, which share one sample path by construction.
 var goldenResults = []golden{
 	{
 		Strategy:  "none",
-		Generated: 2027, Completed: 1999,
-		CompletedLocalA: 1210, CompletedShippedA: 0, CompletedClassB: 438,
-		MeanRT: "0x1.b294eec547f27p+00", MeanRTLocalA: "0x1.e8135059e46e1p+00", MeanRTShippedA: "0x0p+00", MeanRTClassB: "0x1.1ecd6c4dcd706p+00",
-		P95RT: "0x1.27ae147ae147ap+02", ShipFraction: "0x0p+00", Throughput: "0x1.499999999999ap+04",
-		MeanLockWait: "0x1.de3912bf282f7p-01", MeanCentralQueue: "0x1.7b425ed097b44p-03", MeanLocalQueue: "0x1.2dab4c7be42ffp+01", MeanViewAge: "0x1.e359db26ac56dp-02",
-		UtilLocalMean: "0x1.5ac472d563316p-01", UtilLocalMax: "0x1.7d1572b6ddeffp-01", UtilCentral: "0x1.5089a02751ec3p-03",
-		Aborts: 6, AuthRounds: 438, MessagesSent: 14151,
+		Generated: 2027, Completed: 1998,
+		CompletedLocalA: 1220, CompletedShippedA: 0, CompletedClassB: 420,
+		MeanRT: "0x1.8f98485b82295p+00", MeanRTLocalA: "0x1.b61e0f14e18b6p+00", MeanRTShippedA: "0x0p+00", MeanRTClassB: "0x1.1fb22baec26eap+00",
+		P95RT: "0x1.e666666666667p+01", ShipFraction: "0x0p+00", Throughput: "0x1.48p+04",
+		MeanLockWait: "0x1.3ac482a06c175p-01", MeanCentralQueue: "0x1.add3c0ca4587fp-03", MeanLocalQueue: "0x1.101e573ac901fp+01", MeanViewAge: "0x1.f44196dc67fe5p-02",
+		UtilLocalMean: "0x1.5f16982da3e62p-01", UtilLocalMax: "0x1.917fbece358d5p-01", UtilCentral: "0x1.40e909d0781b5p-03",
+		Aborts: 6, AuthRounds: 418, MessagesSent: 13818,
 	},
 	{
 		Strategy:  "static(0.500)",
 		Generated: 2027, Completed: 2005,
-		CompletedLocalA: 628, CompletedShippedA: 569, CompletedClassB: 438,
-		MeanRT: "0x1.18ee7aa0e8077p+00", MeanRTLocalA: "0x1.0ad4c2d01a6e6p+00", MeanRTShippedA: "0x1.221fd272d8d79p+00", MeanRTClassB: "0x1.2134dc13cf8cep+00",
-		P95RT: "0x1.7d33333333334p+00", ShipFraction: "0x1.e476bfe476bfep-02", Throughput: "0x1.47p+04",
-		MeanLockWait: "0x1.5efea1fd4fbecp-02", MeanCentralQueue: "0x1.48b0fcd6e9e06p-01", MeanLocalQueue: "0x1.2ce106f3fd78ep-01", MeanViewAge: "0x1.b56e832655a56p-02",
-		UtilLocalMean: "0x1.6d1485770928p-02", UtilLocalMax: "0x1.a666666666738p-02", UtilCentral: "0x1.8141205bbf936p-02",
-		Aborts: 10, AuthRounds: 1006, MessagesSent: 16391,
+		CompletedLocalA: 610, CompletedShippedA: 607, CompletedClassB: 422,
+		MeanRT: "0x1.117523a61f9ddp+00", MeanRTLocalA: "0x1.ea2c60ad5cd1ep-01", MeanRTShippedA: "0x1.224bef69b1ec1p+00", MeanRTClassB: "0x1.223f1df5561edp+00",
+		P95RT: "0x1.58d4fdf3b6459p+00", ShipFraction: "0x1.fa15f78d18807p-02", Throughput: "0x1.47ccccccccccdp+04",
+		MeanLockWait: "0x1.3994df0689b8cp-02", MeanCentralQueue: "0x1.f9add3c0ca458p-02", MeanLocalQueue: "0x1.0abee4d1db56bp-01", MeanViewAge: "0x1.c65dd7772d961p-02",
+		UtilLocalMean: "0x1.6257c14908426p-02", UtilLocalMax: "0x1.a208843e9e61dp-02", UtilCentral: "0x1.876b6bf5fbc6dp-02",
+		Aborts: 7, AuthRounds: 1022, MessagesSent: 16115,
 	},
 	{
 		Strategy:  "measured-rt",
 		Generated: 2027, Completed: 2003,
-		CompletedLocalA: 185, CompletedShippedA: 1018, CompletedClassB: 438,
-		MeanRT: "0x1.2b3be803d23d3p+00", MeanRTLocalA: "0x1.4ee212203e019p+00", MeanRTShippedA: "0x1.2727a79661afcp+00", MeanRTClassB: "0x1.25a84c68bbd78p+00",
-		P95RT: "0x1.4c83984af2b5bp+00", ShipFraction: "0x1.b21fd6b21fd6bp-01", Throughput: "0x1.4833333333333p+04",
-		MeanLockWait: "0x1.94bf402a4b53dp-02", MeanCentralQueue: "0x1.0ca4587e6b74fp+00", MeanLocalQueue: "0x1.e2ec67aa08d99p-03", MeanViewAge: "0x1.a21e604a9f25bp-02",
-		UtilLocalMean: "0x1.a45f9252c8d56p-04", UtilLocalMax: "0x1.2000000000086p-02", UtilCentral: "0x1.168860e3842adp-01",
-		Aborts: 1, AuthRounds: 1453, MessagesSent: 17762,
+		CompletedLocalA: 113, CompletedShippedA: 1104, CompletedClassB: 422,
+		MeanRT: "0x1.26e16ad3045aap+00", MeanRTLocalA: "0x1.27e413255291p+00", MeanRTShippedA: "0x1.2690c87e6e696p+00", MeanRTClassB: "0x1.276f1a990ce88p+00",
+		P95RT: "0x1.473c870bdcb7cp+00", ShipFraction: "0x1.d0afbc68c4036p-01", Throughput: "0x1.47ccccccccccdp+04",
+		MeanLockWait: "0x1.49de777bd133ap-02", MeanCentralQueue: "0x1.25ed097b425edp+00", MeanLocalQueue: "0x1.01e573ac901e4p-03", MeanViewAge: "0x1.af2e041e2e64dp-02",
+		UtilLocalMean: "0x1.0447af185b3d6p-04", UtilLocalMax: "0x1.4de668f017425p-02", UtilCentral: "0x1.237dd9222405bp-01",
+		Aborts: 0, AuthRounds: 1522, MessagesSent: 17777,
 	},
 	{
 		Strategy:  "queue-length",
-		Generated: 2027, Completed: 2007,
-		CompletedLocalA: 816, CompletedShippedA: 383, CompletedClassB: 438,
-		MeanRT: "0x1.0006b5f43dc8dp+00", MeanRTLocalA: "0x1.bc940c69d3159p-01", MeanRTShippedA: "0x1.2270974c6abbbp+00", MeanRTClassB: "0x1.20c95bfaa30f8p+00",
-		P95RT: "0x1.3284767b9eedep+00", ShipFraction: "0x1.47da2347da234p-02", Throughput: "0x1.4766666666666p+04",
-		MeanLockWait: "0x1.dcd228169cb58p-03", MeanCentralQueue: "0x1.ed097b425ed09p-02", MeanLocalQueue: "0x1.268edab4c7be7p-01", MeanViewAge: "0x1.c24a919f6d93fp-02",
-		UtilLocalMean: "0x1.d6ee78c435ab8p-02", UtilLocalMax: "0x1.fc33de2275b56p-02", UtilCentral: "0x1.3c154c985e98ep-02",
-		Aborts: 11, AuthRounds: 824, MessagesSent: 15647,
+		Generated: 2027, Completed: 2004,
+		CompletedLocalA: 821, CompletedShippedA: 392, CompletedClassB: 421,
+		MeanRT: "0x1.fd2e09953c78bp-01", MeanRTLocalA: "0x1.b889249a59c2bp-01", MeanRTShippedA: "0x1.215e974388b6bp+00", MeanRTClassB: "0x1.21235f538636p+00",
+		P95RT: "0x1.325236c6d294ep+00", ShipFraction: "0x1.4c0a237c32b17p-02", Throughput: "0x1.46ccccccccccdp+04",
+		MeanLockWait: "0x1.e00c60ff933d5p-03", MeanCentralQueue: "0x1.3c0ca4587e6b9p-02", MeanLocalQueue: "0x1.2a59c20de7fb1p-01", MeanViewAge: "0x1.d2b6a416c8be3p-02",
+		UtilLocalMean: "0x1.db8d5b6ff00ebp-02", UtilLocalMax: "0x1.f9c16d2c0128ap-02", UtilCentral: "0x1.37aa7b63411c1p-02",
+		Aborts: 7, AuthRounds: 811, MessagesSent: 15335,
 	},
 	{
 		Strategy:  "min-average/nis",
-		Generated: 2027, Completed: 2008,
-		CompletedLocalA: 700, CompletedShippedA: 500, CompletedClassB: 438,
-		MeanRT: "0x1.f94b93007d151p-01", MeanRTLocalA: "0x1.94b9471a99c35p-01", MeanRTShippedA: "0x1.22ceb67a0649p+00", MeanRTClassB: "0x1.217391ee632abp+00",
-		P95RT: "0x1.315a3ce8e6e9fp+00", ShipFraction: "0x1.ae4089ae4089bp-02", Throughput: "0x1.479999999999ap+04",
-		MeanLockWait: "0x1.c56d25916e4bbp-03", MeanCentralQueue: "0x1.161f9add3c0c8p-01", MeanLocalQueue: "0x1.b93476d5a63dcp-02", MeanViewAge: "0x1.c137f4aac775ep-02",
-		UtilLocalMean: "0x1.91acc5ff15966p-02", UtilLocalMax: "0x1.b300cf96add05p-02", UtilCentral: "0x1.69319f626667ap-02",
-		Aborts: 8, AuthRounds: 941, MessagesSent: 16132,
+		Generated: 2027, Completed: 2007,
+		CompletedLocalA: 711, CompletedShippedA: 506, CompletedClassB: 421,
+		MeanRT: "0x1.f7f1293616701p-01", MeanRTLocalA: "0x1.937e82bac5aa6p-01", MeanRTShippedA: "0x1.22b57bfeab57ep+00", MeanRTClassB: "0x1.223b5dc706753p+00",
+		P95RT: "0x1.314cdf6c18aa6p+00", ShipFraction: "0x1.ac5b3f5dc83cdp-02", Throughput: "0x1.479999999999ap+04",
+		MeanLockWait: "0x1.0c7624d252be4p-02", MeanCentralQueue: "0x1.0fcd6e9e06521p-01", MeanLocalQueue: "0x1.d27d27d27d27dp-02", MeanViewAge: "0x1.cc555dffbb3dfp-02",
+		UtilLocalMean: "0x1.98cc18beff72fp-02", UtilLocalMax: "0x1.a953777c8b4ap-02", UtilCentral: "0x1.64218edd8f116p-02",
+		Aborts: 7, AuthRounds: 925, MessagesSent: 15813,
 	},
 }
 

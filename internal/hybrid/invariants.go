@@ -43,10 +43,14 @@ func (e *Engine) checkInvariants() {
 			len(e.central.running), e.central.inSystem))
 	}
 	present += uint64(e.central.inSystem)
-	total := e.completed + present + e.inFlightShip + e.inFlightReply
-	if total != e.generated {
+	generated := e.generatedTotal()
+	completed := e.completedTotal()
+	shipping := e.inFlightShipTotal()
+	replying := e.inFlightReplyTotal()
+	total := completed + present + shipping + replying
+	if total != generated {
 		panic(fmt.Sprintf("hybrid: conservation violated: generated=%d accounted=%d "+
 			"(completed=%d present=%d shipping=%d replying=%d)",
-			e.generated, total, e.completed, present, e.inFlightShip, e.inFlightReply))
+			generated, total, completed, present, shipping, replying))
 	}
 }

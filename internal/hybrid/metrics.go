@@ -9,21 +9,25 @@ import (
 // is recorded until the warmup period ends. It is an obs.Observer — the only
 // one the engine always subscribes — and every value it holds arrives over
 // the bus rather than through direct calls from the lifecycle layer.
+// Accumulation is partitioned: every event folds into the core of the
+// partition whose shard emitted it — the origin site, the central complex
+// (core index sites), or the run coordinator (core sites+1, for
+// barrier-time samples). In a sharded run each core is therefore written by
+// exactly one shard worker, and in the sequential run by the one loop;
+// result() merges the cores in the same fixed order in both modes, so the
+// assembled Result is bit-identical between them.
 type metrics struct {
-	enabled bool
+	enabled bool    // written only at the MeasureStart barrier
 	start   float64 // window start time
 
-	// Time-series accumulation (Config.SeriesBucket > 0): completed
-	// response times and the 1 Hz queue-length samples fold into the same
-	// bucket grid, so a manifest carries the adaptation transient for both.
 	seriesBucket float64
-	seriesSum    []float64
-	seriesCount  []uint64
-	seriesQSumC  []float64 // central queue-length sample sums per bucket
-	seriesQSumL  []float64 // mean-local queue-length sample sums per bucket
-	seriesQCount []uint64  // queue samples per bucket
+	cores        []*metricsCore
+}
 
-	// Response times by kind.
+// metricsCore is one partition's accumulator set.
+type metricsCore struct {
+	// Response times by kind. rtLocalA doubles as the per-site local-commit
+	// stat for site cores (every local commit of site i lands in core i).
 	rtAll      stats.Welford
 	rtLocalA   stats.Welford
 	rtShippedA stats.Welford
@@ -33,15 +37,11 @@ type metrics struct {
 	histShipA  *stats.Histogram
 	histClassB *stats.Histogram
 
-	// Per-site response times of locally committed class A transactions.
-	perSiteRT []stats.Welford
-
-	// Routing decisions (class A only).
+	// Routing decisions (class A only) and arrivals.
 	decisionsLocal uint64
 	decisionsShip  uint64
-
-	arrivalsA uint64
-	arrivalsB uint64
+	arrivalsA      uint64
+	arrivalsB      uint64
 
 	// Aborts by cause.
 	abortsDeadlockLocal   uint64
@@ -50,32 +50,67 @@ type metrics struct {
 	abortsCentralNACK     uint64 // authentication refused (in-flight updates)
 	abortsCentralInval    uint64 // central lock invalidated by an async update
 
-	// Lock waits.
+	// Lock waits (site cores and the central core) and the staleness of the
+	// central-state view at each routing decision (site cores).
 	lockWait stats.Welford
+	viewAge  stats.Welford
 
-	// Periodically sampled queue lengths (1 Hz over the window) and the
-	// staleness of the central-state view at each routing decision.
+	// Authentication rounds (central core).
+	authRounds uint64
+
+	// 1 Hz queue-length samples (coordinator core only).
 	centralQueue stats.Welford
 	localQueue   stats.Welford
-	viewAge      stats.Welford
 
-	// Authentication rounds.
-	authRounds uint64
+	// Time-series accumulation (Config.SeriesBucket > 0): completed
+	// response times (site cores) and the 1 Hz queue-length samples
+	// (coordinator core) fold into the same bucket grid, merged elementwise
+	// at result time.
+	seriesSum    []float64
+	seriesCount  []uint64
+	seriesQSumC  []float64 // central queue-length sample sums per bucket
+	seriesQSumL  []float64 // mean-local queue-length sample sums per bucket
+	seriesQCount []uint64  // queue samples per bucket
 }
 
-func newMetrics(bucket float64, sites int) *metrics {
-	return &metrics{
-		seriesBucket: bucket,
-		rtHist:       stats.NewHistogram(0, 60, 600),
-		histLocalA:   stats.NewHistogram(0, 60, 600),
-		histShipA:    stats.NewHistogram(0, 60, 600),
-		histClassB:   stats.NewHistogram(0, 60, 600),
-		perSiteRT:    make([]stats.Welford, sites),
+func newMetricsCore() *metricsCore {
+	return &metricsCore{
+		rtHist:     stats.NewHistogram(0, 60, 600),
+		histLocalA: stats.NewHistogram(0, 60, 600),
+		histShipA:  stats.NewHistogram(0, 60, 600),
+		histClassB: stats.NewHistogram(0, 60, 600),
 	}
 }
 
-// OnEvent implements obs.Observer: lifecycle events fold into the window's
-// accumulators; protocol-detail events are ignored.
+func newMetrics(bucket float64, sites int) *metrics {
+	m := &metrics{
+		seriesBucket: bucket,
+		cores:        make([]*metricsCore, sites+2),
+	}
+	for i := range m.cores {
+		m.cores[i] = newMetricsCore()
+	}
+	return m
+}
+
+// coreIndex routes an event to its partition's core: coordinator events
+// (barrier-time samples) to the last core, central-complex events
+// (Site < 0) to the second-to-last, everything else to the origin site's.
+func (m *metrics) coreIndex(ev obs.Event) int {
+	if ev.Kind == obs.QueueSample {
+		return len(m.cores) - 1
+	}
+	if ev.Site < 0 {
+		return len(m.cores) - 2
+	}
+	return ev.Site
+}
+
+// OnEvent implements obs.Observer: lifecycle events fold into the emitting
+// partition's core; protocol-detail events are ignored. In a sharded run
+// this is called concurrently by the shard workers, which is safe because
+// coreIndex routes every event to a core only its own shard writes, and the
+// enabled/start gate is written exclusively at the MeasureStart barrier.
 func (m *metrics) OnEvent(ev obs.Event) {
 	if ev.Kind == obs.MeasureStart {
 		m.enabled = true
@@ -85,55 +120,55 @@ func (m *metrics) OnEvent(ev obs.Event) {
 	if !m.enabled {
 		return
 	}
+	c := m.cores[m.coreIndex(ev)]
 	switch ev.Kind {
 	case obs.TxnArrive:
 		if ev.ClassB {
-			m.arrivalsB++
+			c.arrivalsB++
 			return
 		}
-		m.arrivalsA++
-		m.viewAge.Add(ev.Value)
+		c.arrivalsA++
+		c.viewAge.Add(ev.Value)
 		if ev.Shipped {
-			m.decisionsShip++
+			c.decisionsShip++
 		} else {
-			m.decisionsLocal++
+			c.decisionsLocal++
 		}
 	case obs.TxnLocalCommit:
-		m.rtAll.Add(ev.Value)
-		m.rtLocalA.Add(ev.Value)
-		m.rtHist.Add(ev.Value)
-		m.histLocalA.Add(ev.Value)
-		m.recordSeries(ev.At, ev.Value)
-		m.perSiteRT[ev.Site].Add(ev.Value)
+		c.rtAll.Add(ev.Value)
+		c.rtLocalA.Add(ev.Value)
+		c.rtHist.Add(ev.Value)
+		c.histLocalA.Add(ev.Value)
+		m.recordSeries(c, ev.At, ev.Value)
 	case obs.TxnReply:
-		m.rtAll.Add(ev.Value)
-		m.rtHist.Add(ev.Value)
-		m.recordSeries(ev.At, ev.Value)
+		c.rtAll.Add(ev.Value)
+		c.rtHist.Add(ev.Value)
+		m.recordSeries(c, ev.At, ev.Value)
 		if ev.ClassB {
-			m.rtClassB.Add(ev.Value)
-			m.histClassB.Add(ev.Value)
+			c.rtClassB.Add(ev.Value)
+			c.histClassB.Add(ev.Value)
 		} else {
-			m.rtShippedA.Add(ev.Value)
-			m.histShipA.Add(ev.Value)
+			c.rtShippedA.Add(ev.Value)
+			c.histShipA.Add(ev.Value)
 		}
 	case obs.LockWaitEnd:
-		m.lockWait.Add(ev.Value)
+		c.lockWait.Add(ev.Value)
 	case obs.AuthRound:
-		m.authRounds++
+		c.authRounds++
 	case obs.AbortDeadlockLocal:
-		m.abortsDeadlockLocal++
+		c.abortsDeadlockLocal++
 	case obs.AbortDeadlockCentral:
-		m.abortsDeadlockCentral++
+		c.abortsDeadlockCentral++
 	case obs.AbortLocalSeized:
-		m.abortsLocalSeized++
+		c.abortsLocalSeized++
 	case obs.AbortCentralNACK:
-		m.abortsCentralNACK++
+		c.abortsCentralNACK++
 	case obs.AbortCentralInval:
-		m.abortsCentralInval++
+		c.abortsCentralInval++
 	case obs.QueueSample:
-		m.centralQueue.Add(ev.Value)
-		m.localQueue.Add(ev.Aux)
-		m.recordQueueSeries(ev.At, ev.Value, ev.Aux)
+		c.centralQueue.Add(ev.Value)
+		c.localQueue.Add(ev.Aux)
+		m.recordQueueSeries(c, ev.At, ev.Value, ev.Aux)
 	}
 }
 
@@ -150,130 +185,190 @@ func (m *metrics) seriesIndex(now float64) int {
 }
 
 // recordSeries adds a completed response time to its time bucket.
-func (m *metrics) recordSeries(now, rt float64) {
+func (m *metrics) recordSeries(c *metricsCore, now, rt float64) {
 	idx := m.seriesIndex(now)
 	if idx < 0 {
 		return
 	}
-	for len(m.seriesSum) <= idx {
-		m.seriesSum = append(m.seriesSum, 0)
-		m.seriesCount = append(m.seriesCount, 0)
+	for len(c.seriesSum) <= idx {
+		c.seriesSum = append(c.seriesSum, 0)
+		c.seriesCount = append(c.seriesCount, 0)
 	}
-	m.seriesSum[idx] += rt
-	m.seriesCount[idx]++
+	c.seriesSum[idx] += rt
+	c.seriesCount[idx]++
 }
 
 // recordQueueSeries folds one 1 Hz queue-length observation into its bucket.
-func (m *metrics) recordQueueSeries(now, central, local float64) {
+func (m *metrics) recordQueueSeries(c *metricsCore, now, central, local float64) {
 	idx := m.seriesIndex(now)
 	if idx < 0 {
 		return
 	}
-	for len(m.seriesQSumC) <= idx {
-		m.seriesQSumC = append(m.seriesQSumC, 0)
-		m.seriesQSumL = append(m.seriesQSumL, 0)
-		m.seriesQCount = append(m.seriesQCount, 0)
+	for len(c.seriesQSumC) <= idx {
+		c.seriesQSumC = append(c.seriesQSumC, 0)
+		c.seriesQSumL = append(c.seriesQSumL, 0)
+		c.seriesQCount = append(c.seriesQCount, 0)
 	}
-	m.seriesQSumC[idx] += central
-	m.seriesQSumL[idx] += local
-	m.seriesQCount[idx]++
+	c.seriesQSumC[idx] += central
+	c.seriesQSumL[idx] += local
+	c.seriesQCount[idx]++
+}
+
+// mergeInto folds one core's accumulators into the aggregate. The caller
+// merges cores in a fixed order (0..sites+1), which both run modes share —
+// the floating-point results of the Welford and series merges depend on
+// that order, so keeping it fixed is part of the bit-exactness contract.
+func (c *metricsCore) mergeInto(agg *metricsCore) {
+	agg.rtAll.Merge(&c.rtAll)
+	agg.rtLocalA.Merge(&c.rtLocalA)
+	agg.rtShippedA.Merge(&c.rtShippedA)
+	agg.rtClassB.Merge(&c.rtClassB)
+	agg.rtHist.Merge(c.rtHist)
+	agg.histLocalA.Merge(c.histLocalA)
+	agg.histShipA.Merge(c.histShipA)
+	agg.histClassB.Merge(c.histClassB)
+	agg.decisionsLocal += c.decisionsLocal
+	agg.decisionsShip += c.decisionsShip
+	agg.arrivalsA += c.arrivalsA
+	agg.arrivalsB += c.arrivalsB
+	agg.abortsDeadlockLocal += c.abortsDeadlockLocal
+	agg.abortsDeadlockCentral += c.abortsDeadlockCentral
+	agg.abortsLocalSeized += c.abortsLocalSeized
+	agg.abortsCentralNACK += c.abortsCentralNACK
+	agg.abortsCentralInval += c.abortsCentralInval
+	agg.lockWait.Merge(&c.lockWait)
+	agg.viewAge.Merge(&c.viewAge)
+	agg.authRounds += c.authRounds
+	agg.centralQueue.Merge(&c.centralQueue)
+	agg.localQueue.Merge(&c.localQueue)
+	mergeSeriesF(&agg.seriesSum, c.seriesSum)
+	mergeSeriesU(&agg.seriesCount, c.seriesCount)
+	mergeSeriesF(&agg.seriesQSumC, c.seriesQSumC)
+	mergeSeriesF(&agg.seriesQSumL, c.seriesQSumL)
+	mergeSeriesU(&agg.seriesQCount, c.seriesQCount)
+}
+
+func mergeSeriesF(dst *[]float64, src []float64) {
+	for len(*dst) < len(src) {
+		*dst = append(*dst, 0)
+	}
+	for i, v := range src {
+		(*dst)[i] += v
+	}
+}
+
+func mergeSeriesU(dst *[]uint64, src []uint64) {
+	for len(*dst) < len(src) {
+		*dst = append(*dst, 0)
+	}
+	for i, v := range src {
+		(*dst)[i] += v
+	}
 }
 
 // result assembles the run's Result from the metrics observer, the site
-// layer's utilization accounting, and the network counters.
+// layer's utilization accounting, and the network counters. It merges the
+// per-partition cores into one aggregate in fixed order; both run modes
+// take exactly this path, so a sequential and a sharded run of the same
+// configuration produce bit-identical Results.
 func (e *Engine) result() Result {
-	window := e.simulator.Now() - e.m.start
+	// Both run modes leave every clock exactly at the horizon.
+	window := e.horizon - e.m.start
 	if !e.m.enabled || window <= 0 {
 		window = 0
+	}
+	agg := newMetricsCore()
+	for _, c := range e.m.cores {
+		c.mergeInto(agg)
 	}
 	r := Result{
 		Strategy:              e.strategy.Name(),
 		Window:                window,
-		CompletedLocalA:       e.m.rtLocalA.Count(),
-		CompletedShippedA:     e.m.rtShippedA.Count(),
-		CompletedClassB:       e.m.rtClassB.Count(),
-		MeanRT:                e.m.rtAll.Mean(),
-		MeanRTLocalA:          e.m.rtLocalA.Mean(),
-		MeanRTShippedA:        e.m.rtShippedA.Mean(),
-		MeanRTClassB:          e.m.rtClassB.Mean(),
-		P95RT:                 e.m.rtHist.Quantile(0.95),
-		P95RTLocalA:           e.m.histLocalA.Quantile(0.95),
-		P95RTShippedA:         e.m.histShipA.Quantile(0.95),
-		P95RTClassB:           e.m.histClassB.Quantile(0.95),
-		RTPercentiles:         percentilesOf(e.m.rtHist),
-		RTPercentilesLocalA:   percentilesOf(e.m.histLocalA),
-		RTPercentilesShippedA: percentilesOf(e.m.histShipA),
-		RTPercentilesClassB:   percentilesOf(e.m.histClassB),
-		ClipAll:               clipOf(e.m.rtHist),
-		ClipLocalA:            clipOf(e.m.histLocalA),
-		ClipShippedA:          clipOf(e.m.histShipA),
-		ClipClassB:            clipOf(e.m.histClassB),
-		AbortsDeadlockLocal:   e.m.abortsDeadlockLocal,
-		AbortsDeadlockCentral: e.m.abortsDeadlockCentral,
-		AbortsLocalSeized:     e.m.abortsLocalSeized,
-		AbortsCentralNACK:     e.m.abortsCentralNACK,
-		AbortsCentralInval:    e.m.abortsCentralInval,
-		MeanLockWait:          e.m.lockWait.Mean(),
-		MeanCentralQueue:      e.m.centralQueue.Mean(),
-		MeanLocalQueue:        e.m.localQueue.Mean(),
-		MeanViewAge:           e.m.viewAge.Mean(),
-		AuthRounds:            e.m.authRounds,
+		CompletedLocalA:       agg.rtLocalA.Count(),
+		CompletedShippedA:     agg.rtShippedA.Count(),
+		CompletedClassB:       agg.rtClassB.Count(),
+		MeanRT:                agg.rtAll.Mean(),
+		MeanRTLocalA:          agg.rtLocalA.Mean(),
+		MeanRTShippedA:        agg.rtShippedA.Mean(),
+		MeanRTClassB:          agg.rtClassB.Mean(),
+		P95RT:                 agg.rtHist.Quantile(0.95),
+		P95RTLocalA:           agg.histLocalA.Quantile(0.95),
+		P95RTShippedA:         agg.histShipA.Quantile(0.95),
+		P95RTClassB:           agg.histClassB.Quantile(0.95),
+		RTPercentiles:         percentilesOf(agg.rtHist),
+		RTPercentilesLocalA:   percentilesOf(agg.histLocalA),
+		RTPercentilesShippedA: percentilesOf(agg.histShipA),
+		RTPercentilesClassB:   percentilesOf(agg.histClassB),
+		ClipAll:               clipOf(agg.rtHist),
+		ClipLocalA:            clipOf(agg.histLocalA),
+		ClipShippedA:          clipOf(agg.histShipA),
+		ClipClassB:            clipOf(agg.histClassB),
+		AbortsDeadlockLocal:   agg.abortsDeadlockLocal,
+		AbortsDeadlockCentral: agg.abortsDeadlockCentral,
+		AbortsLocalSeized:     agg.abortsLocalSeized,
+		AbortsCentralNACK:     agg.abortsCentralNACK,
+		AbortsCentralInval:    agg.abortsCentralInval,
+		MeanLockWait:          agg.lockWait.Mean(),
+		MeanCentralQueue:      agg.centralQueue.Mean(),
+		MeanLocalQueue:        agg.localQueue.Mean(),
+		MeanViewAge:           agg.viewAge.Mean(),
+		AuthRounds:            agg.authRounds,
 		MessagesSent:          e.network.MessagesSent(),
-		Generated:             e.generated,
-		Completed:             e.completed,
-		InFlightShip:          e.inFlightShip,
-		InFlightReply:         e.inFlightReply,
+		Generated:             e.generatedTotal(),
+		Completed:             e.completedTotal(),
+		InFlightShip:          e.inFlightShipTotal(),
+		InFlightReply:         e.inFlightReplyTotal(),
 	}
 	for _, ls := range e.sites {
 		r.InSystemAtEnd += uint64(ls.inSystem)
 	}
 	r.InSystemAtEnd += uint64(e.central.inSystem)
 	if window > 0 {
-		r.Throughput = float64(e.m.rtAll.Count()) / window
+		r.Throughput = float64(agg.rtAll.Count()) / window
 		perSite, mean, max := siteUtilizations(e.sites, window)
 		r.PerSite = make([]SiteStats, len(e.sites))
 		for i := range e.sites {
 			r.PerSite[i] = SiteStats{
 				Site:            i,
 				Utilization:     perSite[i],
-				CompletedLocalA: e.m.perSiteRT[i].Count(),
-				MeanRTLocalA:    e.m.perSiteRT[i].Mean(),
+				CompletedLocalA: e.m.cores[i].rtLocalA.Count(),
+				MeanRTLocalA:    e.m.cores[i].rtLocalA.Mean(),
 			}
 		}
 		r.UtilLocalMean = mean
 		r.UtilLocalMax = max
 		r.UtilCentral = (e.central.cpu.BusyTime() - e.central.busyAtWarmup) / window
 	}
-	if d := e.m.decisionsLocal + e.m.decisionsShip; d > 0 {
-		r.ShipFraction = float64(e.m.decisionsShip) / float64(d)
+	if d := agg.decisionsLocal + agg.decisionsShip; d > 0 {
+		r.ShipFraction = float64(agg.decisionsShip) / float64(d)
 	}
-	n := len(e.m.seriesCount)
-	if len(e.m.seriesQCount) > n {
-		n = len(e.m.seriesQCount)
+	n := len(agg.seriesCount)
+	if len(agg.seriesQCount) > n {
+		n = len(agg.seriesQCount)
 	}
 	for i := 0; i < n; i++ {
 		b := RTBucket{Start: float64(i) * e.m.seriesBucket}
-		if i < len(e.m.seriesCount) {
-			b.Completions = e.m.seriesCount[i]
+		if i < len(agg.seriesCount) {
+			b.Completions = agg.seriesCount[i]
 		}
 		if b.Completions > 0 {
-			b.MeanRT = e.m.seriesSum[i] / float64(b.Completions)
+			b.MeanRT = agg.seriesSum[i] / float64(b.Completions)
 		}
-		if i < len(e.m.seriesQCount) {
-			b.QueueSamples = e.m.seriesQCount[i]
+		if i < len(agg.seriesQCount) {
+			b.QueueSamples = agg.seriesQCount[i]
 		}
 		if b.QueueSamples > 0 {
-			b.MeanCentralQueue = e.m.seriesQSumC[i] / float64(b.QueueSamples)
-			b.MeanLocalQueue = e.m.seriesQSumL[i] / float64(b.QueueSamples)
+			b.MeanCentralQueue = agg.seriesQSumC[i] / float64(b.QueueSamples)
+			b.MeanLocalQueue = agg.seriesQSumL[i] / float64(b.QueueSamples)
 		}
 		r.RTSeries = append(r.RTSeries, b)
 	}
 	if e.cfg.CaptureHistograms {
 		r.Histograms = &ResultHistograms{
-			All:      e.m.rtHist.Dump(),
-			LocalA:   e.m.histLocalA.Dump(),
-			ShippedA: e.m.histShipA.Dump(),
-			ClassB:   e.m.histClassB.Dump(),
+			All:      agg.rtHist.Dump(),
+			LocalA:   agg.histLocalA.Dump(),
+			ShippedA: agg.histShipA.Dump(),
+			ClassB:   agg.histClassB.Dump(),
 		}
 	}
 	return r

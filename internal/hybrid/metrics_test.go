@@ -7,6 +7,11 @@ import (
 	"hybriddb/internal/routing"
 )
 
+// siteCore and coordCore pick the partition cores the unit tests poke at
+// (single-site metrics: core 0 = the site, last core = the coordinator).
+func siteCore(m *metrics) *metricsCore  { return m.cores[0] }
+func coordCore(m *metrics) *metricsCore { return m.cores[len(m.cores)-1] }
+
 // TestSeriesBucketBoundaries pins the bucket grid: a completion at exactly
 // the window start lands in bucket 0, one an epsilon before a boundary stays
 // in the earlier bucket, one exactly on a boundary opens the next, and
@@ -24,18 +29,18 @@ func TestSeriesBucketBoundaries(t *testing.T) {
 	commit(135, 4.0)     // bucket 3; bucket 2 stays empty
 
 	wantCounts := []uint64{2, 1, 0, 1}
-	if len(m.seriesCount) != len(wantCounts) {
-		t.Fatalf("got %d buckets, want %d", len(m.seriesCount), len(wantCounts))
+	if len(siteCore(m).seriesCount) != len(wantCounts) {
+		t.Fatalf("got %d buckets, want %d", len(siteCore(m).seriesCount), len(wantCounts))
 	}
 	for i, want := range wantCounts {
-		if m.seriesCount[i] != want {
-			t.Errorf("bucket %d count = %d, want %d", i, m.seriesCount[i], want)
+		if siteCore(m).seriesCount[i] != want {
+			t.Errorf("bucket %d count = %d, want %d", i, siteCore(m).seriesCount[i], want)
 		}
 	}
-	if got := m.seriesSum[0]; got != 3.0 {
+	if got := siteCore(m).seriesSum[0]; got != 3.0 {
 		t.Errorf("bucket 0 sum = %v, want 3.0", got)
 	}
-	if got := m.seriesSum[3]; got != 4.0 {
+	if got := siteCore(m).seriesSum[3]; got != 4.0 {
 		t.Errorf("bucket 3 sum = %v, want 4.0", got)
 	}
 }
@@ -47,8 +52,8 @@ func TestSeriesDisabledRecordsNothing(t *testing.T) {
 	m.OnEvent(obs.Event{Kind: obs.MeasureStart, At: 0})
 	m.OnEvent(obs.Event{Kind: obs.TxnLocalCommit, At: 5, Value: 1, Site: 0})
 	m.OnEvent(obs.Event{Kind: obs.QueueSample, At: 5, Value: 2, Aux: 1})
-	if m.seriesCount != nil || m.seriesQCount != nil {
-		t.Fatalf("series recorded with bucket 0: rt=%v queue=%v", m.seriesCount, m.seriesQCount)
+	if siteCore(m).seriesCount != nil || coordCore(m).seriesQCount != nil {
+		t.Fatalf("series recorded with bucket 0: rt=%v queue=%v", siteCore(m).seriesCount, coordCore(m).seriesQCount)
 	}
 }
 
@@ -65,18 +70,18 @@ func TestQueueSampleFolding(t *testing.T) {
 	sample(102, 6, 2) // same bucket: sums 10 and 3 over 2 samples
 	sample(125, 8, 3) // bucket 2; bucket 1 empty
 
-	if got := len(m.seriesQCount); got != 3 {
+	if got := len(coordCore(m).seriesQCount); got != 3 {
 		t.Fatalf("got %d queue buckets, want 3", got)
 	}
-	if m.seriesQCount[0] != 2 || m.seriesQSumC[0] != 10 || m.seriesQSumL[0] != 3 {
+	if coordCore(m).seriesQCount[0] != 2 || coordCore(m).seriesQSumC[0] != 10 || coordCore(m).seriesQSumL[0] != 3 {
 		t.Errorf("bucket 0 = %d samples, sums C=%v L=%v; want 2, 10, 3",
-			m.seriesQCount[0], m.seriesQSumC[0], m.seriesQSumL[0])
+			coordCore(m).seriesQCount[0], coordCore(m).seriesQSumC[0], coordCore(m).seriesQSumL[0])
 	}
-	if m.seriesQCount[1] != 0 {
-		t.Errorf("bucket 1 has %d samples, want 0", m.seriesQCount[1])
+	if coordCore(m).seriesQCount[1] != 0 {
+		t.Errorf("bucket 1 has %d samples, want 0", coordCore(m).seriesQCount[1])
 	}
-	if m.seriesQCount[2] != 1 || m.seriesQSumC[2] != 8 {
-		t.Errorf("bucket 2 = %d samples, sum C=%v; want 1, 8", m.seriesQCount[2], m.seriesQSumC[2])
+	if coordCore(m).seriesQCount[2] != 1 || coordCore(m).seriesQSumC[2] != 8 {
+		t.Errorf("bucket 2 = %d samples, sum C=%v; want 1, 8", coordCore(m).seriesQCount[2], coordCore(m).seriesQSumC[2])
 	}
 }
 
@@ -88,10 +93,10 @@ func TestSeriesIgnoresPreWindowEvents(t *testing.T) {
 	m.OnEvent(obs.Event{Kind: obs.TxnLocalCommit, At: 50, Value: 1, Site: 0})
 	m.OnEvent(obs.Event{Kind: obs.MeasureStart, At: 100})
 	m.OnEvent(obs.Event{Kind: obs.QueueSample, At: 99.5, Value: 1, Aux: 1})
-	if m.seriesCount != nil || m.seriesQCount != nil {
+	if siteCore(m).seriesCount != nil || coordCore(m).seriesQCount != nil {
 		t.Fatal("pre-window events reached the series")
 	}
-	if m.rtAll.Count() != 0 {
+	if siteCore(m).rtAll.Count() != 0 {
 		t.Fatal("pre-window commit was measured")
 	}
 }

@@ -1,0 +1,198 @@
+package hybrid
+
+// The sharded parallel run mode (DESIGN.md §12): each local site is assigned
+// to one of Shards-1 event-queue shards (round-robin), the central complex
+// owns shard 0, and the shards execute concurrently under the conservative
+// synchronization of sim.Group with CommDelay as the lookahead window. The
+// topology is a star — sites interact only with the central complex, never
+// with each other — so co-locating several sites on one shard changes
+// nothing observable: their events still execute in timestamp order on the
+// shared shard queue, and all cross-site effects go through central.
+//
+// Bit-exactness with the sequential loop rests on three properties:
+//
+//  1. Partitioned determinism. Every random stream, transaction-ID block,
+//     strategy instance, metric accumulator, and conservation counter is
+//     owned by exactly one partition (a site, the central complex, or the
+//     coordinator), so no result depends on the global interleaving of
+//     events at different partitions — only on each partition's own event
+//     order, which conservative synchronization preserves exactly.
+//  2. Deterministic message order. Cross-shard messages are merged between
+//     rounds sorted by (arrival time, edge, per-edge sequence); each edge
+//     is written by one shard, so the per-edge sequence reproduces the
+//     sequential engine's per-link FIFO order, including same-instant
+//     release-before-reply guarantees the commit protocol relies on.
+//  3. Barrier-aligned global events. Measurement start, queue samples, and
+//     self-checks execute with every shard clock advanced to the event's
+//     instant, in a fixed priority order, so clock integrals (CPU busy
+//     time) and cross-partition reads see the sequential state.
+//
+// The one remaining difference class: an event at site A and an event at
+// site B at the exact same float64 timestamp execute in seq order on one
+// queue and concurrently here. Such ties have measure zero — every site
+// timestamp descends from its own continuous exponential arrival chain —
+// and cannot influence any partitioned accumulator anyway; the simtest
+// differential gate would catch a violation.
+
+import (
+	"hybriddb/internal/hybrid/obs"
+	"hybriddb/internal/sim"
+)
+
+// Barrier priorities for globally synchronized events, replicating the
+// scheduling-order tie-break of the sequential loop (the measurement event
+// is scheduled first, the self-check chain second, the sample chain last).
+const (
+	prioMeasure   = 0
+	prioSelfCheck = 1
+	prioSample    = 2
+)
+
+// setupRunMode decides sequential vs sharded and, for a sharded run,
+// re-homes every site onto its shard. Called once at the top of Run: only
+// then are external observers known, and no server has work yet so the CPU
+// and disk servers can rebind clocks.
+func (e *Engine) setupRunMode() {
+	e.parallel = e.cfg.Shards > 1 &&
+		e.cfg.CommDelay > 0 && // the lookahead window; zero means no safe lead
+		e.cfg.Feedback != FeedbackIdeal && // ideal feedback reads central state instantaneously
+		e.externalObs == 0 // external observers need the single ordered stream
+	if !e.parallel {
+		return
+	}
+	nShards := e.cfg.Shards
+	if nShards > e.cfg.Sites+1 {
+		nShards = e.cfg.Sites + 1 // no point in more shards than partitions
+	}
+	sims := make([]*sim.Simulator, nShards)
+	sims[0] = e.simulator // central keeps the engine's queue as shard 0
+	for i := 1; i < nShards; i++ {
+		sims[i] = sim.New()
+	}
+	shardOf := make([]int, len(e.sites))
+	for i, ls := range e.sites {
+		sh := 1 + i%(nShards-1)
+		shardOf[i] = sh
+		ls.sim = sims[sh]
+		ls.cpu.Rebind(sims[sh])
+		for _, d := range ls.disks {
+			d.Rebind(sims[sh])
+		}
+	}
+	// Two edges per site (uplink, downlink); lookahead = the one-way delay.
+	e.group = sim.NewGroup(sims, 2*len(e.sites), e.cfg.CommDelay)
+	e.network = newShardNet(e.group, sims, shardOf, e.cfg.CommDelay)
+}
+
+// runSharded drives the Group: the global measurement/sample/check chains
+// are armed as barrier events with times built by the same repeated
+// addition the sequential chains perform, then the synchronizer runs to the
+// horizon.
+func (e *Engine) runSharded() {
+	e.group.ScheduleGlobalAt(e.cfg.Warmup, prioMeasure, e.startMeasurement)
+	if e.cfg.SelfCheck {
+		e.armSelfCheck(0)
+	}
+	e.armQueueSample(0)
+	e.group.Run(e.horizon)
+}
+
+// armSelfCheck arms the next barrier self-check after instant last. The
+// next time is last+10 — the identical float the sequential chain computes
+// by scheduling 10 seconds after firing at last.
+func (e *Engine) armSelfCheck(last float64) {
+	const interval = 10.0
+	next := last + interval
+	if next > e.horizon {
+		return
+	}
+	e.group.ScheduleGlobalAt(next, prioSelfCheck, func() {
+		e.observeAt(next, obs.Event{Kind: obs.SelfCheck})
+		e.armSelfCheck(next)
+	})
+}
+
+// armQueueSample arms the next 1 Hz barrier queue sample after instant
+// last; every shard clock sits on the sample instant when it fires, so the
+// queue lengths read are the sequential ones.
+func (e *Engine) armQueueSample(last float64) {
+	const interval = 1.0
+	next := last + interval
+	if next > e.horizon {
+		return
+	}
+	e.group.ScheduleGlobalAt(next, prioSample, func() {
+		e.sampleQueues(next)
+		e.armQueueSample(next)
+	})
+}
+
+// shardLink is one directed site<->central link of a sharded run. The sent
+// counter is written only by the sending shard's worker, delivered only by
+// the receiving shard's worker (distinct words; the Group's round barrier
+// orders them against the coordinator's reads).
+type shardLink struct {
+	group *sim.Group
+	src   *sim.Simulator // sending shard's clock
+	from  int            // sending shard index
+	to    int            // receiving shard index
+	edge  int            // FIFO edge id (unique per link)
+	delay float64
+
+	sent      uint64
+	delivered uint64
+}
+
+func (l *shardLink) send(deliver func()) {
+	l.sent++
+	l.group.Post(l.from, l.to, l.edge, l.src.Now()+l.delay, func() {
+		l.delivered++
+		deliver()
+	})
+}
+
+// shardNet is the sharded transport: the same star topology as
+// comm.Network, with messages crossing shard boundaries through the Group.
+type shardNet struct {
+	up   []*shardLink // site i -> central
+	down []*shardLink // central -> site i
+}
+
+func newShardNet(g *sim.Group, sims []*sim.Simulator, shardOf []int, delay float64) *shardNet {
+	n := len(shardOf)
+	net := &shardNet{up: make([]*shardLink, n), down: make([]*shardLink, n)}
+	for i, sh := range shardOf {
+		net.up[i] = &shardLink{
+			group: g, src: sims[sh], from: sh, to: 0, edge: i, delay: delay,
+		}
+		net.down[i] = &shardLink{
+			group: g, src: sims[0], from: 0, to: sh, edge: n + i, delay: delay,
+		}
+	}
+	return net
+}
+
+// ToCentral implements transport.
+func (n *shardNet) ToCentral(site int, deliver func()) { n.up[site].send(deliver) }
+
+// ToSite implements transport.
+func (n *shardNet) ToSite(site int, deliver func()) { n.down[site].send(deliver) }
+
+// MessagesSent implements transport. Call only between rounds or after the
+// run (the coordinator's view of the link counters).
+func (n *shardNet) MessagesSent() uint64 {
+	var total uint64
+	for i := range n.up {
+		total += n.up[i].sent + n.down[i].sent
+	}
+	return total
+}
+
+// MessagesInFlight implements transport.
+func (n *shardNet) MessagesInFlight() uint64 {
+	var total uint64
+	for i := range n.up {
+		total += (n.up[i].sent - n.up[i].delivered) + (n.down[i].sent - n.down[i].delivered)
+	}
+	return total
+}

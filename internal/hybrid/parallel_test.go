@@ -1,0 +1,135 @@
+package hybrid
+
+import (
+	"reflect"
+	"testing"
+
+	"hybriddb/internal/hybrid/obs"
+	"hybriddb/internal/routing"
+)
+
+// runPair executes the same configuration sequentially and with the given
+// shard count, and returns both results plus the parallel engine's effective
+// mode.
+func runPair(t *testing.T, cfg Config, mk func() routing.Strategy, shards int) (seq, par Result, engaged bool) {
+	t.Helper()
+	cfg.Shards = 0
+	e, err := New(cfg, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq = e.Run()
+
+	cfg.Shards = shards
+	ep, err := New(cfg, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par = ep.Run()
+	return seq, par, ep.Parallel()
+}
+
+// TestParallelBitExact is the in-package differential check: the sharded
+// run must reproduce the sequential Result bit for bit — every float, every
+// histogram bucket, every series entry — across shard counts below, at, and
+// above the partition count. The broader randomized matrix lives in
+// internal/simtest; this is the fast gate that runs with the package.
+func TestParallelBitExact(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.SeriesBucket = 5
+	cfg.CaptureHistograms = true
+	for _, shards := range []int{2, 4, cfg.Sites + 1, 64} {
+		mk := func() routing.Strategy { return routing.QueueLength{} }
+		seq, par, engaged := runPair(t, cfg, mk, shards)
+		if !engaged {
+			t.Fatalf("shards=%d: parallel mode did not engage", shards)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("shards=%d: parallel result diverged from sequential\nseq: %+v\npar: %+v",
+				shards, seq, par)
+		}
+	}
+}
+
+// TestParallelBitExactStateful repeats the differential check with the
+// stateful strategies (per-site RNG forks): static and adaptive-static are
+// the ones whose decision streams would diverge first if per-site stream
+// splitting were wired differently in the two modes.
+func TestParallelBitExactStateful(t *testing.T) {
+	cfg := goldenConfig()
+	mks := []func() routing.Strategy{
+		func() routing.Strategy { return routing.NewStatic(0.5, 7) },
+		func() routing.Strategy {
+			a, err := routing.NewAdaptiveStatic(cfg.ModelParams(), cfg.PLocal, 10, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		},
+	}
+	for _, mk := range mks {
+		seq, par, engaged := runPair(t, cfg, mk, 4)
+		if !engaged {
+			t.Fatalf("%s: parallel mode did not engage", seq.Strategy)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%s: parallel result diverged from sequential", seq.Strategy)
+		}
+	}
+}
+
+// TestParallelFallbacks pins the conditions under which Shards > 1 still
+// runs sequentially: zero communication delay (no lookahead), ideal
+// feedback (instantaneous cross-partition reads), and external observers
+// (which need the single globally ordered event stream).
+func TestParallelFallbacks(t *testing.T) {
+	mk := func(mut func(*Config)) *Engine {
+		cfg := testConfig()
+		cfg.Shards = 4
+		mut(&cfg)
+		e, err := New(cfg, routing.QueueLength{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	cases := []struct {
+		name string
+		prep func(*Engine)
+		mut  func(*Config)
+	}{
+		{"zero-comm-delay", nil, func(c *Config) { c.CommDelay = 0 }},
+		{"ideal-feedback", nil, func(c *Config) { c.Feedback = FeedbackIdeal }},
+		{"external-observer", func(e *Engine) {
+			e.Subscribe(obs.Func(func(obs.Event) {}))
+		}, func(c *Config) {}},
+		{"shards-one", nil, func(c *Config) { c.Shards = 1 }},
+	}
+	for _, tc := range cases {
+		e := mk(tc.mut)
+		if tc.prep != nil {
+			tc.prep(e)
+		}
+		e.Run()
+		if e.Parallel() {
+			t.Errorf("%s: expected sequential fallback, got parallel", tc.name)
+		}
+	}
+
+	// And the positive control: the unmutated config does go parallel.
+	e := mk(func(c *Config) {})
+	e.Run()
+	if !e.Parallel() {
+		t.Error("control config did not engage parallel mode")
+	}
+}
+
+// TestParallelShardsValidation: a negative shard count is a config error.
+func TestParallelShardsValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative Shards validated")
+	}
+}

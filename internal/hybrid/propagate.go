@@ -30,14 +30,14 @@ func (ls *localSite) refreshView(snap centralSnapshot) {
 type propagator struct{ e *Engine }
 
 // snapshotCentral captures the central state for piggybacking on a message
-// being sent now.
+// being sent now (always from the central shard).
 func (p propagator) snapshotCentral() centralSnapshot {
 	e := p.e
 	return centralSnapshot{
 		queue:    e.central.cpu.QueueLength(),
 		inSystem: e.central.inSystem,
 		locks:    e.central.locks.LocksHeld(),
-		at:       e.simulator.Now(),
+		at:       e.central.sim.Now(),
 	}
 }
 
@@ -57,7 +57,7 @@ func (p propagator) propagate(ls *localSite, updates []uint32) {
 		return
 	}
 	ls.flushPending = true
-	e.simulator.Schedule(e.cfg.UpdateBatchWindow, func() {
+	ls.sim.Schedule(e.cfg.UpdateBatchWindow, func() {
 		batch := ls.pendingUpdates
 		ls.pendingUpdates = nil
 		ls.flushPending = false

@@ -11,9 +11,13 @@ import (
 	"hybriddb/internal/sim"
 )
 
-// localSite is one distributed system.
+// localSite is one distributed system. In a sharded run every field below
+// is owned by the site's shard worker: lifecycle events touching this site
+// execute on its shard, and cross-tier interactions arrive as messages. The
+// sequential engine uses the same ownership discipline with a single shard.
 type localSite struct {
 	idx   int
+	sim   *sim.Simulator // the shard clock this site's events run on
 	cpu   *cpu.Server
 	disks []*cpu.Server // empty: pure-delay I/O (the paper's assumption)
 	locks *lock.Manager
@@ -35,10 +39,27 @@ type localSite struct {
 	flushPending   bool
 
 	busyAtWarmup float64
+
+	// txnFree recycles txnRun objects across this site's transactions. The
+	// pool is per site (not per engine) so a sharded run never contends on
+	// it: a run is taken at its home site and returns there — after a trip
+	// through the central complex, ownership travels back with the reply.
+	txnFree []*txnRun
+
+	// Conservation counters, owned by this site's shard and summed at
+	// barriers/results: transactions admitted here, completed from here
+	// (local commits and delivered replies), shipped inputs sent, and
+	// completion replies received.
+	generated    uint64
+	completed    uint64
+	shipStarted  uint64
+	replyArrived uint64
 }
 
-// centralSite is the central computing complex.
+// centralSite is the central computing complex; in a sharded run it owns
+// shard 0.
 type centralSite struct {
+	sim   *sim.Simulator
 	cpu   *cpu.Server
 	disks []*cpu.Server
 	locks *lock.Manager
@@ -47,6 +68,11 @@ type centralSite struct {
 	running  map[lock.ID]*txnRun
 
 	busyAtWarmup float64
+
+	// Conservation counters owned by the central shard: shipped inputs
+	// received, completion replies sent.
+	shipArrived  uint64
+	replyStarted uint64
 }
 
 // newDisks builds a disk bank; disks are modelled as unit-rate servers whose
@@ -80,7 +106,7 @@ func scheduleIO(s *sim.Simulator, disks []*cpu.Server, elem uint32, seconds floa
 func (e *Engine) routingState(site int) routing.State {
 	ls := e.sites[site]
 	st := routing.State{
-		Now:           e.simulator.Now(),
+		Now:           ls.sim.Now(),
 		Site:          site,
 		LocalQueue:    ls.cpu.QueueLength(),
 		LocalInSystem: ls.inSystem,
@@ -97,7 +123,7 @@ func (e *Engine) routingState(site int) routing.State {
 		st.CentralQueue = ls.view.queue
 		st.CentralInSystem = ls.view.inSystem
 		st.CentralLocks = ls.view.locks
-		st.ViewAge = e.simulator.Now() - ls.view.at
+		st.ViewAge = ls.sim.Now() - ls.view.at
 	}
 	return st
 }

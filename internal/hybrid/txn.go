@@ -46,39 +46,55 @@ type txnRun struct {
 
 func (t *txnRun) id() lock.ID { return lock.ID(t.spec.ID) }
 
-// newTxnRun takes a run object off the free list (or allocates the pool's
-// first generation) and initializes it for an arriving transaction.
-func (e *Engine) newTxnRun(spec *workload.Txn) *txnRun {
+// newTxnRun takes a run object off the home site's free list (or allocates
+// the pool's first generation) and initializes it for an arriving
+// transaction. The pool is per site so a sharded run never contends on it;
+// a run's ownership follows the transaction (home shard, then central's on
+// a shipped execution, then back home with the completion reply).
+func (e *Engine) newTxnRun(ls *localSite, spec *workload.Txn) *txnRun {
 	var t *txnRun
-	if n := len(e.txnFree); n > 0 {
-		t = e.txnFree[n-1]
-		e.txnFree = e.txnFree[:n-1]
+	if n := len(ls.txnFree); n > 0 {
+		t = ls.txnFree[n-1]
+		ls.txnFree = ls.txnFree[:n-1]
 		seized := t.authSeized[:0]
 		*t = txnRun{authSeized: seized}
 	} else {
 		t = &txnRun{}
 	}
 	t.spec = spec
-	t.arrivedAt = e.simulator.Now()
+	t.arrivedAt = ls.sim.Now()
 	t.attempt = 1
 	t.phase = phaseSetup
 	return t
 }
 
-// recycleTxnRun returns a completed run to the pool. Callers must guarantee
-// no live reference remains: the run is off every running map and every
-// closure that could still fire captures the transaction ID by value, never
-// the run object.
+// recycleTxnRun returns a completed run to its home site's pool. Callers
+// must guarantee no live reference remains — the run is off every running
+// map and every closure that could still fire captures the transaction ID
+// by value, never the run object — and, in a sharded run, that the call
+// executes on the home shard (completion always does: local commits finish
+// at home, shipped commits recycle in the delivered reply).
 func (e *Engine) recycleTxnRun(t *txnRun) {
+	ls := e.sites[t.spec.HomeSite]
 	t.spec = nil
-	e.txnFree = append(e.txnFree, t)
+	ls.txnFree = append(ls.txnFree, t)
 }
 
 // recordLockWait closes a blocking lock wait (if one was open) and returns
-// the transaction to the executing phase.
+// the transaction to the executing phase. The wait is attributed to the
+// partition whose lock table blocked the transaction — the central complex
+// for shipped executions, the home site otherwise — and stamped with that
+// partition's clock (the one the closing event runs on).
 func (e *Engine) recordLockWait(t *txnRun) {
 	if t.phase == phaseLockWait {
-		e.observe(obs.Event{Kind: obs.LockWaitEnd, Value: e.simulator.Now() - t.lockWaitFrom})
+		if t.shipped {
+			now := e.central.sim.Now()
+			e.observeAt(now, obs.Event{Kind: obs.LockWaitEnd, Site: -1, Value: now - t.lockWaitFrom})
+		} else {
+			ls := e.sites[t.spec.HomeSite]
+			now := ls.sim.Now()
+			e.observeAt(now, obs.Event{Kind: obs.LockWaitEnd, Site: ls.idx, Value: now - t.lockWaitFrom})
+		}
 	}
 	t.phase = phaseExecuting
 }

@@ -19,6 +19,10 @@ type AdaptiveStatic struct {
 	window float64
 	src    *rng.Source
 
+	// perSite marks a ForSite fork: it observes one site's decisions, so
+	// the rate estimate divides by one site instead of all of them.
+	perSite bool
+
 	windowStart float64
 	decisions   int
 	pShip       float64
@@ -51,8 +55,23 @@ func (a *AdaptiveStatic) Name() string { return "adaptive-static" }
 // ShipProbability returns the currently active ship probability.
 func (a *AdaptiveStatic) ShipProbability() float64 { return a.pShip }
 
-// Decide implements Strategy. The strategy instance serves every site, so
-// the decisions it sees are the system-wide class A arrival stream.
+// ForSite implements SiteLocal: the fork estimates the arrival rate from
+// its own site's decision stream (scaled accordingly in reoptimize) and
+// draws from its own source. Each site adapts independently, which is also
+// the natural deployment: a real site only observes its own arrivals.
+func (a *AdaptiveStatic) ForSite(site int, seed uint64) Strategy {
+	return &AdaptiveStatic{
+		params:  a.params,
+		pLocal:  a.pLocal,
+		window:  a.window,
+		src:     rng.New(seed),
+		perSite: true,
+	}
+}
+
+// Decide implements Strategy. An unforked instance serves every site, so
+// the decisions it sees are the system-wide class A arrival stream; a
+// ForSite fork sees one site's stream.
 func (a *AdaptiveStatic) Decide(st State) Decision {
 	if st.Now-a.windowStart >= a.window {
 		a.reoptimize(st.Now)
@@ -67,8 +86,13 @@ func (a *AdaptiveStatic) Decide(st State) Decision {
 func (a *AdaptiveStatic) reoptimize(now float64) {
 	elapsed := now - a.windowStart
 	if elapsed > 0 && a.decisions > 0 {
-		// decisions = class A arrivals across all sites in the window.
-		perSite := float64(a.decisions) / elapsed / a.pLocal / float64(a.params.Sites)
+		// decisions = class A arrivals in the window: across all sites for
+		// a shared instance, at one site for a ForSite fork.
+		scope := float64(a.params.Sites)
+		if a.perSite {
+			scope = 1
+		}
+		perSite := float64(a.decisions) / elapsed / a.pLocal / scope
 		in := model.Input{
 			Params:             a.params,
 			ArrivalRatePerSite: perSite,

@@ -70,6 +70,19 @@ type Strategy interface {
 	Decide(st State) Decision
 }
 
+// SiteLocal marks a stateful strategy that can fork one independent instance
+// per site. The engine forks every stateful strategy at construction so each
+// site's decisions are a pure function of that site's arrival sequence —
+// required for the sharded engine (sites decide concurrently) and matched by
+// the sequential oracle so both modes draw identical decision streams.
+// Stateless strategies are shared across sites unchanged.
+type SiteLocal interface {
+	Strategy
+	// ForSite returns this site's independent instance, seeded from the
+	// engine's per-site strategy stream.
+	ForSite(site int, seed uint64) Strategy
+}
+
 // ---- No load sharing.
 
 // AlwaysLocal is the no-load-sharing baseline: every class A transaction
@@ -112,6 +125,12 @@ func (s *Static) Decide(State) Decision {
 		return Ship
 	}
 	return RunLocal
+}
+
+// ForSite implements SiteLocal: each site ships independently with the same
+// probability from its own stream.
+func (s *Static) ForSite(site int, seed uint64) Strategy {
+	return NewStatic(s.p, seed)
 }
 
 // ---- Heuristic on measured response time (§3.2.3).

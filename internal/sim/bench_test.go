@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 // BenchmarkScheduleStep measures steady-state churn: a rolling window of
 // pending events with one Schedule and one Step per iteration. This is the
@@ -37,5 +40,76 @@ func BenchmarkScheduleCancel(b *testing.B) {
 		if !s.Cancel(e) {
 			b.Fatal("pending event failed to cancel")
 		}
+	}
+}
+
+// holdSizes are the standing populations for the classic hold-model race
+// between the kernel's 4-ary heap and the calendar queue. The hybrid engine
+// keeps roughly one pending event per busy resource, so the small sizes are
+// the realistic regime and the large one is the high-density stress the
+// calendar-queue literature targets.
+var holdSizes = []struct {
+	name string
+	n    int
+}{
+	{"n256", 256},
+	{"n4096", 4096},
+	{"n65536", 65536},
+}
+
+// holdIncrements precomputes an exponential(1) increment stream so the RNG
+// cost is identical (and out of the timed loop shape) for both contenders.
+func holdIncrements(n int) []Time {
+	rng := rand.New(rand.NewSource(12345))
+	incs := make([]Time, n)
+	for i := range incs {
+		incs[i] = Time(rng.ExpFloat64())
+	}
+	return incs
+}
+
+// BenchmarkHoldHeap runs the hold model on the Simulator's slab/4-ary-heap
+// kernel: pop the minimum, reschedule at popped-time + exp(1).
+func BenchmarkHoldHeap(b *testing.B) {
+	incs := holdIncrements(1 << 16)
+	for _, size := range holdSizes {
+		b.Run(size.name, func(b *testing.B) {
+			s := New()
+			action := func() {}
+			for i := 0; i < size.n; i++ {
+				s.Schedule(incs[i%len(incs)], action)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+				s.Schedule(incs[i%len(incs)], action)
+			}
+		})
+	}
+}
+
+// BenchmarkHoldCalendar runs the identical hold model on the calendar queue.
+func BenchmarkHoldCalendar(b *testing.B) {
+	incs := holdIncrements(1 << 16)
+	for _, size := range holdSizes {
+		b.Run(size.name, func(b *testing.B) {
+			q := NewCalendarQueue(1.0 / Time(size.n))
+			action := func() {}
+			var clock Time
+			for i := 0; i < size.n; i++ {
+				q.Push(incs[i%len(incs)], action)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				at, _, ok := q.PopMin()
+				if !ok {
+					b.Fatal("calendar drained")
+				}
+				clock = at
+				q.Push(clock+incs[i%len(incs)], action)
+			}
+		})
 	}
 }

@@ -1,0 +1,174 @@
+// A dynamic calendar queue (Brown, CACM 1988): the classic O(1)-amortized
+// pending-event set the simulation literature recommends at high event
+// density. It exists here as the measured alternative to the slab/4-ary-heap
+// kernel — BenchmarkHold* in bench_test.go races the two under the standard
+// hold model and BENCH_pr6.json records the verdict. It is deliberately not
+// wired into Simulator: the heap's strict (at, seq) total order is what the
+// deterministic FIFO tie-break and the parallel differential gate rely on,
+// so the calendar would have to carry the same sequence numbers anyway (and
+// does, for an apples-to-apples comparison).
+package sim
+
+// calEvent is one calendar entry: timestamp plus the tie-breaking sequence
+// number the kernel's determinism contract requires.
+type calEvent struct {
+	at     Time
+	seq    uint64
+	action func()
+}
+
+// CalendarQueue is a priority queue of timed events with O(1) amortized
+// enqueue/dequeue when its bucket width tracks the event-time density. It
+// resizes (doubling/halving the day count, re-sampling the width) as the
+// population crosses the standard 2·buckets / buckets/2 thresholds.
+type CalendarQueue struct {
+	buckets   [][]calEvent
+	width     Time // bucket width in simulated seconds
+	lastAt    Time // dequeue cursor: priority of the last event removed
+	lastIdx   int  // bucket the cursor is in
+	bucketTop Time // end of the cursor bucket's current year window
+	count     int
+	seq       uint64
+}
+
+// NewCalendarQueue returns an empty calendar with an initial guess of the
+// event-time density (startWidth must be positive).
+func NewCalendarQueue(startWidth Time) *CalendarQueue {
+	if startWidth <= 0 {
+		panic("sim: calendar queue needs positive start width")
+	}
+	q := &CalendarQueue{}
+	q.resize(2, startWidth, 0)
+	return q
+}
+
+// Len returns the number of pending events.
+func (q *CalendarQueue) Len() int { return q.count }
+
+// Push schedules an event. Events with equal timestamps dequeue in push
+// order, matching the kernel's FIFO tie-break.
+func (q *CalendarQueue) Push(at Time, action func()) {
+	q.seq++
+	q.insert(calEvent{at: at, seq: q.seq, action: action})
+	if q.count > 2*len(q.buckets) {
+		q.resize(2*len(q.buckets), q.sampleWidth(), q.lastAt)
+	}
+}
+
+func (q *CalendarQueue) insert(ev calEvent) {
+	n := len(q.buckets)
+	i := int(ev.at/q.width) % n
+	b := q.buckets[i]
+	// Buckets are kept sorted by (at, seq); events within one bucket are
+	// few when the width is well tuned, so insertion sort wins over any
+	// per-bucket structure.
+	j := len(b)
+	b = append(b, ev)
+	for j > 0 && (b[j-1].at > ev.at || (b[j-1].at == ev.at && b[j-1].seq > ev.seq)) {
+		b[j] = b[j-1]
+		j--
+	}
+	b[j] = ev
+	q.buckets[i] = b
+	q.count++
+}
+
+// PopMin removes and returns the earliest event.
+func (q *CalendarQueue) PopMin() (Time, func(), bool) {
+	if q.count == 0 {
+		return 0, nil, false
+	}
+	n := len(q.buckets)
+	idx, top := q.lastIdx, q.bucketTop
+	for scanned := 0; scanned < n; scanned++ {
+		b := q.buckets[idx]
+		if len(b) > 0 && b[0].at < top {
+			ev := b[0]
+			copy(b, b[1:])
+			q.buckets[idx] = b[:len(b)-1]
+			q.count--
+			q.lastAt, q.lastIdx, q.bucketTop = ev.at, idx, top
+			if q.count < len(q.buckets)/2 && len(q.buckets) > 2 {
+				q.resize(len(q.buckets)/2, q.sampleWidth(), q.lastAt)
+			}
+			return ev.at, ev.action, true
+		}
+		idx = (idx + 1) % n
+		top += q.width
+	}
+	// A full year passed without a hit: the next event is far in the
+	// future. Fall back to a direct minimum scan, then realign the cursor.
+	best := -1
+	for i, b := range q.buckets {
+		if len(b) == 0 {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		o := q.buckets[best][0]
+		if b[0].at < o.at || (b[0].at == o.at && b[0].seq < o.seq) {
+			best = i
+		}
+	}
+	b := q.buckets[best]
+	ev := b[0]
+	copy(b, b[1:])
+	q.buckets[best] = b[:len(b)-1]
+	q.count--
+	q.lastAt, q.lastIdx = ev.at, best
+	q.bucketTop = (Time(int(ev.at/q.width)) + 1) * q.width
+	return ev.at, ev.action, true
+}
+
+// sampleWidth estimates a bucket width from the events nearest the cursor:
+// the mean gap between up to 25 upcoming events, times three (Brown's
+// recommendation), bounded away from zero.
+func (q *CalendarQueue) sampleWidth() Time {
+	const want = 25
+	var times []Time
+	n := len(q.buckets)
+	for off := 0; off < n && len(times) < want; off++ {
+		for _, ev := range q.buckets[(q.lastIdx+off)%n] {
+			times = append(times, ev.at)
+			if len(times) >= want {
+				break
+			}
+		}
+	}
+	if len(times) < 2 {
+		return q.width
+	}
+	lo, hi := times[0], times[0]
+	for _, t := range times[1:] {
+		if t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	w := 3 * (hi - lo) / Time(len(times)-1)
+	if w <= 0 {
+		return q.width
+	}
+	return w
+}
+
+// resize rebuilds the calendar with the given day count and width, keeping
+// every pending event and realigning the cursor at cursorAt.
+func (q *CalendarQueue) resize(days int, width Time, cursorAt Time) {
+	old := q.buckets
+	q.buckets = make([][]calEvent, days)
+	q.width = width
+	q.count = 0
+	q.lastAt = cursorAt
+	q.lastIdx = int(cursorAt/width) % days
+	q.bucketTop = (Time(int(cursorAt/width)) + 1) * width
+	for _, b := range old {
+		for _, ev := range b {
+			q.insert(ev)
+		}
+	}
+}

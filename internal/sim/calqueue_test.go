@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCalendarMatchesReferenceQueue drives random Push/PopMin interleavings
+// against the sorted-slice oracle and demands exact agreement: same count,
+// same popped time, same popped identity (which pins the FIFO tie-break
+// across resizes, cursor wrap, and the far-future fallback scan).
+func TestCalendarMatchesReferenceQueue(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(4000 + trial)))
+		q := NewCalendarQueue(0.5)
+		ref := &refQueue{}
+
+		nextID := 0
+		var seq uint64
+		poppedID := -1
+		var clock Time
+		push := func(at Time) {
+			id := nextID
+			nextID++
+			seq++
+			q.Push(at, func() { poppedID = id })
+			ref.push(float64(at), seq, id)
+		}
+
+		for op := 0; op < 3000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5:
+				// Mostly near-future events; occasionally a far-future one to
+				// exercise the full-year fallback scan, and exact ties to
+				// exercise the FIFO order.
+				var at Time
+				switch rng.Intn(8) {
+				case 0:
+					at = clock + Time(rng.Intn(4000))
+				case 1:
+					at = clock // exact tie with the cursor
+				default:
+					at = clock + Time(rng.Intn(80))*0.25
+				}
+				push(at)
+			default:
+				poppedID = -1
+				at, action, ok := q.PopMin()
+				want, refOK := ref.pop()
+				if ok != refOK {
+					t.Fatalf("trial %d op %d: PopMin ok=%v, reference %v", trial, op, ok, refOK)
+				}
+				if !ok {
+					continue
+				}
+				action()
+				if poppedID != want.id {
+					t.Fatalf("trial %d op %d: popped id %d, reference %d (at=%v)", trial, op, poppedID, want.id, at)
+				}
+				if float64(at) != want.at {
+					t.Fatalf("trial %d op %d: popped at %v, reference %v", trial, op, at, want.at)
+				}
+				if at < clock {
+					t.Fatalf("trial %d op %d: time went backwards %v -> %v", trial, op, clock, at)
+				}
+				clock = at
+			}
+			if q.Len() != len(ref.entries) {
+				t.Fatalf("trial %d op %d: Len = %d, reference %d", trial, op, q.Len(), len(ref.entries))
+			}
+		}
+
+		// Drain in exact reference order.
+		for {
+			poppedID = -1
+			_, action, ok := q.PopMin()
+			want, refOK := ref.pop()
+			if ok != refOK {
+				t.Fatalf("trial %d drain: PopMin ok=%v, reference %v", trial, ok, refOK)
+			}
+			if !ok {
+				break
+			}
+			action()
+			if poppedID != want.id {
+				t.Fatalf("trial %d drain: popped %d, reference %d", trial, poppedID, want.id)
+			}
+		}
+	}
+}
+
+// TestCalendarStartWidthPanics pins the constructor guard.
+func TestCalendarStartWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive start width did not panic")
+		}
+	}()
+	NewCalendarQueue(0)
+}

@@ -1,0 +1,48 @@
+package sim
+
+import "testing"
+
+// decodeChains interprets a fuzz byte string as a chain workload over k
+// shards: per chain one byte each for the start shard, the start time (grid
+// steps), and the hop count, then (shard, gap) byte pairs per hop. The
+// decoder never fails — truncated records just end the workload — so every
+// input the fuzzer mutates into existence is a valid differential case.
+func decodeChains(data []byte, k int) []chainSpec {
+	var chains []chainSpec
+	for len(data) >= 3 && len(chains) < 64 {
+		c := chainSpec{start: int(data[0]) % k, at: int(data[1])}
+		nhops := int(data[2]) % 6
+		data = data[3:]
+		for h := 0; h < nhops && len(data) >= 2; h++ {
+			c.hops = append(c.hops, chainHop{shard: int(data[0]) % k, gap: int(data[1]) % 32})
+			data = data[2:]
+		}
+		chains = append(chains, c)
+	}
+	return chains
+}
+
+// FuzzShardSync fuzzes the conservative synchronizer against the
+// single-queue oracle: any byte string decodes to a chain workload, which
+// must execute identically (same per-shard event sequences, same exact
+// timestamps) on a Group and on one Simulator. Seed corpus lives in
+// testdata/fuzz/FuzzShardSync.
+func FuzzShardSync(f *testing.F) {
+	f.Add([]byte{0, 8, 0, 0, 3, 1, 1, 0, 1, 5, 2, 1, 12, 1, 9})
+	f.Add([]byte{2, 3, 0, 100, 2, 0, 0, 1, 31, 1, 0, 5, 2, 2, 7, 0, 3})
+	f.Add([]byte{5, 255, 1, 0, 5, 0, 0, 1, 1, 2, 2, 0, 3, 1, 4, 2, 0, 0, 5, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		k := 2 + int(data[0])%3
+		lookaheadSteps := 1 + int(data[1])%8
+		chains := decodeChains(data[2:], k)
+		if len(chains) == 0 {
+			return
+		}
+		got := runChainsSharded(k, lookaheadSteps, chains)
+		want := runChainsOracle(k, lookaheadSteps, chains)
+		compareChainLogs(t, got, want, "fuzz")
+	})
+}

@@ -1,0 +1,389 @@
+// Sharded conservative synchronization: a Group runs several Simulators
+// ("shards") in parallel under a Chandy–Misra-style windowed protocol. The
+// fixed communication delay between shards is the conservative lookahead: a
+// message sent at time t arrives no earlier than t+lookahead, so every shard
+// may safely execute all events below
+//
+//	bound = min(earliest pending event across shards) + lookahead
+//
+// without ever receiving a message from the current round that lands inside
+// the window already executed. Rounds are synchronous: the coordinator
+// computes the bound, the shard workers drain their queues strictly below it
+// in parallel, and the messages posted during the round are merged between
+// rounds in a deterministic order — sorted by (arrival time, edge, per-edge
+// sequence) — so a Group run schedules cross-shard deliveries in exactly one
+// order regardless of how the OS interleaved the workers.
+//
+// Globally synchronized events (measurement start, periodic samples,
+// invariant audits) do not belong to any shard: they are scheduled on the
+// Group with an explicit priority and executed at a barrier, after every
+// shard has drained below their instant and been advanced to it, so that
+// clock-dependent reads (busy-time integrals, queue lengths) observe the
+// same state a single-queue run would.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// groupMsg is one cross-shard message awaiting delivery.
+type groupMsg struct {
+	at   Time
+	edge int32
+	seq  uint64
+	to   int32
+	fn   func()
+}
+
+// globalEvent is one barrier-executed event, ordered by (at, prio, seq).
+type globalEvent struct {
+	at   Time
+	prio int32
+	seq  uint64
+	fn   func()
+}
+
+// Group synchronizes a set of shard Simulators conservatively. Construct
+// with NewGroup, schedule initial work on the shards and global events on
+// the Group, then call Run once. A Group is not reusable across runs.
+type Group struct {
+	shards    []*Simulator
+	lookahead Time
+
+	// Per-shard outboxes: written only by the owning shard's worker during
+	// a round, drained by the coordinator between rounds (the WaitGroup
+	// barrier orders the accesses).
+	outboxes [][]groupMsg
+
+	// edgeSeq numbers the messages of each FIFO edge. Each edge must be
+	// used from exactly one sending shard, so the counter is written by one
+	// worker only.
+	edgeSeq []uint64
+
+	// Barrier-executed global events, a sorted pending list (removals pop
+	// from the front; the event count is small: measurement chains, not
+	// workload).
+	globals   []globalEvent
+	globalSeq uint64
+
+	// merged is the coordinator's reusable merge buffer.
+	merged []groupMsg
+
+	// Worker machinery: one persistent goroutine per shard, fed rounds over
+	// its own channel; the WaitGroup is the round barrier (and the
+	// happens-before edge the race detector sees).
+	cmds    []chan workerCmd
+	wg      sync.WaitGroup
+	started bool
+
+	// Deadlock watchdog: progress bumps on every round and barrier; a
+	// background goroutine panics when it stops moving for watchdog wall
+	// time (0 disables). Guards against synchronization bugs that would
+	// otherwise hang a test silently.
+	watchdog time.Duration
+	progress atomic.Uint64
+	stopDog  chan struct{}
+}
+
+type workerCmd struct {
+	bound Time
+	// until selects RunUntil (inclusive horizon semantics, clock advanced
+	// to bound) for the final round instead of RunBefore.
+	until bool
+}
+
+// DefaultWatchdog is the wall-clock stall budget after which a Group run
+// panics: no shard advancing for this long means the synchronizer (not the
+// workload) is stuck.
+const DefaultWatchdog = 10 * time.Second
+
+// NewGroup builds a synchronizer over the given shards. edges is the number
+// of distinct FIFO message edges (each used by one sending shard only);
+// lookahead is the minimum cross-shard message latency and must be positive
+// — with zero lookahead no shard could ever safely lead, and the caller
+// should run single-queue instead.
+func NewGroup(shards []*Simulator, edges int, lookahead Time) *Group {
+	if len(shards) < 2 {
+		panic(fmt.Sprintf("sim: group needs >= 2 shards, got %d", len(shards)))
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: non-positive lookahead %v", lookahead))
+	}
+	if edges < 0 {
+		panic(fmt.Sprintf("sim: negative edge count %d", edges))
+	}
+	return &Group{
+		shards:    shards,
+		lookahead: lookahead,
+		outboxes:  make([][]groupMsg, len(shards)),
+		edgeSeq:   make([]uint64, edges),
+		cmds:      make([]chan workerCmd, len(shards)),
+		watchdog:  DefaultWatchdog,
+	}
+}
+
+// SetWatchdog overrides the stall budget; d <= 0 disables the watchdog.
+func (g *Group) SetWatchdog(d time.Duration) { g.watchdog = d }
+
+// Shards returns the number of shards.
+func (g *Group) Shards() int { return len(g.shards) }
+
+// Shard returns the i-th shard simulator.
+func (g *Group) Shard(i int) *Simulator { return g.shards[i] }
+
+// Post sends a cross-shard message: fn executes on shard to at time at.
+// It must be called from within an event executing on shard from (during a
+// round), and at must respect the lookahead: at >= from.Now() + lookahead.
+// Messages on one edge are delivered in post order (FIFO); distinct edges
+// with equal arrival times are ordered by edge index.
+func (g *Group) Post(from, to, edge int, at Time, fn func()) {
+	src := g.shards[from]
+	if at < src.now+g.lookahead {
+		panic(fmt.Sprintf("sim: post at %v violates lookahead (now %v + %v)",
+			at, src.now, g.lookahead))
+	}
+	if fn == nil {
+		panic("sim: nil post action")
+	}
+	g.edgeSeq[edge]++
+	g.outboxes[from] = append(g.outboxes[from], groupMsg{
+		at: at, edge: int32(edge), seq: g.edgeSeq[edge], to: int32(to), fn: fn,
+	})
+}
+
+// ScheduleGlobalAt schedules a barrier-executed event at absolute time at.
+// When several global events share an instant they execute in (prio, FIFO)
+// order. Call before Run or from a global event's handler (the coordinator
+// context); never from shard events.
+func (g *Group) ScheduleGlobalAt(at Time, prio int, fn func()) {
+	if fn == nil {
+		panic("sim: nil global action")
+	}
+	g.globalSeq++
+	ev := globalEvent{at: at, prio: int32(prio), seq: g.globalSeq, fn: fn}
+	i := sort.Search(len(g.globals), func(i int) bool {
+		o := g.globals[i]
+		if o.at != ev.at {
+			return o.at > ev.at
+		}
+		if o.prio != ev.prio {
+			return o.prio > ev.prio
+		}
+		return o.seq > ev.seq
+	})
+	g.globals = append(g.globals, globalEvent{})
+	copy(g.globals[i+1:], g.globals[i:])
+	g.globals[i] = ev
+}
+
+// minNext returns the earliest pending event time across all shards, or
+// false when every shard is drained.
+func (g *Group) minNext() (Time, bool) {
+	var best Time
+	found := false
+	for _, sh := range g.shards {
+		if at, ok := sh.Peek(); ok && (!found || at < best) {
+			best, found = at, true
+		}
+	}
+	return best, found
+}
+
+// Run executes the sharded simulation up to and including horizon. On
+// return every shard's clock sits exactly at horizon and all events with
+// at <= horizon have executed — the same contract as Simulator.RunUntil on
+// a single queue. Run may be called once per Group.
+func (g *Group) Run(horizon Time) {
+	g.startWorkers()
+	defer g.stopWorkers()
+	g.startWatchdog()
+	defer g.stopWatchdog()
+
+	for {
+		minNext, hasWork := g.minNext()
+		var nextG Time
+		hasG := len(g.globals) > 0 && g.globals[0].at <= horizon
+		if hasG {
+			nextG = g.globals[0].at
+		}
+		// Events at exactly the horizon belong to the final round below
+		// (after any same-instant barrier globals), so only work strictly
+		// below the horizon keeps the windowed loop going.
+		if (!hasWork || minNext >= horizon) && !hasG {
+			break
+		}
+		// Conservative bound: every message posted this round arrives at
+		// >= minNext + lookahead >= bound, so nothing lands inside the
+		// window being executed.
+		barrier := false
+		var bound Time
+		if hasWork {
+			bound = minNext + g.lookahead
+			if hasG && nextG <= bound {
+				bound = nextG
+				barrier = true
+			}
+			if bound > horizon {
+				bound = horizon
+				barrier = hasG && nextG == horizon
+			}
+		} else {
+			bound = nextG
+			barrier = true
+		}
+		if hasWork && minNext < bound {
+			g.round(bound, false)
+		}
+		if barrier {
+			// All shards have drained below nextG and round messages
+			// arrive at >= bound = nextG: align the clocks and execute
+			// the due globals in (prio, FIFO) order.
+			for _, sh := range g.shards {
+				sh.AdvanceTo(nextG)
+			}
+			for len(g.globals) > 0 && g.globals[0].at == nextG {
+				ev := g.globals[0]
+				g.globals = g.globals[1:]
+				ev.fn()
+			}
+		}
+		g.progress.Add(1)
+	}
+
+	// Final round: events at exactly the horizon execute (RunUntil
+	// semantics), their posted messages count as sent but — arriving at
+	// > horizon thanks to the positive lookahead — stay pending, exactly
+	// like a single queue's in-flight messages at the horizon. RunUntil
+	// also leaves every clock at the horizon.
+	g.round(horizon, true)
+	g.progress.Add(1)
+}
+
+// round fans one execution window out to the shard workers and merges the
+// cross-shard messages they posted back into the destination queues in the
+// deterministic (at, edge, seq) order.
+func (g *Group) round(bound Time, until bool) {
+	dispatched := 0
+	for i, sh := range g.shards {
+		at, ok := sh.Peek()
+		if until {
+			// The final round must run on every shard: RunUntil also
+			// advances drained shards' clocks to the horizon.
+			ok, at = true, bound
+		}
+		if ok && (at < bound || (until && at <= bound)) {
+			g.wg.Add(1)
+			g.cmds[i] <- workerCmd{bound: bound, until: until}
+			dispatched++
+		}
+	}
+	if dispatched > 0 {
+		g.wg.Wait()
+	}
+	g.deliver()
+}
+
+// deliver merges all outboxes into the destination shards. Sort order is
+// (arrival time, edge, per-edge sequence): a strict total order over all
+// messages of a round — per-edge sequences are unique within an edge — so
+// insertion order (and therefore the destination's same-instant FIFO
+// tie-break) is independent of worker scheduling.
+func (g *Group) deliver() {
+	g.merged = g.merged[:0]
+	for i := range g.outboxes {
+		g.merged = append(g.merged, g.outboxes[i]...)
+		g.outboxes[i] = g.outboxes[i][:0]
+	}
+	if len(g.merged) == 0 {
+		return
+	}
+	sort.Slice(g.merged, func(a, b int) bool {
+		x, y := &g.merged[a], &g.merged[b]
+		if x.at != y.at {
+			return x.at < y.at
+		}
+		if x.edge != y.edge {
+			return x.edge < y.edge
+		}
+		return x.seq < y.seq
+	})
+	for i := range g.merged {
+		m := &g.merged[i]
+		g.shards[m.to].ScheduleAt(m.at, m.fn)
+		m.fn = nil
+	}
+}
+
+func (g *Group) startWorkers() {
+	if g.started {
+		panic("sim: group run re-entered")
+	}
+	g.started = true
+	for i := range g.shards {
+		ch := make(chan workerCmd)
+		g.cmds[i] = ch
+		sh := g.shards[i]
+		go func() {
+			for cmd := range ch {
+				if cmd.until {
+					sh.RunUntil(cmd.bound)
+				} else {
+					sh.RunBefore(cmd.bound)
+				}
+				g.wg.Done()
+			}
+		}()
+	}
+}
+
+func (g *Group) stopWorkers() {
+	for _, ch := range g.cmds {
+		close(ch)
+	}
+}
+
+func (g *Group) startWatchdog() {
+	if g.watchdog <= 0 {
+		return
+	}
+	stop := make(chan struct{})
+	g.stopDog = stop
+	budget := g.watchdog
+	go func() {
+		last := g.progress.Load()
+		stalled := time.Duration(0)
+		tick := budget / 10
+		if tick <= 0 {
+			tick = time.Millisecond
+		}
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(tick):
+			}
+			cur := g.progress.Load()
+			if cur != last {
+				last, stalled = cur, 0
+				continue
+			}
+			stalled += tick
+			if stalled >= budget {
+				panic(fmt.Sprintf(
+					"sim: shard group stalled for %v (no round completed); progress=%d",
+					budget, cur))
+			}
+		}
+	}()
+}
+
+func (g *Group) stopWatchdog() {
+	if g.stopDog != nil {
+		close(g.stopDog)
+		g.stopDog = nil
+	}
+}

@@ -159,6 +159,44 @@ func (s *Simulator) RunUntil(horizon Time) {
 	}
 }
 
+// Peek returns the time of the earliest pending event, or false when the
+// event list is empty. The sharded synchronizer (Group) uses it to compute
+// the conservative execution bound of each round.
+func (s *Simulator) Peek() (Time, bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.slots[s.heap[0]].at, true
+}
+
+// RunBefore executes events strictly earlier than bound, in time order,
+// until none remain below it or Halt is called. Unlike RunUntil the clock is
+// not advanced to the bound: it stays at the last executed event, so a
+// subsequent AdvanceTo or RunBefore with a larger bound continues cleanly.
+// This is the per-round shard execution primitive of the Group synchronizer.
+func (s *Simulator) RunBefore(bound Time) {
+	s.halted = false
+	for !s.halted && len(s.heap) > 0 && s.slots[s.heap[0]].at < bound {
+		s.Step()
+	}
+}
+
+// AdvanceTo moves the clock forward to t without executing anything. It
+// panics if t is in the past or an event earlier than t is still pending —
+// advancing over a pending event would execute it at the wrong time later.
+// The Group synchronizer uses it to align every shard's clock on a barrier
+// instant so that clock-dependent observations (CPU busy-time integrals,
+// queue samples) read identically to a single-queue run.
+func (s *Simulator) AdvanceTo(t Time) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: advance to %v before now %v", t, s.now))
+	}
+	if len(s.heap) > 0 && s.slots[s.heap[0]].at < t {
+		panic(fmt.Sprintf("sim: advance to %v over pending event at %v", t, s.slots[s.heap[0]].at))
+	}
+	s.now = t
+}
+
 // Run executes events until none remain or Halt is called.
 func (s *Simulator) Run() {
 	s.halted = false

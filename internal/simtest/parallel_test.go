@@ -1,0 +1,152 @@
+package simtest
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/routing"
+)
+
+// parallelCase is one randomized configuration of the sequential↔parallel
+// differential gate, drawn by drawParallelCase as a pure function of the
+// trial index.
+type parallelCase struct {
+	sc     strategyCase
+	cfg    hybrid.Config
+	shards int
+}
+
+// drawParallelCase randomizes everything the sharded core touches: topology
+// size, shard count (below, at, and above the partition count), both
+// shardable feedback modes, communication delay (= lookahead), update
+// batching and central update pathlength, disk banks, the time-series and
+// histogram capture paths, and the periodic invariant auditor. Durations are
+// kept short — the gate's power comes from breadth, and any mismatch is bit
+// loud, not statistical.
+func drawParallelCase(trial int) parallelCase {
+	rng := rand.New(rand.NewSource(int64(0x9e3779b9 + trial)))
+	cases := []strategyCase{
+		caseNone(),
+		caseStatic(0.25 + 0.5*rng.Float64()),
+		caseQueueLength(),
+		caseThreshold(rng.Float64() - 0.5),
+		caseMinAverage(),
+	}
+	sc := cases[trial%len(cases)]
+
+	cfg := hybrid.DefaultConfig()
+	cfg.Seed = uint64(50000 + trial)
+	cfg.Sites = 2 + rng.Intn(15) // 2..16
+	cfg.Warmup = 10
+	cfg.Duration = 40
+	cfg.ArrivalRatePerSite = 1.0 + 2.0*rng.Float64()
+	cfg.CommDelay = []float64{0.01, 0.05, 0.1}[rng.Intn(3)]
+	cfg.Feedback = []hybrid.Feedback{hybrid.FeedbackAuthOnly, hybrid.FeedbackAllMessages}[rng.Intn(2)]
+	if rng.Intn(3) == 0 {
+		cfg.UpdateBatchWindow = 0.25
+	}
+	if rng.Intn(3) == 0 {
+		cfg.UpdateProcInstr = 20000
+	}
+	if rng.Intn(4) == 0 {
+		cfg.DisksPerSite = 2
+		cfg.DisksCentral = 4
+	}
+	if rng.Intn(3) == 0 {
+		cfg.SeriesBucket = 5
+	}
+	if rng.Intn(4) == 0 {
+		cfg.SelfCheck = true
+	}
+	cfg.CaptureHistograms = true
+
+	// 2 .. Sites+2 covers under-, exactly-, and over-provisioned shards
+	// (the engine caps the effective count at Sites+1 partitions).
+	return parallelCase{sc: sc, cfg: cfg, shards: 2 + rng.Intn(cfg.Sites+1)}
+}
+
+// runParallelCase executes one case in both modes and returns the results.
+func runParallelCase(t *testing.T, pc parallelCase) (seq, par hybrid.Result) {
+	t.Helper()
+	run := func(shards int) hybrid.Result {
+		cfg := pc.cfg
+		cfg.Shards = shards
+		s, err := pc.sc.make(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", pc.sc.label, err)
+		}
+		e, err := hybrid.New(cfg, s)
+		if err != nil {
+			t.Fatalf("%s: %v", pc.sc.label, err)
+		}
+		r := e.Run()
+		if shards > 1 && !e.Parallel() {
+			t.Fatalf("shards=%d did not engage the parallel core\n%s",
+				shards, repro(pc.sc.label, cfg))
+		}
+		return r
+	}
+	return run(0), run(pc.shards)
+}
+
+// TestParallelSequentialDifferential is the sequential↔parallel gate of the
+// sharded core (DESIGN.md §12): across a randomized matrix of ≥50
+// configurations, the parallel run must reproduce the sequential Result bit
+// for bit — every counter, every float64 moment, every histogram bucket,
+// every series entry. There are no tolerance bands here on purpose: the
+// conservative synchronizer is designed to make parallelism unobservable,
+// so the only acceptable difference is none.
+func TestParallelSequentialDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix is a long test")
+	}
+	const trials = 56
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		pc := drawParallelCase(trial)
+		t.Run(fmt.Sprintf("trial%02d_%s_shards%d", trial, pc.sc.label, pc.shards), func(t *testing.T) {
+			seq, par := runParallelCase(t, pc)
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("parallel (shards=%d) diverged from sequential\n%s\nseq: %+v\npar: %+v",
+					pc.shards, repro(pc.sc.label, pc.cfg), seq, par)
+			}
+		})
+	}
+}
+
+// TestParallelRaceStress is the race-detector workout: a saturated 64-site
+// run through the parallel core with the invariant auditor on, sized so the
+// shard workers genuinely interleave. The Group's deadlock watchdog (10s
+// wall) turns any synchronization hang into a loud panic instead of a CI
+// timeout. The dedicated CI job runs this package under -race.
+func TestParallelRaceStress(t *testing.T) {
+	cfg := hybrid.DefaultConfig()
+	cfg.Seed = 64064
+	cfg.Sites = 64
+	cfg.Shards = 8
+	cfg.Warmup = 5
+	cfg.Duration = 40
+	cfg.ArrivalRatePerSite = 3.0 // near the central complex's saturation
+	cfg.SelfCheck = true
+	cfg.SeriesBucket = 5
+	cfg.CaptureHistograms = true
+
+	s, err := routing.NewAdaptiveStatic(cfg.ModelParams(), cfg.PLocal, 10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := hybrid.New(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.Run()
+	if !e.Parallel() {
+		t.Fatal("stress config did not engage the parallel core")
+	}
+	if r.Completed == 0 {
+		t.Fatalf("saturated run completed nothing\n%s", repro("adaptive-static", cfg))
+	}
+}

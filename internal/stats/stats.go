@@ -271,6 +271,26 @@ func (h *Histogram) Hi() float64 { return h.hi }
 // BucketWidth returns the width of one bucket.
 func (h *Histogram) BucketWidth() float64 { return h.width }
 
+// Merge folds other into h, as if every observation of other had been Added.
+// Both histograms must share the same range and bucket count. The bucket,
+// under, and over tallies merge exactly; the exact-observation accumulator
+// merges via Welford.Merge, a deterministic function of the two partial
+// states — so as long as both the sequential and the sharded engine
+// accumulate into the same per-partition histograms and merge them in the
+// same fixed order, the merged state (including Dump's exact mean) is
+// bit-identical between the two modes.
+func (h *Histogram) Merge(other *Histogram) {
+	if h.lo != other.lo || h.hi != other.hi || len(h.buckets) != len(other.buckets) {
+		panic("stats: merging histograms with different shapes")
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.under += other.under
+	h.over += other.over
+	h.observed.Merge(&other.observed)
+}
+
 // HistogramDump is a machine-readable snapshot of a histogram, suitable for
 // JSON export and for recomputing quantiles from an artifact instead of a
 // rerun. Counts holds the bucket tallies with trailing empty buckets

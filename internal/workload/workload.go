@@ -83,9 +83,21 @@ func (c Config) Validate() error {
 // PartitionSize returns the number of elements in each site's partition.
 func (c Config) PartitionSize() uint32 { return c.Lockspace / uint32(c.Sites) }
 
-// Generator produces transactions deterministically from a seed.
+// Generator produces transactions deterministically from a seed. Every site
+// draws from its own class/element/mode streams and numbers its transactions
+// in its own ID block, so the content of site i's k-th transaction is a pure
+// function of (seed, i, k) — independent of how arrivals at different sites
+// interleave in time. The sharded engine depends on this: each shard calls
+// Next for its own sites concurrently, and the sequential oracle must
+// generate the identical transactions in whatever global order its single
+// event loop visits the sites.
 type Generator struct {
-	cfg    Config
+	cfg   Config
+	sites []siteStream
+}
+
+// siteStream is one site's private generator state.
+type siteStream struct {
 	nextID int64
 	class  *rng.Source
 	elems  *rng.Source
@@ -99,29 +111,38 @@ func NewGenerator(cfg Config, seed uint64) *Generator {
 		panic(err)
 	}
 	root := rng.New(seed)
-	return &Generator{
-		cfg:   cfg,
-		class: root.Split(),
-		elems: root.Split(),
-		modes: root.Split(),
+	g := &Generator{cfg: cfg, sites: make([]siteStream, cfg.Sites)}
+	for i := range g.sites {
+		g.sites[i] = siteStream{
+			class: root.Split(),
+			elems: root.Split(),
+			modes: root.Split(),
+		}
 	}
+	return g
 }
 
 // Config returns the generator's configuration.
 func (g *Generator) Config() Config { return g.cfg }
 
 // Next generates the next transaction originating at the given site.
+// Concurrent calls for distinct sites are safe (disjoint state); concurrent
+// calls for one site are not.
 func (g *Generator) Next(site int) *Txn {
 	if site < 0 || site >= g.cfg.Sites {
 		panic(fmt.Sprintf("workload: site %d out of range [0,%d)", site, g.cfg.Sites))
 	}
-	g.nextID++
+	st := &g.sites[site]
+	st.nextID++
 	t := &Txn{
-		ID:       g.nextID,
+		// Per-site ID blocks: site in the high bits, per-site counter in
+		// the low 32. IDs stay positive and unique for < 2^32 transactions
+		// per site.
+		ID:       int64(site)<<32 | st.nextID,
 		HomeSite: site,
 		Class:    ClassB,
 	}
-	if g.class.Bool(g.cfg.PLocal) {
+	if st.class.Bool(g.cfg.PLocal) {
 		t.Class = ClassA
 	}
 
@@ -133,17 +154,17 @@ func (g *Generator) Next(site int) *Txn {
 	if t.Class == ClassA {
 		// Uniform, distinct references within the home partition.
 		base := uint32(site) * part
-		for i, off := range g.elems.SampleWithoutReplacement(int(part), n) {
+		for i, off := range st.elems.SampleWithoutReplacement(int(part), n) {
 			t.Elements[i] = base + uint32(off)
 		}
 	} else {
 		// Uniform, distinct references over the entire lockspace.
-		for i, off := range g.elems.SampleWithoutReplacement(int(g.cfg.Lockspace), n) {
+		for i, off := range st.elems.SampleWithoutReplacement(int(g.cfg.Lockspace), n) {
 			t.Elements[i] = uint32(off)
 		}
 	}
 	for i := range t.Modes {
-		if g.modes.Bool(g.cfg.PWrite) {
+		if st.modes.Bool(g.cfg.PWrite) {
 			t.Modes[i] = lock.Exclusive
 		} else {
 			t.Modes[i] = lock.Share
