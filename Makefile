@@ -11,7 +11,7 @@ BENCH_PKGS = ./internal/sim ./internal/lock ./internal/cpu ./internal/hybrid
 FUZZTIME ?= 10s
 FUZZ_TARGETS = FuzzHeap:./internal/sim FuzzShardSync:./internal/sim FuzzLock:./internal/lock FuzzConfig:./internal/simtest
 
-.PHONY: all build test vet staticcheck race race-stress smoke bench-smoke simtest fuzz-smoke check bench figures
+.PHONY: all build test vet staticcheck race race-stress smoke bench-smoke simtest fuzz-smoke cluster-smoke check bench figures
 
 all: build test
 
@@ -65,6 +65,16 @@ fuzz-smoke:
 		$(GO) test -fuzz "^$$name$$" -fuzztime $(FUZZTIME) -run '^$$' $$pkg; \
 	done
 
+# Live loopback cluster gate (DESIGN.md §13): the in-process cluster smoke
+# (1 central + 2 sites, paced load, nonzero commits on both paths), then
+# the process-level smoke — build cmd/hybridd and cmd/hybridload, boot
+# 1 central + 4 site processes on loopback, drive a short paced run, and
+# require nonzero completions, zero request errors, and clean SIGTERM
+# shutdowns with counter lines from every node.
+cluster-smoke:
+	$(GO) test -count=1 -run 'TestClusterSmoke' ./internal/cluster/
+	$(GO) test -count=1 -run 'TestClusterProcessSmoke' ./cmd/hybridd/
+
 # Short-sweep smoke run of the figure pipeline: replicated, fanned across
 # 4 workers, exercising seeds, aggregation, and table rendering end to end.
 smoke:
@@ -75,7 +85,7 @@ smoke:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' $(BENCH_PKGS)
 
-check: vet staticcheck race simtest race-stress smoke bench-smoke fuzz-smoke
+check: vet staticcheck race simtest race-stress smoke bench-smoke fuzz-smoke cluster-smoke
 
 # Full benchmark run over the hot-path packages, recorded as a
 # machine-readable summary (BENCH_$(BENCH_LABEL).json) diffed against the

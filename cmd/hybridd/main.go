@@ -1,0 +1,119 @@
+// Command hybridd runs one node of a live hybrid distributed–centralized
+// database cluster: either the central node or one local site. The nodes
+// run the same transaction lifecycle as the simulator (internal/cluster is
+// the wall-clock twin of internal/hybrid) over length-prefixed TCP frames.
+//
+// A minimal loopback cluster:
+//
+//	hybridd -role central -listen 127.0.0.1:4000 &
+//	hybridd -role site -id 0 -central 127.0.0.1:4000 -listen 127.0.0.1:4100 &
+//	hybridd -role site -id 1 -central 127.0.0.1:4000 -listen 127.0.0.1:4101 &
+//	hybridload -addrs 127.0.0.1:4100,127.0.0.1:4101 -sites 2 -duration 5
+//
+// All nodes of a cluster must be started with the same configuration flags
+// (-sites, -delay, service times, ...): the workload shape determines data
+// partitioning and the service times drive the emulation. Each node prints
+// "listening on <addr>" once ready (with -listen :0 the kernel picks the
+// port) and shuts down cleanly on SIGINT/SIGTERM, printing its counters.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"hybriddb/internal/cluster"
+	"hybriddb/internal/experiments"
+	"hybriddb/internal/routing"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hybridd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hybridd", flag.ContinueOnError)
+	var (
+		role     = fs.String("role", "", "node role: central or site")
+		id       = fs.Int("id", 0, "site index in [0, sites), site role only")
+		central  = fs.String("central", "", "central node address, site role only")
+		listen   = fs.String("listen", "127.0.0.1:0", "listen address (port 0 picks a free port)")
+		strategy = fs.String("strategy", "threshold:0", "routing strategy, site role only: "+strings.Join(experiments.StrategyNames(), ", "))
+	)
+	cf := cluster.RegisterConfigFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := cf.Config()
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	switch *role {
+	case "central":
+		node, err := cluster.StartCentral(cfg, *listen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "hybridd: central listening on %s (%d sites configured)\n", node.Addr(), cfg.Sites)
+		<-ctx.Done()
+		st := node.Stats()
+		node.Close()
+		fmt.Fprintf(out, "hybridd: central done: %d shipped arrivals, %d commits, %d auth rounds, "+
+			"%d NACK aborts, %d invalidation aborts, %d deadlock aborts, %d updates applied\n",
+			st.ShipArrived, st.Commits, st.AuthRounds,
+			st.AbortsNACK, st.AbortsInval, st.AbortsDeadlock, st.UpdatesApplied)
+		return nil
+
+	case "site":
+		if *central == "" {
+			return fmt.Errorf("site role requires -central <addr>")
+		}
+		maker, err := experiments.ParseStrategy(*strategy)
+		if err != nil {
+			return err
+		}
+		strat, err := maker.Make(cfg)
+		if err != nil {
+			return err
+		}
+		// Fork stateful strategies per site as the simulator does, so two
+		// site processes never share decision state. The per-site seed is
+		// derived from the configuration seed; it is deterministic across
+		// restarts of the same site but (unlike the simulator's split RNG
+		// stream) not bit-matched to a simulation run.
+		if sl, ok := strat.(routing.SiteLocal); ok {
+			strat = sl.ForSite(*id, cfg.Seed+uint64(*id)*0x9E3779B97F4A7C15+0x1234)
+		}
+		node, err := cluster.StartSite(cfg, *id, *central, *listen, strat)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "hybridd: site %d listening on %s (uplink %s, strategy %s)\n",
+			*id, node.Addr(), *central, strat.Name())
+		<-ctx.Done()
+		st := node.Stats()
+		node.Close()
+		fmt.Fprintf(out, "hybridd: site %d done: %d arrivals, %d local commits, %d replies delivered, "+
+			"%d/%d class A/B shipped, %d seized aborts, %d deadlock aborts, %d ship send errors\n",
+			*id, st.Generated, st.CompletedLocal, st.RepliesDelivered,
+			st.ShippedA, st.ShippedB, st.AbortsSeized, st.AbortsDeadlock, st.ShipSendErrors)
+		return nil
+
+	case "":
+		return fmt.Errorf("missing -role (central or site)")
+	default:
+		return fmt.Errorf("unknown role %q (want central or site)", *role)
+	}
+}

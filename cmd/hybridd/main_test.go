@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRunFlagValidation pins the CLI's error paths without booting anything.
+func TestRunFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{},                 // missing role
+		{"-role", "bogus"}, // unknown role
+		{"-role", "site"},  // site without -central
+		{"-role", "site", "-central", "x", "-strategy", "nope"}, // unknown strategy
+		{"-role", "central", "-feedback", "ideal"},              // unsupported live feedback
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// proc wraps a hybridd/hybridload child process with line-captured stdout.
+// Output is captured through an io.Writer (proc.Write) rather than
+// StdoutPipe: cmd.Wait closes a pipe as soon as the child exits, which
+// races a reader goroutine for the final lines (the shutdown counter line
+// would intermittently vanish), whereas with a plain Writer, Wait blocks
+// until exec's copier has delivered everything.
+type proc struct {
+	t     *testing.T
+	name  string
+	cmd   *exec.Cmd
+	lines chan string
+	mu    sync.Mutex
+	out   bytes.Buffer
+	tail  []byte // bytes of the current, not-yet-terminated line
+}
+
+func startProc(t *testing.T, name, bin string, args ...string) *proc {
+	t.Helper()
+	p := &proc{t: t, name: name, cmd: exec.Command(bin, args...), lines: make(chan string, 64)}
+	p.cmd.Stdout = p
+	p.cmd.Stderr = p // interleave; errors show up in the line feed too
+	if err := p.cmd.Start(); err != nil {
+		t.Fatalf("%s: start: %v", name, err)
+	}
+	return p
+}
+
+// Write implements io.Writer for the child's stdout+stderr: accumulate the
+// full transcript and feed completed lines to the expectLine channel.
+func (p *proc) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.out.Write(b)
+	p.tail = append(p.tail, b...)
+	for {
+		i := bytes.IndexByte(p.tail, '\n')
+		if i < 0 {
+			return len(b), nil
+		}
+		line := string(p.tail[:i])
+		p.tail = p.tail[i+1:]
+		select {
+		case p.lines <- line:
+		default:
+		}
+	}
+}
+
+// expectLine waits for a stdout line containing substr and returns it.
+func (p *proc) expectLine(substr string, timeout time.Duration) string {
+	p.t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case line := <-p.lines:
+			if strings.Contains(line, substr) {
+				return line
+			}
+		case <-deadline:
+			p.t.Fatalf("%s did not print %q within %v; output:\n%s", p.name, substr, timeout, p.output())
+		}
+	}
+}
+
+func (p *proc) output() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.out.String()
+}
+
+// terminate sends SIGTERM and requires a clean (exit 0) shutdown.
+func (p *proc) terminate() {
+	p.t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		p.t.Fatalf("%s: SIGTERM: %v", p.name, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			p.t.Errorf("%s did not exit cleanly on SIGTERM: %v; output:\n%s", p.name, err, p.output())
+		}
+	case <-time.After(10 * time.Second):
+		p.cmd.Process.Kill()
+		p.t.Fatalf("%s hung on SIGTERM; output:\n%s", p.name, p.output())
+	}
+}
+
+func (p *proc) kill() {
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+}
+
+// listenAddr extracts the address from a "listening on <addr>" line.
+func listenAddr(t *testing.T, line string) string {
+	t.Helper()
+	_, after, ok := strings.Cut(line, "listening on ")
+	if !ok {
+		t.Fatalf("no address in %q", line)
+	}
+	return strings.Fields(after)[0]
+}
+
+// TestClusterProcessSmoke is the `make cluster-smoke` gate at the process
+// level: build both binaries, boot 1 central + 4 sites as real processes on
+// loopback (DefaultLiveConfig, ports picked by the kernel), run a short
+// paced load, and require nonzero commits, zero request errors, and clean
+// SIGTERM shutdowns all around.
+func TestClusterProcessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: builds binaries and runs a paced cluster")
+	}
+	dir := t.TempDir()
+	hybridd := dir + "/hybridd"
+	hybridload := dir + "/hybridload"
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for _, b := range []struct{ out, pkg string }{
+		{hybridd, "hybriddb/cmd/hybridd"},
+		{hybridload, "hybriddb/cmd/hybridload"},
+	} {
+		if out, err := exec.CommandContext(ctx, "go", "build", "-o", b.out, b.pkg).CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", b.pkg, err, out)
+		}
+	}
+
+	const sites = 4 // DefaultLiveConfig().Sites
+	central := startProc(t, "central", hybridd, "-role", "central", "-listen", "127.0.0.1:0")
+	defer central.kill()
+	centralAddr := listenAddr(t, central.expectLine("listening on", 10*time.Second))
+
+	var siteProcs []*proc
+	var siteAddrs []string
+	for i := 0; i < sites; i++ {
+		s := startProc(t, fmt.Sprintf("site%d", i), hybridd,
+			"-role", "site", "-id", fmt.Sprint(i), "-central", centralAddr,
+			"-listen", "127.0.0.1:0", "-strategy", "threshold:0")
+		defer s.kill()
+		siteProcs = append(siteProcs, s)
+		siteAddrs = append(siteAddrs, listenAddr(t, s.expectLine("listening on", 10*time.Second)))
+	}
+
+	load := startProc(t, "hybridload", hybridload,
+		"-addrs", strings.Join(siteAddrs, ","),
+		"-warmup", "0.4", "-duration", "1.5", "-ramp", "0.2", "-threads", "2")
+	defer load.kill()
+	done := make(chan error, 1)
+	go func() { done <- load.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("hybridload failed: %v; output:\n%s", err, load.output())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("hybridload hung; output:\n%s", load.output())
+	}
+	lout := load.output()
+	if !strings.Contains(lout, " completed, 0 errors") {
+		t.Errorf("load run reported errors or no summary:\n%s", lout)
+	}
+	if strings.Contains(lout, " 0 completed,") {
+		t.Errorf("load run completed nothing:\n%s", lout)
+	}
+
+	// Clean shutdown: sites first (uplinks drop), central last. Each must
+	// exit 0 and print its counter line.
+	for _, s := range siteProcs {
+		s.terminate()
+		if !strings.Contains(s.output(), "done:") {
+			t.Errorf("%s printed no shutdown counters:\n%s", s.name, s.output())
+		}
+	}
+	central.terminate()
+	if !strings.Contains(central.output(), "done:") {
+		t.Errorf("central printed no shutdown counters:\n%s", central.output())
+	}
+	if !strings.Contains(central.output(), "commits") {
+		t.Errorf("central counters missing commits:\n%s", central.output())
+	}
+}

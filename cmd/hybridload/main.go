@@ -1,0 +1,138 @@
+// Command hybridload drives an open-loop paced workload against a live
+// hybridd cluster and reports measured response times and routing mix.
+// Arrivals are submitted at the configured rate regardless of completions
+// (open loop), so queueing shows up as response time — the same offered-load
+// discipline as the simulator's Poisson arrival process.
+//
+// Example against a two-site cluster (see cmd/hybridd for booting one):
+//
+//	hybridload -addrs 127.0.0.1:4100,127.0.0.1:4101 -sites 2 \
+//	    -rate 8 -warmup 1 -duration 10 -manifest RUN_live.json
+//
+// The configuration flags must match the cluster's: the load generator
+// draws the transaction specs (class, home site, lock elements) itself and
+// ships them fully formed, so a -sites or -plocal mismatch changes the
+// workload the cluster observes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hybriddb/internal/cluster"
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/obsx/manifest"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hybridload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hybridload", flag.ContinueOnError)
+	var (
+		addrsFlg = fs.String("addrs", "", "comma-separated site addresses, in site-index order (required)")
+		pacing   = fs.String("pacing", cluster.PacingPoisson, "interarrival pacing: poisson or uniform")
+		ramp     = fs.Float64("ramp", 0, "seconds to ramp the rate from ~0 to -rate")
+		warmup   = fs.Float64("warmup", 1, "seconds of load before the measurement window opens")
+		duration = fs.Float64("duration", 10, "measured seconds")
+		threads  = fs.Int("threads", 2, "connections per site")
+		loadSeed = fs.Uint64("load-seed", 0, "workload/pacing seed (default: the configuration -seed)")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-request timeout; a timeout counts as an error")
+		maniOut  = fs.String("manifest", "", "write a machine-readable run manifest (RUN_*.json) to this file")
+		notes    = fs.String("label", "live", "result label used in the manifest")
+	)
+	cf := cluster.RegisterConfigFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := cf.Config()
+	if err != nil {
+		return err
+	}
+	if *addrsFlg == "" {
+		return fmt.Errorf("missing -addrs (comma-separated site addresses)")
+	}
+	addrs := strings.Split(*addrsFlg, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	seed := *loadSeed
+	if seed == 0 {
+		seed = cfg.Seed
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	wallStart := time.Now()
+	res, err := cluster.RunLoad(ctx, addrs, cfg, cluster.LoadOptions{
+		Rate:           cfg.ArrivalRatePerSite,
+		Pacing:         *pacing,
+		Ramp:           *ramp,
+		Warmup:         *warmup,
+		Duration:       *duration,
+		Threads:        *threads,
+		Seed:           seed,
+		RequestTimeout: *timeout,
+	})
+	if res == nil {
+		return err
+	}
+	if err != nil {
+		// Cancellation still reports the partial window below.
+		fmt.Fprintf(out, "hybridload: run ended early: %v\n", err)
+	}
+
+	fmt.Fprintf(out, "hybridload: %d submitted, %d completed, %d errors over %.1fs window (%.1fs wall)\n",
+		res.Submitted, res.Completed, res.Errors, *duration, res.Elapsed)
+	fmt.Fprintf(out, "  routing: %d local A, %d shipped A, %d class B (ship fraction %.3f)\n",
+		res.LocalA, res.ShippedA, res.ClassB, res.ShipFraction)
+	fmt.Fprintf(out, "  RT mean %.1fms, p50 %.1fms, p95 %.1fms; throughput %.1f txn/s\n",
+		res.MeanRT*1e3, res.P50RT*1e3, res.P95RT*1e3, res.Throughput)
+
+	if *maniOut != "" {
+		m := manifest.New("hybridload", "live cluster paced load run")
+		m.Add(*notes, cfg, liveResult(res, *duration))
+		m.Finish(time.Since(wallStart))
+		if werr := m.WriteFile(*maniOut); werr != nil {
+			return werr
+		}
+		fmt.Fprintf(out, "  manifest written to %s\n", *maniOut)
+	}
+	if err != nil {
+		return err
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("%d request errors (timeouts or transport failures)", res.Errors)
+	}
+	return nil
+}
+
+// liveResult maps a measured load window onto the simulator's Result shape
+// so live runs share the manifest schema (and downstream tooling) with
+// simulation runs. Fields the live measurement cannot observe (per-class
+// RT splits, central-node internals) stay zero.
+func liveResult(res *cluster.LoadResult, window float64) hybrid.Result {
+	return hybrid.Result{
+		Strategy:          "live",
+		Window:            window,
+		CompletedLocalA:   res.LocalA,
+		CompletedShippedA: res.ShippedA,
+		CompletedClassB:   res.ClassB,
+		MeanRT:            res.MeanRT,
+		P95RT:             res.P95RT,
+		Throughput:        res.Throughput,
+		ShipFraction:      res.ShipFraction,
+	}
+}

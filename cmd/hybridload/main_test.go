@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{},                                      // missing -addrs
+		{"-addrs", "x", "-pacing", "bursty"},    // unknown pacing
+		{"-addrs", "x", "-duration", "0"},       // zero duration
+		{"-addrs", "x,y", "-sites", "4"},        // addr count != sites
+		{"-addrs", "x", "-feedback", "sideways"}, // unknown feedback
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

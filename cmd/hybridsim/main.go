@@ -7,13 +7,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -74,6 +77,9 @@ func run(args []string, out io.Writer) error {
 	cfg.PWrite = *pwrite
 	cfg.PLocal = *plocal
 	cfg.SelfCheck = *check
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be non-negative (0 or 1 runs sequentially), got %d", *shards)
+	}
 	cfg.Shards = *shards
 	switch *feedback {
 	case "auth-only":
@@ -139,17 +145,34 @@ func run(args []string, out io.Writer) error {
 		if *spansOut != "" {
 			return fmt.Errorf("-spans records a single run; drop -replications")
 		}
-		popt := runner.Options{Parallelism: *parallel}
+		if *shards > 1 {
+			if s := shardFallbackReason(cfg); s != "" {
+				fmt.Fprintf(os.Stderr, "hybridsim: note: -shards %d ignored, running sequentially: %s\n", *shards, s)
+			}
+		}
+		// Ctrl-C / SIGTERM stops dispatching further replications; the ones
+		// in flight finish, and everything measured so far is still
+		// reported and flushed to the manifest.
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stopSignals()
+		popt := runner.Options{Parallelism: *parallel, Context: ctx}
 		if *progFlg {
 			popt.Progress = progress.NewTicker(os.Stderr, time.Second).Callback
 		}
 		summary, err := replicate.RunOpts(cfg, maker.Make, reps, popt)
-		if err != nil {
+		if err != nil && summary.Replications == 0 {
 			return err
 		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybridsim: interrupted (%v); reporting the %d of %d replications that completed\n",
+				err, summary.Replications, reps)
+		}
 		if *maniOut != "" {
-			m := manifest.New("hybridsim", fmt.Sprintf("%s, %d replications", *strategy, reps))
+			m := manifest.New("hybridsim", fmt.Sprintf("%s, %d replications", *strategy, summary.Replications))
 			for i, r := range summary.Results {
+				if r.Window <= 0 {
+					continue // replication cancelled before it started
+				}
 				runCfg := cfg
 				runCfg.Seed = cfg.Seed + uint64(i)
 				m.Add(fmt.Sprintf("replication %d", i), runCfg, r)
@@ -161,9 +184,14 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(os.Stderr, "hybridsim: wrote run manifest to %s\n", *maniOut)
 		}
 		for _, r := range summary.Results {
-			warnClipped(r)
+			if r.Window > 0 {
+				warnClipped(r)
+			}
 		}
-		return report.WriteReplication(out, summary)
+		if werr := report.WriteReplication(out, summary); werr != nil {
+			return werr
+		}
+		return err
 	}
 	strat, err := maker.Make(cfg)
 	if err != nil {
@@ -180,7 +208,11 @@ func run(args []string, out io.Writer) error {
 	}
 	r := engine.Run()
 	if *shards > 1 && !engine.Parallel() {
-		fmt.Fprintln(os.Stderr, "hybridsim: note: configuration cannot shard (zero -delay, ideal feedback, or an observer such as -spans attached); ran sequentially")
+		reason := "an external observer is attached (-spans needs the single ordered event stream)"
+		if s := shardFallbackReason(cfg); s != "" {
+			reason = s
+		}
+		fmt.Fprintf(os.Stderr, "hybridsim: note: -shards %d ignored, ran sequentially: %s\n", *shards, reason)
 	}
 	if collector != nil {
 		if err := collector.WriteFile(*spansOut); err != nil {
@@ -223,6 +255,21 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(tw, "mean lock wait\t%.4f s\n", r.MeanLockWait)
 	fmt.Fprintf(tw, "network messages\t%d (auth rounds %d)\n", r.MessagesSent, r.AuthRounds)
 	return nil
+}
+
+// shardFallbackReason names the configuration property that forces the
+// engine to ignore Shards>1 and run sequentially, or "" if the
+// configuration itself can shard (an attached observer can still force
+// sequential; the engine reports that case via Parallel()). Mirrors the
+// eligibility test in the engine's setupRunMode.
+func shardFallbackReason(cfg hybrid.Config) string {
+	switch {
+	case cfg.CommDelay <= 0:
+		return "zero -delay leaves no conservative lookahead window"
+	case cfg.Feedback == hybrid.FeedbackIdeal:
+		return "ideal feedback reads central state with no delay"
+	}
+	return ""
 }
 
 // warnClipped flags histogram overflow: observations above the bucketed

@@ -8,8 +8,28 @@ import (
 	"strings"
 	"testing"
 
+	"hybriddb/internal/hybrid"
 	"hybriddb/internal/obsx/manifest"
 )
+
+// TestShardFallbackReason pins the config-level sharding eligibility
+// explanation against the engine's own decision.
+func TestShardFallbackReason(t *testing.T) {
+	cfg := hybrid.DefaultConfig()
+	if s := shardFallbackReason(cfg); s != "" {
+		t.Errorf("default config flagged as unshardable: %q", s)
+	}
+	cfg = hybrid.DefaultConfig()
+	cfg.CommDelay = 0
+	if s := shardFallbackReason(cfg); !strings.Contains(s, "delay") {
+		t.Errorf("zero delay reason %q does not name the delay", s)
+	}
+	cfg = hybrid.DefaultConfig()
+	cfg.Feedback = hybrid.FeedbackIdeal
+	if s := shardFallbackReason(cfg); !strings.Contains(s, "ideal") {
+		t.Errorf("ideal feedback reason %q does not name the feedback mode", s)
+	}
+}
 
 func TestRunProducesReport(t *testing.T) {
 	var buf bytes.Buffer
@@ -62,6 +82,7 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"-strategy", "nonsense"},
 		{"-feedback", "psychic"},
 		{"-rate", "0"},
+		{"-shards", "-1"},
 		{"-unknownflag"},
 	}
 	for _, args := range cases {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"hybriddb/internal/cpu"
+	"hybriddb/internal/exec"
 	"hybriddb/internal/lock"
 	"hybriddb/internal/rng"
 	"hybriddb/internal/sim"
@@ -65,7 +66,7 @@ func RunCentralized(cfg hybrid.Config) (Result, error) {
 		s       = sim.New()
 		root    = rng.New(cfg.Seed)
 		gen     = workload.NewGenerator(cfg.WorkloadConfig(), root.Split().Uint64())
-		server  = cpu.NewServer(s, cfg.CentralMIPS)
+		server  = cpu.NewServer(exec.Sim(s), cfg.CentralMIPS)
 		locks   = lock.NewManager()
 		horizon = cfg.Warmup + cfg.Duration
 
@@ -229,7 +230,7 @@ func RunDistributed(cfg hybrid.Config, lockTimeout float64) (Result, error) {
 	}
 	sites := make([]*site, cfg.Sites)
 	for i := range sites {
-		sites[i] = &site{cpu: cpu.NewServer(s, cfg.LocalMIPS), locks: lock.NewManager()}
+		sites[i] = &site{cpu: cpu.NewServer(exec.Sim(s), cfg.LocalMIPS), locks: lock.NewManager()}
 	}
 
 	type txn struct {

@@ -1,0 +1,417 @@
+package cluster
+
+// The live central computing complex: accepts site uplinks, executes
+// shipped transactions, and runs the commit protocol of §2 — the
+// authenticate/ack-nack phase against the master sites, seized-lock
+// releases, asynchronous update application with invalidation, and the
+// completion replies. The logic is the wall-clock twin of the simulator's
+// centralPath / commitProtocol / propagator layers; every handler runs on
+// the node's exec.Loop.
+
+import (
+	"log"
+	"net"
+	"sync"
+
+	"hybriddb/internal/cpu"
+	"hybriddb/internal/exec"
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/lock"
+	"hybriddb/internal/netx"
+	"hybriddb/internal/workload"
+)
+
+// ctxn is the central-side runtime state of one transaction, the live twin
+// of the simulator's txnRun in its shipped phase.
+type ctxn struct {
+	spec    *workload.Txn
+	attempt int
+	marked  bool // invalidated by an asynchronous update (§2)
+
+	authPending int
+	authNACK    bool
+	authSeized  []int
+}
+
+// CentralStats is a loop-consistent snapshot of the central node's state.
+type CentralStats struct {
+	ShipArrived   uint64
+	Commits       uint64
+	RepliesSent   uint64
+	InSystem      int
+	AuthRounds    uint64
+	AbortsNACK    uint64
+	AbortsInval   uint64
+	AbortsDeadlock uint64
+	UpdatesApplied uint64
+}
+
+// Central is the live central node.
+type Central struct {
+	cfg hybrid.Config
+	wl  workload.Config
+
+	loop  *exec.Loop
+	cpu   *cpu.Server
+	disks []*cpu.Server
+	locks *lock.Manager
+
+	inSystem int
+	running  map[lock.ID]*ctxn
+
+	// siteConns is written and read only on the loop.
+	siteConns []*netx.Conn
+
+	stats CentralStats
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	connMu sync.Mutex
+	conns  map[*netx.Conn]struct{}
+	closed bool
+}
+
+// StartCentral boots a central node listening on addr ("host:0" picks a
+// free port; see Addr).
+func StartCentral(cfg hybrid.Config, addr string) (*Central, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	loop := exec.NewLoop()
+	c := &Central{
+		cfg:       cfg,
+		wl:        cfg.WorkloadConfig(),
+		loop:      loop,
+		cpu:       cpu.NewServer(loop, cfg.CentralMIPS),
+		disks:     newDisks(loop, cfg.DisksCentral),
+		locks:     lock.NewManager(),
+		running:   make(map[lock.ID]*ctxn),
+		siteConns: make([]*netx.Conn, cfg.Sites),
+		ln:        ln,
+		conns:     make(map[*netx.Conn]struct{}),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listener's address, for sites to dial.
+func (c *Central) Addr() string { return c.ln.Addr().String() }
+
+func (c *Central) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		nc, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		conn := netx.NewConn(nc, netx.Options{})
+		c.connMu.Lock()
+		if c.closed {
+			c.connMu.Unlock()
+			conn.Close()
+			return
+		}
+		c.conns[conn] = struct{}{}
+		c.connMu.Unlock()
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			conn.Serve(c.dispatch)
+			conn.Close()
+			c.connMu.Lock()
+			delete(c.conns, conn)
+			c.connMu.Unlock()
+		}()
+	}
+}
+
+// dispatch decodes one inbound frame on the read goroutine and posts its
+// handler onto the loop — after the emulated link delay for messages that
+// crossed the star network in the model.
+func (c *Central) dispatch(conn *netx.Conn, f netx.Frame) {
+	switch f.Type {
+	case netx.MsgHello:
+		h, err := netx.DecodeHello(f.Payload)
+		if err != nil {
+			log.Printf("central: bad hello from %s: %v", conn.RemoteAddr(), err)
+			conn.Close()
+			return
+		}
+		c.loop.Post(func() { c.register(int(h.Site), conn) })
+	case netx.MsgShip:
+		spec, err := netx.DecodeTxn(f.Payload)
+		if err != nil {
+			log.Printf("central: bad ship from %s: %v", conn.RemoteAddr(), err)
+			conn.Close()
+			return
+		}
+		deliver(c.loop, c.cfg.CommDelay, func() { c.onShip(spec) })
+	case netx.MsgAuthReply, netx.MsgUpdate:
+		// Decoded here (the payload aliases the read buffer), handled on
+		// the loop after the link delay.
+		switch f.Type {
+		case netx.MsgAuthReply:
+			a, err := netx.DecodeAuthReply(f.Payload)
+			if err != nil {
+				log.Printf("central: bad auth-reply: %v", err)
+				conn.Close()
+				return
+			}
+			deliver(c.loop, c.cfg.CommDelay, func() { c.onAuthReply(a) })
+		case netx.MsgUpdate:
+			u, err := netx.DecodeUpdate(f.Payload)
+			if err != nil {
+				log.Printf("central: bad update: %v", err)
+				conn.Close()
+				return
+			}
+			deliver(c.loop, c.cfg.CommDelay, func() { c.onUpdate(u) })
+		}
+	default:
+		log.Printf("central: unexpected %s from %s", netx.MsgName(f.Type), conn.RemoteAddr())
+	}
+}
+
+func (c *Central) register(site int, conn *netx.Conn) {
+	if site < 0 || site >= len(c.siteConns) {
+		log.Printf("central: hello for out-of-range site %d", site)
+		conn.Close()
+		return
+	}
+	if old := c.siteConns[site]; old != nil && old != conn {
+		old.Close() // a site redialed; the stale uplink is dead
+	}
+	c.siteConns[site] = conn
+}
+
+// toSite sends one protocol message down a site's uplink. A missing or dead
+// uplink loses the message, as a real network would; the site's reconnect
+// restores the link.
+func (c *Central) toSite(site int, msgType byte, payload []byte) {
+	conn := c.siteConns[site]
+	if conn == nil {
+		log.Printf("central: dropping %s for unregistered site %d", netx.MsgName(msgType), site)
+		return
+	}
+	if err := conn.Send(msgType, 0, payload); err != nil {
+		log.Printf("central: send %s to site %d: %v", netx.MsgName(msgType), site, err)
+	}
+}
+
+// snapshot captures the central state for piggybacking, like the
+// simulator's propagator.snapshotCentral.
+func (c *Central) snapshot() netx.Snapshot {
+	return netx.Snapshot{
+		Queue:    int32(c.cpu.QueueLength()),
+		InSystem: int32(c.inSystem),
+		Locks:    int32(c.locks.LocksHeld()),
+	}
+}
+
+// ---- Central execution path (twin of centralPath).
+
+func (c *Central) onShip(spec *workload.Txn) {
+	c.stats.ShipArrived++
+	t := &ctxn{spec: spec, attempt: 1}
+	c.inSystem++
+	c.running[lock.ID(spec.ID)] = t
+	c.cpu.Submit(c.cfg.InstrOverhead, func() {
+		ioDelay(c.loop, c.disks, uint32(spec.ID), c.cfg.SetupIOTime, func() {
+			c.call(t, 0)
+		})
+	})
+}
+
+func (c *Central) call(t *ctxn, i int) {
+	if i >= c.cfg.CallsPerTxn {
+		c.commitBegin(t)
+		return
+	}
+	c.cpu.Submit(c.cfg.InstrPerCall, func() {
+		id := lock.ID(t.spec.ID)
+		elem, mode := t.spec.Elements[i], t.spec.Modes[i]
+		if _, held := c.locks.Holds(id, elem); held {
+			// Re-runs retain surviving locks across an abort (§3.1).
+			c.afterLock(t, i)
+			return
+		}
+		switch c.locks.Acquire(id, elem, mode, func() { c.afterLock(t, i) }) {
+		case lock.Granted:
+			c.afterLock(t, i)
+		case lock.Queued:
+			// The grant callback continues the transaction.
+		case lock.Deadlock:
+			c.deadlockAbort(t)
+		}
+	})
+}
+
+func (c *Central) afterLock(t *ctxn, i int) {
+	if t.attempt == 1 {
+		ioDelay(c.loop, c.disks, t.spec.Elements[i], c.cfg.IOTimePerCall, func() { c.call(t, i+1) })
+		return
+	}
+	c.call(t, i+1)
+}
+
+func (c *Central) restart(t *ctxn) {
+	t.marked = false
+	t.attempt++
+	c.loop.Schedule(c.cfg.RestartDelay, func() { c.call(t, 0) })
+}
+
+func (c *Central) deadlockAbort(t *ctxn) {
+	c.stats.AbortsDeadlock++
+	c.locks.ReleaseAll(lock.ID(t.spec.ID))
+	c.restart(t)
+}
+
+// ---- Commit protocol (twin of commitProtocol).
+
+func (c *Central) commitBegin(t *ctxn) {
+	if t.marked {
+		c.stats.AbortsInval++
+		c.restart(t)
+		return
+	}
+	sites := t.spec.SitesTouched(c.wl)
+	t.authPending = len(sites)
+	t.authNACK = false
+	t.authSeized = t.authSeized[:0]
+	c.stats.AuthRounds++
+	snap := c.snapshot()
+	for _, site := range sites {
+		var elems []uint32
+		var modes []lock.Mode
+		for j, elem := range t.spec.Elements {
+			if c.wl.PartitionOf(elem) == site {
+				elems = append(elems, elem)
+				modes = append(modes, t.spec.Modes[j])
+			}
+		}
+		c.toSite(site, netx.MsgAuthReq, netx.AppendAuthReq(nil, netx.AuthReq{
+			Txn: t.spec.ID, Elements: elems, Modes: modes, Snap: snap,
+		}))
+	}
+}
+
+func (c *Central) onAuthReply(a netx.AuthReply) {
+	t, ok := c.running[lock.ID(a.Txn)]
+	if !ok || t.authPending == 0 {
+		log.Printf("central: stray auth-reply for txn %d", a.Txn)
+		return
+	}
+	if a.NACK {
+		t.authNACK = true
+	} else {
+		t.authSeized = append(t.authSeized, int(a.Site))
+	}
+	t.authPending--
+	if t.authPending > 0 {
+		return
+	}
+	if t.authNACK || t.marked {
+		if t.authNACK {
+			c.stats.AbortsNACK++
+		} else {
+			c.stats.AbortsInval++
+		}
+		c.releaseAuthLocks(t)
+		c.restart(t)
+		return
+	}
+	c.finish(t)
+}
+
+func (c *Central) releaseAuthLocks(t *ctxn) {
+	snap := c.snapshot()
+	for _, site := range t.authSeized {
+		c.toSite(site, netx.MsgRelease, netx.AppendRelease(nil, netx.Release{Txn: t.spec.ID, Snap: snap}))
+	}
+	t.authSeized = t.authSeized[:0]
+}
+
+func (c *Central) finish(t *ctxn) {
+	id := lock.ID(t.spec.ID)
+	snap := c.snapshot()
+	for _, site := range t.authSeized {
+		c.toSite(site, netx.MsgRelease, netx.AppendRelease(nil, netx.Release{Txn: t.spec.ID, Snap: snap}))
+	}
+	t.authSeized = t.authSeized[:0]
+	c.locks.ReleaseAll(id)
+	c.inSystem--
+	delete(c.running, id)
+	c.stats.Commits++
+	c.stats.RepliesSent++
+	c.toSite(t.spec.HomeSite, netx.MsgReply, netx.AppendReply(nil, netx.Reply{
+		Txn: t.spec.ID, ClassB: t.spec.Class == workload.ClassB, Snap: c.snapshot(),
+	}))
+}
+
+// ---- Asynchronous update application (twin of propagator).
+
+func (c *Central) onUpdate(u netx.Update) {
+	if c.cfg.UpdateProcInstr > 0 {
+		c.cpu.Submit(c.cfg.UpdateProcInstr, func() { c.applyUpdate(u) })
+		return
+	}
+	c.applyUpdate(u)
+}
+
+func (c *Central) applyUpdate(u netx.Update) {
+	for _, elem := range u.Elements {
+		for _, holder := range c.locks.Holders(elem) {
+			if vt, ok := c.running[holder]; ok {
+				vt.marked = true
+			}
+			c.locks.Release(holder, elem)
+		}
+	}
+	c.stats.UpdatesApplied++
+	c.toSite(int(u.Site), netx.MsgUpdateAck, netx.AppendUpdateAck(nil, netx.UpdateAck{
+		Elements: u.Elements, Snap: c.snapshot(),
+	}))
+}
+
+// Stats returns a snapshot taken on the loop, so it is consistent with the
+// protocol state (zero after Close).
+func (c *Central) Stats() CentralStats {
+	ch := make(chan CentralStats, 1)
+	if !c.loop.Post(func() {
+		st := c.stats
+		st.InSystem = c.inSystem
+		ch <- st
+	}) {
+		return CentralStats{}
+	}
+	return <-ch
+}
+
+// Close shuts the node down: stop accepting, drop every connection, stop
+// the loop.
+func (c *Central) Close() error {
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := make([]*netx.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	c.connMu.Unlock()
+
+	err := c.ln.Close()
+	for _, conn := range conns {
+		conn.Close()
+	}
+	c.wg.Wait()
+	c.loop.Stop()
+	return err
+}

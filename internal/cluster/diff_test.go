@@ -1,0 +1,140 @@
+//go:build !race
+
+package cluster
+
+// The closing gate of the transport-agnostic refactor: the live loopback
+// cluster and the discrete-event simulator run the SAME configuration with
+// the SAME routing strategy, and the measured mean response time and
+// ship/local routing mix must agree within the versioned tolerance bands of
+// testdata/tolerances.json. Excluded under the race detector (instrumented
+// timers are far too slow to hold emulated service times) and in -short
+// mode; `go test ./internal/cluster` runs it in full CI.
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/routing"
+)
+
+type clusterTolerances struct {
+	RTRelErrMax       float64   `json:"rt_rel_err_max"`
+	ShipFracAbsErrMax float64   `json:"ship_frac_abs_err_max"`
+	ThetaPoints       []float64 `json:"theta_points"`
+	SimReplications   int       `json:"sim_replications"`
+}
+
+func loadClusterTolerances(t *testing.T) clusterTolerances {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/tolerances.json")
+	if err != nil {
+		t.Fatalf("tolerances: %v", err)
+	}
+	var tol clusterTolerances
+	if err := json.Unmarshal(raw, &tol); err != nil {
+		t.Fatalf("tolerances: %v", err)
+	}
+	if tol.RTRelErrMax <= 0 || tol.ShipFracAbsErrMax <= 0 || len(tol.ThetaPoints) < 2 {
+		t.Fatalf("tolerances underspecified: %+v", tol)
+	}
+	return tol
+}
+
+// diffConfig is the differential operating point: 4 sites, millisecond-
+// scale service times (so wall-clock timer slop stays small relative to
+// the RT), moderate utilization at both routing extremes.
+func diffConfig() hybrid.Config {
+	return hybrid.Config{
+		Sites:              4,
+		LocalMIPS:          1,
+		CentralMIPS:        15,
+		CommDelay:          0.02,
+		ArrivalRatePerSite: 8,
+		PLocal:             0.75,
+		PWrite:             0.25,
+		CallsPerTxn:        10,
+		Lockspace:          32768,
+		InstrPerCall:       3000,
+		InstrOverhead:      15000,
+		IOTimePerCall:      0.0025,
+		SetupIOTime:        0.0035,
+		RestartDelay:       0.01,
+		Feedback:           hybrid.FeedbackAllMessages,
+		Seed:               7,
+		Warmup:             5,
+		Duration:           60,
+	}
+}
+
+// simPredict averages the simulator's prediction over a few seeds.
+func simPredict(t *testing.T, cfg hybrid.Config, theta float64, reps int) (meanRT, shipFrac float64) {
+	t.Helper()
+	if reps <= 0 {
+		reps = 3
+	}
+	for r := 0; r < reps; r++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(r)*1000003
+		eng, err := hybrid.New(c, routing.QueueThreshold{Theta: theta})
+		if err != nil {
+			t.Fatalf("hybrid.New: %v", err)
+		}
+		res := eng.Run()
+		meanRT += res.MeanRT
+		shipFrac += res.ShipFraction
+	}
+	return meanRT / float64(reps), shipFrac / float64(reps)
+}
+
+func TestClusterVsSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: the live differential needs multi-second paced runs")
+	}
+	tol := loadClusterTolerances(t)
+	cfg := diffConfig()
+
+	for _, theta := range tol.ThetaPoints {
+		theta := theta
+		t.Run(routing.QueueThreshold{Theta: theta}.Name(), func(t *testing.T) {
+			simRT, simShip := simPredict(t, cfg, theta, tol.SimReplications)
+
+			addrs, teardown := bootCluster(t, cfg, routing.QueueThreshold{Theta: theta})
+			defer teardown()
+			res, err := RunLoad(context.Background(), addrs, cfg, LoadOptions{
+				Warmup:   1.5,
+				Duration: 6,
+				Ramp:     0.5,
+				Threads:  2,
+				Seed:     cfg.Seed + 99,
+			})
+			if err != nil {
+				t.Fatalf("RunLoad: %v", err)
+			}
+			if res.Errors != 0 {
+				t.Fatalf("%d request errors on loopback", res.Errors)
+			}
+			if res.Completed < 50 {
+				t.Fatalf("only %d completions measured; window too small to compare", res.Completed)
+			}
+
+			relErr := math.Abs(res.MeanRT-simRT) / simRT
+			shipErr := math.Abs(res.ShipFraction - simShip)
+			t.Logf("θ=%+.1f: live meanRT %.1fms vs sim %.1fms (rel err %.3f ≤ %.3f); "+
+				"live ship mix %.3f vs sim %.3f (abs err %.3f ≤ %.3f); %d completions",
+				theta, res.MeanRT*1e3, simRT*1e3, relErr, tol.RTRelErrMax,
+				res.ShipFraction, simShip, shipErr, tol.ShipFracAbsErrMax, res.Completed)
+			if relErr > tol.RTRelErrMax {
+				t.Errorf("mean RT diverges from the simulator: live %.4fs vs sim %.4fs (rel err %.3f > %.3f)",
+					res.MeanRT, simRT, relErr, tol.RTRelErrMax)
+			}
+			if shipErr > tol.ShipFracAbsErrMax {
+				t.Errorf("routing mix diverges from the simulator: live %.3f vs sim %.3f (abs err %.3f > %.3f)",
+					res.ShipFraction, simShip, shipErr, tol.ShipFracAbsErrMax)
+			}
+		})
+	}
+}

@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/routing"
+)
+
+// smokeConfig is a small, fast operating point: millisecond-scale service
+// times so emulated timers dominate scheduler jitter, light utilization so
+// the run drains quickly.
+func smokeConfig(sites int) hybrid.Config {
+	return hybrid.Config{
+		Sites:              sites,
+		LocalMIPS:          1,
+		CentralMIPS:        15,
+		CommDelay:          0.01,
+		ArrivalRatePerSite: 10,
+		PLocal:             0.75,
+		PWrite:             0.25,
+		CallsPerTxn:        6,
+		Lockspace:          16384,
+		InstrPerCall:       2000,
+		InstrOverhead:      10000,
+		IOTimePerCall:      0.002,
+		SetupIOTime:        0.003,
+		RestartDelay:       0.01,
+		Feedback:           hybrid.FeedbackAllMessages,
+		Seed:               1,
+		Warmup:             1,
+		Duration:           1,
+	}
+}
+
+// bootCluster starts 1 central + cfg.Sites sites on loopback and returns
+// the site addresses plus a teardown. Teardown order matters: sites first
+// (their uplinks die), central last.
+func bootCluster(t *testing.T, cfg hybrid.Config, strategy routing.Strategy) (addrs []string, teardown func()) {
+	t.Helper()
+	central, err := StartCentral(cfg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("StartCentral: %v", err)
+	}
+	var sites []*Site
+	teardown = func() {
+		for _, s := range sites {
+			s.Close()
+		}
+		central.Close()
+	}
+	for i := 0; i < cfg.Sites; i++ {
+		s, err := StartSite(cfg, i, central.Addr(), "127.0.0.1:0", strategy)
+		if err != nil {
+			teardown()
+			t.Fatalf("StartSite(%d): %v", i, err)
+		}
+		sites = append(sites, s)
+		addrs = append(addrs, s.Addr())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i, s := range sites {
+		if err := s.WaitReady(ctx); err != nil {
+			teardown()
+			t.Fatalf("site %d never reached central: %v", i, err)
+		}
+	}
+	return addrs, teardown
+}
+
+// TestClusterSmoke boots a 1 central + 2 site loopback cluster, drives a
+// short paced run, and asserts nonzero commits on both paths, zero request
+// errors, and a clean shutdown. This is the `make cluster-smoke` gate.
+func TestClusterSmoke(t *testing.T) {
+	cfg := smokeConfig(2)
+	cfg.Warmup = 0.3
+	cfg.Duration = 1.2
+	addrs, teardown := bootCluster(t, cfg, routing.QueueThreshold{Theta: 0})
+	defer teardown()
+
+	res, err := RunLoad(context.Background(), addrs, cfg, LoadOptions{
+		Warmup:   cfg.Warmup,
+		Duration: cfg.Duration,
+		Ramp:     0.2,
+		Threads:  2,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	t.Logf("smoke: %d completed (%d localA / %d shippedA / %d classB), meanRT %.1fms, %d errors",
+		res.Completed, res.LocalA, res.ShippedA, res.ClassB, res.MeanRT*1e3, res.Errors)
+	if res.Completed == 0 {
+		t.Fatal("no transactions completed")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d request errors on loopback", res.Errors)
+	}
+	if res.ClassB == 0 {
+		t.Error("no class B transaction completed the ship->central->reply path")
+	}
+	if res.MeanRT <= 0 {
+		t.Errorf("mean RT %.4f not positive", res.MeanRT)
+	}
+}
+
+// TestClusterShipAndLocalPaths pins the routing extremes: θ=+1 never ships
+// class A, θ=-1 always ships (utilization estimates live in [0,1)).
+func TestClusterShipAndLocalPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, tc := range []struct {
+		name  string
+		theta float64
+		check func(t *testing.T, res *LoadResult)
+	}{
+		{"all-local", 1.0, func(t *testing.T, res *LoadResult) {
+			if res.ShippedA != 0 {
+				t.Errorf("θ=+1 shipped %d class A transactions", res.ShippedA)
+			}
+			if res.LocalA == 0 {
+				t.Error("θ=+1 completed no local class A transactions")
+			}
+		}},
+		{"all-ship", -1.0, func(t *testing.T, res *LoadResult) {
+			if res.LocalA != 0 {
+				t.Errorf("θ=-1 ran %d class A transactions locally", res.LocalA)
+			}
+			if res.ShippedA == 0 {
+				t.Error("θ=-1 completed no shipped class A transactions")
+			}
+		}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smokeConfig(2)
+			addrs, teardown := bootCluster(t, cfg, routing.QueueThreshold{Theta: tc.theta})
+			defer teardown()
+			res, err := RunLoad(context.Background(), addrs, cfg, LoadOptions{
+				Warmup: 0.2, Duration: 1.0, Threads: 2,
+			})
+			if err != nil {
+				t.Fatalf("RunLoad: %v", err)
+			}
+			if res.Completed == 0 || res.Errors != 0 {
+				t.Fatalf("completed %d, errors %d", res.Completed, res.Errors)
+			}
+			tc.check(t, res)
+		})
+	}
+}
+
+// TestClusterCancelledLoadReturnsPartial exercises the load generator's
+// context path: cancelling mid-run returns what was measured.
+func TestClusterCancelledLoadReturnsPartial(t *testing.T) {
+	cfg := smokeConfig(1)
+	addrs, teardown := bootCluster(t, cfg, routing.AlwaysLocal{})
+	defer teardown()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(600 * time.Millisecond)
+		cancel()
+	}()
+	res, err := RunLoad(ctx, addrs, cfg, LoadOptions{
+		Warmup: 0.1, Duration: 30, Threads: 1, // would run half a minute uncancelled
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run returned no partial result")
+	}
+	if res.Elapsed > 10 {
+		t.Fatalf("cancel took %.1fs to take effect", res.Elapsed)
+	}
+}
+
+// TestClusterConfigValidation pins the live engine's config gate.
+func TestClusterConfigValidation(t *testing.T) {
+	bad := smokeConfig(2)
+	bad.Feedback = hybrid.FeedbackIdeal
+	if _, err := StartCentral(bad, "127.0.0.1:0"); err == nil {
+		t.Error("ideal feedback accepted by StartCentral")
+	}
+	bad = smokeConfig(2)
+	bad.UpdateBatchWindow = 0.05
+	if _, err := StartCentral(bad, "127.0.0.1:0"); err == nil {
+		t.Error("update batching accepted by StartCentral")
+	}
+	cfg := smokeConfig(2)
+	if _, err := StartSite(cfg, 5, "127.0.0.1:1", "127.0.0.1:0", nil); err == nil {
+		t.Error("out-of-range site index accepted")
+	}
+}
+
+// TestLoadOptionsValidation pins the load generator's option gate.
+func TestLoadOptionsValidation(t *testing.T) {
+	cfg := smokeConfig(1)
+	ctx := context.Background()
+	if _, err := RunLoad(ctx, nil, cfg, LoadOptions{Duration: 1}); err == nil {
+		t.Error("no addresses accepted")
+	}
+	if _, err := RunLoad(ctx, []string{"x"}, cfg, LoadOptions{}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := RunLoad(ctx, []string{"x"}, cfg, LoadOptions{Duration: 1, Pacing: "bursty"}); err == nil {
+		t.Error("unknown pacing accepted")
+	}
+	if _, err := RunLoad(ctx, []string{"a", "b"}, cfg, LoadOptions{Duration: 1}); err == nil {
+		t.Error("address/site count mismatch accepted")
+	}
+}

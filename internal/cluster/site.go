@@ -1,0 +1,511 @@
+package cluster
+
+// The live local site: accepts transaction submissions from load
+// generators, classifies and routes them (ship vs. local) with a real
+// internal/routing strategy over the site's stale view of central, runs the
+// local execution path, answers the central commit protocol's
+// authentication requests, and propagates committed updates. The wall-clock
+// twin of the simulator's localPath plus the site-side handlers of
+// commitProtocol and propagator; every handler runs on the node's
+// exec.Loop.
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"hybriddb/internal/cpu"
+	"hybriddb/internal/exec"
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/lock"
+	"hybriddb/internal/netx"
+	"hybriddb/internal/routing"
+	"hybriddb/internal/workload"
+)
+
+// stxn is the site-side runtime state of one locally executing
+// transaction.
+type stxn struct {
+	spec    *workload.Txn
+	attempt int
+	marked  bool // seized by a central commit (§2)
+}
+
+// pendingSubmit routes a transaction's eventual result back to the load
+// generator connection that submitted it.
+type pendingSubmit struct {
+	conn      *netx.Conn
+	reqID     uint64
+	arrivedAt float64
+	shipped   bool
+}
+
+// SiteStats is a loop-consistent snapshot of a site's counters.
+type SiteStats struct {
+	Generated     uint64
+	CompletedLocal uint64
+	RepliesDelivered uint64
+	ShippedA      uint64
+	ShippedB      uint64
+	LocalA        uint64
+	AbortsSeized  uint64
+	AbortsDeadlock uint64
+	ShipSendErrors uint64
+	InSystem      int
+}
+
+// Site is one live local site.
+type Site struct {
+	cfg hybrid.Config
+	wl  workload.Config
+	idx int
+
+	strategy routing.Strategy
+
+	loop  *exec.Loop
+	cpu   *cpu.Server
+	disks []*cpu.Server
+	locks *lock.Manager
+
+	inSystem   int
+	shippedOut int
+	running    map[lock.ID]*stxn
+	pending    map[int64]pendingSubmit
+
+	view   netx.Snapshot
+	viewAt float64
+
+	lastLocalRT   float64
+	lastShippedRT float64
+
+	stats SiteStats
+
+	up *netx.Client // uplink to central
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	connMu sync.Mutex
+	conns  map[*netx.Conn]struct{}
+	closed bool
+}
+
+// StartSite boots site idx: it listens for load generators on addr and
+// maintains a reconnecting uplink to the central node. The strategy routes
+// this site's class A arrivals; stateful strategies should be forked per
+// site (routing.SiteLocal) by the caller, as the simulator does.
+func StartSite(cfg hybrid.Config, idx int, centralAddr, addr string, strategy routing.Strategy) (*Site, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	if idx < 0 || idx >= cfg.Sites {
+		return nil, fmt.Errorf("cluster: site index %d out of range [0,%d)", idx, cfg.Sites)
+	}
+	if strategy == nil {
+		strategy = routing.AlwaysLocal{}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	loop := exec.NewLoop()
+	s := &Site{
+		cfg:      cfg,
+		wl:       cfg.WorkloadConfig(),
+		idx:      idx,
+		strategy: strategy,
+		loop:     loop,
+		cpu:      cpu.NewServer(loop, cfg.LocalMIPS),
+		disks:    newDisks(loop, cfg.DisksPerSite),
+		locks:    lock.NewManager(),
+		running:  make(map[lock.ID]*stxn),
+		pending:  make(map[int64]pendingSubmit),
+		ln:       ln,
+		conns:    make(map[*netx.Conn]struct{}),
+	}
+	hello := netx.AppendHello(nil, netx.Hello{Site: uint32(idx)})
+	s.up = netx.DialLoop(centralAddr, s.dispatchCentral, func(c *netx.Conn) error {
+		return c.Send(netx.MsgHello, 0, hello)
+	}, netx.Options{})
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the load-generator listener's address.
+func (s *Site) Addr() string { return s.ln.Addr().String() }
+
+// WaitReady blocks until the uplink to central is established.
+func (s *Site) WaitReady(ctx context.Context) error { return s.up.WaitConnected(ctx) }
+
+func (s *Site) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		conn := netx.NewConn(nc, netx.Options{})
+		s.connMu.Lock()
+		if s.closed {
+			s.connMu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			conn.Serve(s.dispatchLoad)
+			conn.Close()
+			s.connMu.Lock()
+			delete(s.conns, conn)
+			s.connMu.Unlock()
+		}()
+	}
+}
+
+// dispatchLoad handles frames from load-generator connections: submissions
+// enter the site immediately (the load generator stands in for the site's
+// local terminals — no star-network delay on this hop, matching the
+// simulator's arrival process).
+func (s *Site) dispatchLoad(conn *netx.Conn, f netx.Frame) {
+	if f.Type != netx.MsgSubmit {
+		log.Printf("site %d: unexpected %s from load", s.idx, netx.MsgName(f.Type))
+		return
+	}
+	spec, err := netx.DecodeTxn(f.Payload)
+	if err != nil {
+		log.Printf("site %d: bad submit: %v", s.idx, err)
+		conn.Close()
+		return
+	}
+	reqID := f.ReqID
+	s.loop.Post(func() { s.admit(conn, reqID, spec) })
+}
+
+// dispatchCentral handles frames arriving on the uplink, applying the
+// emulated link delay at this receiver.
+func (s *Site) dispatchCentral(conn *netx.Conn, f netx.Frame) {
+	delay := s.cfg.CommDelay
+	switch f.Type {
+	case netx.MsgAuthReq:
+		a, err := netx.DecodeAuthReq(f.Payload)
+		if err != nil {
+			log.Printf("site %d: bad auth-req: %v", s.idx, err)
+			conn.Close()
+			return
+		}
+		deliver(s.loop, delay, func() { s.onAuthReq(a) })
+	case netx.MsgRelease:
+		r, err := netx.DecodeRelease(f.Payload)
+		if err != nil {
+			log.Printf("site %d: bad release: %v", s.idx, err)
+			conn.Close()
+			return
+		}
+		deliver(s.loop, delay, func() { s.onRelease(r) })
+	case netx.MsgUpdateAck:
+		u, err := netx.DecodeUpdateAck(f.Payload)
+		if err != nil {
+			log.Printf("site %d: bad update-ack: %v", s.idx, err)
+			conn.Close()
+			return
+		}
+		deliver(s.loop, delay, func() { s.onUpdateAck(u) })
+	case netx.MsgReply:
+		r, err := netx.DecodeReply(f.Payload)
+		if err != nil {
+			log.Printf("site %d: bad reply: %v", s.idx, err)
+			conn.Close()
+			return
+		}
+		deliver(s.loop, delay, func() { s.onReply(r) })
+	default:
+		log.Printf("site %d: unexpected %s from central", s.idx, netx.MsgName(f.Type))
+	}
+}
+
+// refreshView installs a snapshot received one link delay ago, like the
+// simulator's localSite.refreshView (newest wins; arrival order on the
+// single uplink is already monotone).
+func (s *Site) refreshView(snap netx.Snapshot) {
+	at := snapshotAge(s.loop.Now(), s.cfg.CommDelay)
+	if at >= s.viewAt {
+		s.view = snap
+		s.viewAt = at
+	}
+}
+
+// routingState assembles the strategy's view, the live twin of
+// Engine.routingState (always stale feedback: validate rejects
+// FeedbackIdeal).
+func (s *Site) routingState() routing.State {
+	now := s.loop.Now()
+	return routing.State{
+		Now:             now,
+		Site:            s.idx,
+		LocalQueue:      s.cpu.QueueLength(),
+		LocalInSystem:   s.inSystem,
+		LocalLocks:      s.locks.LocksHeld(),
+		CentralQueue:    int(s.view.Queue),
+		CentralInSystem: int(s.view.InSystem),
+		CentralLocks:    int(s.view.Locks),
+		ViewAge:         now - s.viewAt,
+		LastLocalRT:     s.lastLocalRT,
+		LastShippedRT:   s.lastShippedRT,
+	}
+}
+
+// ---- Admission and routing (twin of Engine.admit).
+
+func (s *Site) admit(conn *netx.Conn, reqID uint64, spec *workload.Txn) {
+	s.stats.Generated++
+	p := pendingSubmit{conn: conn, reqID: reqID, arrivedAt: s.loop.Now()}
+	if spec.Class == workload.ClassB {
+		p.shipped = true
+		s.stats.ShippedB++
+		s.pending[spec.ID] = p
+		s.ship(spec)
+		return
+	}
+	if s.strategy.Decide(s.routingState()) == routing.Ship {
+		p.shipped = true
+		s.stats.ShippedA++
+		s.shippedOut++
+		s.pending[spec.ID] = p
+		s.ship(spec)
+		return
+	}
+	s.stats.LocalA++
+	s.pending[spec.ID] = p
+	s.startLocal(spec)
+}
+
+// ship forwards a transaction's input up to central. A send failure (link
+// down) is counted; the load generator's per-request timeout surfaces the
+// loss.
+func (s *Site) ship(spec *workload.Txn) {
+	if err := s.up.Send(netx.MsgShip, 0, netx.AppendTxn(nil, spec)); err != nil {
+		s.stats.ShipSendErrors++
+	}
+}
+
+// ---- Local execution path (twin of localPath).
+
+func (s *Site) startLocal(spec *workload.Txn) {
+	t := &stxn{spec: spec, attempt: 1}
+	s.inSystem++
+	s.running[lock.ID(spec.ID)] = t
+	s.cpu.Submit(s.cfg.InstrOverhead, func() {
+		ioDelay(s.loop, s.disks, uint32(spec.ID), s.cfg.SetupIOTime, func() {
+			s.call(t, 0)
+		})
+	})
+}
+
+func (s *Site) call(t *stxn, i int) {
+	if i >= s.cfg.CallsPerTxn {
+		s.commitLocal(t)
+		return
+	}
+	s.cpu.Submit(s.cfg.InstrPerCall, func() {
+		id := lock.ID(t.spec.ID)
+		elem, mode := t.spec.Elements[i], t.spec.Modes[i]
+		if _, held := s.locks.Holds(id, elem); held {
+			s.afterLock(t, i)
+			return
+		}
+		switch s.locks.Acquire(id, elem, mode, func() { s.afterLock(t, i) }) {
+		case lock.Granted:
+			s.afterLock(t, i)
+		case lock.Queued:
+			// The grant callback continues the transaction.
+		case lock.Deadlock:
+			s.deadlockAbort(t)
+		}
+	})
+}
+
+func (s *Site) afterLock(t *stxn, i int) {
+	if t.attempt == 1 {
+		ioDelay(s.loop, s.disks, t.spec.Elements[i], s.cfg.IOTimePerCall, func() { s.call(t, i+1) })
+		return
+	}
+	s.call(t, i+1)
+}
+
+// commitLocal is the §2 local commit point: abort if seized, otherwise
+// release locks, raise coherence counts, propagate the updates
+// asynchronously, and answer the load generator without waiting for the
+// central acknowledgement.
+func (s *Site) commitLocal(t *stxn) {
+	if t.marked {
+		s.stats.AbortsSeized++
+		s.restart(t)
+		return
+	}
+	id := lock.ID(t.spec.ID)
+	updates := t.spec.Updates()
+	for _, elem := range t.spec.Elements {
+		s.locks.Release(id, elem)
+	}
+	for _, elem := range updates {
+		s.locks.IncrCoherence(elem)
+	}
+	if len(updates) > 0 {
+		if err := s.up.Send(netx.MsgUpdate, 0, netx.AppendUpdate(nil, netx.Update{
+			Site: uint32(s.idx), Elements: updates,
+		})); err != nil {
+			// The coherence counts stay up until an ack arrives; a lost
+			// update pins them, exactly as a real partition would.
+			log.Printf("site %d: update send failed: %v", s.idx, err)
+		}
+	}
+	s.inSystem--
+	delete(s.running, id)
+	s.stats.CompletedLocal++
+	p, ok := s.pending[t.spec.ID]
+	if ok {
+		delete(s.pending, t.spec.ID)
+		s.lastLocalRT = s.loop.Now() - p.arrivedAt
+		s.respond(p, netx.Result{Txn: t.spec.ID, Shipped: false, ClassB: false})
+	}
+}
+
+func (s *Site) restart(t *stxn) {
+	t.marked = false
+	t.attempt++
+	s.loop.Schedule(s.cfg.RestartDelay, func() { s.call(t, 0) })
+}
+
+func (s *Site) deadlockAbort(t *stxn) {
+	s.stats.AbortsDeadlock++
+	s.locks.ReleaseAll(lock.ID(t.spec.ID))
+	t.marked = false
+	t.attempt++
+	s.loop.Schedule(s.cfg.RestartDelay, func() { s.call(t, 0) })
+}
+
+// ---- Central-protocol handlers (site side of commitProtocol/propagator).
+
+// onAuthReq authenticates a committing central transaction's elements:
+// NACK if any has in-flight updates, otherwise seize the locks (marking
+// conflicting local holders for abort) and ACK. Authentication messages
+// always refresh the view (§4.2).
+func (s *Site) onAuthReq(a netx.AuthReq) {
+	s.refreshView(a.Snap)
+	nack := false
+	for _, elem := range a.Elements {
+		if s.locks.Coherence(elem) != 0 {
+			nack = true
+			break
+		}
+	}
+	if !nack {
+		id := lock.ID(a.Txn)
+		for j, elem := range a.Elements {
+			victims, ok := s.locks.Seize(id, elem, a.Modes[j])
+			if !ok {
+				// Unreachable while handlers are loop-serialized: the
+				// coherence check above cannot be invalidated mid-handler.
+				log.Printf("site %d: seize failed after coherence check (txn %d elem %d)", s.idx, a.Txn, elem)
+				nack = true
+				break
+			}
+			for _, v := range victims {
+				if vt, ok := s.running[v]; ok {
+					vt.marked = true
+				}
+			}
+		}
+	}
+	if err := s.up.Send(netx.MsgAuthReply, 0, netx.AppendAuthReply(nil, netx.AuthReply{
+		Txn: a.Txn, Site: uint32(s.idx), NACK: nack,
+	})); err != nil {
+		log.Printf("site %d: auth-reply send failed: %v", s.idx, err)
+	}
+}
+
+func (s *Site) onRelease(r netx.Release) {
+	if s.cfg.Feedback == hybrid.FeedbackAllMessages {
+		s.refreshView(r.Snap)
+	}
+	s.locks.ReleaseAll(lock.ID(r.Txn))
+}
+
+func (s *Site) onUpdateAck(u netx.UpdateAck) {
+	if s.cfg.Feedback == hybrid.FeedbackAllMessages {
+		s.refreshView(u.Snap)
+	}
+	for _, elem := range u.Elements {
+		s.locks.DecrCoherence(elem)
+	}
+}
+
+// onReply delivers a shipped transaction's completion back to the load
+// generator that submitted it.
+func (s *Site) onReply(r netx.Reply) {
+	if s.cfg.Feedback == hybrid.FeedbackAllMessages {
+		s.refreshView(r.Snap)
+	}
+	p, ok := s.pending[r.Txn]
+	if !ok {
+		log.Printf("site %d: stray reply for txn %d", s.idx, r.Txn)
+		return
+	}
+	delete(s.pending, r.Txn)
+	rt := s.loop.Now() - p.arrivedAt
+	if !r.ClassB {
+		s.shippedOut--
+		s.lastShippedRT = rt
+	}
+	s.stats.RepliesDelivered++
+	s.respond(p, netx.Result{Txn: r.Txn, Shipped: true, ClassB: r.ClassB})
+}
+
+func (s *Site) respond(p pendingSubmit, res netx.Result) {
+	if err := p.conn.Send(netx.MsgResult, p.reqID, netx.AppendResult(nil, res)); err != nil {
+		log.Printf("site %d: result send failed: %v", s.idx, err)
+	}
+}
+
+// Stats returns a loop-consistent snapshot of the counters (zero after
+// Close).
+func (s *Site) Stats() SiteStats {
+	ch := make(chan SiteStats, 1)
+	if !s.loop.Post(func() {
+		st := s.stats
+		st.InSystem = s.inSystem
+		ch <- st
+	}) {
+		return SiteStats{}
+	}
+	return <-ch
+}
+
+// Close shuts the site down: uplink, listener, load connections, loop.
+func (s *Site) Close() error {
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*netx.Conn, 0, len(s.conns))
+	for conn := range s.conns {
+		conns = append(conns, conn)
+	}
+	s.connMu.Unlock()
+
+	s.up.Close()
+	err := s.ln.Close()
+	for _, conn := range conns {
+		conn.Close()
+	}
+	s.wg.Wait()
+	s.loop.Stop()
+	return err
+}

@@ -147,3 +147,115 @@ func TestQuickFIFO(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSendInsideDelivery exercises the reentrant pattern every protocol leg
+// uses: a delivery callback sending the next message on another link. The
+// reply must arrive exactly one delay after the request's delivery.
+func TestSendInsideDelivery(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s, 1, 0.2)
+	var replyAt float64 = -1
+	s.Schedule(1, func() {
+		n.ToCentral(0, func() {
+			// At the central site, 1.2: answer immediately.
+			n.ToSite(0, func() { replyAt = s.Now() })
+		})
+	})
+	s.Run()
+	if replyAt != 1.4 {
+		t.Fatalf("round trip delivered at %v, want 1.4 (two one-way delays after send)", replyAt)
+	}
+}
+
+// TestPerLinkFIFOIndependence checks that FIFO holds per link, not
+// globally: a later send on a faster link overtakes an earlier send on a
+// slower one, while each link's own order is preserved.
+func TestPerLinkFIFOIndependence(t *testing.T) {
+	s := sim.New()
+	slow := NewLink(s, 1.0)
+	fast := NewLink(s, 0.1)
+	var order []string
+	slow.Send(func() { order = append(order, "slow1") })
+	slow.Send(func() { order = append(order, "slow2") })
+	fast.Send(func() { order = append(order, "fast1") })
+	fast.Send(func() { order = append(order, "fast2") })
+	s.Run()
+	want := []string{"fast1", "fast2", "slow1", "slow2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (per-link FIFO, cross-link overtaking)", order, want)
+		}
+	}
+}
+
+// TestSameInstantDeliveriesKeepScheduleOrder pins the tie-break the package
+// comment relies on: messages sent at the same instant on different links
+// with equal delay are delivered in scheduling (send) order.
+func TestSameInstantDeliveriesKeepScheduleOrder(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s, 3, 0.5)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		n.ToCentral(i, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant deliveries reordered: %v", order)
+		}
+	}
+}
+
+// TestNetworkInFlightDuringExchange tracks the in-flight gauge through a
+// request/reply exchange, the quantity the engine samples for its
+// message-level observability.
+func TestNetworkInFlightDuringExchange(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s, 2, 0.3)
+	n.ToCentral(0, func() {
+		if got := n.MessagesInFlight(); got != 0 {
+			t.Errorf("in flight at delivery = %d, want 0", got)
+		}
+		n.ToSite(0, func() {})
+		n.ToSite(1, func() {})
+		if got := n.MessagesInFlight(); got != 2 {
+			t.Errorf("in flight after fan-out = %d, want 2", got)
+		}
+	})
+	if got := n.MessagesInFlight(); got != 1 {
+		t.Fatalf("in flight before run = %d, want 1", got)
+	}
+	s.Run()
+	if n.MessagesSent() != 3 || n.MessagesInFlight() != 0 {
+		t.Fatalf("after run: sent=%d inflight=%d, want 3/0", n.MessagesSent(), n.MessagesInFlight())
+	}
+}
+
+// TestZeroDelaySendInsideDeliveryRunsSameInstant checks a zero-delay link
+// delivers a message sent from inside a delivery at the same simulated
+// instant, after the events already scheduled for that instant (the
+// kernel's same-time tie-break is scheduling order).
+func TestZeroDelaySendInsideDeliveryRunsSameInstant(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, 0)
+	var order []string
+	s.Schedule(1, func() {
+		l.Send(func() {
+			order = append(order, "chained")
+			if s.Now() != 1 {
+				t.Errorf("chained delivery at %v, want 1", s.Now())
+			}
+		})
+		order = append(order, "sender")
+	})
+	s.Schedule(1, func() { order = append(order, "peer") })
+	s.Run()
+	want := []string{"sender", "peer", "chained"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}

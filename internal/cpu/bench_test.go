@@ -3,6 +3,7 @@ package cpu
 import (
 	"testing"
 
+	"hybriddb/internal/exec"
 	"hybriddb/internal/sim"
 )
 
@@ -12,7 +13,7 @@ import (
 // finish closure this cycle performs no allocations in steady state.
 func BenchmarkSubmitFinish(b *testing.B) {
 	s := sim.New()
-	c := NewServer(s, 10)
+	c := NewServer(exec.Sim(s), 10)
 	nop := func() {}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -26,7 +27,7 @@ func BenchmarkSubmitFinish(b *testing.B) {
 // contended half of the dispatch path.
 func BenchmarkSubmitQueued(b *testing.B) {
 	s := sim.New()
-	c := NewServer(s, 10)
+	c := NewServer(exec.Sim(s), 10)
 	nop := func() {}
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -11,7 +11,7 @@ package cpu
 import (
 	"fmt"
 
-	"hybriddb/internal/sim"
+	"hybriddb/internal/exec"
 )
 
 // Job is a queued or running CPU burst. Job objects are owned and pooled by
@@ -33,10 +33,14 @@ const (
 	jobCancelled
 )
 
-// Server is a single FCFS processor.
+// Server is a single FCFS processor. It runs on any exec.Scheduler — the
+// discrete-event simulator in a simulation, the wall-clock loop in the live
+// networked engine (where a burst's deterministic service time is emulated
+// by a real timer) — which is what lets both engines share one queueing
+// substrate.
 type Server struct {
-	simulator *sim.Simulator
-	mips      float64
+	disp exec.Dispatch
+	mips float64
 
 	queue   []*Job
 	current *Job
@@ -55,15 +59,15 @@ type Server struct {
 }
 
 // NewServer returns a processor of the given speed (millions of instructions
-// per second) attached to the simulator clock.
-func NewServer(s *sim.Simulator, mips float64) *Server {
+// per second) attached to the scheduler's clock.
+func NewServer(s exec.Scheduler, mips float64) *Server {
 	if mips <= 0 {
 		panic(fmt.Sprintf("cpu: non-positive MIPS %v", mips))
 	}
 	if s == nil {
-		panic("cpu: nil simulator")
+		panic("cpu: nil scheduler")
 	}
-	c := &Server{simulator: s, mips: mips}
+	c := &Server{disp: exec.NewDispatch(s), mips: mips}
 	c.onFinish = c.finish
 	return c
 }
@@ -71,18 +75,18 @@ func NewServer(s *sim.Simulator, mips float64) *Server {
 // MIPS returns the processor speed.
 func (c *Server) MIPS() float64 { return c.mips }
 
-// Rebind moves the server onto a different simulator clock. Only an idle
+// Rebind moves the server onto a different scheduler clock. Only an idle
 // server can move: a burst in service has a completion event scheduled on
 // the old clock that cannot follow. The sharded engine uses this at run
 // start, before any work exists, to assign each site's servers to its shard.
-func (c *Server) Rebind(s *sim.Simulator) {
+func (c *Server) Rebind(s exec.Scheduler) {
 	if s == nil {
-		panic("cpu: nil simulator")
+		panic("cpu: nil scheduler")
 	}
 	if c.current != nil || len(c.queue) > 0 {
 		panic("cpu: rebind of a busy server")
 	}
-	c.simulator = s
+	c.disp = exec.NewDispatch(s)
 }
 
 // ServiceTime returns the time to execute the given number of instructions
@@ -151,11 +155,11 @@ func (c *Server) dispatch() {
 		}
 		j.state = jobRunning
 		c.current = j
-		c.busySince = c.simulator.Now()
+		c.busySince = c.disp.Now()
 		c.started++
 		// onFinish is one shared closure over the server; the running job is
 		// identified by c.current, which is stable until it fires.
-		c.simulator.Schedule(c.ServiceTime(j.instructions), c.onFinish)
+		c.disp.Schedule(c.ServiceTime(j.instructions), c.onFinish)
 		return
 	}
 }
@@ -163,7 +167,7 @@ func (c *Server) dispatch() {
 func (c *Server) finish() {
 	j := c.current
 	j.state = jobDone
-	c.busyTime += c.simulator.Now() - c.busySince
+	c.busyTime += c.disp.Now() - c.busySince
 	c.completed++
 	c.current = nil
 	done := j.done
@@ -194,14 +198,14 @@ func (c *Server) Busy() bool { return c.current != nil }
 func (c *Server) BusyTime() float64 {
 	t := c.busyTime
 	if c.current != nil {
-		t += c.simulator.Now() - c.busySince
+		t += c.disp.Now() - c.busySince
 	}
 	return t
 }
 
 // Utilization returns BusyTime divided by elapsed simulated time (0 at t=0).
 func (c *Server) Utilization() float64 {
-	now := c.simulator.Now()
+	now := c.disp.Now()
 	if now == 0 {
 		return 0
 	}

@@ -4,12 +4,13 @@ import (
 	"math"
 	"testing"
 
+	"hybriddb/internal/exec"
 	"hybriddb/internal/sim"
 )
 
 func TestServiceTime(t *testing.T) {
 	s := sim.New()
-	c := NewServer(s, 15) // 15 MIPS
+	c := NewServer(exec.Sim(s), 15) // 15 MIPS
 	got := c.ServiceTime(300_000)
 	want := 0.02 // 300K instructions at 15M instr/s
 	if math.Abs(got-want) > 1e-12 {
@@ -19,7 +20,7 @@ func TestServiceTime(t *testing.T) {
 
 func TestSingleBurstCompletes(t *testing.T) {
 	s := sim.New()
-	c := NewServer(s, 1)
+	c := NewServer(exec.Sim(s), 1)
 	var doneAt float64 = -1
 	c.Submit(1e6, func() { doneAt = s.Now() })
 	s.Run()
@@ -33,7 +34,7 @@ func TestSingleBurstCompletes(t *testing.T) {
 
 func TestFCFSOrderAndTiming(t *testing.T) {
 	s := sim.New()
-	c := NewServer(s, 1)
+	c := NewServer(exec.Sim(s), 1)
 	var finish []float64
 	for i := 0; i < 3; i++ {
 		c.Submit(1e6, func() { finish = append(finish, s.Now()) })
@@ -52,7 +53,7 @@ func TestFCFSOrderAndTiming(t *testing.T) {
 
 func TestQueueLength(t *testing.T) {
 	s := sim.New()
-	c := NewServer(s, 1)
+	c := NewServer(exec.Sim(s), 1)
 	if c.QueueLength() != 0 {
 		t.Fatal("idle queue not 0")
 	}
@@ -70,7 +71,7 @@ func TestQueueLength(t *testing.T) {
 
 func TestQueueLengthInsideCallback(t *testing.T) {
 	s := sim.New()
-	c := NewServer(s, 1)
+	c := NewServer(exec.Sim(s), 1)
 	var observed []int
 	for i := 0; i < 3; i++ {
 		c.Submit(1e6, func() { observed = append(observed, c.QueueLength()) })
@@ -88,7 +89,7 @@ func TestQueueLengthInsideCallback(t *testing.T) {
 
 func TestZeroInstructionBurst(t *testing.T) {
 	s := sim.New()
-	c := NewServer(s, 1)
+	c := NewServer(exec.Sim(s), 1)
 	ran := false
 	c.Submit(0, func() { ran = true })
 	s.Run()
@@ -99,7 +100,7 @@ func TestZeroInstructionBurst(t *testing.T) {
 
 func TestCancelQueuedJob(t *testing.T) {
 	s := sim.New()
-	c := NewServer(s, 1)
+	c := NewServer(exec.Sim(s), 1)
 	c.Submit(1e6, func() {})
 	j := c.Submit(1e6, func() { t.Fatal("cancelled job ran") })
 	if !c.Cancel(j) {
@@ -116,7 +117,7 @@ func TestCancelQueuedJob(t *testing.T) {
 
 func TestCancelRunningJobFails(t *testing.T) {
 	s := sim.New()
-	c := NewServer(s, 1)
+	c := NewServer(exec.Sim(s), 1)
 	j := c.Submit(1e6, func() {})
 	if c.Cancel(j) {
 		t.Fatal("cancelled a running job")
@@ -126,7 +127,7 @@ func TestCancelRunningJobFails(t *testing.T) {
 
 func TestUtilizationAccounting(t *testing.T) {
 	s := sim.New()
-	c := NewServer(s, 1)
+	c := NewServer(exec.Sim(s), 1)
 	c.Submit(1e6, func() {}) // busy [0,1]
 	s.Run()
 	s.RunUntil(4) // idle [1,4]
@@ -140,7 +141,7 @@ func TestUtilizationAccounting(t *testing.T) {
 
 func TestBusyTimeIncludesPartialBurst(t *testing.T) {
 	s := sim.New()
-	c := NewServer(s, 1)
+	c := NewServer(exec.Sim(s), 1)
 	c.Submit(10e6, func() {}) // 10 s burst
 	s.Schedule(4, func() {
 		if got := c.BusyTime(); math.Abs(got-4) > 1e-9 {
@@ -155,7 +156,7 @@ func TestBusyTimeIncludesPartialBurst(t *testing.T) {
 
 func TestSubmitFromCallbackChains(t *testing.T) {
 	s := sim.New()
-	c := NewServer(s, 2)
+	c := NewServer(exec.Sim(s), 2)
 	var doneAt float64
 	c.Submit(1e6, func() {
 		c.Submit(1e6, func() { doneAt = s.Now() })
@@ -168,7 +169,7 @@ func TestSubmitFromCallbackChains(t *testing.T) {
 
 func TestInvalidConstruction(t *testing.T) {
 	for _, f := range []func(){
-		func() { NewServer(sim.New(), 0) },
+		func() { NewServer(exec.Sim(sim.New()), 0) },
 		func() { NewServer(nil, 1) },
 	} {
 		func() {
@@ -188,7 +189,7 @@ func TestNegativeBurstPanics(t *testing.T) {
 			t.Fatal("negative burst did not panic")
 		}
 	}()
-	NewServer(sim.New(), 1).Submit(-1, func() {})
+	NewServer(exec.Sim(sim.New()), 1).Submit(-1, func() {})
 }
 
 func TestNilCallbackPanics(t *testing.T) {
@@ -197,5 +198,5 @@ func TestNilCallbackPanics(t *testing.T) {
 			t.Fatal("nil callback did not panic")
 		}
 	}()
-	NewServer(sim.New(), 1).Submit(1, nil)
+	NewServer(exec.Sim(sim.New()), 1).Submit(1, nil)
 }

@@ -39,7 +39,7 @@ func (p centralPath) start(t *txnRun) {
 	e.central.inSystem++
 	e.central.running[t.id()] = t
 	e.central.cpu.Submit(e.cfg.InstrOverhead, func() {
-		scheduleIO(e.central.sim, e.central.disks, uint32(t.spec.ID), e.cfg.SetupIOTime, func() {
+		scheduleIO(e.central.sched, e.central.disks, uint32(t.spec.ID), e.cfg.SetupIOTime, func() {
 			t.phase = phaseExecuting
 			p.call(t, 0)
 		})
@@ -69,7 +69,7 @@ func (p centralPath) call(t *txnRun, i int) {
 			p.afterLock(t, i)
 		case lock.Queued:
 			t.phase = phaseLockWait
-			t.lockWaitFrom = e.central.sim.Now()
+			t.lockWaitFrom = e.central.sched.Now()
 			e.emit(trace.LockWaitBegin, t.spec.ID, -1, elem, "")
 		case lock.Deadlock:
 			e.emit(trace.DeadlockAbort, t.spec.ID, -1, elem, "")
@@ -81,7 +81,7 @@ func (p centralPath) call(t *txnRun, i int) {
 func (p centralPath) afterLock(t *txnRun, i int) {
 	e := p.e
 	if t.attempt == 1 {
-		scheduleIO(e.central.sim, e.central.disks, t.spec.Elements[i], e.cfg.IOTimePerCall, func() { p.call(t, i+1) })
+		scheduleIO(e.central.sched, e.central.disks, t.spec.Elements[i], e.cfg.IOTimePerCall, func() { p.call(t, i+1) })
 		return
 	}
 	p.call(t, i+1)
@@ -97,15 +97,15 @@ func (p centralPath) restart(t *txnRun) {
 	if e.Detailed() {
 		e.emit(trace.Rerun, t.spec.ID, -1, 0, fmt.Sprintf("attempt %d", t.attempt))
 	}
-	e.central.sim.Schedule(e.cfg.RestartDelay, func() { p.call(t, 0) })
+	e.central.sched.Schedule(e.cfg.RestartDelay, func() { p.call(t, 0) })
 }
 
 func (p centralPath) deadlockAbort(t *txnRun) {
 	e := p.e
-	e.observeAt(e.central.sim.Now(), obs.Event{Kind: obs.AbortDeadlockCentral, Site: -1})
+	e.observeAt(e.central.sched.Now(), obs.Event{Kind: obs.AbortDeadlockCentral, Site: -1})
 	e.central.locks.ReleaseAll(t.id())
 	t.marked = false
 	t.attempt++
 	t.phase = phaseExecuting
-	e.central.sim.Schedule(e.cfg.RestartDelay, func() { p.call(t, 0) })
+	e.central.sched.Schedule(e.cfg.RestartDelay, func() { p.call(t, 0) })
 }

@@ -24,7 +24,7 @@ type commitProtocol struct{ e *Engine }
 func (c commitProtocol) begin(t *txnRun) {
 	e := c.e
 	if t.marked {
-		e.observeAt(e.central.sim.Now(), obs.Event{Kind: obs.AbortCentralInval, Site: -1})
+		e.observeAt(e.central.sched.Now(), obs.Event{Kind: obs.AbortCentralInval, Site: -1})
 		e.emit(trace.CrossAbortCentral, t.spec.ID, -1, 0, "invalidated by async update")
 		e.remote.restart(t)
 		return
@@ -35,7 +35,7 @@ func (c commitProtocol) begin(t *txnRun) {
 	t.authPending = len(sites)
 	t.authNACK = false
 	t.authSeized = t.authSeized[:0]
-	e.observeAt(e.central.sim.Now(), obs.Event{Kind: obs.AuthRound, Site: -1})
+	e.observeAt(e.central.sched.Now(), obs.Event{Kind: obs.AuthRound, Site: -1})
 
 	// The request payload (IDs, elements, modes, snapshot) is captured by
 	// value: while the run waits in phaseAuthWait the central shard owns it,
@@ -132,9 +132,9 @@ func (c commitProtocol) reply(t *txnRun, site int, nack bool) {
 	}
 	if t.authNACK || t.marked {
 		if t.authNACK {
-			e.observeAt(e.central.sim.Now(), obs.Event{Kind: obs.AbortCentralNACK, Site: -1})
+			e.observeAt(e.central.sched.Now(), obs.Event{Kind: obs.AbortCentralNACK, Site: -1})
 		} else {
-			e.observeAt(e.central.sim.Now(), obs.Event{Kind: obs.AbortCentralInval, Site: -1})
+			e.observeAt(e.central.sched.Now(), obs.Event{Kind: obs.AbortCentralInval, Site: -1})
 		}
 		if e.Detailed() {
 			reason := "invalidated during authentication"
@@ -205,14 +205,14 @@ func (c commitProtocol) finish(t *txnRun) {
 		if e.cfg.Feedback == FeedbackAllMessages {
 			ls.refreshView(snap)
 		}
-		rt := ls.sim.Now() - t.arrivedAt
+		rt := ls.sched.Now() - t.arrivedAt
 		ls.completed++
 		classB := t.spec.Class != workload.ClassA
 		if !classB {
 			ls.shippedOut--
 			ls.lastShippedRT = rt
 		}
-		e.observeAt(ls.sim.Now(), obs.Event{Kind: obs.TxnReply, ClassB: classB, Value: rt, Site: home})
+		e.observeAt(ls.sched.Now(), obs.Event{Kind: obs.TxnReply, ClassB: classB, Value: rt, Site: home})
 		// The reply is the last touch: the seized-lock releases above were
 		// scheduled earlier at the same instant over equal-delay links, so
 		// FIFO tie-breaking guarantees they have already run.

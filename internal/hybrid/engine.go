@@ -5,6 +5,7 @@ import (
 
 	"hybriddb/internal/comm"
 	"hybriddb/internal/cpu"
+	"hybriddb/internal/exec"
 	"hybriddb/internal/hybrid/obs"
 	"hybriddb/internal/lock"
 	"hybriddb/internal/rng"
@@ -13,19 +14,6 @@ import (
 	"hybriddb/internal/trace"
 	"hybriddb/internal/workload"
 )
-
-// transport abstracts the star network between the sites and the central
-// complex. The sequential engine uses comm.Network (messages scheduled on
-// the single event queue); the sharded engine uses shardNet (messages
-// posted across shard boundaries through the Group synchronizer). Both
-// deliver site->central and central->site messages FIFO per link with the
-// same fixed delay, so the lifecycle layers are transport-agnostic.
-type transport interface {
-	ToCentral(site int, deliver func())
-	ToSite(site int, deliver func())
-	MessagesSent() uint64
-	MessagesInFlight() uint64
-}
 
 // Engine wires the substrates into the full hybrid system simulation. The
 // logic lives in four layers, each in its own file:
@@ -54,7 +42,7 @@ type Engine struct {
 	strategies []routing.Strategy
 
 	simulator *sim.Simulator // the sequential event queue (shard 0's in a sharded run)
-	network   transport
+	network   Transport
 	generator *workload.Generator
 	arrivals  []*workload.Arrivals
 	nhpp      []*workload.NHPPArrivals // non-nil when RateSchedules is set
@@ -106,9 +94,9 @@ func New(cfg Config, strategy routing.Strategy) (*Engine, error) {
 		generator: workload.NewGenerator(cfg.WorkloadConfig(), root.Split().Uint64()),
 		m:         newMetrics(cfg.SeriesBucket, cfg.Sites),
 		central: &centralSite{
-			sim:     s,
-			cpu:     cpu.NewServer(s, cfg.CentralMIPS),
-			disks:   newDisks(s, cfg.DisksCentral),
+			sched:   exec.NewDispatch(exec.Sim(s)),
+			cpu:     cpu.NewServer(exec.Sim(s), cfg.CentralMIPS),
+			disks:   newDisks(exec.Sim(s), cfg.DisksCentral),
 			locks:   lock.NewManager(),
 			running: make(map[lock.ID]*txnRun),
 		},
@@ -127,9 +115,9 @@ func New(cfg Config, strategy routing.Strategy) (*Engine, error) {
 	for i := 0; i < cfg.Sites; i++ {
 		e.sites = append(e.sites, &localSite{
 			idx:     i,
-			sim:     s,
-			cpu:     cpu.NewServer(s, cfg.LocalMIPS),
-			disks:   newDisks(s, cfg.DisksPerSite),
+			sched:   exec.NewDispatch(exec.Sim(s)),
+			cpu:     cpu.NewServer(exec.Sim(s), cfg.LocalMIPS),
+			disks:   newDisks(exec.Sim(s), cfg.DisksPerSite),
 			locks:   lock.NewManager(),
 			running: make(map[lock.ID]*txnRun),
 		})
@@ -270,14 +258,14 @@ func (e *Engine) scheduleArrival(site int) {
 	ls := e.sites[site]
 	var gap float64
 	if e.nhpp != nil {
-		gap = e.nhpp[site].Next(ls.sim.Now())
+		gap = e.nhpp[site].Next(ls.sched.Now())
 	} else {
 		gap = e.arrivals[site].Next()
 	}
-	if ls.sim.Now()+gap > e.horizon {
+	if ls.sched.Now()+gap > e.horizon {
 		return // no arrivals beyond the horizon
 	}
-	ls.sim.Schedule(gap, func() {
+	ls.sched.Schedule(gap, func() {
 		e.admit(e.generator.Next(site))
 		e.scheduleArrival(site)
 	})
@@ -289,10 +277,10 @@ func (e *Engine) scheduleReplay(site, idx int) {
 	}
 	ls := e.sites[site]
 	gap := e.replayGaps[site][idx]
-	if ls.sim.Now()+gap > e.horizon {
+	if ls.sched.Now()+gap > e.horizon {
 		return
 	}
-	ls.sim.Schedule(gap, func() {
+	ls.sched.Schedule(gap, func() {
 		e.admit(e.replayTxns[site][idx])
 		e.scheduleReplay(site, idx+1)
 	})
@@ -365,14 +353,14 @@ func (e *Engine) admit(spec *workload.Txn) {
 	}
 
 	if spec.Class == workload.ClassB {
-		e.observeAt(ls.sim.Now(), obs.Event{Kind: obs.TxnArrive, ClassB: true, Shipped: true, Site: site})
+		e.observeAt(ls.sched.Now(), obs.Event{Kind: obs.TxnArrive, ClassB: true, Shipped: true, Site: site})
 		e.emit(trace.RouteShip, spec.ID, site, 0, "class B")
 		e.remote.ship(t)
 		return
 	}
 	st := e.routingState(site)
 	shipped := e.strategies[site].Decide(st) == routing.Ship
-	e.observeAt(ls.sim.Now(), obs.Event{Kind: obs.TxnArrive, Shipped: shipped, Value: st.ViewAge, Site: site})
+	e.observeAt(ls.sched.Now(), obs.Event{Kind: obs.TxnArrive, Shipped: shipped, Value: st.ViewAge, Site: site})
 	if shipped {
 		e.emit(trace.RouteShip, spec.ID, site, 0, "")
 		e.remote.ship(t)

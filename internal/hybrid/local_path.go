@@ -24,7 +24,7 @@ func (p localPath) start(t *txnRun) {
 	ls.inSystem++
 	ls.running[t.id()] = t
 	ls.cpu.Submit(e.cfg.InstrOverhead, func() {
-		scheduleIO(ls.sim, ls.disks, uint32(t.spec.ID), e.cfg.SetupIOTime, func() {
+		scheduleIO(ls.sched, ls.disks, uint32(t.spec.ID), e.cfg.SetupIOTime, func() {
 			t.phase = phaseExecuting
 			p.call(t, 0)
 		})
@@ -58,7 +58,7 @@ func (p localPath) call(t *txnRun, i int) {
 			p.afterLock(t, i)
 		case lock.Queued:
 			t.phase = phaseLockWait
-			t.lockWaitFrom = ls.sim.Now()
+			t.lockWaitFrom = ls.sched.Now()
 			e.emit(trace.LockWaitBegin, t.spec.ID, ls.idx, elem, "")
 		case lock.Deadlock:
 			e.emit(trace.DeadlockAbort, t.spec.ID, ls.idx, elem, "")
@@ -73,7 +73,7 @@ func (p localPath) afterLock(t *txnRun, i int) {
 		// First run: fetch the data from disk. Re-runs find all data in
 		// memory (§3.1).
 		ls := e.sites[t.spec.HomeSite]
-		scheduleIO(ls.sim, ls.disks, t.spec.Elements[i], e.cfg.IOTimePerCall, func() { p.call(t, i+1) })
+		scheduleIO(ls.sched, ls.disks, t.spec.Elements[i], e.cfg.IOTimePerCall, func() { p.call(t, i+1) })
 		return
 	}
 	p.call(t, i+1)
@@ -87,7 +87,7 @@ func (p localPath) commit(t *txnRun) {
 	e := p.e
 	ls := e.sites[t.spec.HomeSite]
 	if t.marked {
-		e.observeAt(ls.sim.Now(), obs.Event{Kind: obs.AbortLocalSeized, Site: ls.idx})
+		e.observeAt(ls.sched.Now(), obs.Event{Kind: obs.AbortLocalSeized, Site: ls.idx})
 		e.emit(trace.CrossAbortLocal, t.spec.ID, t.spec.HomeSite, 0, "seized by central commit")
 		p.restart(t)
 		return
@@ -107,7 +107,7 @@ func (p localPath) commit(t *txnRun) {
 	}
 	e.emit(trace.CommitLocal, t.spec.ID, t.spec.HomeSite, 0, "")
 
-	now := ls.sim.Now()
+	now := ls.sched.Now()
 	rt := now - t.arrivedAt
 	t.phase = phaseDone
 	ls.lastLocalRT = rt
@@ -128,7 +128,7 @@ func (p localPath) restart(t *txnRun) {
 	if e.Detailed() {
 		e.emit(trace.Rerun, t.spec.ID, t.spec.HomeSite, 0, fmt.Sprintf("attempt %d", t.attempt))
 	}
-	e.sites[t.spec.HomeSite].sim.Schedule(e.cfg.RestartDelay, func() { p.call(t, 0) })
+	e.sites[t.spec.HomeSite].sched.Schedule(e.cfg.RestartDelay, func() { p.call(t, 0) })
 }
 
 // deadlockAbort handles a same-site deadlock: the requester aborts and
@@ -136,10 +136,10 @@ func (p localPath) restart(t *txnRun) {
 func (p localPath) deadlockAbort(t *txnRun) {
 	e := p.e
 	ls := e.sites[t.spec.HomeSite]
-	e.observeAt(ls.sim.Now(), obs.Event{Kind: obs.AbortDeadlockLocal, Site: ls.idx})
+	e.observeAt(ls.sched.Now(), obs.Event{Kind: obs.AbortDeadlockLocal, Site: ls.idx})
 	ls.locks.ReleaseAll(t.id())
 	t.marked = false
 	t.attempt++
 	t.phase = phaseExecuting
-	ls.sim.Schedule(e.cfg.RestartDelay, func() { p.call(t, 0) })
+	ls.sched.Schedule(e.cfg.RestartDelay, func() { p.call(t, 0) })
 }

@@ -35,6 +35,7 @@ package hybrid
 // differential gate would catch a violation.
 
 import (
+	"hybriddb/internal/exec"
 	"hybriddb/internal/hybrid/obs"
 	"hybriddb/internal/sim"
 )
@@ -73,10 +74,10 @@ func (e *Engine) setupRunMode() {
 	for i, ls := range e.sites {
 		sh := 1 + i%(nShards-1)
 		shardOf[i] = sh
-		ls.sim = sims[sh]
-		ls.cpu.Rebind(sims[sh])
+		ls.sched = exec.NewDispatch(exec.Sim(sims[sh]))
+		ls.cpu.Rebind(exec.Sim(sims[sh]))
 		for _, d := range ls.disks {
-			d.Rebind(sims[sh])
+			d.Rebind(exec.Sim(sims[sh]))
 		}
 	}
 	// Two edges per site (uplink, downlink); lookahead = the one-way delay.

@@ -37,7 +37,7 @@ func (p propagator) snapshotCentral() centralSnapshot {
 		queue:    e.central.cpu.QueueLength(),
 		inSystem: e.central.inSystem,
 		locks:    e.central.locks.LocksHeld(),
-		at:       e.central.sim.Now(),
+		at:       e.central.sched.Now(),
 	}
 }
 
@@ -57,7 +57,7 @@ func (p propagator) propagate(ls *localSite, updates []uint32) {
 		return
 	}
 	ls.flushPending = true
-	ls.sim.Schedule(e.cfg.UpdateBatchWindow, func() {
+	ls.sched.Schedule(e.cfg.UpdateBatchWindow, func() {
 		batch := ls.pendingUpdates
 		ls.pendingUpdates = nil
 		ls.flushPending = false

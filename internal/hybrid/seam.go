@@ -1,0 +1,35 @@
+package hybrid
+
+// The seams of the transaction core (DESIGN.md §13). The lifecycle layers —
+// classify/route (engine.go), local execution (local_path.go), central
+// execution (central_path.go), the commit protocol (commit.go), and update
+// propagation (propagate.go) — never touch an event queue directly: every
+// "read the clock", "do this later", and "send a message to the other tier"
+// goes through the three narrow interfaces below. The discrete-event
+// simulator is one implementation of the seams (exec.Sim over internal/sim
+// for time, comm.Network / shardNet for transport); the live networked
+// engine in internal/cluster is the second (exec.Loop for wall-clock time,
+// framed TCP through internal/netx for transport).
+
+import "hybriddb/internal/exec"
+
+// Clock reads the current time of the executor a handler runs on.
+type Clock = exec.Clock
+
+// Scheduler is the clock-plus-timer seam each partition (a local site or the
+// central complex) schedules its lifecycle continuations on.
+type Scheduler = exec.Scheduler
+
+// Transport abstracts the star network between the sites and the central
+// complex. The sequential engine uses comm.Network (messages scheduled on
+// the single event queue); the sharded engine uses shardNet (messages posted
+// across shard boundaries through the Group synchronizer); the live engine
+// sends frames over TCP. All deliver site->central and central->site
+// messages FIFO per link with the same fixed delay, so the lifecycle layers
+// are transport-agnostic.
+type Transport interface {
+	ToCentral(site int, deliver func())
+	ToSite(site int, deliver func())
+	MessagesSent() uint64
+	MessagesInFlight() uint64
+}

@@ -6,9 +6,9 @@ package hybrid
 
 import (
 	"hybriddb/internal/cpu"
+	"hybriddb/internal/exec"
 	"hybriddb/internal/lock"
 	"hybriddb/internal/routing"
-	"hybriddb/internal/sim"
 )
 
 // localSite is one distributed system. In a sharded run every field below
@@ -17,7 +17,7 @@ import (
 // sequential engine uses the same ownership discipline with a single shard.
 type localSite struct {
 	idx   int
-	sim   *sim.Simulator // the shard clock this site's events run on
+	sched exec.Dispatch // the executor this site's events run on (its shard clock in a simulation)
 	cpu   *cpu.Server
 	disks []*cpu.Server // empty: pure-delay I/O (the paper's assumption)
 	locks *lock.Manager
@@ -59,7 +59,7 @@ type localSite struct {
 // centralSite is the central computing complex; in a sharded run it owns
 // shard 0.
 type centralSite struct {
-	sim   *sim.Simulator
+	sched exec.Dispatch
 	cpu   *cpu.Server
 	disks []*cpu.Server
 	locks *lock.Manager
@@ -78,7 +78,7 @@ type centralSite struct {
 // newDisks builds a disk bank; disks are modelled as unit-rate servers whose
 // "instructions" equal the I/O time in microseconds-of-a-1MIPS-machine, so
 // Submit(seconds*1e6) serves for exactly seconds.
-func newDisks(s *sim.Simulator, n int) []*cpu.Server {
+func newDisks(s exec.Scheduler, n int) []*cpu.Server {
 	if n <= 0 {
 		return nil
 	}
@@ -92,7 +92,7 @@ func newDisks(s *sim.Simulator, n int) []*cpu.Server {
 // scheduleIO performs one I/O of the given duration keyed to elem: a pure
 // delay under the paper's assumption, or an FCFS wait at the disk holding
 // the element when a disk bank is configured.
-func scheduleIO(s *sim.Simulator, disks []*cpu.Server, elem uint32, seconds float64, done func()) {
+func scheduleIO(s exec.Dispatch, disks []*cpu.Server, elem uint32, seconds float64, done func()) {
 	if len(disks) == 0 {
 		s.Schedule(seconds, done)
 		return
@@ -106,7 +106,7 @@ func scheduleIO(s *sim.Simulator, disks []*cpu.Server, elem uint32, seconds floa
 func (e *Engine) routingState(site int) routing.State {
 	ls := e.sites[site]
 	st := routing.State{
-		Now:           ls.sim.Now(),
+		Now:           ls.sched.Now(),
 		Site:          site,
 		LocalQueue:    ls.cpu.QueueLength(),
 		LocalInSystem: ls.inSystem,
@@ -123,7 +123,7 @@ func (e *Engine) routingState(site int) routing.State {
 		st.CentralQueue = ls.view.queue
 		st.CentralInSystem = ls.view.inSystem
 		st.CentralLocks = ls.view.locks
-		st.ViewAge = ls.sim.Now() - ls.view.at
+		st.ViewAge = ls.sched.Now() - ls.view.at
 	}
 	return st
 }

@@ -62,7 +62,7 @@ func (e *Engine) newTxnRun(ls *localSite, spec *workload.Txn) *txnRun {
 		t = &txnRun{}
 	}
 	t.spec = spec
-	t.arrivedAt = ls.sim.Now()
+	t.arrivedAt = ls.sched.Now()
 	t.attempt = 1
 	t.phase = phaseSetup
 	return t
@@ -88,11 +88,11 @@ func (e *Engine) recycleTxnRun(t *txnRun) {
 func (e *Engine) recordLockWait(t *txnRun) {
 	if t.phase == phaseLockWait {
 		if t.shipped {
-			now := e.central.sim.Now()
+			now := e.central.sched.Now()
 			e.observeAt(now, obs.Event{Kind: obs.LockWaitEnd, Site: -1, Value: now - t.lockWaitFrom})
 		} else {
 			ls := e.sites[t.spec.HomeSite]
-			now := ls.sim.Now()
+			now := ls.sched.Now()
 			e.observeAt(now, obs.Event{Kind: obs.LockWaitEnd, Site: ls.idx, Value: now - t.lockWaitFrom})
 		}
 	}

@@ -1,0 +1,171 @@
+package netx
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+
+	"hybriddb/internal/lock"
+	"hybriddb/internal/workload"
+)
+
+func TestTxnRoundTrip(t *testing.T) {
+	specs := []*workload.Txn{
+		{ID: 1<<40 | 7, Class: workload.ClassA, HomeSite: 3,
+			Elements: []uint32{9, 4, 1023}, Modes: []lock.Mode{lock.Share, lock.Exclusive, lock.Share}},
+		{ID: 1, Class: workload.ClassB, HomeSite: 0, Elements: nil, Modes: nil},
+	}
+	for _, want := range specs {
+		got, err := DecodeTxn(AppendTxn(nil, want))
+		if err != nil {
+			t.Fatalf("DecodeTxn(%d): %v", want.ID, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("txn round trip:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestTxnDecodeRejectsGarbage(t *testing.T) {
+	good := AppendTxn(nil, &workload.Txn{
+		ID: 5, Class: workload.ClassA, HomeSite: 1,
+		Elements: []uint32{1, 2}, Modes: []lock.Mode{lock.Share, lock.Exclusive},
+	})
+
+	// Truncation anywhere in the payload.
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := DecodeTxn(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(good))
+		}
+	}
+	// Trailing bytes.
+	if _, err := DecodeTxn(append(append([]byte(nil), good...), 0)); !errors.Is(err, ErrTrailingBytes) {
+		t.Fatalf("trailing byte: got %v, want ErrTrailingBytes", err)
+	}
+	// A huge element count must be rejected before allocation.
+	bad := append([]byte(nil), good...)
+	binary.BigEndian.PutUint32(bad[13:], 1<<31)
+	if _, err := DecodeTxn(bad); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("huge count: got %v, want ErrTruncated", err)
+	}
+	// Invalid lock mode.
+	bad = append([]byte(nil), good...)
+	bad[len(bad)-1] = 99
+	if _, err := DecodeTxn(bad); err == nil {
+		t.Fatal("invalid lock mode accepted")
+	}
+	// Invalid class.
+	bad = append([]byte(nil), good...)
+	bad[8] = 0
+	if _, err := DecodeTxn(bad); err == nil {
+		t.Fatal("invalid class accepted")
+	}
+	// Element/mode length mismatch.
+	mismatch := AppendTxn(nil, &workload.Txn{
+		ID: 5, Class: workload.ClassA, HomeSite: 1,
+		Elements: []uint32{1, 2}, Modes: []lock.Mode{lock.Share, lock.Exclusive},
+	})
+	// Rewrite the mode count from 2 to 1 and drop the last mode byte.
+	binary.BigEndian.PutUint32(mismatch[len(mismatch)-6:], 1)
+	mismatch = mismatch[:len(mismatch)-1]
+	if _, err := DecodeTxn(mismatch); err == nil {
+		t.Fatal("element/mode count mismatch accepted")
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	snap := Snapshot{Queue: 3, InSystem: 17, Locks: 240}
+
+	hello, err := DecodeHello(AppendHello(nil, Hello{Site: 2}))
+	if err != nil || hello != (Hello{Site: 2}) {
+		t.Fatalf("hello: %+v, %v", hello, err)
+	}
+
+	res, err := DecodeResult(AppendResult(nil, Result{Txn: 99, Shipped: true, ClassB: false}))
+	if err != nil || res != (Result{Txn: 99, Shipped: true}) {
+		t.Fatalf("result: %+v, %v", res, err)
+	}
+
+	areqWant := AuthReq{Txn: -8, Elements: []uint32{4, 5}, Modes: []lock.Mode{lock.Exclusive, lock.Share}, Snap: snap}
+	areq, err := DecodeAuthReq(AppendAuthReq(nil, areqWant))
+	if err != nil || !reflect.DeepEqual(areq, areqWant) {
+		t.Fatalf("auth-req: %+v, %v", areq, err)
+	}
+
+	arep, err := DecodeAuthReply(AppendAuthReply(nil, AuthReply{Txn: 7, Site: 3, NACK: true}))
+	if err != nil || arep != (AuthReply{Txn: 7, Site: 3, NACK: true}) {
+		t.Fatalf("auth-reply: %+v, %v", arep, err)
+	}
+
+	rel, err := DecodeRelease(AppendRelease(nil, Release{Txn: 11, Snap: snap}))
+	if err != nil || rel != (Release{Txn: 11, Snap: snap}) {
+		t.Fatalf("release: %+v, %v", rel, err)
+	}
+
+	updWant := Update{Site: 1, Elements: []uint32{8, 8, 9}}
+	upd, err := DecodeUpdate(AppendUpdate(nil, updWant))
+	if err != nil || !reflect.DeepEqual(upd, updWant) {
+		t.Fatalf("update: %+v, %v", upd, err)
+	}
+
+	ackWant := UpdateAck{Elements: []uint32{8, 9}, Snap: snap}
+	ack, err := DecodeUpdateAck(AppendUpdateAck(nil, ackWant))
+	if err != nil || !reflect.DeepEqual(ack, ackWant) {
+		t.Fatalf("update-ack: %+v, %v", ack, err)
+	}
+
+	rep, err := DecodeReply(AppendReply(nil, Reply{Txn: 12, ClassB: true, Snap: snap}))
+	if err != nil || rep != (Reply{Txn: 12, ClassB: true, Snap: snap}) {
+		t.Fatalf("reply: %+v, %v", rep, err)
+	}
+}
+
+func TestMessageDecodersRejectTruncation(t *testing.T) {
+	snap := Snapshot{Queue: 1, InSystem: 2, Locks: 3}
+	payloads := map[string][]byte{
+		"hello":      AppendHello(nil, Hello{Site: 1}),
+		"result":     AppendResult(nil, Result{Txn: 1}),
+		"auth-req":   AppendAuthReq(nil, AuthReq{Txn: 1, Elements: []uint32{1}, Modes: []lock.Mode{lock.Share}, Snap: snap}),
+		"auth-reply": AppendAuthReply(nil, AuthReply{Txn: 1, Site: 0}),
+		"release":    AppendRelease(nil, Release{Txn: 1, Snap: snap}),
+		"update":     AppendUpdate(nil, Update{Site: 0, Elements: []uint32{1}}),
+		"update-ack": AppendUpdateAck(nil, UpdateAck{Elements: []uint32{1}, Snap: snap}),
+		"reply":      AppendReply(nil, Reply{Txn: 1, Snap: snap}),
+	}
+	decoders := map[string]func([]byte) error{
+		"hello":      func(p []byte) error { _, err := DecodeHello(p); return err },
+		"result":     func(p []byte) error { _, err := DecodeResult(p); return err },
+		"auth-req":   func(p []byte) error { _, err := DecodeAuthReq(p); return err },
+		"auth-reply": func(p []byte) error { _, err := DecodeAuthReply(p); return err },
+		"release":    func(p []byte) error { _, err := DecodeRelease(p); return err },
+		"update":     func(p []byte) error { _, err := DecodeUpdate(p); return err },
+		"update-ack": func(p []byte) error { _, err := DecodeUpdateAck(p); return err },
+		"reply":      func(p []byte) error { _, err := DecodeReply(p); return err },
+	}
+	for name, full := range payloads {
+		decode := decoders[name]
+		if err := decode(full); err != nil {
+			t.Fatalf("%s: full payload rejected: %v", name, err)
+		}
+		for cut := 0; cut < len(full); cut++ {
+			if err := decode(full[:cut]); err == nil {
+				t.Fatalf("%s: truncation at %d/%d accepted", name, cut, len(full))
+			}
+		}
+		if err := decode(append(append([]byte(nil), full...), 0xFF)); !errors.Is(err, ErrTrailingBytes) {
+			t.Fatalf("%s: trailing byte: got %v, want ErrTrailingBytes", name, err)
+		}
+	}
+}
+
+func TestMsgNameCoversAllTypes(t *testing.T) {
+	for b := MsgHello; b <= MsgReply; b++ {
+		if name := MsgName(b); name == "" || name[:4] == "type" {
+			t.Fatalf("MsgName(%d) = %q", b, name)
+		}
+	}
+	if MsgName(200) != "type(200)" {
+		t.Fatalf("unknown type name: %q", MsgName(200))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hybriddb/internal/cpu"
+	"hybriddb/internal/exec"
 	"hybriddb/internal/rng"
 	"hybriddb/internal/sim"
 	"hybriddb/internal/stats"
@@ -115,7 +116,7 @@ func TestCPUServerMatchesMD1(t *testing.T) {
 		horizon      = 20_000.0
 	)
 	s := sim.New()
-	server := cpu.NewServer(s, mips)
+	server := cpu.NewServer(exec.Sim(s), mips)
 	src := rng.New(99)
 	var sojourn stats.Welford
 
@@ -152,7 +153,7 @@ func TestCPUServerMatchesMD1(t *testing.T) {
 // time accounting against rho = lambda/mu.
 func TestCPUServerUtilizationMatchesOfferedLoad(t *testing.T) {
 	s := sim.New()
-	server := cpu.NewServer(s, 1)
+	server := cpu.NewServer(exec.Sim(s), 1)
 	src := rng.New(7)
 	const lambda, instructions, horizon = 4.0, 100_000, 5_000.0
 

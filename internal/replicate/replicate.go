@@ -70,8 +70,13 @@ func RunParallel(cfg hybrid.Config, mk Maker, runs, parallelism int) (Summary, e
 	return RunOpts(cfg, mk, runs, runner.Options{Parallelism: parallelism})
 }
 
-// RunOpts is Run with full pool options (worker bound, progress callback).
-// The options change wall-clock behaviour only, never the summary.
+// RunOpts is Run with full pool options (worker bound, progress callback,
+// cancellation context). The options change wall-clock behaviour only,
+// never any completed replication's numbers. When the context cancels the
+// pool mid-sweep, the summary aggregates the replications that finished
+// (Replications reports that count; Results keeps full length with zero
+// entries, Window == 0, for never-started replications) and the context's
+// error is returned alongside it.
 func RunOpts(cfg hybrid.Config, mk Maker, runs int, opt runner.Options) (Summary, error) {
 	if runs <= 0 {
 		return Summary{}, fmt.Errorf("replicate: %d runs", runs)
@@ -89,15 +94,20 @@ func RunOpts(cfg hybrid.Config, mk Maker, runs int, opt runner.Options) (Summary
 			Make:  mk,
 		}
 	}
-	results, err := runner.RunOpts(tasks, opt)
-	if err != nil {
-		return Summary{}, err
+	results, runErr := runner.RunOpts(tasks, opt)
+	if results == nil {
+		return Summary{}, runErr
 	}
 	var (
 		rt, tput, ship, utilL, utilC, aborts stats.Welford
 		name                                 string
+		done                                 int
 	)
 	for _, r := range results {
+		if r.Window <= 0 {
+			continue // cancelled before this replication started
+		}
+		done++
 		name = r.Strategy
 		rt.Add(r.MeanRT)
 		tput.Add(r.Throughput)
@@ -110,7 +120,7 @@ func RunOpts(cfg hybrid.Config, mk Maker, runs int, opt runner.Options) (Summary
 	}
 	return Summary{
 		Strategy:     name,
-		Replications: runs,
+		Replications: done,
 		MeanRT:       estimate(&rt),
 		Throughput:   estimate(&tput),
 		ShipFraction: estimate(&ship),
@@ -118,7 +128,7 @@ func RunOpts(cfg hybrid.Config, mk Maker, runs int, opt runner.Options) (Summary
 		UtilCentral:  estimate(&utilC),
 		AbortRate:    estimate(&aborts),
 		Results:      results,
-	}, nil
+	}, runErr
 }
 
 // Compare runs two strategies over the same configuration and replication

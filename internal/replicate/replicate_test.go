@@ -1,6 +1,7 @@
 package replicate
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -177,5 +178,40 @@ func TestRunOptsThreadsProgress(t *testing.T) {
 func TestRunOptsNilMaker(t *testing.T) {
 	if _, err := RunOpts(testConfig(), nil, 2, runner.Options{}); err == nil {
 		t.Error("nil maker accepted")
+	}
+}
+
+// TestRunOptsCancelledAggregatesCompleted checks that a cancelled sweep
+// still aggregates the replications that finished: Replications reports the
+// completed count, Results keeps full length with zero (Window == 0) holes,
+// and the context's error comes back with the partial summary.
+func TestRunOptsCancelledAggregatesCompleted(t *testing.T) {
+	const runs = 16
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := RunOpts(testConfig(), makeNone, runs, runner.Options{
+		Parallelism: 2,
+		Context:     ctx,
+		Progress:    func(runner.ProgressEvent) { cancel() },
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s.Replications == 0 || s.Replications == runs {
+		t.Fatalf("Replications = %d, want partial in (0, %d)", s.Replications, runs)
+	}
+	if len(s.Results) != runs {
+		t.Fatalf("Results length %d, want %d", len(s.Results), runs)
+	}
+	var done int
+	for _, r := range s.Results {
+		if r.Window > 0 {
+			done++
+		}
+	}
+	if done != s.Replications {
+		t.Fatalf("Replications %d disagrees with %d completed results", s.Replications, done)
+	}
+	if s.MeanRT.Mean <= 0 {
+		t.Error("partial summary has no aggregated mean RT")
 	}
 }

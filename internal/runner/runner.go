@@ -9,6 +9,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -68,6 +69,13 @@ type Options struct {
 	// observes wall-clock completion order and timing only — simulation
 	// results are unaffected by its presence.
 	Progress func(ProgressEvent)
+	// Context, when non-nil, cancels the pool: no new task starts after it
+	// is done, in-flight tasks finish (the engines have no preemption
+	// point), and RunOpts returns the partial results alongside ctx.Err().
+	// A never-started task leaves its zero Result in place — detectable by
+	// Result.Window == 0, since every completed run measures a positive
+	// window.
+	Context context.Context
 }
 
 // Run executes every task, at most parallelism at once (0 or negative means
@@ -79,9 +87,16 @@ func Run(tasks []Task, parallelism int) ([]hybrid.Result, error) {
 	return RunOpts(tasks, Options{Parallelism: parallelism})
 }
 
-// RunOpts is Run with a progress callback. Results are identical to Run's for
-// any Options — progress reporting is observation only.
+// RunOpts is Run with pool options. Results are identical to Run's for any
+// Options — progress reporting is observation only, and cancellation only
+// truncates which tasks ran, never what a completed task measured. On
+// cancellation the partial results are returned (full-length, task order;
+// never-started tasks are zero) together with the context's error.
 func RunOpts(tasks []Task, opt Options) ([]hybrid.Result, error) {
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]hybrid.Result, len(tasks))
 	errs := make([]error, len(tasks))
 	workers := Parallelism(opt.Parallelism)
@@ -91,6 +106,9 @@ func RunOpts(tasks []Task, opt Options) ([]hybrid.Result, error) {
 	prog := newProgress(opt.Progress, len(tasks))
 	if workers <= 1 {
 		for i := range tasks {
+			if ctx.Err() != nil {
+				return results, ctx.Err()
+			}
 			if err := runTask(&tasks[i], &results[i]); err != nil {
 				return nil, err
 			}
@@ -111,11 +129,19 @@ func RunOpts(tasks []Task, opt Options) ([]hybrid.Result, error) {
 			}
 		}()
 	}
+dispatch:
 	for i := range tasks {
-		indices <- i
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(indices)
 	wg.Wait()
+	if ctx.Err() != nil {
+		return results, ctx.Err()
+	}
 
 	for _, err := range errs {
 		if err != nil {

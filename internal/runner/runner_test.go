@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -226,5 +227,74 @@ func TestRunOptsProgressDoesNotChangeResults(t *testing.T) {
 	}
 	if !reflect.DeepEqual(plain, observed) {
 		t.Fatal("progress callback changed the results")
+	}
+}
+
+// TestRunOptsCancelledMidPool checks the cancellation contract: no new task
+// starts after the context is done, in-flight tasks finish, and the partial
+// results come back (full length, completed entries detectable by a
+// positive Window) together with the context's error.
+func TestRunOptsCancelledMidPool(t *testing.T) {
+	const n = 24
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{Label: fmt.Sprintf("task %d", i), Cfg: testCfg(uint64(i + 1)), Make: makeQueueLength}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	results, err := RunOpts(tasks, Options{
+		Parallelism: 2,
+		Context:     ctx,
+		Progress:    func(ProgressEvent) { cancel() }, // cancel at the first completion
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) != n {
+		t.Fatalf("partial results length %d, want %d (task order with zero holes)", len(results), n)
+	}
+	var done int
+	for _, r := range results {
+		if r.Window > 0 {
+			done++
+		}
+	}
+	if done == 0 {
+		t.Error("cancellation discarded the completed task")
+	}
+	if done == n {
+		t.Error("cancellation after the first completion still ran every task")
+	}
+}
+
+// TestRunOptsCancelledBeforeStart checks the serial path refuses to start
+// tasks under an already-cancelled context.
+func TestRunOptsCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tasks := []Task{{Label: "t", Cfg: testCfg(1), Make: makeQueueLength}}
+	results, err := RunOpts(tasks, Options{Parallelism: 1, Context: ctx})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) != 1 || results[0].Window != 0 {
+		t.Fatalf("pre-cancelled run still produced a result: %+v", results)
+	}
+}
+
+// TestRunOptsNilContextUnchanged pins that omitting the context keeps the
+// historical contract: everything runs, no error.
+func TestRunOptsNilContextUnchanged(t *testing.T) {
+	tasks := []Task{
+		{Label: "a", Cfg: testCfg(1), Make: makeQueueLength},
+		{Label: "b", Cfg: testCfg(2), Make: makeQueueLength},
+	}
+	results, err := RunOpts(tasks, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatalf("RunOpts: %v", err)
+	}
+	for i, r := range results {
+		if r.Window <= 0 {
+			t.Errorf("task %d did not run", i)
+		}
 	}
 }
