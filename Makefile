@@ -90,7 +90,7 @@ check: vet staticcheck race simtest race-stress smoke bench-smoke fuzz-smoke clu
 # Full benchmark run over the hot-path packages, recorded as a
 # machine-readable summary (BENCH_$(BENCH_LABEL).json) diffed against the
 # committed pre-PR baseline. See DESIGN.md "Performance".
-BENCH_LABEL ?= pr6
+BENCH_LABEL ?= pr8
 BENCH_BASELINE ?= bench/baseline_pr6.txt
 BENCH_NOTES ?=
 bench:

@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -43,31 +44,50 @@ type Entry struct {
 	DeltaAllocsPct *float64 `json:"delta_allocs_pct,omitempty"`
 }
 
+// Fingerprint identifies the host a benchmark run was measured on. Benchmark
+// deltas across different fingerprints measure the hosts, not the code, so
+// every emitted summary carries one and diffing against a baseline from a
+// different fingerprint warns.
+type Fingerprint struct {
+	// GOMAXPROCS of the measuring run, read from the -N suffix on the
+	// benchmark names; falls back to the converting process's own value
+	// when the input has no suffix.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// CPU is the "cpu:" header go test prints, e.g.
+	// "Intel(R) Xeon(R) Processor @ 2.10GHz". Empty if the input omits it.
+	CPU string `json:"cpu,omitempty"`
+	// GoVersion is the toolchain of the converting process — the same
+	// toolchain that ran the benchmarks in the normal pipe usage.
+	GoVersion string `json:"go_version"`
+}
+
 // Summary is the emitted document. Notes carries the human verdict of the
 // measurement campaign — the conditions (host, core count) and the
 // conclusion the numbers support — so a BENCH_*.json file stands alone.
 type Summary struct {
-	Label      string  `json:"label"`
-	Notes      string  `json:"notes,omitempty"`
-	Benchmarks []Entry `json:"benchmarks"`
+	Label       string       `json:"label"`
+	Notes       string       `json:"notes,omitempty"`
+	Fingerprint *Fingerprint `json:"fingerprint,omitempty"`
+	Benchmarks  []Entry      `json:"benchmarks"`
 }
 
 // benchLine matches e.g.
 //
 //	BenchmarkScheduleStep-8   12345678   95.2 ns/op   0 B/op   0 allocs/op
 //
-// The -N GOMAXPROCS suffix is stripped so runs from machines with different
-// core counts still line up against a baseline.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+// The -N GOMAXPROCS suffix is stripped from the key so runs from machines
+// with different core counts still line up against a baseline; its value
+// feeds the host fingerprint instead.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	var out string
 	fs.StringVar(&out, "o", "", "output file (default stdout)")
@@ -83,12 +103,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 	var current map[string]Measurement
 	var order []string
+	var host hostInfo
 	var err error
 	switch fs.NArg() {
 	case 0:
-		current, order, err = parseBench(stdin)
+		current, order, host, err = parseBench(stdin)
 	case 1:
-		current, order, err = parseBenchFile(fs.Arg(0))
+		current, order, host, err = parseBenchFile(fs.Arg(0))
 	default:
 		return fmt.Errorf("at most one input file, got %d", fs.NArg())
 	}
@@ -101,13 +122,27 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 	var base map[string]Measurement
 	if *baseline != "" {
-		base, _, err = parseBenchFile(*baseline)
+		var baseHost hostInfo
+		base, _, baseHost, err = parseBenchFile(*baseline)
 		if err != nil {
 			return fmt.Errorf("baseline: %w", err)
 		}
+		if stderr != nil {
+			if w := host.diff(baseHost); w != "" {
+				fmt.Fprintf(stderr, "benchjson: warning: baseline measured on a different host (%s); deltas compare hosts, not code\n", w)
+			}
+		}
 	}
 
-	summary := Summary{Label: *label, Notes: *notes}
+	fp := Fingerprint{
+		GoMaxProcs: host.maxprocs,
+		CPU:        host.cpu,
+		GoVersion:  runtime.Version(),
+	}
+	if fp.GoMaxProcs == 0 {
+		fp.GoMaxProcs = runtime.GOMAXPROCS(0)
+	}
+	summary := Summary{Label: *label, Notes: *notes, Fingerprint: &fp}
 	for _, key := range order {
 		cur := current[key]
 		pkg, name := splitKey(key)
@@ -152,10 +187,32 @@ func splitKey(key string) (pkg, name string) {
 	return "", key
 }
 
-func parseBenchFile(path string) (map[string]Measurement, []string, error) {
+// hostInfo is the host evidence a bench output carries about the machine
+// that produced it: the "cpu:" header and the GOMAXPROCS suffix on the
+// benchmark names. Zero fields mean the input did not say.
+type hostInfo struct {
+	cpu      string
+	maxprocs int
+}
+
+// diff describes how two host fingerprints disagree, or "" when every field
+// both sides recorded matches. Fields only one side recorded are not a
+// disagreement — old baselines may predate the header lines.
+func (h hostInfo) diff(base hostInfo) string {
+	var parts []string
+	if h.cpu != "" && base.cpu != "" && h.cpu != base.cpu {
+		parts = append(parts, fmt.Sprintf("cpu %q vs baseline %q", h.cpu, base.cpu))
+	}
+	if h.maxprocs != 0 && base.maxprocs != 0 && h.maxprocs != base.maxprocs {
+		parts = append(parts, fmt.Sprintf("GOMAXPROCS %d vs baseline %d", h.maxprocs, base.maxprocs))
+	}
+	return strings.Join(parts, "; ")
+}
+
+func parseBenchFile(path string) (map[string]Measurement, []string, hostInfo, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, hostInfo{}, err
 	}
 	defer f.Close()
 	return parseBench(f)
@@ -164,9 +221,10 @@ func parseBenchFile(path string) (map[string]Measurement, []string, error) {
 // parseBench extracts benchmark measurements keyed by "package name". The
 // `pkg:` header lines that `go test` prints qualify subsequent benchmarks;
 // input without headers (a single package's output) keys by bare name.
-func parseBench(r io.Reader) (map[string]Measurement, []string, error) {
+func parseBench(r io.Reader) (map[string]Measurement, []string, hostInfo, error) {
 	got := make(map[string]Measurement)
 	var order []string
+	var host hostInfo
 	pkg := ""
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
@@ -175,24 +233,31 @@ func parseBench(r io.Reader) (map[string]Measurement, []string, error) {
 			pkg = strings.TrimSpace(rest)
 			continue
 		}
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			host.cpu = strings.TrimSpace(rest)
+			continue
+		}
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
-		iters, err := strconv.ParseInt(m[2], 10, 64)
-		if err != nil {
-			return nil, nil, fmt.Errorf("bad iteration count in %q", line)
+		if host.maxprocs == 0 && m[2] != "" {
+			host.maxprocs, _ = strconv.Atoi(m[2])
 		}
-		ns, err := strconv.ParseFloat(m[3], 64)
+		iters, err := strconv.ParseInt(m[3], 10, 64)
 		if err != nil {
-			return nil, nil, fmt.Errorf("bad ns/op in %q", line)
+			return nil, nil, host, fmt.Errorf("bad iteration count in %q", line)
+		}
+		ns, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			return nil, nil, host, fmt.Errorf("bad ns/op in %q", line)
 		}
 		meas := Measurement{NsPerOp: ns, Iterations: iters}
-		if m[4] != "" {
-			meas.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
-		}
 		if m[5] != "" {
-			meas.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+			meas.BytesPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		if m[6] != "" {
+			meas.AllocsPerOp, _ = strconv.ParseFloat(m[6], 64)
 		}
 		key := m[1]
 		if pkg != "" {
@@ -203,5 +268,5 @@ func parseBench(r io.Reader) (map[string]Measurement, []string, error) {
 		}
 		got[key] = meas
 	}
-	return got, order, sc.Err()
+	return got, order, host, sc.Err()
 }

@@ -40,7 +40,8 @@ func TestParseAndDiff(t *testing.T) {
 	base := writeFile(t, "base.txt", sampleBaseline)
 	out := filepath.Join(t.TempDir(), "out.json")
 
-	if err := run([]string{"-label", "pr3", "-baseline", base, "-o", out, cur}, nil, nil); err != nil {
+	var warn strings.Builder
+	if err := run([]string{"-label", "pr3", "-baseline", base, "-o", out, cur}, nil, nil, &warn); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(out)
@@ -84,12 +85,61 @@ func TestParseAndDiff(t *testing.T) {
 	if eng.DeltaNsPct == nil || *eng.DeltaNsPct >= 0 {
 		t.Errorf("engine DeltaNsPct = %v, want negative", eng.DeltaNsPct)
 	}
+
+	// The sample baseline ran at GOMAXPROCS 4 against the current 8: the
+	// cross-host diff must be flagged.
+	if w := warn.String(); !strings.Contains(w, "different host") || !strings.Contains(w, "GOMAXPROCS 8 vs baseline 4") {
+		t.Errorf("cross-fingerprint diff not warned about: %q", w)
+	}
+}
+
+// TestFingerprintEmbedded checks every summary records the measuring host:
+// GOMAXPROCS from the bench-name suffix, the CPU model from the cpu: header,
+// and a go version.
+func TestFingerprintEmbedded(t *testing.T) {
+	cur := writeFile(t, "cur.txt", sampleCurrent)
+	var sb strings.Builder
+	if err := run([]string{cur}, nil, &sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal([]byte(sb.String()), &s); err != nil {
+		t.Fatal(err)
+	}
+	fp := s.Fingerprint
+	if fp == nil {
+		t.Fatal("summary has no host fingerprint")
+	}
+	if fp.GoMaxProcs != 8 {
+		t.Errorf("GoMaxProcs = %d, want 8 (from the -8 bench suffix)", fp.GoMaxProcs)
+	}
+	if want := "Intel(R) Xeon(R) Processor @ 2.10GHz"; fp.CPU != want {
+		t.Errorf("CPU = %q, want %q", fp.CPU, want)
+	}
+	if !strings.HasPrefix(fp.GoVersion, "go") {
+		t.Errorf("GoVersion = %q, want a goX.Y version", fp.GoVersion)
+	}
+}
+
+// TestSameHostNoWarning checks diffing two runs with matching fingerprints
+// stays quiet, and fields only one side recorded are not a mismatch.
+func TestSameHostNoWarning(t *testing.T) {
+	cur := writeFile(t, "cur.txt", sampleCurrent)
+	// Same suffix, no cpu header: cpu is unknown on the baseline side.
+	base := writeFile(t, "base.txt", "pkg: hybriddb/internal/sim\nBenchmarkScheduleStep-8 \t 9000000\t 120.0 ns/op\n")
+	var sb, warn strings.Builder
+	if err := run([]string{"-baseline", base, cur}, nil, &sb, &warn); err != nil {
+		t.Fatal(err)
+	}
+	if warn.Len() != 0 {
+		t.Errorf("matching fingerprints still warned: %q", warn.String())
+	}
 }
 
 func TestNoBaselineOmitsDeltas(t *testing.T) {
 	cur := writeFile(t, "cur.txt", sampleCurrent)
 	var sb strings.Builder
-	if err := run([]string{cur}, nil, &sb); err != nil {
+	if err := run([]string{cur}, nil, &sb, nil); err != nil {
 		t.Fatal(err)
 	}
 	var s Summary
@@ -108,7 +158,7 @@ func TestZeroBaselineDeltaOmitted(t *testing.T) {
 	cur := writeFile(t, "cur.txt", "pkg: p\nBenchmarkX \t 10\t 5.0 ns/op\t 8 B/op\t 1 allocs/op\n")
 	base := writeFile(t, "base.txt", "pkg: p\nBenchmarkX \t 10\t 4.0 ns/op\t 0 B/op\t 0 allocs/op\n")
 	var sb strings.Builder
-	if err := run([]string{"-baseline", base, cur}, nil, &sb); err != nil {
+	if err := run([]string{"-baseline", base, cur}, nil, &sb, nil); err != nil {
 		t.Fatal(err)
 	}
 	var s Summary
@@ -126,7 +176,7 @@ func TestZeroBaselineDeltaOmitted(t *testing.T) {
 
 func TestEmptyInputFails(t *testing.T) {
 	cur := writeFile(t, "cur.txt", "no benchmarks here\n")
-	if err := run([]string{cur}, nil, nil); err == nil {
+	if err := run([]string{cur}, nil, nil, nil); err == nil {
 		t.Fatal("empty input did not error")
 	}
 }

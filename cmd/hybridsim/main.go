@@ -40,6 +40,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hybridsim", flag.ContinueOnError)
 	var (
+		preset   = fs.String("preset", "", "named configuration preset: "+strings.Join(presetNames(), ", ")+"; explicit flags override preset values")
 		rate     = fs.Float64("rate", 1.0, "arrival rate per site (txn/s)")
 		delay    = fs.Float64("delay", 0.2, "one-way communications delay (s)")
 		sites    = fs.Int("sites", 10, "number of local sites")
@@ -68,6 +69,35 @@ func run(args []string, out io.Writer) error {
 	}
 
 	cfg := hybrid.DefaultConfig()
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *preset != "" {
+		p, err := applyPreset(*preset, &cfg)
+		if err != nil {
+			return err
+		}
+		// Preset values yield to explicitly passed flags below; flags the
+		// user did not pass keep the preset's choices instead of their
+		// defaults.
+		if !set["rate"] {
+			*rate = cfg.ArrivalRatePerSite
+		}
+		if !set["delay"] {
+			*delay = cfg.CommDelay
+		}
+		if !set["sites"] {
+			*sites = cfg.Sites
+		}
+		if !set["warmup"] {
+			*warmup = cfg.Warmup
+		}
+		if !set["duration"] {
+			*duration = cfg.Duration
+		}
+		if !set["shards"] {
+			*shards = p.shards
+		}
+	}
 	cfg.ArrivalRatePerSite = *rate
 	cfg.CommDelay = *delay
 	cfg.Sites = *sites
@@ -255,6 +285,36 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(tw, "mean lock wait\t%.4f s\n", r.MeanLockWait)
 	fmt.Fprintf(tw, "network messages\t%d (auth rounds %d)\n", r.MessagesSent, r.AuthRounds)
 	return nil
+}
+
+// presetExtras carries preset choices that live outside hybrid.Config.
+type presetExtras struct {
+	shards int // default for -shards when the flag is not passed
+}
+
+func presetNames() []string { return []string{"scale1000"} }
+
+// applyPreset overwrites cfg with a named preset's values. Flags the user
+// passed explicitly still win — run() re-applies them after the preset.
+func applyPreset(name string, cfg *hybrid.Config) (presetExtras, error) {
+	switch name {
+	case "scale1000":
+		// The paper's §4.1 system scaled 100x: 1000 local sites with the
+		// shared hardware grown in proportion — central CPU 15 -> 1500 MIPS,
+		// lockspace 32,768 -> 3,276,800 elements — and every per-site
+		// parameter unchanged, so each site sees the paper's workload. The
+		// horizon is sized for a ~10^7-transaction run (1000 sites x 1
+		// txn/s x 10,000 simulated seconds); shorten it with -duration for
+		// a quick look. Shards default to GOMAXPROCS: the sweet spot is
+		// one worker per core, not one per site.
+		cfg.Sites = 1000
+		cfg.CentralMIPS = 1500
+		cfg.Lockspace = 3_276_800
+		cfg.Warmup = 200
+		cfg.Duration = 9800
+		return presetExtras{shards: runtime.GOMAXPROCS(0)}, nil
+	}
+	return presetExtras{}, fmt.Errorf("unknown preset %q (presets: %s)", name, strings.Join(presetNames(), ", "))
 }
 
 // shardFallbackReason names the configuration property that forces the

@@ -20,6 +20,16 @@ type Link struct {
 
 	sent      uint64
 	delivered uint64
+
+	// pending is a FIFO ring of in-flight delivery callbacks: Send pushes the
+	// callback and schedules deliverFn (bound once at construction), which
+	// pops the front. Matching pops to callbacks needs no per-message wrapper
+	// closure because the pairing is positional — every delivery event sits
+	// exactly delay ahead of its send and the kernel breaks same-instant ties
+	// in scheduling order, so delivery events fire in send order.
+	pending   []func()
+	head      int
+	deliverFn func()
 }
 
 // NewLink returns a link with the given one-way delay in seconds.
@@ -30,7 +40,9 @@ func NewLink(s *sim.Simulator, delay float64) *Link {
 	if delay < 0 {
 		panic(fmt.Sprintf("comm: negative delay %v", delay))
 	}
-	return &Link{simulator: s, delay: delay}
+	l := &Link{simulator: s, delay: delay}
+	l.deliverFn = l.deliverNext
+	return l
 }
 
 // Delay returns the link's one-way delay.
@@ -43,10 +55,30 @@ func (l *Link) Send(deliver func()) {
 		panic("comm: nil delivery callback")
 	}
 	l.sent++
-	l.simulator.Schedule(l.delay, func() {
-		l.delivered++
-		deliver()
-	})
+	l.pending = append(l.pending, deliver)
+	l.simulator.Schedule(l.delay, l.deliverFn)
+}
+
+// deliverNext pops and runs the oldest in-flight callback.
+func (l *Link) deliverNext() {
+	deliver := l.pending[l.head]
+	l.pending[l.head] = nil
+	l.head++
+	if l.head == len(l.pending) {
+		l.pending = l.pending[:0]
+		l.head = 0
+	} else if l.head >= 64 && l.head*2 >= len(l.pending) {
+		// A link that is never fully drained would otherwise grow the ring
+		// without bound; fold the live tail back to the front occasionally.
+		n := copy(l.pending, l.pending[l.head:])
+		for i := n; i < len(l.pending); i++ {
+			l.pending[i] = nil
+		}
+		l.pending = l.pending[:n]
+		l.head = 0
+	}
+	l.delivered++
+	deliver()
 }
 
 // Sent returns the number of messages sent on the link.

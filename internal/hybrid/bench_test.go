@@ -120,3 +120,60 @@ func BenchmarkEngineSharded(b *testing.B) {
 		})
 	}
 }
+
+// scale1000Config is the cmd/hybridsim scale1000 preset at benchmark length:
+// the §4.1 system scaled 100x (1000 sites, central CPU and lockspace grown in
+// proportion) with a short horizon so one iteration stays in benchmark range.
+// HEAVY_BENCH=1 lengthens the horizon for the recorded BENCH numbers.
+func scale1000Config() Config {
+	cfg := benchConfig()
+	cfg.Sites = 1000
+	cfg.ArrivalRatePerSite = 1.0
+	cfg.CentralMIPS = 1500
+	cfg.Lockspace = 3_276_800
+	cfg.Warmup = 2
+	cfg.Duration = 10
+	if os.Getenv("HEAVY_BENCH") != "" {
+		cfg.Warmup = 10
+		cfg.Duration = 100
+	}
+	return cfg
+}
+
+func benchScale1000(b *testing.B, shards int) {
+	b.Helper()
+	cfg := scale1000Config()
+	cfg.Shards = shards
+	var completed uint64
+	for i := 0; i < b.N; i++ {
+		e, err := New(cfg, routing.NewStatic(0.5, 7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		completed += e.Run().Completed
+		if shards > 1 && !e.Parallel() {
+			b.Fatal("parallel mode did not engage")
+		}
+	}
+	if completed == 0 {
+		b.Fatal("benchmark completed no transactions")
+	}
+	b.ReportMetric(float64(completed)/float64(b.N), "txns/run")
+	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "txns/s")
+}
+
+// BenchmarkEngineSequential1000 is the 1000-site single-queue baseline: the
+// shard-count-decoupled mapping's whole point is that this scale runs on a
+// handful of shards, so the pair below is the headline scale-out number.
+func BenchmarkEngineSequential1000(b *testing.B) { benchScale1000(b, 0) }
+
+// BenchmarkEngineSharded1000 runs the 1000-site workload on the parallel
+// core with contiguous-block site placement — shard counts sized to cores,
+// not sites. Results are bit-identical to the sequential baseline.
+func BenchmarkEngineSharded1000(b *testing.B) {
+	for _, shards := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			benchScale1000(b, shards)
+		})
+	}
+}

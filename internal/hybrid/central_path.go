@@ -37,13 +37,14 @@ func (p centralPath) ship(t *txnRun) {
 func (p centralPath) start(t *txnRun) {
 	e := p.e
 	e.central.inSystem++
-	e.central.running[t.id()] = t
-	e.central.cpu.Submit(e.cfg.InstrOverhead, func() {
-		scheduleIO(e.central.sched, e.central.disks, uint32(t.spec.ID), e.cfg.SetupIOTime, func() {
-			t.phase = phaseExecuting
-			p.call(t, 0)
-		})
-	})
+	e.central.running.Put(t.id(), t)
+	e.central.cpu.Submit(e.cfg.InstrOverhead, t.conts.setup)
+}
+
+// setupIO runs after the admission CPU burst: the initial I/O, no locks held.
+func (p centralPath) setupIO(t *txnRun) {
+	e := p.e
+	scheduleIO(e.central.sched, e.central.disks, uint32(t.spec.ID), e.cfg.SetupIOTime, t.conts.setupIO)
 }
 
 func (p centralPath) call(t *txnRun, i int) {
@@ -52,36 +53,46 @@ func (p centralPath) call(t *txnRun, i int) {
 		e.commit.begin(t)
 		return
 	}
-	e.central.cpu.Submit(e.cfg.InstrPerCall, func() {
-		elem, mode := t.spec.Elements[i], t.spec.Modes[i]
-		if _, held := e.central.locks.Holds(t.id(), elem); held {
-			p.afterLock(t, i)
-			return
-		}
-		e.emit(trace.LockRequest, t.spec.ID, -1, elem, mode.String())
-		switch e.central.locks.Acquire(t.id(), elem, mode, func() {
-			e.recordLockWait(t)
-			e.emit(trace.LockGranted, t.spec.ID, -1, elem, "")
-			p.afterLock(t, i)
-		}) {
-		case lock.Granted:
-			e.emit(trace.LockGranted, t.spec.ID, -1, elem, "")
-			p.afterLock(t, i)
-		case lock.Queued:
-			t.phase = phaseLockWait
-			t.lockWaitFrom = e.central.sched.Now()
-			e.emit(trace.LockWaitBegin, t.spec.ID, -1, elem, "")
-		case lock.Deadlock:
-			e.emit(trace.DeadlockAbort, t.spec.ID, -1, elem, "")
-			p.deadlockAbort(t)
-		}
-	})
+	t.callIdx = i
+	e.central.cpu.Submit(e.cfg.InstrPerCall, t.conts.call)
+}
+
+// callBody is call callIdx's work after its CPU burst: the lock acquisition.
+func (p centralPath) callBody(t *txnRun) {
+	e := p.e
+	i := t.callIdx
+	elem, mode := t.spec.Elements[i], t.spec.Modes[i]
+	if _, held := e.central.locks.Holds(t.id(), elem); held {
+		p.afterLock(t, i)
+		return
+	}
+	e.emit(trace.LockRequest, t.spec.ID, -1, elem, mode.String())
+	switch e.central.locks.Acquire(t.id(), elem, mode, t.conts.grant) {
+	case lock.Granted:
+		e.emit(trace.LockGranted, t.spec.ID, -1, elem, "")
+		p.afterLock(t, i)
+	case lock.Queued:
+		t.phase = phaseLockWait
+		t.lockWaitFrom = e.central.sched.Now()
+		e.emit(trace.LockWaitBegin, t.spec.ID, -1, elem, "")
+	case lock.Deadlock:
+		e.emit(trace.DeadlockAbort, t.spec.ID, -1, elem, "")
+		p.deadlockAbort(t)
+	}
+}
+
+// granted resumes call callIdx after a queued lock request was granted.
+func (p centralPath) granted(t *txnRun) {
+	e := p.e
+	e.recordLockWait(t)
+	e.emit(trace.LockGranted, t.spec.ID, -1, t.spec.Elements[t.callIdx], "")
+	p.afterLock(t, t.callIdx)
 }
 
 func (p centralPath) afterLock(t *txnRun, i int) {
 	e := p.e
 	if t.attempt == 1 {
-		scheduleIO(e.central.sched, e.central.disks, t.spec.Elements[i], e.cfg.IOTimePerCall, func() { p.call(t, i+1) })
+		scheduleIO(e.central.sched, e.central.disks, t.spec.Elements[i], e.cfg.IOTimePerCall, t.conts.io)
 		return
 	}
 	p.call(t, i+1)
@@ -97,7 +108,7 @@ func (p centralPath) restart(t *txnRun) {
 	if e.Detailed() {
 		e.emit(trace.Rerun, t.spec.ID, -1, 0, fmt.Sprintf("attempt %d", t.attempt))
 	}
-	e.central.sched.Schedule(e.cfg.RestartDelay, func() { p.call(t, 0) })
+	e.central.sched.Schedule(e.cfg.RestartDelay, t.conts.restart)
 }
 
 func (p centralPath) deadlockAbort(t *txnRun) {
@@ -107,5 +118,5 @@ func (p centralPath) deadlockAbort(t *txnRun) {
 	t.marked = false
 	t.attempt++
 	t.phase = phaseExecuting
-	e.central.sched.Schedule(e.cfg.RestartDelay, func() { p.call(t, 0) })
+	e.central.sched.Schedule(e.cfg.RestartDelay, t.conts.restart)
 }

@@ -30,7 +30,10 @@ func (c commitProtocol) begin(t *txnRun) {
 		return
 	}
 	wl := e.cfg.WorkloadConfig()
-	sites := t.spec.SitesTouched(wl)
+	// Central-shard scratch: consumed by the fan-out loop below, never
+	// captured by the messages it sends.
+	sites := t.spec.AppendSitesTouched(wl, e.central.sitesBuf[:0])
+	e.central.sitesBuf = sites
 	t.phase = phaseAuthWait
 	t.authPending = len(sites)
 	t.authNACK = false
@@ -111,7 +114,7 @@ func (c commitProtocol) authenticate(t *txnRun, tid lock.ID, txnID int64, site i
 // nothing from us. Not consulting the central running map keeps this
 // handler site-shard-pure.
 func (c commitProtocol) markVictim(ls *localSite, v lock.ID) {
-	if vt, ok := ls.running[v]; ok {
+	if vt, ok := ls.running.Get(v); ok {
 		vt.marked = true
 	}
 }
@@ -191,7 +194,7 @@ func (c commitProtocol) finish(t *txnRun) {
 	t.authSeized = t.authSeized[:0]
 	e.central.locks.ReleaseAll(t.id())
 	e.central.inSystem--
-	delete(e.central.running, t.id())
+	e.central.running.Delete(t.id())
 	t.phase = phaseDone
 	e.emit(trace.CommitCentral, t.spec.ID, -1, 0, "")
 

@@ -113,7 +113,9 @@ type Config struct {
 	Duration  float64 // measured simulated seconds
 	SelfCheck bool    // run invariant checks during the simulation (slow)
 	// Shards > 1 runs the simulation on a sharded parallel core: the sites
-	// are distributed round-robin over Shards-1 event-queue shards, the
+	// are distributed in contiguous blocks over Shards-1 event-queue shards
+	// (shard count decoupled from site count — GOMAXPROCS-sized counts are
+	// the sweet spot at any N), the
 	// central complex owns the remaining shard, and the shards synchronize
 	// conservatively with CommDelay as the lookahead window (DESIGN.md §12).
 	// Results are bit-identical to the sequential core (Shards <= 1), which

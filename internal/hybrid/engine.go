@@ -6,6 +6,7 @@ import (
 	"hybriddb/internal/comm"
 	"hybriddb/internal/cpu"
 	"hybriddb/internal/exec"
+	"hybriddb/internal/flatmap"
 	"hybriddb/internal/hybrid/obs"
 	"hybriddb/internal/lock"
 	"hybriddb/internal/rng"
@@ -98,7 +99,7 @@ func New(cfg Config, strategy routing.Strategy) (*Engine, error) {
 			cpu:     cpu.NewServer(exec.Sim(s), cfg.CentralMIPS),
 			disks:   newDisks(exec.Sim(s), cfg.DisksCentral),
 			locks:   lock.NewManager(),
-			running: make(map[lock.ID]*txnRun),
+			running: flatmap.New[lock.ID, *txnRun](16),
 		},
 		horizon: cfg.Warmup + cfg.Duration,
 	}
@@ -119,7 +120,7 @@ func New(cfg Config, strategy routing.Strategy) (*Engine, error) {
 			cpu:     cpu.NewServer(exec.Sim(s), cfg.LocalMIPS),
 			disks:   newDisks(exec.Sim(s), cfg.DisksPerSite),
 			locks:   lock.NewManager(),
-			running: make(map[lock.ID]*txnRun),
+			running: flatmap.New[lock.ID, *txnRun](16),
 		})
 		if cfg.RateSchedules != nil {
 			e.nhpp = append(e.nhpp, workload.NewNHPPArrivals(cfg.RateSchedules[i], arrivalSeeds.Uint64()))
@@ -265,10 +266,19 @@ func (e *Engine) scheduleArrival(site int) {
 	if ls.sched.Now()+gap > e.horizon {
 		return // no arrivals beyond the horizon
 	}
-	ls.sched.Schedule(gap, func() {
-		e.admit(e.generator.Next(site))
-		e.scheduleArrival(site)
-	})
+	if ls.arriveFn == nil {
+		ls.arriveFn = func() {
+			var spec *workload.Txn
+			if n := len(ls.specFree); n > 0 {
+				spec = ls.specFree[n-1]
+				ls.specFree[n-1] = nil
+				ls.specFree = ls.specFree[:n-1]
+			}
+			e.admit(e.generator.NextInto(site, spec))
+			e.scheduleArrival(site)
+		}
+	}
+	ls.sched.Schedule(gap, ls.arriveFn)
 }
 
 func (e *Engine) scheduleReplay(site, idx int) {

@@ -31,16 +31,16 @@ func (e *Engine) checkInvariants() {
 		if ls.inSystem < 0 {
 			panic(fmt.Sprintf("hybrid: negative inSystem at site %d", ls.idx))
 		}
-		if len(ls.running) != ls.inSystem {
+		if ls.running.Len() != ls.inSystem {
 			panic(fmt.Sprintf("hybrid: site %d running=%d inSystem=%d",
-				ls.idx, len(ls.running), ls.inSystem))
+				ls.idx, ls.running.Len(), ls.inSystem))
 		}
 		present += uint64(ls.inSystem)
 	}
 	e.central.locks.CheckInvariants()
-	if len(e.central.running) != e.central.inSystem {
+	if e.central.running.Len() != e.central.inSystem {
 		panic(fmt.Sprintf("hybrid: central running=%d inSystem=%d",
-			len(e.central.running), e.central.inSystem))
+			e.central.running.Len(), e.central.inSystem))
 	}
 	present += uint64(e.central.inSystem)
 	generated := e.generatedTotal()

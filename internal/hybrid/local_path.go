@@ -22,13 +22,15 @@ func (p localPath) start(t *txnRun) {
 	e := p.e
 	ls := e.sites[t.spec.HomeSite]
 	ls.inSystem++
-	ls.running[t.id()] = t
-	ls.cpu.Submit(e.cfg.InstrOverhead, func() {
-		scheduleIO(ls.sched, ls.disks, uint32(t.spec.ID), e.cfg.SetupIOTime, func() {
-			t.phase = phaseExecuting
-			p.call(t, 0)
-		})
-	})
+	ls.running.Put(t.id(), t)
+	ls.cpu.Submit(e.cfg.InstrOverhead, t.conts.setup)
+}
+
+// setupIO runs after the admission CPU burst: the initial I/O, no locks held.
+func (p localPath) setupIO(t *txnRun) {
+	e := p.e
+	ls := e.sites[t.spec.HomeSite]
+	scheduleIO(ls.sched, ls.disks, uint32(t.spec.ID), e.cfg.SetupIOTime, t.conts.setupIO)
 }
 
 // call performs database call i of a locally running transaction: CPU burst,
@@ -39,41 +41,51 @@ func (p localPath) call(t *txnRun, i int) {
 		p.commit(t)
 		return
 	}
+	t.callIdx = i
+	e.sites[t.spec.HomeSite].cpu.Submit(e.cfg.InstrPerCall, t.conts.call)
+}
+
+// callBody is call callIdx's work after its CPU burst: the lock acquisition.
+func (p localPath) callBody(t *txnRun) {
+	e := p.e
+	i := t.callIdx
 	ls := e.sites[t.spec.HomeSite]
-	ls.cpu.Submit(e.cfg.InstrPerCall, func() {
-		elem, mode := t.spec.Elements[i], t.spec.Modes[i]
-		if _, held := ls.locks.Holds(t.id(), elem); held {
-			// Re-run retains locks across a cross-site abort (§3.1).
-			p.afterLock(t, i)
-			return
-		}
-		e.emit(trace.LockRequest, t.spec.ID, ls.idx, elem, mode.String())
-		switch ls.locks.Acquire(t.id(), elem, mode, func() {
-			e.recordLockWait(t)
-			e.emit(trace.LockGranted, t.spec.ID, ls.idx, elem, "")
-			p.afterLock(t, i)
-		}) {
-		case lock.Granted:
-			e.emit(trace.LockGranted, t.spec.ID, ls.idx, elem, "")
-			p.afterLock(t, i)
-		case lock.Queued:
-			t.phase = phaseLockWait
-			t.lockWaitFrom = ls.sched.Now()
-			e.emit(trace.LockWaitBegin, t.spec.ID, ls.idx, elem, "")
-		case lock.Deadlock:
-			e.emit(trace.DeadlockAbort, t.spec.ID, ls.idx, elem, "")
-			p.deadlockAbort(t)
-		}
-	})
+	elem, mode := t.spec.Elements[i], t.spec.Modes[i]
+	if _, held := ls.locks.Holds(t.id(), elem); held {
+		// Re-run retains locks across a cross-site abort (§3.1).
+		p.afterLock(t, i)
+		return
+	}
+	e.emit(trace.LockRequest, t.spec.ID, ls.idx, elem, mode.String())
+	switch ls.locks.Acquire(t.id(), elem, mode, t.conts.grant) {
+	case lock.Granted:
+		e.emit(trace.LockGranted, t.spec.ID, ls.idx, elem, "")
+		p.afterLock(t, i)
+	case lock.Queued:
+		t.phase = phaseLockWait
+		t.lockWaitFrom = ls.sched.Now()
+		e.emit(trace.LockWaitBegin, t.spec.ID, ls.idx, elem, "")
+	case lock.Deadlock:
+		e.emit(trace.DeadlockAbort, t.spec.ID, ls.idx, elem, "")
+		p.deadlockAbort(t)
+	}
+}
+
+// granted resumes call callIdx after a queued lock request was granted.
+func (p localPath) granted(t *txnRun) {
+	e := p.e
+	e.recordLockWait(t)
+	e.emit(trace.LockGranted, t.spec.ID, e.sites[t.spec.HomeSite].idx, t.spec.Elements[t.callIdx], "")
+	p.afterLock(t, t.callIdx)
 }
 
 func (p localPath) afterLock(t *txnRun, i int) {
 	e := p.e
 	if t.attempt == 1 {
 		// First run: fetch the data from disk. Re-runs find all data in
-		// memory (§3.1).
+		// memory (§3.1). conts.io advances to call callIdx+1.
 		ls := e.sites[t.spec.HomeSite]
-		scheduleIO(ls.sched, ls.disks, t.spec.Elements[i], e.cfg.IOTimePerCall, func() { p.call(t, i+1) })
+		scheduleIO(ls.sched, ls.disks, t.spec.Elements[i], e.cfg.IOTimePerCall, t.conts.io)
 		return
 	}
 	p.call(t, i+1)
@@ -92,7 +104,10 @@ func (p localPath) commit(t *txnRun) {
 		p.restart(t)
 		return
 	}
-	updates := t.spec.Updates()
+	// The update set rides the asynchronous update message, so it cannot be
+	// scratch: propagate takes ownership, and the buffer returns to the
+	// site's pool with the central acknowledgement.
+	updates := t.spec.AppendUpdates(ls.takeUpdBuf())
 	for _, elem := range t.spec.Elements {
 		ls.locks.Release(t.id(), elem)
 	}
@@ -104,6 +119,8 @@ func (p localPath) commit(t *txnRun) {
 			e.emit(trace.UpdatePropagated, t.spec.ID, ls.idx, 0, fmt.Sprintf("%d elements", len(updates)))
 		}
 		e.prop.propagate(ls, updates)
+	} else if updates != nil {
+		ls.updFree = append(ls.updFree, updates)
 	}
 	e.emit(trace.CommitLocal, t.spec.ID, t.spec.HomeSite, 0, "")
 
@@ -112,7 +129,7 @@ func (p localPath) commit(t *txnRun) {
 	t.phase = phaseDone
 	ls.lastLocalRT = rt
 	ls.inSystem--
-	delete(ls.running, t.id())
+	ls.running.Delete(t.id())
 	ls.completed++
 	e.observeAt(now, obs.Event{Kind: obs.TxnLocalCommit, Site: ls.idx, Value: rt})
 	e.recycleTxnRun(t)
@@ -128,7 +145,7 @@ func (p localPath) restart(t *txnRun) {
 	if e.Detailed() {
 		e.emit(trace.Rerun, t.spec.ID, t.spec.HomeSite, 0, fmt.Sprintf("attempt %d", t.attempt))
 	}
-	e.sites[t.spec.HomeSite].sched.Schedule(e.cfg.RestartDelay, func() { p.call(t, 0) })
+	e.sites[t.spec.HomeSite].sched.Schedule(e.cfg.RestartDelay, t.conts.restart)
 }
 
 // deadlockAbort handles a same-site deadlock: the requester aborts and
@@ -141,5 +158,5 @@ func (p localPath) deadlockAbort(t *txnRun) {
 	t.marked = false
 	t.attempt++
 	t.phase = phaseExecuting
-	ls.sched.Schedule(e.cfg.RestartDelay, func() { p.call(t, 0) })
+	ls.sched.Schedule(e.cfg.RestartDelay, t.conts.restart)
 }

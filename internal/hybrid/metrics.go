@@ -21,10 +21,40 @@ type metrics struct {
 	start   float64 // window start time
 
 	seriesBucket float64
-	cores        []*metricsCore
+	cores        []metricsCore
+
+	// Response-time histograms are kept per shard group, not per core: the
+	// four 600-bucket histograms dominate a core's footprint (~19 KB), and
+	// at N=1000 sites per-core histograms would cost ~19 MB of cold state.
+	// Histogram buckets are integer counts, so — unlike the Welford and
+	// series merges — their merge is order-independent and moving them off
+	// the per-partition cores cannot change any Result bit. histGroup maps a
+	// core to its group (the owning shard in a sharded run, group 0
+	// sequentially); each group's set is allocated lazily on first record,
+	// by the one worker that owns the group.
+	hists     []*histSet
+	histGroup []int32
 }
 
-// metricsCore is one partition's accumulator set.
+// histSet is one shard group's response-time histograms.
+type histSet struct {
+	rtHist     *stats.Histogram
+	histLocalA *stats.Histogram
+	histShipA  *stats.Histogram
+	histClassB *stats.Histogram
+}
+
+func newHistSet() *histSet {
+	return &histSet{
+		rtHist:     stats.NewHistogram(0, 60, 600),
+		histLocalA: stats.NewHistogram(0, 60, 600),
+		histShipA:  stats.NewHistogram(0, 60, 600),
+		histClassB: stats.NewHistogram(0, 60, 600),
+	}
+}
+
+// metricsCore is one partition's accumulator set — compact (no histogram
+// arrays) so 1000-site runs keep every hot core cache-resident.
 type metricsCore struct {
 	// Response times by kind. rtLocalA doubles as the per-site local-commit
 	// stat for site cores (every local commit of site i lands in core i).
@@ -32,10 +62,6 @@ type metricsCore struct {
 	rtLocalA   stats.Welford
 	rtShippedA stats.Welford
 	rtClassB   stats.Welford
-	rtHist     *stats.Histogram
-	histLocalA *stats.Histogram
-	histShipA  *stats.Histogram
-	histClassB *stats.Histogram
 
 	// Routing decisions (class A only) and arrivals.
 	decisionsLocal uint64
@@ -73,24 +99,40 @@ type metricsCore struct {
 	seriesQCount []uint64  // queue samples per bucket
 }
 
-func newMetricsCore() *metricsCore {
-	return &metricsCore{
-		rtHist:     stats.NewHistogram(0, 60, 600),
-		histLocalA: stats.NewHistogram(0, 60, 600),
-		histShipA:  stats.NewHistogram(0, 60, 600),
-		histClassB: stats.NewHistogram(0, 60, 600),
+func newMetrics(bucket float64, sites int) *metrics {
+	return &metrics{
+		seriesBucket: bucket,
+		cores:        make([]metricsCore, sites+2),
+		hists:        make([]*histSet, 1),
+		histGroup:    make([]int32, sites+2),
 	}
 }
 
-func newMetrics(bucket float64, sites int) *metrics {
-	m := &metrics{
-		seriesBucket: bucket,
-		cores:        make([]*metricsCore, sites+2),
+// setHistGroups re-homes the histogram sets for a sharded run: core i's
+// histograms live in the group of the shard that writes core i. Called from
+// setupRunMode before any event executes. The central and coordinator cores
+// map to shard 0 (the central complex's shard; the coordinator core never
+// records response times).
+func (m *metrics) setHistGroups(shardOf []int, nShards int) {
+	m.hists = make([]*histSet, nShards)
+	for i, sh := range shardOf {
+		m.histGroup[i] = int32(sh)
 	}
-	for i := range m.cores {
-		m.cores[i] = newMetricsCore()
+	m.histGroup[len(m.histGroup)-2] = 0
+	m.histGroup[len(m.histGroup)-1] = 0
+}
+
+// histFor returns the (lazily allocated) histogram set of a core's group.
+// Only the worker owning the group ever calls this for its cores, so the
+// lazy initialization is single-writer.
+func (m *metrics) histFor(core int) *histSet {
+	g := m.histGroup[core]
+	h := m.hists[g]
+	if h == nil {
+		h = newHistSet()
+		m.hists[g] = h
 	}
-	return m
+	return h
 }
 
 // coreIndex routes an event to its partition's core: coordinator events
@@ -120,7 +162,8 @@ func (m *metrics) OnEvent(ev obs.Event) {
 	if !m.enabled {
 		return
 	}
-	c := m.cores[m.coreIndex(ev)]
+	idx := m.coreIndex(ev)
+	c := &m.cores[idx]
 	switch ev.Kind {
 	case obs.TxnArrive:
 		if ev.ClassB {
@@ -137,19 +180,21 @@ func (m *metrics) OnEvent(ev obs.Event) {
 	case obs.TxnLocalCommit:
 		c.rtAll.Add(ev.Value)
 		c.rtLocalA.Add(ev.Value)
-		c.rtHist.Add(ev.Value)
-		c.histLocalA.Add(ev.Value)
+		h := m.histFor(idx)
+		h.rtHist.Add(ev.Value)
+		h.histLocalA.Add(ev.Value)
 		m.recordSeries(c, ev.At, ev.Value)
 	case obs.TxnReply:
 		c.rtAll.Add(ev.Value)
-		c.rtHist.Add(ev.Value)
+		h := m.histFor(idx)
+		h.rtHist.Add(ev.Value)
 		m.recordSeries(c, ev.At, ev.Value)
 		if ev.ClassB {
 			c.rtClassB.Add(ev.Value)
-			c.histClassB.Add(ev.Value)
+			h.histClassB.Add(ev.Value)
 		} else {
 			c.rtShippedA.Add(ev.Value)
-			c.histShipA.Add(ev.Value)
+			h.histShipA.Add(ev.Value)
 		}
 	case obs.LockWaitEnd:
 		c.lockWait.Add(ev.Value)
@@ -223,10 +268,6 @@ func (c *metricsCore) mergeInto(agg *metricsCore) {
 	agg.rtLocalA.Merge(&c.rtLocalA)
 	agg.rtShippedA.Merge(&c.rtShippedA)
 	agg.rtClassB.Merge(&c.rtClassB)
-	agg.rtHist.Merge(c.rtHist)
-	agg.histLocalA.Merge(c.histLocalA)
-	agg.histShipA.Merge(c.histShipA)
-	agg.histClassB.Merge(c.histClassB)
 	agg.decisionsLocal += c.decisionsLocal
 	agg.decisionsShip += c.decisionsShip
 	agg.arrivalsA += c.arrivalsA
@@ -277,9 +318,22 @@ func (e *Engine) result() Result {
 	if !e.m.enabled || window <= 0 {
 		window = 0
 	}
-	agg := newMetricsCore()
-	for _, c := range e.m.cores {
-		c.mergeInto(agg)
+	agg := &metricsCore{}
+	for i := range e.m.cores {
+		e.m.cores[i].mergeInto(agg)
+	}
+	// Histogram sets merge across shard groups in index order. Bucket
+	// tallies are integers, so this merge is order-independent — the fixed
+	// order is just hygiene.
+	aggH := newHistSet()
+	for _, h := range e.m.hists {
+		if h == nil {
+			continue
+		}
+		aggH.rtHist.Merge(h.rtHist)
+		aggH.histLocalA.Merge(h.histLocalA)
+		aggH.histShipA.Merge(h.histShipA)
+		aggH.histClassB.Merge(h.histClassB)
 	}
 	r := Result{
 		Strategy:              e.strategy.Name(),
@@ -291,18 +345,18 @@ func (e *Engine) result() Result {
 		MeanRTLocalA:          agg.rtLocalA.Mean(),
 		MeanRTShippedA:        agg.rtShippedA.Mean(),
 		MeanRTClassB:          agg.rtClassB.Mean(),
-		P95RT:                 agg.rtHist.Quantile(0.95),
-		P95RTLocalA:           agg.histLocalA.Quantile(0.95),
-		P95RTShippedA:         agg.histShipA.Quantile(0.95),
-		P95RTClassB:           agg.histClassB.Quantile(0.95),
-		RTPercentiles:         percentilesOf(agg.rtHist),
-		RTPercentilesLocalA:   percentilesOf(agg.histLocalA),
-		RTPercentilesShippedA: percentilesOf(agg.histShipA),
-		RTPercentilesClassB:   percentilesOf(agg.histClassB),
-		ClipAll:               clipOf(agg.rtHist),
-		ClipLocalA:            clipOf(agg.histLocalA),
-		ClipShippedA:          clipOf(agg.histShipA),
-		ClipClassB:            clipOf(agg.histClassB),
+		P95RT:                 aggH.rtHist.Quantile(0.95),
+		P95RTLocalA:           aggH.histLocalA.Quantile(0.95),
+		P95RTShippedA:         aggH.histShipA.Quantile(0.95),
+		P95RTClassB:           aggH.histClassB.Quantile(0.95),
+		RTPercentiles:         percentilesOf(aggH.rtHist),
+		RTPercentilesLocalA:   percentilesOf(aggH.histLocalA),
+		RTPercentilesShippedA: percentilesOf(aggH.histShipA),
+		RTPercentilesClassB:   percentilesOf(aggH.histClassB),
+		ClipAll:               clipOf(aggH.rtHist),
+		ClipLocalA:            clipOf(aggH.histLocalA),
+		ClipShippedA:          clipOf(aggH.histShipA),
+		ClipClassB:            clipOf(aggH.histClassB),
 		AbortsDeadlockLocal:   agg.abortsDeadlockLocal,
 		AbortsDeadlockCentral: agg.abortsDeadlockCentral,
 		AbortsLocalSeized:     agg.abortsLocalSeized,
@@ -365,11 +419,20 @@ func (e *Engine) result() Result {
 	}
 	if e.cfg.CaptureHistograms {
 		r.Histograms = &ResultHistograms{
-			All:      agg.rtHist.Dump(),
-			LocalA:   agg.histLocalA.Dump(),
-			ShippedA: agg.histShipA.Dump(),
-			ClassB:   agg.histClassB.Dump(),
+			All:      aggH.rtHist.Dump(),
+			LocalA:   aggH.histLocalA.Dump(),
+			ShippedA: aggH.histShipA.Dump(),
+			ClassB:   aggH.histClassB.Dump(),
 		}
+		// The dumps' exact means must come from the per-core Welfords, not
+		// the histograms' own accumulators: the histogram sets are partitioned
+		// per shard group, so their internal float means depend on the shard
+		// count, while the core Welfords see identical per-partition
+		// accumulation and the same fixed merge order in every run mode.
+		r.Histograms.All.Mean = agg.rtAll.Mean()
+		r.Histograms.LocalA.Mean = agg.rtLocalA.Mean()
+		r.Histograms.ShippedA.Mean = agg.rtShippedA.Mean()
+		r.Histograms.ClassB.Mean = agg.rtClassB.Mean()
 	}
 	return r
 }

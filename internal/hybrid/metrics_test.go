@@ -9,8 +9,8 @@ import (
 
 // siteCore and coordCore pick the partition cores the unit tests poke at
 // (single-site metrics: core 0 = the site, last core = the coordinator).
-func siteCore(m *metrics) *metricsCore  { return m.cores[0] }
-func coordCore(m *metrics) *metricsCore { return m.cores[len(m.cores)-1] }
+func siteCore(m *metrics) *metricsCore  { return &m.cores[0] }
+func coordCore(m *metrics) *metricsCore { return &m.cores[len(m.cores)-1] }
 
 // TestSeriesBucketBoundaries pins the bucket grid: a completion at exactly
 // the window start lands in bucket 0, one an epsilon before a boundary stays

@@ -1,9 +1,10 @@
 package hybrid
 
-// The sharded parallel run mode (DESIGN.md §12): each local site is assigned
-// to one of Shards-1 event-queue shards (round-robin), the central complex
-// owns shard 0, and the shards execute concurrently under the conservative
-// synchronization of sim.Group with CommDelay as the lookahead window. The
+// The sharded parallel run mode (DESIGN.md §12, §14): each local site is
+// assigned to one of Shards-1 event-queue shards (contiguous blocks), the
+// central complex owns shard 0, and the shards execute concurrently under the
+// conservative synchronization of sim.Group with CommDelay as the lookahead
+// window. The
 // topology is a star — sites interact only with the central complex, never
 // with each other — so co-locating several sites on one shard changes
 // nothing observable: their events still execute in timestamp order on the
@@ -70,9 +71,24 @@ func (e *Engine) setupRunMode() {
 	for i := 1; i < nShards; i++ {
 		sims[i] = sim.New()
 	}
+	// Contiguous-block site→shard mapping: worker shard w (1-based) owns a
+	// block of sites/(nShards-1) consecutive sites, the first rem workers
+	// one extra. Shard count is thereby decoupled from site count — N=1000
+	// runs on GOMAXPROCS-ish shards, not 1001 — and any mapping is
+	// observationally equivalent: sites interact only with central, and
+	// co-located sites still execute in timestamp order on the shared queue.
+	workers := nShards - 1
+	per, rem := len(e.sites)/workers, len(e.sites)%workers
 	shardOf := make([]int, len(e.sites))
+	big := rem * (per + 1) // sites held by the per+1-sized blocks
 	for i, ls := range e.sites {
-		sh := 1 + i%(nShards-1)
+		var w int
+		if i < big {
+			w = i / (per + 1)
+		} else {
+			w = rem + (i-big)/per
+		}
+		sh := 1 + w
 		shardOf[i] = sh
 		ls.sched = exec.NewDispatch(exec.Sim(sims[sh]))
 		ls.cpu.Rebind(exec.Sim(sims[sh]))
@@ -80,8 +96,13 @@ func (e *Engine) setupRunMode() {
 			d.Rebind(exec.Sim(sims[sh]))
 		}
 	}
+	e.m.setHistGroups(shardOf, nShards)
 	// Two edges per site (uplink, downlink); lookahead = the one-way delay.
 	e.group = sim.NewGroup(sims, 2*len(e.sites), e.cfg.CommDelay)
+	// Declare the star: sites talk only to central (shard 0), so the
+	// synchronizer can bound site shards by central's clock alone and let
+	// them coalesce many lookahead windows per round.
+	e.group.SetHub(0)
 	e.network = newShardNet(e.group, sims, shardOf, e.cfg.CommDelay)
 }
 

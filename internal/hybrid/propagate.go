@@ -45,6 +45,9 @@ func (p propagator) snapshotCentral() centralSnapshot {
 // immediately, or batched per Config.UpdateBatchWindow. Batching keeps
 // per-link FIFO ordering: the flush sends one message on the same uplink
 // that unbatched commits would use.
+// Propagate owns the updates slice it is handed: an unbatched send parks it
+// in the message and the acknowledgement returns it to the site's pool; a
+// batched send folds it into the pending batch and frees it immediately.
 func (p propagator) propagate(ls *localSite, updates []uint32) {
 	e := p.e
 	site := ls.idx
@@ -52,7 +55,11 @@ func (p propagator) propagate(ls *localSite, updates []uint32) {
 		e.network.ToCentral(site, func() { p.centralApply(site, updates) })
 		return
 	}
+	if ls.pendingUpdates == nil {
+		ls.pendingUpdates = ls.takeUpdBuf()
+	}
 	ls.pendingUpdates = append(ls.pendingUpdates, updates...)
+	ls.updFree = append(ls.updFree, updates)
 	if ls.flushPending {
 		return
 	}
@@ -85,8 +92,11 @@ func (p propagator) centralApply(site int, updates []uint32) {
 func (p propagator) applyNow(site int, updates []uint32) {
 	e := p.e
 	for _, elem := range updates {
-		for _, holder := range e.central.locks.Holders(elem) {
-			if vt, ok := e.central.running[holder]; ok {
+		// Central-shard scratch walk; HoldersAppend copies the IDs out, so
+		// the releases below cannot invalidate the iteration.
+		e.central.holdersBuf = e.central.locks.HoldersAppend(elem, e.central.holdersBuf[:0])
+		for _, holder := range e.central.holdersBuf {
+			if vt, ok := e.central.running.Get(holder); ok {
 				vt.marked = true
 			}
 			e.central.locks.Release(holder, elem)
@@ -105,5 +115,10 @@ func (p propagator) applyNow(site int, updates []uint32) {
 			ls.locks.DecrCoherence(elem)
 		}
 		e.emit(trace.UpdateAcked, 0, site, 0, "")
+		// The acknowledgement executes on the originating site's shard, so
+		// it can hand the update buffer back to that site's pool.
+		if updates != nil {
+			ls.updFree = append(ls.updFree, updates)
+		}
 	})
 }

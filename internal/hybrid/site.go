@@ -7,8 +7,10 @@ package hybrid
 import (
 	"hybriddb/internal/cpu"
 	"hybriddb/internal/exec"
+	"hybriddb/internal/flatmap"
 	"hybriddb/internal/lock"
 	"hybriddb/internal/routing"
+	"hybriddb/internal/workload"
 )
 
 // localSite is one distributed system. In a sharded run every field below
@@ -22,8 +24,8 @@ type localSite struct {
 	disks []*cpu.Server // empty: pure-delay I/O (the paper's assumption)
 	locks *lock.Manager
 
-	inSystem int                 // n_i: class A transactions present
-	running  map[lock.ID]*txnRun // transactions executing here
+	inSystem int                            // n_i: class A transactions present
+	running  *flatmap.Map[lock.ID, *txnRun] // transactions executing here
 
 	shippedOut int // class A transactions currently shipped from here
 
@@ -46,6 +48,24 @@ type localSite struct {
 	// through the central complex, ownership travels back with the reply.
 	txnFree []*txnRun
 
+	// specFree recycles workload.Txn specs the same way (generator runs only,
+	// never replayed traces — those specs belong to the caller). A spec is
+	// reused only after recycleTxnRun, by which point every in-flight message
+	// payload derived from it has been copied out.
+	specFree []*workload.Txn
+
+	// updFree recycles the update-set slices that ride the asynchronous
+	// update messages of §2. Unlike scratch buffers these live across the
+	// propagate round trip: commit fills one, the message owns it in flight,
+	// and the central acknowledgement hands it back to this pool (the ack
+	// executes on this site's shard).
+	updFree [][]uint32
+
+	// arriveFn is the pre-bound Poisson-arrival callback (admit the next
+	// generated transaction, schedule the following arrival), so steady-state
+	// arrival scheduling allocates no closures.
+	arriveFn func()
+
 	// Conservation counters, owned by this site's shard and summed at
 	// barriers/results: transactions admitted here, completed from here
 	// (local commits and delivered replies), shipped inputs sent, and
@@ -65,7 +85,7 @@ type centralSite struct {
 	locks *lock.Manager
 
 	inSystem int // n_c: transactions present (class B + shipped class A)
-	running  map[lock.ID]*txnRun
+	running  *flatmap.Map[lock.ID, *txnRun]
 
 	busyAtWarmup float64
 
@@ -73,6 +93,24 @@ type centralSite struct {
 	// received, completion replies sent.
 	shipArrived  uint64
 	replyStarted uint64
+
+	// Central-shard scratch buffers, reused across events (never captured by
+	// a closure or held across a message): the authentication fan-out's
+	// touched-site set and the update application's holder walk.
+	sitesBuf   []int
+	holdersBuf []lock.ID
+}
+
+// takeUpdBuf pops a recycled update-set buffer from the site's pool, or
+// returns nil (append then allocates the pool's first generation).
+func (ls *localSite) takeUpdBuf() []uint32 {
+	if n := len(ls.updFree); n > 0 {
+		buf := ls.updFree[n-1]
+		ls.updFree[n-1] = nil
+		ls.updFree = ls.updFree[:n-1]
+		return buf[:0]
+	}
+	return nil
 }
 
 // newDisks builds a disk bank; disks are modelled as unit-rate servers whose

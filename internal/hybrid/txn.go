@@ -42,6 +42,26 @@ type txnRun struct {
 	authSeized  []int // sites where locks were seized and must be released
 
 	lockWaitFrom float64 // set while phase == phaseLockWait
+
+	// callIdx is the database call the continuation chain is executing.
+	callIdx int
+	// conts holds the run's pre-bound continuations, allocated once per
+	// pooled object and preserved across recycling. The per-call hot path
+	// (CPU burst -> lock acquisition -> I/O, times CallsPerTxn) schedules
+	// only these stored funcs, so it allocates no closures; each dispatches
+	// on t.shipped, which is fixed for the whole execution attempt before
+	// any continuation is scheduled.
+	conts txnConts
+}
+
+// txnConts is the set of pre-bound lifecycle continuations of one txnRun.
+type txnConts struct {
+	setup   func() // after the admission CPU burst: the setup I/O
+	setupIO func() // after the setup I/O: begin the database calls
+	call    func() // after call callIdx's CPU burst: its lock acquisition
+	grant   func() // a waited-for lock was granted
+	io      func() // after call callIdx's I/O: advance to the next call
+	restart func() // re-run from call 0 after RestartDelay
 }
 
 func (t *txnRun) id() lock.ID { return lock.ID(t.spec.ID) }
@@ -57,15 +77,70 @@ func (e *Engine) newTxnRun(ls *localSite, spec *workload.Txn) *txnRun {
 		t = ls.txnFree[n-1]
 		ls.txnFree = ls.txnFree[:n-1]
 		seized := t.authSeized[:0]
-		*t = txnRun{authSeized: seized}
+		conts := t.conts
+		*t = txnRun{authSeized: seized, conts: conts}
 	} else {
 		t = &txnRun{}
+		e.bindContinuations(t)
 	}
 	t.spec = spec
 	t.arrivedAt = ls.sched.Now()
 	t.attempt = 1
 	t.phase = phaseSetup
 	return t
+}
+
+// bindContinuations allocates a run's lifecycle continuations, once per
+// pooled object. Each dispatches to the execution path chosen for the
+// current attempt via t.shipped: admit() fixes it before the first
+// continuation is scheduled, and restarts never change tiers.
+func (e *Engine) bindContinuations(t *txnRun) {
+	local, central := e.local, e.remote
+	t.conts = txnConts{
+		setup: func() {
+			if t.shipped {
+				central.setupIO(t)
+			} else {
+				local.setupIO(t)
+			}
+		},
+		setupIO: func() {
+			t.phase = phaseExecuting
+			if t.shipped {
+				central.call(t, 0)
+			} else {
+				local.call(t, 0)
+			}
+		},
+		call: func() {
+			if t.shipped {
+				central.callBody(t)
+			} else {
+				local.callBody(t)
+			}
+		},
+		grant: func() {
+			if t.shipped {
+				central.granted(t)
+			} else {
+				local.granted(t)
+			}
+		},
+		io: func() {
+			if t.shipped {
+				central.call(t, t.callIdx+1)
+			} else {
+				local.call(t, t.callIdx+1)
+			}
+		},
+		restart: func() {
+			if t.shipped {
+				central.call(t, 0)
+			} else {
+				local.call(t, 0)
+			}
+		},
+	}
 }
 
 // recycleTxnRun returns a completed run to its home site's pool. Callers
@@ -76,6 +151,11 @@ func (e *Engine) newTxnRun(ls *localSite, spec *workload.Txn) *txnRun {
 // at home, shipped commits recycle in the delivered reply).
 func (e *Engine) recycleTxnRun(t *txnRun) {
 	ls := e.sites[t.spec.HomeSite]
+	if e.replayTxns == nil {
+		// Generator-produced specs are pooled for NextInto; replayed specs
+		// belong to the SetTrace caller and must survive the run.
+		ls.specFree = append(ls.specFree, t.spec)
+	}
 	t.spec = nil
 	ls.txnFree = append(ls.txnFree, t)
 }

@@ -103,7 +103,7 @@ func FuzzLock(f *testing.F) {
 		if m.granted != 0 {
 			t.Fatalf("%d grants survived teardown", m.granted)
 		}
-		if n := len(m.table); n != 0 {
+		if n := m.table.Len(); n != 0 {
 			t.Fatalf("%d entries retained after teardown — pooled entry leak", n)
 		}
 	})

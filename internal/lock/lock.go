@@ -24,6 +24,8 @@ package lock
 
 import (
 	"fmt"
+
+	"hybriddb/internal/flatmap"
 )
 
 // ID identifies a transaction to the lock manager.
@@ -132,14 +134,20 @@ func findHeld(h []heldElem, elem uint32) (int, bool) {
 
 // Manager is the lock manager for one site. It is not safe for concurrent
 // use; the discrete-event simulation is single-threaded by design.
+//
+// The three tables are open-addressed flat maps (internal/flatmap) rather
+// than Go maps: Acquire/Release are the inner loop of every database call,
+// and at 1000 sites the per-site tables must stay small, cache-resident and
+// free of per-operation allocation. Nothing iterates them on the simulation
+// path, so the unspecified probe order cannot leak into results.
 type Manager struct {
-	table map[uint32]*entry
+	table *flatmap.Map[uint32, *entry]
 	// held tracks, per transaction, the elements it holds and in what mode,
 	// as a slice sorted by element.
-	held map[ID][]heldElem
+	held *flatmap.Map[ID, []heldElem]
 	// waitingOn maps a blocked transaction to the element it waits for.
 	// A transaction requests locks sequentially, so it waits on at most one.
-	waitingOn map[ID]uint32
+	waitingOn *flatmap.Map[ID, uint32]
 	granted   int // total granted locks, kept incrementally
 
 	// Object pools: entries and held slices cycle through short lifetimes
@@ -148,27 +156,28 @@ type Manager struct {
 	freeEntries []*entry
 	freeHeld    [][]heldElem
 	victimBuf   []ID
+	visitBuf    []ID // cycle-search scratch, reused across wouldDeadlock calls
 }
 
 // NewManager returns an empty lock manager.
 func NewManager() *Manager {
 	return &Manager{
-		table:     make(map[uint32]*entry),
-		held:      make(map[ID][]heldElem),
-		waitingOn: make(map[ID]uint32),
+		table:     flatmap.New[uint32, *entry](64),
+		held:      flatmap.New[ID, []heldElem](64),
+		waitingOn: flatmap.New[ID, uint32](16),
 	}
 }
 
 func (m *Manager) entry(elem uint32) *entry {
-	e := m.table[elem]
-	if e == nil {
+	e, ok := m.table.Get(elem)
+	if !ok {
 		if n := len(m.freeEntries); n > 0 {
 			e = m.freeEntries[n-1]
 			m.freeEntries = m.freeEntries[:n-1]
 		} else {
 			e = &entry{}
 		}
-		m.table[elem] = e
+		m.table.Put(elem, e)
 	}
 	return e
 }
@@ -181,8 +190,8 @@ func (m *Manager) entry(elem uint32) *entry {
 // entry. Recycling is always paired with the table delete, so an entry is
 // never simultaneously pooled and installed.
 func (m *Manager) maybeDrop(elem uint32, e *entry) {
-	if e.empty() && m.table[elem] == e {
-		delete(m.table, elem)
+	if cur, ok := m.table.Get(elem); e.empty() && ok && cur == e {
+		m.table.Delete(elem)
 		e.holders = e.holders[:0]
 		e.queue = e.queue[:0]
 		e.coherence = 0
@@ -195,7 +204,7 @@ func (m *Manager) addHolder(id ID, elem uint32, mode Mode, e *entry) {
 		// Upgrade: replace mode, total count unchanged.
 		if e.holders[i].mode != mode {
 			e.holders[i].mode = mode
-			h := m.held[id]
+			h, _ := m.held.Get(id)
 			if j, ok := findHeld(h, elem); ok {
 				h[j].mode = mode
 			}
@@ -206,7 +215,7 @@ func (m *Manager) addHolder(id ID, elem uint32, mode Mode, e *entry) {
 		copy(e.holders[i+1:], e.holders[i:])
 		e.holders[i] = holder{id: id, mode: mode}
 	}
-	h, ok := m.held[id]
+	h, ok := m.held.Get(id)
 	if !ok && len(m.freeHeld) > 0 {
 		n := len(m.freeHeld)
 		h = m.freeHeld[n-1]
@@ -216,7 +225,7 @@ func (m *Manager) addHolder(id ID, elem uint32, mode Mode, e *entry) {
 	h = append(h, heldElem{})
 	copy(h[j+1:], h[j:])
 	h[j] = heldElem{elem: elem, mode: mode}
-	m.held[id] = h
+	m.held.Put(id, h)
 	m.granted++
 }
 
@@ -227,15 +236,15 @@ func (m *Manager) removeHolder(id ID, elem uint32, e *entry) {
 	}
 	copy(e.holders[i:], e.holders[i+1:])
 	e.holders = e.holders[:len(e.holders)-1]
-	if h, ok := m.held[id]; ok {
+	if h, ok := m.held.Get(id); ok {
 		if j, ok := findHeld(h, elem); ok {
 			copy(h[j:], h[j+1:])
 			h = h[:len(h)-1]
 			if len(h) == 0 {
-				delete(m.held, id)
+				m.held.Delete(id)
 				m.freeHeld = append(m.freeHeld, h)
 			} else {
-				m.held[id] = h
+				m.held.Put(id, h)
 			}
 		}
 	}
@@ -247,7 +256,7 @@ func (m *Manager) removeHolder(id ID, elem uint32, e *entry) {
 // granted; onGrant must not be nil in that case. If the request holds the
 // element already in a mode at least as strong, it is granted immediately.
 func (m *Manager) Acquire(id ID, elem uint32, mode Mode, onGrant func()) Outcome {
-	if _, waiting := m.waitingOn[id]; waiting {
+	if _, waiting := m.waitingOn.Get(id); waiting {
 		panic(fmt.Sprintf("lock: transaction %d issued a second request while blocked", id))
 	}
 	e := m.entry(elem)
@@ -278,7 +287,7 @@ func (m *Manager) Acquire(id ID, elem uint32, mode Mode, onGrant func()) Outcome
 		panic("lock: nil onGrant for a request that must wait")
 	}
 	e.queue = append(e.queue, request{id: id, mode: mode, onGrant: onGrant})
-	m.waitingOn[id] = elem
+	m.waitingOn.Put(id, elem)
 	return Queued
 }
 
@@ -307,26 +316,37 @@ func (m *Manager) grantable(id ID, mode Mode, e *entry) bool {
 // request queued ahead of it (the grant scan is strictly FIFO, so requests
 // ahead necessarily complete first).
 func (m *Manager) wouldDeadlock(start ID, elem uint32, mode Mode) bool {
-	visited := make(map[ID]bool)
+	// Waits-for chains are short (each blocked transaction waits on one
+	// element), so a linear scan over a reused scratch slice beats a
+	// per-call visited map.
+	m.visitBuf = m.visitBuf[:0]
+	seen := func(id ID) bool {
+		for _, v := range m.visitBuf {
+			if v == id {
+				return true
+			}
+		}
+		return false
+	}
 	var visit func(id ID, waitElem uint32, waitMode Mode, queuePos int) bool
 	visit = func(id ID, waitElem uint32, waitMode Mode, queuePos int) bool {
-		e := m.table[waitElem]
-		if e == nil {
+		e, ok := m.table.Get(waitElem)
+		if !ok {
 			return false
 		}
 		step := func(next ID) bool {
 			if next == start {
 				return true
 			}
-			if visited[next] {
+			if seen(next) {
 				return false
 			}
-			visited[next] = true
-			nextElem, blocked := m.waitingOn[next]
+			m.visitBuf = append(m.visitBuf, next)
+			nextElem, blocked := m.waitingOn.Get(next)
 			if !blocked {
 				return false
 			}
-			ne := m.table[nextElem]
+			ne, _ := m.table.Get(nextElem)
 			pos := len(ne.queue)
 			var nm Mode
 			for i, r := range ne.queue {
@@ -359,9 +379,8 @@ func (m *Manager) wouldDeadlock(start ID, elem uint32, mode Mode) bool {
 		return false
 	}
 	// The new request would sit at the back of the queue.
-	e := m.table[elem]
 	pos := 0
-	if e != nil {
+	if e, ok := m.table.Get(elem); ok {
 		pos = len(e.queue)
 	}
 	return visit(start, elem, mode, pos)
@@ -370,8 +389,8 @@ func (m *Manager) wouldDeadlock(start ID, elem uint32, mode Mode) bool {
 // Release gives up id's lock on elem and grants any newly compatible waiters.
 // Releasing a lock that is not held is a no-op.
 func (m *Manager) Release(id ID, elem uint32) {
-	e := m.table[elem]
-	if e == nil {
+	e, ok := m.table.Get(elem)
+	if !ok {
 		return
 	}
 	m.removeHolder(id, elem, e)
@@ -387,7 +406,7 @@ func (m *Manager) Release(id ID, elem uint32) {
 func (m *Manager) ReleaseAll(id ID) {
 	m.CancelRequest(id)
 	for {
-		h := m.held[id]
+		h, _ := m.held.Get(id)
 		if len(h) == 0 {
 			return
 		}
@@ -398,11 +417,11 @@ func (m *Manager) ReleaseAll(id ID) {
 // CancelRequest removes id's pending (queued) request, if any. The onGrant
 // callback will never be invoked. Reports whether a request was cancelled.
 func (m *Manager) CancelRequest(id ID) bool {
-	elem, ok := m.waitingOn[id]
+	elem, ok := m.waitingOn.Get(id)
 	if !ok {
 		return false
 	}
-	e := m.table[elem]
+	e, _ := m.table.Get(elem)
 	for i, r := range e.queue {
 		if r.id == id {
 			copy(e.queue[i:], e.queue[i+1:])
@@ -411,7 +430,7 @@ func (m *Manager) CancelRequest(id ID) bool {
 			break
 		}
 	}
-	delete(m.waitingOn, id)
+	m.waitingOn.Delete(id)
 	// Removing a queued request may unblock the grant scan.
 	m.grantWaiters(elem, e)
 	m.maybeDrop(elem, e)
@@ -441,7 +460,7 @@ func (m *Manager) grantWaiters(elem uint32, e *entry) {
 		copy(e.queue, e.queue[1:])
 		e.queue[len(e.queue)-1] = request{} // release the closure
 		e.queue = e.queue[:len(e.queue)-1]
-		delete(m.waitingOn, r.id)
+		m.waitingOn.Delete(r.id)
 		m.addHolder(r.id, elem, r.mode, e)
 		r.onGrant()
 	}
@@ -491,8 +510,8 @@ func (m *Manager) IncrCoherence(elem uint32) {
 // panics if the count would go negative, then grants nothing (coherence does
 // not block same-site requests).
 func (m *Manager) DecrCoherence(elem uint32) {
-	e := m.table[elem]
-	if e == nil || e.coherence == 0 {
+	e, ok := m.table.Get(elem)
+	if !ok || e.coherence == 0 {
 		panic(fmt.Sprintf("lock: coherence underflow on element %d", elem))
 	}
 	e.coherence--
@@ -501,7 +520,7 @@ func (m *Manager) DecrCoherence(elem uint32) {
 
 // Coherence returns the pending-update count for elem.
 func (m *Manager) Coherence(elem uint32) int {
-	if e := m.table[elem]; e != nil {
+	if e, ok := m.table.Get(elem); ok {
 		return e.coherence
 	}
 	return 0
@@ -509,7 +528,7 @@ func (m *Manager) Coherence(elem uint32) int {
 
 // Holds reports whether id currently holds elem, and in which mode.
 func (m *Manager) Holds(id ID, elem uint32) (Mode, bool) {
-	if h, ok := m.held[id]; ok {
+	if h, ok := m.held.Get(id); ok {
 		if j, ok := findHeld(h, elem); ok {
 			return h[j].mode, true
 		}
@@ -519,7 +538,7 @@ func (m *Manager) Holds(id ID, elem uint32) (Mode, bool) {
 
 // HeldBy returns the elements held by id (a copy).
 func (m *Manager) HeldBy(id ID) map[uint32]Mode {
-	src := m.held[id]
+	src, _ := m.held.Get(id)
 	out := make(map[uint32]Mode, len(src))
 	for _, he := range src {
 		out[he.elem] = he.mode
@@ -530,8 +549,8 @@ func (m *Manager) HeldBy(id ID) map[uint32]Mode {
 // Holders returns the transactions currently holding elem (a copy, in
 // ascending ID order — the holders slice is sorted by construction).
 func (m *Manager) Holders(elem uint32) []ID {
-	e := m.table[elem]
-	if e == nil {
+	e, ok := m.table.Get(elem)
+	if !ok {
 		return nil
 	}
 	out := make([]ID, len(e.holders))
@@ -541,22 +560,39 @@ func (m *Manager) Holders(elem uint32) []ID {
 	return out
 }
 
+// HoldersAppend appends the IDs of the element's current holders to dst and
+// returns it — the allocation-free variant of Holders for callers that walk
+// holder sets in a loop with a reused buffer. The returned slice is only
+// valid until the next Manager mutation.
+func (m *Manager) HoldersAppend(elem uint32, dst []ID) []ID {
+	e, ok := m.table.Get(elem)
+	if !ok {
+		return dst
+	}
+	for _, h := range e.holders {
+		dst = append(dst, h.id)
+	}
+	return dst
+}
+
 // LocksHeld returns the total number of granted locks at this site. The
 // dynamic routing strategies use it to estimate contention (§3.2.1).
 func (m *Manager) LocksHeld() int { return m.granted }
 
 // LocksHeldBy returns the number of locks id holds.
-func (m *Manager) LocksHeldBy(id ID) int { return len(m.held[id]) }
+func (m *Manager) LocksHeldBy(id ID) int {
+	h, _ := m.held.Get(id)
+	return len(h)
+}
 
 // Waiting reports whether id has a queued request, and on which element.
 func (m *Manager) Waiting(id ID) (uint32, bool) {
-	elem, ok := m.waitingOn[id]
-	return elem, ok
+	return m.waitingOn.Get(id)
 }
 
 // QueueLength returns the number of requests waiting on elem.
 func (m *Manager) QueueLength(elem uint32) int {
-	if e := m.table[elem]; e != nil {
+	if e, ok := m.table.Get(elem); ok {
 		return len(e.queue)
 	}
 	return 0
@@ -566,7 +602,7 @@ func (m *Manager) QueueLength(elem uint32) int {
 // the simulator's self-check mode. It panics on violation.
 func (m *Manager) CheckInvariants() {
 	count := 0
-	for elem, e := range m.table {
+	m.table.Range(func(elem uint32, e *entry) bool {
 		if e.empty() {
 			panic(fmt.Sprintf("lock: empty entry %d retained", elem))
 		}
@@ -592,18 +628,20 @@ func (m *Manager) CheckInvariants() {
 			}
 		}
 		for _, r := range e.queue {
-			if w, ok := m.waitingOn[r.id]; !ok || w != elem {
+			if w, ok := m.waitingOn.Get(r.id); !ok || w != elem {
 				panic(fmt.Sprintf("lock: waitingOn out of sync for txn %d", r.id))
 			}
 		}
-	}
-	for id, h := range m.held {
+		return true
+	})
+	m.held.Range(func(id ID, h []heldElem) bool {
 		for i := 1; i < len(h); i++ {
 			if h[i-1].elem >= h[i].elem {
 				panic(fmt.Sprintf("lock: held set of txn %d out of order", id))
 			}
 		}
-	}
+		return true
+	})
 	if count != m.granted {
 		panic(fmt.Sprintf("lock: granted count %d != table count %d", m.granted, count))
 	}

@@ -147,20 +147,51 @@ func (r *Source) SampleWithoutReplacement(n, k int) []int {
 	if k == 0 {
 		return nil
 	}
+	out := make([]int, k)
+	var scratch []int
+	r.SampleWithoutReplacementInto(n, out, &scratch)
+	return out
+}
+
+// SampleWithoutReplacementInto is SampleWithoutReplacement with caller-owned
+// storage: it fills out with len(out) distinct uniform values in [0, n),
+// using *scratch (resized as needed) for the shuffle path. It draws exactly
+// the same variate sequence as the allocating variant — the rejection path's
+// duplicate test consumes no randomness either way.
+func (r *Source) SampleWithoutReplacementInto(n int, out []int, scratch *[]int) {
+	k := len(out)
+	if k < 0 || k > n {
+		panic("rng: SampleWithoutReplacement requires 0 <= k <= n")
+	}
+	if k == 0 {
+		return
+	}
 	if k*8 < n {
-		seen := make(map[int]struct{}, k)
-		out := make([]int, 0, k)
-		for len(out) < k {
+		filled := 0
+		for filled < k {
 			v := r.Intn(n)
-			if _, dup := seen[v]; dup {
+			dup := false
+			for _, prev := range out[:filled] {
+				if prev == v {
+					dup = true
+					break
+				}
+			}
+			if dup {
 				continue
 			}
-			seen[v] = struct{}{}
-			out = append(out, v)
+			out[filled] = v
+			filled++
 		}
-		return out
+		return
 	}
-	p := make([]int, n)
+	p := *scratch
+	if cap(p) < n {
+		p = make([]int, n)
+		*scratch = p
+	} else {
+		p = p[:n]
+	}
 	for i := range p {
 		p[i] = i
 	}
@@ -168,5 +199,5 @@ func (r *Source) SampleWithoutReplacement(n, k int) []int {
 		j := i + r.Intn(n-i)
 		p[i], p[j] = p[j], p[i]
 	}
-	return p[:k:k]
+	copy(out, p[:k])
 }

@@ -1,11 +1,13 @@
 // Package runner executes independent simulation runs across a bounded
-// worker pool. The engines in internal/hybrid are single-threaded by
-// construction and share no mutable state, so independent (strategy × rate ×
-// replication) runs parallelize perfectly; the pool fans them across
-// GOMAXPROCS goroutines while keeping results bit-identical to a serial
-// execution — results are stored by task index and every run's RNG seed is a
-// pure function of (base seed, strategy label, rate index, replication
-// index), never of worker identity or scheduling order.
+// worker pool. Sequential engines share no mutable state, so independent
+// (strategy × rate × replication) runs parallelize perfectly; sharded engines
+// (Config.Shards > 1) bring their own internal worker goroutines, so the pool
+// co-schedules them by weight — a task occupies as many pool slots as the
+// threads it will actually run — keeping a replication sweep of sharded runs
+// from oversubscribing the host. Results stay bit-identical to a serial
+// execution for any pool size: they are stored by task index and every run's
+// RNG seed is a pure function of (base seed, strategy label, rate index,
+// replication index), never of worker identity or scheduling order.
 package runner
 
 import (
@@ -42,6 +44,27 @@ func Parallelism(requested int) int {
 		return requested
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// TaskWeight is the number of pool slots a task occupies: the count of OS
+// threads its engine keeps busy. A sequential run weighs 1. A sharded run
+// (Config.Shards > 1 with the preconditions the engine itself checks — a
+// positive CommDelay lookahead and non-ideal feedback) weighs its effective
+// shard count, Shards capped at Sites+1, because the engine spawns that many
+// internal workers. The weight mirrors the engine's own sequential-fallback
+// decision so a config that will silently run sequentially is not budgeted as
+// if it were parallel; a task whose Prepare hook subscribes external
+// observers (forcing the sequential core) is over-budgeted, which only
+// under-fills the pool, never oversubscribes it.
+func TaskWeight(cfg hybrid.Config) int {
+	if cfg.Shards <= 1 || cfg.CommDelay <= 0 || cfg.Feedback == hybrid.FeedbackIdeal {
+		return 1
+	}
+	w := cfg.Shards
+	if w > cfg.Sites+1 {
+		w = cfg.Sites + 1
+	}
+	return w
 }
 
 // ProgressEvent reports the pool's state after one task finishes. Events are
@@ -92,6 +115,13 @@ func Run(tasks []Task, parallelism int) ([]hybrid.Result, error) {
 // truncates which tasks ran, never what a completed task measured. On
 // cancellation the partial results are returned (full-length, task order;
 // never-started tasks are zero) together with the context's error.
+//
+// Admission is weight-based: each task occupies TaskWeight(task.Cfg) pool
+// slots for its whole run, so a sweep mixing sharded and sequential runs
+// keeps total engine threads at or below the pool size instead of counting a
+// Shards=8 engine as one unit of work. Tasks are admitted in task order; a
+// task heavier than the whole pool is clamped to the pool size so it still
+// runs (alone).
 func RunOpts(tasks []Task, opt Options) ([]hybrid.Result, error) {
 	ctx := opt.Context
 	if ctx == nil {
@@ -100,11 +130,8 @@ func RunOpts(tasks []Task, opt Options) ([]hybrid.Result, error) {
 	results := make([]hybrid.Result, len(tasks))
 	errs := make([]error, len(tasks))
 	workers := Parallelism(opt.Parallelism)
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
 	prog := newProgress(opt.Progress, len(tasks))
-	if workers <= 1 {
+	if workers <= 1 || len(tasks) <= 1 {
 		for i := range tasks {
 			if ctx.Err() != nil {
 				return results, ctx.Err()
@@ -117,27 +144,37 @@ func RunOpts(tasks []Task, opt Options) ([]hybrid.Result, error) {
 		return results, nil
 	}
 
-	indices := make(chan int)
+	// Weighted admission: sem holds one token per occupied pool slot. The
+	// dispatch loop below is the only acquirer, so taking a task's tokens one
+	// at a time cannot deadlock against another admission — it just waits for
+	// completions to drain tokens.
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range indices {
-				errs[i] = runTask(&tasks[i], &results[i])
-				prog.done(tasks[i].Label)
-			}
-		}()
-	}
 dispatch:
 	for i := range tasks {
-		select {
-		case indices <- i:
-		case <-ctx.Done():
-			break dispatch
+		w := TaskWeight(tasks[i].Cfg)
+		if w > workers {
+			w = workers // heavier than the pool: run alone rather than never
 		}
+		for taken := 0; taken < w; taken++ {
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				// Partially acquired tokens are abandoned: admission stops
+				// here, and stray tokens only ever understate free capacity.
+				break dispatch
+			}
+		}
+		wg.Add(1)
+		go func(i, w int) {
+			defer wg.Done()
+			errs[i] = runTask(&tasks[i], &results[i])
+			prog.done(tasks[i].Label)
+			for released := 0; released < w; released++ {
+				<-sem
+			}
+		}(i, w)
 	}
-	close(indices)
 	wg.Wait()
 	if ctx.Err() != nil {
 		return results, ctx.Err()

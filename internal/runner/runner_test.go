@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"hybriddb/internal/hybrid"
@@ -278,6 +280,128 @@ func TestRunOptsCancelledBeforeStart(t *testing.T) {
 	}
 	if len(results) != 1 || results[0].Window != 0 {
 		t.Fatalf("pre-cancelled run still produced a result: %+v", results)
+	}
+}
+
+// TestTaskWeight pins the slot cost of a task: 1 whenever the engine would
+// fall back to the sequential core, the effective shard count otherwise.
+func TestTaskWeight(t *testing.T) {
+	base := testCfg(1) // Sites = 4, CommDelay > 0, non-ideal feedback
+	cases := []struct {
+		name   string
+		mutate func(*hybrid.Config)
+		want   int
+	}{
+		{"sequential default", func(*hybrid.Config) {}, 1},
+		{"sharded", func(c *hybrid.Config) { c.Shards = 3 }, 3},
+		{"one shard is sequential", func(c *hybrid.Config) { c.Shards = 1 }, 1},
+		{"shards capped at sites+1", func(c *hybrid.Config) { c.Shards = 100 }, 5},
+		{"zero comm delay falls back", func(c *hybrid.Config) { c.Shards = 3; c.CommDelay = 0 }, 1},
+		{"ideal feedback falls back", func(c *hybrid.Config) { c.Shards = 3; c.Feedback = hybrid.FeedbackIdeal }, 1},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if got := TaskWeight(cfg); got != tc.want {
+			t.Errorf("%s: TaskWeight = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRunWeightedAdmissionBounds checks the co-scheduling invariant: the
+// summed weight of in-flight tasks never exceeds the pool size. The counter
+// is raised inside Make (after admission) and lowered at the completion
+// callback, so the measured peak is a lower bound on the slots actually held
+// — it must still stay within the pool.
+func TestRunWeightedAdmissionBounds(t *testing.T) {
+	const pool = 4
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	weightOf := make(map[string]int64)
+
+	var tasks []Task
+	for i := 0; i < 10; i++ {
+		cfg := testCfg(uint64(i + 1))
+		if i%2 == 0 {
+			cfg.Shards = 3 // weight 3; odd tasks weigh 1
+		}
+		label := fmt.Sprintf("task %d", i)
+		mu.Lock()
+		weightOf[label] = int64(TaskWeight(cfg))
+		mu.Unlock()
+		tasks = append(tasks, Task{
+			Label: label,
+			Cfg:   cfg,
+			Make: func(c hybrid.Config) (routing.Strategy, error) {
+				now := inFlight.Add(int64(TaskWeight(c)))
+				for {
+					p := peak.Load()
+					if now <= p || peak.CompareAndSwap(p, now) {
+						break
+					}
+				}
+				return routing.QueueLength{}, nil
+			},
+		})
+	}
+	_, err := RunOpts(tasks, Options{Parallelism: pool, Progress: func(ev ProgressEvent) {
+		mu.Lock()
+		w := weightOf[ev.Label]
+		mu.Unlock()
+		inFlight.Add(-w)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > pool {
+		t.Fatalf("in-flight weight peaked at %d, want <= pool size %d", got, pool)
+	}
+	if left := inFlight.Load(); left != 0 {
+		t.Fatalf("in-flight weight %d after the pool drained, want 0", left)
+	}
+}
+
+// TestRunTaskHeavierThanPool checks a task weighing more than the whole pool
+// is clamped and still runs rather than deadlocking admission.
+func TestRunTaskHeavierThanPool(t *testing.T) {
+	cfg := testCfg(1)
+	cfg.Shards = 5 // weight 5 against a pool of 2
+	tasks := []Task{
+		{Label: "heavy", Cfg: cfg, Make: makeQueueLength},
+		{Label: "light", Cfg: testCfg(2), Make: makeQueueLength},
+	}
+	results, err := RunOpts(tasks, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Window <= 0 {
+			t.Errorf("task %d did not run", i)
+		}
+	}
+}
+
+// TestRunShardedMatchesSequentialEngine checks the weighted pool preserves
+// the engine-level bit-exactness contract: a sharded task returns the same
+// result as the identical config run sequentially, whether admitted alone or
+// co-scheduled with other work.
+func TestRunShardedMatchesSequentialEngine(t *testing.T) {
+	seqCfg := testCfg(7)
+	shCfg := seqCfg
+	shCfg.Shards = 3
+	tasks := []Task{
+		{Label: "sequential", Cfg: seqCfg, Make: makeQueueLength},
+		{Label: "sharded", Cfg: shCfg, Make: makeQueueLength},
+		{Label: "filler", Cfg: testCfg(8), Make: makeQueueLength},
+	}
+	for _, pool := range []int{1, 4} {
+		results, err := Run(tasks, pool)
+		if err != nil {
+			t.Fatalf("pool %d: %v", pool, err)
+		}
+		if !reflect.DeepEqual(results[0], results[1]) {
+			t.Fatalf("pool %d: sharded result differs from sequential result", pool)
+		}
 	}
 }
 

@@ -7,14 +7,23 @@
 // deterministic FIFO tie-break and the parallel differential gate rely on,
 // so the calendar would have to carry the same sequence numbers anyway (and
 // does, for an apples-to-apples comparison).
+//
+// Storage is a slab of slots threaded into per-bucket sorted intrusive
+// singly-linked lists: Push splices into place and PopMin unlinks the head,
+// so steady-state operation moves no event payloads and — with the free
+// list's capacity grown in lock-step with the slab — allocates nothing.
+// Bucket arrays are only reallocated when a resize grows past every
+// previous capacity.
 package sim
 
-// calEvent is one calendar entry: timestamp plus the tie-breaking sequence
-// number the kernel's determinism contract requires.
-type calEvent struct {
+// calSlot is one pooled calendar entry: timestamp plus the tie-breaking
+// sequence number the kernel's determinism contract requires, and the link
+// to the next entry of its bucket (-1 terminates the chain).
+type calSlot struct {
 	at     Time
 	seq    uint64
 	action func()
+	next   int32
 }
 
 // CalendarQueue is a priority queue of timed events with O(1) amortized
@@ -22,13 +31,15 @@ type calEvent struct {
 // resizes (doubling/halving the day count, re-sampling the width) as the
 // population crosses the standard 2·buckets / buckets/2 thresholds.
 type CalendarQueue struct {
-	buckets   [][]calEvent
-	width     Time // bucket width in simulated seconds
-	lastAt    Time // dequeue cursor: priority of the last event removed
-	lastIdx   int  // bucket the cursor is in
-	bucketTop Time // end of the cursor bucket's current year window
-	count     int
-	seq       uint64
+	slots   []calSlot
+	free    []int32 // recycled slot indices, LIFO
+	buckets []int32 // head slot index per bucket, -1 when empty
+	width   Time    // bucket width in simulated seconds
+	lastAt  Time    // dequeue cursor: priority of the last event removed
+	lastIdx int     // bucket the cursor is in
+	lastDay int     // absolute day number of the cursor: int(lastAt/width)
+	count   int
+	seq     uint64
 }
 
 // NewCalendarQueue returns an empty calendar with an initial guess of the
@@ -49,28 +60,66 @@ func (q *CalendarQueue) Len() int { return q.count }
 // order, matching the kernel's FIFO tie-break.
 func (q *CalendarQueue) Push(at Time, action func()) {
 	q.seq++
-	q.insert(calEvent{at: at, seq: q.seq, action: action})
+	idx := q.alloc()
+	sl := &q.slots[idx]
+	sl.at, sl.seq, sl.action = at, q.seq, action
+	q.insertSlot(idx)
+	q.count++
 	if q.count > 2*len(q.buckets) {
 		q.resize(2*len(q.buckets), q.sampleWidth(), q.lastAt)
 	}
 }
 
-func (q *CalendarQueue) insert(ev calEvent) {
-	n := len(q.buckets)
-	i := int(ev.at/q.width) % n
-	b := q.buckets[i]
-	// Buckets are kept sorted by (at, seq); events within one bucket are
-	// few when the width is well tuned, so insertion sort wins over any
-	// per-bucket structure.
-	j := len(b)
-	b = append(b, ev)
-	for j > 0 && (b[j-1].at > ev.at || (b[j-1].at == ev.at && b[j-1].seq > ev.seq)) {
-		b[j] = b[j-1]
-		j--
+// alloc takes a slot off the free list, growing the slab (and the free
+// list's capacity in lock-step, so release never allocates) when empty.
+func (q *CalendarQueue) alloc() int32 {
+	if n := len(q.free); n > 0 {
+		idx := q.free[n-1]
+		q.free = q.free[:n-1]
+		return idx
 	}
-	b[j] = ev
-	q.buckets[i] = b
-	q.count++
+	q.slots = append(q.slots, calSlot{})
+	idx := int32(len(q.slots) - 1)
+	if cap(q.free) < cap(q.slots) {
+		free := make([]int32, len(q.free), cap(q.slots))
+		copy(free, q.free)
+		q.free = free
+	}
+	return idx
+}
+
+func (q *CalendarQueue) release(idx int32) {
+	q.slots[idx].action = nil
+	q.free = append(q.free, idx)
+}
+
+// before orders two slots by the deterministic (at, seq) key.
+func (q *CalendarQueue) before(a, b int32) bool {
+	x, y := &q.slots[a], &q.slots[b]
+	return x.at < y.at || (x.at == y.at && x.seq < y.seq)
+}
+
+// insertSlot splices an already-filled slot into its bucket's sorted chain.
+// Events within one bucket are few when the width is well tuned, so the
+// linear walk wins over any per-bucket structure.
+func (q *CalendarQueue) insertSlot(idx int32) {
+	sl := &q.slots[idx]
+	b := int(sl.at/q.width) % len(q.buckets)
+	cur := q.buckets[b]
+	if cur < 0 || q.before(idx, cur) {
+		sl.next = cur
+		q.buckets[b] = idx
+		return
+	}
+	for {
+		next := q.slots[cur].next
+		if next < 0 || q.before(idx, next) {
+			q.slots[idx].next = next
+			q.slots[cur].next = idx
+			return
+		}
+		cur = next
+	}
 }
 
 // PopMin removes and returns the earliest event.
@@ -78,97 +127,143 @@ func (q *CalendarQueue) PopMin() (Time, func(), bool) {
 	if q.count == 0 {
 		return 0, nil, false
 	}
+	h := q.popMinSlot()
+	at, action := q.slots[h].at, q.slots[h].action
+	q.release(h)
+	if q.count < len(q.buckets)/2 && len(q.buckets) > 2 {
+		q.resize(len(q.buckets)/2, q.sampleWidth(), q.lastAt)
+	}
+	return at, action, true
+}
+
+// popMinSlot unlinks and returns the earliest pending slot, leaving the
+// cursor on it. It does not release the slot or touch the resize
+// thresholds; sampleWidth uses it for destructive sampling (and restores
+// the cursor afterwards). The caller must ensure count > 0.
+//
+// The scan identifies a hit by the event's day number int(at/width) — the
+// exact expression insertSlot buckets by — never by comparing at against an
+// accumulated window top: an event whose at/width lands a float ulp below
+// an integer maps into the earlier bucket while sitting numerically past
+// that bucket's multiplied-out top, and a top-comparison scan would starve
+// it for a whole year and pop later events first.
+func (q *CalendarQueue) popMinSlot() int32 {
 	n := len(q.buckets)
-	idx, top := q.lastIdx, q.bucketTop
+	idx, day := q.lastIdx, q.lastDay
 	for scanned := 0; scanned < n; scanned++ {
-		b := q.buckets[idx]
-		if len(b) > 0 && b[0].at < top {
-			ev := b[0]
-			copy(b, b[1:])
-			q.buckets[idx] = b[:len(b)-1]
+		if h := q.buckets[idx]; h >= 0 && int(q.slots[h].at/q.width) == day {
+			q.buckets[idx] = q.slots[h].next
 			q.count--
-			q.lastAt, q.lastIdx, q.bucketTop = ev.at, idx, top
-			if q.count < len(q.buckets)/2 && len(q.buckets) > 2 {
-				q.resize(len(q.buckets)/2, q.sampleWidth(), q.lastAt)
-			}
-			return ev.at, ev.action, true
+			q.lastAt, q.lastIdx, q.lastDay = q.slots[h].at, idx, day
+			return h
 		}
-		idx = (idx + 1) % n
-		top += q.width
+		idx++
+		if idx == n {
+			idx = 0
+		}
+		day++
 	}
 	// A full year passed without a hit: the next event is far in the
 	// future. Fall back to a direct minimum scan, then realign the cursor.
-	best := -1
-	for i, b := range q.buckets {
-		if len(b) == 0 {
+	best, bestB := int32(-1), -1
+	for i, h := range q.buckets {
+		if h < 0 {
 			continue
 		}
-		if best < 0 {
-			best = i
-			continue
-		}
-		o := q.buckets[best][0]
-		if b[0].at < o.at || (b[0].at == o.at && b[0].seq < o.seq) {
-			best = i
+		if best < 0 || q.before(h, best) {
+			best, bestB = h, i
 		}
 	}
-	b := q.buckets[best]
-	ev := b[0]
-	copy(b, b[1:])
-	q.buckets[best] = b[:len(b)-1]
+	q.buckets[bestB] = q.slots[best].next
 	q.count--
-	q.lastAt, q.lastIdx = ev.at, best
-	q.bucketTop = (Time(int(ev.at/q.width)) + 1) * q.width
-	return ev.at, ev.action, true
+	at := q.slots[best].at
+	q.lastAt, q.lastIdx, q.lastDay = at, bestB, int(at/q.width)
+	return best
 }
 
-// sampleWidth estimates a bucket width from the events nearest the cursor:
-// the mean gap between up to 25 upcoming events, times three (Brown's
-// recommendation), bounded away from zero.
+// sampleWidth estimates a bucket width from the next events in true time
+// order, per Brown's published algorithm: dequeue up to 25 upcoming events
+// (then put them back exactly as they were, cursor included), average their
+// separation with a second pass that drops gaps more than twice the first
+// average (so one far-future outlier cannot blow the width up), and take
+// three times the refined mean gap. Sampling in dequeue order matters: the
+// naive walk in bucket order mixes events from different years of a
+// mistuned calendar and makes the width estimate oscillate by orders of
+// magnitude instead of converging.
 func (q *CalendarQueue) sampleWidth() Time {
 	const want = 25
-	var times []Time
-	n := len(q.buckets)
-	for off := 0; off < n && len(times) < want; off++ {
-		for _, ev := range q.buckets[(q.lastIdx+off)%n] {
-			times = append(times, ev.at)
-			if len(times) >= want {
-				break
-			}
-		}
+	var taken [want]int32
+	var times [want]Time
+	savedAt, savedIdx, savedDay := q.lastAt, q.lastIdx, q.lastDay
+	cnt := 0
+	for cnt < want && q.count > 0 {
+		h := q.popMinSlot()
+		taken[cnt] = h
+		times[cnt] = q.slots[h].at
+		cnt++
 	}
-	if len(times) < 2 {
+	// Reinsert under the unchanged width/day layout: each slot rejoins the
+	// bucket and chain position it came from, and the saved cursor makes
+	// the whole probe invisible.
+	for i := 0; i < cnt; i++ {
+		q.insertSlot(taken[i])
+	}
+	q.count += cnt
+	q.lastAt, q.lastIdx, q.lastDay = savedAt, savedIdx, savedDay
+	if cnt < 2 {
 		return q.width
 	}
-	lo, hi := times[0], times[0]
-	for _, t := range times[1:] {
-		if t < lo {
-			lo = t
-		}
-		if t > hi {
-			hi = t
+	avg := (times[cnt-1] - times[0]) / Time(cnt-1)
+	if avg <= 0 {
+		return q.width
+	}
+	var sum Time
+	kept := 0
+	for i := 1; i < cnt; i++ {
+		if gap := times[i] - times[i-1]; gap <= 2*avg {
+			sum += gap
+			kept++
 		}
 	}
-	w := 3 * (hi - lo) / Time(len(times)-1)
+	if kept == 0 {
+		return 3 * avg
+	}
+	w := 3 * sum / Time(kept)
 	if w <= 0 {
 		return q.width
 	}
 	return w
 }
 
-// resize rebuilds the calendar with the given day count and width, keeping
-// every pending event and realigning the cursor at cursorAt.
+// resize rebuilds the bucket array with the given day count and width,
+// re-threading every pending slot (no event payload moves) and realigning
+// the cursor at cursorAt. The bucket array is reused in place when it has
+// the capacity, so halving never allocates and doubling is amortized.
 func (q *CalendarQueue) resize(days int, width Time, cursorAt Time) {
-	old := q.buckets
-	q.buckets = make([][]calEvent, days)
-	q.width = width
-	q.count = 0
-	q.lastAt = cursorAt
-	q.lastIdx = int(cursorAt/width) % days
-	q.bucketTop = (Time(int(cursorAt/width)) + 1) * width
-	for _, b := range old {
-		for _, ev := range b {
-			q.insert(ev)
+	all := int32(-1) // unthread every chain into one temporary list
+	for _, h := range q.buckets {
+		for h >= 0 {
+			next := q.slots[h].next
+			q.slots[h].next = all
+			all = h
+			h = next
 		}
+	}
+	if cap(q.buckets) >= days {
+		q.buckets = q.buckets[:days]
+	} else {
+		q.buckets = make([]int32, days)
+	}
+	for i := range q.buckets {
+		q.buckets[i] = -1
+	}
+	q.width = width
+	q.lastAt = cursorAt
+	q.lastDay = int(cursorAt / width)
+	q.lastIdx = q.lastDay % days
+	for all >= 0 {
+		next := q.slots[all].next
+		q.insertSlot(all)
+		all = next
 	}
 }

@@ -1,18 +1,33 @@
 // Sharded conservative synchronization: a Group runs several Simulators
 // ("shards") in parallel under a Chandy–Misra-style windowed protocol. The
 // fixed communication delay between shards is the conservative lookahead: a
-// message sent at time t arrives no earlier than t+lookahead, so every shard
-// may safely execute all events below
+// message sent at time t arrives no earlier than t+lookahead, so shard j may
+// safely execute all events below
 //
-//	bound = min(earliest pending event across shards) + lookahead
+//	bound_j = min over shards i that can send to j of (next event of i) + lookahead
 //
-// without ever receiving a message from the current round that lands inside
-// the window already executed. Rounds are synchronous: the coordinator
-// computes the bound, the shard workers drain their queues strictly below it
-// in parallel, and the messages posted during the round are merged between
-// rounds in a deterministic order — sorted by (arrival time, edge, per-edge
-// sequence) — so a Group run schedules cross-shard deliveries in exactly one
-// order regardless of how the OS interleaved the workers.
+// without ever receiving a message that lands inside a window it already
+// executed. Rounds are synchronous: the coordinator computes every shard's
+// bound, the workers with events below their bound drain their queues
+// strictly below it in parallel, and the messages posted during the round
+// are merged between rounds in a deterministic order. Per-shard bounds are
+// what makes large windows cheap — a shard far ahead of its only sender
+// advances many lookahead windows in a single fan-out, and shards with no
+// events below their bound are skipped entirely.
+//
+// By default every shard is assumed able to send to every other, so bound_j
+// is min-except-self + lookahead. SetHub declares a star topology (spokes
+// talk only to the hub): spokes are then bounded only by the hub's next
+// event and the hub only by the earliest spoke.
+//
+// Message merging needs no global sort: messages are collected in pooled
+// per-edge outbox buffers (each edge is written by exactly one shard), and
+// between rounds the touched edges are drained in ascending edge index into
+// the destination queues. A destination calendar orders events by (time,
+// insertion sequence), and insertion order only matters for same-instant
+// events, so draining the per-edge streams in edge order reproduces exactly
+// the total (arrival time, edge, per-edge sequence) order a global sort
+// would produce.
 //
 // Globally synchronized events (measurement start, periodic samples,
 // invariant audits) do not belong to any shard: they are scheduled on the
@@ -25,18 +40,17 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// groupMsg is one cross-shard message awaiting delivery.
+// groupMsg is one cross-shard message awaiting delivery; its edge and
+// destination are implied by the outbox holding it.
 type groupMsg struct {
-	at   Time
-	edge int32
-	seq  uint64
-	to   int32
-	fn   func()
+	at Time
+	fn func()
 }
 
 // globalEvent is one barrier-executed event, ordered by (at, prio, seq).
@@ -54,15 +68,21 @@ type Group struct {
 	shards    []*Simulator
 	lookahead Time
 
-	// Per-shard outboxes: written only by the owning shard's worker during
-	// a round, drained by the coordinator between rounds (the WaitGroup
-	// barrier orders the accesses).
-	outboxes [][]groupMsg
+	// Per-edge outboxes: each edge is written only by its sending shard's
+	// worker during a round and drained by the coordinator between rounds
+	// (the WaitGroup barrier orders the accesses). Buffers are pooled —
+	// drained to length zero, capacity retained.
+	edgeBox [][]groupMsg
+	// edgeTo pins each edge's destination shard (-1 until first use); an
+	// edge is a point-to-point FIFO channel, not a bus.
+	edgeTo []int32
+	// touched collects, per sending shard, the edges it posted to this
+	// round (owner-written, coordinator-drained).
+	touched [][]int32
 
-	// edgeSeq numbers the messages of each FIFO edge. Each edge must be
-	// used from exactly one sending shard, so the counter is written by one
-	// worker only.
-	edgeSeq []uint64
+	// hub >= 0 declares a star topology: shard hub exchanges messages with
+	// every other shard, and the non-hub shards never message each other.
+	hub int
 
 	// Barrier-executed global events, a sorted pending list (removals pop
 	// from the front; the event count is small: measurement chains, not
@@ -70,8 +90,11 @@ type Group struct {
 	globals   []globalEvent
 	globalSeq uint64
 
-	// merged is the coordinator's reusable merge buffer.
-	merged []groupMsg
+	// Coordinator scratch, reused across rounds.
+	times   []Time  // next event time per shard (valid where haveT)
+	haveT   []bool  // shard has a pending event
+	bounds  []Time  // per-shard conservative bound for the current round
+	drained []int32 // touched-edge gather buffer
 
 	// Worker machinery: one persistent goroutine per shard, fed rounds over
 	// its own channel; the WaitGroup is the round barrier (and the
@@ -81,12 +104,25 @@ type Group struct {
 	started bool
 
 	// Deadlock watchdog: progress bumps on every round and barrier; a
-	// background goroutine panics when it stops moving for watchdog wall
+	// background goroutine reports when it stops moving for watchdog wall
 	// time (0 disables). Guards against synchronization bugs that would
-	// otherwise hang a test silently.
+	// otherwise hang a test silently. The stall snapshot is written by the
+	// coordinator each round under the mutex, so the report is race-free.
 	watchdog time.Duration
 	progress atomic.Uint64
 	stopDog  chan struct{}
+	onStall  func(dump string)
+	stallMu  sync.Mutex
+	stall    stallInfo
+}
+
+// stallInfo is the coordinator's last-round snapshot for the watchdog dump.
+type stallInfo struct {
+	round      uint64
+	times      []Time
+	haveT      []bool
+	bounds     []Time
+	dispatched int
 }
 
 type workerCmd struct {
@@ -116,18 +152,44 @@ func NewGroup(shards []*Simulator, edges int, lookahead Time) *Group {
 	if edges < 0 {
 		panic(fmt.Sprintf("sim: negative edge count %d", edges))
 	}
-	return &Group{
+	g := &Group{
 		shards:    shards,
 		lookahead: lookahead,
-		outboxes:  make([][]groupMsg, len(shards)),
-		edgeSeq:   make([]uint64, edges),
+		edgeBox:   make([][]groupMsg, edges),
+		edgeTo:    make([]int32, edges),
+		touched:   make([][]int32, len(shards)),
+		hub:       -1,
+		times:     make([]Time, len(shards)),
+		haveT:     make([]bool, len(shards)),
+		bounds:    make([]Time, len(shards)),
 		cmds:      make([]chan workerCmd, len(shards)),
 		watchdog:  DefaultWatchdog,
 	}
+	for i := range g.edgeTo {
+		g.edgeTo[i] = -1
+	}
+	return g
 }
 
 // SetWatchdog overrides the stall budget; d <= 0 disables the watchdog.
 func (g *Group) SetWatchdog(d time.Duration) { g.watchdog = d }
+
+// SetStallHandler overrides the watchdog's stall action (default: panic
+// with the dump). Intended for tests that must observe the stall report
+// without killing the process. Call before Run.
+func (g *Group) SetStallHandler(fn func(dump string)) { g.onStall = fn }
+
+// SetHub declares a star topology with the given shard as the hub: every
+// non-hub shard exchanges messages only with the hub. The coordinator then
+// bounds each spoke by the hub's next event alone (and the hub by the
+// earliest spoke), letting a spoke far ahead of the hub advance many
+// lookahead windows in one round. Call before Run.
+func (g *Group) SetHub(hub int) {
+	if hub < 0 || hub >= len(g.shards) {
+		panic(fmt.Sprintf("sim: hub %d out of range [0,%d)", hub, len(g.shards)))
+	}
+	g.hub = hub
+}
 
 // Shards returns the number of shards.
 func (g *Group) Shards() int { return len(g.shards) }
@@ -138,8 +200,10 @@ func (g *Group) Shard(i int) *Simulator { return g.shards[i] }
 // Post sends a cross-shard message: fn executes on shard to at time at.
 // It must be called from within an event executing on shard from (during a
 // round), and at must respect the lookahead: at >= from.Now() + lookahead.
-// Messages on one edge are delivered in post order (FIFO); distinct edges
-// with equal arrival times are ordered by edge index.
+// An edge is a point-to-point channel: all its posts come from one shard and
+// go to one shard. Deliveries execute in arrival-time order; same-instant
+// ties break by (edge index, post order), so an edge whose arrival times
+// never decrease — every fixed-delay link — behaves as a FIFO channel.
 func (g *Group) Post(from, to, edge int, at Time, fn func()) {
 	src := g.shards[from]
 	if at < src.now+g.lookahead {
@@ -149,10 +213,17 @@ func (g *Group) Post(from, to, edge int, at Time, fn func()) {
 	if fn == nil {
 		panic("sim: nil post action")
 	}
-	g.edgeSeq[edge]++
-	g.outboxes[from] = append(g.outboxes[from], groupMsg{
-		at: at, edge: int32(edge), seq: g.edgeSeq[edge], to: int32(to), fn: fn,
-	})
+	switch g.edgeTo[edge] {
+	case int32(to):
+	case -1:
+		g.edgeTo[edge] = int32(to)
+	default:
+		panic(fmt.Sprintf("sim: edge %d rebound from shard %d to %d", edge, g.edgeTo[edge], to))
+	}
+	if len(g.edgeBox[edge]) == 0 {
+		g.touched[from] = append(g.touched[from], int32(edge))
+	}
+	g.edgeBox[edge] = append(g.edgeBox[edge], groupMsg{at: at, fn: fn})
 }
 
 // ScheduleGlobalAt schedules a barrier-executed event at absolute time at.
@@ -180,17 +251,105 @@ func (g *Group) ScheduleGlobalAt(at Time, prio int, fn func()) {
 	g.globals[i] = ev
 }
 
-// minNext returns the earliest pending event time across all shards, or
-// false when every shard is drained.
-func (g *Group) minNext() (Time, bool) {
+// peekAll refreshes the per-shard next-event snapshot and returns the
+// global minimum (ok reports whether any shard has work).
+func (g *Group) peekAll() (Time, bool) {
 	var best Time
 	found := false
-	for _, sh := range g.shards {
-		if at, ok := sh.Peek(); ok && (!found || at < best) {
+	for i, sh := range g.shards {
+		at, ok := sh.Peek()
+		g.haveT[i], g.times[i] = ok, at
+		if ok && (!found || at < best) {
 			best, found = at, true
 		}
 	}
 	return best, found
+}
+
+// computeBounds fills g.bounds with each shard's conservative execution
+// bound, capped at capAt. The bound on shard j is the classic lookahead-
+// distance formula: min over every shard i with pending events of t_i +
+// d(i, j), where d(i, j) is the smallest total lookahead along any message
+// path from i to j — one hop for a direct sender, two hops for influence
+// relayed through a third shard (including a shard with an empty queue,
+// which can be reanimated by a message and forward it, and j itself, whose
+// own events can round-trip back through a peer). This is a promise valid
+// beyond the current round: future events on shard i never precede t_i, so
+// no message can ever arrive at j below the bound — which is what lets a
+// shard far ahead of its senders advance many lookahead windows in one
+// round while the others catch up.
+func (g *Group) computeBounds(capAt Time) {
+	if g.hub >= 0 {
+		// Star topology: the hub is one hop from every spoke; spokes are
+		// two hops from each other (and from themselves, via the hub).
+		hubT, hubHas := g.times[g.hub], g.haveT[g.hub]
+		var minSpoke Time
+		spokeHas := false
+		for i := range g.shards {
+			if i == g.hub || !g.haveT[i] {
+				continue
+			}
+			if !spokeHas || g.times[i] < minSpoke {
+				minSpoke, spokeHas = g.times[i], true
+			}
+		}
+		for i := range g.bounds {
+			b := capAt
+			if i == g.hub {
+				if spokeHas && minSpoke+g.lookahead < b {
+					b = minSpoke + g.lookahead
+				}
+				if hubHas && hubT+2*g.lookahead < b {
+					b = hubT + 2*g.lookahead
+				}
+			} else {
+				if hubHas && hubT+g.lookahead < b {
+					b = hubT + g.lookahead
+				}
+				if spokeHas && minSpoke+2*g.lookahead < b {
+					b = minSpoke + 2*g.lookahead
+				}
+			}
+			g.bounds[i] = b
+		}
+		return
+	}
+	// Fully connected topology: every other shard is one hop away, and a
+	// shard's own events can return in two (out and back through any peer).
+	// Min and second-min give min-except-self in one pass.
+	const none = -1
+	min1, min2 := Time(0), Time(0)
+	arg1 := none
+	has2 := false
+	for i := range g.shards {
+		if !g.haveT[i] {
+			continue
+		}
+		t := g.times[i]
+		switch {
+		case arg1 == none:
+			min1, arg1 = t, i
+		case t < min1:
+			min2, has2 = min1, true
+			min1, arg1 = t, i
+		case !has2 || t < min2:
+			min2, has2 = t, true
+		}
+	}
+	for i := range g.bounds {
+		b := capAt
+		other, ok := min1, arg1 != none
+		if i == arg1 {
+			other, ok = min2, has2
+		}
+		if ok && other+g.lookahead < b {
+			b = other + g.lookahead
+		}
+		if g.haveT[i] && g.times[i]+2*g.lookahead < b {
+			b = g.times[i] + 2*g.lookahead
+		}
+		g.bounds[i] = b
+	}
 }
 
 // Run executes the sharded simulation up to and including horizon. On
@@ -204,53 +363,42 @@ func (g *Group) Run(horizon Time) {
 	defer g.stopWatchdog()
 
 	for {
-		minNext, hasWork := g.minNext()
-		var nextG Time
+		minNext, hasWork := g.peekAll()
 		hasG := len(g.globals) > 0 && g.globals[0].at <= horizon
 		if hasG {
-			nextG = g.globals[0].at
+			nextG := g.globals[0].at
+			if !hasWork || minNext >= nextG {
+				// All shards have drained below nextG and undelivered
+				// messages arrive at >= nextG (they were posted before this
+				// barrier became due, under bounds capped at nextG): align
+				// the clocks and execute the due globals in (prio, FIFO)
+				// order. Shard events at exactly nextG run in later rounds,
+				// after the barrier — as in a single queue, where the
+				// barrier chains were scheduled first.
+				for _, sh := range g.shards {
+					sh.AdvanceTo(nextG)
+				}
+				for len(g.globals) > 0 && g.globals[0].at == nextG {
+					ev := g.globals[0]
+					g.globals = g.globals[1:]
+					ev.fn()
+				}
+				g.progress.Add(1)
+				continue
+			}
 		}
 		// Events at exactly the horizon belong to the final round below
 		// (after any same-instant barrier globals), so only work strictly
 		// below the horizon keeps the windowed loop going.
-		if (!hasWork || minNext >= horizon) && !hasG {
+		if !hasWork || minNext >= horizon {
 			break
 		}
-		// Conservative bound: every message posted this round arrives at
-		// >= minNext + lookahead >= bound, so nothing lands inside the
-		// window being executed.
-		barrier := false
-		var bound Time
-		if hasWork {
-			bound = minNext + g.lookahead
-			if hasG && nextG <= bound {
-				bound = nextG
-				barrier = true
-			}
-			if bound > horizon {
-				bound = horizon
-				barrier = hasG && nextG == horizon
-			}
-		} else {
-			bound = nextG
-			barrier = true
+		capAt := horizon
+		if hasG && g.globals[0].at < capAt {
+			capAt = g.globals[0].at
 		}
-		if hasWork && minNext < bound {
-			g.round(bound, false)
-		}
-		if barrier {
-			// All shards have drained below nextG and round messages
-			// arrive at >= bound = nextG: align the clocks and execute
-			// the due globals in (prio, FIFO) order.
-			for _, sh := range g.shards {
-				sh.AdvanceTo(nextG)
-			}
-			for len(g.globals) > 0 && g.globals[0].at == nextG {
-				ev := g.globals[0]
-				g.globals = g.globals[1:]
-				ev.fn()
-			}
-		}
+		g.computeBounds(capAt)
+		g.round(0, false)
 		g.progress.Add(1)
 	}
 
@@ -263,58 +411,54 @@ func (g *Group) Run(horizon Time) {
 	g.progress.Add(1)
 }
 
-// round fans one execution window out to the shard workers and merges the
-// cross-shard messages they posted back into the destination queues in the
-// deterministic (at, edge, seq) order.
-func (g *Group) round(bound Time, until bool) {
+// round fans the current execution window out to the shard workers — only
+// those with events below their bound — and merges the cross-shard messages
+// they posted back into the destination queues.
+func (g *Group) round(horizon Time, until bool) {
 	dispatched := 0
-	for i, sh := range g.shards {
-		at, ok := sh.Peek()
+	for i := range g.shards {
 		if until {
 			// The final round must run on every shard: RunUntil also
 			// advances drained shards' clocks to the horizon.
-			ok, at = true, bound
+			g.bounds[i] = horizon
+		} else if !g.haveT[i] || g.times[i] >= g.bounds[i] {
+			continue // idle this round: nothing below the bound
 		}
-		if ok && (at < bound || (until && at <= bound)) {
-			g.wg.Add(1)
-			g.cmds[i] <- workerCmd{bound: bound, until: until}
-			dispatched++
-		}
+		g.wg.Add(1)
+		g.cmds[i] <- workerCmd{bound: g.bounds[i], until: until}
+		dispatched++
 	}
+	g.snapshotStall(dispatched)
 	if dispatched > 0 {
 		g.wg.Wait()
 	}
 	g.deliver()
 }
 
-// deliver merges all outboxes into the destination shards. Sort order is
-// (arrival time, edge, per-edge sequence): a strict total order over all
-// messages of a round — per-edge sequences are unique within an edge — so
-// insertion order (and therefore the destination's same-instant FIFO
-// tie-break) is independent of worker scheduling.
+// deliver drains every edge touched this round into its destination shard,
+// in ascending edge index. Each edge's buffer is already in arrival order
+// (the FIFO-edge contract), and a destination queue breaks equal-time ties
+// by insertion order, so this reproduces the deterministic total order
+// (arrival time, edge, per-edge sequence) independent of how the OS
+// interleaved the workers.
 func (g *Group) deliver() {
-	g.merged = g.merged[:0]
-	for i := range g.outboxes {
-		g.merged = append(g.merged, g.outboxes[i]...)
-		g.outboxes[i] = g.outboxes[i][:0]
+	g.drained = g.drained[:0]
+	for i := range g.touched {
+		g.drained = append(g.drained, g.touched[i]...)
+		g.touched[i] = g.touched[i][:0]
 	}
-	if len(g.merged) == 0 {
+	if len(g.drained) == 0 {
 		return
 	}
-	sort.Slice(g.merged, func(a, b int) bool {
-		x, y := &g.merged[a], &g.merged[b]
-		if x.at != y.at {
-			return x.at < y.at
+	sort.Slice(g.drained, func(a, b int) bool { return g.drained[a] < g.drained[b] })
+	for _, edge := range g.drained {
+		box := g.edgeBox[edge]
+		dst := g.shards[g.edgeTo[edge]]
+		for i := range box {
+			dst.ScheduleAt(box[i].at, box[i].fn)
+			box[i].fn = nil
 		}
-		if x.edge != y.edge {
-			return x.edge < y.edge
-		}
-		return x.seq < y.seq
-	})
-	for i := range g.merged {
-		m := &g.merged[i]
-		g.shards[m.to].ScheduleAt(m.at, m.fn)
-		m.fn = nil
+		g.edgeBox[edge] = box[:0]
 	}
 }
 
@@ -346,6 +490,39 @@ func (g *Group) stopWorkers() {
 	}
 }
 
+// snapshotStall records the coordinator's view of the round for the
+// watchdog dump. The mutex keeps the watchdog's read race-free.
+func (g *Group) snapshotStall(dispatched int) {
+	g.stallMu.Lock()
+	g.stall.round++
+	g.stall.times = append(g.stall.times[:0], g.times...)
+	g.stall.haveT = append(g.stall.haveT[:0], g.haveT...)
+	g.stall.bounds = append(g.stall.bounds[:0], g.bounds...)
+	g.stall.dispatched = dispatched
+	g.stallMu.Unlock()
+}
+
+// stallDump formats the last-round snapshot for the stall report.
+func (g *Group) stallDump(budget time.Duration, progress uint64) string {
+	g.stallMu.Lock()
+	defer g.stallMu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: shard group stalled for %v (no round completed); progress=%d round=%d dispatched=%d",
+		budget, progress, g.stall.round, g.stall.dispatched)
+	for i := range g.stall.times {
+		next := "drained"
+		if i < len(g.stall.haveT) && g.stall.haveT[i] {
+			next = fmt.Sprintf("%v", g.stall.times[i])
+		}
+		var bound any = "-"
+		if i < len(g.stall.bounds) {
+			bound = g.stall.bounds[i]
+		}
+		fmt.Fprintf(&b, "\n  shard %d: next=%s bound=%v", i, next, bound)
+	}
+	return b.String()
+}
+
 func (g *Group) startWatchdog() {
 	if g.watchdog <= 0 {
 		return
@@ -353,6 +530,7 @@ func (g *Group) startWatchdog() {
 	stop := make(chan struct{})
 	g.stopDog = stop
 	budget := g.watchdog
+	onStall := g.onStall
 	go func() {
 		last := g.progress.Load()
 		stalled := time.Duration(0)
@@ -373,9 +551,12 @@ func (g *Group) startWatchdog() {
 			}
 			stalled += tick
 			if stalled >= budget {
-				panic(fmt.Sprintf(
-					"sim: shard group stalled for %v (no round completed); progress=%d",
-					budget, cur))
+				dump := g.stallDump(budget, cur)
+				if onStall != nil {
+					onStall(dump)
+					return
+				}
+				panic(dump)
 			}
 		}
 	}()

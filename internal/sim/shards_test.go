@@ -2,7 +2,9 @@ package sim
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
+	"time"
 )
 
 // The shard-sync oracle machinery: a workload of message chains is executed
@@ -271,4 +273,95 @@ func TestGroupConstructionPanics(t *testing.T) {
 		g := NewGroup([]*Simulator{New(), New()}, 1, 1.0)
 		g.Post(0, 1, 0, 2.0, nil)
 	})
+	mustPanic("hub out of range", func() {
+		g := NewGroup([]*Simulator{New(), New()}, 1, 1.0)
+		g.SetHub(2)
+	})
+}
+
+// TestGroupWatchdogStallDump exercises the deadlock watchdog end to end
+// without killing the process: one shard's event blocks mid-round, the
+// watchdog trips after its budget, and the installed stall handler receives
+// a dump naming the round state of every shard. The handler then releases
+// the stuck event so the run completes normally — proving the handler path
+// (unlike the default panic) leaves the Group able to finish.
+func TestGroupWatchdogStallDump(t *testing.T) {
+	shards := []*Simulator{New(), New()}
+	g := NewGroup(shards, 0, 1.0)
+	g.SetWatchdog(200 * time.Millisecond)
+
+	release := make(chan struct{})
+	dumps := make(chan string, 1)
+	g.SetStallHandler(func(dump string) {
+		dumps <- dump
+		close(release) // un-stick the shard so Run can return
+	})
+
+	var ran bool
+	shards[0].ScheduleAt(0.5, func() {})
+	shards[1].ScheduleAt(0.5, func() {
+		<-release // a synchronization bug stand-in: the round never ends
+		ran = true
+	})
+	done := make(chan struct{})
+	go func() {
+		g.Run(10)
+		close(done)
+	}()
+
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stalled run did not complete after the handler released it")
+	}
+	if !ran {
+		t.Fatal("blocked event never resumed")
+	}
+	var dump string
+	select {
+	case dump = <-dumps:
+	default:
+		t.Fatal("watchdog fired no stall report")
+	}
+	for _, want := range []string{"stalled", "shard 0", "shard 1", "round="} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("stall dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+// TestGroupWatchdogQuietOnProgress pins that a healthy run under a tight
+// watchdog budget completes without the stall handler ever firing.
+func TestGroupWatchdogQuietOnProgress(t *testing.T) {
+	shards := []*Simulator{New(), New()}
+	g := NewGroup(shards, 2, 1.0)
+	g.SetWatchdog(5 * time.Second)
+	fired := make(chan string, 1)
+	g.SetStallHandler(func(dump string) { fired <- dump })
+
+	// A ping-pong load: each delivery schedules the next, so every round
+	// makes progress until the horizon.
+	var count int
+	var ping func()
+	ping = func() {
+		count++
+		from, to, edge := 0, 1, 0
+		if count%2 == 1 {
+			from, to, edge = 1, 0, 1
+		}
+		at := g.Shard(from).Now() + 1.5
+		if at < 50 {
+			g.Post(from, to, edge, at, ping)
+		}
+	}
+	shards[0].ScheduleAt(0.25, func() { g.Post(0, 1, 0, 1.75, ping) })
+	g.Run(50)
+	select {
+	case dump := <-fired:
+		t.Fatalf("watchdog fired on a healthy run:\n%s", dump)
+	default:
+	}
+	if count == 0 {
+		t.Fatal("ping-pong load never ran")
+	}
 }

@@ -5,11 +5,15 @@
 // simulations reproducible.
 //
 // The kernel is allocation-free in steady state: event storage lives in a
-// slab of slots recycled through a free list, and the pending set is an
-// indexed 4-ary min-heap of slot indices with hand-inlined sift-up/sift-down
-// (no container/heap, no interface boxing). Event handles carry a generation
-// counter so a stale handle whose slot has been recycled is detected by
-// Cancel rather than corrupting the queue.
+// slab of slots recycled through a free list whose capacity is grown in
+// lock-step with the slab (so pops never re-grow it mid-run), and the
+// pending set is an indexed 4-ary min-heap with hand-inlined
+// sift-up/sift-down (no container/heap, no interface boxing). Each heap
+// entry carries its (at, seq) ordering key inline, so sift compares walk
+// the contiguous heap array without chasing slot indices into the slab —
+// the children of a 4-ary node share a cache line. Event handles carry a
+// generation counter so a stale handle whose slot has been recycled is
+// detected by Cancel rather than corrupting the queue.
 package sim
 
 import (
@@ -37,13 +41,20 @@ func (e Event) At() Time { return e.at }
 // slot is the pooled storage for one scheduled event. pos is the slot's
 // index in the heap, -1 while the slot is free. gen starts at 1 and is
 // incremented every time the slot is released, invalidating outstanding
-// handles.
+// handles. The (at, seq) ordering key lives in the heap entry, not here:
+// sifts only read the heap array.
 type slot struct {
-	at     Time
-	seq    uint64
 	action func()
 	gen    uint32
 	pos    int32
+}
+
+// heapEnt is one pending event in the 4-ary min-heap, ordered by (at, seq).
+// seq is unique, giving a strict total order and exact FIFO tie-breaking.
+type heapEnt struct {
+	at   Time
+	seq  uint64
+	slot int32
 }
 
 // Simulator owns the event list and the simulated clock.
@@ -51,9 +62,9 @@ type Simulator struct {
 	now    Time
 	seq    uint64
 	slots  []slot
-	free   []int32 // recycled slot indices, LIFO
-	heap   []int32 // 4-ary min-heap of slot indices ordered by (at, seq)
-	count  uint64  // events executed
+	free   []int32   // recycled slot indices, LIFO
+	heap   []heapEnt // 4-ary min-heap ordered by (at, seq)
+	count  uint64    // events executed
 	halted bool
 }
 
@@ -98,12 +109,19 @@ func (s *Simulator) ScheduleAt(at Time, action func()) Event {
 	} else {
 		s.slots = append(s.slots, slot{gen: 1, pos: -1})
 		idx = int32(len(s.slots) - 1)
+		// Grow the free list's capacity in lock-step with the slab: release
+		// pushes at most one index per slot, so matching capacities here
+		// means release never allocates — the pop path stays 0 B/op even
+		// when the free list fills while a long Run drains the heap.
+		if cap(s.free) < cap(s.slots) {
+			free := make([]int32, len(s.free), cap(s.slots))
+			copy(free, s.free)
+			s.free = free
+		}
 	}
 	sl := &s.slots[idx]
-	sl.at = at
-	sl.seq = s.seq
 	sl.action = action
-	s.heap = append(s.heap, idx)
+	s.heap = append(s.heap, heapEnt{at: at, seq: s.seq, slot: idx})
 	s.siftUp(len(s.heap) - 1)
 	return Event{slot: idx, gen: sl.gen, at: at}
 }
@@ -128,20 +146,19 @@ func (s *Simulator) Step() bool {
 	if len(s.heap) == 0 {
 		return false
 	}
-	idx := s.heap[0]
-	sl := &s.slots[idx]
-	s.now = sl.at
+	top := s.heap[0]
+	s.now = top.at
 	s.count++
-	action := sl.action
+	action := s.slots[top.slot].action
 	n := len(s.heap) - 1
 	last := s.heap[n]
 	s.heap = s.heap[:n]
 	if n > 0 {
 		s.heap[0] = last
-		s.slots[last].pos = 0
+		s.slots[last.slot].pos = 0
 		s.siftDown(0)
 	}
-	s.release(idx)
+	s.release(top.slot)
 	action()
 	return true
 }
@@ -151,7 +168,7 @@ func (s *Simulator) Step() bool {
 // min(horizon, time of last executed event); events at exactly horizon run.
 func (s *Simulator) RunUntil(horizon Time) {
 	s.halted = false
-	for !s.halted && len(s.heap) > 0 && s.slots[s.heap[0]].at <= horizon {
+	for !s.halted && len(s.heap) > 0 && s.heap[0].at <= horizon {
 		s.Step()
 	}
 	if s.now < horizon && !s.halted {
@@ -166,7 +183,7 @@ func (s *Simulator) Peek() (Time, bool) {
 	if len(s.heap) == 0 {
 		return 0, false
 	}
-	return s.slots[s.heap[0]].at, true
+	return s.heap[0].at, true
 }
 
 // RunBefore executes events strictly earlier than bound, in time order,
@@ -176,7 +193,7 @@ func (s *Simulator) Peek() (Time, bool) {
 // This is the per-round shard execution primitive of the Group synchronizer.
 func (s *Simulator) RunBefore(bound Time) {
 	s.halted = false
-	for !s.halted && len(s.heap) > 0 && s.slots[s.heap[0]].at < bound {
+	for !s.halted && len(s.heap) > 0 && s.heap[0].at < bound {
 		s.Step()
 	}
 }
@@ -191,8 +208,8 @@ func (s *Simulator) AdvanceTo(t Time) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: advance to %v before now %v", t, s.now))
 	}
-	if len(s.heap) > 0 && s.slots[s.heap[0]].at < t {
-		panic(fmt.Sprintf("sim: advance to %v over pending event at %v", t, s.slots[s.heap[0]].at))
+	if len(s.heap) > 0 && s.heap[0].at < t {
+		panic(fmt.Sprintf("sim: advance to %v over pending event at %v", t, s.heap[0].at))
 	}
 	s.now = t
 }
@@ -221,18 +238,18 @@ func (s *Simulator) release(idx int32) {
 func (s *Simulator) removeAt(i int) {
 	h := s.heap
 	n := len(h) - 1
-	idx := h[i]
+	ent := h[i]
 	last := h[n]
 	s.heap = h[:n]
 	if i < n {
 		h[i] = last
-		s.slots[last].pos = int32(i)
+		s.slots[last.slot].pos = int32(i)
 		s.siftDown(i)
-		if s.slots[last].pos == int32(i) {
+		if s.slots[last.slot].pos == int32(i) {
 			s.siftUp(i)
 		}
 	}
-	s.release(idx)
+	s.release(ent.slot)
 }
 
 // siftUp restores heap order upward from position i. The element is lifted
@@ -241,33 +258,30 @@ func (s *Simulator) removeAt(i int) {
 // order and therefore exact FIFO tie-breaking regardless of heap shape.
 func (s *Simulator) siftUp(i int) {
 	h := s.heap
-	idx := h[i]
-	at, seq := s.slots[idx].at, s.slots[idx].seq
+	e := h[i]
 	for i > 0 {
 		p := (i - 1) >> 2
-		pidx := h[p]
-		pat, pseq := s.slots[pidx].at, s.slots[pidx].seq
-		if pat < at || (pat == at && pseq < seq) {
+		pe := h[p]
+		if pe.at < e.at || (pe.at == e.at && pe.seq < e.seq) {
 			break
 		}
-		h[i] = pidx
-		s.slots[pidx].pos = int32(i)
+		h[i] = pe
+		s.slots[pe.slot].pos = int32(i)
 		i = p
 	}
-	h[i] = idx
-	s.slots[idx].pos = int32(i)
+	h[i] = e
+	s.slots[e.slot].pos = int32(i)
 }
 
 // siftDown restores heap order downward from position i, picking the least
 // of up to four children per level. A 4-ary heap halves the tree depth of a
-// binary heap; the extra compares per level stay in one cache line of the
-// index slice, which is the favorable trade for this workload's
-// pop-dominated mix.
+// binary heap, and with the ordering keys inline in the entries the four
+// children sit in adjacent array words — every level is one or two cache
+// lines of the heap itself, with no dependent loads into the slot slab.
 func (s *Simulator) siftDown(i int) {
 	h := s.heap
 	n := len(h)
-	idx := h[i]
-	at, seq := s.slots[idx].at, s.slots[idx].seq
+	e := h[i]
 	for {
 		c := (i << 2) + 1
 		if c >= n {
@@ -278,22 +292,20 @@ func (s *Simulator) siftDown(i int) {
 			end = n
 		}
 		m := c
-		midx := h[c]
-		mat, mseq := s.slots[midx].at, s.slots[midx].seq
+		me := h[c]
 		for k := c + 1; k < end; k++ {
-			kidx := h[k]
-			kat, kseq := s.slots[kidx].at, s.slots[kidx].seq
-			if kat < mat || (kat == mat && kseq < mseq) {
-				m, midx, mat, mseq = k, kidx, kat, kseq
+			ke := h[k]
+			if ke.at < me.at || (ke.at == me.at && ke.seq < me.seq) {
+				m, me = k, ke
 			}
 		}
-		if at < mat || (at == mat && seq < mseq) {
+		if e.at < me.at || (e.at == me.at && e.seq < me.seq) {
 			break
 		}
-		h[i] = midx
-		s.slots[midx].pos = int32(i)
+		h[i] = me
+		s.slots[me.slot].pos = int32(i)
 		i = m
 	}
-	h[i] = idx
-	s.slots[idx].pos = int32(i)
+	h[i] = e
+	s.slots[e.slot].pos = int32(i)
 }

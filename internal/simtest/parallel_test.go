@@ -117,6 +117,36 @@ func TestParallelSequentialDifferential(t *testing.T) {
 	}
 }
 
+// TestParallelSequential1000Sites pins the differential gate at the
+// scale-out operating point: 1000 sites on a handful of shards — the
+// contiguous-block placement with many sites per shard, which the randomized
+// matrix above (2..16 sites) never reaches — with the shared hardware scaled
+// in proportion as in the cmd/hybridsim scale1000 preset. The horizon is
+// deliberately tiny; at this width the run still crosses every code path
+// (shipping, authentication, update propagation) thousands of times.
+func TestParallelSequential1000Sites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-site differential is a long test")
+	}
+	cfg := hybrid.DefaultConfig()
+	cfg.Seed = 1000_1000
+	cfg.Sites = 1000
+	cfg.CentralMIPS = 1500
+	cfg.Lockspace = 3_276_800
+	cfg.Warmup = 1
+	cfg.Duration = 4
+	cfg.CaptureHistograms = true
+	pc := parallelCase{sc: caseMinAverage(), cfg: cfg, shards: 4}
+	seq, par := runParallelCase(t, pc)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel (shards=%d) diverged from sequential at 1000 sites\n%s",
+			pc.shards, repro(pc.sc.label, pc.cfg))
+	}
+	if seq.Completed == 0 {
+		t.Fatal("1000-site differential completed nothing")
+	}
+}
+
 // TestParallelRaceStress is the race-detector workout: a saturated 64-site
 // run through the parallel core with the invariant auditor on, sized so the
 // shard workers genuinely interleave. The Group's deadlock watchdog (10s

@@ -102,6 +102,8 @@ type siteStream struct {
 	class  *rng.Source
 	elems  *rng.Source
 	modes  *rng.Source
+	sample []int // scratch for the element draws
+	perm   []int // scratch for the sampler's shuffle path
 }
 
 // NewGenerator returns a generator for the given configuration. It panics if
@@ -128,38 +130,60 @@ func (g *Generator) Config() Config { return g.cfg }
 // Next generates the next transaction originating at the given site.
 // Concurrent calls for distinct sites are safe (disjoint state); concurrent
 // calls for one site are not.
-func (g *Generator) Next(site int) *Txn {
+func (g *Generator) Next(site int) *Txn { return g.NextInto(site, nil) }
+
+// NextInto is Next with spec recycling: when t is non-nil its slices are
+// reused in place, so a steady-state caller that pools completed specs
+// generates without allocating. The variate streams are consumed identically
+// either way — a pooled run and an allocating run produce the same
+// transactions.
+func (g *Generator) NextInto(site int, t *Txn) *Txn {
 	if site < 0 || site >= g.cfg.Sites {
 		panic(fmt.Sprintf("workload: site %d out of range [0,%d)", site, g.cfg.Sites))
 	}
 	st := &g.sites[site]
 	st.nextID++
-	t := &Txn{
-		// Per-site ID blocks: site in the high bits, per-site counter in
-		// the low 32. IDs stay positive and unique for < 2^32 transactions
-		// per site.
-		ID:       int64(site)<<32 | st.nextID,
-		HomeSite: site,
-		Class:    ClassB,
+	if t == nil {
+		t = &Txn{}
 	}
+	// Per-site ID blocks: site in the high bits, per-site counter in the low
+	// 32. IDs stay positive and unique for < 2^32 transactions per site.
+	t.ID = int64(site)<<32 | st.nextID
+	t.HomeSite = site
+	t.Class = ClassB
 	if st.class.Bool(g.cfg.PLocal) {
 		t.Class = ClassA
 	}
 
 	part := g.cfg.PartitionSize()
 	n := g.cfg.CallsPerTxn
-	t.Elements = make([]uint32, n)
-	t.Modes = make([]lock.Mode, n)
+	if cap(t.Elements) < n {
+		t.Elements = make([]uint32, n)
+	} else {
+		t.Elements = t.Elements[:n]
+	}
+	if cap(t.Modes) < n {
+		t.Modes = make([]lock.Mode, n)
+	} else {
+		t.Modes = t.Modes[:n]
+	}
+	if cap(st.sample) < n {
+		st.sample = make([]int, n)
+	} else {
+		st.sample = st.sample[:n]
+	}
 
 	if t.Class == ClassA {
 		// Uniform, distinct references within the home partition.
 		base := uint32(site) * part
-		for i, off := range st.elems.SampleWithoutReplacement(int(part), n) {
+		st.elems.SampleWithoutReplacementInto(int(part), st.sample, &st.perm)
+		for i, off := range st.sample {
 			t.Elements[i] = base + uint32(off)
 		}
 	} else {
 		// Uniform, distinct references over the entire lockspace.
-		for i, off := range st.elems.SampleWithoutReplacement(int(g.cfg.Lockspace), n) {
+		st.elems.SampleWithoutReplacementInto(int(g.cfg.Lockspace), st.sample, &st.perm)
+		for i, off := range st.sample {
 			t.Elements[i] = uint32(off)
 		}
 	}
@@ -184,29 +208,44 @@ func (c Config) PartitionOf(elem uint32) int {
 
 // Updates returns the elements the transaction locks exclusively — the set
 // whose new values must be propagated through the coherence protocol.
-func (t *Txn) Updates() []uint32 {
-	var out []uint32
+func (t *Txn) Updates() []uint32 { return t.AppendUpdates(nil) }
+
+// AppendUpdates appends the transaction's exclusively locked elements to dst
+// and returns it, allocating only when dst lacks capacity.
+func (t *Txn) AppendUpdates(dst []uint32) []uint32 {
 	for i, m := range t.Modes {
 		if m == lock.Exclusive {
-			out = append(out, t.Elements[i])
+			dst = append(dst, t.Elements[i])
 		}
 	}
-	return out
+	return dst
 }
 
 // SitesTouched returns the distinct master sites of the transaction's
 // elements — the sites involved in a central commit's authentication phase.
 func (t *Txn) SitesTouched(cfg Config) []int {
-	seen := make(map[int]struct{}, 2)
-	var out []int
+	return t.AppendSitesTouched(cfg, nil)
+}
+
+// AppendSitesTouched appends the distinct master sites of the transaction's
+// elements to dst (which must come in empty) in first-touch order. The
+// distinctness scan is linear over dst — a transaction touches at most
+// CallsPerTxn sites, and typically one or two.
+func (t *Txn) AppendSitesTouched(cfg Config, dst []int) []int {
 	for _, e := range t.Elements {
 		s := cfg.PartitionOf(e)
-		if _, dup := seen[s]; !dup {
-			seen[s] = struct{}{}
-			out = append(out, s)
+		dup := false
+		for _, prev := range dst {
+			if prev == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, s)
 		}
 	}
-	return out
+	return dst
 }
 
 // Arrivals draws successive exponential interarrival times with the given
