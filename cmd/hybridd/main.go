@@ -15,6 +15,12 @@
 // partitioning and the service times drive the emulation. Each node prints
 // "listening on <addr>" once ready (with -listen :0 the kernel picks the
 // port) and shuts down cleanly on SIGINT/SIGTERM, printing its counters.
+//
+// Observability: -debug-addr serves /metrics (Prometheus text),
+// /debug/vars, and /debug/pprof; -spans writes the node's span trace on
+// shutdown (merge per-process files with `trace merge`); SIGQUIT dumps the
+// flight recorder of recent wire events to stderr; -v / -q adjust log
+// verbosity.
 package main
 
 import (
@@ -29,6 +35,10 @@ import (
 
 	"hybriddb/internal/cluster"
 	"hybriddb/internal/experiments"
+	"hybriddb/internal/obsx/flight"
+	"hybriddb/internal/obsx/logx"
+	"hybriddb/internal/obsx/metrics"
+	"hybriddb/internal/obsx/spans"
 	"hybriddb/internal/routing"
 )
 
@@ -42,16 +52,20 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hybridd", flag.ContinueOnError)
 	var (
-		role     = fs.String("role", "", "node role: central or site")
-		id       = fs.Int("id", 0, "site index in [0, sites), site role only")
-		central  = fs.String("central", "", "central node address, site role only")
-		listen   = fs.String("listen", "127.0.0.1:0", "listen address (port 0 picks a free port)")
-		strategy = fs.String("strategy", "threshold:0", "routing strategy, site role only: "+strings.Join(experiments.StrategyNames(), ", "))
+		role      = fs.String("role", "", "node role: central or site")
+		id        = fs.Int("id", 0, "site index in [0, sites), site role only")
+		central   = fs.String("central", "", "central node address, site role only")
+		listen    = fs.String("listen", "127.0.0.1:0", "listen address (port 0 picks a free port)")
+		strategy  = fs.String("strategy", "threshold:0", "routing strategy, site role only: "+strings.Join(experiments.StrategyNames(), ", "))
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		spansOut  = fs.String("spans", "", "write the node's span trace (Chrome trace-event JSON) here on shutdown")
 	)
 	cf := cluster.RegisterConfigFlags(fs)
+	applyLog := logx.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	applyLog()
 	cfg, err := cf.Config()
 	if err != nil {
 		return err
@@ -60,10 +74,39 @@ func run(args []string, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// startObs wires the node-independent observability surfaces once the
+	// node is up.
+	startObs := func(reg *metrics.Registry, fr *flight.Recorder) error {
+		flight.InstallSigquit(os.Stderr, fr)
+		if *debugAddr == "" {
+			return nil
+		}
+		bound, err := metrics.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "hybridd: debug listener on http://%s/metrics\n", bound)
+		return nil
+	}
+	writeSpans := func(rec *spans.Recorder) error {
+		if *spansOut == "" {
+			return nil
+		}
+		if err := rec.WriteFile(*spansOut); err != nil {
+			return fmt.Errorf("writing spans: %w", err)
+		}
+		fmt.Fprintf(out, "hybridd: %d span events written to %s (%d dropped)\n",
+			rec.Events(), *spansOut, rec.Dropped())
+		return nil
+	}
+
 	switch *role {
 	case "central":
 		node, err := cluster.StartCentral(cfg, *listen)
 		if err != nil {
+			return err
+		}
+		if err := startObs(node.Metrics(), node.Flight()); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "hybridd: central listening on %s (%d sites configured)\n", node.Addr(), cfg.Sites)
@@ -74,7 +117,7 @@ func run(args []string, out io.Writer) error {
 			"%d NACK aborts, %d invalidation aborts, %d deadlock aborts, %d updates applied\n",
 			st.ShipArrived, st.Commits, st.AuthRounds,
 			st.AbortsNACK, st.AbortsInval, st.AbortsDeadlock, st.UpdatesApplied)
-		return nil
+		return writeSpans(node.Spans())
 
 	case "site":
 		if *central == "" {
@@ -100,6 +143,9 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if err := startObs(node.Metrics(), node.Flight()); err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "hybridd: site %d listening on %s (uplink %s, strategy %s)\n",
 			*id, node.Addr(), *central, strat.Name())
 		<-ctx.Done()
@@ -109,7 +155,7 @@ func run(args []string, out io.Writer) error {
 			"%d/%d class A/B shipped, %d seized aborts, %d deadlock aborts, %d ship send errors\n",
 			*id, st.Generated, st.CompletedLocal, st.RepliesDelivered,
 			st.ShippedA, st.ShippedB, st.AbortsSeized, st.AbortsDeadlock, st.ShipSendErrors)
-		return nil
+		return writeSpans(node.Spans())
 
 	case "":
 		return fmt.Errorf("missing -role (central or site)")

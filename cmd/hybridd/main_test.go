@@ -10,6 +10,9 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"hybriddb/internal/obsx/metrics"
+	"hybriddb/internal/obsx/spans"
 )
 
 // TestRunFlagValidation pins the CLI's error paths without booting anything.
@@ -132,11 +135,24 @@ func listenAddr(t *testing.T, line string) string {
 	return strings.Fields(after)[0]
 }
 
+// debugURL extracts the /metrics URL from a "debug listener on http://..."
+// line.
+func debugURL(t *testing.T, line string) string {
+	t.Helper()
+	_, after, ok := strings.Cut(line, "debug listener on ")
+	if !ok {
+		t.Fatalf("no debug URL in %q", line)
+	}
+	return strings.Fields(after)[0]
+}
+
 // TestClusterProcessSmoke is the `make cluster-smoke` gate at the process
 // level: build both binaries, boot 1 central + 4 sites as real processes on
 // loopback (DefaultLiveConfig, ports picked by the kernel), run a short
-// paced load, and require nonzero commits, zero request errors, and clean
-// SIGTERM shutdowns all around.
+// paced load, scrape every node's /metrics and require transaction
+// conservation per site and cluster-wide, then require nonzero commits,
+// zero request errors, clean SIGTERM shutdowns all around, and a merged
+// span trace with at least one transaction crossing two processes.
 func TestClusterProcessSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: builds binaries and runs a paced cluster")
@@ -155,19 +171,28 @@ func TestClusterProcessSmoke(t *testing.T) {
 		}
 	}
 
+	// The debug-listener line prints before the listening line, and
+	// expectLine discards non-matching lines, so capture them in that order.
 	const sites = 4 // DefaultLiveConfig().Sites
-	central := startProc(t, "central", hybridd, "-role", "central", "-listen", "127.0.0.1:0")
+	spanFiles := []string{dir + "/spans-central.json"}
+	central := startProc(t, "central", hybridd, "-role", "central", "-listen", "127.0.0.1:0",
+		"-debug-addr", "127.0.0.1:0", "-spans", spanFiles[0])
 	defer central.kill()
+	centralMetrics := debugURL(t, central.expectLine("debug listener on", 10*time.Second))
 	centralAddr := listenAddr(t, central.expectLine("listening on", 10*time.Second))
 
 	var siteProcs []*proc
-	var siteAddrs []string
+	var siteAddrs, siteMetrics []string
 	for i := 0; i < sites; i++ {
+		spanFile := fmt.Sprintf("%s/spans-site%d.json", dir, i)
+		spanFiles = append(spanFiles, spanFile)
 		s := startProc(t, fmt.Sprintf("site%d", i), hybridd,
 			"-role", "site", "-id", fmt.Sprint(i), "-central", centralAddr,
-			"-listen", "127.0.0.1:0", "-strategy", "threshold:0")
+			"-listen", "127.0.0.1:0", "-strategy", "threshold:0",
+			"-debug-addr", "127.0.0.1:0", "-spans", spanFile)
 		defer s.kill()
 		siteProcs = append(siteProcs, s)
+		siteMetrics = append(siteMetrics, debugURL(t, s.expectLine("debug listener on", 10*time.Second)))
 		siteAddrs = append(siteAddrs, listenAddr(t, s.expectLine("listening on", 10*time.Second)))
 	}
 
@@ -193,8 +218,45 @@ func TestClusterProcessSmoke(t *testing.T) {
 		t.Errorf("load run completed nothing:\n%s", lout)
 	}
 
+	// Scrape every node while the cluster is up and hold the flow invariants:
+	// the mirrored metrics are loop-consistent, so they must balance exactly
+	// at any instant, stragglers included.
+	centralSnap, err := metrics.ScrapeHTTP(centralMetrics)
+	if err != nil {
+		t.Fatalf("scrape central: %v", err)
+	}
+	if got, want := centralSnap["central_ship_arrived_total"],
+		centralSnap["central_commits_total"]+centralSnap["central_in_system"]; got != want {
+		t.Errorf("central conservation broken: ship_arrived %v != commits %v + in_system %v",
+			got, centralSnap["central_commits_total"], centralSnap["central_in_system"])
+	}
+	if centralSnap["central_ship_arrived_total"] == 0 {
+		t.Error("central metrics saw no shipped transactions")
+	}
+	var genSum, doneSum float64
+	for i, url := range siteMetrics {
+		snap, err := metrics.ScrapeHTTP(url)
+		if err != nil {
+			t.Fatalf("scrape site %d: %v", i, err)
+		}
+		gen := snap["site_generated_total"]
+		acc := snap["site_completed_local_total"] + snap["site_replies_delivered_total"] + snap["site_in_flight"]
+		if gen != acc {
+			t.Errorf("site %d conservation broken: generated %v != completed_local %v + replies %v + in_flight %v",
+				i, gen, snap["site_completed_local_total"], snap["site_replies_delivered_total"], snap["site_in_flight"])
+		}
+		genSum += gen
+		doneSum += acc
+	}
+	if genSum != doneSum {
+		t.Errorf("cluster-wide conservation broken: %v generated vs %v accounted", genSum, doneSum)
+	}
+	if genSum == 0 {
+		t.Error("site metrics saw no transactions")
+	}
+
 	// Clean shutdown: sites first (uplinks drop), central last. Each must
-	// exit 0 and print its counter line.
+	// exit 0, print its counter line, and write its span file.
 	for _, s := range siteProcs {
 		s.terminate()
 		if !strings.Contains(s.output(), "done:") {
@@ -207,5 +269,21 @@ func TestClusterProcessSmoke(t *testing.T) {
 	}
 	if !strings.Contains(central.output(), "commits") {
 		t.Errorf("central counters missing commits:\n%s", central.output())
+	}
+
+	// Merge the per-process span files and require at least one shipped
+	// transaction whose span tree crosses processes (site txn + central exec).
+	merged := dir + "/trace.json"
+	info, err := spans.MergeToFile(merged, spanFiles...)
+	if err != nil {
+		t.Fatalf("merging span files: %v", err)
+	}
+	t.Logf("trace merge: %d files, %d events, %d processes, %d cross-process txns",
+		info.Files, info.Events, info.Processes, info.CrossProcessTxns)
+	if info.Processes < 2 {
+		t.Errorf("merged trace covers %d processes, want >= 2", info.Processes)
+	}
+	if info.CrossProcessTxns == 0 {
+		t.Error("no transaction's span tree crosses processes in the merged trace")
 	}
 }

@@ -13,6 +13,12 @@
 // draws the transaction specs (class, home site, lock elements) itself and
 // ships them fully formed, so a -sites or -plocal mismatch changes the
 // workload the cluster observes.
+//
+// With -drift the simulator first predicts the operating point for the
+// same configuration and -strategy; while the load runs, a stderr ticker
+// compares the measured mean RT and routing mix against the prediction
+// using the differential test's tolerance bands, and the drift is exposed
+// as gauges on -debug-addr's /metrics.
 package main
 
 import (
@@ -27,8 +33,13 @@ import (
 	"time"
 
 	"hybriddb/internal/cluster"
+	"hybriddb/internal/experiments"
 	"hybriddb/internal/hybrid"
+	"hybriddb/internal/obsx/flight"
+	"hybriddb/internal/obsx/logx"
 	"hybriddb/internal/obsx/manifest"
+	"hybriddb/internal/obsx/metrics"
+	"hybriddb/internal/routing"
 )
 
 func main() {
@@ -41,21 +52,27 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hybridload", flag.ContinueOnError)
 	var (
-		addrsFlg = fs.String("addrs", "", "comma-separated site addresses, in site-index order (required)")
-		pacing   = fs.String("pacing", cluster.PacingPoisson, "interarrival pacing: poisson or uniform")
-		ramp     = fs.Float64("ramp", 0, "seconds to ramp the rate from ~0 to -rate")
-		warmup   = fs.Float64("warmup", 1, "seconds of load before the measurement window opens")
-		duration = fs.Float64("duration", 10, "measured seconds")
-		threads  = fs.Int("threads", 2, "connections per site")
-		loadSeed = fs.Uint64("load-seed", 0, "workload/pacing seed (default: the configuration -seed)")
-		timeout  = fs.Duration("timeout", 30*time.Second, "per-request timeout; a timeout counts as an error")
-		maniOut  = fs.String("manifest", "", "write a machine-readable run manifest (RUN_*.json) to this file")
-		notes    = fs.String("label", "live", "result label used in the manifest")
+		addrsFlg  = fs.String("addrs", "", "comma-separated site addresses, in site-index order (required)")
+		pacing    = fs.String("pacing", cluster.PacingPoisson, "interarrival pacing: poisson or uniform")
+		ramp      = fs.Float64("ramp", 0, "seconds to ramp the rate from ~0 to -rate")
+		warmup    = fs.Float64("warmup", 1, "seconds of load before the measurement window opens")
+		duration  = fs.Float64("duration", 10, "measured seconds")
+		threads   = fs.Int("threads", 2, "connections per site")
+		loadSeed  = fs.Uint64("load-seed", 0, "workload/pacing seed (default: the configuration -seed)")
+		timeout   = fs.Duration("timeout", 30*time.Second, "per-request timeout; a timeout counts as an error")
+		maniOut   = fs.String("manifest", "", "write a machine-readable run manifest (RUN_*.json) to this file")
+		notes     = fs.String("label", "live", "result label used in the manifest")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		drift     = fs.Bool("drift", false, "predict the operating point with the simulator and report live drift")
+		strategy  = fs.String("strategy", "threshold:0", "the cluster's routing strategy, for the -drift prediction: "+strings.Join(experiments.StrategyNames(), ", "))
+		tick      = fs.Duration("tick", 2*time.Second, "progress/drift ticker interval")
 	)
 	cf := cluster.RegisterConfigFlags(fs)
+	applyLog := logx.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	applyLog()
 	cfg, err := cf.Config()
 	if err != nil {
 		return err
@@ -72,6 +89,90 @@ func run(args []string, out io.Writer) error {
 		seed = cfg.Seed
 	}
 
+	lg := logx.New("load")
+	reg := metrics.NewRegistry()
+	fr := flight.NewRecorder("hybridload", 256)
+	flight.InstallSigquit(os.Stderr, fr)
+	if *debugAddr != "" {
+		bound, err := metrics.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "hybridload: debug listener on http://%s/metrics\n", bound)
+	}
+	submittedG := reg.Gauge("load_submitted", "submissions in the measurement window so far")
+	completedG := reg.Gauge("load_completed", "completions in the measurement window so far")
+	errorsG := reg.Gauge("load_errors", "request timeouts and transport failures so far")
+	measuredRT := reg.Gauge("load_measured_mean_rt_seconds", "measured mean response time, window so far")
+	measuredShip := reg.Gauge("load_measured_ship_fraction", "measured class A ship fraction, window so far")
+
+	// With -drift, predict the operating point before offering load, then
+	// hold the live window against the prediction under the differential
+	// test's tolerance bands.
+	var (
+		pred cluster.SimPrediction
+		tol  cluster.Tolerances
+
+		predRT    *metrics.Gauge
+		predShip  *metrics.Gauge
+		driftRT   *metrics.Gauge
+		driftShip *metrics.Gauge
+		withinG   *metrics.Gauge
+	)
+	if *drift {
+		if tol, err = cluster.DefaultTolerances(); err != nil {
+			return err
+		}
+		maker, err := experiments.ParseStrategy(*strategy)
+		if err != nil {
+			return err
+		}
+		simStart := time.Now()
+		pred, err = cluster.PredictSim(cfg, func() (routing.Strategy, error) {
+			return maker.Make(cfg)
+		}, tol.SimReplications)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "hybridload: sim predicts meanRT %.1fms, ship fraction %.3f (%d replications, %.1fs); "+
+			"bands: rt rel err ≤ %.2f, ship abs err ≤ %.2f\n",
+			pred.MeanRT*1e3, pred.ShipFraction, pred.Replications, time.Since(simStart).Seconds(),
+			tol.RTRelErrMax, tol.ShipFracAbsErrMax)
+		predRT = reg.Gauge("load_predicted_mean_rt_seconds", "simulator-predicted mean response time for this configuration")
+		predShip = reg.Gauge("load_predicted_ship_fraction", "simulator-predicted class A ship fraction")
+		driftRT = reg.Gauge("load_drift_rt_rel_err", "relative mean-RT error of the live window vs the simulator prediction")
+		driftShip = reg.Gauge("load_drift_ship_frac_abs_err", "absolute ship-fraction error vs the simulator prediction")
+		withinG = reg.Gauge("load_drift_within_bands", "1 when the live window agrees with the simulator within the tolerance bands")
+		predRT.Set(pred.MeanRT)
+		predShip.Set(pred.ShipFraction)
+		withinG.Set(1)
+	}
+
+	progress := func(p cluster.LoadProgress) {
+		submittedG.Set(float64(p.Submitted))
+		completedG.Set(float64(p.Completed))
+		errorsG.Set(float64(p.Errors))
+		measuredRT.Set(p.MeanRT)
+		measuredShip.Set(p.ShipFraction)
+		line := fmt.Sprintf("t=%.1fs submitted %d completed %d errors %d meanRT %.1fms ship %.3f",
+			p.Elapsed, p.Submitted, p.Completed, p.Errors, p.MeanRT*1e3, p.ShipFraction)
+		if *drift && p.Completed > 0 {
+			d := cluster.ComputeDrift(p.MeanRT, p.ShipFraction, pred, tol)
+			driftRT.Set(d.RTRelErr)
+			driftShip.Set(d.ShipFracAbsErr)
+			verdict := "within bands"
+			if d.WithinBands {
+				withinG.Set(1)
+			} else {
+				withinG.Set(0)
+				verdict = "OUT OF BANDS"
+			}
+			line += fmt.Sprintf(" | drift: rt %.3f/%.2f ship %.3f/%.2f (%s)",
+				d.RTRelErr, tol.RTRelErrMax, d.ShipFracAbsErr, tol.ShipFracAbsErrMax, verdict)
+		}
+		lg.Infof("%s", line)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -85,6 +186,9 @@ func run(args []string, out io.Writer) error {
 		Threads:        *threads,
 		Seed:           seed,
 		RequestTimeout: *timeout,
+		Progress:       progress,
+		ProgressEvery:  *tick,
+		Flight:         fr,
 	})
 	if res == nil {
 		return err
@@ -100,10 +204,20 @@ func run(args []string, out io.Writer) error {
 		res.LocalA, res.ShippedA, res.ClassB, res.ShipFraction)
 	fmt.Fprintf(out, "  RT mean %.1fms, p50 %.1fms, p95 %.1fms; throughput %.1f txn/s\n",
 		res.MeanRT*1e3, res.P50RT*1e3, res.P95RT*1e3, res.Throughput)
+	if *drift && res.Completed > 0 {
+		d := cluster.ComputeDrift(res.MeanRT, res.ShipFraction, pred, tol)
+		verdict := "within bands"
+		if !d.WithinBands {
+			verdict = "OUT OF BANDS"
+		}
+		fmt.Fprintf(out, "  drift vs simulator: rt rel err %.3f (≤ %.2f), ship abs err %.3f (≤ %.2f) — %s\n",
+			d.RTRelErr, tol.RTRelErrMax, d.ShipFracAbsErr, tol.ShipFracAbsErrMax, verdict)
+	}
 
 	if *maniOut != "" {
 		m := manifest.New("hybridload", "live cluster paced load run")
 		m.Add(*notes, cfg, liveResult(res, *duration))
+		m.AttachMetrics(reg.Snapshot())
 		m.Finish(time.Since(wallStart))
 		if werr := m.WriteFile(*maniOut); werr != nil {
 			return werr

@@ -8,11 +8,13 @@ import (
 func TestRunFlagValidation(t *testing.T) {
 	var out bytes.Buffer
 	for _, args := range [][]string{
-		{},                                      // missing -addrs
-		{"-addrs", "x", "-pacing", "bursty"},    // unknown pacing
-		{"-addrs", "x", "-duration", "0"},       // zero duration
-		{"-addrs", "x,y", "-sites", "4"},        // addr count != sites
-		{"-addrs", "x", "-feedback", "sideways"}, // unknown feedback
+		{},                                             // missing -addrs
+		{"-addrs", "x", "-pacing", "bursty"},           // unknown pacing
+		{"-addrs", "x", "-duration", "0"},              // zero duration
+		{"-addrs", "x,y", "-sites", "4"},               // addr count != sites
+		{"-addrs", "x", "-feedback", "sideways"},       // unknown feedback
+		{"-addrs", "x", "-drift", "-strategy", "nope"}, // unknown drift strategy
+		{"-addrs", "x", "-drift", "-strategy", "threshold:bogus"}, // bad strategy argument
 	} {
 		if err := run(args, &out); err == nil {
 			t.Errorf("run(%v) accepted", args)

@@ -4,12 +4,16 @@
 //	trace replay  -in trace.jsonl -strategy best            # re-run it
 //	trace follow  -txn 42 -rate 2.0 -strategy best          # dump one txn's protocol events
 //	trace export  -out spans.json -rate 2.0 -strategy best  # Chrome trace-event spans
+//	trace merge   -out merged.json central.json site0.json  # fuse per-process cluster traces
 //
 // Replay makes simulation results bit-reproducible across machines and code
 // versions; follow prints the full §2 protocol history of one transaction
 // (routing, locks, authentication, aborts) for debugging; export renders
 // every transaction's lifecycle as a span tree loadable in Perfetto
-// (https://ui.perfetto.dev) or chrome://tracing.
+// (https://ui.perfetto.dev) or chrome://tracing; merge fuses the
+// per-process span files a live cluster writes (hybridd -spans-dir) into
+// one Perfetto-loadable view, shifting each file by its handshake-estimated
+// clock offset so cross-site transactions read as a single span tree.
 package main
 
 import (
@@ -36,7 +40,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: trace capture|replay|follow|export [flags]")
+		return fmt.Errorf("usage: trace capture|replay|follow|export|merge [flags]")
 	}
 	switch args[0] {
 	case "capture":
@@ -47,9 +51,33 @@ func run(args []string, out io.Writer) error {
 		return follow(args[1:], out)
 	case "export":
 		return export(args[1:], out)
+	case "merge":
+		return merge(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want capture, replay, follow, or export)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want capture, replay, follow, export, or merge)", args[0])
 	}
+}
+
+// merge fuses per-process span files from a live cluster run into a single
+// trace, shifting each input into the central timebase by the clock offset
+// its process estimated at the Hello handshake.
+func merge(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trace merge", flag.ContinueOnError)
+	path := fs.String("out", "merged.json", "output trace-event file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	inputs := fs.Args()
+	if len(inputs) == 0 {
+		return fmt.Errorf("usage: trace merge [-out merged.json] <span-file>...")
+	}
+	info, err := spans.MergeToFile(*path, inputs...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "merged %d files into %s: %d events across %d process lanes, %d cross-process transactions (open in Perfetto: https://ui.perfetto.dev)\n",
+		info.Files, *path, info.Events, info.Processes, info.CrossProcessTxns)
+	return nil
 }
 
 func capture(args []string, out io.Writer) error {

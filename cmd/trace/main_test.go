@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hybriddb/internal/obsx/spans"
 )
 
 func TestCaptureThenReplay(t *testing.T) {
@@ -97,6 +99,53 @@ func TestExportWritesSpans(t *testing.T) {
 	}
 	if len(doc.TraceEvents) == 0 {
 		t.Fatal("export holds no events")
+	}
+}
+
+func TestMergeFusesRecorderFiles(t *testing.T) {
+	dir := t.TempDir()
+	site := spans.NewRecorder("site 0", spans.SitePid(0), 0)
+	site.SetClockOffset(2.0)
+	site.Begin(1.0, 7, "txn")
+	site.End(1.5, 7)
+	central := spans.NewRecorder("central complex", spans.CentralPid, 0)
+	central.Begin(3.1, 7, "exec")
+	central.End(3.4, 7)
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	if err := site.WriteFile(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := central.WriteFile(b); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "merged.json")
+	var buf bytes.Buffer
+	if err := run([]string{"merge", "-out", out, a, b}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1 cross-process transactions") {
+		t.Errorf("merge summary:\n%s", buf.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("merged file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < 4 {
+		t.Fatalf("merged file holds %d events, want >= 4", len(doc.TraceEvents))
+	}
+}
+
+func TestMergeNeedsInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"merge", "-out", filepath.Join(t.TempDir(), "m.json")}, &buf); err == nil {
+		t.Fatal("merge with no inputs accepted")
 	}
 }
 

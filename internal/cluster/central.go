@@ -9,8 +9,8 @@ package cluster
 // the node's exec.Loop.
 
 import (
-	"log"
 	"net"
+	"strconv"
 	"sync"
 
 	"hybriddb/internal/cpu"
@@ -18,15 +18,21 @@ import (
 	"hybriddb/internal/hybrid"
 	"hybriddb/internal/lock"
 	"hybriddb/internal/netx"
+	"hybriddb/internal/obsx/flight"
+	"hybriddb/internal/obsx/logx"
+	"hybriddb/internal/obsx/metrics"
+	"hybriddb/internal/obsx/spans"
 	"hybriddb/internal/workload"
 )
 
 // ctxn is the central-side runtime state of one transaction, the live twin
 // of the simulator's txnRun in its shipped phase.
 type ctxn struct {
-	spec    *workload.Txn
-	attempt int
-	marked  bool // invalidated by an asynchronous update (§2)
+	spec     *workload.Txn
+	attempt  int
+	marked   bool // invalidated by an asynchronous update (§2)
+	traced   bool // span context propagated on the ship frame
+	authOpen bool // an auth span is open in the trace
 
 	authPending int
 	authNACK    bool
@@ -35,13 +41,13 @@ type ctxn struct {
 
 // CentralStats is a loop-consistent snapshot of the central node's state.
 type CentralStats struct {
-	ShipArrived   uint64
-	Commits       uint64
-	RepliesSent   uint64
-	InSystem      int
-	AuthRounds    uint64
-	AbortsNACK    uint64
-	AbortsInval   uint64
+	ShipArrived    uint64
+	Commits        uint64
+	RepliesSent    uint64
+	InSystem       int
+	AuthRounds     uint64
+	AbortsNACK     uint64
+	AbortsInval    uint64
 	AbortsDeadlock uint64
 	UpdatesApplied uint64
 }
@@ -64,6 +70,13 @@ type Central struct {
 
 	stats CentralStats
 
+	log   logx.Logger
+	reg   *metrics.Registry
+	wm    *wireMetrics
+	net   *netx.Stats
+	fr    *flight.Recorder
+	spans *spans.Recorder
+
 	ln     net.Listener
 	wg     sync.WaitGroup
 	connMu sync.Mutex
@@ -82,6 +95,7 @@ func StartCentral(cfg hybrid.Config, addr string) (*Central, error) {
 		return nil, err
 	}
 	loop := exec.NewLoop()
+	reg := metrics.NewRegistry()
 	c := &Central{
 		cfg:       cfg,
 		wl:        cfg.WorkloadConfig(),
@@ -91,12 +105,65 @@ func StartCentral(cfg hybrid.Config, addr string) (*Central, error) {
 		locks:     lock.NewManager(),
 		running:   make(map[lock.ID]*ctxn),
 		siteConns: make([]*netx.Conn, cfg.Sites),
+		log:       logx.New("central"),
+		reg:       reg,
+		wm:        newWireMetrics(reg),
+		net:       &netx.Stats{},
+		fr:        flight.NewRecorder("central", flightCapacity),
+		spans:     spans.NewRecorder("central complex", spans.CentralPid, 0),
 		ln:        ln,
 		conns:     make(map[*netx.Conn]struct{}),
 	}
+	c.registerMetrics()
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
+}
+
+// flightCapacity is each node's flight-recorder ring size: enough recent
+// wire history to reconstruct a stuck handshake or reconnect storm.
+const flightCapacity = 256
+
+// Metrics returns the node's registry, for a debug listener or a test
+// scrape.
+func (c *Central) Metrics() *metrics.Registry { return c.reg }
+
+// Flight returns the node's flight recorder of recent wire events.
+func (c *Central) Flight() *flight.Recorder { return c.fr }
+
+// Spans returns the node's live span recorder (central timebase).
+func (c *Central) Spans() *spans.Recorder { return c.spans }
+
+// registerMetrics wires the registry: transport gauges read directly from
+// atomics, and a scrape hook that mirrors the loop-confined protocol state
+// in one loop-time instant — which is what lets a scrape assert the exact
+// conservation invariant ship_arrived == commits + in_system.
+func (c *Central) registerMetrics() {
+	registerNetStats(c.reg, c.net)
+	shipArrived := c.reg.Counter("central_ship_arrived_total", "shipped transactions arrived")
+	commits := c.reg.Counter("central_commits_total", "central commits")
+	replies := c.reg.Counter("central_replies_sent_total", "completion replies sent to home sites")
+	authRounds := c.reg.Counter("central_auth_rounds_total", "authentication rounds started")
+	updates := c.reg.Counter("central_updates_applied_total", "site update batches applied")
+	abortNACK := c.reg.Counter("central_aborts_total", "central aborts by cause", metrics.L("cause", "nack"))
+	abortInval := c.reg.Counter("central_aborts_total", "central aborts by cause", metrics.L("cause", "invalidated"))
+	abortDead := c.reg.Counter("central_aborts_total", "central aborts by cause", metrics.L("cause", "deadlock"))
+	inSystem := c.reg.Gauge("central_in_system", "transactions at central in any phase")
+	queue := c.reg.Gauge("central_cpu_queue_depth", "bursts queued at the central CPU, job in service included")
+	locksHeld := c.reg.Gauge("central_locks_held", "locks held at central")
+	mirrorOnLoop(c.reg, c.loop.Post, func() {
+		counterTo(shipArrived, c.stats.ShipArrived)
+		counterTo(commits, c.stats.Commits)
+		counterTo(replies, c.stats.RepliesSent)
+		counterTo(authRounds, c.stats.AuthRounds)
+		counterTo(updates, c.stats.UpdatesApplied)
+		counterTo(abortNACK, c.stats.AbortsNACK)
+		counterTo(abortInval, c.stats.AbortsInval)
+		counterTo(abortDead, c.stats.AbortsDeadlock)
+		inSystem.Set(float64(c.inSystem))
+		queue.Set(float64(c.cpu.QueueLength()))
+		locksHeld.Set(float64(c.locks.LocksHeld()))
+	})
 }
 
 // Addr returns the listener's address, for sites to dial.
@@ -109,7 +176,7 @@ func (c *Central) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		conn := netx.NewConn(nc, netx.Options{})
+		conn := netx.NewConn(nc, netx.Options{Stats: c.net})
 		c.connMu.Lock()
 		if c.closed {
 			c.connMu.Unlock()
@@ -134,23 +201,28 @@ func (c *Central) acceptLoop() {
 // handler onto the loop — after the emulated link delay for messages that
 // crossed the star network in the model.
 func (c *Central) dispatch(conn *netx.Conn, f netx.Frame) {
+	c.wm.In(f.Type)
 	switch f.Type {
 	case netx.MsgHello:
 		h, err := netx.DecodeHello(f.Payload)
 		if err != nil {
-			log.Printf("central: bad hello from %s: %v", conn.RemoteAddr(), err)
+			c.log.Errorf("bad hello from %s: %v", conn.RemoteAddr(), err)
+			c.wm.Error("bad-hello")
 			conn.Close()
 			return
 		}
-		c.loop.Post(func() { c.register(int(h.Site), conn) })
+		c.fr.Recordf(flight.In, "hello", "site %d t0=%.6f", h.Site, h.T0)
+		c.loop.Post(func() { c.register(h, conn) })
 	case netx.MsgShip:
-		spec, err := netx.DecodeTxn(f.Payload)
+		spec, traced, err := netx.DecodeShip(f.Payload)
 		if err != nil {
-			log.Printf("central: bad ship from %s: %v", conn.RemoteAddr(), err)
+			c.log.Errorf("bad ship from %s: %v", conn.RemoteAddr(), err)
+			c.wm.Error("bad-ship")
 			conn.Close()
 			return
 		}
-		deliver(c.loop, c.cfg.CommDelay, func() { c.onShip(spec) })
+		c.fr.Recordf(flight.In, "ship", "txn %d", spec.ID)
+		deliver(c.loop, c.cfg.CommDelay, func() { c.onShip(spec, traced) })
 	case netx.MsgAuthReply, netx.MsgUpdate:
 		// Decoded here (the payload aliases the read buffer), handled on
 		// the loop after the link delay.
@@ -158,28 +230,37 @@ func (c *Central) dispatch(conn *netx.Conn, f netx.Frame) {
 		case netx.MsgAuthReply:
 			a, err := netx.DecodeAuthReply(f.Payload)
 			if err != nil {
-				log.Printf("central: bad auth-reply: %v", err)
+				c.log.Errorf("bad auth-reply: %v", err)
+				c.wm.Error("bad-auth-reply")
 				conn.Close()
 				return
 			}
+			c.fr.Recordf(flight.In, "auth-reply", "txn %d site %d nack=%v", a.Txn, a.Site, a.NACK)
 			deliver(c.loop, c.cfg.CommDelay, func() { c.onAuthReply(a) })
 		case netx.MsgUpdate:
 			u, err := netx.DecodeUpdate(f.Payload)
 			if err != nil {
-				log.Printf("central: bad update: %v", err)
+				c.log.Errorf("bad update: %v", err)
+				c.wm.Error("bad-update")
 				conn.Close()
 				return
 			}
+			c.fr.Recordf(flight.In, "update", "txn %d site %d (%d elems)", u.Txn, u.Site, len(u.Elements))
 			deliver(c.loop, c.cfg.CommDelay, func() { c.onUpdate(u) })
 		}
 	default:
-		log.Printf("central: unexpected %s from %s", netx.MsgName(f.Type), conn.RemoteAddr())
+		c.log.Errorf("unexpected %s from %s", netx.MsgName(f.Type), conn.RemoteAddr())
+		c.wm.Error("unexpected-type")
 	}
 }
 
-func (c *Central) register(site int, conn *netx.Conn) {
+// register installs a site's uplink and answers its Hello with the central
+// clock reading, completing the NTP-style offset handshake.
+func (c *Central) register(h netx.Hello, conn *netx.Conn) {
+	site := int(h.Site)
 	if site < 0 || site >= len(c.siteConns) {
-		log.Printf("central: hello for out-of-range site %d", site)
+		c.log.Errorf("hello for out-of-range site %d", site)
+		c.wm.Error("bad-site-index")
 		conn.Close()
 		return
 	}
@@ -187,6 +268,15 @@ func (c *Central) register(site int, conn *netx.Conn) {
 		old.Close() // a site redialed; the stale uplink is dead
 	}
 	c.siteConns[site] = conn
+	c.log.Debugf("site %d registered from %s", site, conn.RemoteAddr())
+	ack := netx.AppendHelloAck(nil, netx.HelloAck{T0: h.T0, TCentral: c.loop.Now()})
+	if err := conn.Send(netx.MsgHelloAck, 0, ack); err != nil {
+		c.log.Errorf("hello-ack to site %d: %v", site, err)
+		c.wm.Error("send")
+		return
+	}
+	c.wm.Out(netx.MsgHelloAck)
+	c.fr.Recordf(flight.Out, "hello-ack", "site %d", site)
 }
 
 // toSite sends one protocol message down a site's uplink. A missing or dead
@@ -195,12 +285,17 @@ func (c *Central) register(site int, conn *netx.Conn) {
 func (c *Central) toSite(site int, msgType byte, payload []byte) {
 	conn := c.siteConns[site]
 	if conn == nil {
-		log.Printf("central: dropping %s for unregistered site %d", netx.MsgName(msgType), site)
+		c.log.Errorf("dropping %s for unregistered site %d", netx.MsgName(msgType), site)
+		c.wm.Error("drop-unregistered")
 		return
 	}
 	if err := conn.Send(msgType, 0, payload); err != nil {
-		log.Printf("central: send %s to site %d: %v", netx.MsgName(msgType), site, err)
+		c.log.Errorf("send %s to site %d: %v", netx.MsgName(msgType), site, err)
+		c.wm.Error("send")
+		return
 	}
+	c.wm.Out(msgType)
+	c.fr.Record(flight.Out, netx.MsgName(msgType), "site "+strconv.Itoa(site))
 }
 
 // snapshot captures the central state for piggybacking, like the
@@ -215,9 +310,13 @@ func (c *Central) snapshot() netx.Snapshot {
 
 // ---- Central execution path (twin of centralPath).
 
-func (c *Central) onShip(spec *workload.Txn) {
+func (c *Central) onShip(spec *workload.Txn, traced bool) {
 	c.stats.ShipArrived++
-	t := &ctxn{spec: spec, attempt: 1}
+	t := &ctxn{spec: spec, attempt: 1, traced: traced}
+	if traced {
+		c.spans.Begin(c.loop.Now(), spec.ID, "exec",
+			spans.KV{K: "home", V: strconv.Itoa(spec.HomeSite)})
+	}
 	c.inSystem++
 	c.running[lock.ID(spec.ID)] = t
 	c.cpu.Submit(c.cfg.InstrOverhead, func() {
@@ -265,8 +364,23 @@ func (c *Central) restart(t *ctxn) {
 	c.loop.Schedule(c.cfg.RestartDelay, func() { c.call(t, 0) })
 }
 
+// abortSpan closes any open auth span and marks the abort on the
+// transaction's trace lane.
+func (c *Central) abortSpan(t *ctxn, cause string) {
+	if !t.traced {
+		return
+	}
+	now := c.loop.Now()
+	if t.authOpen {
+		t.authOpen = false
+		c.spans.End(now, t.spec.ID, spans.KV{K: "outcome", V: "abort"})
+	}
+	c.spans.Instant(now, t.spec.ID, "abort", spans.KV{K: "cause", V: cause})
+}
+
 func (c *Central) deadlockAbort(t *ctxn) {
 	c.stats.AbortsDeadlock++
+	c.abortSpan(t, "deadlock")
 	c.locks.ReleaseAll(lock.ID(t.spec.ID))
 	c.restart(t)
 }
@@ -276,6 +390,7 @@ func (c *Central) deadlockAbort(t *ctxn) {
 func (c *Central) commitBegin(t *ctxn) {
 	if t.marked {
 		c.stats.AbortsInval++
+		c.abortSpan(t, "invalidated")
 		c.restart(t)
 		return
 	}
@@ -284,6 +399,11 @@ func (c *Central) commitBegin(t *ctxn) {
 	t.authNACK = false
 	t.authSeized = t.authSeized[:0]
 	c.stats.AuthRounds++
+	if t.traced {
+		t.authOpen = true
+		c.spans.Begin(c.loop.Now(), t.spec.ID, "auth",
+			spans.KV{K: "sites", V: strconv.Itoa(len(sites))})
+	}
 	snap := c.snapshot()
 	for _, site := range sites {
 		var elems []uint32
@@ -295,7 +415,7 @@ func (c *Central) commitBegin(t *ctxn) {
 			}
 		}
 		c.toSite(site, netx.MsgAuthReq, netx.AppendAuthReq(nil, netx.AuthReq{
-			Txn: t.spec.ID, Elements: elems, Modes: modes, Snap: snap,
+			Txn: t.spec.ID, Elements: elems, Modes: modes, Snap: snap, Traced: t.traced,
 		}))
 	}
 }
@@ -303,7 +423,8 @@ func (c *Central) commitBegin(t *ctxn) {
 func (c *Central) onAuthReply(a netx.AuthReply) {
 	t, ok := c.running[lock.ID(a.Txn)]
 	if !ok || t.authPending == 0 {
-		log.Printf("central: stray auth-reply for txn %d", a.Txn)
+		c.log.Errorf("stray auth-reply for txn %d", a.Txn)
+		c.wm.Error("stray-auth-reply")
 		return
 	}
 	if a.NACK {
@@ -318,8 +439,10 @@ func (c *Central) onAuthReply(a netx.AuthReply) {
 	if t.authNACK || t.marked {
 		if t.authNACK {
 			c.stats.AbortsNACK++
+			c.abortSpan(t, "nack")
 		} else {
 			c.stats.AbortsInval++
+			c.abortSpan(t, "invalidated")
 		}
 		c.releaseAuthLocks(t)
 		c.restart(t)
@@ -348,8 +471,17 @@ func (c *Central) finish(t *ctxn) {
 	delete(c.running, id)
 	c.stats.Commits++
 	c.stats.RepliesSent++
+	if t.traced {
+		now := c.loop.Now()
+		if t.authOpen {
+			t.authOpen = false
+			c.spans.End(now, t.spec.ID, spans.KV{K: "outcome", V: "commit"})
+		}
+		c.spans.End(now, t.spec.ID, spans.KV{K: "attempts", V: strconv.Itoa(t.attempt)})
+		c.spans.Instant(now, t.spec.ID, "commit")
+	}
 	c.toSite(t.spec.HomeSite, netx.MsgReply, netx.AppendReply(nil, netx.Reply{
-		Txn: t.spec.ID, ClassB: t.spec.Class == workload.ClassB, Snap: c.snapshot(),
+		Txn: t.spec.ID, ClassB: t.spec.Class == workload.ClassB, Snap: c.snapshot(), Traced: t.traced,
 	}))
 }
 
@@ -373,6 +505,11 @@ func (c *Central) applyUpdate(u netx.Update) {
 		}
 	}
 	c.stats.UpdatesApplied++
+	if u.Traced {
+		c.spans.Instant(c.loop.Now(), u.Txn, "update-applied",
+			spans.KV{K: "site", V: strconv.Itoa(int(u.Site))},
+			spans.KV{K: "elems", V: strconv.Itoa(len(u.Elements))})
+	}
 	c.toSite(int(u.Site), netx.MsgUpdateAck, netx.AppendUpdateAck(nil, netx.UpdateAck{
 		Elements: u.Elements, Snap: c.snapshot(),
 	}))

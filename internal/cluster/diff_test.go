@@ -12,33 +12,22 @@ package cluster
 
 import (
 	"context"
-	"encoding/json"
 	"math"
-	"os"
 	"testing"
 
 	"hybriddb/internal/hybrid"
 	"hybriddb/internal/routing"
 )
 
-type clusterTolerances struct {
-	RTRelErrMax       float64   `json:"rt_rel_err_max"`
-	ShipFracAbsErrMax float64   `json:"ship_frac_abs_err_max"`
-	ThetaPoints       []float64 `json:"theta_points"`
-	SimReplications   int       `json:"sim_replications"`
-}
-
-func loadClusterTolerances(t *testing.T) clusterTolerances {
+// loadClusterTolerances returns the embedded bands (the same ones
+// hybridload's live drift gauge holds a run against).
+func loadClusterTolerances(t *testing.T) Tolerances {
 	t.Helper()
-	raw, err := os.ReadFile("testdata/tolerances.json")
+	tol, err := DefaultTolerances()
 	if err != nil {
 		t.Fatalf("tolerances: %v", err)
 	}
-	var tol clusterTolerances
-	if err := json.Unmarshal(raw, &tol); err != nil {
-		t.Fatalf("tolerances: %v", err)
-	}
-	if tol.RTRelErrMax <= 0 || tol.ShipFracAbsErrMax <= 0 || len(tol.ThetaPoints) < 2 {
+	if len(tol.ThetaPoints) < 2 {
 		t.Fatalf("tolerances underspecified: %+v", tol)
 	}
 	return tol
@@ -73,21 +62,13 @@ func diffConfig() hybrid.Config {
 // simPredict averages the simulator's prediction over a few seeds.
 func simPredict(t *testing.T, cfg hybrid.Config, theta float64, reps int) (meanRT, shipFrac float64) {
 	t.Helper()
-	if reps <= 0 {
-		reps = 3
+	pred, err := PredictSim(cfg, func() (routing.Strategy, error) {
+		return routing.QueueThreshold{Theta: theta}, nil
+	}, reps)
+	if err != nil {
+		t.Fatalf("PredictSim: %v", err)
 	}
-	for r := 0; r < reps; r++ {
-		c := cfg
-		c.Seed = cfg.Seed + uint64(r)*1000003
-		eng, err := hybrid.New(c, routing.QueueThreshold{Theta: theta})
-		if err != nil {
-			t.Fatalf("hybrid.New: %v", err)
-		}
-		res := eng.Run()
-		meanRT += res.MeanRT
-		shipFrac += res.ShipFraction
-	}
-	return meanRT / float64(reps), shipFrac / float64(reps)
+	return pred.MeanRT, pred.ShipFraction
 }
 
 func TestClusterVsSimulator(t *testing.T) {

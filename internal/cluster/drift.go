@@ -1,0 +1,99 @@
+package cluster
+
+// Live-vs-model drift: the same tolerance bands that gate the
+// cluster-vs-simulator differential test (testdata/tolerances.json,
+// embedded so binaries carry them) are reusable at run time — hybridload
+// predicts the configured operating point with the simulator, then holds
+// the measured mean RT and routing mix against the prediction while the
+// load runs, exposing the drift as gauges and a stderr ticker line.
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/routing"
+)
+
+//go:embed testdata/tolerances.json
+var tolerancesJSON []byte
+
+// Tolerances are the versioned agreement bands between a live cluster and
+// the simulator at the same configuration (see testdata/tolerances.json
+// for the calibration rationale).
+type Tolerances struct {
+	RTRelErrMax       float64   `json:"rt_rel_err_max"`
+	ShipFracAbsErrMax float64   `json:"ship_frac_abs_err_max"`
+	ThetaPoints       []float64 `json:"theta_points"`
+	SimReplications   int       `json:"sim_replications"`
+}
+
+// DefaultTolerances returns the embedded bands.
+func DefaultTolerances() (Tolerances, error) {
+	var tol Tolerances
+	if err := json.Unmarshal(tolerancesJSON, &tol); err != nil {
+		return Tolerances{}, fmt.Errorf("cluster: embedded tolerances: %w", err)
+	}
+	if tol.RTRelErrMax <= 0 || tol.ShipFracAbsErrMax <= 0 {
+		return Tolerances{}, fmt.Errorf("cluster: embedded tolerances underspecified: %+v", tol)
+	}
+	return tol, nil
+}
+
+// SimPrediction is the simulator's expectation for one configuration,
+// averaged over seed replications.
+type SimPrediction struct {
+	MeanRT       float64
+	ShipFraction float64
+	Replications int
+}
+
+// PredictSim runs the simulator at cfg, averaging over reps seed
+// replications (0 selects 3, matching the differential test). mk builds a
+// fresh strategy per replication so stateful strategies carry no state
+// across seeds.
+func PredictSim(cfg hybrid.Config, mk func() (routing.Strategy, error), reps int) (SimPrediction, error) {
+	if reps <= 0 {
+		reps = 3
+	}
+	p := SimPrediction{Replications: reps}
+	for r := 0; r < reps; r++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(r)*1000003
+		strat, err := mk()
+		if err != nil {
+			return SimPrediction{}, err
+		}
+		eng, err := hybrid.New(c, strat)
+		if err != nil {
+			return SimPrediction{}, err
+		}
+		res := eng.Run()
+		p.MeanRT += res.MeanRT
+		p.ShipFraction += res.ShipFraction
+	}
+	p.MeanRT /= float64(reps)
+	p.ShipFraction /= float64(reps)
+	return p, nil
+}
+
+// Drift holds one comparison of a live measurement against a prediction,
+// in the same error metrics the differential test gates on.
+type Drift struct {
+	RTRelErr       float64 // |live − sim| / sim mean RT
+	ShipFracAbsErr float64 // |live − sim| ship fraction
+	WithinBands    bool
+}
+
+// ComputeDrift compares a measured mean RT and ship fraction against the
+// prediction under the given bands.
+func ComputeDrift(meanRT, shipFrac float64, pred SimPrediction, tol Tolerances) Drift {
+	d := Drift{ShipFracAbsErr: math.Abs(shipFrac - pred.ShipFraction)}
+	if pred.MeanRT > 0 {
+		d.RTRelErr = math.Abs(meanRT-pred.MeanRT) / pred.MeanRT
+	}
+	d.WithinBands = d.RTRelErr <= tol.RTRelErrMax && d.ShipFracAbsErr <= tol.ShipFracAbsErrMax
+	return d
+}

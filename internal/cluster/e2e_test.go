@@ -39,12 +39,18 @@ func smokeConfig(sites int) hybrid.Config {
 // the site addresses plus a teardown. Teardown order matters: sites first
 // (their uplinks die), central last.
 func bootCluster(t *testing.T, cfg hybrid.Config, strategy routing.Strategy) (addrs []string, teardown func()) {
+	addrs, _, _, teardown = bootClusterNodes(t, cfg, strategy)
+	return addrs, teardown
+}
+
+// bootClusterNodes is bootCluster exposing the node handles, for tests
+// that scrape per-node metrics or dump observability state.
+func bootClusterNodes(t *testing.T, cfg hybrid.Config, strategy routing.Strategy) (addrs []string, central *Central, sites []*Site, teardown func()) {
 	t.Helper()
 	central, err := StartCentral(cfg, "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("StartCentral: %v", err)
 	}
-	var sites []*Site
 	teardown = func() {
 		for _, s := range sites {
 			s.Close()
@@ -68,18 +74,59 @@ func bootCluster(t *testing.T, cfg hybrid.Config, strategy routing.Strategy) (ad
 			t.Fatalf("site %d never reached central: %v", i, err)
 		}
 	}
-	return addrs, teardown
+	return addrs, central, sites, teardown
+}
+
+// assertConservation holds the scraped metrics of one central + N sites to
+// the flow invariants the loop-consistent scrape hooks guarantee exactly:
+// per site, generated == completed_local + replies_delivered + in_flight;
+// at central, ship_arrived == commits + in_system; cluster-wide, the sums
+// balance. Shared by the in-process smoke (registry snapshots) and the
+// process smoke (HTTP scrapes).
+func assertConservation(t *testing.T, centralSnap map[string]float64, siteSnaps []map[string]float64) {
+	t.Helper()
+	if got, want := centralSnap["central_ship_arrived_total"],
+		centralSnap["central_commits_total"]+centralSnap["central_in_system"]; got != want {
+		t.Errorf("central conservation broken: ship_arrived %v != commits %v + in_system %v",
+			got, centralSnap["central_commits_total"], centralSnap["central_in_system"])
+	}
+	var genSum, doneSum float64
+	for i, snap := range siteSnaps {
+		gen := snap["site_generated_total"]
+		done := snap["site_completed_local_total"] + snap["site_replies_delivered_total"] + snap["site_in_flight"]
+		if gen != done {
+			t.Errorf("site %d conservation broken: generated %v != completed_local %v + replies %v + in_flight %v",
+				i, gen, snap["site_completed_local_total"], snap["site_replies_delivered_total"], snap["site_in_flight"])
+		}
+		genSum += gen
+		doneSum += done
+	}
+	if genSum != doneSum {
+		t.Errorf("cluster-wide conservation broken: %v generated vs %v accounted", genSum, doneSum)
+	}
+	if genSum == 0 {
+		t.Error("conservation trivially vacuous: no transactions generated")
+	}
 }
 
 // TestClusterSmoke boots a 1 central + 2 site loopback cluster, drives a
 // short paced run, and asserts nonzero commits on both paths, zero request
-// errors, and a clean shutdown. This is the `make cluster-smoke` gate.
+// errors, transaction conservation across every node's metrics, and a clean
+// shutdown. This is the `make cluster-smoke` gate.
 func TestClusterSmoke(t *testing.T) {
 	cfg := smokeConfig(2)
 	cfg.Warmup = 0.3
 	cfg.Duration = 1.2
-	addrs, teardown := bootCluster(t, cfg, routing.QueueThreshold{Theta: 0})
+	addrs, central, sites, teardown := bootClusterNodes(t, cfg, routing.QueueThreshold{Theta: 0})
 	defer teardown()
+	defer func() {
+		if t.Failed() {
+			central.Flight().Dump(&testWriter{t})
+			for _, s := range sites {
+				s.Flight().Dump(&testWriter{t})
+			}
+		}
+	}()
 
 	res, err := RunLoad(context.Background(), addrs, cfg, LoadOptions{
 		Warmup:   cfg.Warmup,
@@ -104,6 +151,25 @@ func TestClusterSmoke(t *testing.T) {
 	if res.MeanRT <= 0 {
 		t.Errorf("mean RT %.4f not positive", res.MeanRT)
 	}
+
+	// The loop-consistent scrape hooks make the flow invariants exact at any
+	// instant, even with stragglers still in flight.
+	siteSnaps := make([]map[string]float64, len(sites))
+	for i, s := range sites {
+		siteSnaps[i] = s.Metrics().Snapshot()
+	}
+	assertConservation(t, central.Metrics().Snapshot(), siteSnaps)
+	if central.Metrics().Snapshot()["central_ship_arrived_total"] == 0 {
+		t.Error("central saw no shipped transactions")
+	}
+}
+
+// testWriter adapts t.Logf for flight-recorder dumps on test failure.
+type testWriter struct{ t *testing.T }
+
+func (w *testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
 }
 
 // TestClusterShipAndLocalPaths pins the routing extremes: θ=+1 never ships

@@ -16,6 +16,7 @@ import (
 
 	"hybriddb/internal/hybrid"
 	"hybriddb/internal/netx"
+	"hybriddb/internal/obsx/flight"
 	"hybriddb/internal/stats"
 	"hybriddb/internal/workload"
 )
@@ -30,18 +31,40 @@ const (
 
 // LoadOptions tunes a load run.
 type LoadOptions struct {
-	Rate    float64 // arrivals per second per site (default cfg.ArrivalRatePerSite)
-	Pacing  string  // PacingPoisson (default) or PacingUniform
-	Ramp    float64 // seconds to ramp the rate from ~0 to Rate
-	Warmup  float64 // seconds of load before the measurement window opens
+	Rate     float64 // arrivals per second per site (default cfg.ArrivalRatePerSite)
+	Pacing   string  // PacingPoisson (default) or PacingUniform
+	Ramp     float64 // seconds to ramp the rate from ~0 to Rate
+	Warmup   float64 // seconds of load before the measurement window opens
 	Duration float64 // measured seconds (required)
-	Threads int     // connections per site (default 2)
-	Seed    uint64  // workload + pacing seed (default 1)
+	Threads  int     // connections per site (default 2)
+	Seed     uint64  // workload + pacing seed (default 1)
 
 	// RequestTimeout bounds one submission round trip (default 30s); a
 	// timeout counts as an error, which is how a lost message or wedged
 	// site surfaces.
 	RequestTimeout time.Duration
+
+	// Progress, when set, is called every ProgressEvery (default 2s) from
+	// a dedicated goroutine with the measurement window so far, and once
+	// more when the run ends — the feed of hybridload's drift ticker.
+	Progress      func(LoadProgress)
+	ProgressEvery time.Duration
+
+	// Flight, when set, records each submission and completion, so a
+	// SIGQUIT dump of the load generator shows its recent traffic.
+	Flight *flight.Recorder
+}
+
+// LoadProgress is a snapshot of the measurement window partway through a
+// run.
+type LoadProgress struct {
+	Elapsed      float64 // wall seconds since the run started
+	Submitted    uint64
+	Completed    uint64
+	Errors       uint64
+	MeanRT       float64 // seconds, window so far
+	ShipFraction float64
+	Final        bool // true on the closing callback
 }
 
 func (o *LoadOptions) defaults(cfg hybrid.Config) error {
@@ -129,6 +152,25 @@ func (a *loadAgg) fail() {
 	a.mu.Unlock()
 }
 
+// progress snapshots the window so far.
+func (a *loadAgg) progress(elapsed float64) LoadProgress {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p := LoadProgress{
+		Elapsed:   elapsed,
+		Submitted: a.res.Submitted,
+		Completed: a.res.Completed,
+		Errors:    a.res.Errors,
+	}
+	if a.res.Completed > 0 {
+		p.MeanRT = a.sum / float64(a.res.Completed)
+	}
+	if routed := a.res.LocalA + a.res.ShippedA; routed > 0 {
+		p.ShipFraction = float64(a.res.ShippedA) / float64(routed)
+	}
+	return p
+}
+
 // RunLoad drives a paced open-loop workload against the sites at addrs
 // (addrs[i] is site i) and reports the measurement window [Warmup,
 // Warmup+Duration), measured from the submitter's side: RT spans
@@ -171,6 +213,26 @@ func RunLoad(ctx context.Context, addrs []string, cfg hybrid.Config, opt LoadOpt
 	}
 
 	start := time.Now()
+	var progressDone chan struct{}
+	if opt.Progress != nil {
+		every := opt.ProgressEvery
+		if every <= 0 {
+			every = 2 * time.Second
+		}
+		progressDone = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-progressDone:
+					return
+				case <-tick.C:
+					opt.Progress(agg.progress(time.Since(start).Seconds()))
+				}
+			}
+		}()
+	}
 	horizon := opt.Warmup + opt.Duration
 	var inflight sync.WaitGroup
 	var pacers sync.WaitGroup
@@ -216,6 +278,9 @@ func RunLoad(ctx context.Context, addrs []string, cfg hybrid.Config, opt LoadOpt
 					agg.res.Submitted++
 					agg.mu.Unlock()
 				}
+				if opt.Flight != nil {
+					opt.Flight.Recordf(flight.Out, "submit", "txn %d site %d", spec.ID, site)
+				}
 				inflight.Add(1)
 				go func() {
 					defer inflight.Done()
@@ -224,15 +289,25 @@ func RunLoad(ctx context.Context, addrs []string, cfg hybrid.Config, opt LoadOpt
 					t0 := time.Now()
 					f, err := conn.Call(cctx, netx.MsgSubmit, netx.AppendTxn(nil, spec))
 					if err != nil {
+						if opt.Flight != nil {
+							opt.Flight.Recordf(flight.Note, "error", "txn %d: %v", spec.ID, err)
+						}
 						agg.fail()
 						return
 					}
 					res, err := netx.DecodeResult(f.Payload)
 					if err != nil || res.Txn != spec.ID {
+						if opt.Flight != nil {
+							opt.Flight.Recordf(flight.Note, "error", "txn %d: bad result", spec.ID)
+						}
 						agg.fail()
 						return
 					}
-					agg.record(res, time.Since(t0).Seconds(), inWindow)
+					rt := time.Since(t0).Seconds()
+					if opt.Flight != nil {
+						opt.Flight.Recordf(flight.In, "result", "txn %d rt=%.1fms", spec.ID, rt*1e3)
+					}
+					agg.record(res, rt, inWindow)
 				}()
 			}
 		}()
@@ -245,6 +320,12 @@ func RunLoad(ctx context.Context, addrs []string, cfg hybrid.Config, opt LoadOpt
 	select {
 	case <-done:
 	case <-ctx.Done():
+	}
+	if progressDone != nil {
+		close(progressDone)
+		p := agg.progress(time.Since(start).Seconds())
+		p.Final = true
+		opt.Progress(p)
 	}
 
 	agg.mu.Lock()

@@ -12,8 +12,8 @@ package cluster
 import (
 	"context"
 	"fmt"
-	"log"
 	"net"
+	"strconv"
 	"sync"
 
 	"hybriddb/internal/cpu"
@@ -21,6 +21,10 @@ import (
 	"hybriddb/internal/hybrid"
 	"hybriddb/internal/lock"
 	"hybriddb/internal/netx"
+	"hybriddb/internal/obsx/flight"
+	"hybriddb/internal/obsx/logx"
+	"hybriddb/internal/obsx/metrics"
+	"hybriddb/internal/obsx/spans"
 	"hybriddb/internal/routing"
 	"hybriddb/internal/workload"
 )
@@ -44,16 +48,16 @@ type pendingSubmit struct {
 
 // SiteStats is a loop-consistent snapshot of a site's counters.
 type SiteStats struct {
-	Generated     uint64
-	CompletedLocal uint64
+	Generated        uint64
+	CompletedLocal   uint64
 	RepliesDelivered uint64
-	ShippedA      uint64
-	ShippedB      uint64
-	LocalA        uint64
-	AbortsSeized  uint64
-	AbortsDeadlock uint64
-	ShipSendErrors uint64
-	InSystem      int
+	ShippedA         uint64
+	ShippedB         uint64
+	LocalA           uint64
+	AbortsSeized     uint64
+	AbortsDeadlock   uint64
+	ShipSendErrors   uint64
+	InSystem         int
 }
 
 // Site is one live local site.
@@ -81,6 +85,18 @@ type Site struct {
 	lastShippedRT float64
 
 	stats SiteStats
+
+	log   logx.Logger
+	reg   *metrics.Registry
+	wm    *wireMetrics
+	net   *netx.Stats
+	fr    *flight.Recorder
+	spans *spans.Recorder
+
+	// rtLocal / rtShipped are observed inline on the loop at completion —
+	// the live twins of the simulator's per-route RT histograms.
+	rtLocal   *metrics.Histogram
+	rtShipped *metrics.Histogram
 
 	up *netx.Client // uplink to central
 
@@ -110,6 +126,7 @@ func StartSite(cfg hybrid.Config, idx int, centralAddr, addr string, strategy ro
 		return nil, err
 	}
 	loop := exec.NewLoop()
+	reg := metrics.NewRegistry()
 	s := &Site{
 		cfg:      cfg,
 		wl:       cfg.WorkloadConfig(),
@@ -121,16 +138,82 @@ func StartSite(cfg hybrid.Config, idx int, centralAddr, addr string, strategy ro
 		locks:    lock.NewManager(),
 		running:  make(map[lock.ID]*stxn),
 		pending:  make(map[int64]pendingSubmit),
+		log:      logx.New("site " + strconv.Itoa(idx)),
+		reg:      reg,
+		wm:       newWireMetrics(reg),
+		net:      &netx.Stats{},
+		fr:       flight.NewRecorder("site "+strconv.Itoa(idx), flightCapacity),
+		spans:    spans.NewRecorder("site "+strconv.Itoa(idx), spans.SitePid(idx), 0),
 		ln:       ln,
 		conns:    make(map[*netx.Conn]struct{}),
 	}
-	hello := netx.AppendHello(nil, netx.Hello{Site: uint32(idx)})
+	s.registerMetrics()
+	// Each (re)connect sends a fresh Hello stamped with the current loop
+	// clock; the central's HelloAck closes the NTP-style offset estimate.
 	s.up = netx.DialLoop(centralAddr, s.dispatchCentral, func(c *netx.Conn) error {
-		return c.Send(netx.MsgHello, 0, hello)
-	}, netx.Options{})
+		s.fr.Recordf(flight.Note, "connect", "uplink to %s", centralAddr)
+		s.log.Debugf("uplink connected to %s", centralAddr)
+		hello := netx.AppendHello(nil, netx.Hello{Site: uint32(idx), T0: s.loop.Now()})
+		if err := c.Send(netx.MsgHello, 0, hello); err != nil {
+			return err
+		}
+		s.wm.Out(netx.MsgHello)
+		return nil
+	}, netx.Options{Stats: s.net})
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// Metrics returns the node's registry, for a debug listener or a test
+// scrape.
+func (s *Site) Metrics() *metrics.Registry { return s.reg }
+
+// Flight returns the node's flight recorder of recent wire events.
+func (s *Site) Flight() *flight.Recorder { return s.fr }
+
+// Spans returns the node's live span recorder (local timebase, stamped with
+// the handshake's clock-offset estimate).
+func (s *Site) Spans() *spans.Recorder { return s.spans }
+
+// registerMetrics wires the registry: transport gauges read straight from
+// atomics, per-route RT histograms observed on the loop, and one scrape
+// hook mirroring the loop-confined counters so the site conservation
+// invariant generated == completed_local + replies_delivered + in_flight
+// holds exactly in every exposition.
+func (s *Site) registerMetrics() {
+	registerNetStats(s.reg, s.net)
+	s.rtLocal = s.reg.Histogram("site_rt_seconds", "transaction response time by route", 0, 30, 3000, metrics.L("route", "local"))
+	s.rtShipped = s.reg.Histogram("site_rt_seconds", "transaction response time by route", 0, 30, 3000, metrics.L("route", "shipped"))
+	s.reg.GaugeFunc("site_clock_offset_seconds", "estimated central-minus-local clock offset from the Hello handshake", s.spans.ClockOffset)
+	generated := s.reg.Counter("site_generated_total", "transactions submitted to this site")
+	completedLocal := s.reg.Counter("site_completed_local_total", "transactions committed on the local path")
+	replies := s.reg.Counter("site_replies_delivered_total", "shipped-transaction completions delivered to load generators")
+	routeLocal := s.reg.Counter("site_route_decisions_total", "routing decisions by outcome", metrics.L("route", "local"))
+	routeShip := s.reg.Counter("site_route_decisions_total", "routing decisions by outcome", metrics.L("route", "ship"))
+	routeShipB := s.reg.Counter("site_route_decisions_total", "routing decisions by outcome", metrics.L("route", "ship_b"))
+	abortSeized := s.reg.Counter("site_aborts_total", "local aborts by cause", metrics.L("cause", "seized"))
+	abortDead := s.reg.Counter("site_aborts_total", "local aborts by cause", metrics.L("cause", "deadlock"))
+	shipErrs := s.reg.Counter("site_ship_send_errors_total", "ship frames lost to a down uplink")
+	inFlight := s.reg.Gauge("site_in_flight", "submissions awaiting a result, both routes")
+	inSystem := s.reg.Gauge("site_in_system", "transactions executing locally")
+	queue := s.reg.Gauge("site_cpu_queue_depth", "bursts queued at the site CPU, job in service included")
+	locksHeld := s.reg.Gauge("site_locks_held", "locks held at this site")
+	mirrorOnLoop(s.reg, s.loop.Post, func() {
+		counterTo(generated, s.stats.Generated)
+		counterTo(completedLocal, s.stats.CompletedLocal)
+		counterTo(replies, s.stats.RepliesDelivered)
+		counterTo(routeLocal, s.stats.LocalA)
+		counterTo(routeShip, s.stats.ShippedA)
+		counterTo(routeShipB, s.stats.ShippedB)
+		counterTo(abortSeized, s.stats.AbortsSeized)
+		counterTo(abortDead, s.stats.AbortsDeadlock)
+		counterTo(shipErrs, s.stats.ShipSendErrors)
+		inFlight.Set(float64(len(s.pending)))
+		inSystem.Set(float64(s.inSystem))
+		queue.Set(float64(s.cpu.QueueLength()))
+		locksHeld.Set(float64(s.locks.LocksHeld()))
+	})
 }
 
 // Addr returns the load-generator listener's address.
@@ -146,7 +229,7 @@ func (s *Site) acceptLoop() {
 		if err != nil {
 			return
 		}
-		conn := netx.NewConn(nc, netx.Options{})
+		conn := netx.NewConn(nc, netx.Options{Stats: s.net})
 		s.connMu.Lock()
 		if s.closed {
 			s.connMu.Unlock()
@@ -172,16 +255,20 @@ func (s *Site) acceptLoop() {
 // local terminals — no star-network delay on this hop, matching the
 // simulator's arrival process).
 func (s *Site) dispatchLoad(conn *netx.Conn, f netx.Frame) {
+	s.wm.In(f.Type)
 	if f.Type != netx.MsgSubmit {
-		log.Printf("site %d: unexpected %s from load", s.idx, netx.MsgName(f.Type))
+		s.log.Errorf("unexpected %s from load", netx.MsgName(f.Type))
+		s.wm.Error("unexpected-type")
 		return
 	}
 	spec, err := netx.DecodeTxn(f.Payload)
 	if err != nil {
-		log.Printf("site %d: bad submit: %v", s.idx, err)
+		s.log.Errorf("bad submit: %v", err)
+		s.wm.Error("bad-submit")
 		conn.Close()
 		return
 	}
+	s.fr.Recordf(flight.In, "submit", "txn %d", spec.ID)
 	reqID := f.ReqID
 	s.loop.Post(func() { s.admit(conn, reqID, spec) })
 }
@@ -189,42 +276,67 @@ func (s *Site) dispatchLoad(conn *netx.Conn, f netx.Frame) {
 // dispatchCentral handles frames arriving on the uplink, applying the
 // emulated link delay at this receiver.
 func (s *Site) dispatchCentral(conn *netx.Conn, f netx.Frame) {
+	s.wm.In(f.Type)
 	delay := s.cfg.CommDelay
 	switch f.Type {
-	case netx.MsgAuthReq:
-		a, err := netx.DecodeAuthReq(f.Payload)
+	case netx.MsgHelloAck:
+		ack, err := netx.DecodeHelloAck(f.Payload)
 		if err != nil {
-			log.Printf("site %d: bad auth-req: %v", s.idx, err)
+			s.log.Errorf("bad hello-ack: %v", err)
+			s.wm.Error("bad-hello-ack")
 			conn.Close()
 			return
 		}
+		// NTP-style offset closes here: t1 is this site's clock at receipt,
+		// ack.T0 its clock at send, ack.TCentral the central clock between.
+		t1 := s.loop.Now()
+		offset := spans.EstimateClockOffset(ack.T0, t1, ack.TCentral)
+		s.spans.SetClockOffset(offset)
+		s.fr.Recordf(flight.In, "hello-ack", "offset=%.6fs rtt=%.6fs", offset, t1-ack.T0)
+		s.log.Debugf("clock offset vs central: %.6fs (rtt %.6fs)", offset, t1-ack.T0)
+	case netx.MsgAuthReq:
+		a, err := netx.DecodeAuthReq(f.Payload)
+		if err != nil {
+			s.log.Errorf("bad auth-req: %v", err)
+			s.wm.Error("bad-auth-req")
+			conn.Close()
+			return
+		}
+		s.fr.Recordf(flight.In, "auth-req", "txn %d (%d elems)", a.Txn, len(a.Elements))
 		deliver(s.loop, delay, func() { s.onAuthReq(a) })
 	case netx.MsgRelease:
 		r, err := netx.DecodeRelease(f.Payload)
 		if err != nil {
-			log.Printf("site %d: bad release: %v", s.idx, err)
+			s.log.Errorf("bad release: %v", err)
+			s.wm.Error("bad-release")
 			conn.Close()
 			return
 		}
+		s.fr.Recordf(flight.In, "release", "txn %d", r.Txn)
 		deliver(s.loop, delay, func() { s.onRelease(r) })
 	case netx.MsgUpdateAck:
 		u, err := netx.DecodeUpdateAck(f.Payload)
 		if err != nil {
-			log.Printf("site %d: bad update-ack: %v", s.idx, err)
+			s.log.Errorf("bad update-ack: %v", err)
+			s.wm.Error("bad-update-ack")
 			conn.Close()
 			return
 		}
+		s.fr.Recordf(flight.In, "update-ack", "%d elems", len(u.Elements))
 		deliver(s.loop, delay, func() { s.onUpdateAck(u) })
 	case netx.MsgReply:
 		r, err := netx.DecodeReply(f.Payload)
 		if err != nil {
-			log.Printf("site %d: bad reply: %v", s.idx, err)
+			s.log.Errorf("bad reply: %v", err)
+			s.wm.Error("bad-reply")
 			conn.Close()
 			return
 		}
+		s.fr.Recordf(flight.In, "reply", "txn %d", r.Txn)
 		deliver(s.loop, delay, func() { s.onReply(r) })
 	default:
-		log.Printf("site %d: unexpected %s from central", s.idx, netx.MsgName(f.Type))
+		s.log.Errorf("unexpected %s from central", netx.MsgName(f.Type))
+		s.wm.Error("unexpected-type")
 	}
 }
 
@@ -264,10 +376,13 @@ func (s *Site) routingState() routing.State {
 func (s *Site) admit(conn *netx.Conn, reqID uint64, spec *workload.Txn) {
 	s.stats.Generated++
 	p := pendingSubmit{conn: conn, reqID: reqID, arrivedAt: s.loop.Now()}
+	s.spans.Begin(p.arrivedAt, spec.ID, "txn",
+		spans.KV{K: "class", V: spec.Class.String()})
 	if spec.Class == workload.ClassB {
 		p.shipped = true
 		s.stats.ShippedB++
 		s.pending[spec.ID] = p
+		s.spans.Instant(p.arrivedAt, spec.ID, "route", spans.KV{K: "decision", V: "ship_b"})
 		s.ship(spec)
 		return
 	}
@@ -276,21 +391,28 @@ func (s *Site) admit(conn *netx.Conn, reqID uint64, spec *workload.Txn) {
 		s.stats.ShippedA++
 		s.shippedOut++
 		s.pending[spec.ID] = p
+		s.spans.Instant(p.arrivedAt, spec.ID, "route", spans.KV{K: "decision", V: "ship"})
 		s.ship(spec)
 		return
 	}
 	s.stats.LocalA++
 	s.pending[spec.ID] = p
+	s.spans.Instant(p.arrivedAt, spec.ID, "route", spans.KV{K: "decision", V: "local"})
 	s.startLocal(spec)
 }
 
-// ship forwards a transaction's input up to central. A send failure (link
-// down) is counted; the load generator's per-request timeout surfaces the
-// loss.
+// ship forwards a transaction's input up to central, span context attached.
+// A send failure (link down) is counted; the load generator's per-request
+// timeout surfaces the loss.
 func (s *Site) ship(spec *workload.Txn) {
-	if err := s.up.Send(netx.MsgShip, 0, netx.AppendTxn(nil, spec)); err != nil {
+	if err := s.up.Send(netx.MsgShip, 0, netx.AppendShip(nil, spec, true)); err != nil {
 		s.stats.ShipSendErrors++
+		s.log.Errorf("ship send failed (txn %d): %v", spec.ID, err)
+		s.wm.Error("ship-send")
+		return
 	}
+	s.wm.Out(netx.MsgShip)
+	s.fr.Recordf(flight.Out, "ship", "txn %d", spec.ID)
 }
 
 // ---- Local execution path (twin of localPath).
@@ -344,6 +466,7 @@ func (s *Site) afterLock(t *stxn, i int) {
 func (s *Site) commitLocal(t *stxn) {
 	if t.marked {
 		s.stats.AbortsSeized++
+		s.spans.Instant(s.loop.Now(), t.spec.ID, "abort", spans.KV{K: "cause", V: "seized"})
 		s.restart(t)
 		return
 	}
@@ -357,11 +480,15 @@ func (s *Site) commitLocal(t *stxn) {
 	}
 	if len(updates) > 0 {
 		if err := s.up.Send(netx.MsgUpdate, 0, netx.AppendUpdate(nil, netx.Update{
-			Site: uint32(s.idx), Elements: updates,
+			Site: uint32(s.idx), Txn: t.spec.ID, Elements: updates, Traced: true,
 		})); err != nil {
 			// The coherence counts stay up until an ack arrives; a lost
 			// update pins them, exactly as a real partition would.
-			log.Printf("site %d: update send failed: %v", s.idx, err)
+			s.log.Errorf("update send failed (txn %d): %v", t.spec.ID, err)
+			s.wm.Error("update-send")
+		} else {
+			s.wm.Out(netx.MsgUpdate)
+			s.fr.Recordf(flight.Out, "update", "txn %d (%d elems)", t.spec.ID, len(updates))
 		}
 	}
 	s.inSystem--
@@ -370,7 +497,12 @@ func (s *Site) commitLocal(t *stxn) {
 	p, ok := s.pending[t.spec.ID]
 	if ok {
 		delete(s.pending, t.spec.ID)
-		s.lastLocalRT = s.loop.Now() - p.arrivedAt
+		now := s.loop.Now()
+		s.lastLocalRT = now - p.arrivedAt
+		s.rtLocal.Observe(s.lastLocalRT)
+		s.spans.End(now, t.spec.ID,
+			spans.KV{K: "route", V: "local"},
+			spans.KV{K: "attempts", V: strconv.Itoa(t.attempt)})
 		s.respond(p, netx.Result{Txn: t.spec.ID, Shipped: false, ClassB: false})
 	}
 }
@@ -383,6 +515,7 @@ func (s *Site) restart(t *stxn) {
 
 func (s *Site) deadlockAbort(t *stxn) {
 	s.stats.AbortsDeadlock++
+	s.spans.Instant(s.loop.Now(), t.spec.ID, "abort", spans.KV{K: "cause", V: "deadlock"})
 	s.locks.ReleaseAll(lock.ID(t.spec.ID))
 	t.marked = false
 	t.attempt++
@@ -411,7 +544,8 @@ func (s *Site) onAuthReq(a netx.AuthReq) {
 			if !ok {
 				// Unreachable while handlers are loop-serialized: the
 				// coherence check above cannot be invalidated mid-handler.
-				log.Printf("site %d: seize failed after coherence check (txn %d elem %d)", s.idx, a.Txn, elem)
+				s.log.Errorf("seize failed after coherence check (txn %d elem %d)", a.Txn, elem)
+				s.wm.Error("seize-failed")
 				nack = true
 				break
 			}
@@ -422,11 +556,23 @@ func (s *Site) onAuthReq(a netx.AuthReq) {
 			}
 		}
 	}
+	if a.Traced {
+		verdict := "ack"
+		if nack {
+			verdict = "nack"
+		}
+		s.spans.Instant(s.loop.Now(), a.Txn, "auth-"+verdict,
+			spans.KV{K: "elems", V: strconv.Itoa(len(a.Elements))})
+	}
 	if err := s.up.Send(netx.MsgAuthReply, 0, netx.AppendAuthReply(nil, netx.AuthReply{
 		Txn: a.Txn, Site: uint32(s.idx), NACK: nack,
 	})); err != nil {
-		log.Printf("site %d: auth-reply send failed: %v", s.idx, err)
+		s.log.Errorf("auth-reply send failed (txn %d): %v", a.Txn, err)
+		s.wm.Error("auth-reply-send")
+		return
 	}
+	s.wm.Out(netx.MsgAuthReply)
+	s.fr.Recordf(flight.Out, "auth-reply", "txn %d nack=%v", a.Txn, nack)
 }
 
 func (s *Site) onRelease(r netx.Release) {
@@ -453,23 +599,30 @@ func (s *Site) onReply(r netx.Reply) {
 	}
 	p, ok := s.pending[r.Txn]
 	if !ok {
-		log.Printf("site %d: stray reply for txn %d", s.idx, r.Txn)
+		s.log.Errorf("stray reply for txn %d", r.Txn)
+		s.wm.Error("stray-reply")
 		return
 	}
 	delete(s.pending, r.Txn)
-	rt := s.loop.Now() - p.arrivedAt
+	now := s.loop.Now()
+	rt := now - p.arrivedAt
 	if !r.ClassB {
 		s.shippedOut--
 		s.lastShippedRT = rt
 	}
+	s.rtShipped.Observe(rt)
+	s.spans.End(now, r.Txn, spans.KV{K: "route", V: "shipped"})
 	s.stats.RepliesDelivered++
 	s.respond(p, netx.Result{Txn: r.Txn, Shipped: true, ClassB: r.ClassB})
 }
 
 func (s *Site) respond(p pendingSubmit, res netx.Result) {
 	if err := p.conn.Send(netx.MsgResult, p.reqID, netx.AppendResult(nil, res)); err != nil {
-		log.Printf("site %d: result send failed: %v", s.idx, err)
+		s.log.Errorf("result send failed (txn %d): %v", res.Txn, err)
+		s.wm.Error("result-send")
+		return
 	}
+	s.wm.Out(netx.MsgResult)
 }
 
 // Stats returns a loop-consistent snapshot of the counters (zero after

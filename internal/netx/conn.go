@@ -39,6 +39,10 @@ type Options struct {
 	// slow enough to fill it gets disconnected rather than blocking the
 	// sender — the cluster's event loops must never stall on a socket.
 	SendQueue int
+	// Stats, when non-nil, receives transport tallies (frames, bytes,
+	// queue depth, deadline hits) from every connection using these
+	// options.
+	Stats *Stats
 }
 
 func (o Options) sendQueue() int {
@@ -85,10 +89,17 @@ func NewConn(nc net.Conn, opts Options) *Conn {
 func (c *Conn) writePump() {
 	defer close(c.writerDone)
 	for buf := range c.sendCh {
-		if _, err := c.nc.Write(buf); err != nil {
+		_, err := c.nc.Write(buf)
+		if st := c.opts.Stats; st != nil {
+			st.SendQueueDepth.Add(-1)
+		}
+		if err != nil {
 			c.closeWith(fmt.Errorf("netx: write: %w", err))
 			// Drain until Close closes the channel so senders never block.
 			for range c.sendCh {
+				if st := c.opts.Stats; st != nil {
+					st.SendQueueDepth.Add(-1)
+				}
 			}
 			return
 		}
@@ -110,10 +121,18 @@ func (c *Conn) Send(msgType byte, reqID uint64, payload []byte) error {
 	}
 	select {
 	case c.sendCh <- buf:
+		if st := c.opts.Stats; st != nil {
+			st.FramesOut.Add(1)
+			st.BytesOut.Add(uint64(len(buf)))
+			st.SendQueueDepth.Add(1)
+		}
 		c.mu.Unlock()
 		return nil
 	default:
 		c.mu.Unlock()
+		if st := c.opts.Stats; st != nil {
+			st.QueueFullKills.Add(1)
+		}
 		c.closeWith(fmt.Errorf("%w (%d frames)", ErrSendQueueFull, c.opts.sendQueue()))
 		return c.closeReason()
 	}
@@ -173,8 +192,18 @@ func (c *Conn) Serve(handler Handler) error {
 		var err error
 		f, buf, err = ReadFrame(c.nc, buf)
 		if err != nil {
+			if st := c.opts.Stats; st != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					st.ReadDeadlineHits.Add(1)
+				}
+			}
 			c.closeWith(fmt.Errorf("netx: read: %w", err))
 			return err
+		}
+		if st := c.opts.Stats; st != nil {
+			st.FramesIn.Add(1)
+			st.BytesIn.Add(uint64(4 + headerLen + len(f.Payload)))
 		}
 		if f.ReqID != 0 {
 			c.mu.Lock()
@@ -320,6 +349,10 @@ func (cl *Client) loop() {
 		cl.cur = conn
 		cl.cond.Broadcast()
 		cl.mu.Unlock()
+
+		if st := cl.opts.Stats; st != nil {
+			st.Connects.Add(1)
+		}
 
 		backoff = backoffMin
 		conn.Serve(cl.handler) // blocks until the connection dies

@@ -52,6 +52,10 @@ const (
 	// MsgReply delivers a shipped transaction's completion to its home site
 	// (central -> site, payload: Reply).
 	MsgReply
+	// MsgHelloAck answers a MsgHello with the central clock reading so the
+	// site can estimate its clock offset NTP-style (central -> site,
+	// payload: HelloAck).
+	MsgHelloAck
 )
 
 // MsgName returns a short human-readable name for a message type.
@@ -77,6 +81,8 @@ func MsgName(t byte) string {
 		return "update-ack"
 	case MsgReply:
 		return "reply"
+	case MsgHelloAck:
+		return "hello-ack"
 	default:
 		return fmt.Sprintf("type(%d)", t)
 	}
@@ -101,8 +107,23 @@ type Snapshot struct {
 	Locks    int32 // locks held at central
 }
 
-// Hello registers a site on its central uplink.
-type Hello struct{ Site uint32 }
+// Hello registers a site on its central uplink. T0 is the sender's local
+// loop clock (seconds) at send time; central echoes it in the HelloAck so
+// the site can estimate the round trip without trusting either wall clock.
+type Hello struct {
+	Site uint32
+	T0   float64
+}
+
+// HelloAck answers a Hello: T0 is echoed verbatim, TCentral is central's
+// loop clock (seconds) when the ack was produced. With the site's receive
+// time t1, the NTP-style offset estimate is TCentral - (T0+t1)/2 — the
+// per-process correction spans.MergeFiles applies to fuse trace files into
+// one timebase.
+type HelloAck struct {
+	T0       float64
+	TCentral float64
+}
 
 // Result completes a submitted transaction back to the load generator.
 type Result struct {
@@ -113,12 +134,15 @@ type Result struct {
 
 // AuthReq asks a master site to authenticate the listed elements for a
 // committing central transaction: NACK if any has in-flight updates,
-// otherwise seize the locks and ACK.
+// otherwise seize the locks and ACK. Traced propagates the transaction's
+// span context: when set, the receiving site records the authentication as
+// part of the transaction's span tree.
 type AuthReq struct {
 	Txn      int64
 	Elements []uint32
 	Modes    []lock.Mode
 	Snap     Snapshot
+	Traced   bool
 }
 
 // AuthReply answers an AuthReq.
@@ -135,10 +159,13 @@ type Release struct {
 }
 
 // Update carries a committed local transaction's updated elements to
-// central for invalidation and application.
+// central for invalidation and application. Txn identifies the committing
+// transaction so a traced update joins its span tree at central.
 type Update struct {
 	Site     uint32
+	Txn      int64
 	Elements []uint32
+	Traced   bool
 }
 
 // UpdateAck acknowledges an Update; the site lowers the elements' coherence
@@ -149,10 +176,13 @@ type UpdateAck struct {
 }
 
 // Reply delivers a shipped transaction's completion to its home site.
+// Traced echoes the ship's span context back so the home site closes the
+// transaction's span.
 type Reply struct {
 	Txn    int64
 	ClassB bool
 	Snap   Snapshot
+	Traced bool
 }
 
 // ---- Encoding.
@@ -162,6 +192,10 @@ func appendBool(dst []byte, b bool) []byte {
 		return append(dst, 1)
 	}
 	return append(dst, 0)
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
 }
 
 func appendSnapshot(dst []byte, s Snapshot) []byte {
@@ -194,7 +228,21 @@ func AppendTxn(dst []byte, t *workload.Txn) []byte {
 
 // AppendHello encodes a Hello payload.
 func AppendHello(dst []byte, h Hello) []byte {
-	return binary.BigEndian.AppendUint32(dst, h.Site)
+	dst = binary.BigEndian.AppendUint32(dst, h.Site)
+	return appendF64(dst, h.T0)
+}
+
+// AppendHelloAck encodes a HelloAck payload.
+func AppendHelloAck(dst []byte, h HelloAck) []byte {
+	dst = appendF64(dst, h.T0)
+	return appendF64(dst, h.TCentral)
+}
+
+// AppendShip encodes a MsgShip payload: the transaction's input plus its
+// one-byte span context (traced flag).
+func AppendShip(dst []byte, t *workload.Txn, traced bool) []byte {
+	dst = AppendTxn(dst, t)
+	return appendBool(dst, traced)
 }
 
 // AppendResult encodes a Result payload.
@@ -212,7 +260,8 @@ func AppendAuthReq(dst []byte, a AuthReq) []byte {
 	for _, m := range a.Modes {
 		dst = append(dst, byte(m))
 	}
-	return appendSnapshot(dst, a.Snap)
+	dst = appendSnapshot(dst, a.Snap)
+	return appendBool(dst, a.Traced)
 }
 
 // AppendAuthReply encodes an AuthReply payload.
@@ -231,7 +280,9 @@ func AppendRelease(dst []byte, r Release) []byte {
 // AppendUpdate encodes an Update payload.
 func AppendUpdate(dst []byte, u Update) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, u.Site)
-	return appendU32s(dst, u.Elements)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(u.Txn))
+	dst = appendU32s(dst, u.Elements)
+	return appendBool(dst, u.Traced)
 }
 
 // AppendUpdateAck encodes an UpdateAck payload.
@@ -244,7 +295,8 @@ func AppendUpdateAck(dst []byte, u UpdateAck) []byte {
 func AppendReply(dst []byte, r Reply) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, uint64(r.Txn))
 	dst = appendBool(dst, r.ClassB)
-	return appendSnapshot(dst, r.Snap)
+	dst = appendSnapshot(dst, r.Snap)
+	return appendBool(dst, r.Traced)
 }
 
 // ---- Decoding.
@@ -302,6 +354,8 @@ func (d *dec) u64(what string) uint64 {
 
 func (d *dec) boolean(what string) bool { return d.u8(what) != 0 }
 
+func (d *dec) f64(what string) float64 { return math.Float64frombits(d.u64(what)) }
+
 // decodeMode reads and validates one lock mode.
 func decodeMode(d *dec, what string) lock.Mode {
 	m := lock.Mode(d.u8(what))
@@ -356,10 +410,10 @@ func (d *dec) finish() error {
 	return nil
 }
 
-// DecodeTxn decodes a MsgSubmit / MsgShip payload. The returned transaction
-// owns its slices.
-func DecodeTxn(p []byte) (*workload.Txn, error) {
-	d := &dec{b: p}
+// decodeTxnBody reads a transaction's fields from the cursor without
+// finishing it, shared by DecodeTxn (MsgSubmit) and DecodeShip (MsgShip,
+// which carries a trailing span context).
+func decodeTxnBody(d *dec) *workload.Txn {
 	t := &workload.Txn{
 		ID:       int64(d.u64("txn id")),
 		Class:    workload.Class(d.u8("txn class")),
@@ -373,25 +427,62 @@ func DecodeTxn(p []byte) (*workload.Txn, error) {
 			t.Modes[i] = decodeMode(d, "txn mode")
 		}
 	}
+	return t
+}
+
+func validateTxn(t *workload.Txn) error {
+	if len(t.Elements) != len(t.Modes) {
+		return fmt.Errorf("netx: txn %d has %d elements but %d modes", t.ID, len(t.Elements), len(t.Modes))
+	}
+	if t.Class != workload.ClassA && t.Class != workload.ClassB {
+		return fmt.Errorf("netx: txn %d has invalid class %d", t.ID, byte(t.Class))
+	}
+	if t.HomeSite < 0 || t.HomeSite > math.MaxInt16 {
+		return fmt.Errorf("netx: txn %d home site %d out of range", t.ID, t.HomeSite)
+	}
+	return nil
+}
+
+// DecodeTxn decodes a MsgSubmit payload. The returned transaction owns its
+// slices.
+func DecodeTxn(p []byte) (*workload.Txn, error) {
+	d := &dec{b: p}
+	t := decodeTxnBody(d)
 	if err := d.finish(); err != nil {
 		return nil, err
 	}
-	if len(t.Elements) != len(t.Modes) {
-		return nil, fmt.Errorf("netx: txn %d has %d elements but %d modes", t.ID, len(t.Elements), len(t.Modes))
-	}
-	if t.Class != workload.ClassA && t.Class != workload.ClassB {
-		return nil, fmt.Errorf("netx: txn %d has invalid class %d", t.ID, byte(t.Class))
-	}
-	if t.HomeSite < 0 || t.HomeSite > math.MaxInt16 {
-		return nil, fmt.Errorf("netx: txn %d home site %d out of range", t.ID, t.HomeSite)
+	if err := validateTxn(t); err != nil {
+		return nil, err
 	}
 	return t, nil
+}
+
+// DecodeShip decodes a MsgShip payload: the transaction plus its span
+// context (traced flag).
+func DecodeShip(p []byte) (*workload.Txn, bool, error) {
+	d := &dec{b: p}
+	t := decodeTxnBody(d)
+	traced := d.boolean("ship traced")
+	if err := d.finish(); err != nil {
+		return nil, false, err
+	}
+	if err := validateTxn(t); err != nil {
+		return nil, false, err
+	}
+	return t, traced, nil
 }
 
 // DecodeHello decodes a MsgHello payload.
 func DecodeHello(p []byte) (Hello, error) {
 	d := &dec{b: p}
-	h := Hello{Site: d.u32("hello site")}
+	h := Hello{Site: d.u32("hello site"), T0: d.f64("hello t0")}
+	return h, d.finish()
+}
+
+// DecodeHelloAck decodes a MsgHelloAck payload.
+func DecodeHelloAck(p []byte) (HelloAck, error) {
+	d := &dec{b: p}
+	h := HelloAck{T0: d.f64("hello-ack t0"), TCentral: d.f64("hello-ack t-central")}
 	return h, d.finish()
 }
 
@@ -419,6 +510,7 @@ func DecodeAuthReq(p []byte) (AuthReq, error) {
 		}
 	}
 	a.Snap = d.snapshot()
+	a.Traced = d.boolean("auth traced")
 	if err := d.finish(); err != nil {
 		return AuthReq{}, err
 	}
@@ -449,8 +541,9 @@ func DecodeRelease(p []byte) (Release, error) {
 // DecodeUpdate decodes a MsgUpdate payload.
 func DecodeUpdate(p []byte) (Update, error) {
 	d := &dec{b: p}
-	u := Update{Site: d.u32("update site")}
+	u := Update{Site: d.u32("update site"), Txn: int64(d.u64("update txn"))}
 	u.Elements = d.u32s("update elements")
+	u.Traced = d.boolean("update traced")
 	return u, d.finish()
 }
 
@@ -468,6 +561,7 @@ func DecodeReply(p []byte) (Reply, error) {
 		Txn:    int64(d.u64("reply txn")),
 		ClassB: d.boolean("reply class"),
 		Snap:   d.snapshot(),
+		Traced: d.boolean("reply traced"),
 	}
 	return r, d.finish()
 }

@@ -77,9 +77,21 @@ func TestTxnDecodeRejectsGarbage(t *testing.T) {
 func TestMessageRoundTrips(t *testing.T) {
 	snap := Snapshot{Queue: 3, InSystem: 17, Locks: 240}
 
-	hello, err := DecodeHello(AppendHello(nil, Hello{Site: 2}))
-	if err != nil || hello != (Hello{Site: 2}) {
+	hello, err := DecodeHello(AppendHello(nil, Hello{Site: 2, T0: 1.25}))
+	if err != nil || hello != (Hello{Site: 2, T0: 1.25}) {
 		t.Fatalf("hello: %+v, %v", hello, err)
+	}
+
+	hack, err := DecodeHelloAck(AppendHelloAck(nil, HelloAck{T0: 1.25, TCentral: -0.5}))
+	if err != nil || hack != (HelloAck{T0: 1.25, TCentral: -0.5}) {
+		t.Fatalf("hello-ack: %+v, %v", hack, err)
+	}
+
+	shipWant := &workload.Txn{ID: 77, Class: workload.ClassA, HomeSite: 2,
+		Elements: []uint32{3, 4}, Modes: []lock.Mode{lock.Share, lock.Exclusive}}
+	shipGot, traced, err := DecodeShip(AppendShip(nil, shipWant, true))
+	if err != nil || !traced || !reflect.DeepEqual(shipGot, shipWant) {
+		t.Fatalf("ship: %+v traced=%v, %v", shipGot, traced, err)
 	}
 
 	res, err := DecodeResult(AppendResult(nil, Result{Txn: 99, Shipped: true, ClassB: false}))
@@ -87,7 +99,7 @@ func TestMessageRoundTrips(t *testing.T) {
 		t.Fatalf("result: %+v, %v", res, err)
 	}
 
-	areqWant := AuthReq{Txn: -8, Elements: []uint32{4, 5}, Modes: []lock.Mode{lock.Exclusive, lock.Share}, Snap: snap}
+	areqWant := AuthReq{Txn: -8, Elements: []uint32{4, 5}, Modes: []lock.Mode{lock.Exclusive, lock.Share}, Snap: snap, Traced: true}
 	areq, err := DecodeAuthReq(AppendAuthReq(nil, areqWant))
 	if err != nil || !reflect.DeepEqual(areq, areqWant) {
 		t.Fatalf("auth-req: %+v, %v", areq, err)
@@ -103,7 +115,7 @@ func TestMessageRoundTrips(t *testing.T) {
 		t.Fatalf("release: %+v, %v", rel, err)
 	}
 
-	updWant := Update{Site: 1, Elements: []uint32{8, 8, 9}}
+	updWant := Update{Site: 1, Txn: 321, Elements: []uint32{8, 8, 9}, Traced: true}
 	upd, err := DecodeUpdate(AppendUpdate(nil, updWant))
 	if err != nil || !reflect.DeepEqual(upd, updWant) {
 		t.Fatalf("update: %+v, %v", upd, err)
@@ -115,8 +127,8 @@ func TestMessageRoundTrips(t *testing.T) {
 		t.Fatalf("update-ack: %+v, %v", ack, err)
 	}
 
-	rep, err := DecodeReply(AppendReply(nil, Reply{Txn: 12, ClassB: true, Snap: snap}))
-	if err != nil || rep != (Reply{Txn: 12, ClassB: true, Snap: snap}) {
+	rep, err := DecodeReply(AppendReply(nil, Reply{Txn: 12, ClassB: true, Snap: snap, Traced: true}))
+	if err != nil || rep != (Reply{Txn: 12, ClassB: true, Snap: snap, Traced: true}) {
 		t.Fatalf("reply: %+v, %v", rep, err)
 	}
 }
@@ -125,6 +137,8 @@ func TestMessageDecodersRejectTruncation(t *testing.T) {
 	snap := Snapshot{Queue: 1, InSystem: 2, Locks: 3}
 	payloads := map[string][]byte{
 		"hello":      AppendHello(nil, Hello{Site: 1}),
+		"hello-ack":  AppendHelloAck(nil, HelloAck{T0: 1, TCentral: 2}),
+		"ship":       AppendShip(nil, &workload.Txn{ID: 1, Class: workload.ClassA, HomeSite: 0, Elements: []uint32{1}, Modes: []lock.Mode{lock.Share}}, true),
 		"result":     AppendResult(nil, Result{Txn: 1}),
 		"auth-req":   AppendAuthReq(nil, AuthReq{Txn: 1, Elements: []uint32{1}, Modes: []lock.Mode{lock.Share}, Snap: snap}),
 		"auth-reply": AppendAuthReply(nil, AuthReply{Txn: 1, Site: 0}),
@@ -135,6 +149,8 @@ func TestMessageDecodersRejectTruncation(t *testing.T) {
 	}
 	decoders := map[string]func([]byte) error{
 		"hello":      func(p []byte) error { _, err := DecodeHello(p); return err },
+		"hello-ack":  func(p []byte) error { _, err := DecodeHelloAck(p); return err },
+		"ship":       func(p []byte) error { _, _, err := DecodeShip(p); return err },
 		"result":     func(p []byte) error { _, err := DecodeResult(p); return err },
 		"auth-req":   func(p []byte) error { _, err := DecodeAuthReq(p); return err },
 		"auth-reply": func(p []byte) error { _, err := DecodeAuthReply(p); return err },
@@ -160,7 +176,7 @@ func TestMessageDecodersRejectTruncation(t *testing.T) {
 }
 
 func TestMsgNameCoversAllTypes(t *testing.T) {
-	for b := MsgHello; b <= MsgReply; b++ {
+	for b := MsgHello; b <= MsgHelloAck; b++ {
 		if name := MsgName(b); name == "" || name[:4] == "type" {
 			t.Fatalf("MsgName(%d) = %q", b, name)
 		}

@@ -1,0 +1,136 @@
+// Package flight is the cluster's flight recorder: a fixed-size ring of
+// recent wire events per process, cheap enough to leave always on. When a
+// node misbehaves — a stuck transaction, a reconnect storm, an e2e test
+// timing out — the last few hundred frames usually tell the story, and the
+// ring can be dumped on SIGQUIT or on test failure without having run at
+// debug log level the whole time.
+package flight
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Dir marks an event's direction relative to the recording process.
+type Dir uint8
+
+const (
+	// In is a frame received from a peer.
+	In Dir = iota
+	// Out is a frame sent (or attempted) to a peer.
+	Out
+	// Note is a local event that is neither (reconnect, drop, abort).
+	Note
+)
+
+func (d Dir) String() string {
+	switch d {
+	case In:
+		return "<-"
+	case Out:
+		return "->"
+	default:
+		return "--"
+	}
+}
+
+// Event is one recorded wire event.
+type Event struct {
+	At   time.Time // wall clock at Record time
+	Dir  Dir
+	Type string // message type name ("ship", "reply") or event kind
+	Note string // free-form detail (txn id, peer, error)
+}
+
+// Recorder is a fixed-capacity ring of Events. Record is mutex-guarded and
+// allocation-free once the ring is warm; safe from any goroutine.
+type Recorder struct {
+	name string
+	mu   sync.Mutex
+	ring []Event
+	next int
+	n    uint64 // total recorded, for the dump header
+}
+
+// NewRecorder returns a recorder labeled name holding the last capacity
+// events (minimum 1).
+func NewRecorder(name string, capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{name: name, ring: make([]Event, 0, capacity)}
+}
+
+// Name returns the recorder's label.
+func (r *Recorder) Name() string { return r.name }
+
+// Record appends one event, evicting the oldest when full.
+func (r *Recorder) Record(dir Dir, typ, note string) {
+	ev := Event{At: time.Now(), Dir: dir, Type: typ, Note: note}
+	r.mu.Lock()
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, ev)
+	} else {
+		r.ring[r.next] = ev
+	}
+	r.next = (r.next + 1) % cap(r.ring)
+	r.n++
+	r.mu.Unlock()
+}
+
+// Recordf is Record with a formatted note.
+func (r *Recorder) Recordf(dir Dir, typ, format string, args ...any) {
+	r.Record(dir, typ, fmt.Sprintf(format, args...))
+}
+
+// Events returns the recorded events oldest first.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ring) < cap(r.ring) {
+		return append([]Event(nil), r.ring...)
+	}
+	out := make([]Event, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Total returns the number of events ever recorded (including evicted).
+func (r *Recorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dump writes the ring to w, oldest first, with a header naming the
+// recorder and how much history survives.
+func (r *Recorder) Dump(w io.Writer) {
+	evs := r.Events()
+	total := r.Total()
+	fmt.Fprintf(w, "=== flight recorder [%s]: last %d of %d events ===\n", r.name, len(evs), total)
+	for _, ev := range evs {
+		fmt.Fprintf(w, "%s %s %-10s %s\n", ev.At.UTC().Format("15:04:05.000000"), ev.Dir, ev.Type, ev.Note)
+	}
+}
+
+// InstallSigquit dumps the given recorders to w whenever the process
+// receives SIGQUIT. The default kill-with-stack behaviour is suppressed, so
+// an operator can poke a live cluster repeatedly; goroutine stacks remain
+// available via the debug listener's pprof endpoint.
+func InstallSigquit(w io.Writer, recs ...*Recorder) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		for range ch {
+			for _, r := range recs {
+				r.Dump(w)
+			}
+		}
+	}()
+}

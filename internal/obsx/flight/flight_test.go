@@ -1,0 +1,78 @@
+package flight
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingEviction(t *testing.T) {
+	r := NewRecorder("site 0", 4)
+	for i := 0; i < 10; i++ {
+		r.Record(In, "ship", fmt.Sprintf("txn %d", i))
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		want := fmt.Sprintf("txn %d", 6+i)
+		if ev.Note != want {
+			t.Errorf("event %d note %q, want %q (oldest first)", i, ev.Note, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Errorf("total %d, want 10", r.Total())
+	}
+}
+
+func TestPartialRing(t *testing.T) {
+	r := NewRecorder("central", 8)
+	r.Record(Out, "reply", "txn 1")
+	r.Record(Note, "reconnect", "site 2")
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Type != "reply" || evs[1].Type != "reconnect" {
+		t.Fatalf("partial ring wrong: %+v", evs)
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	r := NewRecorder("site 3", 16)
+	r.Record(In, "auth-req", "txn 42 from central")
+	r.Record(Out, "auth-reply", "txn 42 ack")
+	var b strings.Builder
+	r.Dump(&b)
+	out := b.String()
+	if !strings.Contains(out, "flight recorder [site 3]: last 2 of 2 events") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "<- auth-req") || !strings.Contains(out, "-> auth-reply") {
+		t.Errorf("missing direction markers:\n%s", out)
+	}
+}
+
+// TestConcurrentRecord holds under -race.
+func TestConcurrentRecord(t *testing.T) {
+	r := NewRecorder("x", 32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Recordf(Out, "ship", "n=%d", i)
+				if i%100 == 0 {
+					_ = r.Events()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 4000 {
+		t.Errorf("total %d, want 4000", r.Total())
+	}
+	if len(r.Events()) != 32 {
+		t.Errorf("ring %d, want 32", len(r.Events()))
+	}
+}

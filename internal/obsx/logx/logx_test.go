@@ -1,0 +1,106 @@
+package logx
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// withCapture redirects output to a buffer for the test, restoring stderr
+// after. Tests sharing the package-level sink must not run in parallel.
+func withCapture(t *testing.T, fn func(buf *bytes.Buffer)) {
+	t.Helper()
+	var buf bytes.Buffer
+	SetOutput(&buf)
+	prev := GetLevel()
+	t.Cleanup(func() {
+		SetOutput(nil2stderr())
+		SetLevel(prev)
+	})
+	fn(&buf)
+}
+
+func nil2stderr() *bytes.Buffer { return &bytes.Buffer{} } // discard after tests
+
+func TestLevelFiltering(t *testing.T) {
+	withCapture(t, func(buf *bytes.Buffer) {
+		l := New("site 2")
+		SetLevel(LevelInfo)
+		l.Debugf("dropped %d", 1)
+		l.Infof("kept %d", 2)
+		l.Errorf("kept %d", 3)
+		out := buf.String()
+		if strings.Contains(out, "dropped") {
+			t.Errorf("debug line logged at info level:\n%s", out)
+		}
+		if !strings.Contains(out, "INFO  [site 2] kept 2") || !strings.Contains(out, "ERROR [site 2] kept 3") {
+			t.Errorf("info/error lines missing or unprefixed:\n%s", out)
+		}
+
+		buf.Reset()
+		SetLevel(LevelError)
+		l.Infof("quiet")
+		if buf.Len() != 0 {
+			t.Errorf("info line logged at error level: %q", buf.String())
+		}
+
+		buf.Reset()
+		SetLevel(LevelDebug)
+		l.Debugf("loud")
+		if !strings.Contains(buf.String(), "DEBUG [site 2] loud") {
+			t.Errorf("debug line missing at debug level: %q", buf.String())
+		}
+	})
+}
+
+func TestRegisterFlags(t *testing.T) {
+	withCapture(t, func(*bytes.Buffer) {
+		for _, tc := range []struct {
+			args []string
+			want Level
+		}{
+			{nil, LevelInfo},
+			{[]string{"-v"}, LevelDebug},
+			{[]string{"-q"}, LevelError},
+			{[]string{"-v", "-q"}, LevelError}, // -q wins
+		} {
+			fs := flag.NewFlagSet("t", flag.ContinueOnError)
+			apply := RegisterFlags(fs)
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatal(err)
+			}
+			apply()
+			if GetLevel() != tc.want {
+				t.Errorf("args %v: level %v, want %v", tc.args, GetLevel(), tc.want)
+			}
+		}
+	})
+}
+
+// TestConcurrentLogging holds under -race: the sink is mutex-guarded and
+// the level atomic.
+func TestConcurrentLogging(t *testing.T) {
+	withCapture(t, func(buf *bytes.Buffer) {
+		SetLevel(LevelInfo)
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				l := New("w")
+				for j := 0; j < 100; j++ {
+					l.Infof("%d-%d", i, j)
+					if j%10 == 0 {
+						SetLevel(LevelInfo)
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		if n := strings.Count(buf.String(), "\n"); n != 400 {
+			t.Errorf("expected 400 lines, got %d", n)
+		}
+	})
+}

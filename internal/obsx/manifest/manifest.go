@@ -33,6 +33,9 @@ type Run struct {
 	Seed   uint64        `json:"seed"`
 	Config hybrid.Config `json:"config"`
 	Result hybrid.Result `json:"result"`
+	// Metrics is the producing process's flat metrics snapshot at the end
+	// of the run (live cluster runs only; see internal/obsx/metrics).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Manifest is the artifact written next to a run's human-readable output.
@@ -79,6 +82,13 @@ func New(tool, title string) *Manifest {
 // Add appends one run.
 func (m *Manifest) Add(label string, cfg hybrid.Config, res hybrid.Result) {
 	m.Runs = append(m.Runs, Run{Label: label, Seed: cfg.Seed, Config: cfg, Result: res})
+}
+
+// AttachMetrics adds a metrics snapshot to the most recently added run.
+func (m *Manifest) AttachMetrics(snap map[string]float64) {
+	if len(m.Runs) > 0 {
+		m.Runs[len(m.Runs)-1].Metrics = snap
+	}
 }
 
 // Finish stamps the completion time and wall duration.

@@ -1,0 +1,178 @@
+package metrics
+
+// Exposition: Prometheus text format (the scrape surface `make
+// cluster-smoke` asserts conservation over), an expvar JSON view, the
+// per-process debug HTTP server, and a small parser for the text format so
+// tests and tooling can read a scrape back without a Prometheus
+// dependency.
+
+import (
+	"bufio"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus runs the scrape hooks and renders every series in
+// Prometheus text exposition format, families and series in sorted order so
+// the output is deterministic (golden-tested).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runHooks()
+	r.mu.Lock()
+	fams := r.sortedFamilies()
+	r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, fam := range fams {
+		if fam.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", fam.name, fam.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.name, fam.kind)
+		for _, s := range fam.series {
+			switch s.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s %d\n", seriesName(fam.name, s.labels), s.counter.Value())
+			case kindGauge:
+				fmt.Fprintf(bw, "%s %s\n", seriesName(fam.name, s.labels), formatFloat(s.gauge.Value()))
+			case kindGaugeFunc:
+				fmt.Fprintf(bw, "%s %s\n", seriesName(fam.name, s.labels), formatFloat(s.fn()))
+			case kindHistogram:
+				writePromHistogram(bw, fam.name, s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writePromHistogram renders one histogram series with cumulative le
+// buckets. Underflow mass (x < lo) is below every bucket bound and so is
+// folded into each cumulative count; overflow appears only in +Inf, whose
+// count equals _count.
+func writePromHistogram(w io.Writer, name string, s *series) {
+	h := s.hist
+	cum := h.under.Load()
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := formatFloat(h.lo + float64(i+1)*h.width)
+		fmt.Fprintf(w, "%s %d\n", seriesName(name+"_bucket", joinLabels(s.labels, `le=`+strconv.Quote(le))), cum)
+	}
+	fmt.Fprintf(w, "%s %d\n", seriesName(name+"_bucket", joinLabels(s.labels, `le="+Inf"`)), h.count.Load())
+	fmt.Fprintf(w, "%s %s\n", seriesName(name+"_sum", s.labels), formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s %d\n", seriesName(name+"_count", s.labels), h.count.Load())
+}
+
+func joinLabels(existing, extra string) string {
+	if existing == "" {
+		return extra
+	}
+	return existing + "," + extra
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format (the /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// String implements expvar.Var: the Snapshot as a JSON object with sorted
+// keys, so `/debug/vars` carries the same numbers as `/metrics`.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Quote(k))
+		b.WriteByte(':')
+		b.WriteString(formatFloat(snap[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var _ expvar.Var = (*Registry)(nil)
+
+// StartDebugServer serves the registry's /metrics plus expvar (/debug/vars)
+// and pprof (/debug/pprof) on addr in a background goroutine, returning the
+// bound address (useful with ":0"). The listener lives until the process
+// exits; cluster nodes are shut down by signal, and an in-flight scrape at
+// that instant simply sees the final counters.
+func StartDebugServer(addr string, reg *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("metrics: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}
+
+// ParseText parses Prometheus text exposition into a flat name{labels} ->
+// value map — the inverse of WritePrometheus, shared by the cluster-smoke
+// conservation assertion and any tooling that reads a scrape back. Comment
+// and blank lines are skipped; a malformed sample line is an error.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value starts after the last space outside the label braces;
+		// label values are quoted and may not contain spaces in our output,
+		// so the last space splits name from value.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("metrics: unparseable sample line %q", line)
+		}
+		name := strings.TrimSpace(line[:i])
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: bad value in %q: %w", line, err)
+		}
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScrapeHTTP fetches url (a /metrics endpoint) and parses it.
+func ScrapeHTTP(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: scrape %s: status %s", url, resp.Status)
+	}
+	return ParseText(resp.Body)
+}

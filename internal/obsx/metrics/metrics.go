@@ -1,0 +1,385 @@
+// Package metrics is the dependency-free telemetry registry of the live
+// cluster (DESIGN.md §15): named counters, gauges, and fixed-width
+// histograms with an atomic, zero-allocation hot path, exposed in
+// Prometheus text format and as an expvar JSON blob from each process's
+// debug listener.
+//
+// The registry deliberately supports only what the cluster needs — no
+// dynamic label cardinality, no summaries, no push. A series is registered
+// once (name plus a fixed label set) and returns a handle whose increment
+// path is a single atomic add; exposition walks the registered series in
+// sorted order so output is deterministic and diffable. Scrape hooks let a
+// node mirror loop-confined state (queue depths, in-flight counts) into
+// gauges under its event loop's consistency, which is what makes the
+// conservation invariant (submitted == completed + in-flight) exactly
+// checkable from a scrape rather than only approximately observable.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hybriddb/internal/stats"
+)
+
+// Label is one fixed key/value pair of a series. Labels are part of the
+// series identity and must be known at registration time.
+type Label struct{ Name, Value string }
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing counter. The zero value is ready;
+// Inc and Add are single atomic adds (no allocation, no locks).
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down. Set is an atomic
+// store; Add is a CAS loop. The zero value reads 0.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the gauge.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-width histogram over [lo, hi) with underflow and
+// overflow tallies, the atomic twin of stats.Histogram: identical bucket
+// geometry and index arithmetic, so the two agree bucket for bucket on the
+// same observations (property-tested). Observe is bucket index math plus
+// three atomic adds — no allocation, safe from any goroutine.
+type Histogram struct {
+	lo, hi  float64
+	width   float64
+	buckets []atomic.Uint64
+	under   atomic.Uint64
+	over    atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("metrics: histogram requires n > 0 and hi > lo")
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), buckets: make([]atomic.Uint64, n)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) {
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + x)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	switch {
+	case x < h.lo:
+		h.under.Add(1)
+	case x >= h.hi:
+		h.over.Add(1)
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.buckets) { // guard against floating-point edge
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i].Add(1)
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Merge folds other into h bucket by bucket, mirroring
+// stats.Histogram.Merge. Both histograms must share the same geometry.
+func (h *Histogram) Merge(other *Histogram) {
+	if h.lo != other.lo || h.hi != other.hi || len(h.buckets) != len(other.buckets) {
+		panic("metrics: merging histograms with different shapes")
+	}
+	for i := range other.buckets {
+		h.buckets[i].Add(other.buckets[i].Load())
+	}
+	h.under.Add(other.under.Load())
+	h.over.Add(other.over.Load())
+	h.count.Add(other.count.Load())
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + other.Sum())
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Dump snapshots the histogram in the stats package's machine-readable
+// shape, so quantiles are computed by the same interpolation code the
+// simulator's artifacts use (stats.HistogramDump.Quantile). The Mean is
+// sum/count rather than a Welford accumulation, identical up to float
+// rounding.
+func (h *Histogram) Dump() stats.HistogramDump {
+	n := len(h.buckets)
+	counts := make([]uint64, n)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	for n > 0 && counts[n-1] == 0 {
+		n--
+	}
+	count := h.count.Load()
+	d := stats.HistogramDump{
+		Lo:     h.lo,
+		Hi:     h.hi,
+		Width:  h.width,
+		Counts: counts[:n:n],
+		Under:  h.under.Load(),
+		Over:   h.over.Load(),
+		Count:  count,
+	}
+	if count > 0 {
+		d.Mean = h.Sum() / float64(count)
+	}
+	return d
+}
+
+// Quantile estimates the q-quantile from the bucketed data (see
+// stats.HistogramDump.Quantile).
+func (h *Histogram) Quantile(q float64) float64 { return h.Dump().Quantile(q) }
+
+// kind discriminates the series types for exposition.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one registered metric instance: a family name plus a rendered
+// label set.
+type series struct {
+	labels  string // rendered {k="v",...} without braces, "" when unlabeled
+	kind    kind
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series []*series // sorted by labels at registration
+}
+
+// Registry holds the registered series of one process (or one node).
+// Registration takes the registry lock; the returned handles are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	hooks    []func()
+	// hookMu serializes hook execution across concurrent scrapes: hooks
+	// that mirror external state with read-modify-write (counter deltas)
+	// must not interleave.
+	hookMu sync.Mutex
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Name + "=" + strconv.Quote(l.Value)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// register adds (or finds) the series for name+labels, enforcing one kind
+// per family and one registration per series.
+func (r *Registry) register(name, help string, k kind, labels []Label, build func() *series) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.families[name]
+	if fam == nil {
+		fam = &family{name: name, help: help, kind: k}
+		r.families[name] = fam
+	} else if fam.kind.String() != k.String() {
+		panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, fam.kind, k))
+	}
+	rendered := renderLabels(labels)
+	for _, s := range fam.series {
+		if s.labels == rendered {
+			if s.kind != k {
+				panic(fmt.Sprintf("metrics: %s{%s} re-registered with a different kind", name, rendered))
+			}
+			return s
+		}
+	}
+	s := build()
+	s.labels = rendered
+	s.kind = k
+	fam.series = append(fam.series, s)
+	sort.Slice(fam.series, func(i, j int) bool { return fam.series[i].labels < fam.series[j].labels })
+	return s
+}
+
+// Counter registers (or returns the existing) counter name{labels}.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.register(name, help, kindCounter, labels, func() *series {
+		return &series{counter: &Counter{}}
+	})
+	return s.counter
+}
+
+// Gauge registers (or returns the existing) gauge name{labels}.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.register(name, help, kindGauge, labels, func() *series {
+		return &series{gauge: &Gauge{}}
+	})
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge whose value is read by fn at scrape time.
+// fn must be safe to call from the scrape goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindGaugeFunc, labels, func() *series {
+		return &series{fn: fn}
+	})
+}
+
+// Histogram registers (or returns the existing) fixed-width histogram
+// name{labels} with n buckets spanning [lo, hi).
+func (r *Registry) Histogram(name, help string, lo, hi float64, n int, labels ...Label) *Histogram {
+	s := r.register(name, help, kindHistogram, labels, func() *series {
+		return &series{hist: newHistogram(lo, hi, n)}
+	})
+	if s.hist.lo != lo || s.hist.hi != hi || len(s.hist.buckets) != n {
+		panic(fmt.Sprintf("metrics: %s re-registered with different histogram geometry", name))
+	}
+	return s.hist
+}
+
+// OnScrape registers a hook run (serially, registration order) before every
+// exposition pass. Nodes use it to mirror loop-confined state into gauges
+// under the event loop's consistency.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks = append(r.hooks, fn)
+}
+
+// snapshotLocked returns the families sorted by name; callers hold r.mu.
+func (r *Registry) sortedFamilies() []*family {
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// runHooks runs the scrape hooks outside the registry lock (a hook may
+// register or read series), serialized across concurrent scrapes.
+func (r *Registry) runHooks() {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	r.hookMu.Lock()
+	defer r.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// Snapshot runs the scrape hooks and returns every series as a flat
+// name{labels} -> value map. Histograms contribute _count and _sum entries
+// plus p50/p95 quantile gauges, which is the scalar shape embedded in run
+// manifests.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.runHooks()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64)
+	for _, fam := range r.sortedFamilies() {
+		for _, s := range fam.series {
+			full := fam.name
+			if s.labels != "" {
+				full += "{" + s.labels + "}"
+			}
+			switch s.kind {
+			case kindCounter:
+				out[full] = float64(s.counter.Value())
+			case kindGauge:
+				out[full] = s.gauge.Value()
+			case kindGaugeFunc:
+				out[full] = s.fn()
+			case kindHistogram:
+				d := s.hist.Dump()
+				out[seriesName(fam.name+"_count", s.labels)] = float64(d.Count)
+				out[seriesName(fam.name+"_sum", s.labels)] = s.hist.Sum()
+				if d.Count > 0 {
+					out[seriesName(fam.name+"_p50", s.labels)] = d.Quantile(0.50)
+					out[seriesName(fam.name+"_p95", s.labels)] = d.Quantile(0.95)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}

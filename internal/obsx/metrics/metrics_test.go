@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"hybriddb/internal/rng"
+	"hybriddb/internal/stats"
+)
+
+// TestPrometheusGolden pins the text exposition byte for byte: family and
+// series ordering, label rendering, histogram cumulative buckets with
+// underflow folded in and overflow only in +Inf.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("wire_msgs_in_total", "inbound frames by type", L("type", "ship"))
+	c.Add(7)
+	r.Counter("wire_msgs_in_total", "inbound frames by type", L("type", "hello")).Inc()
+	g := r.Gauge("central_queue_depth", "bursts queued at the central CPU")
+	g.Set(3.5)
+	r.GaugeFunc("up", "always one", func() float64 { return 1 })
+	h := r.Histogram("rt_seconds", "response time", 0, 1, 4, L("route", "local"))
+	h.Observe(-0.5) // underflow
+	h.Observe(0.1)
+	h.Observe(0.3)
+	h.Observe(0.9)
+	h.Observe(2.0) // overflow
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP central_queue_depth bursts queued at the central CPU
+# TYPE central_queue_depth gauge
+central_queue_depth 3.5
+# HELP rt_seconds response time
+# TYPE rt_seconds histogram
+rt_seconds_bucket{route="local",le="0.25"} 2
+rt_seconds_bucket{route="local",le="0.5"} 3
+rt_seconds_bucket{route="local",le="0.75"} 3
+rt_seconds_bucket{route="local",le="1"} 4
+rt_seconds_bucket{route="local",le="+Inf"} 5
+rt_seconds_sum{route="local"} 2.8
+rt_seconds_count{route="local"} 5
+# HELP up always one
+# TYPE up gauge
+up 1
+# HELP wire_msgs_in_total inbound frames by type
+# TYPE wire_msgs_in_total counter
+wire_msgs_in_total{type="hello"} 1
+wire_msgs_in_total{type="ship"} 7
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+
+	// The parser inverts the exposition for scalar series and histogram
+	// component samples.
+	parsed, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	for name, want := range map[string]float64{
+		"central_queue_depth":                        3.5,
+		`wire_msgs_in_total{type="ship"}`:            7,
+		`rt_seconds_count{route="local"}`:            5,
+		`rt_seconds_bucket{route="local",le="+Inf"}`: 5,
+	} {
+		if got := parsed[name]; got != want {
+			t.Errorf("parsed[%s] = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines under
+// the race detector: registration is idempotent and handle updates are
+// atomic.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("ops_total", "ops", L("kind", "x"))
+			g := r.Gauge("depth", "depth")
+			h := r.Histogram("lat", "latency", 0, 1, 10)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%10) / 10)
+				if i%1000 == 0 {
+					var sink strings.Builder
+					if err := r.WritePrometheus(&sink); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("ops_total", "ops", L("kind", "x")).Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("depth", "depth").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("lat", "latency", 0, 1, 10).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestHistogramMatchesStats is the histogram-merge property test: the
+// atomic metrics histogram and stats.Histogram share bucket geometry and
+// index arithmetic, so the same observations land in the same buckets,
+// merges agree tally for tally, and the dumped quantiles are identical.
+func TestHistogramMatchesStats(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 50; trial++ {
+		lo := r.Float64()*2 - 1
+		hi := lo + 0.1 + r.Float64()*5
+		n := 1 + int(r.Uint64n(64))
+		ours := [2]*Histogram{newHistogram(lo, hi, n), newHistogram(lo, hi, n)}
+		theirs := [2]*stats.Histogram{stats.NewHistogram(lo, hi, n), stats.NewHistogram(lo, hi, n)}
+		for half := 0; half < 2; half++ {
+			samples := int(r.Uint64n(400))
+			for i := 0; i < samples; i++ {
+				// Span well past the range so under/over tallies exercise.
+				x := lo + (r.Float64()*1.5-0.25)*(hi-lo)
+				ours[half].Observe(x)
+				theirs[half].Add(x)
+			}
+		}
+		ours[0].Merge(ours[1])
+		theirs[0].Merge(theirs[1])
+		gotD, wantD := ours[0].Dump(), theirs[0].Dump()
+		if gotD.Count != wantD.Count || gotD.Under != wantD.Under || gotD.Over != wantD.Over {
+			t.Fatalf("trial %d: tallies diverge: got %+v want %+v", trial, gotD, wantD)
+		}
+		if len(gotD.Counts) != len(wantD.Counts) {
+			t.Fatalf("trial %d: bucket trim diverges: %d vs %d", trial, len(gotD.Counts), len(wantD.Counts))
+		}
+		for i := range gotD.Counts {
+			if gotD.Counts[i] != wantD.Counts[i] {
+				t.Fatalf("trial %d: bucket %d: got %d want %d", trial, i, gotD.Counts[i], wantD.Counts[i])
+			}
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 1} {
+			if g, w := gotD.Quantile(q), wantD.Quantile(q); g != w {
+				t.Fatalf("trial %d: q%.2f: got %v want %v", trial, q, g, w)
+			}
+		}
+		if math.Abs(gotD.Mean-wantD.Mean) > 1e-9*(1+math.Abs(wantD.Mean)) {
+			t.Fatalf("trial %d: mean diverges beyond rounding: %v vs %v", trial, gotD.Mean, wantD.Mean)
+		}
+	}
+}
+
+// TestScrapeHooks pins that hooks run before every exposition and can
+// mirror external state into gauges.
+func TestScrapeHooks(t *testing.T) {
+	r := NewRegistry()
+	depth := 0
+	g := r.Gauge("mirrored_depth", "loop-confined depth mirrored at scrape")
+	r.OnScrape(func() { g.Set(float64(depth)) })
+	depth = 17
+	snap := r.Snapshot()
+	if snap["mirrored_depth"] != 17 {
+		t.Errorf("snapshot saw %v, want 17", snap["mirrored_depth"])
+	}
+	depth = 23
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "mirrored_depth 23") {
+		t.Errorf("exposition did not re-run the hook:\n%s", b.String())
+	}
+}
+
+// TestSnapshotShape pins the scalar snapshot embedded in manifests:
+// histograms contribute _count/_sum/_p50/_p95.
+func TestSnapshotShape(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rt_seconds", "", 0, 10, 100, L("route", "shipped"))
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) / 10)
+	}
+	snap := r.Snapshot()
+	for _, k := range []string{
+		`rt_seconds_count{route="shipped"}`,
+		`rt_seconds_sum{route="shipped"}`,
+		`rt_seconds_p50{route="shipped"}`,
+		`rt_seconds_p95{route="shipped"}`,
+	} {
+		if _, ok := snap[k]; !ok {
+			t.Errorf("snapshot missing %s (have %v)", k, snap)
+		}
+	}
+	if got := snap[`rt_seconds_count{route="shipped"}`]; got != 100 {
+		t.Errorf("count %v, want 100", got)
+	}
+}
+
+// TestKindMismatchPanics pins the registration error paths.
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-registering a counter as a gauge did not panic")
+			}
+		}()
+		r.Gauge("x_total", "")
+	}()
+	r.Histogram("h", "", 0, 1, 10)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("histogram geometry change did not panic")
+			}
+		}()
+		r.Histogram("h", "", 0, 2, 10)
+	}()
+}

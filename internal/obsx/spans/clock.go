@@ -1,0 +1,21 @@
+package spans
+
+// Clock-offset estimation for multi-process traces. Each cluster process
+// records spans against its own event-loop clock (seconds since process
+// start), so the same instant appears at different timestamps in different
+// files. At the Hello handshake the site samples its clock (t0), central
+// answers with its own reading (tRemote), and the site samples again on
+// receipt (t1) — the classic NTP exchange. Assuming the two legs of the
+// round trip are symmetric, the remote reading was taken at local time
+// (t0+t1)/2, so the offset below converts local readings into the remote
+// (central) timebase: t_central ≈ t_local + offset. The error is bounded by
+// half the round-trip asymmetry, far below the millisecond-scale spans the
+// cluster records.
+
+// EstimateClockOffset returns the estimated difference between a remote
+// clock and the local clock (remote − local), from one request/response
+// exchange: t0 is the local send time, t1 the local receive time, and
+// tRemote the remote clock sampled between the two.
+func EstimateClockOffset(t0, t1, tRemote float64) float64 {
+	return tRemote - (t0+t1)/2
+}

@@ -1,0 +1,53 @@
+package spans
+
+import (
+	"math"
+	"testing"
+)
+
+// fakeClock is a skewed clock: reads local time t as offset + t.
+type fakeClock struct{ offset, now float64 }
+
+func (c *fakeClock) read() float64     { return c.offset + c.now }
+func (c *fakeClock) advance(d float64) { c.now += d }
+
+// TestEstimateClockOffsetSkewedClocks runs the handshake between two fake
+// clocks with known skew: with symmetric legs the estimate recovers the
+// skew exactly; with asymmetric legs the error is bounded by half the
+// asymmetry.
+func TestEstimateClockOffsetSkewedClocks(t *testing.T) {
+	for _, tc := range []struct {
+		name          string
+		skew          float64 // central clock − site clock at the same instant
+		legOut, legIn float64 // one-way delays site→central, central→site
+	}{
+		{"central ahead, symmetric", 42.5, 0.010, 0.010},
+		{"central behind, symmetric", -3.25, 0.002, 0.002},
+		{"zero skew", 0, 0.005, 0.005},
+		{"asymmetric legs", 10, 0.004, 0.008},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Both clocks tick in lockstep (no drift over the exchange);
+			// they differ only by the constant skew.
+			site := &fakeClock{offset: 0}
+			central := &fakeClock{offset: tc.skew}
+
+			t0 := site.read()
+			site.advance(tc.legOut)
+			central.advance(tc.legOut)
+			tRemote := central.read()
+			site.advance(tc.legIn)
+			central.advance(tc.legIn)
+			t1 := site.read()
+
+			got := EstimateClockOffset(t0, t1, tRemote)
+			maxErr := math.Abs(tc.legOut-tc.legIn) / 2
+			if err := math.Abs(got - tc.skew); err > maxErr+1e-12 {
+				t.Errorf("offset estimate %v, true skew %v: error %v exceeds bound %v", got, tc.skew, err, maxErr)
+			}
+			if tc.legOut == tc.legIn && math.Abs(got-tc.skew) > 1e-12 {
+				t.Errorf("symmetric legs: estimate %v should equal skew %v exactly", got, tc.skew)
+			}
+		})
+	}
+}

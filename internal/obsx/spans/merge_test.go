@@ -1,0 +1,124 @@
+package spans
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRecorderMergeCrossProcess drives the live-cluster trace path end to
+// end: a site and central each record their half of one shipped transaction
+// against skewed local clocks, the site stamps its handshake-estimated
+// offset, and MergeFiles fuses the two files into one trace where the
+// transaction's spans appear under a single tid in both process lanes with
+// aligned timestamps.
+func TestRecorderMergeCrossProcess(t *testing.T) {
+	dir := t.TempDir()
+
+	// Central's clock is 5s ahead of the site's. Each process records in
+	// its own timebase.
+	const skew = 5.0
+	site := NewRecorder("site 0", SitePid(0), 0)
+	site.SetClockOffset(EstimateClockOffset(1.0, 1.02, 6.01)) // exactly skew
+	central := NewRecorder("central complex", CentralPid, 0)
+
+	const txn = int64(42)
+	site.Begin(1.10, txn, "txn", KV{"class", "A"})
+	site.Instant(1.10, txn, "route: ship")
+	central.Begin(1.15+skew, txn, "exec") // central local time
+	central.End(1.30+skew, txn)
+	central.Instant(1.30+skew, txn, "commit", KV{"where", "central"})
+	site.End(1.35, txn)
+
+	// A purely local transaction stays single-lane.
+	site.Begin(2.0, 43, "txn")
+	site.End(2.1, 43)
+
+	sitePath := filepath.Join(dir, "site0.json")
+	centralPath := filepath.Join(dir, "central.json")
+	if err := site.WriteFile(sitePath); err != nil {
+		t.Fatal(err)
+	}
+	if err := central.WriteFile(centralPath); err != nil {
+		t.Fatal(err)
+	}
+
+	outPath := filepath.Join(dir, "merged.json")
+	info, err := MergeToFile(outPath, sitePath, centralPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Files != 2 || info.Processes != 2 {
+		t.Errorf("info = %+v, want 2 files / 2 processes", info)
+	}
+	if info.CrossProcessTxns != 1 {
+		t.Errorf("cross-process txns = %d, want 1 (txn 42 only)", info.CrossProcessTxns)
+	}
+
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf jsonTrace
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("merged output is not valid trace JSON: %v\n%s", err, data)
+	}
+	lanes := map[int]bool{}
+	var centralBegin, siteBegin float64
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.Tid == txn {
+			lanes[e.Pid] = true
+		}
+		if e.Ph == "B" && e.Pid == CentralPid && e.Tid == txn {
+			centralBegin = e.Ts
+		}
+		if e.Ph == "B" && e.Pid == SitePid(0) && e.Tid == txn {
+			siteBegin = e.Ts
+		}
+	}
+	if !lanes[CentralPid] || !lanes[SitePid(0)] {
+		t.Fatalf("txn %d does not span both lanes: %v", txn, lanes)
+	}
+	// After the shift, the site's 1.10 and central's (1.15+skew) must land
+	// 0.05s apart in the shared timebase.
+	if gap := (centralBegin - siteBegin) / 1e6; math.Abs(gap-0.05) > 1e-9 {
+		t.Errorf("shifted gap site->central = %vs, want 0.05s (site begin %v, central begin %v)", gap, siteBegin, centralBegin)
+	}
+	// Events are globally ordered by shifted time.
+	last := math.Inf(-1)
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.Ts < last {
+			t.Fatalf("merged events out of order: %v after %v", e.Ts, last)
+		}
+		last = e.Ts
+	}
+}
+
+func TestRecorderDropsAtCap(t *testing.T) {
+	r := NewRecorder("x", 2, 3)
+	for i := 0; i < 10; i++ {
+		r.Instant(float64(i), 1, "e")
+	}
+	if r.Events() != 3 || r.Dropped() != 7 {
+		t.Errorf("events %d dropped %d, want 3/7", r.Events(), r.Dropped())
+	}
+}
+
+func TestMergeRejectsMissingFile(t *testing.T) {
+	var b strings.Builder
+	if _, err := MergeFiles(&b, "/nonexistent/trace.json"); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if _, err := MergeFiles(&b); err == nil {
+		t.Fatal("zero inputs accepted")
+	}
+}

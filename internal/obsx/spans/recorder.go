@@ -1,0 +1,161 @@
+package spans
+
+// Recorder is the live cluster's counterpart to Collector: where the
+// Collector folds the simulator's observer stream into spans after the
+// fact, a Recorder is fed span boundaries directly by a running node
+// (site or central), from whichever goroutine holds the event at the time.
+// Each process writes its own trace file stamped with the clock offset
+// estimated at the Hello handshake; MergeFiles then shifts every file into
+// the central timebase and fuses them, so one shipped transaction's
+// admit→ship→auth→reply lifecycle reads as a single span tree crossing
+// process lanes in Perfetto.
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// DefaultRecorderMaxEvents bounds a live recorder's buffer; at the cap new
+// events are dropped and counted rather than growing without bound.
+const DefaultRecorderMaxEvents = 1 << 18
+
+// KV is one span argument, rendered into the trace event's args object.
+type KV struct{ K, V string }
+
+// CentralPid is the merged trace's process id for the central complex;
+// SitePid maps a site index to its lane. These mirror the simulator
+// Collector's lane assignment so merged live traces and simulator exports
+// read the same way.
+const CentralPid = centralPid
+
+// SitePid returns the trace process id of site index i.
+func SitePid(i int) int { return sitePid(i) }
+
+// Recorder accumulates trace events from a live node. Methods are
+// mutex-guarded and safe from any goroutine; timestamps are the node's
+// event-loop clock in seconds.
+type Recorder struct {
+	mu          sync.Mutex
+	procName    string
+	pid         int
+	max         int
+	clockOffset float64 // central − local, seconds; 0 for central itself
+	events      []event
+	dropped     uint64
+}
+
+// NewRecorder returns a recorder for one process lane. maxEvents <= 0
+// selects DefaultRecorderMaxEvents.
+func NewRecorder(procName string, pid, maxEvents int) *Recorder {
+	if maxEvents <= 0 {
+		maxEvents = DefaultRecorderMaxEvents
+	}
+	return &Recorder{procName: procName, pid: pid, max: maxEvents}
+}
+
+// SetClockOffset records the NTP-style offset estimate (central clock −
+// local clock, seconds) stamped into the trace file for MergeFiles.
+// Re-estimated on every reconnect handshake; the latest estimate wins.
+func (r *Recorder) SetClockOffset(sec float64) {
+	r.mu.Lock()
+	r.clockOffset = sec
+	r.mu.Unlock()
+}
+
+// ClockOffset returns the current offset estimate.
+func (r *Recorder) ClockOffset() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.clockOffset
+}
+
+// Dropped returns the number of events discarded after the buffer filled.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Events returns the number of retained events.
+func (r *Recorder) Events() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+func (r *Recorder) add(e event) {
+	r.mu.Lock()
+	if len(r.events) >= r.max {
+		r.dropped++
+	} else {
+		r.events = append(r.events, e)
+	}
+	r.mu.Unlock()
+}
+
+func argsOf(kvs []KV) []kv {
+	if len(kvs) == 0 {
+		return nil
+	}
+	out := make([]kv, len(kvs))
+	for i, a := range kvs {
+		out[i] = kv{k: a.K, v: a.V}
+	}
+	return out
+}
+
+// Begin opens a span named name on transaction tid at local time at.
+func (r *Recorder) Begin(at float64, tid int64, name string, args ...KV) {
+	r.add(event{name: name, cat: "txn", ph: 'B', ts: at, pid: r.pid, tid: tid, args: argsOf(args)})
+}
+
+// End closes the innermost open span of transaction tid at local time at.
+func (r *Recorder) End(at float64, tid int64, args ...KV) {
+	r.add(event{ph: 'E', ts: at, pid: r.pid, tid: tid, args: argsOf(args)})
+}
+
+// Instant records a point event on transaction tid at local time at.
+func (r *Recorder) Instant(at float64, tid int64, name string, args ...KV) {
+	r.add(event{name: name, cat: "txn", ph: 'i', ts: at, pid: r.pid, tid: tid, args: argsOf(args)})
+}
+
+// WriteTo renders the recorded events as Chrome trace-event JSON with the
+// process lane's metadata and the clock offset in otherData (consumed by
+// MergeFiles). Timestamps stay in the local timebase — merging applies the
+// shift, so a single process's file remains directly loadable too.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	events := append([]event(nil), r.events...)
+	procName, pid, offset := r.procName, r.pid, r.clockOffset
+	r.mu.Unlock()
+
+	var buf bytes.Buffer
+	buf.WriteString(`{"displayTimeUnit":"ms","otherData":{"process":`)
+	buf.WriteString(strconv.Quote(procName))
+	buf.WriteString(`,"pid":"` + strconv.Itoa(pid) + `"`)
+	buf.WriteString(`,"clockOffsetSeconds":"` + strconv.FormatFloat(offset, 'g', -1, 64) + `"`)
+	buf.WriteString("},\"traceEvents\":[\n")
+	first := true
+	writeMeta(&buf, &first, pid, procName)
+	for i := range events {
+		writeEvent(&buf, &first, &events[i])
+	}
+	buf.WriteString("\n]}\n")
+	return buf.WriteTo(w)
+}
+
+// WriteFile exports the recorded trace to a file.
+func (r *Recorder) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := r.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
