@@ -9,7 +9,7 @@ BENCH_PKGS = ./internal/sim ./internal/lock ./internal/cpu ./internal/hybrid
 # Fuzz targets of the correctness harness (DESIGN.md §11); FUZZTIME bounds
 # each target's smoke budget.
 FUZZTIME ?= 10s
-FUZZ_TARGETS = FuzzHeap:./internal/sim FuzzShardSync:./internal/sim FuzzLock:./internal/lock FuzzConfig:./internal/simtest
+FUZZ_TARGETS = FuzzHeap:./internal/sim FuzzShardSync:./internal/sim FuzzLock:./internal/lock FuzzConfig:./internal/simtest FuzzWorkloadConfig:./internal/simtest
 
 .PHONY: all build test vet staticcheck race race-stress smoke bench-smoke simtest fuzz-smoke cluster-smoke check bench figures
 
@@ -98,7 +98,7 @@ check: vet staticcheck race simtest race-stress smoke bench-smoke fuzz-smoke clu
 # Full benchmark run over the hot-path packages, recorded as a
 # machine-readable summary (BENCH_$(BENCH_LABEL).json) diffed against the
 # committed pre-PR baseline. See DESIGN.md "Performance".
-BENCH_LABEL ?= pr8
+BENCH_LABEL ?= pr10
 BENCH_BASELINE ?= bench/baseline_pr6.txt
 BENCH_NOTES ?=
 bench:

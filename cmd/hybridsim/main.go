@@ -51,6 +51,10 @@ func run(args []string, out io.Writer) error {
 		pwrite   = fs.Float64("pwrite", 0.25, "probability a lock request is exclusive")
 		plocal   = fs.Float64("plocal", 0.75, "fraction of class A (local-data) transactions")
 		feedback = fs.String("feedback", "auth-only", "central-state feedback: auth-only, all-messages, ideal")
+		skew     = fs.Float64("skew", 0, "Zipf exponent of the lock-reference distribution (0 = uniform)")
+		hotFrac  = fs.Float64("hot-fraction", 1, "fraction of each partition replicated at central (1 = full replication)")
+		coldF    = fs.Float64("cold-fetch", 0, "seconds a central execution waits to fetch a cold element (first run only)")
+		epoch    = fs.Float64("epoch", 0, "epoch length for batched update propagation, seconds (0 = per-commit async)")
 		check    = fs.Bool("selfcheck", false, "run simulator invariant checks (slower)")
 		shards   = fs.Int("shards", 0, "event-queue shards for the parallel core (0/1 = sequential); results are bit-identical either way")
 		parallel = fs.Int("parallel", 0, "worker goroutines for replications (0 = GOMAXPROCS); affects speed only, never results")
@@ -106,6 +110,10 @@ func run(args []string, out io.Writer) error {
 	cfg.Duration = *duration
 	cfg.PWrite = *pwrite
 	cfg.PLocal = *plocal
+	cfg.SkewTheta = *skew
+	cfg.CentralHotFraction = *hotFrac
+	cfg.ColdFetchDelay = *coldF
+	cfg.EpochLength = *epoch
 	cfg.SelfCheck = *check
 	if *shards < 0 {
 		return fmt.Errorf("-shards must be non-negative (0 or 1 runs sequentially), got %d", *shards)

@@ -50,6 +50,7 @@ type CentralStats struct {
 	AbortsInval    uint64
 	AbortsDeadlock uint64
 	UpdatesApplied uint64
+	ColdFetches    uint64
 }
 
 // Central is the live central node.
@@ -64,6 +65,12 @@ type Central struct {
 
 	inSystem int
 	running  map[lock.ID]*ctxn
+
+	// Partial-replication geometry, the live twin of the simulator
+	// engine's partialRepl / partSize / hotPerPart (see Engine.isCold).
+	partialRepl bool
+	partSize    uint32
+	hotPerPart  uint32
 
 	// siteConns is written and read only on the loop.
 	siteConns []*netx.Conn
@@ -114,10 +121,29 @@ func StartCentral(cfg hybrid.Config, addr string) (*Central, error) {
 		ln:        ln,
 		conns:     make(map[*netx.Conn]struct{}),
 	}
+	c.partSize = c.wl.PartitionSize()
+	if cfg.CentralHotFraction < 1 {
+		c.partialRepl = true
+		c.hotPerPart = uint32(cfg.CentralHotFraction * float64(c.partSize))
+	} else {
+		c.hotPerPart = c.partSize
+	}
 	c.registerMetrics()
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
+}
+
+// isCold reports whether a lockspace element is outside the central
+// complex's replicated hot fragment — the same per-partition-offset rule the
+// simulator applies, so a live run and a simulated run of one Config agree
+// element for element on which references pay the fetch.
+func (c *Central) isCold(elem uint32) bool {
+	site := elem / c.partSize
+	if int(site) >= c.cfg.Sites {
+		site = uint32(c.cfg.Sites - 1)
+	}
+	return elem-site*c.partSize >= c.hotPerPart
 }
 
 // flightCapacity is each node's flight-recorder ring size: enough recent
@@ -145,6 +171,7 @@ func (c *Central) registerMetrics() {
 	replies := c.reg.Counter("central_replies_sent_total", "completion replies sent to home sites")
 	authRounds := c.reg.Counter("central_auth_rounds_total", "authentication rounds started")
 	updates := c.reg.Counter("central_updates_applied_total", "site update batches applied")
+	coldFetches := c.reg.Counter("central_cold_fetch_total", "cold-element fetches paid under partial replication")
 	abortNACK := c.reg.Counter("central_aborts_total", "central aborts by cause", metrics.L("cause", "nack"))
 	abortInval := c.reg.Counter("central_aborts_total", "central aborts by cause", metrics.L("cause", "invalidated"))
 	abortDead := c.reg.Counter("central_aborts_total", "central aborts by cause", metrics.L("cause", "deadlock"))
@@ -157,6 +184,7 @@ func (c *Central) registerMetrics() {
 		counterTo(replies, c.stats.RepliesSent)
 		counterTo(authRounds, c.stats.AuthRounds)
 		counterTo(updates, c.stats.UpdatesApplied)
+		counterTo(coldFetches, c.stats.ColdFetches)
 		counterTo(abortNACK, c.stats.AbortsNACK)
 		counterTo(abortInval, c.stats.AbortsInval)
 		counterTo(abortDead, c.stats.AbortsDeadlock)
@@ -332,22 +360,38 @@ func (c *Central) call(t *ctxn, i int) {
 		return
 	}
 	c.cpu.Submit(c.cfg.InstrPerCall, func() {
-		id := lock.ID(t.spec.ID)
-		elem, mode := t.spec.Elements[i], t.spec.Modes[i]
-		if _, held := c.locks.Holds(id, elem); held {
-			// Re-runs retain surviving locks across an abort (§3.1).
-			c.afterLock(t, i)
-			return
+		// Under partial replication a first-execution reference to a cold
+		// element pays the fetch delay before its lock request; re-runs
+		// find the element cached (the twin of centralPath.callBody).
+		if c.partialRepl && t.attempt == 1 && c.isCold(t.spec.Elements[i]) {
+			c.stats.ColdFetches++
+			if c.cfg.ColdFetchDelay > 0 {
+				c.loop.Schedule(c.cfg.ColdFetchDelay, func() { c.lockCall(t, i) })
+				return
+			}
 		}
-		switch c.locks.Acquire(id, elem, mode, func() { c.afterLock(t, i) }) {
-		case lock.Granted:
-			c.afterLock(t, i)
-		case lock.Queued:
-			// The grant callback continues the transaction.
-		case lock.Deadlock:
-			c.deadlockAbort(t)
-		}
+		c.lockCall(t, i)
 	})
+}
+
+// lockCall is the lock acquisition of call i, after the CPU burst and any
+// cold-element fetch.
+func (c *Central) lockCall(t *ctxn, i int) {
+	id := lock.ID(t.spec.ID)
+	elem, mode := t.spec.Elements[i], t.spec.Modes[i]
+	if _, held := c.locks.Holds(id, elem); held {
+		// Re-runs retain surviving locks across an abort (§3.1).
+		c.afterLock(t, i)
+		return
+	}
+	switch c.locks.Acquire(id, elem, mode, func() { c.afterLock(t, i) }) {
+	case lock.Granted:
+		c.afterLock(t, i)
+	case lock.Queued:
+		// The grant callback continues the transaction.
+	case lock.Deadlock:
+		c.deadlockAbort(t)
+	}
 }
 
 func (c *Central) afterLock(t *ctxn, i int) {

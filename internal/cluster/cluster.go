@@ -45,6 +45,9 @@ func validate(cfg hybrid.Config) error {
 	if cfg.UpdateBatchWindow > 0 {
 		return fmt.Errorf("cluster: update batching not implemented in the live engine")
 	}
+	if cfg.EpochLength > 0 {
+		return fmt.Errorf("cluster: epoch-batched propagation not implemented in the live engine")
+	}
 	return nil
 }
 

@@ -164,6 +164,40 @@ func TestClusterSmoke(t *testing.T) {
 	}
 }
 
+// TestClusterColdFetches drives a skewed partial-replication configuration
+// through the live cluster: with only a quarter of each partition centrally
+// resident and every class A transaction shipped (θ=-1), central executions
+// must pay cold fetches, and the counter must reach the scrape.
+func TestClusterColdFetches(t *testing.T) {
+	cfg := smokeConfig(2)
+	cfg.Warmup = 0.2
+	cfg.Duration = 1.0
+	cfg.SkewTheta = 0.6
+	cfg.CentralHotFraction = 0.25
+	cfg.ColdFetchDelay = 0.002
+	addrs, central, _, teardown := bootClusterNodes(t, cfg, routing.QueueThreshold{Theta: -1})
+	defer teardown()
+
+	res, err := RunLoad(context.Background(), addrs, cfg, LoadOptions{
+		Warmup:   cfg.Warmup,
+		Duration: cfg.Duration,
+		Ramp:     0.1,
+		Threads:  2,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no transactions completed")
+	}
+	if got := central.Stats().ColdFetches; got == 0 {
+		t.Error("partial-replication run paid no cold fetches")
+	}
+	if got := central.Metrics().Snapshot()["central_cold_fetch_total"]; got == 0 {
+		t.Error("central_cold_fetch_total did not reach the scrape")
+	}
+}
+
 // testWriter adapts t.Logf for flight-recorder dumps on test failure.
 type testWriter struct{ t *testing.T }
 
@@ -255,6 +289,11 @@ func TestClusterConfigValidation(t *testing.T) {
 	bad.UpdateBatchWindow = 0.05
 	if _, err := StartCentral(bad, "127.0.0.1:0"); err == nil {
 		t.Error("update batching accepted by StartCentral")
+	}
+	bad = smokeConfig(2)
+	bad.EpochLength = 0.5
+	if _, err := StartCentral(bad, "127.0.0.1:0"); err == nil {
+		t.Error("epoch-batched propagation accepted by StartCentral")
 	}
 	cfg := smokeConfig(2)
 	if _, err := StartSite(cfg, 5, "127.0.0.1:1", "127.0.0.1:0", nil); err == nil {

@@ -50,6 +50,9 @@ type ConfigFlags struct {
 	restart     *float64
 	feedback    *string
 	seed        *uint64
+	skew        *float64
+	hotFraction *float64
+	coldFetch   *float64
 }
 
 // RegisterConfigFlags registers the shared configuration flags on fs with
@@ -73,6 +76,9 @@ func RegisterConfigFlags(fs *flag.FlagSet) *ConfigFlags {
 		restart:     fs.Float64("restart-delay", def.RestartDelay, "delay before re-running an aborted transaction, seconds"),
 		feedback:    fs.String("feedback", "all-messages", "central-state feedback: auth-only or all-messages"),
 		seed:        fs.Uint64("seed", def.Seed, "configuration seed (strategy forking; the load generator seeds the workload)"),
+		skew:        fs.Float64("skew", def.SkewTheta, "Zipf exponent of the lock-reference distribution (0 = uniform)"),
+		hotFraction: fs.Float64("hot-fraction", def.CentralHotFraction, "fraction of each partition replicated at central (1 = full replication)"),
+		coldFetch:   fs.Float64("cold-fetch", def.ColdFetchDelay, "seconds a central execution waits to fetch a cold element, first run only"),
 	}
 }
 
@@ -94,6 +100,9 @@ func (f *ConfigFlags) Config() (hybrid.Config, error) {
 	cfg.SetupIOTime = *f.ioSetup
 	cfg.RestartDelay = *f.restart
 	cfg.Seed = *f.seed
+	cfg.SkewTheta = *f.skew
+	cfg.CentralHotFraction = *f.hotFraction
+	cfg.ColdFetchDelay = *f.coldFetch
 	switch *f.feedback {
 	case "auth-only":
 		cfg.Feedback = hybrid.FeedbackAuthOnly

@@ -121,6 +121,48 @@ func BenchmarkEngineSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineSkewed times the skewed partial-replication workload
+// against the uniform full-replication baseline on an otherwise identical
+// configuration: Zipf reference sampling at each site, the cold-element test
+// on every central-path call, the fetch-delay events it schedules, and
+// epoch-batched propagation. The uniform sub-benchmark pins the cost of the
+// defaults (the Zipf sampler and cold test must cost nothing when off); the
+// skewed one prices the PR-10 feature set end to end.
+func BenchmarkEngineSkewed(b *testing.B) {
+	variants := []struct {
+		name string
+		wire func(*Config)
+	}{
+		{"uniform", func(cfg *Config) {}},
+		{"skewed", func(cfg *Config) {
+			cfg.SkewTheta = 0.8
+			cfg.CentralHotFraction = 0.5
+			cfg.ColdFetchDelay = 0.0137
+			cfg.EpochLength = 0.25
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Sites = 16
+			cfg.Duration = 60
+			v.wire(&cfg)
+			var completed uint64
+			for i := 0; i < b.N; i++ {
+				e, err := New(cfg, routing.NewStatic(0.5, 7))
+				if err != nil {
+					b.Fatal(err)
+				}
+				completed += e.Run().Completed
+			}
+			if completed == 0 {
+				b.Fatal("benchmark completed no transactions")
+			}
+			b.ReportMetric(float64(completed)/float64(b.N), "txns/run")
+		})
+	}
+}
+
 // scale1000Config is the cmd/hybridsim scale1000 preset at benchmark length:
 // the §4.1 system scaled 100x (1000 sites, central CPU and lockspace grown in
 // proportion) with a short horizon so one iteration stays in benchmark range.

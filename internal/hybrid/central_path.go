@@ -57,8 +57,27 @@ func (p centralPath) call(t *txnRun, i int) {
 	e.central.cpu.Submit(e.cfg.InstrPerCall, t.conts.call)
 }
 
-// callBody is call callIdx's work after its CPU burst: the lock acquisition.
+// callBody is call callIdx's work after its CPU burst. Under partial
+// replication a first-execution reference to a cold element pays the fetch
+// delay before its lock request (re-runs find the element cached, mirroring
+// the first-run-only data I/O); then lockBody requests the lock.
 func (p centralPath) callBody(t *txnRun) {
+	e := p.e
+	if e.partialRepl && t.attempt == 1 && e.isCold(t.spec.Elements[t.callIdx]) {
+		e.observeAt(e.central.sched.Now(), obs.Event{Kind: obs.ColdFetch, Site: -1, Value: e.cfg.ColdFetchDelay})
+		if e.cfg.ColdFetchDelay > 0 {
+			e.central.sched.Schedule(e.cfg.ColdFetchDelay, t.conts.fetched)
+			return
+		}
+		// A zero-delay fetch proceeds inline: scheduling a 0-delay event
+		// would reorder same-time events relative to the full-replication
+		// engine for no modelled reason.
+	}
+	p.lockBody(t)
+}
+
+// lockBody is the lock acquisition of call callIdx.
+func (p centralPath) lockBody(t *txnRun) {
 	e := p.e
 	i := t.callIdx
 	elem, mode := t.spec.Elements[i], t.spec.Modes[i]

@@ -106,6 +106,34 @@ type Config struct {
 	// central authentications are NACKed — the trade-off an experiment can
 	// measure. Zero (the default) sends each commit's updates immediately.
 	UpdateBatchWindow float64
+	// EpochLength, when positive, selects epoch-batched update propagation
+	// (the STAR-style alternative to the per-commit window above): every
+	// site accumulates its committed updates and flushes them in one
+	// message at the next global epoch boundary k*EpochLength. All sites
+	// share the epoch grid, so the central complex sees synchronized update
+	// bursts instead of a Poisson trickle — the head-to-head comparison
+	// examples/epochs runs. Mutually exclusive with UpdateBatchWindow;
+	// zero (the default) keeps per-commit async propagation.
+	EpochLength float64
+
+	// Contention realism (DESIGN.md §16).
+	// SkewTheta is the Zipf exponent of the lock-reference distribution in
+	// [0, 1): 0 (the default) is the paper's uniform assumption; larger
+	// values concentrate references on each site's hot fragment with
+	// per-site key affinity (workload.Config.SkewTheta).
+	SkewTheta float64
+	// CentralHotFraction is the fraction of each partition replicated at
+	// the central complex, in [0, 1]. 1 (the default) is the paper's full
+	// replication. Below 1 only the hottest fragment of each partition —
+	// its first floor(fraction*partition) elements, the head of the skewed
+	// reference distribution — is centrally resident; a central-path call
+	// referencing a cold element pays ColdFetchDelay before requesting its
+	// lock (first execution only, mirroring the first-run-only I/O).
+	CentralHotFraction float64
+	// ColdFetchDelay is the seconds a central execution waits to fetch a
+	// cold (non-replicated) element under partial replication. Surfaced as
+	// obs.ColdFetch on the bus and Result.ColdFetches.
+	ColdFetchDelay float64
 
 	// Run control.
 	Seed      uint64  // master RNG seed
@@ -157,6 +185,7 @@ func DefaultConfig() Config {
 		SetupIOTime:        0.035,
 		RestartDelay:       0,
 		Feedback:           FeedbackAuthOnly,
+		CentralHotFraction: 1,
 		Seed:               1,
 		Warmup:             200,
 		Duration:           800,
@@ -185,6 +214,10 @@ func (c Config) Validate() error {
 		{"restart delay", c.RestartDelay},
 		{"update pathlength", c.UpdateProcInstr},
 		{"update batch window", c.UpdateBatchWindow},
+		{"epoch length", c.EpochLength},
+		{"skew theta", c.SkewTheta},
+		{"central hot fraction", c.CentralHotFraction},
+		{"cold fetch delay", c.ColdFetchDelay},
 		{"warmup", c.Warmup},
 		{"duration", c.Duration},
 		{"series bucket", c.SeriesBucket},
@@ -241,6 +274,15 @@ func (c Config) Validate() error {
 		return fmt.Errorf("hybrid: negative restart delay %v", c.RestartDelay)
 	case c.UpdateBatchWindow < 0:
 		return fmt.Errorf("hybrid: negative batch window %v", c.UpdateBatchWindow)
+	case c.EpochLength < 0:
+		return fmt.Errorf("hybrid: negative epoch length %v", c.EpochLength)
+	case c.EpochLength > 0 && c.UpdateBatchWindow > 0:
+		return fmt.Errorf("hybrid: epoch length %v and batch window %v are mutually exclusive propagation modes",
+			c.EpochLength, c.UpdateBatchWindow)
+	case c.CentralHotFraction < 0 || c.CentralHotFraction > 1:
+		return fmt.Errorf("hybrid: central hot fraction %v out of [0,1]", c.CentralHotFraction)
+	case c.ColdFetchDelay < 0:
+		return fmt.Errorf("hybrid: negative cold fetch delay %v", c.ColdFetchDelay)
 	case c.DisksPerSite < 0 || c.DisksCentral < 0:
 		return fmt.Errorf("hybrid: negative disk counts %d/%d", c.DisksPerSite, c.DisksCentral)
 	case c.UpdateProcInstr < 0:
@@ -283,6 +325,7 @@ func (c Config) WorkloadConfig() workload.Config {
 		CallsPerTxn: c.CallsPerTxn,
 		PLocal:      c.PLocal,
 		PWrite:      c.PWrite,
+		SkewTheta:   c.SkewTheta,
 	}
 }
 
@@ -301,6 +344,12 @@ func (c Config) ModelParams() model.Params {
 		SetupIOTime:   c.SetupIOTime,
 		Lockspace:     c.Lockspace,
 		PWrite:        c.PWrite,
+		SkewTheta:     c.SkewTheta,
+		// Zero-valued Params from direct literals keep the uniform,
+		// fully-replicated model: the solver treats HotFraction 0 with
+		// ColdFetchDelay 0 identically to full replication.
+		CentralHotFraction: c.CentralHotFraction,
+		ColdFetchDelay:     c.ColdFetchDelay,
 	}
 }
 

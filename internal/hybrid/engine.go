@@ -75,6 +75,13 @@ type Engine struct {
 	replayTxns [][]*workload.Txn
 	replayGaps [][]float64
 
+	// Partial-replication precompute (Config.CentralHotFraction < 1): a
+	// partition element at offset >= hotPerPart is cold — not centrally
+	// resident — and a central-path call on it pays ColdFetchDelay.
+	partialRepl bool
+	hotPerPart  uint32
+	partSize    uint32
+
 	horizon float64
 }
 
@@ -102,6 +109,13 @@ func New(cfg Config, strategy routing.Strategy) (*Engine, error) {
 			running: flatmap.New[lock.ID, *txnRun](16),
 		},
 		horizon: cfg.Warmup + cfg.Duration,
+	}
+	e.partSize = cfg.WorkloadConfig().PartitionSize()
+	if cfg.CentralHotFraction < 1 {
+		e.partialRepl = true
+		e.hotPerPart = uint32(cfg.CentralHotFraction * float64(e.partSize))
+	} else {
+		e.hotPerPart = e.partSize
 	}
 	e.network = comm.NewNetwork(s, cfg.Sites, cfg.CommDelay)
 	e.local = localPath{e}
@@ -247,6 +261,9 @@ func (e *Engine) Run() Result {
 			e.scheduleSelfCheck()
 		}
 		e.scheduleQueueSample()
+		if e.cfg.EpochLength > 0 {
+			e.scheduleEpochFlush()
+		}
 		e.simulator.RunUntil(e.horizon)
 	}
 	if e.cfg.SelfCheck {
@@ -339,6 +356,24 @@ func (e *Engine) scheduleQueueSample() {
 	})
 }
 
+// scheduleEpochFlush drives the global epoch ticker of the epoch-batched
+// propagation mode (sequential run): every EpochLength seconds, drain each
+// site's pending update batch onto its uplink. Boundary instants are built by
+// repeated addition from zero — the identical floats the sharded chain in
+// parallel.go computes — and the chain is armed last in Run, after the sample
+// chain, so a boundary coinciding with a sample instant flushes after the
+// sample in both run modes.
+func (e *Engine) scheduleEpochFlush() {
+	epoch := e.cfg.EpochLength
+	if e.simulator.Now()+epoch > e.horizon {
+		return
+	}
+	e.simulator.Schedule(epoch, func() {
+		e.prop.flushEpoch()
+		e.scheduleEpochFlush()
+	})
+}
+
 func (e *Engine) scheduleSelfCheck() {
 	const interval = 10.0
 	if e.simulator.Now()+interval > e.horizon {
@@ -406,6 +441,18 @@ func (e *Engine) inFlightShipTotal() uint64 {
 		sent += ls.shipStarted
 	}
 	return sent - e.central.shipArrived
+}
+
+// isCold reports whether a lockspace element is outside the central
+// complex's replicated hot fragment. Offsets are taken within the element's
+// partition; the remainder elements of an uneven split (attached to the last
+// site) sit past its partition size and are always cold.
+func (e *Engine) isCold(elem uint32) bool {
+	site := elem / e.partSize
+	if int(site) >= e.cfg.Sites {
+		site = uint32(e.cfg.Sites - 1)
+	}
+	return elem-site*e.partSize >= e.hotPerPart
 }
 
 // inFlightReplyTotal counts completion replies still travelling to their

@@ -76,6 +76,9 @@ type metricsCore struct {
 	abortsCentralNACK     uint64 // authentication refused (in-flight updates)
 	abortsCentralInval    uint64 // central lock invalidated by an async update
 
+	// Cold fetches under partial replication (central core).
+	coldFetches uint64
+
 	// Lock waits (site cores and the central core) and the staleness of the
 	// central-state view at each routing decision (site cores).
 	lockWait stats.Welford
@@ -210,6 +213,8 @@ func (m *metrics) OnEvent(ev obs.Event) {
 		c.abortsCentralNACK++
 	case obs.AbortCentralInval:
 		c.abortsCentralInval++
+	case obs.ColdFetch:
+		c.coldFetches++
 	case obs.QueueSample:
 		c.centralQueue.Add(ev.Value)
 		c.localQueue.Add(ev.Aux)
@@ -277,6 +282,7 @@ func (c *metricsCore) mergeInto(agg *metricsCore) {
 	agg.abortsLocalSeized += c.abortsLocalSeized
 	agg.abortsCentralNACK += c.abortsCentralNACK
 	agg.abortsCentralInval += c.abortsCentralInval
+	agg.coldFetches += c.coldFetches
 	agg.lockWait.Merge(&c.lockWait)
 	agg.viewAge.Merge(&c.viewAge)
 	agg.authRounds += c.authRounds
@@ -362,6 +368,7 @@ func (e *Engine) result() Result {
 		AbortsLocalSeized:     agg.abortsLocalSeized,
 		AbortsCentralNACK:     agg.abortsCentralNACK,
 		AbortsCentralInval:    agg.abortsCentralInval,
+		ColdFetches:           agg.coldFetches,
 		MeanLockWait:          agg.lockWait.Mean(),
 		MeanCentralQueue:      agg.centralQueue.Mean(),
 		MeanLocalQueue:        agg.localQueue.Mean(),
@@ -500,6 +507,11 @@ type Result struct {
 	AbortsLocalSeized     uint64
 	AbortsCentralNACK     uint64
 	AbortsCentralInval    uint64
+
+	// ColdFetches counts central-path calls that paid the partial-
+	// replication fetch delay within the window (Config.CentralHotFraction
+	// below 1).
+	ColdFetches uint64
 
 	// Utilizations over the window.
 	UtilLocalMean float64 // mean over local sites

@@ -45,6 +45,10 @@ const (
 	AbortLocalSeized
 	AbortCentralNACK
 	AbortCentralInval
+	// ColdFetch is a central-path database call that referenced a cold
+	// (non-replicated) element under partial replication and paid the
+	// configured fetch delay before its lock request; Value is that delay.
+	ColdFetch
 	// QueueSample is the periodic (1 Hz simulated) CPU queue observation:
 	// Value is the central queue length, Aux the mean local queue length.
 	QueueSample
@@ -67,6 +71,7 @@ var kindNames = map[Kind]string{
 	AbortLocalSeized:     "abort-local-seized",
 	AbortCentralNACK:     "abort-central-nack",
 	AbortCentralInval:    "abort-central-inval",
+	ColdFetch:            "cold-fetch",
 	QueueSample:          "queue-sample",
 	SelfCheck:            "self-check",
 	TraceDetail:          "trace-detail",

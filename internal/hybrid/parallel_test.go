@@ -51,6 +51,35 @@ func TestParallelBitExact(t *testing.T) {
 	}
 }
 
+// TestParallelBitExactSkewed repeats the fast in-package gate on the skewed
+// partial-replication configuration: Zipf-affine references, a cold central
+// fragment paying a fetch delay, and epoch-batched propagation. These paths
+// schedule continuations on per-site shard clocks (the cold-fetch resume,
+// the epoch flush), so they are exactly where a sharding bug would first
+// break bit-exactness.
+func TestParallelBitExactSkewed(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.SkewTheta = 0.8
+	cfg.CentralHotFraction = 0.5
+	cfg.ColdFetchDelay = 0.0137
+	cfg.EpochLength = 0.25
+	cfg.CaptureHistograms = true
+	for _, shards := range []int{2, 4, cfg.Sites + 1} {
+		mk := func() routing.Strategy { return routing.QueueLength{} }
+		seq, par, engaged := runPair(t, cfg, mk, shards)
+		if !engaged {
+			t.Fatalf("shards=%d: parallel mode did not engage", shards)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("shards=%d: skewed parallel result diverged from sequential\nseq: %+v\npar: %+v",
+				shards, seq, par)
+		}
+		if seq.ColdFetches == 0 {
+			t.Fatalf("shards=%d: no cold fetches — skewed gate is vacuous", shards)
+		}
+	}
+}
+
 // TestParallelBitExactStateful repeats the differential check with the
 // stateful strategies (per-site RNG forks): static and adaptive-static are
 // the ones whose decision streams would diverge first if per-site stream

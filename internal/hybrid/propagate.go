@@ -42,34 +42,78 @@ func (p propagator) snapshotCentral() centralSnapshot {
 }
 
 // propagate ships a committed transaction's updates to the central site —
-// immediately, or batched per Config.UpdateBatchWindow. Batching keeps
-// per-link FIFO ordering: the flush sends one message on the same uplink
-// that unbatched commits would use.
+// immediately, batched per Config.UpdateBatchWindow, or accumulated to the
+// next global epoch boundary per Config.EpochLength (the modes are mutually
+// exclusive; Validate enforces it). Batching keeps per-link FIFO ordering:
+// the flush sends one message on the same uplink that unbatched commits
+// would use.
 // Propagate owns the updates slice it is handed: an unbatched send parks it
 // in the message and the acknowledgement returns it to the site's pool; a
 // batched send folds it into the pending batch and frees it immediately.
 func (p propagator) propagate(ls *localSite, updates []uint32) {
 	e := p.e
 	site := ls.idx
-	if e.cfg.UpdateBatchWindow <= 0 {
+	switch {
+	case e.cfg.UpdateBatchWindow > 0:
+		p.buffer(ls, updates, e.cfg.UpdateBatchWindow)
+	case e.cfg.EpochLength > 0:
+		// Epoch-batched (STAR-style) propagation: accumulate only. The
+		// global epoch ticker (engine.go scheduleEpochFlush / parallel.go
+		// armEpochFlush) drains every site's pending batch at each boundary,
+		// iterating sites in ascending index — the same order the sharded
+		// round merge imposes on same-instant uplink arrivals — so the
+		// simultaneous flushes every boundary produces reach the central
+		// queue in one deterministic order in both run modes.
+		p.stash(ls, updates)
+	default:
 		e.network.ToCentral(site, func() { p.centralApply(site, updates) })
-		return
 	}
+}
+
+// stash folds one commit's updates into the site's pending batch and frees
+// the commit's own slice back to the site pool.
+func (p propagator) stash(ls *localSite, updates []uint32) {
 	if ls.pendingUpdates == nil {
 		ls.pendingUpdates = ls.takeUpdBuf()
 	}
 	ls.pendingUpdates = append(ls.pendingUpdates, updates...)
 	ls.updFree = append(ls.updFree, updates)
+}
+
+// buffer stashes one commit's updates and, on the batch's first commit,
+// schedules the flush after the given delay (the batch-window mode).
+func (p propagator) buffer(ls *localSite, updates []uint32, delay float64) {
+	e := p.e
+	site := ls.idx
+	p.stash(ls, updates)
 	if ls.flushPending {
 		return
 	}
 	ls.flushPending = true
-	ls.sched.Schedule(e.cfg.UpdateBatchWindow, func() {
+	ls.sched.Schedule(delay, func() {
 		batch := ls.pendingUpdates
 		ls.pendingUpdates = nil
 		ls.flushPending = false
 		e.network.ToCentral(site, func() { p.centralApply(site, batch) })
 	})
+}
+
+// flushEpoch drains every site's pending epoch batch onto its uplink. It
+// executes at a global epoch boundary — as a plain event in the sequential
+// run, at a barrier with every shard clock on the boundary in a sharded run —
+// and walks sites in ascending index, which is exactly the (edge index) order
+// the sharded round merge gives the resulting same-instant central arrivals.
+func (p propagator) flushEpoch() {
+	e := p.e
+	for _, ls := range e.sites {
+		if len(ls.pendingUpdates) == 0 {
+			continue
+		}
+		batch := ls.pendingUpdates
+		ls.pendingUpdates = nil
+		site := ls.idx
+		e.network.ToCentral(site, func() { p.centralApply(site, batch) })
+	}
 }
 
 // centralApply processes an asynchronous update message from a local site:

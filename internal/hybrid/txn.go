@@ -62,6 +62,7 @@ type txnConts struct {
 	grant   func() // a waited-for lock was granted
 	io      func() // after call callIdx's I/O: advance to the next call
 	restart func() // re-run from call 0 after RestartDelay
+	fetched func() // after a cold-fetch delay: call callIdx's lock request
 }
 
 func (t *txnRun) id() lock.ID { return lock.ID(t.spec.ID) }
@@ -140,6 +141,9 @@ func (e *Engine) bindContinuations(t *txnRun) {
 				local.call(t, 0)
 			}
 		},
+		// Cold fetches happen only on the central path (the local path reads
+		// its own partition's primary copy), so no dispatch on t.shipped.
+		fetched: func() { central.lockBody(t) },
 	}
 }
 

@@ -41,6 +41,19 @@ type Params struct {
 	SetupIOTime   float64 // initial I/O before any lock is held
 	Lockspace     uint32  // total lock elements
 	PWrite        float64 // probability a lock request is exclusive
+
+	// Heterogeneous data access (Thomasian's treatment; DESIGN.md §16).
+	// SkewTheta is the Zipf exponent of the lock-reference distribution in
+	// [0, 1); 0 (the zero value) keeps the paper's uniform-access terms
+	// bit-identical. CentralHotFraction and ColdFetchDelay mirror the
+	// simulator's partial-replication knobs: under CentralHotFraction < 1
+	// a central call misses the replicated hot fragment with probability
+	// pCold and pays ColdFetchDelay. The zero value (fraction 0, delay 0)
+	// is treated as full replication — a cold miss that costs nothing —
+	// so Params literals predating these fields solve unchanged.
+	SkewTheta          float64
+	CentralHotFraction float64
+	ColdFetchDelay     float64
 }
 
 // Validate reports whether the parameters are usable.
@@ -62,6 +75,13 @@ func (p Params) Validate() error {
 		return errors.New("model: zero lockspace")
 	case p.PWrite < 0 || p.PWrite > 1:
 		return fmt.Errorf("model: PWrite = %v", p.PWrite)
+	// Negated-range forms so NaN is rejected, not silently passed.
+	case !(p.SkewTheta >= 0 && p.SkewTheta < 1):
+		return fmt.Errorf("model: SkewTheta = %v out of [0,1)", p.SkewTheta)
+	case !(p.CentralHotFraction >= 0 && p.CentralHotFraction <= 1):
+		return fmt.Errorf("model: CentralHotFraction = %v out of [0,1]", p.CentralHotFraction)
+	case !(p.ColdFetchDelay >= 0):
+		return fmt.Errorf("model: ColdFetchDelay = %v", p.ColdFetchDelay)
 	}
 	return nil
 }
@@ -152,11 +172,21 @@ func Solve(in Input) (Result, error) {
 	if err := in.ValidateInput(); err != nil {
 		return Result{}, err
 	}
+	// Heterogeneous-access terms (skew.go). At SkewTheta == 0 with full
+	// replication these are exact identities — every factor is 1.0 and the
+	// cold term +0.0 — so the uniform solution is reproduced bit for bit;
+	// the cheap guard also skips the zeta summations entirely.
+	het := uniformTerms()
+	if in.Params.SkewTheta > 0 || in.Params.CentralHotFraction < 1 {
+		het = hetTermsFor(in)
+	}
 	var (
 		p    = in.Params
 		nl   = float64(p.CallsPerTxn)
 		part = p.PartitionSize()
 		d    = p.CommDelay
+
+		coldTerm = het.pCold * p.ColdFetchDelay // per-call first-run fetch delay
 
 		// New-transaction rates.
 		lamLocal   = in.ArrivalRatePerSite * in.PLocal * (1 - in.PShip)                      // per site
@@ -206,10 +236,11 @@ func Solve(in Input) (Result, error) {
 		lockSecAuth := authPlacement * 2 * d
 
 		// Per-request collision probabilities (paper's P_xx, divided by
-		// N_l: ours are per lock request, the paper's per transaction).
-		pLL := lockSecLocal / part * p.pIncompatible()
-		pLW := lockSecAuth / part * p.pIncompatible() // wait behind an authentication lock
-		pCC := lockSecCentral / float64(p.Lockspace) * p.pIncompatible()
+		// N_l: ours are per lock request, the paper's per transaction),
+		// each scaled by its population pair's heterogeneity factor.
+		pLL := lockSecLocal / part * p.pIncompatible() * het.fPart
+		pLW := lockSecAuth / part * p.pIncompatible() * het.fCross // wait behind an authentication lock
+		pCC := lockSecCentral / float64(p.Lockspace) * p.pIncompatible() * het.fCentral
 
 		// Per-request wait times. A local holder is outlived for ~beta/2;
 		// an authentication lock for ~D (residual of the 2D window).
@@ -218,9 +249,11 @@ func Solve(in Input) (Result, error) {
 
 		// Holding-phase durations (damped update).
 		upd := func(old, new float64) float64 { return old + damping*(new-old) }
+		// The cold-fetch delay extends only the first-execution holding
+		// phase, mirroring the simulator's first-attempt-only fetch.
 		nbL1 := nl * (p.cpuCall(p.LocalMIPS)/(1-rhoL) + p.IOTimePerCall + waitL)
 		nbL2 := nl * (p.cpuCall(p.LocalMIPS)/(1-rhoL) + waitL)
-		nbC1 := nl * (p.cpuCall(p.CentralMIPS)/(1-rhoC) + p.IOTimePerCall + waitC)
+		nbC1 := nl * (p.cpuCall(p.CentralMIPS)/(1-rhoC) + p.IOTimePerCall + waitC + coldTerm)
 		nbC2 := nl * (p.cpuCall(p.CentralMIPS)/(1-rhoC) + waitC)
 
 		// Abort probabilities.
@@ -229,15 +262,15 @@ func Solve(in Input) (Result, error) {
 		// placements over the partition) and the local transaction loses
 		// the race (P_f: it would have finished after the authentication).
 		pf := raceLossProbability(betaL1, betaC1, d)
-		paL := authPlacement * nl * betaLbar / 2 / part * p.pIncompatible() * pf
+		paL := authPlacement * nl * betaLbar / 2 / part * p.pIncompatible() * pf * het.fCross
 		// Central NACK: an authenticated element has an in-flight
 		// asynchronous update (window 2D per exclusive local commit).
 		xCommitPlacement := lamLocal * nl * p.PWrite // exclusive commits/s per partition
-		pNACK := 1 - math.Pow(1-math.Min(1, xCommitPlacement*2*d/part), nl)
+		pNACK := 1 - math.Pow(1-math.Min(1, xCommitPlacement*2*d/part*het.fCross), nl)
 		// Central invalidation: a local exclusive commit hits a lock the
 		// central transaction holds (N_l*beta/2 lock-seconds over the
 		// partition).
-		pInval := xCommitPlacement * nl * betaCbar / 2 / part
+		pInval := xCommitPlacement * nl * betaCbar / 2 / part * het.fCross
 		paC := clampProb(pNACK + pInval)
 		paL = clampProb(paL)
 

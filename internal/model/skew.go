@@ -1,0 +1,123 @@
+package model
+
+// Heterogeneous data access, following Thomasian's treatment of non-uniform
+// reference strings in centralized lock-contention models (DESIGN.md §16):
+// with references drawn Zipf(theta) instead of uniformly, the probability
+// that two independent references collide on one element rises from 1/n to
+// H(n,theta)/n, where
+//
+//	H(n,theta) = n * zeta(n,2*theta) / zeta(n,theta)^2
+//
+// (sum of squared access probabilities, normalized so H = 1 at theta = 0).
+// The solver multiplies each uniform collision term of §3.1 by the H factor
+// of the population pair it describes:
+//
+//   - same-partition local-local collisions: both populations are the head
+//     of the same partition's Zipf, factor H(part, theta);
+//   - central-central collisions: the central population mixes every site's
+//     rotated Zipf; two references land on the same site's head with
+//     probability 1/Sites (factor H(L, theta)) and otherwise overlap
+//     near-uniformly, giving 1 + (H(L,theta)-1)/Sites;
+//   - cross-tier collisions on one partition (authentication waits and
+//     seizures, NACKs, invalidations): the local population is the
+//     partition's head; the central references touching that partition come
+//     from the same site (head-shaped, factor H(part, theta)) with weight
+//     wSame, or from other sites' class B tails (near-uniform) otherwise,
+//     giving 1 + (H(part,theta)-1)*wSame.
+//
+// The same machinery prices partial replication: with the hottest
+// floor(fraction*part) elements of each partition centrally resident, a
+// central call misses with probability pCold — the Zipf tail mass beyond the
+// hot fragment for same-site references, the cold element fraction for
+// near-uniform ones — and the first-execution holding time grows by
+// pCold*ColdFetchDelay per call.
+
+import "math"
+
+// zetaSum returns zeta(n, theta) = sum_{i=1..n} 1/i^theta by direct
+// summation (n <= 0 returns 0). The model keeps its own copy rather than
+// importing the workload generator's: the two packages are deliberately
+// independent, and the sum is four lines.
+func zetaSum(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// hetTerms is the set of heterogeneity multipliers one Solve uses. The zero
+// state of every factor is 1 (and 0 for pCold) — the uniform full-replication
+// model.
+type hetTerms struct {
+	fPart    float64 // same-partition local-local collision multiplier
+	fCentral float64 // central-central collision multiplier
+	fCross   float64 // cross-tier same-partition collision multiplier
+	pCold    float64 // central-call cold-miss probability
+}
+
+// uniformTerms is the exact-identity default: multiplying by these factors
+// and adding pCold*delay = 0 reproduces the uniform solver bit for bit.
+func uniformTerms() hetTerms {
+	return hetTerms{fPart: 1, fCentral: 1, fCross: 1}
+}
+
+// hetTermsFor computes the heterogeneity terms for one operating point. The
+// wSame weight needs the routing mix, so the terms depend on Input, not just
+// Params: per central arrival, a fraction PLocal*PShip of the reference
+// stream is shipped class A (all in the home partition) and 1-PLocal is
+// class B, of which hotMass lands in the home partition — everything else
+// reaches a partition as another site's near-uniform tail.
+func hetTermsFor(in Input) hetTerms {
+	p := in.Params
+	t := uniformTerms()
+	partInt := int(p.PartitionSize())
+	if partInt < 1 {
+		partInt = 1
+	}
+	hotCount := partInt
+	if p.CentralHotFraction < 1 {
+		hotCount = int(p.CentralHotFraction * float64(partInt))
+	}
+
+	if p.SkewTheta <= 0 {
+		// Uniform references: every H factor is exactly 1; only the cold
+		// element fraction survives.
+		if hotCount < partInt {
+			t.pCold = 1 - float64(hotCount)/float64(partInt)
+		}
+		return t
+	}
+
+	theta := p.SkewTheta
+	L := int(p.Lockspace)
+	zetaPart := zetaSum(partInt, theta)
+	zetaPart2 := zetaSum(partInt, 2*theta)
+	zetaL := zetaSum(L, theta)
+	zetaL2 := zetaSum(L, 2*theta)
+
+	hPart := float64(partInt) * zetaPart2 / (zetaPart * zetaPart)
+	hL := float64(L) * zetaL2 / (zetaL * zetaL)
+
+	t.fPart = hPart
+	t.fCentral = 1 + (hL-1)/float64(p.Sites)
+
+	// Routing mix of the central reference stream.
+	hotMass := zetaPart / zetaL // class B head mass inside the home partition
+	same := in.PLocal*in.PShip + (1-in.PLocal)*hotMass
+	denom := in.PLocal*in.PShip + (1 - in.PLocal) // total central weight
+	wSame := 0.0
+	if denom > 0 {
+		wSame = same / denom
+	}
+	t.fCross = 1 + (hPart-1)*wSame
+
+	if hotCount < partInt {
+		// Same-site references miss with the Zipf tail mass beyond the hot
+		// fragment; near-uniform tails miss with the cold element fraction.
+		coldSame := 1 - zetaSum(hotCount, theta)/zetaPart
+		coldUniform := 1 - float64(hotCount)/float64(partInt)
+		t.pCold = wSame*coldSame + (1-wSame)*coldUniform
+	}
+	return t
+}

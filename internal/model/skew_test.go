@@ -1,0 +1,171 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// skewInput is the §4.1 operating point at moderate load with partial
+// shipping, the regime where every solver term is active.
+func skewInput(theta float64) Input {
+	in := paperInput(1.5, 0.3)
+	in.SkewTheta = theta
+	in.CentralHotFraction = 1
+	return in
+}
+
+func TestHetTermsUniformIdentity(t *testing.T) {
+	in := skewInput(0)
+	h := hetTermsFor(in)
+	if h.fPart != 1 || h.fCentral != 1 || h.fCross != 1 || h.pCold != 0 {
+		t.Fatalf("theta=0, full replication: terms %+v, want exact identities", h)
+	}
+}
+
+// TestSolveSkewZeroBitIdentical is the model half of the degeneracy
+// relation: a Params with SkewTheta=0 and full replication must solve to the
+// exact bits of one where the new fields were never set.
+func TestSolveSkewZeroBitIdentical(t *testing.T) {
+	plain := paperInput(1.5, 0.3) // zero-valued new fields
+	explicit := plain
+	explicit.SkewTheta = 0
+	explicit.CentralHotFraction = 1
+	explicit.ColdFetchDelay = 0.5 // never paid under full replication
+
+	a, err := Solve(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("skew-zero solution differs from uniform:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestHetFactorsGrowWithSkew: every collision multiplier is 1 at theta=0 and
+// strictly increasing in theta — hotter heads collide more.
+func TestHetFactorsGrowWithSkew(t *testing.T) {
+	prev := hetTermsFor(skewInput(0))
+	for _, theta := range []float64{0.2, 0.5, 0.8, 0.95} {
+		h := hetTermsFor(skewInput(theta))
+		if h.fPart <= prev.fPart || h.fCentral <= prev.fCentral || h.fCross <= prev.fCross {
+			t.Fatalf("theta=%v: factors %+v did not grow from %+v", theta, h, prev)
+		}
+		prev = h
+	}
+}
+
+// TestSolveContentionGrowsWithSkew: with everything else fixed, raising the
+// skew exponent cannot reduce the predicted abort probabilities or the
+// average response time.
+func TestSolveContentionGrowsWithSkew(t *testing.T) {
+	prevRT, prevPa := 0.0, 0.0
+	for _, theta := range []float64{0, 0.3, 0.6, 0.9} {
+		in := skewInput(theta)
+		r, err := Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Saturated {
+			t.Fatalf("theta=%v: unexpectedly saturated", theta)
+		}
+		if r.RAvg < prevRT || r.PAbortCentral < prevPa {
+			t.Fatalf("theta=%v: RAvg %v (prev %v) or PAbortCentral %v (prev %v) decreased",
+				theta, r.RAvg, prevRT, r.PAbortCentral, prevPa)
+		}
+		prevRT, prevPa = r.RAvg, r.PAbortCentral
+	}
+}
+
+// TestColdMissProbability pins pCold's shape: zero under full replication,
+// the cold element fraction under uniform access, and strictly smaller than
+// that fraction under skew (hot-biased references hit the replicated head
+// more often than chance).
+func TestColdMissProbability(t *testing.T) {
+	full := skewInput(0.8)
+	if h := hetTermsFor(full); h.pCold != 0 {
+		t.Fatalf("full replication: pCold %v, want 0", h.pCold)
+	}
+
+	uniform := skewInput(0)
+	uniform.CentralHotFraction = 0.5
+	hU := hetTermsFor(uniform)
+	part := int(uniform.PartitionSize())
+	wantU := 1 - float64(part/2)/float64(part)
+	if math.Abs(hU.pCold-wantU) > 1e-12 {
+		t.Fatalf("uniform half replication: pCold %v, want %v", hU.pCold, wantU)
+	}
+
+	skewed := skewInput(0.8)
+	skewed.CentralHotFraction = 0.5
+	hS := hetTermsFor(skewed)
+	if hS.pCold <= 0 || hS.pCold >= hU.pCold {
+		t.Fatalf("skewed half replication: pCold %v, want in (0, %v)", hS.pCold, hU.pCold)
+	}
+}
+
+// TestSolveColdFetchExtendsCentralResponse: the fetch delay must lengthen
+// the predicted central response time, and only when a miss can happen.
+func TestSolveColdFetchExtendsCentralResponse(t *testing.T) {
+	base := skewInput(0.6)
+	base.CentralHotFraction = 0.3
+	withFetch := base
+	withFetch.ColdFetchDelay = 0.05
+
+	r0, err := Solve(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Solve(withFetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := float64(base.CallsPerTxn)
+	minGrowth := hetTermsFor(withFetch).pCold * withFetch.ColdFetchDelay * nl
+	if r1.RCentral < r0.RCentral+minGrowth*0.9 {
+		t.Fatalf("cold fetch grew RCentral by %v, want at least ~%v",
+			r1.RCentral-r0.RCentral, minGrowth)
+	}
+
+	// With the whole partition hot the delay must be free.
+	free := skewInput(0.6)
+	free.ColdFetchDelay = 10
+	rFree, err := Solve(free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBase, err := Solve(skewInput(0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rFree != rBase {
+		t.Fatalf("fetch delay charged under full replication: %+v vs %+v", rFree, rBase)
+	}
+}
+
+// TestValidateSkewFields: NaN and out-of-range values for the new fields are
+// rejected (the negated-range form closes the NaN hole class FuzzConfig
+// found in the hybrid config).
+func TestValidateSkewFields(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.SkewTheta = 1 },
+		func(p *Params) { p.SkewTheta = -0.1 },
+		func(p *Params) { p.SkewTheta = math.NaN() },
+		func(p *Params) { p.CentralHotFraction = -0.01 },
+		func(p *Params) { p.CentralHotFraction = 1.01 },
+		func(p *Params) { p.CentralHotFraction = math.NaN() },
+		func(p *Params) { p.ColdFetchDelay = -1 },
+		func(p *Params) { p.ColdFetchDelay = math.NaN() },
+	}
+	for i, mutate := range bad {
+		p := paperParams()
+		p.CentralHotFraction = 1
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid skew field accepted: %+v", i, p)
+		}
+	}
+}

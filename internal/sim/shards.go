@@ -383,6 +383,12 @@ func (g *Group) Run(horizon Time) {
 					g.globals = g.globals[1:]
 					ev.fn()
 				}
+				// Globals may post cross-shard messages (with every clock on
+				// nextG, an arrival at nextG+lookahead meets Post's bound with
+				// equality). Merge them now: the bound formula only covers
+				// messages future shard events will post, not ones already
+				// sitting in an edge box.
+				g.deliver()
 				g.progress.Add(1)
 				continue
 			}

@@ -89,3 +89,76 @@ func FuzzConfig(f *testing.F) {
 		}
 	})
 }
+
+// FuzzWorkloadConfig fuzzes the PR-10 workload-shape knobs — skew exponent,
+// central fragment fraction, cold-fetch delay, epoch length — against the
+// full engine, together with the propagation-mode interaction (epoch vs.
+// batch window are mutually exclusive; Validate must reject the pair, never
+// a run). As with FuzzConfig: NaN, ±Inf, negatives, and out-of-range values
+// all pass through untouched so the negated-range guards in Validate stay
+// honest, and only magnitudes that mean unbounded work are folded.
+func FuzzWorkloadConfig(f *testing.F) {
+	d := hybrid.DefaultConfig()
+	f.Add(0.0, d.CentralHotFraction, 0.0, 0.0, 0.0, 2.0, uint64(1), uint8(0))
+	f.Add(0.8, 0.5, 0.05, 0.25, 0.0, 2.0, uint64(7), uint8(1))
+	f.Add(0.99, 0.0, 1.0, 0.0, 0.5, 1.0, uint64(42), uint8(2))
+	f.Add(0.5, 1.0, 0.0, 0.1, 0.1, 1.5, uint64(3), uint8(3)) // both modes set: must be rejected
+
+	f.Fuzz(func(t *testing.T, skewTheta, hotFraction, coldFetchDelay,
+		epochLength, batchWindow, rate float64, seed uint64, strategyPick uint8) {
+
+		cfg := hybrid.DefaultConfig()
+		cfg.SkewTheta = skewTheta
+		cfg.CentralHotFraction = hotFraction
+		cfg.ColdFetchDelay = coldFetchDelay
+		cfg.EpochLength = epochLength
+		cfg.UpdateBatchWindow = batchWindow
+		cfg.ArrivalRatePerSite = rate
+		cfg.Seed = seed
+		cfg.Warmup = 2
+		cfg.Duration = 10
+		cfg.SelfCheck = true
+
+		// Magnitude folding only where unbounded values mean unbounded work:
+		// a huge fetch delay or epoch just parks events far in the future.
+		if cfg.ArrivalRatePerSite > 50 {
+			cfg.ArrivalRatePerSite = 50
+		}
+		if cfg.ColdFetchDelay > 100 {
+			cfg.ColdFetchDelay = 100
+		}
+		if cfg.EpochLength > 100 {
+			cfg.EpochLength = 100
+		}
+		if cfg.UpdateBatchWindow > 100 {
+			cfg.UpdateBatchWindow = 100
+		}
+
+		var strat routing.Strategy
+		switch strategyPick % 4 {
+		case 0:
+			strat = routing.AlwaysLocal{}
+		case 1:
+			strat = routing.NewStatic(0.5, seed)
+		case 2:
+			strat = routing.QueueLength{}
+		case 3:
+			strat = routing.QueueThreshold{Theta: 0.25}
+		}
+
+		e, err := hybrid.New(cfg, strat)
+		if err != nil {
+			return // rejected cleanly — fine
+		}
+		if cfg.EpochLength > 0 && cfg.UpdateBatchWindow > 0 {
+			t.Errorf("mutually exclusive propagation modes accepted (epoch %g, window %g)\n%s",
+				cfg.EpochLength, cfg.UpdateBatchWindow, repro("fuzz-workload", cfg))
+		}
+		r := e.Run()
+
+		if got := r.Completed + r.InSystemAtEnd + r.InFlightShip + r.InFlightReply; got != r.Generated {
+			t.Errorf("conservation violated: generated %d, accounted %d\n%s",
+				r.Generated, got, repro("fuzz-workload", cfg))
+		}
+	})
+}

@@ -37,10 +37,11 @@ import (
 // locally with a two-line main().
 func repro(strategy string, cfg hybrid.Config) string {
 	return fmt.Sprintf(
-		"repro: strategy=%s seed=%d rate/site=%g sites=%d warmup=%g duration=%g commDelay=%g pLocal=%g pWrite=%g calls=%d lockspace=%d feedback=%s",
+		"repro: strategy=%s seed=%d rate/site=%g sites=%d warmup=%g duration=%g commDelay=%g pLocal=%g pWrite=%g calls=%d lockspace=%d feedback=%s skew=%g hotFrac=%g coldFetch=%g epoch=%g",
 		strategy, cfg.Seed, cfg.ArrivalRatePerSite, cfg.Sites, cfg.Warmup,
 		cfg.Duration, cfg.CommDelay, cfg.PLocal, cfg.PWrite, cfg.CallsPerTxn,
-		cfg.Lockspace, cfg.Feedback)
+		cfg.Lockspace, cfg.Feedback, cfg.SkewTheta, cfg.CentralHotFraction,
+		cfg.ColdFetchDelay, cfg.EpochLength)
 }
 
 // baseConfig is the harness's standard operating configuration: the paper's

@@ -1,0 +1,184 @@
+package simtest
+
+import (
+	"reflect"
+	"testing"
+
+	"hybriddb/internal/hybrid"
+	"hybriddb/internal/runner"
+)
+
+// skewedConfig is the standard skewed + partial-replication operating point
+// of this suite: strong per-site affinity, half the partition centrally
+// resident, a visible fetch delay, and epoch-batched propagation — every new
+// mechanism of DESIGN.md §16 exercised at once.
+func skewedConfig() hybrid.Config {
+	cfg := baseConfig()
+	cfg.SkewTheta = 0.8
+	cfg.CentralHotFraction = 0.5
+	cfg.ColdFetchDelay = 0.05
+	cfg.EpochLength = 0.25
+	return cfg
+}
+
+// TestSkewReplicationDegeneracies pins the degenerate settings of the skew,
+// replication, and epoch knobs against the plain engine, bit for bit. The
+// relations (ISSUE/DESIGN.md §16):
+//
+//   - SkewTheta = 0 with full replication must reproduce the uniform engine
+//     exactly, whatever the (then-unreachable) fetch delay is set to. The
+//     draw-level half of this relation — the θ=0 generator emitting the
+//     uniform generator's exact sequence — is pinned in internal/workload;
+//     this is the run-level half over genuinely different configurations.
+//   - ColdFetchDelay = 0 under partial replication must leave every timing
+//     and every counter untouched except the ColdFetches count itself: the
+//     zero-delay fetch proceeds inline, so no event order can shift.
+//   - EpochLength > 0 with nothing to propagate must be indistinguishable
+//     from the immediate path (EpochLength = 0): the epoch machinery may not
+//     emit spurious flush messages or consume randomness.
+//
+// Equal sample paths mean every field of the Result matches exactly, not
+// within a tolerance.
+func TestSkewReplicationDegeneracies(t *testing.T) {
+	base := baseConfig()
+	base.ArrivalRatePerSite = 2.0
+
+	pairs := []struct {
+		name                 string
+		degenerate           func(*hybrid.Config)
+		canonical            func(*hybrid.Config)
+		ignoreColdFetches    bool
+		wantColdFetchesInDeg bool
+	}{
+		{
+			name: "skew zero, full replication is the uniform engine",
+			degenerate: func(c *hybrid.Config) {
+				c.SkewTheta = 0
+				c.CentralHotFraction = 1
+				c.ColdFetchDelay = 0.75 // unreachable: no element is cold
+				c.EpochLength = 0
+			},
+			canonical: func(c *hybrid.Config) {},
+		},
+		{
+			name: "zero-delay cold fetch changes only the counter",
+			degenerate: func(c *hybrid.Config) {
+				c.CentralHotFraction = 0.25
+				c.ColdFetchDelay = 0
+			},
+			canonical:            func(c *hybrid.Config) {},
+			ignoreColdFetches:    true,
+			wantColdFetchesInDeg: true,
+		},
+		{
+			name: "epoch flush is inert without updates",
+			degenerate: func(c *hybrid.Config) {
+				c.PWrite = 0
+				c.EpochLength = 2.5
+			},
+			canonical: func(c *hybrid.Config) {
+				c.PWrite = 0
+				c.EpochLength = 0
+			},
+		},
+	}
+	for _, p := range pairs {
+		t.Run(p.name, func(t *testing.T) {
+			sc := caseStatic(0.3) // partial shipping keeps the central path busy
+			cfgA, cfgB := base, base
+			p.degenerate(&cfgA)
+			p.canonical(&cfgB)
+			a := sweepResults(t, sc, cfgA, []float64{cfgA.ArrivalRatePerSite}, 1)[0][0]
+			b := sweepResults(t, sc, cfgB, []float64{cfgB.ArrivalRatePerSite}, 1)[0][0]
+			if p.wantColdFetchesInDeg && a.ColdFetches == 0 {
+				t.Errorf("no cold fetches under partial replication — degeneracy check is vacuous\n%s",
+					repro(sc.label, cfgA))
+			}
+			if p.ignoreColdFetches {
+				a.ColdFetches, b.ColdFetches = 0, 0
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s: results differ\n degenerate: %+v\n canonical:  %+v\n%s",
+					p.name, a, b, repro(sc.label, cfgA))
+			}
+		})
+	}
+}
+
+// TestSkewedConservationAndLittle re-runs the two global accounting laws at
+// the high-skew operating point: transaction conservation at the horizon and
+// Little's law on every scope must survive hot-spot contention, cold-fetch
+// stalls in the central holding phase, and epoch-deferred propagation — none
+// of those mechanisms creates or destroys transactions, and the fetch delay
+// is inside the residence time both N and λR measure.
+func TestSkewedConservationAndLittle(t *testing.T) {
+	cfg := skewedConfig()
+	cfg.ArrivalRatePerSite = 2.0
+	cfg.Seed = runner.DeriveSeed(cfg.Seed, "skew/conservation", 0, 0)
+	sc := caseStatic(0.3)
+
+	var o *littleObserver
+	tasks := []runner.Task{{
+		Label: "skewed conservation",
+		Cfg:   cfg,
+		Make:  sc.make,
+		Prepare: func(e *hybrid.Engine) {
+			o = newLittleObserver(cfg.Sites)
+			e.Subscribe(o)
+		},
+	}}
+	results, err := runner.Run(tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+
+	if got := r.Completed + r.InSystemAtEnd + r.InFlightShip + r.InFlightReply; got != r.Generated {
+		t.Errorf("conservation violated under skew: generated %d, accounted %d\n%s",
+			r.Generated, got, repro(sc.label, cfg))
+	}
+	if r.Generated == 0 || r.Completed == 0 {
+		t.Errorf("vacuous skewed run: generated %d completed %d\n%s",
+			r.Generated, r.Completed, repro(sc.label, cfg))
+	}
+	if r.ColdFetches == 0 {
+		t.Errorf("no cold fetches at hot fraction %g — partial replication inactive\n%s",
+			cfg.CentralHotFraction, repro(sc.label, cfg))
+	}
+
+	for _, chk := range o.checks(cfg.Warmup + cfg.Duration) {
+		if chk.N < littleMinN && chk.LambdaR < littleMinN {
+			continue
+		}
+		if gap := chk.relGap(); gap > littleTolerance {
+			t.Errorf("scope %s: N=%.4f λR=%.4f (gap %.1f%%)\n%s",
+				chk.Scope, chk.N, chk.LambdaR, 100*gap, repro(sc.label, cfg))
+		}
+	}
+}
+
+// TestSkewRaisesHomeContention is the qualitative signature the Zipf
+// generator exists to produce: with references piled on each site's
+// partition head, local lock conflicts (and hence local deadlock aborts)
+// must be far more frequent than under uniform access at the same load.
+func TestSkewRaisesHomeContention(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ArrivalRatePerSite = 2.0
+	cfg.PWrite = 0.4
+	sc := caseNone()
+
+	uniform := sweepResults(t, sc, cfg, []float64{cfg.ArrivalRatePerSite}, 1)[0][0]
+	cfgS := cfg
+	cfgS.SkewTheta = 0.9
+	skewed := sweepResults(t, sc, cfgS, []float64{cfgS.ArrivalRatePerSite}, 1)[0][0]
+
+	if skewed.AbortsDeadlockLocal <= uniform.AbortsDeadlockLocal {
+		t.Errorf("skew θ=%g did not raise local deadlocks: %d vs uniform %d\n%s",
+			cfgS.SkewTheta, skewed.AbortsDeadlockLocal, uniform.AbortsDeadlockLocal,
+			repro(sc.label, cfgS))
+	}
+	if skewed.MeanRT <= uniform.MeanRT {
+		t.Errorf("skew θ=%g did not raise mean RT: %.4f vs uniform %.4f\n%s",
+			cfgS.SkewTheta, skewed.MeanRT, uniform.MeanRT, repro(sc.label, cfgS))
+	}
+}

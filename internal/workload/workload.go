@@ -57,6 +57,15 @@ type Config struct {
 	CallsPerTxn int     // database calls (= locks) per transaction, N_l
 	PLocal      float64 // probability a transaction is class A
 	PWrite      float64 // probability a lock request is exclusive
+	// SkewTheta is the Zipf exponent of the lock-reference distribution,
+	// in [0, 1). Zero — the default, and the paper's assumption — keeps
+	// references uniform. A positive theta draws hot-spot references with
+	// per-site affinity: class A ranks map onto the home partition hottest
+	// first, and class B ranks rotate by the home site's partition base, so
+	// each site's hottest non-local references land in its own partition
+	// (a site is the natural cache of its own hot fragment). See zipf.go
+	// and DESIGN.md §16.
+	SkewTheta float64
 }
 
 // Validate reports whether the configuration is usable.
@@ -76,6 +85,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("workload: PLocal = %v out of [0,1]", c.PLocal)
 	case c.PWrite < 0 || c.PWrite > 1:
 		return fmt.Errorf("workload: PWrite = %v out of [0,1]", c.PWrite)
+	// Negated-range form so NaN (which compares false against everything)
+	// is rejected rather than slipping through — the FuzzConfig lesson.
+	case !(c.SkewTheta >= 0 && c.SkewTheta < 1):
+		return fmt.Errorf("workload: SkewTheta = %v out of [0,1)", c.SkewTheta)
 	}
 	return nil
 }
@@ -94,6 +107,11 @@ func (c Config) PartitionSize() uint32 { return c.Lockspace / uint32(c.Sites) }
 type Generator struct {
 	cfg   Config
 	sites []siteStream
+	// Zipf rank samplers, shared by every site (they hold only precomputed
+	// constants, no stream state); nil when SkewTheta == 0. zipfA ranks over
+	// one partition, zipfB over the whole lockspace.
+	zipfA *zipfGen
+	zipfB *zipfGen
 }
 
 // siteStream is one site's private generator state.
@@ -120,6 +138,12 @@ func NewGenerator(cfg Config, seed uint64) *Generator {
 			elems: root.Split(),
 			modes: root.Split(),
 		}
+	}
+	if cfg.SkewTheta > 0 {
+		// Pure precomputation — consumes no randomness, so seed derivation
+		// is identical with and without skew.
+		g.zipfA = newZipfGen(int(cfg.PartitionSize()), cfg.SkewTheta)
+		g.zipfB = newZipfGen(int(cfg.Lockspace), cfg.SkewTheta)
 	}
 	return g
 }
@@ -173,14 +197,36 @@ func (g *Generator) NextInto(site int, t *Txn) *Txn {
 		st.sample = st.sample[:n]
 	}
 
-	if t.Class == ClassA {
+	switch {
+	case g.zipfA != nil && t.Class == ClassA:
+		// Zipfian, distinct references within the home partition: rank r
+		// maps to the r-th element of the partition, so every site's hot
+		// spot is the head of its own partition.
+		base := uint32(site) * part
+		st.sampleZipfRanksInto(g.zipfA, n)
+		for i, r := range st.sample {
+			t.Elements[i] = base + uint32(r)
+		}
+	case g.zipfB != nil:
+		// Zipfian, distinct references over the whole lockspace, rotated by
+		// the home partition's base: rank r maps to (site*part + r) mod L,
+		// so each site's hottest non-local references land in its own
+		// partition (per-site key affinity) while the tail spans every
+		// other partition.
+		base := uint64(uint32(site) * part)
+		st.sampleZipfRanksInto(g.zipfB, n)
+		for i, r := range st.sample {
+			// 64-bit sum: base + r can exceed uint32 before the wrap.
+			t.Elements[i] = uint32((base + uint64(r)) % uint64(g.cfg.Lockspace))
+		}
+	case t.Class == ClassA:
 		// Uniform, distinct references within the home partition.
 		base := uint32(site) * part
 		st.elems.SampleWithoutReplacementInto(int(part), st.sample, &st.perm)
 		for i, off := range st.sample {
 			t.Elements[i] = base + uint32(off)
 		}
-	} else {
+	default:
 		// Uniform, distinct references over the entire lockspace.
 		st.elems.SampleWithoutReplacementInto(int(g.cfg.Lockspace), st.sample, &st.perm)
 		for i, off := range st.sample {

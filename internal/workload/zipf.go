@@ -1,0 +1,129 @@
+package workload
+
+// Zipfian/hot-spot lock-reference sampling (DESIGN.md §16). Ranks are drawn
+// with the analytic approximation of Gray et al., "Quickly Generating
+// Billion-Record Synthetic Databases" (SIGMOD '94): one uniform variate per
+// draw, inverted through a three-piece closed form instead of a CDF walk.
+// All the heavy terms (the harmonic-like sum zeta(n, theta), the exponent
+// alpha, the correction eta) are pure functions of (n, theta), so they are
+// precomputed once per generator and the draw itself consumes exactly one
+// Float64 — which is what keeps the skewed path as deterministic and
+// stream-partitioned as the uniform one.
+
+import "math"
+
+// zipfGen draws ranks in [0, n) with P(rank = r) ∝ 1/(r+1)^theta, using the
+// Gray et al. approximation. theta must be in [0, 1); n must be positive.
+// The zero rank is the hottest.
+type zipfGen struct {
+	n     int
+	theta float64
+	zetan float64 // zeta(n, theta)
+	alpha float64 // 1/(1-theta)
+	eta   float64
+	half  float64 // 0.5^theta
+}
+
+// zetaSum returns zeta(n, theta) = sum_{i=1..n} 1/i^theta by direct
+// summation. O(n) with a Pow per term — construction-time only.
+func zetaSum(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// newZipfGen precomputes the draw constants for (n, theta).
+func newZipfGen(n int, theta float64) *zipfGen {
+	z := &zipfGen{
+		n:     n,
+		theta: theta,
+		zetan: zetaSum(n, theta),
+		alpha: 1 / (1 - theta),
+		half:  math.Pow(0.5, theta),
+	}
+	// eta's denominator is 1 - zeta(2,theta)/zeta(n,theta), which is zero (or
+	// negative) for n <= 2 — but those n are fully covered by the first two
+	// branches of rank, so the third-piece constant is never consulted.
+	if n > 2 {
+		zeta2 := 1 + z.half
+		z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	}
+	return z
+}
+
+// rank inverts one uniform variate u ∈ [0,1) into a Zipf rank.
+func (z *zipfGen) rank(u float64) int {
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1
+	}
+	r := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		r = z.n - 1
+	}
+	if r < 0 { // defensive: cannot happen for u ∈ [0,1), cheap to pin
+		r = 0
+	}
+	return r
+}
+
+// naiveZipfRank is the reference implementation for the property tests: the
+// same Gray et al. formula transcribed directly from the paper with every
+// constant recomputed per draw and no shortcuts. The optimized sampler must
+// match it bit for bit on every variate — the precomputation and branch
+// ordering above are pure refactorings of this function.
+func naiveZipfRank(n int, theta float64, u float64) int {
+	zetan := 0.0
+	for i := 1; i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), theta)
+	}
+	uz := u * zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, theta) {
+		return 1
+	}
+	zeta2 := 1 + math.Pow(0.5, theta)
+	eta := (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan)
+	alpha := 1 / (1 - theta)
+	r := int(float64(n) * math.Pow(eta*u-eta+1, alpha))
+	if r >= n {
+		r = n - 1
+	}
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// sampleZipfRanksInto fills st.sample[:k] with k distinct Zipf ranks from z,
+// drawing variates from st.elems. Distinctness uses rejection: a duplicate
+// rank is redrawn (consuming one more variate), and the duplicate test itself
+// consumes no randomness — the same contract rng.SampleWithoutReplacementInto
+// gives the uniform path, so a pooled and an allocating caller see identical
+// streams. Termination needs k <= z.n, which Config.Validate guarantees
+// (CallsPerTxn <= partition size <= lockspace).
+func (st *siteStream) sampleZipfRanksInto(z *zipfGen, k int) {
+	for i := 0; i < k; i++ {
+		for {
+			r := z.rank(st.elems.Float64())
+			dup := false
+			for j := 0; j < i; j++ {
+				if st.sample[j] == r {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				st.sample[i] = r
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"hybriddb/internal/rng"
+)
+
+func skewConfig(theta float64) Config {
+	c := validConfig()
+	c.SkewTheta = theta
+	return c
+}
+
+func TestSkewThetaValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		theta  float64
+		wantOK bool
+	}{
+		{"zero", 0, true},
+		{"moderate", 0.5, true},
+		{"near one", 0.99, true},
+		{"one", 1, false},
+		{"above one", 1.5, false},
+		{"negative", -0.1, false},
+		{"NaN", math.NaN(), false},
+		{"+Inf", math.Inf(1), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := skewConfig(tt.theta)
+			if err := c.Validate(); (err == nil) != tt.wantOK {
+				t.Errorf("Validate(theta=%v) = %v, want ok=%v", tt.theta, err, tt.wantOK)
+			}
+		})
+	}
+}
+
+// TestZipfMatchesNaiveReference is the draw-for-draw property: across sizes,
+// exponents, and seeds, the precomputed sampler must invert every uniform
+// variate to exactly the rank the direct per-draw transcription of the Gray
+// et al. formula produces. Any drift in the precomputation, branch order, or
+// clamping is a bit-loud failure here.
+func TestZipfMatchesNaiveReference(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10, 100, 3276} {
+		for _, theta := range []float64{0, 0.2, 0.5, 0.8, 0.99} {
+			z := newZipfGen(n, theta)
+			for seed := uint64(1); seed <= 3; seed++ {
+				src := rng.New(seed)
+				for i := 0; i < 2000; i++ {
+					u := src.Float64()
+					got, want := z.rank(u), naiveZipfRank(n, theta, u)
+					if got != want {
+						t.Fatalf("n=%d theta=%v seed=%d u=%v: rank %d, naive reference %d",
+							n, theta, seed, u, got, want)
+					}
+					if got < 0 || got >= n {
+						t.Fatalf("n=%d theta=%v: rank %d out of range", n, theta, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestZipfHotSpotConcentration checks the distribution is actually skewed:
+// rank 0's empirical frequency matches its analytic mass 1/zeta(n, theta)
+// and the head dominates the tail.
+func TestZipfHotSpotConcentration(t *testing.T) {
+	const n = 1000
+	const theta = 0.8
+	z := newZipfGen(n, theta)
+	src := rng.New(7)
+	const draws = 200000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.rank(src.Float64())]++
+	}
+	wantTop := 1 / z.zetan
+	gotTop := float64(counts[0]) / draws
+	if math.Abs(gotTop-wantTop) > 0.01 {
+		t.Errorf("rank-0 frequency %v, want ~%v", gotTop, wantTop)
+	}
+	// The hottest 10% of ranks must hold well over half the mass at theta=0.8
+	// (analytically ~63%); uniform would give exactly 10%.
+	head := 0
+	for _, c := range counts[:n/10] {
+		head += c
+	}
+	if frac := float64(head) / draws; frac < 0.5 {
+		t.Errorf("hottest 10%% of ranks hold only %.1f%% of draws", 100*frac)
+	}
+}
+
+// TestSkewedNextIntoMatchesAllocating mirrors the uniform path's guarantee:
+// a pooled NextInto caller and an allocating Next caller consume the variate
+// streams identically, so the generated transactions match field for field.
+func TestSkewedNextIntoMatchesAllocating(t *testing.T) {
+	cfg := skewConfig(0.7)
+	gAlloc := NewGenerator(cfg, 4242)
+	gPool := NewGenerator(cfg, 4242)
+	pooled := make([]*Txn, cfg.Sites)
+	for i := 0; i < 600; i++ {
+		site := i % cfg.Sites
+		a := gAlloc.Next(site)
+		pooled[site] = gPool.NextInto(site, pooled[site])
+		b := pooled[site]
+		if a.ID != b.ID || a.Class != b.Class || a.HomeSite != b.HomeSite {
+			t.Fatalf("txn %d: headers diverged: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Elements {
+			if a.Elements[j] != b.Elements[j] || a.Modes[j] != b.Modes[j] {
+				t.Fatalf("txn %d call %d: %d/%v vs %d/%v", i, j,
+					a.Elements[j], a.Modes[j], b.Elements[j], b.Modes[j])
+			}
+		}
+	}
+}
+
+// TestSkewedNextIntoAllocationFree guards the skewed hot path: once a spec is
+// recycled, generating skewed transactions allocates nothing.
+func TestSkewedNextIntoAllocationFree(t *testing.T) {
+	cfg := skewConfig(0.8)
+	g := NewGenerator(cfg, 99)
+	spec := g.NextInto(0, nil) // warm the scratch and slices
+	if got := testing.AllocsPerRun(1000, func() {
+		spec = g.NextInto(0, spec)
+	}); got != 0 {
+		t.Fatalf("skewed NextInto allocated %v per run, want 0", got)
+	}
+}
+
+// TestSkewedClassAInHomePartition: the affinity mapping keeps skewed class A
+// references inside the home partition, hottest-first from its base.
+func TestSkewedClassAInHomePartition(t *testing.T) {
+	cfg := skewConfig(0.9)
+	cfg.PLocal = 1
+	g := NewGenerator(cfg, 13)
+	part := cfg.PartitionSize()
+	headHits, total := 0, 0
+	for i := 0; i < 500; i++ {
+		for site := 0; site < cfg.Sites; site++ {
+			txn := g.Next(site)
+			lo, hi := uint32(site)*part, uint32(site+1)*part
+			for _, e := range txn.Elements {
+				if e < lo || e >= hi {
+					t.Fatalf("skewed class A at site %d referenced %d outside [%d,%d)", site, e, lo, hi)
+				}
+				total++
+				if e-lo < part/10 {
+					headHits++
+				}
+			}
+		}
+	}
+	// At theta=0.9 the first 10% of the partition holds the bulk of the mass.
+	if frac := float64(headHits) / float64(total); frac < 0.5 {
+		t.Errorf("partition head got only %.1f%% of skewed class A references", 100*frac)
+	}
+}
+
+// TestSkewedClassBAffinity: class B ranks rotate by the home partition base,
+// so each site's class B references concentrate in its own partition while
+// still spanning the lockspace.
+func TestSkewedClassBAffinity(t *testing.T) {
+	cfg := skewConfig(0.9)
+	cfg.PLocal = 0 // all class B
+	g := NewGenerator(cfg, 21)
+	for _, site := range []int{0, 3, 9} {
+		ownHits, total := 0, 0
+		partitions := make(map[int]bool)
+		for i := 0; i < 400; i++ {
+			txn := g.Next(site)
+			for _, e := range txn.Elements {
+				if e >= cfg.Lockspace {
+					t.Fatalf("element %d beyond lockspace", e)
+				}
+				p := cfg.PartitionOf(e)
+				partitions[p] = true
+				total++
+				if p == site {
+					ownHits++
+				}
+			}
+		}
+		// Uniform would put 1/Sites = 10% at home; the rotated Zipf head
+		// concentrates far more.
+		if frac := float64(ownHits) / float64(total); frac < 0.3 {
+			t.Errorf("site %d: only %.1f%% of skewed class B references at home", site, 100*frac)
+		}
+		if len(partitions) < 3 {
+			t.Errorf("site %d: skewed class B hit only %d partitions", site, len(partitions))
+		}
+	}
+}
+
+// TestSkewedElementsDistinct: the rejection loop preserves within-transaction
+// distinctness under heavy skew, where duplicates are actually likely.
+func TestSkewedElementsDistinct(t *testing.T) {
+	cfg := skewConfig(0.99)
+	g := NewGenerator(cfg, 31)
+	for i := 0; i < 1000; i++ {
+		txn := g.Next(i % cfg.Sites)
+		seen := make(map[uint32]bool, len(txn.Elements))
+		for _, e := range txn.Elements {
+			if seen[e] {
+				t.Fatalf("duplicate element %d in skewed txn %d", e, txn.ID)
+			}
+			seen[e] = true
+		}
+	}
+}
+
+// TestSkewZeroIsUniformPath: at theta=0 the generator must take exactly the
+// uniform code path — the transactions match a no-skew generator draw for
+// draw, which is the workload half of the simtest degeneracy relation.
+func TestSkewZeroIsUniformPath(t *testing.T) {
+	gU := NewGenerator(validConfig(), 77)
+	gS := NewGenerator(skewConfig(0), 77)
+	for i := 0; i < 300; i++ {
+		site := i % 10
+		a, b := gU.Next(site), gS.Next(site)
+		if a.ID != b.ID || a.Class != b.Class {
+			t.Fatalf("txn %d: theta=0 diverged from uniform", i)
+		}
+		for j := range a.Elements {
+			if a.Elements[j] != b.Elements[j] || a.Modes[j] != b.Modes[j] {
+				t.Fatalf("txn %d call %d: theta=0 diverged from uniform", i, j)
+			}
+		}
+	}
+}
